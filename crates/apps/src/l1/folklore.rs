@@ -1,0 +1,116 @@
+//! Deterministic `(1+ε)` L1 tracker — the "[14] + folklore" baseline row of
+//! the paper's Section 5 table, with `O(k·log(W)/ε)` messages.
+//!
+//! Each site reports its local total whenever it has grown by a factor
+//! `(1+ε)` since the last report (and on its first item). The coordinator
+//! sums the last reports; each site's unreported increment is at most an
+//! `ε/(1+ε) < ε` fraction of its local total, so the sum is a deterministic
+//! `(1±ε)` approximation at all times — no failure probability at all, paid
+//! for with a `1/ε` factor in messages.
+
+use dwrs_core::Item;
+
+use super::L1Estimator;
+
+/// Deterministic per-site threshold tracker.
+#[derive(Debug)]
+pub struct FolkloreTracker {
+    eps: f64,
+    local: Vec<f64>,
+    reported: Vec<f64>,
+    sum_reported: f64,
+    messages: u64,
+}
+
+impl FolkloreTracker {
+    /// Creates a tracker with accuracy `ε` over `k` sites.
+    pub fn new(eps: f64, k: usize) -> Self {
+        assert!(eps > 0.0 && eps < 1.0);
+        assert!(k >= 1);
+        Self {
+            eps,
+            local: vec![0.0; k],
+            reported: vec![0.0; k],
+            sum_reported: 0.0,
+            messages: 0,
+        }
+    }
+}
+
+impl L1Estimator for FolkloreTracker {
+    fn observe(&mut self, site: usize, item: Item) {
+        self.local[site] += item.weight;
+        let must_report = self.reported[site] == 0.0
+            || self.local[site] >= (1.0 + self.eps) * self.reported[site];
+        if must_report {
+            self.messages += 1;
+            self.sum_reported += self.local[site] - self.reported[site];
+            self.reported[site] = self.local[site];
+        }
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        if self.sum_reported > 0.0 {
+            Some(self.sum_reported)
+        } else {
+            None
+        }
+    }
+
+    fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    fn name(&self) -> &'static str {
+        "folklore (1+eps) thresholds"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_bounded_at_all_times() {
+        let eps = 0.1;
+        let k = 4;
+        let mut t = FolkloreTracker::new(eps, k);
+        let mut rng = dwrs_core::Rng::new(3);
+        let mut true_w = 0.0;
+        for i in 0..20_000u64 {
+            let w = 1.0 + rng.f64() * 9.0;
+            t.observe((i % k as u64) as usize, Item::new(i, w));
+            true_w += w;
+            let est = t.estimate().unwrap();
+            let err = (est - true_w).abs() / true_w;
+            assert!(err <= eps, "time {i}: err {err}");
+        }
+    }
+
+    #[test]
+    fn messages_scale_inverse_eps() {
+        let k = 4;
+        let n = 50_000u64;
+        let run = |eps: f64| {
+            let mut t = FolkloreTracker::new(eps, k);
+            for i in 0..n {
+                t.observe((i % k as u64) as usize, Item::unit(i));
+            }
+            t.messages()
+        };
+        let coarse = run(0.2);
+        let fine = run(0.02);
+        let ratio = fine as f64 / coarse as f64;
+        // ~10x more messages for 10x smaller eps (log1p(eps) ≈ eps).
+        assert!(
+            ratio > 5.0 && ratio < 16.0,
+            "ratio {ratio} (coarse {coarse}, fine {fine})"
+        );
+    }
+
+    #[test]
+    fn estimate_none_before_first_item() {
+        let t = FolkloreTracker::new(0.1, 2);
+        assert!(t.estimate().is_none());
+    }
+}

@@ -1,0 +1,85 @@
+//! Distributed L1 (count) tracking — paper Section 5.
+//!
+//! Three trackers behind one interface:
+//!
+//! * [`L1DupTracker`] — the paper's algorithm (Theorem 6 / Corollary 3):
+//!   duplicate each update `ℓ = s/(2ε)` times into a weighted SWOR with
+//!   `s = Θ(ε⁻²·log(1/δ))`; the s-th largest key `u` concentrates around
+//!   `ℓ·W/s`, so `W̃ = s·u/ℓ = (1±ε)·W`. Expected messages
+//!   `O(k·log(εW)/log k + log(εW)/ε²)` — optimal for `k ≥ 1/ε²`.
+//! * [`FolkloreTracker`] — the deterministic `(1+ε)` local-threshold
+//!   protocol attributed to "[14] + folklore": `O(k·log(W)/ε)` messages.
+//! * [`HyzTracker`] — reconstruction of the randomized tracker of Huang,
+//!   Yi and Zhang [23]: `O((k + √k/ε)·log W)` messages, the best prior
+//!   bound and optimal for `k ≤ 1/ε²`.
+//! * [`PiggybackL1Tracker`] — an implementation extension: rides on a
+//!   weighted SWOR deployment at zero extra messages with `O(1/√s)` error
+//!   (the withheld-weight + key-statistic estimator of experiment E15b).
+//!
+//! Experiment E13 runs all three over the same streams to regenerate the
+//! paper's Section 5 comparison table, including the `k` vs `1/ε²`
+//! crossover.
+
+pub mod duplication;
+pub mod folklore;
+pub mod hyz;
+pub mod piggyback;
+
+pub use duplication::{L1Config, L1DupTracker};
+pub use folklore::FolkloreTracker;
+pub use hyz::HyzTracker;
+pub use piggyback::PiggybackL1Tracker;
+
+use dwrs_core::Item;
+
+/// Common interface over L1 trackers (used by the comparison experiments).
+pub trait L1Estimator {
+    /// Feeds one item observed at `site`.
+    fn observe(&mut self, site: usize, item: Item);
+    /// The coordinator's current estimate `W̃` (None before enough state
+    /// exists — only possible in the first round of a tracker).
+    fn estimate(&self) -> Option<f64>;
+    /// Total messages spent so far (site→coordinator plus coordinator→site,
+    /// broadcasts counting `k`).
+    fn messages(&self) -> u64;
+    /// Human-readable name for tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Runs a tracker over a partitioned stream, probing the relative error
+/// every `probe_every` items; returns `(max_rel_error, messages)`.
+pub fn run_tracker<T: L1Estimator>(
+    tracker: &mut T,
+    stream: &[(usize, Item)],
+    probe_every: usize,
+) -> (f64, u64) {
+    assert!(probe_every >= 1);
+    let mut true_w = 0.0f64;
+    let mut max_err = 0.0f64;
+    for (t, (site, item)) in stream.iter().enumerate() {
+        tracker.observe(*site, *item);
+        true_w += item.weight;
+        if (t + 1) % probe_every == 0 {
+            if let Some(est) = tracker.estimate() {
+                let err = (est - true_w).abs() / true_w;
+                max_err = max_err.max(err);
+            }
+        }
+    }
+    (max_err, tracker.messages())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_tracker_probes() {
+        let mut t = FolkloreTracker::new(0.1, 2);
+        let stream: Vec<(usize, Item)> =
+            (0..100).map(|i| ((i % 2) as usize, Item::unit(i as u64))).collect();
+        let (err, msgs) = run_tracker(&mut t, &stream, 10);
+        assert!(err <= 0.1 + 1e-9, "err {err}");
+        assert!(msgs > 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Piggyback L1 tracker — an implementation extension beyond the paper.
+//!
+//! A deployment that already runs the weighted SWOR protocol gets an L1
+//! estimate **for free**: the coordinator's query answer is *exactly* the
+//! top-`s` of one independent exponential key per stream item (Theorem 3's
+//! invariant), so the rank-conditioning Horvitz–Thompson estimator of
+//! [`dwrs_core::estimate`] applies verbatim:
+//!
+//! `W̃ = Σ_{top s-1} w_i / (1 - e^{-w_i/τ})`,  `τ` = the s-th sample key.
+//!
+//! Unbiasedness needs no assumptions on the weight distribution: extremely
+//! heavy items simply sit in the sample with enormous keys and inclusion
+//! probability ≈ 1, i.e. they are counted exactly (the level sets deliver
+//! them into the sample; compare experiment E15b, where the *order
+//! statistic* estimator `u·s` that the paper's Theorem 6 analysis builds on
+//! collapses without withholding).
+//!
+//! Contrast with the paper's Theorem 6 tracker: that one *chooses* `s` and
+//! a duplication factor `ℓ` to hit a target `ε`, paying `O(log(εW)/ε²)`
+//! extra messages; the piggyback tracker spends **zero** extra messages but
+//! its accuracy is fixed at `~1/√s` by the sampling deployment. It is the
+//! "sampling gives you counting for free" companion, not a replacement.
+
+use dwrs_core::estimate::total_weight_estimate;
+use dwrs_core::swor::{SworConfig, SworCoordinator, SworSite};
+use dwrs_core::Item;
+use dwrs_sim::{build_swor, Runner};
+
+use super::L1Estimator;
+
+/// L1 estimate piggybacked on a weighted SWOR deployment.
+#[derive(Debug)]
+pub struct PiggybackL1Tracker {
+    runner: Runner<SworSite, SworCoordinator>,
+    observed: u64,
+    s: usize,
+}
+
+impl PiggybackL1Tracker {
+    /// Builds the tracker around a standard SWOR deployment of sample size
+    /// `s` over `k` sites. Accuracy is `O(1/√s)`; pick `s ≈ 1/ε²` for a
+    /// target relative error `ε`.
+    pub fn new(s: usize, k: usize, seed: u64) -> Self {
+        Self {
+            runner: build_swor(SworConfig::new(s, k), seed),
+            observed: 0,
+            s,
+        }
+    }
+
+    /// Access to the underlying sample — the tracker *is* a sampler; the L1
+    /// estimate rides along.
+    pub fn sample(&self) -> Vec<dwrs_core::Keyed> {
+        self.runner.coordinator.sample()
+    }
+}
+
+impl L1Estimator for PiggybackL1Tracker {
+    fn observe(&mut self, site: usize, item: Item) {
+        self.observed += 1;
+        self.runner.step(site, item);
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        if self.observed == 0 {
+            return None;
+        }
+        let sample = self.runner.coordinator.sample();
+        Some(total_weight_estimate(
+            &sample,
+            (self.observed as usize) < self.s,
+        ))
+    }
+
+    fn messages(&self) -> u64 {
+        self.runner.metrics.total()
+    }
+
+    fn name(&self) -> &'static str {
+        "piggyback (extension; free w/ sampling)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwrs_core::Rng;
+
+    #[test]
+    fn estimate_tracks_weight_within_sqrt_s() {
+        let s = 256usize; // 1/sqrt(s) ≈ 6% expected error scale
+        let k = 8usize;
+        let mut tracker = PiggybackL1Tracker::new(s, k, 42);
+        let mut rng = Rng::new(7);
+        let mut true_w = 0.0;
+        let mut worst: f64 = 0.0;
+        for i in 0..30_000u64 {
+            let w = 1.0 + rng.f64() * 9.0;
+            true_w += w;
+            tracker.observe((i % k as u64) as usize, Item::new(i, w));
+            if i > 2_000 && i % 1_000 == 0 {
+                let est = tracker.estimate().expect("estimate");
+                worst = worst.max((est - true_w).abs() / true_w);
+            }
+        }
+        assert!(worst < 0.3, "worst relative error {worst}");
+        let final_err = (tracker.estimate().unwrap() - true_w).abs() / true_w;
+        assert!(final_err < 0.2, "final error {final_err}");
+    }
+
+    #[test]
+    fn estimator_is_unbiased_across_runs() {
+        let s = 64usize;
+        let k = 4usize;
+        let weights: Vec<f64> = (0..800u64).map(|i| 1.0 + (i % 9) as f64).collect();
+        let true_w: f64 = weights.iter().sum();
+        let runs = 400u64;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for r in 0..runs {
+            let mut tracker = PiggybackL1Tracker::new(s, k, 10_000 + r);
+            for (i, &w) in weights.iter().enumerate() {
+                tracker.observe(i % k, Item::new(i as u64, w));
+            }
+            let est = tracker.estimate().unwrap();
+            sum += est;
+            sumsq += est * est;
+        }
+        let mean = sum / runs as f64;
+        let var = sumsq / runs as f64 - mean * mean;
+        let se = (var / runs as f64).sqrt();
+        assert!(
+            (mean - true_w).abs() < 5.0 * se + 0.005 * true_w,
+            "mean {mean} vs {true_w} (se {se})"
+        );
+    }
+
+    #[test]
+    fn costs_no_more_than_plain_sampling() {
+        let s = 64usize;
+        let k = 8usize;
+        let items: Vec<Item> = (0..20_000u64)
+            .map(|i| Item::new(i, 1.0 + (i % 7) as f64))
+            .collect();
+        let mut tracker = PiggybackL1Tracker::new(s, k, 3);
+        for (i, it) in items.iter().enumerate() {
+            tracker.observe(i % k, *it);
+        }
+        let mut plain = build_swor(SworConfig::new(s, k), 3);
+        for (i, it) in items.iter().enumerate() {
+            plain.step(i % k, *it);
+        }
+        assert_eq!(
+            tracker.messages(),
+            plain.metrics.total(),
+            "piggybacking must be free"
+        );
+    }
+
+    #[test]
+    fn accurate_on_heavy_streams() {
+        // The scenario that destroys the naive u·s estimator (E15b): s/2
+        // giants carrying 99.9% of the weight. The HT estimate stays
+        // accurate because the giants are in the sample (huge keys) and
+        // counted exactly.
+        let s = 64usize;
+        let k = 4usize;
+        let items = dwrs_workloads::few_heavy(
+            10_000,
+            s / 2,
+            0.999,
+            dwrs_workloads::Placement::Shuffled,
+            5,
+        );
+        let true_w: f64 = items.iter().map(|i| i.weight).sum();
+        let mut tracker = PiggybackL1Tracker::new(s, k, 9);
+        for (i, it) in items.iter().enumerate() {
+            tracker.observe(i % k, *it);
+        }
+        let est = tracker.estimate().unwrap();
+        let err = (est - true_w).abs() / true_w;
+        assert!(err < 0.1, "error {err} on heavy stream");
+    }
+
+    #[test]
+    fn none_before_first_item() {
+        let tracker = PiggybackL1Tracker::new(8, 2, 1);
+        assert!(tracker.estimate().is_none());
+    }
+}

@@ -1,0 +1,30 @@
+//! # dwrs-apps
+//!
+//! The paper's two applications of distributed weighted SWOR, plus the
+//! extension it leaves open:
+//!
+//! * [`residual_hh`] — continuous tracking of **heavy hitters with residual
+//!   error** (Section 4, Theorem 4): identify every item whose weight is an
+//!   `ε` fraction of the stream *after* the top `1/ε` items are removed.
+//! * [`l1`] — **L1/count tracking** (Section 5, Theorem 6): the coordinator
+//!   continuously holds `W̃ = (1±ε)·W`. Includes the paper's
+//!   duplication-based tracker and the two prior-work baselines forming the
+//!   Section 5 comparison table.
+//! * [`sliding_window`] — weighted SWOR over a sequence-based sliding
+//!   window, the extension named in the paper's conclusion as an open
+//!   problem (centralized demonstration).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod l1;
+pub mod residual_hh;
+pub mod sliding_window;
+
+pub use l1::{
+    FolkloreTracker, HyzTracker, L1Config, L1DupTracker, L1Estimator, PiggybackL1Tracker,
+};
+pub use residual_hh::{
+    exact_residual_heavy_hitters, recall, ResidualHhConfig, ResidualHeavyHitters,
+};
+pub use sliding_window::SlidingWindowSwor;

@@ -1,0 +1,187 @@
+//! Weighted SWOR over a sequence-based **sliding window** — the extension
+//! the paper's conclusion poses as an open problem ("extend our algorithm
+//! for weighted sampling to the sliding window model").
+//!
+//! This module provides a centralized solution as a forward-looking
+//! demonstration (the distributed message-optimal version remains open).
+//! The idea follows the precision-sampling view: every item keeps its key
+//! `v = w/t`; an item can appear in the top-`s` of **some** future window
+//! only if fewer than `s` *later* items have larger keys (later items are in
+//! every window that contains it). The retained set — keys that are
+//! "s-undominated from the right" — has expected size `O(s·log(n/s))`, and
+//! the window sample is read off by filtering to the window and taking the
+//! top `s` keys.
+
+use std::collections::VecDeque;
+
+use dwrs_core::keys::assign_key;
+use dwrs_core::rng::Rng;
+use dwrs_core::{Item, Keyed};
+
+/// Centralized sliding-window weighted SWOR.
+#[derive(Debug)]
+pub struct SlidingWindowSwor {
+    window: u64,
+    s: usize,
+    rng: Rng,
+    /// Retained `(arrival_time, keyed)` in arrival order; invariant: each
+    /// entry has fewer than `s` later entries with larger keys.
+    retained: VecDeque<(u64, Keyed)>,
+    time: u64,
+}
+
+impl SlidingWindowSwor {
+    /// Creates a sampler of size `s` over the last `window` arrivals.
+    pub fn new(s: usize, window: u64, seed: u64) -> Self {
+        assert!(s >= 1 && window >= 1);
+        Self {
+            window,
+            s,
+            rng: Rng::new(seed),
+            retained: VecDeque::new(),
+            time: 0,
+        }
+    }
+
+    /// Items observed so far.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Number of retained items (the structure whose expected size is
+    /// `O(s·log(window/s))`).
+    pub fn retained_len(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// Feeds the next item.
+    pub fn observe(&mut self, item: Item) {
+        let keyed = assign_key(item, &mut self.rng);
+        self.time += 1;
+        self.retained.push_back((self.time, keyed));
+        // Expire items that left the window.
+        let cutoff = self.time.saturating_sub(self.window);
+        while let Some(&(t, _)) = self.retained.front() {
+            if t <= cutoff {
+                self.retained.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.prune();
+    }
+
+    /// Re-establishes the dominance invariant: walk from newest to oldest,
+    /// keeping an item iff fewer than `s` kept-later items have larger keys
+    /// (equivalently: its key beats the s-th largest among later keys).
+    fn prune(&mut self) {
+        let mut later_keys: Vec<f64> = Vec::with_capacity(self.s);
+        let mut keep = VecDeque::with_capacity(self.retained.len());
+        for &(t, keyed) in self.retained.iter().rev() {
+            let dominated = later_keys.len() >= self.s
+                && keyed.key <= later_keys[self.s - 1];
+            if !dominated {
+                keep.push_front((t, keyed));
+                // Insert into the sorted (descending) top-s of later keys.
+                let pos = later_keys
+                    .partition_point(|&k| k > keyed.key);
+                if pos < self.s {
+                    later_keys.insert(pos, keyed.key);
+                    later_keys.truncate(self.s);
+                }
+            }
+        }
+        self.retained = keep;
+    }
+
+    /// The weighted SWOR of the current window: top-`s` keys among retained
+    /// in-window items (every in-window item not retained is provably beaten
+    /// by `s` in-window items).
+    pub fn sample(&self) -> Vec<Keyed> {
+        let mut v: Vec<Keyed> = self.retained.iter().map(|&(_, k)| k).collect();
+        v.sort_by(|a, b| b.key.total_cmp(&a.key));
+        v.truncate(self.s);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_size_is_min_window_s() {
+        let mut sw = SlidingWindowSwor::new(3, 10, 1);
+        for i in 0..2u64 {
+            sw.observe(Item::unit(i));
+        }
+        assert_eq!(sw.sample().len(), 2);
+        for i in 2..50u64 {
+            sw.observe(Item::unit(i));
+        }
+        assert_eq!(sw.sample().len(), 3);
+    }
+
+    #[test]
+    fn sample_only_contains_window_items() {
+        let window = 20u64;
+        let mut sw = SlidingWindowSwor::new(4, window, 2);
+        for i in 0..500u64 {
+            sw.observe(Item::new(i, 1.0 + (i % 3) as f64));
+        }
+        for k in sw.sample() {
+            assert!(k.item.id >= 500 - window, "stale item {}", k.item.id);
+        }
+    }
+
+    #[test]
+    fn retained_is_logarithmic_not_linear() {
+        let window = 4096u64;
+        let mut sw = SlidingWindowSwor::new(8, window, 3);
+        for i in 0..20_000u64 {
+            sw.observe(Item::unit(i));
+        }
+        // Expected ~ s·ln(window/s) ≈ 8·6.2 ≈ 50; assert well below window.
+        assert!(
+            sw.retained_len() < 400,
+            "retained {} not sublinear in window {window}",
+            sw.retained_len()
+        );
+    }
+
+    #[test]
+    fn matches_full_resampling_distribution() {
+        // Inclusion frequency of the heaviest in-window item must match a
+        // fresh centralized SWOR over the window contents.
+        use dwrs_core::centralized::{ExpClockSwor, StreamSampler};
+        let window = 16u64;
+        let s = 2usize;
+        let n = 40u64;
+        let trials = 30_000u64;
+        let mut hits_sw = 0u64;
+        let mut hits_ref = 0u64;
+        // Weight pattern: one heavy item near the end of the window.
+        let weight = |i: u64| if i == n - 3 { 8.0 } else { 1.0 };
+        for t in 0..trials {
+            let mut sw = SlidingWindowSwor::new(s, window, 10_000 + t);
+            for i in 0..n {
+                sw.observe(Item::new(i, weight(i)));
+            }
+            if sw.sample().iter().any(|k| k.item.id == n - 3) {
+                hits_sw += 1;
+            }
+            let mut reference = ExpClockSwor::new(s, 50_000 + t);
+            for i in (n - window)..n {
+                reference.observe(Item::new(i, weight(i)));
+            }
+            if reference.sample().iter().any(|it| it.id == n - 3) {
+                hits_ref += 1;
+            }
+        }
+        let (p1, p2) = (
+            hits_sw as f64 / trials as f64,
+            hits_ref as f64 / trials as f64,
+        );
+        assert!((p1 - p2).abs() < 0.02, "window sampler {p1} vs reference {p2}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the application layer.
+
+use dwrs_apps::l1::{
+    FolkloreTracker, HyzTracker, L1Config, L1DupTracker, L1Estimator, PiggybackL1Tracker,
+};
+use dwrs_apps::residual_hh::{exact_residual_heavy_hitters, recall, ResidualHhConfig};
+use dwrs_apps::SlidingWindowSwor;
+use dwrs_core::Item;
+use proptest::prelude::*;
+
+fn weights_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1.0f64..10_000.0, 1..250)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // -------------------------------------------------- residual HH oracle
+
+    #[test]
+    fn oracle_includes_the_maximum_item(weights in weights_strategy(), eps in 0.05f64..0.9) {
+        let items: Vec<Item> = weights.iter().enumerate()
+            .map(|(i, &w)| Item::new(i as u64, w)).collect();
+        let want = exact_residual_heavy_hitters(&items, eps);
+        if !want.is_empty() {
+            // The globally heaviest item always qualifies (its weight is
+            // at least that of any qualifying item).
+            let max_id = items
+                .iter()
+                .max_by(|a, b| a.weight.total_cmp(&b.weight))
+                .map(|i| i.id)
+                .expect("non-empty");
+            prop_assert!(want.contains(&max_id));
+        }
+    }
+
+    #[test]
+    fn oracle_downward_closed_in_weight(weights in weights_strategy(), eps in 0.05f64..0.9) {
+        // If item x qualifies and w_y >= w_x then y qualifies.
+        let items: Vec<Item> = weights.iter().enumerate()
+            .map(|(i, &w)| Item::new(i as u64, w)).collect();
+        let want = exact_residual_heavy_hitters(&items, eps);
+        let min_qualifying = items.iter()
+            .filter(|i| want.contains(&i.id))
+            .map(|i| i.weight)
+            .fold(f64::INFINITY, f64::min);
+        for it in &items {
+            if it.weight >= min_qualifying {
+                prop_assert!(want.contains(&it.id), "item {} excluded", it.id);
+            }
+        }
+    }
+
+    #[test]
+    fn recall_is_monotone_in_got(weights in weights_strategy()) {
+        let items: Vec<Item> = weights.iter().enumerate()
+            .map(|(i, &w)| Item::new(i as u64, w)).collect();
+        let want: Vec<u64> = items.iter().take(5).map(|i| i.id).collect();
+        let partial = recall(&want, &items[..items.len() / 2]);
+        let full = recall(&want, &items);
+        prop_assert!(full >= partial);
+        prop_assert!((0.0..=1.0).contains(&partial));
+        prop_assert_eq!(full, 1.0);
+    }
+
+    // -------------------------------------------------- L1 trackers
+
+    #[test]
+    fn folklore_error_never_exceeds_eps(
+        weights in weights_strategy(), eps in 0.02f64..0.5, k in 1usize..6
+    ) {
+        let mut t = FolkloreTracker::new(eps, k);
+        let mut true_w = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            t.observe(i % k, Item::new(i as u64, w));
+            true_w += w;
+            let est = t.estimate().expect("estimate after first item");
+            prop_assert!(
+                (est - true_w).abs() / true_w <= eps + 1e-9,
+                "err {} at step {}", (est - true_w).abs() / true_w, i
+            );
+        }
+    }
+
+    #[test]
+    fn trackers_are_deterministic_per_seed(
+        weights in proptest::collection::vec(1.0f64..100.0, 1..80),
+        seed in any::<u64>()
+    ) {
+        let k = 3;
+        let run = |s: u64| {
+            let mut cfg = L1Config::new(0.3, 0.3, k);
+            cfg.sample_size_override = Some(12);
+            cfg.dup_override = Some(40);
+            let mut dup = L1DupTracker::new(cfg, s);
+            let mut hyz = HyzTracker::new(0.3, k, s);
+            let mut piggy = PiggybackL1Tracker::new(12, k, s);
+            for (i, &w) in weights.iter().enumerate() {
+                dup.observe(i % k, Item::new(i as u64, w));
+                hyz.observe(i % k, Item::new(i as u64, w));
+                piggy.observe(i % k, Item::new(i as u64, w));
+            }
+            (
+                dup.estimate(), dup.messages(),
+                hyz.estimate(), hyz.messages(),
+                piggy.estimate(), piggy.messages(),
+            )
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn estimates_are_positive_and_finite(
+        weights in proptest::collection::vec(1.0f64..1000.0, 5..120),
+        seed in any::<u64>()
+    ) {
+        let k = 2;
+        let mut cfg = L1Config::new(0.3, 0.3, k);
+        cfg.sample_size_override = Some(8);
+        cfg.dup_override = Some(30);
+        let mut dup = L1DupTracker::new(cfg, seed);
+        let mut piggy = PiggybackL1Tracker::new(8, k, seed);
+        for (i, &w) in weights.iter().enumerate() {
+            dup.observe(i % k, Item::new(i as u64, w));
+            piggy.observe(i % k, Item::new(i as u64, w));
+        }
+        for est in [dup.estimate(), piggy.estimate()] {
+            let est = est.expect("estimate available");
+            prop_assert!(est > 0.0 && est.is_finite(), "estimate {}", est);
+        }
+    }
+
+    // -------------------------------------------------- sliding window
+
+    #[test]
+    fn window_sample_is_subset_of_window(
+        weights in proptest::collection::vec(1.0f64..100.0, 1..300),
+        window in 1u64..64,
+        s in 1usize..6,
+        seed in any::<u64>()
+    ) {
+        let mut sw = SlidingWindowSwor::new(s, window, seed);
+        for (i, &w) in weights.iter().enumerate() {
+            sw.observe(Item::new(i as u64, w));
+            let t = (i + 1) as u64;
+            let sample = sw.sample();
+            let expect = (window.min(t) as usize).min(s);
+            prop_assert_eq!(sample.len(), expect, "at time {}", t);
+            for kd in &sample {
+                prop_assert!(kd.item.id + window >= t, "stale item in window sample");
+            }
+        }
+    }
+
+    #[test]
+    fn window_retained_never_exceeds_window(
+        n in 1usize..400, window in 1u64..128, s in 1usize..5, seed in any::<u64>()
+    ) {
+        let mut sw = SlidingWindowSwor::new(s, window, seed);
+        for i in 0..n {
+            sw.observe(Item::unit(i as u64));
+            prop_assert!(sw.retained_len() as u64 <= window);
+        }
+    }
+
+    // -------------------------------------------------- residual HH config
+
+    #[test]
+    fn rhh_config_sizes_monotone(eps in 0.02f64..0.5, delta in 0.01f64..0.5) {
+        let a = ResidualHhConfig::new(eps, delta, 4).sample_size();
+        let b = ResidualHhConfig::new(eps / 2.0, delta, 4).sample_size();
+        prop_assert!(b >= a, "halving eps must not shrink s");
+        prop_assert!(ResidualHhConfig::new(eps, delta, 4).output_size() >= 2);
+    }
+}

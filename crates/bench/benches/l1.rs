@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the three L1 trackers' per-item cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dwrs_apps::l1::{FolkloreTracker, HyzTracker, L1Config, L1DupTracker, L1Estimator};
+use dwrs_core::Item;
+
+const N: u64 = 20_000;
+const K: usize = 16;
+
+fn drive<T: L1Estimator>(tracker: &mut T) -> u64 {
+    for i in 0..N {
+        tracker.observe((i % K as u64) as usize, Item::unit(i));
+    }
+    tracker.messages()
+}
+
+fn trackers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("l1_trackers_20k_items");
+    g.throughput(Throughput::Elements(N));
+    g.sample_size(10);
+    g.bench_function("folklore", |b| {
+        b.iter(|| {
+            let mut t = FolkloreTracker::new(0.1, K);
+            black_box(drive(&mut t))
+        });
+    });
+    g.bench_function("hyz12", |b| {
+        b.iter(|| {
+            let mut t = HyzTracker::new(0.1, K, 1);
+            black_box(drive(&mut t))
+        });
+    });
+    g.bench_function("duplication_swor", |b| {
+        b.iter(|| {
+            let mut cfg = L1Config::new(0.1, 0.25, K);
+            cfg.sample_size_override = Some(200);
+            cfg.dup_override = Some(1000);
+            let mut t = L1DupTracker::new(cfg, 2);
+            black_box(drive(&mut t))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, trackers);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion benchmarks for key generation: full-precision draws vs the
+//! lazy bit-by-bit comparison of Proposition 7.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dwrs_core::keys::{key_above, key_for};
+use dwrs_core::precision::lazy_key_above;
+use dwrs_core::Rng;
+
+fn key_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("key_generation");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("key_for_f64", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| black_box(key_for(black_box(3.5), &mut rng)));
+    });
+    g.bench_function("lazy_key_above", |b| {
+        let mut rng = Rng::new(2);
+        b.iter(|| black_box(lazy_key_above(black_box(3.5), black_box(100.0), &mut rng)));
+    });
+    g.bench_function("conditional_key_above", |b| {
+        let mut rng = Rng::new(3);
+        b.iter(|| black_box(key_above(black_box(3.5), black_box(100.0), &mut rng)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, key_generation);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmarks for the residual heavy hitter tracker.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dwrs_apps::residual_hh::{ResidualHeavyHitters, ResidualHhConfig};
+
+fn observe_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("residual_hh");
+    let n = 50_000usize;
+    let k = 8usize;
+    let items = dwrs_workloads::zipf_ranked(n, 1.3, 1);
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    g.bench_function("observe_50k_zipf", |b| {
+        b.iter(|| {
+            let mut t = ResidualHeavyHitters::new(ResidualHhConfig::new(0.1, 0.1, k), 2);
+            for (i, it) in items.iter().enumerate() {
+                t.observe(i % k, *it);
+            }
+            black_box(t.messages())
+        });
+    });
+    g.bench_function("query_after_50k", |b| {
+        let mut t = ResidualHeavyHitters::new(ResidualHhConfig::new(0.1, 0.1, k), 3);
+        for (i, it) in items.iter().enumerate() {
+            t.observe(i % k, *it);
+        }
+        b.iter(|| black_box(t.query()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, observe_throughput);
+criterion_main!(benches);

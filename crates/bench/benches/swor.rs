@@ -1,0 +1,83 @@
+//! Criterion microbenchmarks for the weighted SWOR protocol hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dwrs_core::swor::{DownMsg, SworConfig, SworCoordinator, SworSite, UpMsg};
+use dwrs_core::Item;
+use dwrs_sim::{assign_sites, build_swor, Partition};
+
+fn site_observe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swor_site_observe");
+    g.throughput(Throughput::Elements(1));
+    // Saturated level + high threshold: the steady-state per-item path.
+    g.bench_function("steady_state", |b| {
+        let cfg = SworConfig::new(64, 16);
+        let mut site = SworSite::new(&cfg, 1);
+        site.receive(&DownMsg::LevelSaturated { level: 0 });
+        site.receive(&DownMsg::UpdateEpoch { threshold: 1e6 });
+        let item = Item::new(7, 1.5);
+        b.iter(|| black_box(site.observe(black_box(item))));
+    });
+    g.bench_function("unsaturated_early", |b| {
+        let cfg = SworConfig::new(64, 16);
+        let mut site = SworSite::new(&cfg, 2);
+        let item = Item::new(7, 1.5);
+        b.iter(|| black_box(site.observe(black_box(item))));
+    });
+    g.finish();
+}
+
+fn coordinator_receive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swor_coordinator_receive");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("regular_rejected", |b| {
+        // Full sample with large keys: incoming small keys are rejected in
+        // O(1) — the dominant coordinator path late in a stream.
+        let cfg = SworConfig::new(64, 16);
+        let mut coord = SworCoordinator::new(cfg, 3);
+        let mut out = Vec::new();
+        for i in 0..64u64 {
+            coord.receive(
+                UpMsg::Regular {
+                    item: Item::new(i, 1.0),
+                    key: 1e9 + i as f64,
+                },
+                &mut out,
+            );
+        }
+        let msg = UpMsg::Regular {
+            item: Item::new(999, 1.0),
+            key: 1.0,
+        };
+        b.iter(|| {
+            coord.receive(black_box(msg), &mut out);
+            out.clear();
+        });
+    });
+    g.finish();
+}
+
+fn full_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swor_full_protocol");
+    let n = 100_000usize;
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    for (k, s) in [(4usize, 16usize), (64, 16), (64, 256)] {
+        let items = dwrs_workloads::uniform_weights(n, 1.0, 10.0, 5);
+        let sites = assign_sites(Partition::RoundRobin, k, n, 6);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_s{s}")),
+            &(k, s),
+            |b, &(k, s)| {
+                b.iter(|| {
+                    let mut runner = build_swor(SworConfig::new(s, k), 7);
+                    runner.run(sites.iter().copied().zip(items.iter().copied()));
+                    black_box(runner.metrics.total())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, site_observe, coordinator_receive, full_protocol);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the weighted SWR reduction: the binomial trick
+//! must make site work independent of the item weight (the whole point of
+//! Section 2.2's speedup over naive duplication).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwrs_core::swr::{SwrConfig, SwrDown, WeightedSwrSite};
+use dwrs_core::{Item, Rng};
+
+fn site_observe_vs_weight(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swr_site_observe_by_weight");
+    for w in [1u64, 1_000, 1_000_000, 1_000_000_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("w{w}")), &w, |b, &w| {
+            let cfg = SwrConfig::new(64, 16);
+            let mut site = WeightedSwrSite::new(&cfg, 1);
+            // Tight threshold so the candidate count stays small and the
+            // binomial short-circuit is what is measured.
+            site.receive(&SwrDown { threshold: 1e-9 });
+            let item = Item::new(7, w as f64);
+            let mut out = Vec::with_capacity(64);
+            b.iter(|| {
+                site.observe(black_box(item), &mut out);
+                out.clear();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn naive_duplication_reference(c: &mut Criterion) {
+    // The O(w) baseline the binomial trick replaces: w independent tag
+    // draws per sampler decision. Kept small or it would dominate the run.
+    let mut g = c.benchmark_group("swr_naive_duplication_reference");
+    for w in [1u64, 1_000, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("w{w}")), &w, |b, &w| {
+            let mut rng = Rng::new(2);
+            let tau = 1e-9f64;
+            b.iter(|| {
+                let mut min_tag = f64::INFINITY;
+                for _ in 0..w {
+                    let t = rng.f64();
+                    if t < tau && t < min_tag {
+                        min_tag = t;
+                    }
+                }
+                black_box(min_tag)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, site_observe_vs_weight, naive_duplication_reference);
+criterion_main!(benches);

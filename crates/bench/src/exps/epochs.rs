@@ -1,0 +1,45 @@
+//! E7: epoch count vs Proposition 5's bound `3·(log(W/s)/log r + 1)`.
+
+use dwrs_core::item::total_weight;
+use dwrs_core::swor::SworConfig;
+use dwrs_sim::Partition;
+use dwrs_workloads::{uniform_weights, zipf_ranked};
+
+use crate::exps::util::run_swor;
+use crate::table::{f, n, Table};
+use crate::Scale;
+
+/// E7: measured epoch advances against Proposition 5.
+pub fn e7_epoch_count(scale: Scale) {
+    let (k, s) = (16usize, 16usize);
+    let r = SworConfig::new(s, k).r();
+    let mut table = Table::new(
+        "E7 — epochs vs Prop. 5 bound 3(ln(W/s)/ln r + 1) (k=16, s=16)",
+        &["stream", "n", "W", "epochs", "bound", "ratio"],
+    );
+    let mut pow = scale.pick(10, 12);
+    let max_pow = scale.pick(13, 19);
+    while pow <= max_pow {
+        let n_items = 1usize << pow;
+        for (name, items) in [
+            ("uniform", uniform_weights(n_items, 1.0, 2.0, 80 + pow as u64)),
+            ("zipf1.2", zipf_ranked(n_items, 1.2, 90 + pow as u64)),
+        ] {
+            let w = total_weight(&items);
+            let runner = run_swor(SworConfig::new(s, k), &items, Partition::RoundRobin, 81);
+            let epochs = runner.coordinator.stats.epoch_broadcasts;
+            let bound = 3.0 * ((w / s as f64).ln() / r.ln() + 1.0);
+            table.row(&[
+                name.into(),
+                n(n_items as u64),
+                f(w),
+                n(epochs),
+                f(bound),
+                f(epochs as f64 / bound),
+            ]);
+        }
+        pow += 3;
+    }
+    table.print();
+    println!("[Prop. 5: expected epochs ≤ 3(log(W/s)/log r + 1); ratios must stay ≤ 1]");
+}

@@ -1,0 +1,13 @@
+//! Experiment implementations (see DESIGN.md §4 for the index).
+
+pub mod correctness;
+pub mod epochs;
+pub mod l1_exp;
+pub mod levels;
+pub mod precision_exp;
+pub mod rhh;
+pub mod robust;
+pub mod swor_msgs;
+pub mod swr_exp;
+pub mod util;
+pub mod window;

@@ -1,0 +1,157 @@
+//! E9–E11: residual heavy hitters (Theorem 4) — recall vs the
+//! with-replacement baseline, message complexity vs ε, and the Theorem 5
+//! lower-bound instances.
+
+use dwrs_core::centralized::{OnlineWeightedSwr, StreamSampler};
+use dwrs_core::item::total_weight;
+use dwrs_apps::residual_hh::{
+    exact_residual_heavy_hitters, recall, ResidualHeavyHitters, ResidualHhConfig,
+};
+use dwrs_workloads::{exploding, residual_skew, weighted_epochs, zipf_ranked};
+
+use crate::exps::util::rhh_bound;
+use crate::table::{f, n, Table};
+use crate::Scale;
+
+/// E9: SWOR-based residual-HH recall vs a with-replacement sampler of the
+/// same budget — the paper's motivating separation (Section 1, Section 4).
+pub fn e9_recall(scale: Scale) {
+    let k = 4usize;
+    let runs = scale.pick(5u64, 25u64);
+    let n_items = scale.pick(400usize, 2_000usize);
+    let mut table = Table::new(
+        "E9 — residual heavy hitter recall: SWOR (Thm 4) vs SWR baseline, same budget",
+        &["stream", "eps", "s", "|required|", "swor_recall", "swr_recall"],
+    );
+    let cases = [
+        ("residual_skew(top=3)", 3usize, 0.25f64),
+        ("residual_skew(top=6)", 6, 0.25),
+        ("zipf(1.5)", 0, 0.1),
+    ];
+    for (name, top, eps) in cases {
+        let cfg = ResidualHhConfig::new(eps, 0.1, k);
+        let s = cfg.sample_size();
+        let mut want_len = 0usize;
+        let (mut sum_swor, mut sum_swr) = (0.0f64, 0.0f64);
+        for run in 0..runs {
+            let items = if top > 0 {
+                residual_skew(n_items, top, 900 + run)
+            } else {
+                zipf_ranked(n_items, 1.5, 900 + run)
+            };
+            let want = exact_residual_heavy_hitters(&items, eps);
+            want_len = want.len();
+            let mut tracker = ResidualHeavyHitters::new(cfg.clone(), 7_000 + run);
+            for (t, it) in items.iter().enumerate() {
+                tracker.observe(t % k, *it);
+            }
+            sum_swor += recall(&want, &tracker.query());
+            // Same sample budget for the with-replacement baseline; its
+            // distribution equals the distributed SWR (Corollary 1).
+            let mut swr = OnlineWeightedSwr::new(s, 8_000 + run);
+            for it in &items {
+                swr.observe(*it);
+            }
+            let mut got = swr.sample();
+            got.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+            got.dedup_by_key(|i| i.id);
+            got.truncate(cfg.output_size());
+            sum_swr += recall(&want, &got);
+        }
+        table.row(&[
+            name.into(),
+            f(eps),
+            n(s as u64),
+            n(want_len as u64),
+            f(sum_swor / runs as f64),
+            f(sum_swr / runs as f64),
+        ]);
+    }
+    table.print();
+    println!("[Thm 4: SWOR recall ≈ 1; with-replacement samplers drown in the giants on skewed streams]");
+}
+
+/// E10: residual-HH message complexity vs ε (Theorem 4's bound).
+pub fn e10_messages(scale: Scale) {
+    let k = 32usize;
+    let delta = 0.1f64;
+    let n_items = scale.pick(1 << 12, 1 << 16);
+    let items = zipf_ranked(n_items, 1.3, 10);
+    let w = total_weight(&items);
+    let mut table = Table::new(
+        "E10 — residual-HH messages vs eps (k=32, Zipf 1.3); Thm 4 bound",
+        &["eps", "s", "total_msgs", "bound", "ratio"],
+    );
+    for &eps in scale.pick(&[0.2f64, 0.4][..], &[0.05f64, 0.1, 0.2, 0.4][..]) {
+        let cfg = ResidualHhConfig::new(eps, delta, k);
+        let s = cfg.sample_size();
+        let mut tracker = ResidualHeavyHitters::new(cfg, 11);
+        for (t, it) in items.iter().enumerate() {
+            tracker.observe(t % k, *it);
+        }
+        let bound = rhh_bound(k, eps, delta, w);
+        table.row(&[
+            f(eps),
+            n(s as u64),
+            n(tracker.messages()),
+            f(bound),
+            f(tracker.messages() as f64 / bound),
+        ]);
+    }
+    table.print();
+}
+
+/// E11: the Theorem 5 lower-bound instances — measured message counts of
+/// the tracker on the adversarial streams, against the Ω(k·logW/log k +
+/// logW/ε) bound (the ratio measured/bound estimates the constant; the
+/// lower bound says no correct algorithm can push it to 0).
+pub fn e11_lower_bound(scale: Scale) {
+    let mut table = Table::new(
+        "E11 — Thm 5 hard instances: messages vs Ω(k·lnW/ln k + lnW/eps)",
+        &["instance", "k", "eps", "n", "msgs", "lower_bound", "msgs/bound"],
+    );
+    // Instance 1: exploding stream — forces the ε term.
+    let eps = scale.pick(0.1, 0.05);
+    let items = exploding(eps, scale.pick(1e9, 1e13), 1 << 20);
+    let k = 8usize;
+    let cfg = ResidualHhConfig::new(eps, 0.1, k);
+    let mut tracker = ResidualHeavyHitters::new(cfg, 13);
+    for (t, it) in items.iter().enumerate() {
+        tracker.observe(t % k, *it);
+    }
+    let w = total_weight(&items);
+    let lb = w.ln() / eps;
+    table.row(&[
+        "exploding".into(),
+        n(k as u64),
+        f(eps),
+        n(items.len() as u64),
+        n(tracker.messages()),
+        f(lb),
+        f(tracker.messages() as f64 / lb),
+    ]);
+    // Instance 2: k^i weighted epochs — forces the k·logW/log k term.
+    let k = scale.pick(16usize, 64usize);
+    let eta = scale.pick(4u32, 5u32);
+    let inst = weighted_epochs(k, eta);
+    let eps2 = 0.25;
+    let cfg = ResidualHhConfig::new(eps2, 0.1, k);
+    let mut tracker = ResidualHeavyHitters::new(cfg, 14);
+    let mut w2 = 0.0;
+    for (site, it) in &inst {
+        tracker.observe(*site, *it);
+        w2 += it.weight;
+    }
+    let lb2 = k as f64 * w2.ln() / (k as f64).ln();
+    table.row(&[
+        "k^i epochs".into(),
+        n(k as u64),
+        f(eps2),
+        n(inst.len() as u64),
+        n(tracker.messages()),
+        f(lb2),
+        f(tracker.messages() as f64 / lb2),
+    ]);
+    table.print();
+    println!("[lower bound: every correct tracker pays Ω(·) on these streams; ratios ≥ some constant > 0 and O(1) certify near-tightness]");
+}

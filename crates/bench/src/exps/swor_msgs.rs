@@ -1,0 +1,142 @@
+//! E1–E3: message complexity of weighted SWOR (Theorem 3) and the naive
+//! baseline gap.
+
+use dwrs_core::swor::SworConfig;
+use dwrs_core::item::total_weight;
+use dwrs_sim::{assign_sites, build_naive, Partition};
+use dwrs_workloads::{uniform_weights, zipf_ranked};
+
+use crate::exps::util::{log_log_slope, run_swor, swor_bound};
+use crate::table::{f, n, Table};
+use crate::Scale;
+
+/// E1: messages vs. total weight `W` at fixed `k`, `s`.
+///
+/// Theorem 3 predicts `O(k·log(W/s)/log(1+k/s))`: messages must grow
+/// logarithmically in `W`, i.e. linearly in `log W` — the measured/bound
+/// ratio must stay flat across a 256× growth in stream length.
+pub fn e1_w_sweep(scale: Scale) {
+    let (k, s) = (16usize, 16usize);
+    let max_pow = scale.pick(14, 20);
+    let mut table = Table::new(
+        "E1 — weighted SWOR messages vs W (k=16, s=16); Thm 3: k·ln(W/s)/ln(1+k/s)",
+        &["n", "W", "early", "regular", "bcast_evts", "total", "bytes", "bound", "ratio"],
+    );
+    let mut ws = Vec::new();
+    let mut totals = Vec::new();
+    let mut pow = scale.pick(10, 12);
+    while pow <= max_pow {
+        let n_items = 1usize << pow;
+        let items = uniform_weights(n_items, 1.0, 2.0, 11 + pow as u64);
+        let w = total_weight(&items);
+        let runner = run_swor(SworConfig::new(s, k), &items, Partition::RoundRobin, 77);
+        let m = &runner.metrics;
+        let bound = swor_bound(k, s, w);
+        table.row(&[
+            n(n_items as u64),
+            f(w),
+            n(m.kind("early")),
+            n(m.kind("regular")),
+            n(m.broadcast_events),
+            n(m.total()),
+            n(m.total_bytes()),
+            f(bound),
+            f(m.total() as f64 / bound),
+        ]);
+        ws.push(w.ln());
+        totals.push(m.total() as f64);
+        pow += 2;
+    }
+    table.print();
+    // Messages should be ~linear in ln W: slope of messages vs ln(W) in
+    // log-log should be ~1 (i.e. messages ∝ (ln W)^1).
+    let slope = log_log_slope(&ws, &totals);
+    println!("fit: messages ∝ (ln W)^{:.2}   [Thm 3 predicts exponent ≈ 1]", slope);
+}
+
+/// E2: messages vs. `k` (fixed s) and vs. `s` (fixed k).
+pub fn e2_k_s_sweep(scale: Scale) {
+    let n_items = scale.pick(1 << 13, 1 << 17);
+    let items = uniform_weights(n_items, 1.0, 2.0, 5);
+    let w = total_weight(&items);
+
+    let mut t1 = Table::new(
+        "E2a — weighted SWOR messages vs k (s=16)",
+        &["k", "total", "bound", "ratio", "per_site"],
+    );
+    let s = 16usize;
+    let ks: Vec<usize> = scale.pick(vec![4, 16, 64], vec![4, 16, 64, 256, 1024]);
+    let mut kxs = Vec::new();
+    let mut kys = Vec::new();
+    let mut kbs = Vec::new();
+    for &k in &ks {
+        let runner = run_swor(SworConfig::new(s, k), &items, Partition::RoundRobin, 31);
+        let total = runner.metrics.total();
+        let bound = swor_bound(k, s, w);
+        t1.row(&[
+            n(k as u64),
+            n(total),
+            f(bound),
+            f(total as f64 / bound),
+            f(total as f64 / k as f64),
+        ]);
+        kxs.push(k as f64);
+        kys.push(total as f64);
+        kbs.push(bound);
+    }
+    t1.print();
+    println!(
+        "fit: messages ∝ k^{:.2} vs Thm 3 bound's own k^{:.2} over this range (k/log(1+k/s) is sublinear until k ≫ s)",
+        log_log_slope(&kxs, &kys),
+        log_log_slope(&kxs, &kbs)
+    );
+
+    let mut t2 = Table::new(
+        "E2b — weighted SWOR messages vs s (k=64)",
+        &["s", "total", "bound", "ratio"],
+    );
+    let k = 64usize;
+    for &s in scale.pick(&[4usize, 16, 64][..], &[4usize, 16, 64, 256][..]) {
+        let runner = run_swor(SworConfig::new(s, k), &items, Partition::RoundRobin, 32);
+        let total = runner.metrics.total();
+        let bound = swor_bound(k, s, w);
+        t2.row(&[n(s as u64), n(total), f(bound), f(total as f64 / bound)]);
+    }
+    t2.print();
+}
+
+/// E3: the paper's protocol vs. the naive per-site-sampler baseline
+/// (Section 1.2's `O(ks·log W)` strawman): the gap must grow with `s`.
+pub fn e3_vs_naive(scale: Scale) {
+    let n_items = scale.pick(1 << 13, 1 << 16);
+    let k = 16usize;
+    let mut table = Table::new(
+        "E3 — optimal vs naive baseline (k=16), uniform & Zipf(1.5) streams",
+        &["stream", "s", "optimal", "naive", "naive/optimal"],
+    );
+    for (name, items) in [
+        ("uniform", uniform_weights(n_items, 1.0, 2.0, 7)),
+        ("zipf1.5", zipf_ranked(n_items, 1.5, 8)),
+    ] {
+        for &s in &[16usize, 64] {
+            let opt = run_swor(SworConfig::new(s, k), &items, Partition::RoundRobin, 41);
+            let mut naive = build_naive(s, k, 42);
+            let sites = assign_sites(Partition::RoundRobin, k, items.len(), 43);
+            naive.run(sites.into_iter().zip(items.iter().copied()));
+            let (a, b) = (opt.metrics.total(), naive.metrics.total());
+            table.row(&[
+                name.into(),
+                n(s as u64),
+                n(a),
+                n(b),
+                f(b as f64 / a as f64),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "[paper: naive pays a Θ(s)-ish factor; the gap grows with s on benign streams. On \
+         extreme Zipf the level-set premium (bounded, see E15a) makes naive competitive at \
+         small k·s — the separation is about worst-case guarantees, which naive lacks]"
+    );
+}

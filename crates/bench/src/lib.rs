@@ -1,0 +1,59 @@
+//! # dwrs-bench
+//!
+//! Experiment harness regenerating every quantitative claim of the paper
+//! (the per-experiment index lives in DESIGN.md §4; measured-vs-paper
+//! numbers are recorded in EXPERIMENTS.md).
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run --release -p dwrs-bench --bin experiments -- all
+//! ```
+//!
+//! or a subset, e.g. `-- e1 e13 table5`. `--quick` shrinks instance sizes
+//! (used by the integration tests to smoke-run the whole harness).
+//!
+//! Criterion microbenchmarks of the hot paths live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod exps;
+pub mod scale;
+pub mod table;
+
+pub use scale::Scale;
+
+/// All experiment ids, in run order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15", "e16", "e17", "e18", "e19", "e20", "e21",
+];
+
+/// Dispatches one experiment by id ("table5" aliases "e13").
+pub fn run_experiment(id: &str, scale: Scale) -> bool {
+    match id {
+        "e1" => exps::swor_msgs::e1_w_sweep(scale),
+        "e2" => exps::swor_msgs::e2_k_s_sweep(scale),
+        "e3" => exps::swor_msgs::e3_vs_naive(scale),
+        "e4" => exps::correctness::e4_inclusion(scale),
+        "e5" => exps::swr_exp::e5_swr(scale),
+        "e6" => exps::levels::e6_level_invariants(scale),
+        "e7" => exps::epochs::e7_epoch_count(scale),
+        "e8" => exps::precision_exp::e8_bits(scale),
+        "e9" => exps::rhh::e9_recall(scale),
+        "e10" => exps::rhh::e10_messages(scale),
+        "e11" => exps::rhh::e11_lower_bound(scale),
+        "e12" => exps::l1_exp::e12_accuracy(scale),
+        "e13" | "table5" => exps::l1_exp::e13_table5(scale),
+        "e14" => exps::l1_exp::e14_lower_bound(scale),
+        "e15" => exps::levels::e15_ablation_no_levels(scale),
+        "e16" => exps::levels::e16_ablation_r(scale),
+        "e17" => exps::robust::e17_delay(scale),
+        "e18" => exps::window::e18_sliding_window(scale),
+        "e19" => exps::l1_exp::e19_piggyback(scale),
+        "e20" => exps::levels::e20_capacity_factor(scale),
+        "e21" => exps::robust::e21_partitioning(scale),
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,138 @@
+//! Minimal dependency-free argument parsing.
+
+use std::collections::BTreeMap;
+
+/// Usage banner.
+pub const USAGE: &str = "\
+usage: dwrs <command> [--flag value ...]
+
+commands:
+  sample       run distributed weighted SWOR over a synthetic stream
+               flags: --n --k --s --workload --seed --partition --latency
+  workload     print a generated workload as CSV (id,weight)
+               flags: --kind --n --seed
+  track-l1     compare the L1 trackers on a unit stream
+               flags: --n --k --eps --seed
+  residual-hh  track residual heavy hitters on a skewed stream
+               flags: --n --k --eps --delta --top --seed
+
+workload kinds: unit | uniform:<lo>,<hi> | zipf:<alpha> | pareto:<alpha>
+                | lognormal:<mu>,<sigma> | residual_skew:<top>
+partitions:     roundrobin | random | single:<i> | skewed:<hot>";
+
+/// Parse failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed command line: a command plus `--key value` flags.
+#[derive(Clone, Debug)]
+pub struct Parsed {
+    /// The subcommand.
+    pub command: String,
+    /// Flag map (keys without the leading dashes).
+    pub flags: BTreeMap<String, String>,
+}
+
+impl Parsed {
+    /// String flag with default.
+    pub fn str_or(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Integer flag with default.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key} expects an integer, got '{v}'"))),
+        }
+    }
+
+    /// Float flag with default.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key} expects a number, got '{v}'"))),
+        }
+    }
+}
+
+/// Parses `argv` (without the program name) into a [`Parsed`].
+pub fn parse_args(argv: &[String]) -> Result<Parsed, ArgError> {
+    let mut it = argv.iter();
+    let command = it
+        .next()
+        .ok_or_else(|| ArgError("missing command".into()))?
+        .clone();
+    if command.starts_with("--") {
+        return Err(ArgError(format!("expected a command, got flag '{command}'")));
+    }
+    let mut flags = BTreeMap::new();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| ArgError(format!("expected --flag, got '{flag}'")))?;
+        let value = it
+            .next()
+            .ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(Parsed { command, flags })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let p = parse_args(&argv("sample --n 100 --k 4")).unwrap();
+        assert_eq!(p.command, "sample");
+        assert_eq!(p.u64_or("n", 0).unwrap(), 100);
+        assert_eq!(p.u64_or("k", 0).unwrap(), 4);
+        assert_eq!(p.u64_or("s", 16).unwrap(), 16);
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse_args(&argv("sample --n")).is_err());
+    }
+
+    #[test]
+    fn rejects_bare_value() {
+        assert!(parse_args(&argv("sample n 100")).is_err());
+    }
+
+    #[test]
+    fn rejects_flag_as_command() {
+        assert!(parse_args(&argv("--n 100")).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn numeric_validation() {
+        let p = parse_args(&argv("sample --eps abc")).unwrap();
+        assert!(p.f64_or("eps", 0.1).is_err());
+        let p = parse_args(&argv("sample --eps 0.25")).unwrap();
+        assert_eq!(p.f64_or("eps", 0.1).unwrap(), 0.25);
+    }
+}

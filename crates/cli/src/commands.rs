@@ -1,0 +1,316 @@
+//! Subcommand implementations.
+
+use std::io::Write;
+
+use dwrs_apps::l1::{
+    run_tracker, FolkloreTracker, HyzTracker, L1Config, L1DupTracker, L1Estimator,
+    PiggybackL1Tracker,
+};
+use dwrs_apps::residual_hh::{
+    exact_residual_heavy_hitters, recall, ResidualHeavyHitters, ResidualHhConfig,
+};
+use dwrs_core::swor::SworConfig;
+use dwrs_core::Item;
+use dwrs_sim::{assign_sites, build_swor, Partition};
+use dwrs_workloads as workloads;
+
+use crate::args::{ArgError, Parsed};
+
+/// Runs the parsed command, writing output to `out`.
+pub fn dispatch<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
+    match p.command.as_str() {
+        "sample" => cmd_sample(p, out),
+        "workload" => cmd_workload(p, out),
+        "track-l1" => cmd_track_l1(p, out),
+        "residual-hh" => cmd_residual_hh(p, out),
+        "help" | "usage" => {
+            writeln!(out, "{}", crate::args::USAGE).ok();
+            Ok(())
+        }
+        other => Err(ArgError(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Builds a workload from a `kind[:params]` spec.
+pub fn make_workload(kind: &str, n: usize, seed: u64) -> Result<Vec<Item>, ArgError> {
+    let (name, params) = match kind.split_once(':') {
+        Some((a, b)) => (a, b),
+        None => (kind, ""),
+    };
+    let nums: Vec<f64> = if params.is_empty() {
+        Vec::new()
+    } else {
+        params
+            .split(',')
+            .map(|x| {
+                x.parse::<f64>()
+                    .map_err(|_| ArgError(format!("bad workload parameter '{x}'")))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let get = |i: usize, default: f64| nums.get(i).copied().unwrap_or(default);
+    Ok(match name {
+        "unit" => workloads::unit(n),
+        "uniform" => workloads::uniform_weights(n, get(0, 1.0), get(1, 10.0), seed),
+        "zipf" => workloads::zipf_ranked(n, get(0, 1.2), seed),
+        "pareto" => workloads::pareto(n, get(0, 1.2), 1.0, seed),
+        "lognormal" => workloads::lognormal(n, get(0, 1.0), get(1, 1.0), seed),
+        "residual_skew" => workloads::residual_skew(n, get(0, 4.0).max(1.0) as usize, seed),
+        other => return Err(ArgError(format!("unknown workload kind '{other}'"))),
+    })
+}
+
+/// Parses a partition spec.
+pub fn make_partition(spec: &str) -> Result<Partition, ArgError> {
+    let (name, param) = match spec.split_once(':') {
+        Some((a, b)) => (a, b),
+        None => (spec, ""),
+    };
+    Ok(match name {
+        "roundrobin" => Partition::RoundRobin,
+        "random" => Partition::Random,
+        "single" => Partition::SingleSite(
+            param
+                .parse()
+                .map_err(|_| ArgError(format!("bad site index '{param}'")))?,
+        ),
+        "skewed" => Partition::Skewed {
+            hot: param
+                .parse()
+                .map_err(|_| ArgError(format!("bad hot fraction '{param}'")))?,
+        },
+        other => return Err(ArgError(format!("unknown partition '{other}'"))),
+    })
+}
+
+fn cmd_sample<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
+    let n = p.u64_or("n", 100_000)? as usize;
+    let k = p.u64_or("k", 8)? as usize;
+    let s = p.u64_or("s", 16)? as usize;
+    let seed = p.u64_or("seed", 42)?;
+    let latency = p.u64_or("latency", 0)?;
+    let items = make_workload(&p.str_or("workload", "uniform:1,10"), n, seed ^ 0xA5)?;
+    let partition = make_partition(&p.str_or("partition", "roundrobin"))?;
+    let total: f64 = items.iter().map(|i| i.weight).sum();
+
+    let mut runner = if latency == 0 {
+        build_swor(SworConfig::new(s, k), seed)
+    } else {
+        build_swor(SworConfig::new(s, k), seed).with_latency(latency)
+    };
+    let sites = assign_sites(partition, k, items.len(), seed ^ 0x17);
+    runner.run(sites.into_iter().zip(items));
+
+    writeln!(out, "stream: n = {n}, W = {total:.6e}, k = {k}, s = {s}").ok();
+    writeln!(out, "sample (id, weight, key):").ok();
+    for kd in runner.coordinator.sample() {
+        writeln!(
+            out,
+            "  {:>12}  {:>14.4}  {:.6e}",
+            kd.item.id, kd.item.weight, kd.key
+        )
+        .ok();
+    }
+    let m = &runner.metrics;
+    writeln!(out, "messages: total {}", m.total()).ok();
+    for (kind, count) in &m.by_kind {
+        writeln!(out, "  {kind:<16} {count}").ok();
+    }
+    writeln!(out, "bytes on the wire: {}", m.total_bytes()).ok();
+    Ok(())
+}
+
+fn cmd_workload<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
+    let n = p.u64_or("n", 1_000)? as usize;
+    let seed = p.u64_or("seed", 7)?;
+    let items = make_workload(&p.str_or("kind", "zipf:1.2"), n, seed)?;
+    writeln!(out, "id,weight").ok();
+    for it in items {
+        writeln!(out, "{},{}", it.id, it.weight).ok();
+    }
+    Ok(())
+}
+
+fn cmd_track_l1<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
+    let n = p.u64_or("n", 65_536)?;
+    let k = p.u64_or("k", 16)? as usize;
+    let eps = p.f64_or("eps", 0.1)?;
+    let seed = p.u64_or("seed", 1)?;
+    if !(0.0..0.5).contains(&eps) || eps <= 0.0 {
+        return Err(ArgError("--eps must be in (0, 0.5)".into()));
+    }
+    let stream: Vec<(usize, Item)> = (0..n)
+        .map(|i| ((i % k as u64) as usize, Item::unit(i)))
+        .collect();
+    writeln!(out, "L1 tracking: n = {n}, k = {k}, eps = {eps}").ok();
+    writeln!(
+        out,
+        "{:<42} {:>12} {:>12}",
+        "tracker", "max rel err", "messages"
+    )
+    .ok();
+    let probe = (n / 50).max(1) as usize;
+    {
+        let mut t = FolkloreTracker::new(eps, k);
+        let (e, m) = run_tracker(&mut t, &stream, probe);
+        writeln!(out, "{:<42} {:>12.4} {:>12}", t.name(), e, m).ok();
+    }
+    {
+        let mut t = HyzTracker::new(eps, k, seed);
+        let (e, m) = run_tracker(&mut t, &stream, probe);
+        writeln!(out, "{:<42} {:>12.4} {:>12}", t.name(), e, m).ok();
+    }
+    {
+        let mut cfg = L1Config::new(eps, 0.25, k);
+        let s = ((2.0 / (eps * eps)).ceil() as usize).max(8);
+        cfg.sample_size_override = Some(s);
+        cfg.dup_override = Some((s as f64 / (2.0 * eps)).ceil() as u64);
+        let mut t = L1DupTracker::new(cfg, seed);
+        let (e, m) = run_tracker(&mut t, &stream, probe);
+        writeln!(out, "{:<42} {:>12.4} {:>12}", t.name(), e, m).ok();
+    }
+    {
+        let s = ((1.0 / (eps * eps)).ceil() as usize).max(8);
+        let mut t = PiggybackL1Tracker::new(s, k, seed);
+        let (e, m) = run_tracker(&mut t, &stream, probe);
+        writeln!(out, "{:<42} {:>12.4} {:>12}", t.name(), e, m).ok();
+    }
+    Ok(())
+}
+
+fn cmd_residual_hh<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
+    let n = p.u64_or("n", 20_000)? as usize;
+    let k = p.u64_or("k", 8)? as usize;
+    let eps = p.f64_or("eps", 0.2)?;
+    let delta = p.f64_or("delta", 0.05)?;
+    let top = p.u64_or("top", 4)? as usize;
+    let seed = p.u64_or("seed", 3)?;
+    if !(0.0..1.0).contains(&eps) || eps <= 0.0 {
+        return Err(ArgError("--eps must be in (0, 1)".into()));
+    }
+    let items = workloads::residual_skew(n, top, seed);
+    let cfg = ResidualHhConfig::new(eps, delta, k);
+    writeln!(
+        out,
+        "residual heavy hitters: n = {n}, k = {k}, eps = {eps}, s = {}",
+        cfg.sample_size()
+    )
+    .ok();
+    let mut tracker = ResidualHeavyHitters::new(cfg, seed);
+    for (t, it) in items.iter().enumerate() {
+        tracker.observe(t % k, *it);
+    }
+    let got = tracker.query();
+    let want = exact_residual_heavy_hitters(&items, eps);
+    writeln!(out, "candidates (top by weight):").ok();
+    for it in got.iter().take(12) {
+        let mark = if want.contains(&it.id) { "*" } else { " " };
+        writeln!(out, "  {mark} id {:>8}  weight {:.6e}", it.id, it.weight).ok();
+    }
+    writeln!(
+        out,
+        "recall of required residual heavy hitters: {:.3} ({} required)",
+        recall(&want, &got),
+        want.len()
+    )
+    .ok();
+    writeln!(out, "messages: {}", tracker.messages()).ok();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn run_cmd(line: &str) -> (i32, String) {
+        let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let mut buf = Vec::new();
+        let code = crate::run(&argv, &mut buf);
+        (code, String::from_utf8(buf).expect("utf8"))
+    }
+
+    #[test]
+    fn sample_command_outputs_sample_and_metrics() {
+        let (code, out) = run_cmd("sample --n 5000 --k 4 --s 8 --workload zipf:1.3");
+        assert_eq!(code, 0, "output: {out}");
+        assert!(out.contains("sample (id, weight, key):"));
+        assert!(out.contains("messages: total"));
+        assert!(out.contains("bytes on the wire"));
+    }
+
+    #[test]
+    fn workload_command_emits_csv() {
+        let (code, out) = run_cmd("workload --kind unit --n 5");
+        assert_eq!(code, 0);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "id,weight");
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[1], "0,1");
+    }
+
+    #[test]
+    fn track_l1_lists_all_trackers() {
+        let (code, out) = run_cmd("track-l1 --n 4096 --k 4 --eps 0.2");
+        assert_eq!(code, 0, "output: {out}");
+        assert!(out.contains("folklore"));
+        assert!(out.contains("HYZ12"));
+        assert!(out.contains("this work"));
+        assert!(out.contains("piggyback"));
+    }
+
+    #[test]
+    fn residual_hh_reports_recall() {
+        let (code, out) = run_cmd("residual-hh --n 3000 --k 4 --eps 0.25 --top 3");
+        assert_eq!(code, 0, "output: {out}");
+        assert!(out.contains("recall of required residual heavy hitters: 1.000"));
+    }
+
+    #[test]
+    fn unknown_command_fails_with_usage() {
+        let (code, out) = run_cmd("frobnicate --n 1");
+        assert_eq!(code, 2);
+        assert!(out.contains("unknown command"));
+    }
+
+    #[test]
+    fn bad_eps_rejected() {
+        let (code, out) = run_cmd("track-l1 --eps 0.9");
+        assert_eq!(code, 2);
+        assert!(out.contains("eps"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out) = run_cmd("help");
+        assert_eq!(code, 0);
+        assert!(out.contains("usage: dwrs"));
+    }
+
+    #[test]
+    fn make_workload_specs() {
+        assert_eq!(make_workload("unit", 3, 1).unwrap().len(), 3);
+        assert!(make_workload("uniform:2,5", 10, 1).is_ok());
+        assert!(make_workload("nope", 10, 1).is_err());
+        assert!(make_workload("uniform:abc", 10, 1).is_err());
+    }
+
+    #[test]
+    fn make_partition_specs() {
+        assert_eq!(make_partition("roundrobin").unwrap(), Partition::RoundRobin);
+        assert_eq!(make_partition("single:2").unwrap(), Partition::SingleSite(2));
+        assert!(matches!(
+            make_partition("skewed:0.8").unwrap(),
+            Partition::Skewed { .. }
+        ));
+        assert!(make_partition("bogus").is_err());
+        assert!(make_partition("single:x").is_err());
+    }
+
+    #[test]
+    fn parse_then_dispatch_roundtrip() {
+        let p = parse_args(&["sample".into(), "--n".into(), "100".into()]).unwrap();
+        let mut buf = Vec::new();
+        assert!(dispatch(&p, &mut buf).is_ok());
+    }
+}

@@ -1,0 +1,41 @@
+//! # dwrs-cli
+//!
+//! Command-line driver for the distributed weighted reservoir sampling
+//! library:
+//!
+//! ```text
+//! dwrs sample      --n 100000 --k 8 --s 16 --workload zipf:1.5 --seed 42
+//! dwrs workload    --kind pareto:1.2 --n 1000 --seed 7
+//! dwrs track-l1    --n 65536 --k 64 --eps 0.1
+//! dwrs residual-hh --n 20000 --k 8 --eps 0.2
+//! ```
+//!
+//! All logic lives in this library crate so it can be unit-tested; the
+//! binary is a thin `main`.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, ArgError, Parsed};
+
+/// Entry point shared by the binary and the tests; returns the process
+/// exit code and writes human-readable output to the given writer.
+pub fn run<W: std::io::Write>(argv: &[String], out: &mut W) -> i32 {
+    let parsed = match parse_args(argv) {
+        Ok(p) => p,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            let _ = writeln!(out, "{}", args::USAGE);
+            return 2;
+        }
+    };
+    match commands::dispatch(&parsed, out) {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            2
+        }
+    }
+}

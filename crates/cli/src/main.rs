@@ -1,0 +1,7 @@
+//! `dwrs` binary: thin wrapper over the tested library entry point.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    std::process::exit(dwrs_cli::run(&argv, &mut stdout));
+}

@@ -1,0 +1,186 @@
+//! Efraimidis–Spirakis sequential weighted SWOR (reference [18] of the
+//! paper, *"Weighted random sampling with a reservoir"*, IPL 2006).
+//!
+//! Two variants:
+//!
+//! * [`ARes`] — the basic algorithm: each item gets key `u^{1/w}` with
+//!   `u ~ Uniform(0,1)`; the sample is the `s` items with the largest keys.
+//! * [`AExpJ`] — the exponential-jumps variant: distributionally identical,
+//!   but instead of drawing a key per item it draws how much *weight* to
+//!   skip until the next reservoir insertion, needing O(s·log(n/s)) random
+//!   draws in expectation.
+//!
+//! Note `u^{1/w}` and `w/t` (the paper's exponential keys) induce the same
+//! sample distribution: `-ln(u)/w` is Exp(rate w), so ordering by largest
+//! `u^{1/w}` equals ordering by smallest `Exp(w)` equals ordering by largest
+//! `w/t`.
+
+use super::StreamSampler;
+use crate::item::{Item, Keyed};
+use crate::rng::Rng;
+use crate::topk::TopK;
+
+/// A-Res: one key per item, keep top-`s`.
+#[derive(Debug)]
+pub struct ARes {
+    topk: TopK,
+    rng: Rng,
+    observed: u64,
+}
+
+impl ARes {
+    /// Creates a sampler of size `s` with the given seed.
+    pub fn new(s: usize, seed: u64) -> Self {
+        Self {
+            topk: TopK::new(s),
+            rng: Rng::new(seed),
+            observed: 0,
+        }
+    }
+
+    /// Current sample with keys (largest first).
+    pub fn sample_keyed(&self) -> Vec<Keyed> {
+        self.topk.sorted_desc()
+    }
+}
+
+impl StreamSampler for ARes {
+    fn observe(&mut self, item: Item) {
+        self.observed += 1;
+        let key = self.rng.open01().powf(1.0 / item.weight);
+        self.topk.offer(Keyed::new(item, key));
+    }
+
+    fn sample(&self) -> Vec<Item> {
+        self.topk.iter().map(|k| k.item).collect()
+    }
+
+    fn observed(&self) -> u64 {
+        self.observed
+    }
+}
+
+/// A-ExpJ: exponential jumps — skip a random amount of weight between
+/// reservoir updates.
+#[derive(Debug)]
+pub struct AExpJ {
+    topk: TopK,
+    rng: Rng,
+    observed: u64,
+    /// Weight remaining to skip before the next insertion (valid once the
+    /// reservoir is full).
+    skip: f64,
+    draws: u64,
+}
+
+impl AExpJ {
+    /// Creates a sampler of size `s` with the given seed.
+    pub fn new(s: usize, seed: u64) -> Self {
+        Self {
+            topk: TopK::new(s),
+            rng: Rng::new(seed),
+            observed: 0,
+            skip: 0.0,
+            draws: 0,
+        }
+    }
+
+    /// Number of random key/jump draws made so far (the quantity A-ExpJ
+    /// economizes compared to A-Res's one-per-item).
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    fn reset_skip(&mut self) {
+        // X_w = ln(r) / ln(T_w): weight to skip until next insertion, where
+        // T_w is the current smallest key in the reservoir.
+        let t_w = self.topk.min_key().expect("reservoir full");
+        let r = self.rng.open01();
+        self.skip = r.ln() / t_w.ln();
+        self.draws += 1;
+    }
+}
+
+impl StreamSampler for AExpJ {
+    fn observe(&mut self, item: Item) {
+        self.observed += 1;
+        if !self.topk.is_full() {
+            let key = self.rng.open01().powf(1.0 / item.weight);
+            self.draws += 1;
+            self.topk.offer(Keyed::new(item, key));
+            if self.topk.is_full() {
+                self.reset_skip();
+            }
+            return;
+        }
+        if item.weight < self.skip {
+            self.skip -= item.weight;
+            return;
+        }
+        // This item is inserted: its key is conditioned to beat T_w.
+        let t_w = self.topk.min_key().expect("reservoir full");
+        // key = Uniform(t_w^w, 1)^{1/w}
+        let low = t_w.powf(item.weight);
+        let key = self.rng.f64_range(low, 1.0).powf(1.0 / item.weight);
+        self.draws += 1;
+        self.topk.offer(Keyed::new(item, key));
+        self.reset_skip();
+    }
+
+    fn sample(&self) -> Vec<Item> {
+        self.topk.iter().map(|k| k.item).collect()
+    }
+
+    fn observed(&self) -> u64 {
+        self.observed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::test_util::check_swor_inclusion;
+
+    #[test]
+    fn a_res_inclusion_matches_oracle() {
+        check_swor_inclusion(&[1.0, 2.0, 3.0, 4.0, 10.0], 2, 40_000, |seed| {
+            ARes::new(2, seed.wrapping_mul(2654435761).wrapping_add(1))
+        });
+    }
+
+    #[test]
+    fn a_expj_inclusion_matches_oracle() {
+        check_swor_inclusion(&[1.0, 2.0, 3.0, 4.0, 10.0], 2, 40_000, |seed| {
+            AExpJ::new(2, seed.wrapping_mul(0x9E3779B9).wrapping_add(7))
+        });
+    }
+
+    #[test]
+    fn a_expj_uses_fewer_draws_on_long_streams() {
+        let n = 20_000u64;
+        let mut expj = AExpJ::new(8, 3);
+        for i in 0..n {
+            expj.observe(Item::new(i, 1.0 + (i % 5) as f64));
+        }
+        assert_eq!(expj.observed(), n);
+        // A-Res would draw n times; ExpJ should be ~ s*log(n/s) << n.
+        assert!(
+            expj.draws() < n / 10,
+            "draws {} not sublinear",
+            expj.draws()
+        );
+    }
+
+    #[test]
+    fn sample_size_is_min_n_s() {
+        let mut r = ARes::new(5, 1);
+        for i in 0..3u64 {
+            r.observe(Item::new(i, 1.0));
+        }
+        assert_eq!(r.sample().len(), 3);
+        for i in 3..10u64 {
+            r.observe(Item::new(i, 1.0));
+        }
+        assert_eq!(r.sample().len(), 5);
+    }
+}

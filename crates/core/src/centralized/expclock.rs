@@ -1,0 +1,107 @@
+//! Exponential-clock weighted SWOR — the centralized version of the paper's
+//! own precision-sampling scheme (Proposition 1).
+//!
+//! Keys are `v = w/t`, `t ~ Exp(1)`; keep the top-`s`. This is the exact key
+//! distribution used by the distributed algorithm, so it is the canonical
+//! reference when testing distributional equality between the distributed
+//! protocol and a centralized run.
+
+use super::StreamSampler;
+use crate::item::{Item, Keyed};
+use crate::keys::assign_key;
+use crate::rng::Rng;
+use crate::topk::TopK;
+
+/// Centralized precision-sampling SWOR.
+#[derive(Debug)]
+pub struct ExpClockSwor {
+    topk: TopK,
+    rng: Rng,
+    observed: u64,
+}
+
+impl ExpClockSwor {
+    /// Creates a sampler of size `s` with the given seed.
+    pub fn new(s: usize, seed: u64) -> Self {
+        Self {
+            topk: TopK::new(s),
+            rng: Rng::new(seed),
+            observed: 0,
+        }
+    }
+
+    /// Current sample with keys, largest first.
+    pub fn sample_keyed(&self) -> Vec<Keyed> {
+        self.topk.sorted_desc()
+    }
+
+    /// The s-th largest key (0 until the reservoir is full) — the statistic
+    /// the L1 tracker concentrates on.
+    pub fn u(&self) -> f64 {
+        self.topk.u()
+    }
+}
+
+impl StreamSampler for ExpClockSwor {
+    fn observe(&mut self, item: Item) {
+        self.observed += 1;
+        let keyed = assign_key(item, &mut self.rng);
+        self.topk.offer(keyed);
+    }
+
+    fn sample(&self) -> Vec<Item> {
+        self.topk.iter().map(|k| k.item).collect()
+    }
+
+    fn observed(&self) -> u64 {
+        self.observed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::test_util::check_swor_inclusion;
+
+    #[test]
+    fn inclusion_matches_oracle() {
+        check_swor_inclusion(&[5.0, 1.0, 1.0, 2.0, 8.0], 2, 40_000, |seed| {
+            ExpClockSwor::new(2, seed.wrapping_mul(6364136223846793005).wrapping_add(3))
+        });
+    }
+
+    #[test]
+    fn u_zero_until_full_then_positive() {
+        let mut s = ExpClockSwor::new(3, 4);
+        s.observe(Item::new(0, 1.0));
+        s.observe(Item::new(1, 1.0));
+        assert_eq!(s.u(), 0.0);
+        s.observe(Item::new(2, 1.0));
+        assert!(s.u() > 0.0);
+    }
+
+    #[test]
+    fn agrees_with_a_res_in_distribution() {
+        // Both are weighted SWOR; compare inclusion frequencies of the
+        // heaviest item across many runs.
+        let weights = [1.0, 1.0, 1.0, 6.0];
+        let trials = 30_000u64;
+        let mut hits_clock = 0u64;
+        let mut hits_ares = 0u64;
+        for t in 0..trials {
+            let mut a = ExpClockSwor::new(2, t * 2 + 1);
+            let mut b = super::super::ARes::new(2, t * 2 + 2);
+            for (i, &w) in weights.iter().enumerate() {
+                a.observe(Item::new(i as u64, w));
+                b.observe(Item::new(i as u64, w));
+            }
+            hits_clock += a.sample().iter().filter(|x| x.id == 3).count() as u64;
+            hits_ares += b.sample().iter().filter(|x| x.id == 3).count() as u64;
+        }
+        let (p1, p2) = (
+            hits_clock as f64 / trials as f64,
+            hits_ares as f64 / trials as f64,
+        );
+        assert!((p1 - p2).abs() < 0.015, "{p1} vs {p2}");
+    }
+}

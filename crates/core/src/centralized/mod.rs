@@ -1,0 +1,69 @@
+//! Centralized (single-machine) reference samplers.
+//!
+//! These are the classical sequential algorithms the paper builds on or
+//! cites. They serve three purposes here:
+//!
+//! 1. **ground truth** — the distributed samplers must agree in distribution
+//!    with these (validated statistically in tests and experiment E4);
+//! 2. **baselines** — e.g. Efraimidis–Spirakis [18] is the sequential
+//!    weighted SWOR the paper generalizes;
+//! 3. **documentation** — each module states the algorithm's origin.
+
+pub mod efraimidis;
+pub mod expclock;
+pub mod swr;
+pub mod vitter;
+
+pub use efraimidis::{AExpJ, ARes};
+pub use expclock::ExpClockSwor;
+pub use swr::OnlineWeightedSwr;
+pub use vitter::VitterR;
+
+use crate::item::Item;
+
+/// Common interface over centralized one-pass samplers.
+pub trait StreamSampler {
+    /// Feeds the next stream item.
+    fn observe(&mut self, item: Item);
+    /// Returns the current sample (order unspecified).
+    fn sample(&self) -> Vec<Item>;
+    /// Number of items observed so far.
+    fn observed(&self) -> u64;
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::StreamSampler;
+    use crate::exact::inclusion_probabilities;
+    use crate::item::Item;
+
+    /// Runs `trials` independent executions of a sampler factory over
+    /// `weights` and checks empirical inclusion frequencies against the
+    /// exact oracle within 6 standard errors.
+    pub fn check_swor_inclusion<F, S>(weights: &[f64], s: usize, trials: u32, mut make: F)
+    where
+        F: FnMut(u64) -> S,
+        S: StreamSampler,
+    {
+        let exact = inclusion_probabilities(weights, s);
+        let mut counts = vec![0u64; weights.len()];
+        for trial in 0..trials {
+            let mut sampler = make(trial as u64);
+            for (i, &w) in weights.iter().enumerate() {
+                sampler.observe(Item::new(i as u64, w));
+            }
+            for it in sampler.sample() {
+                counts[it.id as usize] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / trials as f64;
+            let p = exact[i];
+            let se = (p * (1.0 - p) / trials as f64).sqrt().max(1e-9);
+            assert!(
+                (emp - p).abs() < 6.0 * se + 2e-3,
+                "item {i}: empirical {emp:.4} vs exact {p:.4}"
+            );
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Centralized weighted sampling **with** replacement (Definition 2).
+//!
+//! `s` independent single-item weighted samplers: sampler `i` holds a single
+//! item and, upon arrival of `(e, w)` with running total `W`, replaces its
+//! item with probability `w/W`. Induction shows each sampler holds item `j`
+//! with probability `w_j / W` independently of the others — exactly a
+//! weighted SWR of size `s`.
+//!
+//! This is the reference distribution for the distributed SWR of Section 2.2
+//! and the baseline heavy-hitter sampler of Section 4's motivation.
+
+use super::StreamSampler;
+use crate::item::Item;
+use crate::rng::Rng;
+
+/// Online centralized weighted SWR of size `s`.
+#[derive(Debug)]
+pub struct OnlineWeightedSwr {
+    slots: Vec<Option<Item>>,
+    total: f64,
+    rng: Rng,
+    observed: u64,
+}
+
+impl OnlineWeightedSwr {
+    /// Creates a sampler with `s` independent slots.
+    pub fn new(s: usize, seed: u64) -> Self {
+        assert!(s >= 1);
+        Self {
+            slots: vec![None; s],
+            total: 0.0,
+            rng: Rng::new(seed),
+            observed: 0,
+        }
+    }
+
+    /// The with-replacement sample; `None` slots only before the first item.
+    pub fn slots(&self) -> &[Option<Item>] {
+        &self.slots
+    }
+}
+
+impl StreamSampler for OnlineWeightedSwr {
+    fn observe(&mut self, item: Item) {
+        self.observed += 1;
+        self.total += item.weight;
+        let p = item.weight / self.total;
+        for slot in &mut self.slots {
+            if self.rng.bernoulli(p) {
+                *slot = Some(item);
+            }
+        }
+    }
+
+    fn sample(&self) -> Vec<Item> {
+        self.slots.iter().flatten().copied().collect()
+    }
+
+    fn observed(&self) -> u64 {
+        self.observed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marginal_is_weight_proportional() {
+        let weights = [1.0f64, 3.0, 6.0];
+        let total: f64 = weights.iter().sum();
+        let trials = 60_000u64;
+        let s = 4usize;
+        let mut counts = vec![0u64; weights.len()];
+        for t in 0..trials {
+            let mut swr = OnlineWeightedSwr::new(s, t + 11);
+            for (i, &w) in weights.iter().enumerate() {
+                swr.observe(Item::new(i as u64, w));
+            }
+            for it in swr.sample() {
+                counts[it.id as usize] += 1;
+            }
+        }
+        let draws = trials * s as u64;
+        for (i, &c) in counts.iter().enumerate() {
+            let p = weights[i] / total;
+            let emp = c as f64 / draws as f64;
+            let se = (p * (1.0 - p) / draws as f64).sqrt();
+            assert!((emp - p).abs() < 6.0 * se, "item {i}: {emp} vs {p}");
+        }
+    }
+
+    #[test]
+    fn slots_are_independent_pairwise() {
+        // P(slot0 = heavy AND slot1 = heavy) should be ~ p^2.
+        let weights = [1.0f64, 1.0, 2.0];
+        let p = 0.5f64; // heavy item has weight 2 of total 4
+        let trials = 60_000u64;
+        let mut both = 0u64;
+        for t in 0..trials {
+            let mut swr = OnlineWeightedSwr::new(2, t + 5);
+            for (i, &w) in weights.iter().enumerate() {
+                swr.observe(Item::new(i as u64, w));
+            }
+            let s = swr.slots();
+            if s[0].map(|x| x.id) == Some(2) && s[1].map(|x| x.id) == Some(2) {
+                both += 1;
+            }
+        }
+        let emp = both as f64 / trials as f64;
+        let expect = p * p;
+        let se = (expect * (1.0 - expect) / trials as f64).sqrt();
+        assert!((emp - expect).abs() < 6.0 * se, "{emp} vs {expect}");
+    }
+
+    #[test]
+    fn sample_can_repeat_items() {
+        // With replacement: a dominant item should appear multiple times.
+        let mut swr = OnlineWeightedSwr::new(8, 3);
+        swr.observe(Item::new(0, 1.0));
+        swr.observe(Item::new(1, 1e9));
+        let sample = swr.sample();
+        let heavy = sample.iter().filter(|x| x.id == 1).count();
+        assert!(heavy >= 7, "heavy item appeared only {heavy} times");
+    }
+}

@@ -1,0 +1,92 @@
+//! Vitter's Algorithm R — classic unweighted reservoir sampling (reference
+//! [33] of the paper; the "reservoir sampling" the paper generalizes).
+//!
+//! Maintains a uniform sample without replacement of size `s`: item `t > s`
+//! replaces a uniformly random reservoir slot with probability `s/t`.
+
+use super::StreamSampler;
+use crate::item::Item;
+use crate::rng::Rng;
+
+/// Algorithm R reservoir sampler (unweighted SWOR).
+#[derive(Debug)]
+pub struct VitterR {
+    reservoir: Vec<Item>,
+    cap: usize,
+    rng: Rng,
+    observed: u64,
+}
+
+impl VitterR {
+    /// Creates a reservoir of size `s`.
+    pub fn new(s: usize, seed: u64) -> Self {
+        assert!(s >= 1);
+        Self {
+            reservoir: Vec::with_capacity(s),
+            cap: s,
+            rng: Rng::new(seed),
+            observed: 0,
+        }
+    }
+}
+
+impl StreamSampler for VitterR {
+    fn observe(&mut self, item: Item) {
+        self.observed += 1;
+        if self.reservoir.len() < self.cap {
+            self.reservoir.push(item);
+            return;
+        }
+        let j = self.rng.range(self.observed);
+        if (j as usize) < self.cap {
+            self.reservoir[j as usize] = item;
+        }
+    }
+
+    fn sample(&self) -> Vec<Item> {
+        self.reservoir.clone()
+    }
+
+    fn observed(&self) -> u64 {
+        self.observed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_inclusion() {
+        let n = 10usize;
+        let s = 3usize;
+        let trials = 60_000u64;
+        let mut counts = vec![0u64; n];
+        for t in 0..trials {
+            let mut v = VitterR::new(s, t + 1);
+            for i in 0..n {
+                v.observe(Item::unit(i as u64));
+            }
+            for it in v.sample() {
+                counts[it.id as usize] += 1;
+            }
+        }
+        let p = s as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / trials as f64;
+            let se = (p * (1.0 - p) / trials as f64).sqrt();
+            assert!((emp - p).abs() < 6.0 * se, "item {i}: {emp} vs {p}");
+        }
+    }
+
+    #[test]
+    fn prefix_sample_exact() {
+        let mut v = VitterR::new(5, 1);
+        for i in 0..4u64 {
+            v.observe(Item::unit(i));
+        }
+        let mut ids: Vec<u64> = v.sample().iter().map(|x| x.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+}

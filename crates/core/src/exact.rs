@@ -1,0 +1,185 @@
+//! Exact weighted-SWOR oracle for small instances.
+//!
+//! Computes, by exhaustive dynamic programming, the exact inclusion
+//! probability of every item in a weighted sample without replacement of
+//! size `s` (Definition 1 of the paper: draw `s` times, each draw
+//! proportional to weight among the not-yet-drawn items).
+//!
+//! Used as ground truth by the statistical correctness experiments (E4): the
+//! empirical inclusion frequencies of any correct sampler must converge to
+//! these values.
+//!
+//! Complexity is `O(2^n · n)`; instances are capped at `n ≤ 20`.
+
+/// Maximum instance size accepted by the oracle.
+pub const MAX_ORACLE_ITEMS: usize = 20;
+
+/// Exact inclusion probabilities for a weighted SWOR of size `s` from
+/// `weights`.
+///
+/// Returns `p[i] = P(item i ∈ sample)`. If `s >= n` every probability is 1.
+///
+/// # Panics
+/// Panics if `weights.len() > MAX_ORACLE_ITEMS`, if any weight is
+/// non-positive, or if `s == 0`.
+pub fn inclusion_probabilities(weights: &[f64], s: usize) -> Vec<f64> {
+    let n = weights.len();
+    assert!(n <= MAX_ORACLE_ITEMS, "oracle limited to {MAX_ORACLE_ITEMS} items");
+    assert!(s >= 1, "sample size must be >= 1");
+    assert!(
+        weights.iter().all(|&w| w > 0.0 && w.is_finite()),
+        "weights must be positive and finite"
+    );
+    if s >= n {
+        return vec![1.0; n];
+    }
+    let total: f64 = weights.iter().sum();
+    // f[mask] = probability that the first popcount(mask) draws selected
+    // exactly the set `mask` (in some order).
+    let full = 1usize << n;
+    let mut f = vec![0.0f64; full];
+    f[0] = 1.0;
+    // Pre-compute subset weights incrementally: wsum[mask].
+    let mut wsum = vec![0.0f64; full];
+    for mask in 1..full {
+        let low = mask.trailing_zeros() as usize;
+        wsum[mask] = wsum[mask & (mask - 1)] + weights[low];
+    }
+    let mut incl = vec![0.0f64; n];
+    for mask in 0..full {
+        let size = mask.count_ones() as usize;
+        if size >= s || f[mask] == 0.0 {
+            if size == s {
+                // Accumulate inclusion for all members.
+                let mut m = mask;
+                while m != 0 {
+                    let i = m.trailing_zeros() as usize;
+                    incl[i] += f[mask];
+                    m &= m - 1;
+                }
+            }
+            continue;
+        }
+        let remaining = total - wsum[mask];
+        debug_assert!(remaining > 0.0);
+        // Extend by each item not in mask.
+        for (i, &w) in weights.iter().enumerate() {
+            if mask & (1 << i) == 0 {
+                f[mask | (1 << i)] += f[mask] * w / remaining;
+            }
+        }
+    }
+    incl
+}
+
+/// Exact probability that the *first* draw is item `i`: `w_i / W` — the
+/// definitional marginal used in quick sanity tests.
+pub fn first_draw_probabilities(weights: &[f64]) -> Vec<f64> {
+    let total: f64 = weights.iter().sum();
+    weights.iter().map(|&w| w / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weights_give_s_over_n() {
+        let w = vec![1.0; 6];
+        let p = inclusion_probabilities(&w, 2);
+        for &pi in &p {
+            assert!((pi - 2.0 / 6.0).abs() < 1e-12, "pi = {pi}");
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_s() {
+        let w = vec![1.0, 2.0, 3.0, 4.0, 0.5, 7.0];
+        for s in 1..=5 {
+            let p = inclusion_probabilities(&w, s);
+            let sum: f64 = p.iter().sum();
+            assert!((sum - s as f64).abs() < 1e-10, "s={s}, sum={sum}");
+        }
+    }
+
+    #[test]
+    fn s_equals_n_gives_ones() {
+        let w = vec![1.0, 5.0, 2.0];
+        let p = inclusion_probabilities(&w, 3);
+        assert_eq!(p, vec![1.0, 1.0, 1.0]);
+        let p = inclusion_probabilities(&w, 10);
+        assert_eq!(p, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn two_items_s1_closed_form() {
+        let p = inclusion_probabilities(&[1.0, 3.0], 1);
+        assert!((p[0] - 0.25).abs() < 1e-12);
+        assert!((p[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_items_s2_closed_form() {
+        // Weights 1,1,2 (W=4); P(item 2 of weight 2 in sample of 2):
+        // 1 - P(2 not drawn in 2 draws)
+        // P(not) = sum over first picks i in {0,1}: (w_i/4)*(w_other/(4-w_i))
+        // = (1/4)*(1/3) + (1/4)*(1/3) = 1/6. So p2 = 5/6.
+        let p = inclusion_probabilities(&[1.0, 1.0, 2.0], 2);
+        assert!((p[2] - 5.0 / 6.0).abs() < 1e-12, "p2 = {}", p[2]);
+        assert!((p[0] - p[1]).abs() < 1e-12);
+        assert!((p[0] - (2.0 - 5.0 / 6.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_weight() {
+        let w = vec![0.5, 1.0, 2.0, 4.0, 8.0];
+        let p = inclusion_probabilities(&w, 2);
+        for i in 1..w.len() {
+            assert!(p[i] > p[i - 1], "inclusion not monotone at {i}");
+        }
+    }
+
+    #[test]
+    fn matches_monte_carlo() {
+        let w = [3.0, 1.0, 1.0, 5.0, 2.0];
+        let s = 2;
+        let p = inclusion_probabilities(&w, s);
+        let mut rng = crate::rng::Rng::new(77);
+        let trials = 200_000;
+        let mut counts = [0u64; 5];
+        for _ in 0..trials {
+            // Simulate definitional SWOR.
+            let mut avail: Vec<usize> = (0..w.len()).collect();
+            for _ in 0..s {
+                let tot: f64 = avail.iter().map(|&i| w[i]).sum();
+                let mut x = rng.f64() * tot;
+                let mut pick = avail.len() - 1;
+                for (j, &i) in avail.iter().enumerate() {
+                    if x < w[i] {
+                        pick = j;
+                        break;
+                    }
+                    x -= w[i];
+                }
+                counts[avail[pick]] += 1;
+                avail.remove(pick);
+            }
+        }
+        for i in 0..w.len() {
+            let emp = counts[i] as f64 / trials as f64;
+            let se = (p[i] * (1.0 - p[i]) / trials as f64).sqrt();
+            assert!(
+                (emp - p[i]).abs() < 6.0 * se + 1e-4,
+                "item {i}: emp {emp} vs exact {}",
+                p[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn oversize_instance_rejected() {
+        let w = vec![1.0; 21];
+        let _ = inclusion_probabilities(&w, 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Stream item types.
+//!
+//! A stream item is a pair `(e, w)` of an identifier and a positive weight
+//! (paper, Section 1). Identifiers may repeat across and within streams; each
+//! occurrence is sampled as if it were a distinct item, so the sampling
+//! machinery additionally tags occurrences with arrival sequence numbers
+//! where a total order is needed.
+
+/// Identifier of a stream item. The paper assumes identifiers fit in O(1)
+/// machine words; we use a `u64`. Applications with richer keys intern them.
+pub type ItemId = u64;
+
+/// A weighted stream item `(e, w)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Item {
+    /// Item identifier `e`.
+    pub id: ItemId,
+    /// Positive weight `w`. The paper assumes `w >= 1` w.l.o.g. (weights can
+    /// be pre-scaled); the algorithms here only require `w > 0` and finite.
+    pub weight: f64,
+}
+
+impl Item {
+    /// Creates an item, validating the weight.
+    ///
+    /// # Panics
+    /// Panics if `weight` is not strictly positive and finite.
+    pub fn new(id: ItemId, weight: f64) -> Self {
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "item weight must be positive and finite, got {weight}"
+        );
+        Self { id, weight }
+    }
+
+    /// Creates a unit-weight item (the unweighted special case).
+    pub fn unit(id: ItemId) -> Self {
+        Self { id, weight: 1.0 }
+    }
+}
+
+/// An item together with its precision-sampling key `v = w/t`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Keyed {
+    /// The underlying item.
+    pub item: Item,
+    /// The key `v = w/t`, `t ~ Exp(1)`. Larger keys win.
+    pub key: f64,
+}
+
+impl Keyed {
+    /// Bundles an item with a key.
+    pub fn new(item: Item, key: f64) -> Self {
+        Self { item, key }
+    }
+}
+
+/// Sums weights of a slice of items (used pervasively by tests/oracles).
+pub fn total_weight(items: &[Item]) -> f64 {
+    items.iter().map(|it| it.weight).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_construction() {
+        let it = Item::new(7, 2.5);
+        assert_eq!(it.id, 7);
+        assert_eq!(it.weight, 2.5);
+        assert_eq!(Item::unit(3).weight, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let _ = Item::new(1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nan_weight_rejected() {
+        let _ = Item::new(1, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn inf_weight_rejected() {
+        let _ = Item::new(1, f64::INFINITY);
+    }
+
+    #[test]
+    fn total_weight_sums() {
+        let items = vec![Item::new(0, 1.0), Item::new(1, 2.0), Item::new(2, 3.5)];
+        assert!((total_weight(&items) - 6.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,156 @@
+//! Precision-sampling keys (paper Section 3, Proposition 1).
+//!
+//! Every item `(e, w)` is assigned a key `v = w/t` with `t ~ Exp(1)` drawn
+//! independently. The items holding the `s` largest keys form a weighted
+//! sample **without replacement** of the stream — this is the Nagaraja /
+//! Andoni–Krauthgamer–Onak precision-sampling identity the whole paper rests
+//! on.
+//!
+//! Useful facts implemented here:
+//!
+//! * `1/v` is exponential with rate `w`, so
+//!   `P(v > θ) = P(t < w/θ) = 1 - e^{-w/θ}`;
+//! * conditioned on `v > θ`, `t` is a truncated exponential on `(0, w/θ)`,
+//!   which we can sample by inversion — this powers the *batched*
+//!   duplication used by the L1 tracker without changing any distribution.
+
+use crate::item::{Item, Keyed};
+use crate::rng::Rng;
+
+/// Draws the key `v = w/t`, `t ~ Exp(1)`, for weight `weight`.
+#[inline]
+pub fn key_for(weight: f64, rng: &mut Rng) -> f64 {
+    debug_assert!(weight > 0.0);
+    let t = rng.exp();
+    // t is strictly positive (open01 underneath), so the key is finite.
+    weight / t
+}
+
+/// Attaches a fresh key to an item.
+#[inline]
+pub fn assign_key(item: Item, rng: &mut Rng) -> Keyed {
+    Keyed::new(item, key_for(item.weight, rng))
+}
+
+/// Probability that a fresh key for `weight` exceeds `threshold`:
+/// `P(w/t > θ) = 1 - e^{-w/θ}`. For `threshold <= 0` this is 1.
+#[inline]
+pub fn p_key_above(weight: f64, threshold: f64) -> f64 {
+    debug_assert!(weight > 0.0);
+    if threshold <= 0.0 {
+        return 1.0;
+    }
+    -(-weight / threshold).exp_m1()
+}
+
+/// Draws a key for `weight` **conditioned on exceeding `threshold`**.
+///
+/// Inversion on the truncated exponential: with `p = 1 - e^{-w/θ}` and
+/// `U ~ Uniform(0,1)`, `t = -ln(1 - U·p)` is Exp(1) conditioned on
+/// `t < w/θ`, hence `w/t > θ`. Falls back to an unconditioned draw when
+/// `threshold <= 0`.
+pub fn key_above(weight: f64, threshold: f64, rng: &mut Rng) -> f64 {
+    debug_assert!(weight > 0.0);
+    if threshold <= 0.0 {
+        return key_for(weight, rng);
+    }
+    let p = p_key_above(weight, threshold);
+    let u = rng.open01();
+    // 1 - U*p in (1-p, 1); ln is negative, t in (0, w/θ).
+    let t = -(-u * p).ln_1p();
+    let t = t.max(f64::MIN_POSITIVE);
+    let v = weight / t;
+    // Numeric guard: inversion can land exactly on the boundary after
+    // rounding; nudge into the valid region so callers' invariants hold.
+    if v > threshold {
+        v
+    } else {
+        threshold * (1.0 + 1e-15) + f64::MIN_POSITIVE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_is_positive_finite() {
+        let mut rng = Rng::new(1);
+        for _ in 0..10_000 {
+            let v = key_for(3.5, &mut rng);
+            assert!(v > 0.0 && v.is_finite());
+        }
+    }
+
+    #[test]
+    fn p_key_above_matches_empirical() {
+        let mut rng = Rng::new(2);
+        let (w, theta) = (2.0, 5.0);
+        let p = p_key_above(w, theta);
+        let n = 400_000;
+        let hits = (0..n)
+            .filter(|_| key_for(w, &mut rng) > theta)
+            .count() as f64;
+        let emp = hits / n as f64;
+        let se = (p * (1.0 - p) / n as f64).sqrt();
+        assert!((emp - p).abs() < 6.0 * se, "emp {emp} vs p {p}");
+    }
+
+    #[test]
+    fn p_key_above_zero_threshold_is_one() {
+        assert_eq!(p_key_above(1.0, 0.0), 1.0);
+        assert_eq!(p_key_above(1.0, -3.0), 1.0);
+    }
+
+    #[test]
+    fn conditional_key_exceeds_threshold() {
+        let mut rng = Rng::new(3);
+        for _ in 0..50_000 {
+            let v = key_above(1.5, 10.0, &mut rng);
+            assert!(v > 10.0, "conditional key {v} <= threshold");
+        }
+    }
+
+    #[test]
+    fn conditional_key_matches_rejection_sampling() {
+        // KS-style comparison between inversion and naive rejection on the
+        // conditional distribution of the key above a threshold.
+        let (w, theta) = (2.0, 3.0);
+        let n = 40_000usize;
+        let mut rng = Rng::new(4);
+        let mut inv: Vec<f64> = (0..n).map(|_| key_above(w, theta, &mut rng)).collect();
+        let mut rej = Vec::with_capacity(n);
+        while rej.len() < n {
+            let v = key_for(w, &mut rng);
+            if v > theta {
+                rej.push(v);
+            }
+        }
+        inv.sort_by(f64::total_cmp);
+        rej.sort_by(f64::total_cmp);
+        // Two-sample KS statistic.
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut d: f64 = 0.0;
+        while i < n && j < n {
+            if inv[i] <= rej[j] {
+                i += 1;
+            } else {
+                j += 1;
+            }
+            d = d.max(((i as f64 - j as f64) / n as f64).abs());
+        }
+        // Critical value at alpha=0.001 for two-sample KS: ~1.95*sqrt(2/n).
+        let crit = 1.95 * (2.0 / n as f64).sqrt();
+        assert!(d < crit, "KS statistic {d} >= {crit}");
+    }
+
+    #[test]
+    fn mean_of_inverse_key_is_one_over_weight() {
+        // 1/v = t/w is Exp(rate w), mean 1/w.
+        let mut rng = Rng::new(5);
+        let w = 4.0;
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| 1.0 / key_for(w, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / w).abs() < 0.003, "mean {mean}");
+    }
+}

@@ -1,0 +1,53 @@
+//! # dwrs-core
+//!
+//! Core algorithms for **weighted reservoir sampling from distributed
+//! streams**, reproducing Jayaram, Sharma, Tirthapura and Woodruff,
+//! *"Weighted Reservoir Sampling from Distributed Streams"*, PODS 2019
+//! (arXiv:1904.04126).
+//!
+//! The model: `k` physically distributed *sites* each observe a local stream
+//! of weighted items `(e, w)` and communicate with a single *coordinator*,
+//! which must **continuously** maintain a weighted random sample of size `s`
+//! over the union of all streams. The cost metric is the number of messages.
+//!
+//! The flagship algorithm ([`swor`]) maintains a weighted sample **without
+//! replacement** using an expected `O(k·log(W/s)/log(1+k/s))` messages, which
+//! is optimal. It combines three ingredients from the paper:
+//!
+//! * **precision sampling** ([`keys`], [`precision`]): every item gets a key
+//!   `v = w/t` with `t ~ Exp(1)`; the top-`s` keys form a weighted SWOR
+//!   (Proposition 1);
+//! * **epochs**: the coordinator broadcasts a geometrically growing key
+//!   threshold `r^j` (with `r = max(2, k/s)`) under which sites filter;
+//! * **level sets** ([`swor::levels`]): heavy items are withheld from the
+//!   internal sampler until enough same-magnitude items arrive (Lemma 1),
+//!   while still being included in every query answer.
+//!
+//! Also provided: the weighted sampling-**with**-replacement reduction
+//! ([`swr`], Corollary 1), unweighted distributed samplers used as substrates
+//! and baselines ([`unweighted`]), centralized reference samplers
+//! ([`centralized`]), an exact small-instance oracle ([`exact`]), and the
+//! deterministic math/RNG substrate ([`math`], [`rng`]).
+//!
+//! Everything is deterministic given a seed: the crate deliberately has no
+//! runtime dependencies.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod centralized;
+pub mod estimate;
+pub mod exact;
+pub mod item;
+pub mod keys;
+pub mod math;
+pub mod merge;
+pub mod precision;
+pub mod rng;
+pub mod swor;
+pub mod swr;
+pub mod topk;
+pub mod unweighted;
+
+pub use item::{Item, ItemId, Keyed};
+pub use rng::Rng;

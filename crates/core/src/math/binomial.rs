@@ -1,0 +1,214 @@
+//! Exact Binomial(n, p) sampling.
+//!
+//! Needed by the weighted-SWR duplication reduction (Section 2.2 of the
+//! paper: decide how many of the `s` independent samplers receive a
+//! duplicated item in one shot) and by the batched L1-tracking duplication.
+//! Three exact regimes:
+//!
+//! * tiny `n`: direct Bernoulli counting;
+//! * small mean (`n·p ≤ 10`): geometric-skip (BG) inversion;
+//! * otherwise: Hörmann's BTRS transformed-rejection sampler, exact and
+//!   O(1) expected time.
+
+use crate::math::special::ln_gamma;
+use crate::rng::Rng;
+
+/// Draws an exact Binomial(n, p) variate.
+pub fn binomial(rng: &mut Rng, n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p) || p.is_nan(), "p must be in [0,1], got {p}");
+    assert!(!p.is_nan(), "p must not be NaN");
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if p > 0.5 {
+        return n - binomial_le_half(rng, n, 1.0 - p);
+    }
+    binomial_le_half(rng, n, p)
+}
+
+fn binomial_le_half(rng: &mut Rng, n: u64, p: f64) -> u64 {
+    debug_assert!(p > 0.0 && p <= 0.5);
+    let mean = n as f64 * p;
+    if n <= 64 {
+        direct(rng, n, p)
+    } else if mean <= 10.0 {
+        geometric_skip(rng, n, p)
+    } else {
+        btrs(rng, n, p)
+    }
+}
+
+/// n independent Bernoulli trials.
+fn direct(rng: &mut Rng, n: u64, p: f64) -> u64 {
+    let mut c = 0;
+    for _ in 0..n {
+        if rng.f64() < p {
+            c += 1;
+        }
+    }
+    c
+}
+
+/// BG algorithm: skip over failures with geometric jumps. Exact; expected
+/// time O(n·p + 1).
+fn geometric_skip(rng: &mut Rng, n: u64, p: f64) -> u64 {
+    let lq = (-p).ln_1p(); // ln(1 - p), stable for small p
+    debug_assert!(lq < 0.0);
+    let mut count = 0u64;
+    let mut trials = 0u64;
+    loop {
+        // Geometric(p) number of trials to next success (support 1, 2, ...).
+        let g = (rng.open01().ln() / lq).floor() as u64 + 1;
+        trials = trials.saturating_add(g);
+        if trials > n {
+            return count;
+        }
+        count += 1;
+    }
+}
+
+/// BTRS: binomial transformed rejection with squeeze (Hörmann 1993). Exact
+/// for `n·p ≥ 10`, `p ≤ 0.5`.
+fn btrs(rng: &mut Rng, n: u64, p: f64) -> u64 {
+    let nf = n as f64;
+    let q = 1.0 - p;
+    let spq = (nf * p * q).sqrt();
+    let b = 1.15 + 2.53 * spq;
+    let a = -0.0873 + 0.0248 * b + 0.01 * p;
+    let c = nf * p + 0.5;
+    let v_r = 0.92 - 4.2 / b;
+    let us_vr = 0.86 * v_r;
+    let alpha = (2.83 + 5.1 / b) * spq;
+    let lpq = (p / q).ln();
+    let m = ((nf + 1.0) * p).floor();
+    let h = ln_gamma(m + 1.0) + ln_gamma(nf - m + 1.0);
+    loop {
+        let mut v = rng.f64();
+        let u: f64;
+        if v <= us_vr {
+            // Inside the "safe" region: accept immediately.
+            u = v / v_r - 0.43;
+            let k = ((2.0 * a / (0.5 - u.abs()) + b) * u + c).floor();
+            if k >= 0.0 && k <= nf {
+                return k as u64;
+            }
+            continue;
+        }
+        if v >= v_r {
+            u = rng.f64() - 0.5;
+        } else {
+            let w = v / v_r - 0.93;
+            u = if w < 0.0 { -0.5 - w } else { 0.5 - w };
+            v = rng.f64() * v_r;
+        }
+        let us = 0.5 - u.abs();
+        if us < 0.013 && v > us {
+            continue;
+        }
+        let k = ((2.0 * a / us + b) * u + c).floor();
+        if k < 0.0 || k > nf {
+            continue;
+        }
+        let accept_ln =
+            (v * alpha / (a / (us * us) + b)).ln();
+        let target =
+            h - ln_gamma(k + 1.0) - ln_gamma(nf - k + 1.0) + (k - m) * lpq;
+        if accept_ln <= target {
+            return k as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_moments(n: u64, p: f64, trials: u32, seed: u64) {
+        let mut rng = Rng::new(seed);
+        let mut sum = 0.0f64;
+        let mut sumsq = 0.0f64;
+        for _ in 0..trials {
+            let x = binomial(&mut rng, n, p) as f64;
+            assert!(x <= n as f64);
+            sum += x;
+            sumsq += x * x;
+        }
+        let t = trials as f64;
+        let mean = sum / t;
+        let var = sumsq / t - mean * mean;
+        let expect_mean = n as f64 * p;
+        let expect_var = n as f64 * p * (1.0 - p);
+        // Standard error of the sample mean is sqrt(var/trials); allow 6σ.
+        let se_mean = (expect_var / t).sqrt().max(1e-9);
+        assert!(
+            (mean - expect_mean).abs() < 6.0 * se_mean + 1e-9,
+            "n={n} p={p}: mean {mean} vs {expect_mean}"
+        );
+        assert!(
+            (var - expect_var).abs() < 0.05 * expect_var + 0.05,
+            "n={n} p={p}: var {var} vs {expect_var}"
+        );
+    }
+
+    #[test]
+    fn edge_cases() {
+        let mut rng = Rng::new(1);
+        assert_eq!(binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial(&mut rng, 10, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 10, 1.0), 10);
+    }
+
+    #[test]
+    fn direct_regime_moments() {
+        check_moments(20, 0.3, 60_000, 2);
+        check_moments(50, 0.02, 60_000, 3);
+    }
+
+    #[test]
+    fn geometric_skip_regime_moments() {
+        check_moments(10_000, 0.0005, 60_000, 4);
+        check_moments(500, 0.01, 60_000, 5);
+    }
+
+    #[test]
+    fn btrs_regime_moments() {
+        check_moments(1_000, 0.2, 60_000, 6);
+        check_moments(100_000, 0.47, 30_000, 7);
+    }
+
+    #[test]
+    fn symmetry_regime_moments() {
+        check_moments(1_000, 0.8, 60_000, 8);
+        check_moments(40, 0.95, 60_000, 9);
+    }
+
+    #[test]
+    fn btrs_pmf_chi_square_like_check() {
+        // Compare empirical frequencies of Binomial(200, 0.25) on a coarse
+        // grid against exact pmf; a gross distribution bug would fail this.
+        let n = 200u64;
+        let p = 0.25f64;
+        let trials = 200_000u32;
+        let mut rng = Rng::new(10);
+        let mut counts = std::collections::BTreeMap::new();
+        for _ in 0..trials {
+            *counts.entry(binomial(&mut rng, n, p)).or_insert(0u64) += 1;
+        }
+        // exact pmf at mode +- 3
+        let mode = ((n + 1) as f64 * p).floor() as u64;
+        for k in mode.saturating_sub(3)..=mode + 3 {
+            let ln_pmf = crate::math::ln_choose(n, k)
+                + k as f64 * p.ln()
+                + (n - k) as f64 * (1.0 - p).ln();
+            let expect = ln_pmf.exp() * trials as f64;
+            let got = *counts.get(&k).unwrap_or(&0) as f64;
+            assert!(
+                (got - expect).abs() < 6.0 * expect.sqrt() + 6.0,
+                "k={k}: got {got}, expect {expect}"
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Mergeability of keyed weighted samples.
+//!
+//! Precision-sampling samples are *mergeable*: if `A` is the top-`s` keyed
+//! sample of stream 1 and `B` the top-`s` keyed sample of a disjoint stream
+//! 2 (keys drawn independently), then the top-`s` of `A ∪ B` is distributed
+//! exactly as a weighted SWOR of the concatenated stream. This is the
+//! one-shot analogue of the paper's coordinator (which merges continuously)
+//! and is what makes the sketch usable in fan-in topologies — e.g. a tree
+//! of aggregators, or reconciling two coordinators after a failover.
+//!
+//! Correctness: keys are item-wise independent, so the union of the two key
+//! assignments is a valid key assignment for the union stream, and any item
+//! outside `A` (resp. `B`) is beaten by `s` items within its own stream, so
+//! it cannot be in the union's top-`s`.
+//!
+//! # Example
+//!
+//! ```
+//! use dwrs_core::centralized::{ExpClockSwor, StreamSampler};
+//! use dwrs_core::merge::merge_two;
+//! use dwrs_core::Item;
+//!
+//! // Two disjoint substreams, sampled independently...
+//! let mut east = ExpClockSwor::new(8, 1);
+//! let mut west = ExpClockSwor::new(8, 2);
+//! for i in 0..500u64 {
+//!     east.observe(Item::new(i, 1.0));
+//!     west.observe(Item::new(1_000 + i, 2.0));
+//! }
+//! // ...merge into a valid weighted SWOR of the union:
+//! let union = merge_two(&east.sample_keyed(), &west.sample_keyed(), 8);
+//! assert_eq!(union.len(), 8);
+//! ```
+
+use crate::item::Keyed;
+use crate::topk::top_s_of;
+
+/// Merges any number of keyed top-`s'` samples (each with `s' ≥ s` or
+/// covering its entire substream) into the top-`s` sample of the union.
+pub fn merge_samples(parts: &[&[Keyed]], s: usize) -> Vec<Keyed> {
+    top_s_of(parts.iter().flat_map(|p| p.iter()), s)
+}
+
+/// Merges exactly two samples (convenience wrapper).
+pub fn merge_two(a: &[Keyed], b: &[Keyed], s: usize) -> Vec<Keyed> {
+    merge_samples(&[a, b], s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::{ExpClockSwor, StreamSampler};
+    use crate::exact::inclusion_probabilities;
+    use crate::item::Item;
+
+    fn keyed_sample(weights: &[f64], base_id: u64, s: usize, seed: u64) -> Vec<Keyed> {
+        let mut sampler = ExpClockSwor::new(s, seed);
+        for (i, &w) in weights.iter().enumerate() {
+            sampler.observe(Item::new(base_id + i as u64, w));
+        }
+        sampler.sample_keyed()
+    }
+
+    #[test]
+    fn merged_sample_matches_oracle() {
+        let w1 = [1.0, 4.0, 2.0];
+        let w2 = [8.0, 1.0, 1.0, 3.0];
+        let all: Vec<f64> = w1.iter().chain(w2.iter()).copied().collect();
+        let s = 2;
+        let exact = inclusion_probabilities(&all, s);
+        let trials = 40_000u64;
+        let mut counts = vec![0u64; all.len()];
+        for t in 0..trials {
+            let a = keyed_sample(&w1, 0, s, 2 * t + 1);
+            let b = keyed_sample(&w2, w1.len() as u64, s, 2 * t + 2);
+            for kd in merge_two(&a, &b, s) {
+                counts[kd.item.id as usize] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let p = exact[i];
+            let emp = c as f64 / trials as f64;
+            let se = (p * (1.0 - p) / trials as f64).sqrt();
+            assert!(
+                (emp - p).abs() < 6.0 * se,
+                "item {i}: {emp:.4} vs exact {p:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_on_fixed_keys() {
+        let mk = |id: u64, key: f64| Keyed::new(Item::new(id, 1.0), key);
+        let a = vec![mk(1, 9.0), mk(2, 3.0)];
+        let b = vec![mk(3, 7.0), mk(4, 1.0)];
+        let c = vec![mk(5, 8.0), mk(6, 2.0)];
+        let left = merge_two(&merge_two(&a, &b, 2), &c, 2);
+        let right = merge_two(&a, &merge_two(&b, &c, 2), 2);
+        let flat = merge_samples(&[&a, &b, &c], 2);
+        let ids = |v: &[Keyed]| v.iter().map(|k| k.item.id).collect::<Vec<_>>();
+        assert_eq!(ids(&left), ids(&right));
+        assert_eq!(ids(&left), ids(&flat));
+        assert_eq!(ids(&flat), vec![1, 5]);
+    }
+
+    #[test]
+    fn merge_of_empty_parts() {
+        let a: Vec<Keyed> = Vec::new();
+        let b = vec![Keyed::new(Item::new(1, 1.0), 4.0)];
+        assert_eq!(merge_two(&a, &b, 3).len(), 1);
+        assert!(merge_samples(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn fan_in_tree_equals_flat_merge() {
+        // 4 substreams merged pairwise then at the root vs merged flat.
+        let parts: Vec<Vec<Keyed>> = (0..4u64)
+            .map(|p| keyed_sample(&[1.0, 2.0, 3.0, 4.0], p * 10, 3, 77 + p))
+            .collect();
+        let s = 3;
+        let l = merge_two(&parts[0], &parts[1], s);
+        let r = merge_two(&parts[2], &parts[3], s);
+        let root = merge_two(&l, &r, s);
+        let refs: Vec<&[Keyed]> = parts.iter().map(Vec::as_slice).collect();
+        let flat = merge_samples(&refs, s);
+        let ids = |v: &[Keyed]| v.iter().map(|k| (k.item.id, k.key.to_bits())).collect::<Vec<_>>();
+        assert_eq!(ids(&root), ids(&flat));
+    }
+}

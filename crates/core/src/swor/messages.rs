@@ -1,0 +1,84 @@
+//! Protocol messages for weighted SWOR.
+//!
+//! Every message carries O(1) machine words (Proposition 7), so counting
+//! messages equals counting words up to constants — the paper's cost model.
+
+use crate::item::Item;
+
+/// Site → coordinator messages.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum UpMsg {
+    /// An item in an unsaturated level, forwarded unfiltered and withheld
+    /// from the internal sampler ("early" message in the paper).
+    Early {
+        /// The withheld item.
+        item: Item,
+    },
+    /// A keyed item that cleared the site's current epoch threshold
+    /// ("regular" message).
+    Regular {
+        /// The item.
+        item: Item,
+        /// Its precision-sampling key `v = w/t`.
+        key: f64,
+    },
+}
+
+impl UpMsg {
+    /// Short label for metrics aggregation.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            UpMsg::Early { .. } => "early",
+            UpMsg::Regular { .. } => "regular",
+        }
+    }
+}
+
+/// Coordinator → sites broadcasts (each costs `k` messages, one per site).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DownMsg {
+    /// Level `level` has filled up; sites stop sending early messages for it.
+    LevelSaturated {
+        /// Saturated level index.
+        level: u32,
+    },
+    /// The s-th largest key crossed into `[r^j, r^(j+1))`; sites filter keys
+    /// at or below `threshold = r^j`.
+    UpdateEpoch {
+        /// New filtering threshold `r^j`.
+        threshold: f64,
+    },
+}
+
+impl DownMsg {
+    /// Short label for metrics aggregation.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DownMsg::LevelSaturated { .. } => "level_saturated",
+            DownMsg::UpdateEpoch { .. } => "update_epoch",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(UpMsg::Early { item: Item::unit(1) }.kind(), "early");
+        assert_eq!(
+            UpMsg::Regular {
+                item: Item::unit(1),
+                key: 2.0
+            }
+            .kind(),
+            "regular"
+        );
+        assert_eq!(DownMsg::LevelSaturated { level: 3 }.kind(), "level_saturated");
+        assert_eq!(
+            DownMsg::UpdateEpoch { threshold: 8.0 }.kind(),
+            "update_epoch"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Naive distributed weighted SWOR — the strawman the paper improves on.
+//!
+//! Section 1.2: *"if each site independently ran such a sampler on its
+//! input — storing the items with the s largest keys — and sent each new
+//! sample to the coordinator, who then stores the items with the overall s
+//! largest keys, one would have a correct protocol with O(ks·log W)
+//! expected communication."*
+//!
+//! Implemented verbatim: each site keeps a local top-`s` of precision keys
+//! and forwards every item that enters its local sample; the coordinator
+//! keeps the global top-`s`. No downstream messages at all. Used as the
+//! baseline of experiment E3 to exhibit the `Θ(s)` multiplicative gap.
+
+use crate::item::{Item, Keyed};
+use crate::keys::assign_key;
+use crate::rng::Rng;
+use crate::topk::{Offer, TopK};
+
+/// Site state for the naive protocol: a local top-`s`.
+#[derive(Debug)]
+pub struct NaiveSite {
+    local: TopK,
+    rng: Rng,
+    /// Messages sent by this site.
+    pub sent: u64,
+}
+
+impl NaiveSite {
+    /// Creates a site with sample size `s`.
+    pub fn new(s: usize, seed: u64) -> Self {
+        Self {
+            local: TopK::new(s),
+            rng: Rng::new(seed),
+            sent: 0,
+        }
+    }
+
+    /// Observes an item; returns the keyed item iff it entered the local
+    /// sample (and therefore must be forwarded).
+    pub fn observe(&mut self, item: Item) -> Option<Keyed> {
+        let keyed = assign_key(item, &mut self.rng);
+        match self.local.offer(keyed) {
+            Offer::Inserted | Offer::Replaced(_) => {
+                self.sent += 1;
+                Some(keyed)
+            }
+            Offer::Rejected => None,
+        }
+    }
+}
+
+/// Coordinator for the naive protocol: the global top-`s`.
+#[derive(Debug)]
+pub struct NaiveCoordinator {
+    global: TopK,
+    s: usize,
+}
+
+impl NaiveCoordinator {
+    /// Creates a coordinator with sample size `s`.
+    pub fn new(s: usize) -> Self {
+        Self {
+            global: TopK::new(s),
+            s,
+        }
+    }
+
+    /// Receives a forwarded keyed item.
+    pub fn receive(&mut self, keyed: Keyed) {
+        self.global.offer(keyed);
+    }
+
+    /// Current weighted SWOR (top-`s` keys), sorted descending by key.
+    pub fn sample(&self) -> Vec<Keyed> {
+        let mut v = self.global.sorted_desc();
+        v.truncate(self.s);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_sample_against_merge_of_sites() {
+        // The coordinator's sample must equal the top-s over all keys that
+        // ever entered any local sample; since local samples see all items
+        // and keys never change, this equals the global top-s of all keys.
+        let k = 4;
+        let s = 3;
+        let mut sites: Vec<NaiveSite> = (0..k).map(|i| NaiveSite::new(s, 100 + i)).collect();
+        let mut coord = NaiveCoordinator::new(s);
+        let mut all_keys: Vec<Keyed> = Vec::new();
+        let mut rng = Rng::new(5);
+        for t in 0..2000u64 {
+            let site = (t % k) as usize;
+            let item = Item::new(t, 1.0 + rng.f64() * 9.0);
+            // Mirror the site's key draw by intercepting the forwarded key;
+            // unforwarded keys can never be in the global top-s (they lost
+            // locally to s better keys which were forwarded).
+            if let Some(keyed) = sites[site].observe(item) {
+                all_keys.push(keyed);
+                coord.receive(keyed);
+            }
+        }
+        let mut expect = all_keys.clone();
+        expect.sort_by(|a, b| b.key.total_cmp(&a.key));
+        expect.truncate(s);
+        let got = coord.sample();
+        let gids: Vec<u64> = got.iter().map(|x| x.item.id).collect();
+        let eids: Vec<u64> = expect.iter().map(|x| x.item.id).collect();
+        assert_eq!(gids, eids);
+    }
+
+    #[test]
+    fn messages_scale_with_s_log_n() {
+        // One site, n items: expected sends ~ s * H_n ~ s ln n.
+        let s = 10usize;
+        let n = 20_000u64;
+        let mut site = NaiveSite::new(s, 3);
+        for t in 0..n {
+            site.observe(Item::new(t, 1.0));
+        }
+        let expect = s as f64 * (n as f64 / s as f64).ln() + s as f64;
+        let got = site.sent as f64;
+        assert!(
+            got > 0.4 * expect && got < 2.5 * expect,
+            "sent {got}, expected around {expect}"
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! Wire encoding of the protocol messages.
+//!
+//! The paper's accounting equates messages and machine words because every
+//! message carries O(1) words (Section 2.1, Proposition 7). This module
+//! makes that concrete: a compact, canonical byte encoding for
+//! [`UpMsg`]/[`DownMsg`] whose size is verified to stay within 4 machine
+//! words, plus exact byte metering used by the simulator.
+//!
+//! The encoding is little-endian, one discriminant byte followed by fixed
+//! fields — deliberately boring, so that sizes are predictable and the
+//! round-trip is total on valid frames.
+
+use crate::item::Item;
+
+use super::messages::{DownMsg, UpMsg};
+
+/// Frame tags.
+const TAG_EARLY: u8 = 0x01;
+const TAG_REGULAR: u8 = 0x02;
+const TAG_LEVEL_SATURATED: u8 = 0x11;
+const TAG_UPDATE_EPOCH: u8 = 0x12;
+
+/// Errors from decoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer was shorter than the frame requires.
+    Truncated,
+    /// Unknown discriminant byte.
+    BadTag(
+        /// The offending byte.
+        u8,
+    ),
+    /// A decoded numeric field was out of domain (e.g. non-positive
+    /// weight).
+    BadField,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadTag(t) => write!(f, "unknown frame tag {t:#x}"),
+            WireError::BadField => write!(f, "field out of domain"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_u64(buf: &mut Vec<u8>, x: u64) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, x: f64) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+fn get_u64(buf: &[u8], at: usize) -> Result<u64, WireError> {
+    buf.get(at..at + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        .ok_or(WireError::Truncated)
+}
+
+fn get_f64(buf: &[u8], at: usize) -> Result<f64, WireError> {
+    get_u64(buf, at).map(f64::from_bits)
+}
+
+/// Encodes an upstream message, appending to `buf`; returns the frame
+/// length in bytes.
+pub fn encode_up(msg: &UpMsg, buf: &mut Vec<u8>) -> usize {
+    let start = buf.len();
+    match *msg {
+        UpMsg::Early { item } => {
+            buf.push(TAG_EARLY);
+            put_u64(buf, item.id);
+            put_f64(buf, item.weight);
+        }
+        UpMsg::Regular { item, key } => {
+            buf.push(TAG_REGULAR);
+            put_u64(buf, item.id);
+            put_f64(buf, item.weight);
+            put_f64(buf, key);
+        }
+    }
+    buf.len() - start
+}
+
+/// Encodes a downstream message, appending to `buf`; returns the frame
+/// length in bytes.
+pub fn encode_down(msg: &DownMsg, buf: &mut Vec<u8>) -> usize {
+    let start = buf.len();
+    match *msg {
+        DownMsg::LevelSaturated { level } => {
+            buf.push(TAG_LEVEL_SATURATED);
+            buf.extend_from_slice(&level.to_le_bytes());
+        }
+        DownMsg::UpdateEpoch { threshold } => {
+            buf.push(TAG_UPDATE_EPOCH);
+            put_f64(buf, threshold);
+        }
+    }
+    buf.len() - start
+}
+
+/// Decodes one upstream frame from the front of `buf`; returns the message
+/// and the bytes consumed.
+pub fn decode_up(buf: &[u8]) -> Result<(UpMsg, usize), WireError> {
+    let tag = *buf.first().ok_or(WireError::Truncated)?;
+    match tag {
+        TAG_EARLY => {
+            let id = get_u64(buf, 1)?;
+            let weight = get_f64(buf, 9)?;
+            if !(weight > 0.0 && weight.is_finite()) {
+                return Err(WireError::BadField);
+            }
+            Ok((
+                UpMsg::Early {
+                    item: Item { id, weight },
+                },
+                17,
+            ))
+        }
+        TAG_REGULAR => {
+            let id = get_u64(buf, 1)?;
+            let weight = get_f64(buf, 9)?;
+            let key = get_f64(buf, 17)?;
+            if !(weight > 0.0 && weight.is_finite() && key > 0.0 && key.is_finite()) {
+                return Err(WireError::BadField);
+            }
+            Ok((
+                UpMsg::Regular {
+                    item: Item { id, weight },
+                    key,
+                },
+                25,
+            ))
+        }
+        other => Err(WireError::BadTag(other)),
+    }
+}
+
+/// Decodes one downstream frame from the front of `buf`.
+pub fn decode_down(buf: &[u8]) -> Result<(DownMsg, usize), WireError> {
+    let tag = *buf.first().ok_or(WireError::Truncated)?;
+    match tag {
+        TAG_LEVEL_SATURATED => {
+            let level = buf
+                .get(1..5)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+                .ok_or(WireError::Truncated)?;
+            Ok((DownMsg::LevelSaturated { level }, 5))
+        }
+        TAG_UPDATE_EPOCH => {
+            let threshold = get_f64(buf, 1)?;
+            if !(threshold > 0.0 && threshold.is_finite()) {
+                return Err(WireError::BadField);
+            }
+            Ok((DownMsg::UpdateEpoch { threshold }, 9))
+        }
+        other => Err(WireError::BadTag(other)),
+    }
+}
+
+/// Encoded size of an upstream message in bytes (no allocation).
+pub fn up_len(msg: &UpMsg) -> usize {
+    match msg {
+        UpMsg::Early { .. } => 17,
+        UpMsg::Regular { .. } => 25,
+    }
+}
+
+/// Encoded size of a downstream message in bytes.
+pub fn down_len(msg: &DownMsg) -> usize {
+    match msg {
+        DownMsg::LevelSaturated { .. } => 5,
+        DownMsg::UpdateEpoch { .. } => 9,
+    }
+}
+
+/// The paper's machine-word size assumption: Θ(log nW) bits; 8 bytes here.
+pub const WORD_BYTES: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let ups = [
+            UpMsg::Early {
+                item: Item::new(42, 3.5),
+            },
+            UpMsg::Regular {
+                item: Item::new(u64::MAX, 1e300),
+                key: 2.25e-10,
+            },
+        ];
+        for msg in ups {
+            let mut buf = Vec::new();
+            let len = encode_up(&msg, &mut buf);
+            assert_eq!(len, buf.len());
+            assert_eq!(len, up_len(&msg));
+            let (back, consumed) = decode_up(&buf).expect("decode");
+            assert_eq!(back, msg);
+            assert_eq!(consumed, len);
+        }
+        let downs = [
+            DownMsg::LevelSaturated { level: 7 },
+            DownMsg::UpdateEpoch { threshold: 1024.0 },
+        ];
+        for msg in downs {
+            let mut buf = Vec::new();
+            let len = encode_down(&msg, &mut buf);
+            assert_eq!(len, down_len(&msg));
+            let (back, consumed) = decode_down(&buf).expect("decode");
+            assert_eq!(back, msg);
+            assert_eq!(consumed, len);
+        }
+    }
+
+    #[test]
+    fn every_message_fits_in_o1_words() {
+        // Proposition 7 / Section 2.1: messages are O(1) machine words.
+        let msgs = [
+            up_len(&UpMsg::Early {
+                item: Item::new(1, 1.0),
+            }),
+            up_len(&UpMsg::Regular {
+                item: Item::new(1, 1.0),
+                key: 1.0,
+            }),
+            down_len(&DownMsg::LevelSaturated { level: 0 }),
+            down_len(&DownMsg::UpdateEpoch { threshold: 1.0 }),
+        ];
+        for len in msgs {
+            assert!(
+                len <= 4 * WORD_BYTES,
+                "frame of {len} bytes exceeds 4 machine words"
+            );
+        }
+    }
+
+    #[test]
+    fn frames_concatenate_and_stream_decode() {
+        let msgs = vec![
+            UpMsg::Early {
+                item: Item::new(1, 2.0),
+            },
+            UpMsg::Regular {
+                item: Item::new(2, 3.0),
+                key: 9.5,
+            },
+            UpMsg::Early {
+                item: Item::new(3, 4.0),
+            },
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            encode_up(m, &mut buf);
+        }
+        let mut at = 0;
+        let mut decoded = Vec::new();
+        while at < buf.len() {
+            let (m, used) = decode_up(&buf[at..]).expect("frame");
+            decoded.push(m);
+            at += used;
+        }
+        assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn truncated_and_garbage_rejected() {
+        assert_eq!(decode_up(&[]), Err(WireError::Truncated));
+        assert_eq!(decode_up(&[TAG_EARLY, 1, 2]), Err(WireError::Truncated));
+        assert_eq!(decode_up(&[0xEE]), Err(WireError::BadTag(0xEE)));
+        assert_eq!(decode_down(&[0xEE]), Err(WireError::BadTag(0xEE)));
+        // Negative weight rejected.
+        let mut buf = Vec::new();
+        buf.push(TAG_EARLY);
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&(-1.0f64).to_le_bytes());
+        assert_eq!(decode_up(&buf), Err(WireError::BadField));
+    }
+}

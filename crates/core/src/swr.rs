@@ -1,0 +1,400 @@
+//! Distributed weighted sampling **with replacement** (Section 2.2,
+//! Corollary 1).
+//!
+//! Reduction to unweighted SWR: an item `(e, w)` with integer weight `w`
+//! stands for `w` unit copies. The unweighted substrate is `s` independent
+//! single-item min-tag samplers (the structure of reference [14]): each unit
+//! copy gets an independent `Uniform(0,1)` tag per sampler, and each
+//! sampler's current sample is the item holding its minimum tag — a uniform
+//! random unit copy, i.e. item `e_i` with probability `w_i / W`.
+//!
+//! The naive reduction costs `O(w)` site work per item; the paper's
+//! **binomial trick** brings it to `O(1)` amortized:
+//!
+//! * the probability that *some* copy of `(e, w)` clears the current
+//!   threshold `τ` in one sampler is `α(w, τ) = 1 - (1-τ)^w`;
+//! * the number of samplers receiving a candidate is `X ~ Binomial(s, α)`,
+//!   drawn in one shot, and `X` distinct samplers are picked uniformly;
+//! * for each, the forwarded tag is the minimum of `w` uniforms conditioned
+//!   below `τ`, sampled exactly by inversion: `tag = 1 - (1 - V·α)^{1/w}`.
+//!
+//! The coordinator broadcasts thresholds lazily at powers of
+//! `β = 2 + k/s`, giving the `O((k + s·log s)·log W / log(2 + k/s))`
+//! message bound of Corollary 1.
+
+use crate::item::Item;
+use crate::math::binomial::binomial;
+use crate::math::{floor_log_base, powi};
+use crate::rng::Rng;
+
+/// Configuration of the distributed SWR protocol.
+#[derive(Clone, Debug)]
+pub struct SwrConfig {
+    /// Sample size `s` (number of independent single-item samplers).
+    pub sample_size: usize,
+    /// Number of sites `k`.
+    pub num_sites: usize,
+    /// Epoch base override; default `2 + k/s` (Theorem 1's `log(2+k/s)`).
+    pub beta_override: Option<f64>,
+}
+
+impl SwrConfig {
+    /// Standard configuration.
+    pub fn new(sample_size: usize, num_sites: usize) -> Self {
+        assert!(sample_size >= 1 && num_sites >= 1);
+        Self {
+            sample_size,
+            num_sites,
+            beta_override: None,
+        }
+    }
+
+    /// The epoch base `β = 2 + k/s`.
+    pub fn beta(&self) -> f64 {
+        match self.beta_override {
+            Some(b) => {
+                assert!(b > 1.0);
+                b
+            }
+            None => 2.0 + self.num_sites as f64 / self.sample_size as f64,
+        }
+    }
+}
+
+/// Site → coordinator: a candidate for one sampler instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SwrUp {
+    /// The weighted item.
+    pub item: Item,
+    /// Which of the `s` samplers this candidate targets.
+    pub instance: u32,
+    /// The candidate tag (minimum over the item's unit copies, conditioned
+    /// below the threshold in force when it was sent).
+    pub tag: f64,
+}
+
+/// Coordinator → sites: new tag threshold.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SwrDown {
+    /// Tags at or above this value are dropped at sites.
+    pub threshold: f64,
+}
+
+/// Site state of the distributed weighted SWR protocol.
+#[derive(Debug)]
+pub struct WeightedSwrSite {
+    s: usize,
+    threshold: f64,
+    rng: Rng,
+    scratch: Vec<u32>,
+    /// Candidate messages sent.
+    pub sent: u64,
+}
+
+impl WeightedSwrSite {
+    /// Creates a site from the shared configuration and a per-site seed.
+    pub fn new(cfg: &SwrConfig, seed: u64) -> Self {
+        Self {
+            s: cfg.sample_size,
+            threshold: 1.0,
+            rng: Rng::new(seed),
+            scratch: Vec::new(),
+            /* one message per candidate */
+            sent: 0,
+        }
+    }
+
+    /// Current threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Observes an item with **integer** weight; emits one candidate per
+    /// chosen sampler instance into `out`.
+    ///
+    /// # Panics
+    /// Panics if the weight is not a positive integer (the reduction
+    /// requires integral weights, as in the paper).
+    pub fn observe(&mut self, item: Item, out: &mut Vec<SwrUp>) {
+        let w = item.weight;
+        assert!(
+            w >= 1.0 && w.fract() == 0.0 && w <= 2f64.powi(53),
+            "SWR reduction requires integer weights >= 1, got {w}"
+        );
+        let tau = self.threshold;
+        // α(w, τ) = 1 - (1-τ)^w, computed stably in log-space.
+        let alpha = if tau >= 1.0 {
+            1.0
+        } else {
+            -(w * (-tau).ln_1p()).exp_m1()
+        };
+        let x = binomial(&mut self.rng, self.s as u64, alpha) as usize;
+        if x == 0 {
+            return;
+        }
+        self.choose_instances(x);
+        for i in 0..x {
+            let instance = self.scratch[i];
+            // Minimum of w uniforms conditioned < τ, by inversion:
+            // tag = 1 - (1 - V·α)^{1/w}.
+            let v = self.rng.open01();
+            let tag = -((-v * alpha).ln_1p() / w).exp_m1();
+            let tag = tag.clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON);
+            self.sent += 1;
+            out.push(SwrUp {
+                item,
+                instance,
+                tag,
+            });
+        }
+    }
+
+    /// Fills `scratch[..x]` with `x` distinct instance indices chosen
+    /// uniformly from `0..s`.
+    fn choose_instances(&mut self, x: usize) {
+        self.scratch.clear();
+        if x >= self.s {
+            self.scratch.extend(0..self.s as u32);
+            return;
+        }
+        if x * 4 >= self.s {
+            // Dense case: partial Fisher–Yates over a fresh index array.
+            let mut idx: Vec<u32> = (0..self.s as u32).collect();
+            for i in 0..x {
+                let j = i + self.rng.index(self.s - i);
+                idx.swap(i, j);
+                self.scratch.push(idx[i]);
+            }
+            return;
+        }
+        // Sparse case: Floyd's algorithm; membership scans are O(x^2) with
+        // tiny x, cheaper than hashing.
+        for j in (self.s - x)..self.s {
+            let t = self.rng.index(j + 1) as u32;
+            if self.scratch.contains(&t) {
+                self.scratch.push(j as u32);
+            } else {
+                self.scratch.push(t);
+            }
+        }
+    }
+
+    /// Applies a threshold broadcast (thresholds only shrink).
+    pub fn receive(&mut self, msg: &SwrDown) {
+        if msg.threshold < self.threshold {
+            self.threshold = msg.threshold;
+        }
+    }
+}
+
+/// Coordinator state: the `s` sampler instances plus epoch broadcasting.
+#[derive(Debug)]
+pub struct WeightedSwrCoordinator {
+    cfg: SwrConfig,
+    beta: f64,
+    winners: Vec<Option<(f64, Item)>>,
+    epoch: Option<i64>,
+    /// Threshold broadcasts issued.
+    pub broadcasts: u64,
+}
+
+impl WeightedSwrCoordinator {
+    /// Creates a coordinator.
+    pub fn new(cfg: SwrConfig) -> Self {
+        let beta = cfg.beta();
+        let s = cfg.sample_size;
+        Self {
+            cfg,
+            beta,
+            winners: vec![None; s],
+            epoch: None,
+            broadcasts: 0,
+        }
+    }
+
+    /// The largest winner tag across instances (1.0 while any instance is
+    /// still empty) — the statistic driving threshold broadcasts.
+    pub fn tau_star(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for w in &self.winners {
+            match w {
+                None => return 1.0,
+                Some((tag, _)) => worst = worst.max(*tag),
+            }
+        }
+        worst
+    }
+
+    /// Handles a candidate; may emit a threshold broadcast.
+    pub fn receive(&mut self, msg: SwrUp, out: &mut Vec<SwrDown>) {
+        let slot = &mut self.winners[msg.instance as usize];
+        let improves = match slot {
+            None => true,
+            Some((tag, _)) => msg.tag < *tag,
+        };
+        if !improves {
+            return;
+        }
+        *slot = Some((msg.tag, msg.item));
+        let tau = self.tau_star();
+        if tau < 1.0 {
+            let l = floor_log_base(self.beta, tau);
+            let e = if powi(self.beta, l) == tau { l } else { l + 1 };
+            let j = (-e).max(0);
+            if self.epoch.is_none_or(|cur| j > cur) {
+                self.epoch = Some(j);
+                self.broadcasts += 1;
+                out.push(SwrDown {
+                    threshold: powi(self.beta, -j),
+                });
+            }
+        }
+    }
+
+    /// The weighted SWR: one item per instance (instances still empty are
+    /// skipped, which only happens before the first item arrives).
+    pub fn sample(&self) -> Vec<Item> {
+        self.winners.iter().flatten().map(|(_, it)| *it).collect()
+    }
+
+    /// Sample size `s`.
+    pub fn capacity(&self) -> usize {
+        self.cfg.sample_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::mix;
+
+    fn run(
+        weights: &[f64],
+        k: usize,
+        s: usize,
+        seed: u64,
+    ) -> (WeightedSwrCoordinator, u64, u64) {
+        let cfg = SwrConfig::new(s, k);
+        let mut sites: Vec<WeightedSwrSite> = (0..k)
+            .map(|i| WeightedSwrSite::new(&cfg, mix(seed, i as u64)))
+            .collect();
+        let mut coord = WeightedSwrCoordinator::new(cfg);
+        let (mut up, mut down) = (0u64, 0u64);
+        let mut ups = Vec::new();
+        let mut downs = Vec::new();
+        for (t, &w) in weights.iter().enumerate() {
+            let site = t % k;
+            sites[site].observe(Item::new(t as u64, w), &mut ups);
+            for u in ups.drain(..) {
+                up += 1;
+                coord.receive(u, &mut downs);
+                for d in downs.drain(..) {
+                    down += k as u64;
+                    for st in &mut sites {
+                        st.receive(&d);
+                    }
+                }
+            }
+        }
+        (coord, up, down)
+    }
+
+    #[test]
+    fn sample_has_s_entries_after_first_item() {
+        let (coord, _, _) = run(&[5.0, 1.0, 2.0], 2, 6, 1);
+        assert_eq!(coord.sample().len(), 6);
+    }
+
+    #[test]
+    fn marginals_proportional_to_weight() {
+        let weights = [1.0, 3.0, 6.0, 2.0];
+        let total: f64 = weights.iter().sum();
+        let s = 4usize;
+        let trials = 30_000u64;
+        let mut counts = vec![0u64; weights.len()];
+        for t in 0..trials {
+            let (coord, _, _) = run(&weights, 2, s, 500 + t);
+            for it in coord.sample() {
+                counts[it.id as usize] += 1;
+            }
+        }
+        let draws = trials * s as u64;
+        for (i, &c) in counts.iter().enumerate() {
+            let p = weights[i] / total;
+            let emp = c as f64 / draws as f64;
+            let se = (p * (1.0 - p) / draws as f64).sqrt();
+            assert!(
+                (emp - p).abs() < 6.0 * se,
+                "item {i}: emp {emp:.4} vs p {p:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn instances_behave_independently() {
+        // P(two given instances both hold the heavy item) ~ p^2.
+        let weights = [2.0, 2.0]; // heavy = either; use item 0, p = 1/2
+        let trials = 40_000u64;
+        let mut both = 0u64;
+        for t in 0..trials {
+            let (coord, _, _) = run(&weights, 1, 2, 90_000 + t);
+            let s = coord.sample();
+            if s[0].id == 0 && s[1].id == 0 {
+                both += 1;
+            }
+        }
+        let emp = both as f64 / trials as f64;
+        let se = (0.25 * 0.75 / trials as f64).sqrt();
+        assert!((emp - 0.25).abs() < 6.0 * se, "emp {emp}");
+    }
+
+    #[test]
+    fn message_count_sublinear_in_total_weight() {
+        // Stream with large integer weights: messages must track log W, not W.
+        let n = 30_000usize;
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 + (i % 50) as f64).collect();
+        let (_, up, down) = run(&weights, 8, 8, 77);
+        let total = up + down;
+        assert!(
+            total < (n / 10) as u64,
+            "messages {total} not sublinear in n {n}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "integer weights")]
+    fn fractional_weight_rejected() {
+        let cfg = SwrConfig::new(2, 1);
+        let mut site = WeightedSwrSite::new(&cfg, 1);
+        let mut out = Vec::new();
+        site.observe(Item::new(0, 1.5), &mut out);
+    }
+
+    #[test]
+    fn choose_instances_distinct_and_in_range() {
+        let cfg = SwrConfig::new(16, 1);
+        let mut site = WeightedSwrSite::new(&cfg, 9);
+        for x in [1usize, 3, 8, 15, 16] {
+            site.choose_instances(x);
+            let mut v = site.scratch.clone();
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), x, "x = {x} produced duplicates");
+            assert!(v.iter().all(|&i| (i as usize) < 16));
+        }
+    }
+
+    #[test]
+    fn conditional_tag_stays_below_threshold() {
+        let cfg = SwrConfig::new(4, 1);
+        let mut site = WeightedSwrSite::new(&cfg, 4);
+        site.receive(&SwrDown { threshold: 0.01 });
+        let mut out = Vec::new();
+        for i in 0..20_000u64 {
+            site.observe(Item::new(i, 7.0), &mut out);
+        }
+        for msg in &out {
+            assert!(msg.tag < 0.01, "tag {} ≥ threshold", msg.tag);
+        }
+    }
+}

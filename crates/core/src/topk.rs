@@ -1,0 +1,257 @@
+//! Bounded "top-s by key" sample container — the coordinator's set `S`.
+//!
+//! A min-heap of capacity `s` retaining the items with the largest keys.
+//! Exposes the paper's threshold `u`: the smallest key in `S` once `S` is
+//! full, and `0` before that (Algorithm 2 initializes `u ← 0`).
+//!
+//! Ties are broken by an arrival sequence number so that behaviour is a
+//! deterministic function of the key sequence (keys are continuous so ties
+//! have probability 0, but determinism matters for reproducible tests).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::item::Keyed;
+
+/// Entry in the heap: key plus arrival sequence for total ordering.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    key: f64,
+    seq: u64,
+    keyed: Keyed,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Total order: primary by key, secondary by seq (later arrival wins
+        // ties, an arbitrary but fixed convention).
+        self.key
+            .total_cmp(&other.key)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// Result of offering an item to the sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Offer {
+    /// Inserted without eviction (sample was not yet full).
+    Inserted,
+    /// Inserted, evicting the previous minimum (returned).
+    Replaced(Keyed),
+    /// Rejected: key did not beat the current minimum of a full sample.
+    Rejected,
+}
+
+/// Bounded top-`s` sample keyed by `Keyed::key`.
+#[derive(Clone, Debug)]
+pub struct TopK {
+    cap: usize,
+    // Min-heap via Reverse ordering on Entry.
+    heap: BinaryHeap<std::cmp::Reverse<Entry>>,
+    seq: u64,
+}
+
+impl TopK {
+    /// Creates an empty sample with capacity `cap` (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "sample capacity must be at least 1");
+        Self {
+            cap,
+            heap: BinaryHeap::with_capacity(cap + 1),
+            seq: 0,
+        }
+    }
+
+    /// Capacity `s`.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current number of retained items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the sample holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether the sample is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.cap
+    }
+
+    /// The paper's threshold `u`: smallest retained key once full, else 0.
+    #[inline]
+    pub fn u(&self) -> f64 {
+        if self.is_full() {
+            self.min_key().unwrap_or(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Smallest retained key, if any (regardless of fullness).
+    pub fn min_key(&self) -> Option<f64> {
+        self.heap.peek().map(|r| r.0.key)
+    }
+
+    /// Offers an item; keeps the top-`cap` by key.
+    #[inline]
+    pub fn offer(&mut self, keyed: Keyed) -> Offer {
+        let entry = Entry {
+            key: keyed.key,
+            seq: self.seq,
+            keyed,
+        };
+        self.seq += 1;
+        if self.heap.len() < self.cap {
+            self.heap.push(std::cmp::Reverse(entry));
+            return Offer::Inserted;
+        }
+        // Full: compare against the minimum.
+        let min = self
+            .heap
+            .peek()
+            .expect("non-empty full heap")
+            .0;
+        if entry > min {
+            let evicted = self.heap.pop().expect("heap non-empty").0.keyed;
+            self.heap.push(std::cmp::Reverse(entry));
+            Offer::Replaced(evicted)
+        } else {
+            Offer::Rejected
+        }
+    }
+
+    /// Iterates over retained items in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Keyed> {
+        self.heap.iter().map(|r| &r.0.keyed)
+    }
+
+    /// Returns retained items sorted by decreasing key.
+    pub fn sorted_desc(&self) -> Vec<Keyed> {
+        let mut v: Vec<Keyed> = self.iter().copied().collect();
+        v.sort_by(|a, b| b.key.total_cmp(&a.key));
+        v
+    }
+}
+
+/// Merges several keyed collections and returns the global top-`s` by key
+/// (used by the coordinator's query: top-s of `S ∪ (∪_j D_j)`).
+pub fn top_s_of<'a, I>(parts: I, s: usize) -> Vec<Keyed>
+where
+    I: IntoIterator<Item = &'a Keyed>,
+{
+    let mut all: Vec<Keyed> = parts.into_iter().copied().collect();
+    all.sort_by(|a, b| b.key.total_cmp(&a.key));
+    all.truncate(s);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Item;
+
+    fn kd(id: u64, key: f64) -> Keyed {
+        Keyed::new(Item::new(id, 1.0), key)
+    }
+
+    #[test]
+    fn fills_then_evicts_minimum() {
+        let mut t = TopK::new(3);
+        assert_eq!(t.offer(kd(1, 5.0)), Offer::Inserted);
+        assert_eq!(t.offer(kd(2, 1.0)), Offer::Inserted);
+        assert_eq!(t.offer(kd(3, 3.0)), Offer::Inserted);
+        assert!(t.is_full());
+        assert_eq!(t.u(), 1.0);
+        // 2.0 beats min 1.0: evicts item 2.
+        match t.offer(kd(4, 2.0)) {
+            Offer::Replaced(e) => assert_eq!(e.item.id, 2),
+            other => panic!("expected replacement, got {other:?}"),
+        }
+        assert_eq!(t.u(), 2.0);
+        // 0.5 does not beat min 2.0.
+        assert_eq!(t.offer(kd(5, 0.5)), Offer::Rejected);
+    }
+
+    #[test]
+    fn u_is_zero_until_full() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.u(), 0.0);
+        t.offer(kd(1, 10.0));
+        assert_eq!(t.u(), 0.0);
+        t.offer(kd(2, 20.0));
+        assert_eq!(t.u(), 10.0);
+    }
+
+    #[test]
+    fn sorted_desc_is_sorted() {
+        let mut t = TopK::new(4);
+        for (i, k) in [3.0, 9.0, 1.0, 7.0, 5.0, 8.0].iter().enumerate() {
+            t.offer(kd(i as u64, *k));
+        }
+        let v = t.sorted_desc();
+        let keys: Vec<f64> = v.iter().map(|x| x.key).collect();
+        assert_eq!(keys, vec![9.0, 8.0, 7.0, 5.0]);
+    }
+
+    #[test]
+    fn retains_exact_top_k_against_reference() {
+        let mut rng = crate::rng::Rng::new(42);
+        let mut t = TopK::new(10);
+        let mut all = Vec::new();
+        for i in 0..1000u64 {
+            let k = rng.f64() * 100.0;
+            all.push(k);
+            t.offer(kd(i, k));
+        }
+        all.sort_by(|a, b| b.total_cmp(a));
+        let expect: Vec<f64> = all.into_iter().take(10).collect();
+        let got: Vec<f64> = t.sorted_desc().iter().map(|x| x.key).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn u_monotone_nondecreasing() {
+        let mut rng = crate::rng::Rng::new(7);
+        let mut t = TopK::new(5);
+        let mut last_u = 0.0;
+        for i in 0..2000u64 {
+            t.offer(kd(i, rng.exp()));
+            let u = t.u();
+            assert!(u >= last_u, "u decreased: {u} < {last_u}");
+            last_u = u;
+        }
+    }
+
+    #[test]
+    fn top_s_of_merges() {
+        let a = [kd(1, 5.0), kd(2, 1.0)];
+        let b = [kd(3, 4.0), kd(4, 9.0)];
+        let top = top_s_of(a.iter().chain(b.iter()), 2);
+        let ids: Vec<u64> = top.iter().map(|k| k.item.id).collect();
+        assert_eq!(ids, vec![4, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_panics() {
+        let _ = TopK::new(0);
+    }
+}

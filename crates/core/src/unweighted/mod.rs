@@ -1,0 +1,108 @@
+//! Unweighted distributed samplers.
+//!
+//! * [`swor`] — unweighted sampling without replacement over distributed
+//!   streams via minimum tags ("bottom-k"), in the style of
+//!   Tirthapura–Woodruff [31] / Chung–Tirthapura–Woodruff [11]. This is the
+//!   special case the paper's lower bound (Theorem 2 → Corollary 2) comes
+//!   from, and an independent baseline for the weighted algorithm run on
+//!   unit weights.
+//! * [`swr`] — unweighted sampling **with** replacement: the `s` independent
+//!   single-item samplers substrate of reference [14], realized as the
+//!   `w = 1` case of the weighted reduction in [`crate::swr`].
+
+pub mod swor;
+
+/// Unweighted distributed SWR: the `w = 1` special case of the weighted
+/// reduction. See [`crate::swr`] for the machinery; this module provides
+/// unit-weight constructors.
+pub mod swr {
+    use crate::item::Item;
+    use crate::swr::{SwrConfig, WeightedSwrCoordinator, WeightedSwrSite};
+
+    /// Site for unweighted distributed SWR (unit weights).
+    pub type UnweightedSwrSite = WeightedSwrSite;
+    /// Coordinator for unweighted distributed SWR.
+    pub type UnweightedSwrCoordinator = WeightedSwrCoordinator;
+
+    /// Builds a `(sites, coordinator)` pair for unweighted SWR.
+    pub fn build(cfg: SwrConfig, seed: u64) -> (Vec<UnweightedSwrSite>, UnweightedSwrCoordinator) {
+        let sites = (0..cfg.num_sites)
+            .map(|i| WeightedSwrSite::new(&cfg, crate::rng::mix(seed, 0x5157_0000 + i as u64)))
+            .collect();
+        (sites, WeightedSwrCoordinator::new(cfg))
+    }
+
+    /// Convenience: a unit-weight item.
+    pub fn unit(id: u64) -> Item {
+        Item::unit(id)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn build_wires_k_sites() {
+            let (sites, coord) = build(SwrConfig::new(4, 3), 1);
+            assert_eq!(sites.len(), 3);
+            assert_eq!(coord.capacity(), 4);
+        }
+
+        #[test]
+        fn unweighted_marginals_are_uniform() {
+            // SWR over n unit items: each slot holds item i w.p. 1/n.
+            let n = 8u64;
+            let s = 3usize;
+            let trials = 30_000u64;
+            let mut counts = vec![0u64; n as usize];
+            for t in 0..trials {
+                let (mut sites, mut coord) = build(SwrConfig::new(s, 2), 50_000 + t);
+                let mut ups = Vec::new();
+                let mut downs = Vec::new();
+                for i in 0..n {
+                    sites[(i % 2) as usize].observe(unit(i), &mut ups);
+                    for u in ups.drain(..) {
+                        coord.receive(u, &mut downs);
+                        for d in downs.drain(..) {
+                            for st in &mut sites {
+                                st.receive(&d);
+                            }
+                        }
+                    }
+                }
+                for it in coord.sample() {
+                    counts[it.id as usize] += 1;
+                }
+            }
+            let draws = trials * s as u64;
+            let p = 1.0 / n as f64;
+            for (i, &c) in counts.iter().enumerate() {
+                let emp = c as f64 / draws as f64;
+                let se = (p * (1.0 - p) / draws as f64).sqrt();
+                assert!((emp - p).abs() < 6.0 * se, "item {i}: {emp} vs {p}");
+            }
+        }
+
+        #[test]
+        fn deterministic_given_seed() {
+            let run = |seed: u64| {
+                let (mut sites, mut coord) = build(SwrConfig::new(4, 2), seed);
+                let mut ups = Vec::new();
+                let mut downs = Vec::new();
+                for i in 0..500u64 {
+                    sites[(i % 2) as usize].observe(unit(i), &mut ups);
+                    for u in ups.drain(..) {
+                        coord.receive(u, &mut downs);
+                        for d in downs.drain(..) {
+                            for st in &mut sites {
+                                st.receive(&d);
+                            }
+                        }
+                    }
+                }
+                coord.sample().iter().map(|i| i.id).collect::<Vec<_>>()
+            };
+            assert_eq!(run(9), run(9));
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Unweighted distributed SWOR via minimum tags (bottom-`s`).
+//!
+//! Every item receives an independent `Uniform(0,1)` tag; the items with the
+//! `s` smallest tags form a uniform sample without replacement. The
+//! coordinator tracks `τ_s`, the s-th smallest tag, and broadcasts the
+//! filtering threshold `β^{-j}` (the power of `β = max(2, 1+k/s)` just above
+//! `τ_s`); sites forward an item iff its tag is below the threshold.
+//!
+//! This is the message-optimal unweighted protocol of references [31]/[11],
+//! matching the `Θ(k·log(n/s)/log(1+k/s))` bound of Theorem 2, and serves
+//! as the independent baseline for the weighted algorithm on unit weights.
+
+use crate::item::Item;
+use crate::math::{floor_log_base, powi};
+use crate::rng::Rng;
+
+/// Site → coordinator: an item whose tag cleared the threshold.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TagUp {
+    /// The item.
+    pub item: Item,
+    /// Its uniform tag (smaller wins).
+    pub tag: f64,
+}
+
+/// Coordinator → sites: new filtering threshold (tags at or above it are
+/// dropped at the site).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TagDown {
+    /// New threshold.
+    pub threshold: f64,
+}
+
+/// Configuration for the min-tag protocol.
+#[derive(Clone, Debug)]
+pub struct TagConfig {
+    /// Sample size `s`.
+    pub sample_size: usize,
+    /// Number of sites `k`.
+    pub num_sites: usize,
+    /// Epoch base override; default `max(2, 1 + k/s)`.
+    pub beta_override: Option<f64>,
+}
+
+impl TagConfig {
+    /// Standard configuration.
+    pub fn new(sample_size: usize, num_sites: usize) -> Self {
+        assert!(sample_size >= 1 && num_sites >= 1);
+        Self {
+            sample_size,
+            num_sites,
+            beta_override: None,
+        }
+    }
+
+    /// The epoch base β.
+    pub fn beta(&self) -> f64 {
+        self.beta_override
+            .unwrap_or((1.0 + self.num_sites as f64 / self.sample_size as f64).max(2.0))
+    }
+}
+
+/// Site state: current threshold plus a tag RNG.
+#[derive(Debug)]
+pub struct TagSite {
+    threshold: f64,
+    rng: Rng,
+    /// Messages sent.
+    pub sent: u64,
+}
+
+impl TagSite {
+    /// Creates a site.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            threshold: 1.0,
+            rng: Rng::new(seed),
+            sent: 0,
+        }
+    }
+
+    /// Observes an item; forwards it iff its fresh tag beats the threshold.
+    pub fn observe(&mut self, item: Item) -> Option<TagUp> {
+        let tag = self.rng.open01();
+        if tag < self.threshold {
+            self.sent += 1;
+            Some(TagUp { item, tag })
+        } else {
+            None
+        }
+    }
+
+    /// Applies a threshold broadcast (thresholds only shrink).
+    pub fn receive(&mut self, msg: &TagDown) {
+        if msg.threshold < self.threshold {
+            self.threshold = msg.threshold;
+        }
+    }
+}
+
+/// Coordinator: bottom-`s` tags plus epoch broadcasting.
+#[derive(Debug)]
+pub struct TagCoordinator {
+    cfg: TagConfig,
+    beta: f64,
+    /// (tag, item) pairs, max-heap by tag so the worst retained tag is on
+    /// top. Kept at most `s` entries.
+    heap: std::collections::BinaryHeap<HeapEntry>,
+    epoch: Option<i64>,
+    /// Broadcasts issued.
+    pub broadcasts: u64,
+}
+
+#[derive(Debug)]
+struct HeapEntry {
+    tag: f64,
+    item: Item,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.tag == other.tag
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.tag.total_cmp(&other.tag)
+    }
+}
+
+impl TagCoordinator {
+    /// Creates a coordinator.
+    pub fn new(cfg: TagConfig) -> Self {
+        let beta = cfg.beta();
+        Self {
+            cfg,
+            beta,
+            heap: std::collections::BinaryHeap::new(),
+            epoch: None,
+            broadcasts: 0,
+        }
+    }
+
+    /// The s-th smallest tag (1.0 until the sample is full).
+    pub fn tau(&self) -> f64 {
+        if self.heap.len() < self.cfg.sample_size {
+            1.0
+        } else {
+            self.heap.peek().map_or(1.0, |e| e.tag)
+        }
+    }
+
+    /// Handles a forwarded item; may emit a threshold broadcast.
+    pub fn receive(&mut self, msg: TagUp, out: &mut Vec<TagDown>) {
+        if self.heap.len() < self.cfg.sample_size {
+            self.heap.push(HeapEntry {
+                tag: msg.tag,
+                item: msg.item,
+            });
+        } else if msg.tag < self.tau() {
+            self.heap.pop();
+            self.heap.push(HeapEntry {
+                tag: msg.tag,
+                item: msg.item,
+            });
+        } else {
+            return;
+        }
+        let tau = self.tau();
+        if tau < 1.0 {
+            // Epoch j: the smallest j ≥ 0 with β^{-j} ≥ τ; broadcast the
+            // threshold β^{-j}. floor_log_base gives l with β^l ≤ τ < β^(l+1)
+            // (l ≤ 0 here); the power at or above τ is β^l on exact hits and
+            // β^(l+1) otherwise.
+            let l = floor_log_base(self.beta, tau);
+            let e = if powi(self.beta, l) == tau { l } else { l + 1 };
+            let j = (-e).max(0);
+            if self.epoch.is_none_or(|cur| j > cur) {
+                self.epoch = Some(j);
+                self.broadcasts += 1;
+                out.push(TagDown {
+                    threshold: powi(self.beta, -j),
+                });
+            }
+        }
+    }
+
+    /// Current uniform SWOR: items with the `s` smallest tags.
+    pub fn sample(&self) -> Vec<Item> {
+        self.heap.iter().map(|e| e.item).collect()
+    }
+
+    /// Sample with tags, smallest tag first.
+    pub fn sample_tagged(&self) -> Vec<(f64, Item)> {
+        let mut v: Vec<(f64, Item)> = self.heap.iter().map(|e| (e.tag, e.item)).collect();
+        v.sort_by(|a, b| a.0.total_cmp(&b.0));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(n: u64, k: usize, s: usize, seed: u64) -> (TagCoordinator, u64, u64) {
+        let cfg = TagConfig::new(s, k);
+        let mut sites: Vec<TagSite> = (0..k)
+            .map(|i| TagSite::new(crate::rng::mix(seed, i as u64)))
+            .collect();
+        let mut coord = TagCoordinator::new(cfg);
+        let mut up = 0u64;
+        let mut down = 0u64;
+        let mut out = Vec::new();
+        for t in 0..n {
+            let site = (t % k as u64) as usize;
+            if let Some(msg) = sites[site].observe(Item::unit(t)) {
+                up += 1;
+                coord.receive(msg, &mut out);
+                for d in out.drain(..) {
+                    down += k as u64; // broadcast to k sites
+                    for st in &mut sites {
+                        st.receive(&d);
+                    }
+                }
+            }
+        }
+        (coord, up, down)
+    }
+
+    #[test]
+    fn maintains_s_smallest_tags() {
+        let (coord, _, _) = run(5000, 4, 8, 1);
+        let sample = coord.sample_tagged();
+        assert_eq!(sample.len(), 8);
+        // tau equals the largest retained tag.
+        assert!((coord.tau() - sample.last().unwrap().0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn uniform_inclusion_probability() {
+        // Each of n items should appear with probability s/n.
+        let (n, k, s) = (60u64, 3usize, 6usize);
+        let trials = 20_000u64;
+        let mut counts = vec![0u64; n as usize];
+        for t in 0..trials {
+            let (coord, _, _) = run(n, k, s, 1000 + t);
+            for it in coord.sample() {
+                counts[it.id as usize] += 1;
+            }
+        }
+        let p = s as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / trials as f64;
+            let se = (p * (1.0 - p) / trials as f64).sqrt();
+            assert!((emp - p).abs() < 6.0 * se, "item {i}: {emp} vs {p}");
+        }
+    }
+
+    #[test]
+    fn message_count_is_sublinear() {
+        let (n, k, s) = (200_000u64, 8usize, 8usize);
+        let (_, up, down) = run(n, k, s, 7);
+        let total = up + down;
+        // Θ(k log(n/s)/log(1+k/s)) with small constants; allow a wide berth
+        // but demand strong sublinearity.
+        assert!(
+            total < n / 50,
+            "messages {total} not sublinear in n = {n}"
+        );
+    }
+
+    #[test]
+    fn threshold_only_decreases_at_sites() {
+        let mut site = TagSite::new(1);
+        site.receive(&TagDown { threshold: 0.25 });
+        site.receive(&TagDown { threshold: 0.5 });
+        assert_eq!(site.threshold, 0.25);
+    }
+}

@@ -1,0 +1,107 @@
+//! Statistical test of Proposition 1 (Nagaraja's identity) — the
+//! distributional foundation of the whole paper.
+//!
+//! Proposition 1 (second bullet): with keys `v_i = w_i/t_i` and anti-ranks
+//! `D(1), D(2), ...` (indices sorted by decreasing key),
+//!
+//! `v_D(s)  =d  ( Σ_{j=1..s}  E_j / (W - Σ_{q<j} w_D(q)) )^{-1}`
+//!
+//! where the `E_j` are fresh i.i.d. Exp(1) variables independent of the
+//! anti-rank vector. We draw both sides independently many times and
+//! compare with a two-sample KS test.
+
+use dwrs_core::Rng;
+
+/// Direct side: generate keys, return the s-th largest and the anti-ranks.
+fn direct_sth_key(weights: &[f64], s: usize, rng: &mut Rng) -> f64 {
+    let mut keys: Vec<f64> = weights.iter().map(|&w| w / rng.exp()).collect();
+    keys.sort_by(|a, b| b.total_cmp(a));
+    keys[s - 1]
+}
+
+/// Identity side: draw an anti-rank vector from an independent key draw,
+/// then apply the formula with fresh exponentials.
+fn identity_sth_key(weights: &[f64], s: usize, rng: &mut Rng) -> f64 {
+    let w_total: f64 = weights.iter().sum();
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    let keys: Vec<f64> = weights.iter().map(|&w| w / rng.exp()).collect();
+    order.sort_by(|&a, &b| keys[b].total_cmp(&keys[a]));
+    let mut acc = 0.0; // Σ_{j=1..s} E_j / (W - partial sums)
+    let mut consumed = 0.0;
+    for &idx in order.iter().take(s) {
+        acc += rng.exp() / (w_total - consumed);
+        consumed += weights[idx];
+    }
+    1.0 / acc
+}
+
+fn ks_two_sample(a: &mut [f64], b: &mut [f64]) -> f64 {
+    a.sort_by(f64::total_cmp);
+    b.sort_by(f64::total_cmp);
+    let (n, m) = (a.len(), b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n && j < m {
+        if a[i] <= b[j] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        d = d.max((i as f64 / n as f64 - j as f64 / m as f64).abs());
+    }
+    d
+}
+
+#[test]
+fn proposition1_identity_for_uniform_weights() {
+    let weights = vec![1.0f64; 40];
+    let s = 5;
+    let trials = 40_000usize;
+    let mut rng = Rng::new(11);
+    let mut direct: Vec<f64> = (0..trials)
+        .map(|_| direct_sth_key(&weights, s, &mut rng))
+        .collect();
+    let mut ident: Vec<f64> = (0..trials)
+        .map(|_| identity_sth_key(&weights, s, &mut rng))
+        .collect();
+    let d = ks_two_sample(&mut direct, &mut ident);
+    let crit = 1.95 * (2.0 / trials as f64).sqrt(); // alpha ~ 1e-3
+    assert!(d < crit, "KS statistic {d} >= {crit}");
+}
+
+#[test]
+fn proposition1_identity_for_skewed_weights() {
+    // Includes a moderately heavy item — the identity holds regardless.
+    let mut weights: Vec<f64> = (1..=30).map(|i| 1.0 + (i % 7) as f64).collect();
+    weights.push(40.0);
+    let s = 4;
+    let trials = 40_000usize;
+    let mut rng = Rng::new(12);
+    let mut direct: Vec<f64> = (0..trials)
+        .map(|_| direct_sth_key(&weights, s, &mut rng))
+        .collect();
+    let mut ident: Vec<f64> = (0..trials)
+        .map(|_| identity_sth_key(&weights, s, &mut rng))
+        .collect();
+    let d = ks_two_sample(&mut direct, &mut ident);
+    let crit = 1.95 * (2.0 / trials as f64).sqrt();
+    assert!(d < crit, "KS statistic {d} >= {crit}");
+}
+
+#[test]
+fn sth_key_concentrates_at_w_over_s_without_heavy_items() {
+    // The L1 tracker's engine (Section 5): with no heavy items,
+    // v_D(s) ≈ W/s up to (1 ± O(1/√s)).
+    let weights = vec![2.0f64; 4_000];
+    let w: f64 = weights.iter().sum();
+    let s = 400;
+    let mut rng = Rng::new(13);
+    let trials = 200;
+    let mut worst: f64 = 0.0;
+    for _ in 0..trials {
+        let u = direct_sth_key(&weights, s, &mut rng);
+        worst = worst.max((u * s as f64 - w).abs() / w);
+    }
+    // 1/sqrt(400) = 5%; allow 6 sigma-ish.
+    assert!(worst < 0.3, "worst deviation {worst}");
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for the core primitives.
+
+use dwrs_core::exact::inclusion_probabilities;
+use dwrs_core::item::{Item, Keyed};
+use dwrs_core::keys::{key_above, p_key_above};
+use dwrs_core::math::{binomial, floor_log_base, geometric_trials, ln_choose, powi};
+use dwrs_core::merge::{merge_samples, merge_two};
+use dwrs_core::swor::level_of;
+use dwrs_core::topk::TopK;
+use dwrs_core::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ------------------------------------------------------------- math
+
+    #[test]
+    fn binomial_within_support(n in 0u64..10_000, p in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let x = binomial(&mut rng, n, p);
+        prop_assert!(x <= n);
+    }
+
+    #[test]
+    fn binomial_deterministic_per_seed(n in 1u64..5_000, p in 0.0f64..=1.0, seed in any::<u64>()) {
+        let a = binomial(&mut Rng::new(seed), n, p);
+        let b = binomial(&mut Rng::new(seed), n, p);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn geometric_at_least_one(p in 1e-6f64..=1.0, seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        prop_assert!(geometric_trials(&mut rng, p) >= 1);
+    }
+
+    #[test]
+    fn floor_log_base_bracket(b in 1.1f64..100.0, x in 1e-9f64..1e12) {
+        let j = floor_log_base(b, x);
+        prop_assert!(powi(b, j) <= x * (1.0 + 1e-9));
+        prop_assert!(x < powi(b, j + 1) * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn ln_choose_symmetry(n in 0u64..60, k in 0u64..60) {
+        prop_assume!(k <= n);
+        let a = ln_choose(n, k);
+        let b = ln_choose(n, n - k);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    // ------------------------------------------------------------- keys
+
+    #[test]
+    fn conditional_key_clears_threshold(
+        w in 0.01f64..1e9, theta in 0.01f64..1e9, seed in any::<u64>()
+    ) {
+        let mut rng = Rng::new(seed);
+        let v = key_above(w, theta, &mut rng);
+        prop_assert!(v > theta, "key {} <= threshold {}", v, theta);
+        prop_assert!(v.is_finite());
+    }
+
+    #[test]
+    fn p_key_above_monotone_in_weight(
+        w1 in 0.01f64..1e6, delta in 0.01f64..1e6, theta in 0.01f64..1e6
+    ) {
+        let p1 = p_key_above(w1, theta);
+        let p2 = p_key_above(w1 + delta, theta);
+        prop_assert!(p2 >= p1 - 1e-15);
+        prop_assert!((0.0..=1.0).contains(&p1));
+    }
+
+    #[test]
+    fn p_key_above_antitone_in_threshold(
+        w in 0.01f64..1e6, t1 in 0.01f64..1e6, delta in 0.01f64..1e6
+    ) {
+        let p_low = p_key_above(w, t1);
+        let p_high = p_key_above(w, t1 + delta);
+        prop_assert!(p_high <= p_low + 1e-15);
+    }
+
+    // ------------------------------------------------------------- topk
+
+    #[test]
+    fn topk_threshold_is_sth_largest(
+        keys in proptest::collection::vec(1e-6f64..1e9, 1..100),
+        cap in 1usize..12
+    ) {
+        let mut t = TopK::new(cap);
+        for (i, &k) in keys.iter().enumerate() {
+            t.offer(Keyed::new(Item::new(i as u64, 1.0), k));
+        }
+        let mut sorted = keys.clone();
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        if keys.len() >= cap {
+            prop_assert_eq!(t.u(), sorted[cap - 1]);
+        } else {
+            prop_assert_eq!(t.u(), 0.0);
+        }
+    }
+
+    // ------------------------------------------------------------- levels
+
+    #[test]
+    fn level_monotone_in_weight(w in 1.0f64..1e12, factor in 1.0f64..1e3, r in 1.5f64..64.0) {
+        prop_assert!(level_of(w * factor, r) >= level_of(w, r));
+    }
+
+    // ------------------------------------------------------------- exact oracle
+
+    #[test]
+    fn oracle_probabilities_valid(
+        weights in proptest::collection::vec(0.1f64..100.0, 2..10),
+        s in 1usize..5
+    ) {
+        prop_assume!(s < weights.len());
+        let p = inclusion_probabilities(&weights, s);
+        // Valid probabilities summing to s.
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - s as f64).abs() < 1e-9);
+        for &pi in &p {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&pi));
+        }
+        // Heavier item ⇒ no smaller inclusion probability.
+        for i in 0..weights.len() {
+            for j in 0..weights.len() {
+                if weights[i] >= weights[j] {
+                    prop_assert!(p[i] >= p[j] - 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_scale_invariant(
+        weights in proptest::collection::vec(0.1f64..100.0, 2..9),
+        s in 1usize..4,
+        scale in 0.5f64..100.0
+    ) {
+        prop_assume!(s < weights.len());
+        let p1 = inclusion_probabilities(&weights, s);
+        let scaled: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let p2 = inclusion_probabilities(&scaled, s);
+        for (a, b) in p1.iter().zip(&p2) {
+            prop_assert!((a - b).abs() < 1e-9, "scale invariance broken");
+        }
+    }
+
+    // ------------------------------------------------------------- merge
+
+    #[test]
+    fn merge_equals_global_topk(
+        keys in proptest::collection::vec(1e-6f64..1e9, 1..60),
+        split in 0usize..60,
+        s in 1usize..8
+    ) {
+        let split = split.min(keys.len());
+        let mk = |off: usize, ks: &[f64]| -> Vec<Keyed> {
+            let mut t = TopK::new(s);
+            for (i, &k) in ks.iter().enumerate() {
+                t.offer(Keyed::new(Item::new((off + i) as u64, 1.0), k));
+            }
+            t.sorted_desc()
+        };
+        let a = mk(0, &keys[..split]);
+        let b = mk(split, &keys[split..]);
+        let merged: Vec<f64> = merge_two(&a, &b, s).iter().map(|k| k.key).collect();
+        let mut global = keys.clone();
+        global.sort_by(|x, y| y.total_cmp(x));
+        global.truncate(s);
+        prop_assert_eq!(merged, global);
+    }
+
+    #[test]
+    fn merge_samples_idempotent(
+        keys in proptest::collection::vec(1e-6f64..1e9, 1..40),
+        s in 1usize..6
+    ) {
+        let sample: Vec<Keyed> = {
+            let mut t = TopK::new(s);
+            for (i, &k) in keys.iter().enumerate() {
+                t.offer(Keyed::new(Item::new(i as u64, 1.0), k));
+            }
+            t.sorted_desc()
+        };
+        let again = merge_samples(&[&sample], s);
+        prop_assert_eq!(
+            again.iter().map(|k| k.key.to_bits()).collect::<Vec<_>>(),
+            sample.iter().map(|k| k.key.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Message accounting.
+//!
+//! Mirrors the paper's cost model: every site→coordinator message counts 1,
+//! a coordinator unicast counts 1, and a coordinator broadcast counts `k`
+//! (one message per site). Counts are additionally bucketed by message kind
+//! so experiments can separate e.g. early vs. regular vs. epoch traffic.
+
+use std::collections::BTreeMap;
+
+/// Message counters for one protocol run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Total site → coordinator messages.
+    pub up_total: u64,
+    /// Total coordinator → site messages (broadcasts count `k`).
+    pub down_total: u64,
+    /// Number of broadcast *events* (each costing `k` messages).
+    pub broadcast_events: u64,
+    /// Total upstream bytes (exact wire encoding where available).
+    pub up_bytes: u64,
+    /// Total downstream bytes (broadcast bytes count `k`-fold).
+    pub down_bytes: u64,
+    /// Per-kind message counts (both directions).
+    pub by_kind: BTreeMap<&'static str, u64>,
+    /// Optional timeline of `(items_processed, total_messages)` snapshots.
+    pub timeline: Vec<(u64, u64)>,
+}
+
+impl Metrics {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total messages in both directions.
+    pub fn total(&self) -> u64 {
+        self.up_total + self.down_total
+    }
+
+    /// Records an upstream message of `units` wire messages and `bytes`
+    /// encoded bytes.
+    pub fn count_up(&mut self, kind: &'static str, units: u64, bytes: u64) {
+        self.up_total += units;
+        self.up_bytes += bytes;
+        *self.by_kind.entry(kind).or_insert(0) += units;
+    }
+
+    /// Records a unicast downstream message.
+    pub fn count_unicast(&mut self, kind: &'static str, units: u64, bytes: u64) {
+        self.down_total += units;
+        self.down_bytes += bytes;
+        *self.by_kind.entry(kind).or_insert(0) += units;
+    }
+
+    /// Records a broadcast downstream message delivered to `k` sites.
+    pub fn count_broadcast(&mut self, kind: &'static str, units: u64, bytes: u64, k: usize) {
+        self.broadcast_events += 1;
+        let total = units * k as u64;
+        self.down_total += total;
+        self.down_bytes += bytes * k as u64;
+        *self.by_kind.entry(kind).or_insert(0) += total;
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.up_bytes + self.down_bytes
+    }
+
+    /// Appends a timeline snapshot.
+    pub fn snapshot(&mut self, items_processed: u64) {
+        self.timeline.push((items_processed, self.total()));
+    }
+
+    /// Count for one kind (0 if absent).
+    pub fn kind(&self, kind: &str) -> u64 {
+        self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_adds_up() {
+        let mut m = Metrics::new();
+        m.count_up("early", 1, 17);
+        m.count_up("regular", 2, 50);
+        m.count_broadcast("update_epoch", 1, 9, 8);
+        m.count_unicast("ack", 1, 16);
+        assert_eq!(m.up_total, 3);
+        assert_eq!(m.down_total, 9);
+        assert_eq!(m.total(), 12);
+        assert_eq!(m.up_bytes, 67);
+        assert_eq!(m.down_bytes, 9 * 8 + 16);
+        assert_eq!(m.total_bytes(), 67 + 72 + 16);
+        assert_eq!(m.kind("early"), 1);
+        assert_eq!(m.kind("regular"), 2);
+        assert_eq!(m.kind("update_epoch"), 8);
+        assert_eq!(m.kind("missing"), 0);
+        assert_eq!(m.broadcast_events, 1);
+    }
+
+    #[test]
+    fn timeline_snapshots() {
+        let mut m = Metrics::new();
+        m.count_up("x", 5, 80);
+        m.snapshot(10);
+        m.count_up("x", 5, 80);
+        m.snapshot(20);
+        assert_eq!(m.timeline, vec![(10, 5), (20, 10)]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Stream partitioning strategies.
+//!
+//! The paper's model places no assumption on how the adversary splits the
+//! global stream across sites; these strategies cover the benign and
+//! adversarial regimes used by the experiments.
+
+use dwrs_core::rng::Rng;
+
+/// How the globally ordered stream is split across the `k` sites.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Partition {
+    /// Item `t` goes to site `t mod k`.
+    RoundRobin,
+    /// Each item goes to an independently uniform site.
+    Random,
+    /// Everything lands on one site (worst-case skew).
+    SingleSite(usize),
+    /// Site 0 receives each item with probability `hot`; the rest spread
+    /// uniformly over the remaining sites.
+    Skewed {
+        /// Probability an item lands on the hot site.
+        hot: f64,
+    },
+    /// Contiguous blocks of the given length rotate across sites — the
+    /// lower-bound constructions deliver per-epoch bursts this way.
+    Blocks(
+        /// Block length.
+        usize,
+    ),
+}
+
+/// Stateful assigner of sites to stream positions.
+#[derive(Debug)]
+pub struct Partitioner {
+    strategy: Partition,
+    k: usize,
+    rng: Rng,
+    t: u64,
+}
+
+impl Partitioner {
+    /// Creates an assigner over `k` sites.
+    pub fn new(strategy: Partition, k: usize, seed: u64) -> Self {
+        assert!(k >= 1);
+        if let Partition::SingleSite(i) = strategy {
+            assert!(i < k, "single site index out of range");
+        }
+        Self {
+            strategy,
+            k,
+            rng: Rng::new(seed),
+            t: 0,
+        }
+    }
+
+    /// Site for the next stream position.
+    pub fn next_site(&mut self) -> usize {
+        let t = self.t;
+        self.t += 1;
+        match self.strategy {
+            Partition::RoundRobin => (t % self.k as u64) as usize,
+            Partition::Random => self.rng.index(self.k),
+            Partition::SingleSite(i) => i,
+            Partition::Skewed { hot } => {
+                if self.k == 1 || self.rng.bernoulli(hot) {
+                    0
+                } else {
+                    1 + self.rng.index(self.k - 1)
+                }
+            }
+            Partition::Blocks(len) => ((t / len.max(1) as u64) % self.k as u64) as usize,
+        }
+    }
+}
+
+/// Assigns sites for `n` stream positions in one shot.
+pub fn assign_sites(strategy: Partition, k: usize, n: usize, seed: u64) -> Vec<usize> {
+    let mut p = Partitioner::new(strategy, k, seed);
+    (0..n).map(|_| p.next_site()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let a = assign_sites(Partition::RoundRobin, 3, 7, 0);
+        assert_eq!(a, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn single_site_constant() {
+        let a = assign_sites(Partition::SingleSite(2), 4, 5, 0);
+        assert!(a.iter().all(|&s| s == 2));
+    }
+
+    #[test]
+    fn random_covers_all_sites() {
+        let a = assign_sites(Partition::Random, 4, 1000, 1);
+        for site in 0..4 {
+            let c = a.iter().filter(|&&s| s == site).count();
+            assert!(c > 150, "site {site} got only {c}");
+        }
+    }
+
+    #[test]
+    fn skewed_prefers_hot_site() {
+        let a = assign_sites(Partition::Skewed { hot: 0.9 }, 4, 10_000, 2);
+        let hot = a.iter().filter(|&&s| s == 0).count();
+        assert!(hot > 8_700 && hot < 9_300, "hot count {hot}");
+    }
+
+    #[test]
+    fn blocks_rotate() {
+        let a = assign_sites(Partition::Blocks(2), 2, 8, 0);
+        assert_eq!(a, vec![0, 0, 1, 1, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_site_bounds_checked() {
+        let _ = Partitioner::new(Partition::SingleSite(5), 3, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Protocol traits: what a site and a coordinator must implement to run
+//! under the [`crate::runner::Runner`].
+
+use dwrs_core::Item;
+
+/// Message metadata used by the metrics layer.
+///
+/// `units` is the number of wire messages this value represents; protocols
+/// that batch several logical messages into one value (e.g. the L1 tracker's
+/// duplicated updates) report the faithful count here so measured message
+/// complexity matches the unbatched protocol.
+pub trait Meter {
+    /// Short label for aggregation (e.g. `"early"`, `"regular"`).
+    fn kind(&self) -> &'static str;
+    /// Number of wire messages represented (default 1).
+    fn units(&self) -> u64 {
+        1
+    }
+    /// Encoded size in bytes (default: two machine words per wire message;
+    /// protocols with a real codec override this — the weighted SWOR
+    /// messages use their exact `swor::wire` frame sizes).
+    fn wire_bytes(&self) -> u64 {
+        16 * self.units()
+    }
+}
+
+/// Site-side protocol endpoint.
+pub trait SiteNode {
+    /// Site → coordinator message type.
+    type Up: Meter;
+    /// Coordinator → site message type.
+    type Down: Meter + Clone;
+
+    /// Processes one stream item, pushing any upstream messages to `out`.
+    fn observe(&mut self, item: Item, out: &mut Vec<Self::Up>);
+
+    /// Processes one downstream message.
+    fn receive(&mut self, msg: &Self::Down);
+}
+
+/// Coordinator-side protocol endpoint.
+pub trait CoordinatorNode {
+    /// Site → coordinator message type.
+    type Up: Meter;
+    /// Coordinator → site message type.
+    type Down: Meter + Clone;
+
+    /// Processes one upstream message from site `from`, pushing responses
+    /// into `out`.
+    fn receive(&mut self, from: usize, msg: Self::Up, out: &mut Outbox<Self::Down>);
+}
+
+/// Collector for coordinator responses within one round.
+#[derive(Debug)]
+pub struct Outbox<D> {
+    pub(crate) unicasts: Vec<(usize, D)>,
+    pub(crate) broadcasts: Vec<D>,
+}
+
+impl<D> Default for Outbox<D> {
+    fn default() -> Self {
+        Self {
+            unicasts: Vec::new(),
+            broadcasts: Vec::new(),
+        }
+    }
+}
+
+impl<D> Outbox<D> {
+    /// New empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sends `msg` to a single site (costs 1 message).
+    pub fn unicast(&mut self, to: usize, msg: D) {
+        self.unicasts.push((to, msg));
+    }
+
+    /// Sends `msg` to every site (costs `k` messages, per the paper's
+    /// accounting).
+    pub fn broadcast(&mut self, msg: D) {
+        self.broadcasts.push(msg);
+    }
+
+    /// Whether nothing was queued.
+    pub fn is_empty(&self) -> bool {
+        self.unicasts.is_empty() && self.broadcasts.is_empty()
+    }
+
+    /// Drops all queued messages (between rounds).
+    pub fn clear(&mut self) {
+        self.unicasts.clear();
+        self.broadcasts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_collects() {
+        let mut ob: Outbox<u32> = Outbox::new();
+        assert!(ob.is_empty());
+        ob.unicast(3, 7);
+        ob.broadcast(9);
+        assert!(!ob.is_empty());
+        assert_eq!(ob.unicasts, vec![(3, 7)]);
+        assert_eq!(ob.broadcasts, vec![9]);
+        ob.clear();
+        assert!(ob.is_empty());
+    }
+}

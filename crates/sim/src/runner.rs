@@ -1,0 +1,297 @@
+//! The round-driving loop.
+//!
+//! One round per stream item (Section 2.1's model: per round a site observes
+//! at most one item, may send a message, and may receive a response). In
+//! instant mode, responses triggered by the item are applied to every site
+//! within the round; in delayed mode they sit in per-site FIFO queues for a
+//! configurable number of rounds — a site only consults its queue when it is
+//! about to act, which preserves FIFO order per channel.
+
+use std::collections::VecDeque;
+
+use dwrs_core::Item;
+
+use crate::metrics::Metrics;
+use crate::protocol::{CoordinatorNode, Meter, Outbox, SiteNode};
+
+/// Downstream delivery policy.
+#[derive(Debug)]
+enum Delivery<D> {
+    Instant,
+    Delayed {
+        latency: u64,
+        queues: Vec<VecDeque<(u64, D)>>,
+    },
+}
+
+/// Drives a set of sites and a coordinator over a partitioned stream.
+#[derive(Debug)]
+pub struct Runner<S, C>
+where
+    S: SiteNode,
+    C: CoordinatorNode<Up = S::Up, Down = S::Down>,
+{
+    /// The site protocol endpoints.
+    pub sites: Vec<S>,
+    /// The coordinator endpoint.
+    pub coordinator: C,
+    /// Message accounting for the run.
+    pub metrics: Metrics,
+    delivery: Delivery<S::Down>,
+    time: u64,
+    up_buf: Vec<S::Up>,
+    outbox: Outbox<S::Down>,
+}
+
+impl<S, C> Runner<S, C>
+where
+    S: SiteNode,
+    C: CoordinatorNode<Up = S::Up, Down = S::Down>,
+{
+    /// Creates a runner with instant delivery.
+    pub fn new(coordinator: C, sites: Vec<S>) -> Self {
+        assert!(!sites.is_empty(), "need at least one site");
+        Self {
+            sites,
+            coordinator,
+            metrics: Metrics::new(),
+            delivery: Delivery::Instant,
+            time: 0,
+            up_buf: Vec::new(),
+            outbox: Outbox::new(),
+        }
+    }
+
+    /// Switches to delayed delivery: coordinator responses become visible to
+    /// sites `latency` rounds after being sent.
+    pub fn with_latency(mut self, latency: u64) -> Self {
+        let k = self.sites.len();
+        self.delivery = Delivery::Delayed {
+            latency,
+            queues: (0..k).map(|_| VecDeque::new()).collect(),
+        };
+        self
+    }
+
+    /// Number of sites `k`.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Rounds elapsed (= items processed).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Delivers all downstream messages due at or before `self.time` to
+    /// site `i`.
+    fn drain_due(&mut self, i: usize) {
+        if let Delivery::Delayed { queues, .. } = &mut self.delivery {
+            while let Some(&(due, _)) = queues[i].front() {
+                if due <= self.time {
+                    let (_, msg) = queues[i].pop_front().expect("non-empty");
+                    self.sites[i].receive(&msg);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Routes everything in the outbox, applying metrics.
+    fn route_outbox(&mut self) {
+        let k = self.sites.len();
+        let unicasts = std::mem::take(&mut self.outbox.unicasts);
+        let broadcasts = std::mem::take(&mut self.outbox.broadcasts);
+        for (to, msg) in unicasts {
+            self.metrics.count_unicast(msg.kind(), msg.units(), msg.wire_bytes());
+            match &mut self.delivery {
+                Delivery::Instant => self.sites[to].receive(&msg),
+                Delivery::Delayed { latency, queues } => {
+                    queues[to].push_back((self.time + *latency, msg));
+                }
+            }
+        }
+        for msg in broadcasts {
+            self.metrics.count_broadcast(msg.kind(), msg.units(), msg.wire_bytes(), k);
+            match &mut self.delivery {
+                Delivery::Instant => {
+                    for site in &mut self.sites {
+                        site.receive(&msg);
+                    }
+                }
+                Delivery::Delayed { latency, queues } => {
+                    for q in queues.iter_mut() {
+                        q.push_back((self.time + *latency, msg.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Feeds one stream item to `site` and completes the round.
+    pub fn step(&mut self, site: usize, item: Item) {
+        self.time += 1;
+        self.drain_due(site);
+        debug_assert!(self.up_buf.is_empty());
+        self.sites[site].observe(item, &mut self.up_buf);
+        let ups = std::mem::take(&mut self.up_buf);
+        for up in ups {
+            self.metrics.count_up(up.kind(), up.units(), up.wire_bytes());
+            self.coordinator.receive(site, up, &mut self.outbox);
+            self.route_outbox();
+        }
+    }
+
+    /// Runs the whole partitioned stream.
+    pub fn run<I>(&mut self, stream: I)
+    where
+        I: IntoIterator<Item = (usize, Item)>,
+    {
+        for (site, item) in stream {
+            self.step(site, item);
+        }
+    }
+
+    /// Runs the stream, invoking `probe` after every `every` items (and once
+    /// at the end).
+    pub fn run_with_probes<I, F>(&mut self, stream: I, every: u64, mut probe: F)
+    where
+        I: IntoIterator<Item = (usize, Item)>,
+        F: FnMut(u64, &C, &Metrics),
+    {
+        assert!(every >= 1);
+        let mut n = 0u64;
+        for (site, item) in stream {
+            self.step(site, item);
+            n += 1;
+            if n.is_multiple_of(every) {
+                self.metrics.snapshot(n);
+                probe(n, &self.coordinator, &self.metrics);
+            }
+        }
+        if !n.is_multiple_of(every) {
+            self.metrics.snapshot(n);
+            probe(n, &self.coordinator, &self.metrics);
+        }
+    }
+
+    /// Delivers every still-queued downstream message (delayed mode), e.g.
+    /// at the end of a stream before inspecting site state.
+    pub fn flush_delayed(&mut self) {
+        if let Delivery::Delayed { queues, .. } = &mut self.delivery {
+            for (i, q) in queues.iter_mut().enumerate() {
+                while let Some((_, msg)) = q.pop_front() {
+                    self.sites[i].receive(&msg);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy protocol: sites forward every item; coordinator echoes a counter
+    /// broadcast every 3 receipts.
+    struct EchoSite {
+        seen_down: u64,
+    }
+    #[derive(Clone, Copy)]
+    struct Up(#[allow(dead_code)] u64);
+    #[derive(Clone, Copy)]
+    struct Down(#[allow(dead_code)] u64);
+    impl Meter for Up {
+        fn kind(&self) -> &'static str {
+            "up"
+        }
+    }
+    impl Meter for Down {
+        fn kind(&self) -> &'static str {
+            "down"
+        }
+    }
+    impl SiteNode for EchoSite {
+        type Up = Up;
+        type Down = Down;
+        fn observe(&mut self, item: Item, out: &mut Vec<Up>) {
+            out.push(Up(item.id));
+        }
+        fn receive(&mut self, _msg: &Down) {
+            self.seen_down += 1;
+        }
+    }
+    struct EchoCoord {
+        received: u64,
+    }
+    impl CoordinatorNode for EchoCoord {
+        type Up = Up;
+        type Down = Down;
+        fn receive(&mut self, _from: usize, _msg: Up, out: &mut Outbox<Down>) {
+            self.received += 1;
+            if self.received.is_multiple_of(3) {
+                out.broadcast(Down(self.received));
+            }
+        }
+    }
+
+    fn items(n: u64) -> impl Iterator<Item = (usize, Item)> {
+        (0..n).map(|i| ((i % 2) as usize, Item::unit(i)))
+    }
+
+    #[test]
+    fn instant_delivery_counts_and_delivers() {
+        let sites = vec![EchoSite { seen_down: 0 }, EchoSite { seen_down: 0 }];
+        let mut r = Runner::new(EchoCoord { received: 0 }, sites);
+        r.run(items(9));
+        assert_eq!(r.metrics.up_total, 9);
+        // 3 broadcasts × 2 sites
+        assert_eq!(r.metrics.down_total, 6);
+        assert_eq!(r.metrics.broadcast_events, 3);
+        for s in &r.sites {
+            assert_eq!(s.seen_down, 3);
+        }
+    }
+
+    #[test]
+    fn delayed_delivery_defers_but_flushes() {
+        let sites = vec![EchoSite { seen_down: 0 }, EchoSite { seen_down: 0 }];
+        let mut r = Runner::new(EchoCoord { received: 0 }, sites).with_latency(1_000_000);
+        r.run(items(9));
+        // Nothing delivered yet.
+        assert!(r.sites.iter().all(|s| s.seen_down == 0));
+        // But the messages were still counted when sent.
+        assert_eq!(r.metrics.down_total, 6);
+        r.flush_delayed();
+        assert!(r.sites.iter().all(|s| s.seen_down == 3));
+    }
+
+    #[test]
+    fn delayed_delivery_respects_latency() {
+        let sites = vec![EchoSite { seen_down: 0 }];
+        let mut r = Runner::new(EchoCoord { received: 0 }, sites).with_latency(2);
+        // Round 1..3 generate a broadcast at round 3 (3rd receipt), due at 5.
+        for i in 0..4u64 {
+            r.step(0, Item::unit(i));
+        }
+        assert_eq!(r.sites[0].seen_down, 0, "latency not yet elapsed");
+        r.step(0, Item::unit(4)); // round 5: due message delivered pre-observe
+        assert_eq!(r.sites[0].seen_down, 1);
+    }
+
+    #[test]
+    fn probes_fire_on_schedule() {
+        let sites = vec![EchoSite { seen_down: 0 }, EchoSite { seen_down: 0 }];
+        let mut r = Runner::new(EchoCoord { received: 0 }, sites);
+        let mut probes = Vec::new();
+        r.run_with_probes(items(10), 4, |n, c, m| {
+            probes.push((n, c.received, m.total()));
+        });
+        assert_eq!(probes.len(), 3); // at 4, 8, and the tail at 10
+        assert_eq!(probes[0].0, 4);
+        assert_eq!(probes[1].0, 8);
+        assert_eq!(probes[2].0, 10);
+        assert_eq!(r.metrics.timeline.len(), 3);
+    }
+}

@@ -1,0 +1,188 @@
+//! Hierarchical (fan-in) deployments.
+//!
+//! The paper's model has one coordinator; large fleets in practice hang
+//! sites off regional aggregators that a root merges. Precision-sampling
+//! samples are *mergeable* (`dwrs_core::merge`): the top-`s` of a union of
+//! top-`s` keyed samples over disjoint streams is a weighted SWOR of the
+//! union. This module wires that up: each group runs the full weighted SWOR
+//! protocol against its own aggregator; aggregators ship their current
+//! sample to the root every `sync_every` items (costing `s` messages each),
+//! and the root merges.
+//!
+//! The root's sample is therefore an *exact* weighted SWOR of everything
+//! the groups had seen as of their last syncs — a bounded-staleness
+//! guarantee traded against the extra `g·s/sync_every` message rate.
+
+use dwrs_core::merge::merge_samples;
+use dwrs_core::swor::{SworConfig, SworCoordinator, SworSite};
+use dwrs_core::{Item, Keyed};
+
+use crate::adapters::build_swor;
+use crate::runner::Runner;
+
+/// A two-level deployment: `g` groups of `k_per_group` sites, one root.
+#[derive(Debug)]
+pub struct FanInTree {
+    groups: Vec<Runner<SworSite, SworCoordinator>>,
+    group_samples: Vec<Vec<Keyed>>,
+    sample_size: usize,
+    k_per_group: usize,
+    sync_every: u64,
+    items_since_sync: Vec<u64>,
+    /// Aggregator → root messages (each synced sample entry counts 1).
+    pub root_messages: u64,
+    /// Total items observed.
+    pub observed: u64,
+}
+
+impl FanInTree {
+    /// Builds `groups` groups with `k_per_group` sites each, sample size
+    /// `s` everywhere, syncing each aggregator to the root every
+    /// `sync_every` items it processes.
+    pub fn new(
+        s: usize,
+        groups: usize,
+        k_per_group: usize,
+        sync_every: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(groups >= 1 && k_per_group >= 1 && sync_every >= 1);
+        let groups_vec = (0..groups)
+            .map(|gi| {
+                build_swor(
+                    SworConfig::new(s, k_per_group),
+                    dwrs_core::rng::mix(seed, 0x7EE0 + gi as u64),
+                )
+            })
+            .collect();
+        Self {
+            groups: groups_vec,
+            group_samples: vec![Vec::new(); groups],
+            sample_size: s,
+            k_per_group,
+            sync_every,
+            items_since_sync: vec![0; groups],
+            root_messages: 0,
+            observed: 0,
+        }
+    }
+
+    /// Feeds one item to site `site` of group `group`.
+    pub fn observe(&mut self, group: usize, site: usize, item: Item) {
+        assert!(site < self.k_per_group);
+        self.observed += 1;
+        self.groups[group].step(site, item);
+        self.items_since_sync[group] += 1;
+        if self.items_since_sync[group] >= self.sync_every {
+            self.sync_group(group);
+        }
+    }
+
+    /// Forces a sync of one group's sample to the root.
+    pub fn sync_group(&mut self, group: usize) {
+        let sample = self.groups[group].coordinator.sample();
+        self.root_messages += sample.len() as u64;
+        self.group_samples[group] = sample;
+        self.items_since_sync[group] = 0;
+    }
+
+    /// Syncs every group (e.g. before a strongly consistent query).
+    pub fn sync_all(&mut self) {
+        for g in 0..self.groups.len() {
+            self.sync_group(g);
+        }
+    }
+
+    /// The root's merged sample: an exact weighted SWOR of the union of
+    /// the groups' streams as of their last syncs.
+    pub fn root_sample(&self) -> Vec<Keyed> {
+        let parts: Vec<&[Keyed]> = self.group_samples.iter().map(Vec::as_slice).collect();
+        merge_samples(&parts, self.sample_size)
+    }
+
+    /// Total messages: intra-group protocol traffic plus aggregator→root
+    /// sync traffic.
+    pub fn total_messages(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|g| g.metrics.total())
+            .sum::<u64>()
+            + self.root_messages
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwrs_core::exact::inclusion_probabilities;
+
+    #[test]
+    fn root_sample_size_is_min_t_s() {
+        let mut tree = FanInTree::new(4, 2, 2, 1, 7);
+        for i in 0..10u64 {
+            tree.observe((i % 2) as usize, ((i / 2) % 2) as usize, Item::unit(i));
+            let expect = ((i + 1) as usize).min(4);
+            assert_eq!(tree.root_sample().len(), expect, "at t = {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn synced_root_matches_oracle_distribution() {
+        let weights = [3.0, 1.0, 7.0, 1.0, 2.0, 9.0, 1.0, 4.0];
+        let s = 2;
+        let exact = inclusion_probabilities(&weights, s);
+        let trials = 25_000u64;
+        let mut counts = vec![0u64; weights.len()];
+        for t in 0..trials {
+            let mut tree = FanInTree::new(s, 2, 2, 1, 40_000 + t);
+            for (i, &w) in weights.iter().enumerate() {
+                tree.observe(i % 2, (i / 2) % 2, Item::new(i as u64, w));
+            }
+            tree.sync_all();
+            for kd in tree.root_sample() {
+                counts[kd.item.id as usize] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let p = exact[i];
+            let emp = c as f64 / trials as f64;
+            let se = (p * (1.0 - p) / trials as f64).sqrt();
+            assert!(
+                (emp - p).abs() < 6.0 * se,
+                "item {i}: {emp:.4} vs exact {p:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_root_reflects_last_sync_only() {
+        let mut tree = FanInTree::new(2, 1, 1, 1_000_000, 3);
+        tree.observe(0, 0, Item::new(0, 1.0));
+        // Never synced: root is empty until sync.
+        assert!(tree.root_sample().is_empty());
+        tree.sync_all();
+        assert_eq!(tree.root_sample().len(), 1);
+    }
+
+    #[test]
+    fn sync_rate_controls_root_traffic() {
+        let run = |every: u64| {
+            let mut tree = FanInTree::new(8, 4, 2, every, 9);
+            for i in 0..8_000u64 {
+                tree.observe((i % 4) as usize, ((i / 4) % 2) as usize, Item::unit(i));
+            }
+            tree.root_messages
+        };
+        let chatty = run(10);
+        let lazy = run(1_000);
+        assert!(
+            chatty > 50 * lazy.max(1),
+            "sync period had no effect: {chatty} vs {lazy}"
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the simulator: delivery semantics, ordering and
+//! message accounting under arbitrary schedules.
+
+use dwrs_core::Item;
+use dwrs_sim::{CoordinatorNode, Meter, Outbox, Runner, SiteNode};
+use proptest::prelude::*;
+
+/// Probe protocol: sites forward every item tagged with a sequence number;
+/// the coordinator replies with a broadcast carrying the count every
+/// `burst`-th receipt and a unicast back to the sender otherwise.
+#[derive(Clone, Copy, Debug)]
+struct Up {
+    #[allow(dead_code)]
+    seq: u64,
+}
+#[derive(Clone, Copy, Debug)]
+enum Down {
+    Uni(u64),
+    Bcast(u64),
+}
+impl Meter for Up {
+    fn kind(&self) -> &'static str {
+        "up"
+    }
+}
+impl Meter for Down {
+    fn kind(&self) -> &'static str {
+        match self {
+            Down::Uni(_) => "uni",
+            Down::Bcast(_) => "bcast",
+        }
+    }
+}
+
+struct PSite {
+    sent: u64,
+    /// Received downstream payloads, in arrival order.
+    log: Vec<u64>,
+}
+impl SiteNode for PSite {
+    type Up = Up;
+    type Down = Down;
+    fn observe(&mut self, _item: Item, out: &mut Vec<Up>) {
+        self.sent += 1;
+        out.push(Up { seq: self.sent });
+    }
+    fn receive(&mut self, msg: &Down) {
+        match msg {
+            Down::Uni(x) | Down::Bcast(x) => self.log.push(*x),
+        }
+    }
+}
+
+struct PCoord {
+    burst: u64,
+    received: u64,
+}
+impl CoordinatorNode for PCoord {
+    type Up = Up;
+    type Down = Down;
+    fn receive(&mut self, from: usize, _msg: Up, out: &mut Outbox<Down>) {
+        self.received += 1;
+        if self.received.is_multiple_of(self.burst) {
+            out.broadcast(Down::Bcast(self.received));
+        } else {
+            out.unicast(from, Down::Uni(self.received));
+        }
+    }
+}
+
+fn build(k: usize, burst: u64) -> (PCoord, Vec<PSite>) {
+    (
+        PCoord { burst, received: 0 },
+        (0..k)
+            .map(|_| PSite {
+                sent: 0,
+                log: Vec::new(),
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn accounting_is_exact(
+        schedule in proptest::collection::vec(0usize..5, 1..400),
+        k in 1usize..5,
+        burst in 1u64..6
+    ) {
+        let (coord, sites) = build(k, burst);
+        let mut runner = Runner::new(coord, sites);
+        for (t, &site) in schedule.iter().enumerate() {
+            runner.step(site % k, Item::unit(t as u64));
+        }
+        let n = schedule.len() as u64;
+        prop_assert_eq!(runner.metrics.up_total, n);
+        let bcasts = n / burst;
+        let unis = n - bcasts;
+        prop_assert_eq!(runner.metrics.broadcast_events, bcasts);
+        prop_assert_eq!(runner.metrics.down_total, bcasts * k as u64 + unis);
+        prop_assert_eq!(runner.metrics.kind("bcast"), bcasts * k as u64);
+        prop_assert_eq!(runner.metrics.kind("uni"), unis);
+    }
+
+    #[test]
+    fn delayed_preserves_fifo_order_per_site(
+        schedule in proptest::collection::vec(0usize..4, 1..300),
+        latency in 0u64..50,
+        burst in 1u64..4
+    ) {
+        let k = 4;
+        let (coord, sites) = build(k, burst);
+        let mut runner = Runner::new(coord, sites).with_latency(latency);
+        for (t, &site) in schedule.iter().enumerate() {
+            runner.step(site % k, Item::unit(t as u64));
+        }
+        runner.flush_delayed();
+        // Each site's received payloads must be strictly increasing (FIFO,
+        // payload = coordinator receipt counter which is itself increasing).
+        for (i, site) in runner.sites.iter().enumerate() {
+            for w in site.log.windows(2) {
+                prop_assert!(w[0] < w[1], "site {} log out of order: {:?}", i, site.log);
+            }
+        }
+    }
+
+    #[test]
+    fn delayed_and_instant_deliver_same_multiset(
+        schedule in proptest::collection::vec(0usize..3, 1..200),
+        latency in 1u64..30
+    ) {
+        let k = 3;
+        let run = |lat: Option<u64>| {
+            let (coord, sites) = build(k, 2);
+            let mut runner = match lat {
+                None => Runner::new(coord, sites),
+                Some(l) => Runner::new(coord, sites).with_latency(l),
+            };
+            for (t, &site) in schedule.iter().enumerate() {
+                runner.step(site % k, Item::unit(t as u64));
+            }
+            runner.flush_delayed();
+            let mut all: Vec<(usize, u64)> = runner
+                .sites
+                .iter()
+                .enumerate()
+                .flat_map(|(i, s)| s.log.iter().map(move |&x| (i, x)))
+                .collect();
+            all.sort_unstable();
+            (all, runner.metrics.total())
+        };
+        let (inst_log, inst_total) = run(None);
+        let (del_log, del_total) = run(Some(latency));
+        // This protocol's behaviour does not depend on downstream state, so
+        // the delivered multiset and the message totals must match exactly.
+        prop_assert_eq!(inst_log, del_log);
+        prop_assert_eq!(inst_total, del_total);
+    }
+
+    #[test]
+    fn probes_fire_expected_number_of_times(
+        n in 1u64..200, every in 1u64..40
+    ) {
+        let k = 2;
+        let (coord, sites) = build(k, 3);
+        let mut runner = Runner::new(coord, sites);
+        let mut probes = 0u64;
+        runner.run_with_probes(
+            (0..n).map(|i| ((i % 2) as usize, Item::unit(i))),
+            every,
+            |_, _, _| probes += 1,
+        );
+        let expect = n / every + u64::from(n % every != 0);
+        prop_assert_eq!(probes, expect);
+        prop_assert_eq!(runner.metrics.timeline.len() as u64, expect);
+    }
+}

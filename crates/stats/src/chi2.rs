@@ -1,0 +1,140 @@
+//! Chi-square goodness-of-fit and two-sample homogeneity tests.
+
+use dwrs_core::math::gamma_q;
+
+/// Result of a chi-square test.
+#[derive(Clone, Copy, Debug)]
+pub struct Chi2Result {
+    /// The chi-square statistic.
+    pub statistic: f64,
+    /// Degrees of freedom.
+    pub dof: usize,
+    /// `P(X² ≥ statistic)` under the null.
+    pub p_value: f64,
+}
+
+/// Goodness-of-fit of observed counts against expected probabilities.
+///
+/// `expected` must sum to ~1; cells with tiny expectation are merged into a
+/// remainder cell to keep the asymptotics honest.
+pub fn chi2_gof(observed: &[u64], expected: &[f64]) -> Chi2Result {
+    assert_eq!(observed.len(), expected.len(), "length mismatch");
+    assert!(observed.len() >= 2, "need at least 2 cells");
+    let n: u64 = observed.iter().sum();
+    assert!(n > 0, "no observations");
+    let psum: f64 = expected.iter().sum();
+    assert!(
+        (psum - 1.0).abs() < 1e-6,
+        "expected probabilities must sum to 1, got {psum}"
+    );
+    let mut stat = 0.0;
+    let mut cells = 0usize;
+    let mut rest_obs = 0.0f64;
+    let mut rest_exp = 0.0f64;
+    for (&o, &p) in observed.iter().zip(expected) {
+        let e = p * n as f64;
+        if e < 5.0 {
+            rest_obs += o as f64;
+            rest_exp += e;
+        } else {
+            stat += (o as f64 - e) * (o as f64 - e) / e;
+            cells += 1;
+        }
+    }
+    if rest_exp > 0.0 {
+        stat += (rest_obs - rest_exp) * (rest_obs - rest_exp) / rest_exp;
+        cells += 1;
+    }
+    assert!(cells >= 2, "all cells underpopulated");
+    let dof = cells - 1;
+    Chi2Result {
+        statistic: stat,
+        dof,
+        p_value: gamma_q(dof as f64 / 2.0, stat / 2.0),
+    }
+}
+
+/// Two-sample chi-square homogeneity test on two count vectors over the same
+/// categories.
+pub fn chi2_two_sample(a: &[u64], b: &[u64]) -> Chi2Result {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(a.len() >= 2, "need at least 2 cells");
+    let na: u64 = a.iter().sum();
+    let nb: u64 = b.iter().sum();
+    assert!(na > 0 && nb > 0, "empty sample");
+    let k1 = ((nb as f64) / (na as f64)).sqrt();
+    let k2 = 1.0 / k1;
+    let mut stat = 0.0;
+    let mut cells = 0usize;
+    for (&oa, &ob) in a.iter().zip(b) {
+        let tot = oa + ob;
+        if tot == 0 {
+            continue;
+        }
+        let d = k1 * oa as f64 - k2 * ob as f64;
+        stat += d * d / tot as f64;
+        cells += 1;
+    }
+    assert!(cells >= 2, "no populated cells");
+    let dof = cells - 1;
+    Chi2Result {
+        statistic: stat,
+        dof,
+        p_value: gamma_q(dof as f64 / 2.0, stat / 2.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwrs_core::rng::Rng;
+
+    #[test]
+    fn fair_die_accepted() {
+        let mut rng = Rng::new(1);
+        let mut counts = [0u64; 6];
+        for _ in 0..60_000 {
+            counts[rng.index(6)] += 1;
+        }
+        let r = chi2_gof(&counts, &[1.0 / 6.0; 6]);
+        assert_eq!(r.dof, 5);
+        assert!(r.p_value > 1e-4, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn loaded_die_rejected() {
+        // Clearly biased counts.
+        let counts = [20_000u64, 10_000, 10_000, 10_000, 10_000, 10_000];
+        let r = chi2_gof(&counts, &[1.0 / 6.0; 6]);
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn two_sample_same_distribution_accepted() {
+        let mut rng = Rng::new(2);
+        let mut a = [0u64; 8];
+        let mut b = [0u64; 8];
+        for _ in 0..40_000 {
+            a[rng.index(8)] += 1;
+            b[rng.index(8)] += 1;
+        }
+        let r = chi2_two_sample(&a, &b);
+        assert!(r.p_value > 1e-4, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn two_sample_different_rejected() {
+        let a = [10_000u64, 10_000, 10_000, 10_000];
+        let b = [16_000u64, 8_000, 8_000, 8_000];
+        let r = chi2_two_sample(&a, &b);
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn small_cells_merged() {
+        // One cell with tiny expectation must not produce NaN/invalid dof.
+        let counts = [5_000u64, 5_000, 1];
+        let r = chi2_gof(&counts, &[0.4999, 0.4999, 0.0002]);
+        assert!(r.p_value.is_finite());
+    }
+}

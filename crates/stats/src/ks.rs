@@ -1,0 +1,135 @@
+//! Kolmogorov–Smirnov tests (one- and two-sample) with asymptotic p-values.
+
+/// Result of a KS test.
+#[derive(Clone, Copy, Debug)]
+pub struct KsResult {
+    /// The KS statistic (sup-norm distance between CDFs).
+    pub statistic: f64,
+    /// Asymptotic `P(D ≥ statistic)` under the null.
+    pub p_value: f64,
+}
+
+/// Asymptotic Kolmogorov survival function
+/// `Q(λ) = 2·Σ_{j≥1} (-1)^(j-1) e^(-2 j² λ²)`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda < 1e-8 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// One-sample KS test of `xs` against the CDF `cdf`.
+pub fn ks_one_sample<F: Fn(f64) -> f64>(xs: &[f64], cdf: F) -> KsResult {
+    assert!(!xs.is_empty(), "empty sample");
+    let n = xs.len();
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    let mut d: f64 = 0.0;
+    for (i, &x) in v.iter().enumerate() {
+        let c = cdf(x);
+        let lo = i as f64 / n as f64;
+        let hi = (i + 1) as f64 / n as f64;
+        d = d.max((c - lo).abs().max((c - hi).abs()));
+    }
+    let sqrt_n = (n as f64).sqrt();
+    // Stephens' small-sample correction.
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+    }
+}
+
+/// Two-sample KS test.
+pub fn ks_two_sample(xs: &[f64], ys: &[f64]) -> KsResult {
+    assert!(!xs.is_empty() && !ys.is_empty(), "empty sample");
+    let mut a = xs.to_vec();
+    let mut b = ys.to_vec();
+    a.sort_by(f64::total_cmp);
+    b.sort_by(f64::total_cmp);
+    let (n, m) = (a.len(), b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    // Advance through the merged order, measuring the ECDF gap after each
+    // step; when one side is exhausted the final in-loop gap |1 - F_other|
+    // dominates everything the tail could add.
+    while i < n && j < m {
+        if a[i] <= b[j] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        let gap = (i as f64 / n as f64 - j as f64 / m as f64).abs();
+        d = d.max(gap);
+    }
+    let ne = (n as f64 * m as f64) / (n as f64 + m as f64);
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwrs_core::rng::Rng;
+
+    #[test]
+    fn uniform_sample_accepted() {
+        let mut rng = Rng::new(1);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.f64()).collect();
+        let r = ks_one_sample(&xs, |x| x.clamp(0.0, 1.0));
+        assert!(r.p_value > 1e-4, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn exponential_sample_accepted() {
+        let mut rng = Rng::new(2);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.exp()).collect();
+        let r = ks_one_sample(&xs, |x| 1.0 - (-x).exp());
+        assert!(r.p_value > 1e-4, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn wrong_distribution_rejected() {
+        let mut rng = Rng::new(3);
+        // Exponential sample tested against uniform CDF.
+        let xs: Vec<f64> = (0..5_000).map(|_| rng.exp()).collect();
+        let r = ks_one_sample(&xs, |x| x.clamp(0.0, 1.0));
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn two_sample_same_accepted_different_rejected() {
+        let mut rng = Rng::new(4);
+        let xs: Vec<f64> = (0..10_000).map(|_| rng.exp()).collect();
+        let ys: Vec<f64> = (0..10_000).map(|_| rng.exp()).collect();
+        let zs: Vec<f64> = (0..10_000).map(|_| rng.exp() * 1.3).collect();
+        assert!(ks_two_sample(&xs, &ys).p_value > 1e-4);
+        assert!(ks_two_sample(&xs, &zs).p_value < 1e-6);
+    }
+
+    #[test]
+    fn kolmogorov_q_monotone() {
+        let mut last = 1.0;
+        for i in 1..40 {
+            let q = kolmogorov_q(i as f64 * 0.1);
+            assert!(q <= last + 1e-12);
+            last = q;
+        }
+        assert!(kolmogorov_q(0.3) > 0.99);
+        assert!(kolmogorov_q(2.0) < 0.001);
+    }
+}

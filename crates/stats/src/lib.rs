@@ -1,0 +1,19 @@
+//! # dwrs-stats
+//!
+//! Statistical validation toolkit used to check that the distributed
+//! samplers match their target distributions: chi-square and
+//! Kolmogorov–Smirnov tests with p-values, total-variation distance, and
+//! descriptive statistics. Special functions come from `dwrs-core::math`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chi2;
+pub mod descriptive;
+pub mod ks;
+pub mod tv;
+
+pub use chi2::{chi2_gof, chi2_two_sample, Chi2Result};
+pub use descriptive::{mean, quantile, stddev, variance, Summary};
+pub use ks::{ks_one_sample, ks_two_sample, KsResult};
+pub use tv::{tv_distance, tv_from_counts};

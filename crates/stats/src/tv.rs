@@ -1,0 +1,54 @@
+//! Total-variation distance between discrete distributions.
+
+/// TV distance between two probability vectors over the same support:
+/// `½·Σ|p_i - q_i|`.
+pub fn tv_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "length mismatch");
+    0.5 * p
+        .iter()
+        .zip(q)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+}
+
+/// TV distance between two empirical count vectors (normalized first).
+pub fn tv_from_counts(a: &[u64], b: &[u64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let na: u64 = a.iter().sum();
+    let nb: u64 = b.iter().sum();
+    assert!(na > 0 && nb > 0, "empty counts");
+    0.5 * a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64 / na as f64 - y as f64 / nb as f64).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_is_zero() {
+        assert_eq!(tv_distance(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn disjoint_is_one() {
+        assert!((tv_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_normalized() {
+        let d = tv_from_counts(&[10, 10], &[1, 3]);
+        // p = (0.5, 0.5), q = (0.25, 0.75) -> TV = 0.25
+        assert!((d - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let p = [0.2, 0.3, 0.5];
+        let q = [0.4, 0.4, 0.2];
+        assert!((tv_distance(&p, &q) - tv_distance(&q, &p)).abs() < 1e-15);
+    }
+}

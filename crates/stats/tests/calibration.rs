@@ -1,0 +1,104 @@
+//! Calibration of the statistical tests: under the null hypothesis,
+//! p-values must be roughly uniform — the whole validation methodology of
+//! the experiment suite rests on this.
+
+use dwrs_core::Rng;
+use dwrs_stats::{chi2_gof, chi2_two_sample, ks_one_sample, ks_two_sample};
+
+/// Checks a batch of null p-values for gross mis-calibration: the fraction
+/// below 0.1 must be near 0.1, and extreme small values must be rare.
+fn assert_calibrated(ps: &[f64], label: &str) {
+    let n = ps.len() as f64;
+    let below_10 = ps.iter().filter(|&&p| p < 0.1).count() as f64 / n;
+    assert!(
+        (below_10 - 0.1).abs() < 0.06,
+        "{label}: P(p < 0.1) = {below_10}"
+    );
+    let below_001 = ps.iter().filter(|&&p| p < 0.001).count() as f64 / n;
+    assert!(below_001 < 0.02, "{label}: too many tiny p-values {below_001}");
+    let mean: f64 = ps.iter().sum::<f64>() / n;
+    assert!(
+        (mean - 0.5).abs() < 0.08,
+        "{label}: mean p-value {mean} far from 0.5"
+    );
+}
+
+#[test]
+fn chi2_gof_calibrated_under_null() {
+    let mut rng = Rng::new(1);
+    let cells = 8usize;
+    let expected = vec![1.0 / cells as f64; cells];
+    let ps: Vec<f64> = (0..400)
+        .map(|_| {
+            let mut counts = vec![0u64; cells];
+            for _ in 0..4_000 {
+                counts[rng.index(cells)] += 1;
+            }
+            chi2_gof(&counts, &expected).p_value
+        })
+        .collect();
+    assert_calibrated(&ps, "chi2_gof");
+}
+
+#[test]
+fn chi2_two_sample_calibrated_under_null() {
+    let mut rng = Rng::new(2);
+    let cells = 6usize;
+    let ps: Vec<f64> = (0..400)
+        .map(|_| {
+            let mut a = vec![0u64; cells];
+            let mut b = vec![0u64; cells];
+            for _ in 0..3_000 {
+                a[rng.index(cells)] += 1;
+                b[rng.index(cells)] += 1;
+            }
+            chi2_two_sample(&a, &b).p_value
+        })
+        .collect();
+    assert_calibrated(&ps, "chi2_two_sample");
+}
+
+#[test]
+fn ks_one_sample_calibrated_under_null() {
+    let mut rng = Rng::new(3);
+    let ps: Vec<f64> = (0..300)
+        .map(|_| {
+            let xs: Vec<f64> = (0..2_000).map(|_| rng.exp()).collect();
+            ks_one_sample(&xs, |x| 1.0 - (-x).exp()).p_value
+        })
+        .collect();
+    assert_calibrated(&ps, "ks_one_sample");
+}
+
+#[test]
+fn ks_two_sample_calibrated_under_null() {
+    let mut rng = Rng::new(4);
+    let ps: Vec<f64> = (0..300)
+        .map(|_| {
+            let xs: Vec<f64> = (0..1_500).map(|_| rng.f64()).collect();
+            let ys: Vec<f64> = (0..1_500).map(|_| rng.f64()).collect();
+            ks_two_sample(&xs, &ys).p_value
+        })
+        .collect();
+    assert_calibrated(&ps, "ks_two_sample");
+}
+
+#[test]
+fn tests_have_power_against_alternatives() {
+    // Complementary direction: shifted alternatives must be rejected
+    // essentially always at these sample sizes.
+    let mut rng = Rng::new(5);
+    let mut rejections = 0;
+    let trials = 50;
+    for _ in 0..trials {
+        let xs: Vec<f64> = (0..2_000).map(|_| rng.exp()).collect();
+        let ys: Vec<f64> = (0..2_000).map(|_| rng.exp() * 1.3).collect();
+        if ks_two_sample(&xs, &ys).p_value < 0.01 {
+            rejections += 1;
+        }
+    }
+    assert!(
+        rejections >= trials * 8 / 10,
+        "KS lacks power: {rejections}/{trials}"
+    );
+}

@@ -1,0 +1,47 @@
+//! Benign workloads: unit and uniformly random weights.
+
+use dwrs_core::rng::Rng;
+use dwrs_core::Item;
+
+/// `n` items of unit weight (the unweighted special case; ids `0..n`).
+pub fn unit(n: usize) -> Vec<Item> {
+    (0..n as u64).map(Item::unit).collect()
+}
+
+/// `n` items with weights uniform in `[lo, hi)`.
+pub fn uniform_weights(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<Item> {
+    assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+    let mut rng = Rng::new(seed);
+    (0..n as u64)
+        .map(|i| Item::new(i, rng.f64_range(lo, hi)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_items() {
+        let v = unit(5);
+        assert_eq!(v.len(), 5);
+        assert!(v.iter().all(|it| it.weight == 1.0));
+        assert_eq!(v[3].id, 3);
+    }
+
+    #[test]
+    fn uniform_in_range_and_deterministic() {
+        let a = uniform_weights(1000, 2.0, 5.0, 7);
+        let b = uniform_weights(1000, 2.0, 5.0, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|it| it.weight >= 2.0 && it.weight < 5.0));
+        let c = uniform_weights(1000, 2.0, 5.0, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn bad_range_rejected() {
+        let _ = uniform_weights(10, 5.0, 2.0, 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! The lower-bound hard instances from the paper.
+//!
+//! * [`exploding`] — Theorem 5's first construction: weights
+//!   `w_0 = 1, w_i = ε·(1+ε)^i`, so each new item is an `ε/(1+ε)`-heavy
+//!   hitter of the prefix and the heavy-hitter set must change at every
+//!   step: any correct tracker sends `Ω(log(W)/ε)` messages.
+//! * [`weighted_epochs`] — Theorem 5's second construction: in epoch
+//!   `i = 0..η`, every one of the `k` sites receives one item of weight
+//!   `k^i`; the first arrival of each epoch is immediately a 1/2-heavy
+//!   hitter, and no site knows whether it was first, forcing `Ω(k)` messages
+//!   per epoch and `Ω(k·log W / log k)` total.
+//! * [`l1_unit_epochs`] — Theorem 7's construction for L1 tracking: epoch
+//!   `i` ends when `k^i` unit items have arrived; within an epoch, each site
+//!   receives a contiguous block of `2·k^(i-1)` items, and every site must
+//!   speak once per epoch.
+//!
+//! The epoch constructions fix the site assignment as part of the instance,
+//! so they return `(site, item)` pairs.
+
+use dwrs_core::Item;
+
+/// Theorem 5 instance: `w_0 = 1/ε`, `w_i = (1+ε)^i`, until the total weight
+/// reaches `w_target` (or `max_items`, whichever first).
+///
+/// This is the paper's `w_0 = 1, w_i = ε·(1+ε)^i` construction scaled by
+/// `1/ε` so that every weight satisfies the paper's standing `w ≥ 1`
+/// convention (Section 2.1; scaling by a constant changes no heaviness
+/// fraction). Each item `i ≥ 1` is a `~ε/(1+ε)` heavy hitter of the prefix
+/// it completes.
+pub fn exploding(eps: f64, w_target: f64, max_items: usize) -> Vec<Item> {
+    assert!(eps > 0.0 && eps < 1.0, "need ε in (0,1)");
+    assert!(w_target > 1.0);
+    let mut items = vec![Item::new(0, 1.0 / eps)];
+    let mut total = 1.0 / eps;
+    let mut i = 1u64;
+    while total < w_target && items.len() < max_items {
+        // Running total after item i is ((1+ε)^(i+1) - ε)/ε, so each new
+        // item is a fraction converging to exactly ε/(1+ε) of the new total.
+        let w = (1.0 + eps).powi(i as i32);
+        total += w;
+        items.push(Item::new(i, w));
+        i += 1;
+    }
+    items
+}
+
+/// Theorem 5's epoch instance: `η` epochs; in epoch `i`, site `j` receives
+/// item `(e_i^j, k^i)`, for all `j = 0..k`. Returns `(site, item)` pairs in
+/// arrival order (sites in round-robin within an epoch).
+pub fn weighted_epochs(k: usize, eta: u32) -> Vec<(usize, Item)> {
+    assert!(k >= 1 && eta >= 1);
+    let mut out = Vec::with_capacity(k * eta as usize);
+    let mut id = 0u64;
+    for i in 0..eta {
+        let w = (k as f64).powi(i as i32).max(1.0);
+        for j in 0..k {
+            out.push((j, Item::new(id, w)));
+            id += 1;
+        }
+    }
+    out
+}
+
+/// Theorem 7's L1 instance: unit-weight items; epoch `i ≥ 1` spans global
+/// counts `(k^(i-1), k^i]`; within it, sites receive contiguous blocks so
+/// every site handles a constant fraction of the epoch. Truncated to
+/// `max_items`.
+pub fn l1_unit_epochs(k: usize, eta: u32, max_items: usize) -> Vec<(usize, Item)> {
+    assert!(k >= 2 && eta >= 1);
+    let mut out = Vec::new();
+    let mut id = 0u64;
+    // Epoch 0: the first k items, one per site.
+    for j in 0..k {
+        if out.len() >= max_items {
+            return out;
+        }
+        out.push((j, Item::unit(id)));
+        id += 1;
+    }
+    let mut epoch_end = k as u64;
+    for _ in 1..eta {
+        let next_end = epoch_end.saturating_mul(k as u64);
+        let epoch_len = next_end - epoch_end;
+        // Split the epoch into k contiguous blocks, one per site.
+        let block = (epoch_len / k as u64).max(1);
+        let mut produced = 0u64;
+        let mut site = 0usize;
+        while produced < epoch_len {
+            let run = block.min(epoch_len - produced);
+            for _ in 0..run {
+                if out.len() >= max_items {
+                    return out;
+                }
+                out.push((site % k, Item::unit(id)));
+                id += 1;
+            }
+            produced += run;
+            site += 1;
+        }
+        epoch_end = next_end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exploding_each_item_is_heavy() {
+        let eps = 0.2;
+        let items = exploding(eps, 1e6, 10_000);
+        let mut total = 0.0;
+        for it in &items {
+            total += it.weight;
+            let frac = it.weight / total;
+            // The paper's claim: every item is an ε/(1+ε) > ε/2 heavy
+            // hitter of the prefix it completes; the fraction converges to
+            // exactly ε/(1+ε).
+            if it.id > 0 {
+                assert!(frac > eps / 2.0, "item {} fraction {frac}", it.id);
+            }
+            if it.id > 40 {
+                assert!(
+                    (frac - eps / (1.0 + eps)).abs() < 1e-3,
+                    "item {} fraction {frac}",
+                    it.id
+                );
+            }
+        }
+        assert!(total >= 1e6);
+    }
+
+    #[test]
+    fn exploding_length_is_log_over_eps() {
+        let eps = 0.1;
+        let w = 1e9;
+        let items = exploding(eps, w, usize::MAX);
+        // Total after n items ~ (1+ε)^(n+1)/ε, so n ~ ln(εW)/ln(1+ε) ≈ 193.
+        let expect = ((eps * w).ln() / (1.0 + eps).ln()).ceil() as usize;
+        assert!(
+            (items.len() as i64 - expect as i64).abs() <= 2,
+            "n = {}, expect ~{expect}",
+            items.len()
+        );
+    }
+
+    #[test]
+    fn exploding_weights_respect_w_ge_1() {
+        for &eps in &[0.01, 0.1, 0.4] {
+            let items = exploding(eps, 1e8, 100_000);
+            assert!(items.iter().all(|it| it.weight >= 1.0), "eps = {eps}");
+        }
+    }
+
+    #[test]
+    fn weighted_epochs_shape() {
+        let k = 4;
+        let inst = weighted_epochs(k, 3);
+        assert_eq!(inst.len(), 12);
+        // Epoch 0: weight 1; epoch 1: weight 4; epoch 2: weight 16.
+        assert!(inst[0..4].iter().all(|(_, it)| it.weight == 1.0));
+        assert!(inst[4..8].iter().all(|(_, it)| it.weight == 4.0));
+        assert!(inst[8..12].iter().all(|(_, it)| it.weight == 16.0));
+        // Every site appears once per epoch.
+        for epoch in 0..3 {
+            let mut sites: Vec<usize> =
+                inst[epoch * 4..(epoch + 1) * 4].iter().map(|(s, _)| *s).collect();
+            sites.sort_unstable();
+            assert_eq!(sites, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn l1_epochs_counts() {
+        let k = 3;
+        let inst = l1_unit_epochs(k, 3, usize::MAX);
+        // Total items = k^eta = 27.
+        assert_eq!(inst.len(), 27);
+        assert!(inst.iter().all(|(_, it)| it.weight == 1.0));
+        // Every site receives items in every epoch.
+        for (lo, hi) in [(0usize, 3usize), (3, 9), (9, 27)] {
+            let mut seen = [false; 3];
+            for (s, _) in &inst[lo..hi] {
+                seen[*s] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "epoch {lo}..{hi} missing a site");
+        }
+    }
+
+    #[test]
+    fn l1_epochs_truncates() {
+        let inst = l1_unit_epochs(4, 10, 1000);
+        assert_eq!(inst.len(), 1000);
+    }
+}

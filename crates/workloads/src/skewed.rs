@@ -1,0 +1,200 @@
+//! Heavy-tailed and adversarially skewed workloads — the regime the paper's
+//! level sets and the residual heavy hitter guarantee are designed for.
+
+use dwrs_core::rng::Rng;
+use dwrs_core::Item;
+
+/// Where the heavy items are placed in the arrival order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Placement {
+    /// Heavy items arrive first (worst case for naive precision sampling:
+    /// they lock in a huge threshold-free prefix).
+    Start,
+    /// Heavy items arrive last.
+    End,
+    /// Heavy items are shuffled uniformly into the stream.
+    Shuffled,
+}
+
+/// Zipf-by-rank weights: weight of rank `r` is `(n/r)^alpha`, scaled so the
+/// minimum weight is 1, then shuffled (ids remain `0..n` in arrival order).
+pub fn zipf_ranked(n: usize, alpha: f64, seed: u64) -> Vec<Item> {
+    assert!(n >= 1 && alpha > 0.0);
+    let mut rng = Rng::new(seed);
+    let mut weights: Vec<f64> = (1..=n)
+        .map(|r| (n as f64 / r as f64).powf(alpha))
+        .collect();
+    rng.shuffle(&mut weights);
+    weights
+        .into_iter()
+        .enumerate()
+        .map(|(i, w)| Item::new(i as u64, w.max(1.0)))
+        .collect()
+}
+
+/// I.i.d. Pareto(α) weights with scale `w_min`: `w = w_min · U^{-1/α}`.
+pub fn pareto(n: usize, alpha: f64, w_min: f64, seed: u64) -> Vec<Item> {
+    assert!(alpha > 0.0 && w_min > 0.0);
+    let mut rng = Rng::new(seed);
+    (0..n as u64)
+        .map(|i| {
+            let u = rng.open01();
+            Item::new(i, w_min * u.powf(-1.0 / alpha))
+        })
+        .collect()
+}
+
+/// I.i.d. log-normal weights: `w = exp(mu + sigma·Z)`.
+pub fn lognormal(n: usize, mu: f64, sigma: f64, seed: u64) -> Vec<Item> {
+    assert!(sigma >= 0.0);
+    let mut rng = Rng::new(seed);
+    (0..n as u64)
+        .map(|i| Item::new(i, (mu + sigma * rng.normal()).exp().max(1e-9)))
+        .collect()
+}
+
+/// The paper's motivating adversarial case (Section 1.2): `heavy_count`
+/// items jointly carrying a `heavy_fraction` of the total weight, the other
+/// `n - heavy_count` items sharing the rest uniformly.
+///
+/// With `heavy_count = s/2` and `heavy_fraction = 1 - 1/(100s)` this is the
+/// instance where duplication-based reductions to unweighted SWOR collapse.
+pub fn few_heavy(
+    n: usize,
+    heavy_count: usize,
+    heavy_fraction: f64,
+    placement: Placement,
+    seed: u64,
+) -> Vec<Item> {
+    assert!(heavy_count >= 1 && heavy_count < n);
+    assert!(heavy_fraction > 0.0 && heavy_fraction < 1.0);
+    let light_count = n - heavy_count;
+    // Light items have weight 1; solve for the heavy weight.
+    let light_total = light_count as f64;
+    // heavy_total / (heavy_total + light_total) = heavy_fraction
+    let heavy_total = heavy_fraction * light_total / (1.0 - heavy_fraction);
+    let heavy_w = (heavy_total / heavy_count as f64).max(1.0);
+    let mut weights: Vec<f64> = Vec::with_capacity(n);
+    match placement {
+        Placement::Start => {
+            weights.extend(std::iter::repeat_n(heavy_w, heavy_count));
+            weights.extend(std::iter::repeat_n(1.0, light_count));
+        }
+        Placement::End => {
+            weights.extend(std::iter::repeat_n(1.0, light_count));
+            weights.extend(std::iter::repeat_n(heavy_w, heavy_count));
+        }
+        Placement::Shuffled => {
+            weights.extend(std::iter::repeat_n(heavy_w, heavy_count));
+            weights.extend(std::iter::repeat_n(1.0, light_count));
+            let mut rng = Rng::new(seed);
+            rng.shuffle(&mut weights);
+        }
+    }
+    weights
+        .into_iter()
+        .enumerate()
+        .map(|(i, w)| Item::new(i as u64, w))
+        .collect()
+}
+
+/// Residual-skew instance for Theorem 4: `top` gigantic items (geometric
+/// ladder, each ~8× the next) dominating the stream, followed by a moderate
+/// Zipf tail. The residual heavy hitters — the items that are heavy *after*
+/// removing the top `1/ε` — are invisible to with-replacement samplers but
+/// must be caught by SWOR.
+pub fn residual_skew(n: usize, top: usize, seed: u64) -> Vec<Item> {
+    assert!(top >= 1 && top < n);
+    let tail = zipf_ranked(n - top, 1.2, seed);
+    let tail_total: f64 = tail.iter().map(|t| t.weight).sum();
+    let mut items = Vec::with_capacity(n);
+    // Gigantic heads: the lightest head alone outweighs the whole tail ×8.
+    let mut w = tail_total * 8.0;
+    let mut heads = Vec::with_capacity(top);
+    for _ in 0..top {
+        heads.push(w);
+        w *= 8.0;
+    }
+    heads.reverse(); // heaviest first
+    let mut rng = Rng::new(seed ^ 0xDEAD);
+    let mut all: Vec<f64> = heads
+        .into_iter()
+        .chain(tail.iter().map(|t| t.weight))
+        .collect();
+    rng.shuffle(&mut all);
+    for (i, w) in all.into_iter().enumerate() {
+        items.push(Item::new(i as u64, w));
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_ranked_properties() {
+        let v = zipf_ranked(100, 1.5, 1);
+        assert_eq!(v.len(), 100);
+        let max = v.iter().map(|i| i.weight).fold(0.0, f64::max);
+        let min = v.iter().map(|i| i.weight).fold(f64::INFINITY, f64::min);
+        assert!((min - 1.0).abs() < 1e-12);
+        assert!(max > 100.0, "skew too weak: max {max}");
+    }
+
+    #[test]
+    fn pareto_min_respected() {
+        let v = pareto(5000, 1.1, 2.0, 3);
+        assert!(v.iter().all(|i| i.weight >= 2.0));
+        let max = v.iter().map(|i| i.weight).fold(0.0, f64::max);
+        assert!(max > 100.0, "expected a heavy tail, max {max}");
+    }
+
+    #[test]
+    fn few_heavy_fraction_correct() {
+        let n = 1000;
+        let hc = 5;
+        let hf = 0.99;
+        for placement in [Placement::Start, Placement::End, Placement::Shuffled] {
+            let v = few_heavy(n, hc, hf, placement, 9);
+            assert_eq!(v.len(), n);
+            let total: f64 = v.iter().map(|i| i.weight).sum();
+            let mut ws: Vec<f64> = v.iter().map(|i| i.weight).collect();
+            ws.sort_by(|a, b| b.total_cmp(a));
+            let heavy: f64 = ws[..hc].iter().sum();
+            assert!(
+                (heavy / total - hf).abs() < 0.01,
+                "fraction {} for {placement:?}",
+                heavy / total
+            );
+        }
+    }
+
+    #[test]
+    fn few_heavy_placement_start_puts_heavy_first() {
+        let v = few_heavy(100, 3, 0.9, Placement::Start, 1);
+        assert!(v[0].weight > v[99].weight);
+        assert!(v[2].weight > 1.0 && v[3].weight == 1.0);
+    }
+
+    #[test]
+    fn residual_skew_heads_dominate() {
+        let v = residual_skew(500, 4, 2);
+        let total: f64 = v.iter().map(|i| i.weight).sum();
+        let mut ws: Vec<f64> = v.iter().map(|i| i.weight).collect();
+        ws.sort_by(|a, b| b.total_cmp(a));
+        let head: f64 = ws[..4].iter().sum();
+        assert!(head / total > 0.95, "heads carry {}", head / total);
+        // And the ladder property: each head ~8x the next.
+        for i in 0..3 {
+            let ratio = ws[i] / ws[i + 1];
+            assert!((ratio - 8.0).abs() < 0.5, "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn lognormal_positive() {
+        let v = lognormal(2000, 1.0, 2.0, 4);
+        assert!(v.iter().all(|i| i.weight > 0.0));
+    }
+}

@@ -1,0 +1,74 @@
+//! Synthetic trace-like workloads for the example applications.
+//!
+//! The paper motivates distributed sampling with search-engine query logs
+//! and network monitoring (Section 1). There is no public trace attached to
+//! the paper, so these generators synthesize streams with the same
+//! qualitative structure: Zipf-popular identifiers and skewed magnitudes.
+
+use dwrs_core::rng::Rng;
+use dwrs_core::Item;
+
+/// A query-log-like stream: `n` events over `distinct` identifiers with
+/// Zipf(`alpha`) popularity; each event's weight is a work/bytes proxy drawn
+/// log-normally (median ~`weight_median`).
+///
+/// Identifier popularity is sampled by inverse-CDF over precomputed Zipf
+/// masses, so the same identifier recurs with realistic frequency — queries
+/// can repeat across sites, which the samplers must treat as distinct
+/// occurrences (paper, Section 1).
+pub fn query_log(
+    n: usize,
+    distinct: usize,
+    alpha: f64,
+    weight_median: f64,
+    seed: u64,
+) -> Vec<Item> {
+    assert!(distinct >= 1 && alpha > 0.0 && weight_median > 0.0);
+    let mut rng = Rng::new(seed);
+    // Zipf masses and cumulative distribution over identifiers.
+    let mut cdf: Vec<f64> = Vec::with_capacity(distinct);
+    let mut acc = 0.0;
+    for r in 1..=distinct {
+        acc += 1.0 / (r as f64).powf(alpha);
+        cdf.push(acc);
+    }
+    let total = acc;
+    let mu = weight_median.ln();
+    (0..n)
+        .map(|_| {
+            let x = rng.f64() * total;
+            let id = cdf.partition_point(|&c| c < x) as u64;
+            let w = (mu + 0.8 * rng.normal()).exp().max(0.01);
+            Item::new(id.min(distinct as u64 - 1), w)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn popular_ids_recur() {
+        let v = query_log(10_000, 500, 1.1, 3.0, 1);
+        assert_eq!(v.len(), 10_000);
+        let zero = v.iter().filter(|i| i.id == 0).count();
+        let deep = v.iter().filter(|i| i.id == 400).count();
+        assert!(zero > deep, "rank-0 id ({zero}) should recur more than rank-400 ({deep})");
+        assert!(zero > 100, "rank-0 id too rare: {zero}");
+    }
+
+    #[test]
+    fn ids_in_range_weights_positive() {
+        let v = query_log(5000, 100, 1.0, 2.0, 2);
+        assert!(v.iter().all(|i| i.id < 100 && i.weight > 0.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            query_log(100, 10, 1.0, 1.0, 5),
+            query_log(100, 10, 1.0, 1.0, 5)
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the workload generators.
+
+use dwrs_workloads::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_generators_produce_valid_items(n in 1usize..2_000, seed in any::<u64>()) {
+        let streams: Vec<Vec<dwrs_core::Item>> = vec![
+            unit(n),
+            uniform_weights(n, 1.0, 10.0, seed),
+            zipf_ranked(n, 1.3, seed),
+            pareto(n, 1.2, 1.0, seed),
+            lognormal(n, 0.5, 1.0, seed),
+            query_log(n, 64, 1.1, 2.0, seed),
+        ];
+        for s in &streams {
+            prop_assert_eq!(s.len(), n);
+            for it in s {
+                prop_assert!(it.weight > 0.0 && it.weight.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn unique_ids_in_synthetic_streams(n in 2usize..2_000, seed in any::<u64>()) {
+        // All generators except query_log assign unique ids 0..n.
+        for s in [
+            uniform_weights(n, 1.0, 2.0, seed),
+            zipf_ranked(n, 1.5, seed),
+            pareto(n, 1.1, 1.0, seed),
+        ] {
+            let mut ids: Vec<u64> = s.iter().map(|i| i.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), n);
+        }
+    }
+
+    #[test]
+    fn few_heavy_mass_fraction(
+        n in 20usize..2_000,
+        heavy in 1usize..8,
+        frac in 0.5f64..0.999,
+        seed in any::<u64>()
+    ) {
+        prop_assume!(heavy < n / 2);
+        let s = few_heavy(n, heavy, frac, Placement::Shuffled, seed);
+        let total: f64 = s.iter().map(|i| i.weight).sum();
+        let mut ws: Vec<f64> = s.iter().map(|i| i.weight).collect();
+        ws.sort_by(|a, b| b.total_cmp(a));
+        let top: f64 = ws[..heavy].iter().sum();
+        prop_assert!((top / total - frac).abs() < 0.05,
+            "target fraction {} got {}", frac, top / total);
+    }
+
+    #[test]
+    fn exploding_reaches_target(eps in 0.02f64..0.5, pow in 3u32..12) {
+        let target = 10f64.powi(pow as i32);
+        let items = exploding(eps, target, 1 << 22);
+        let total: f64 = items.iter().map(|i| i.weight).sum();
+        prop_assert!(total >= target);
+        prop_assert!(items.iter().all(|i| i.weight >= 1.0));
+    }
+
+    #[test]
+    fn weighted_epochs_structure(k in 1usize..20, eta in 1u32..6) {
+        let inst = weighted_epochs(k, eta);
+        prop_assert_eq!(inst.len(), k * eta as usize);
+        for (i, (site, item)) in inst.iter().enumerate() {
+            let epoch = i / k;
+            prop_assert!(*site < k);
+            prop_assert!((item.weight - (k as f64).powi(epoch as i32).max(1.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn l1_epochs_sites_in_range(k in 2usize..10, eta in 1u32..5, cap in 10usize..5_000) {
+        let inst = l1_unit_epochs(k, eta, cap);
+        prop_assert!(!inst.is_empty());
+        prop_assert!(inst.len() <= cap.max(k));
+        for (site, item) in &inst {
+            prop_assert!(*site < k);
+            prop_assert_eq!(item.weight, 1.0);
+        }
+    }
+
+    #[test]
+    fn residual_skew_heads_dominate_tail(n in 50usize..1_500, top in 1usize..6, seed in any::<u64>()) {
+        prop_assume!(top < n / 10);
+        let s = residual_skew(n, top, seed);
+        let total: f64 = s.iter().map(|i| i.weight).sum();
+        let mut ws: Vec<f64> = s.iter().map(|i| i.weight).collect();
+        ws.sort_by(|a, b| b.total_cmp(a));
+        let head: f64 = ws[..top].iter().sum();
+        prop_assert!(head / total > 0.85, "heads carry only {}", head / total);
+    }
+}

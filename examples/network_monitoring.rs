@@ -1,0 +1,78 @@
+//! Network monitoring (the paper's Section 1 motivation): several
+//! monitoring devices observe flow records at very high rate; the operator
+//! wants (a) a live sample of traffic weighted by bytes, and (b) the
+//! *residual* heavy flows — the flows that matter once the handful of
+//! gigantic elephants are set aside (Theorem 4).
+//!
+//! ```text
+//! cargo run --release --example network_monitoring
+//! ```
+
+use dwrs::apps::residual_hh::{
+    exact_residual_heavy_hitters, recall, ResidualHeavyHitters, ResidualHhConfig,
+};
+use dwrs::workloads;
+
+fn main() {
+    let k = 16; // monitoring devices
+    let eps = 0.2;
+    let delta = 0.05;
+
+    // Synthetic flow records: a few mega-elephants (backup jobs) dominating
+    // total bytes, plus a heavy-tailed mix of ordinary flows. The residual
+    // heavy hitters are invisible to naive "top talkers by sampling with
+    // replacement" dashboards.
+    let flows = workloads::residual_skew(20_000, 5, 2024);
+    let total_bytes: f64 = flows.iter().map(|f| f.weight).sum();
+
+    let cfg = ResidualHhConfig::new(eps, delta, k);
+    println!(
+        "tracking residual heavy flows: eps = {eps}, delta = {delta} -> sample size s = {}",
+        cfg.sample_size()
+    );
+
+    let mut tracker = ResidualHeavyHitters::new(cfg, 99);
+    for (t, flow) in flows.iter().enumerate() {
+        // Adversarial partitioning: flows land on arbitrary devices.
+        tracker.observe(t % k, *flow);
+    }
+
+    let candidates = tracker.query();
+    let required = exact_residual_heavy_hitters(&flows, eps);
+
+    println!("\ntotal bytes observed : {total_bytes:.3e}");
+    println!("messages spent       : {}  (stream had {} records)", tracker.messages(), flows.len());
+    println!("\ntop candidate flows (by bytes):");
+    for flow in candidates.iter().take(10) {
+        let marker = if required.contains(&flow.id) { "*" } else { " " };
+        println!("  {marker} flow {:>6}  bytes {:.3e}", flow.id, flow.weight);
+    }
+    println!("  (* = provably required: >= eps of the residual stream)");
+    println!(
+        "\nresidual heavy hitter recall: {:.3} over {} required flows",
+        recall(&required, &candidates),
+        required.len()
+    );
+
+    // Show the failure of a same-budget with-replacement sampler.
+    use dwrs::core::centralized::{OnlineWeightedSwr, StreamSampler};
+    let mut swr = OnlineWeightedSwr::new(tracker.config().sample_size(), 17);
+    for flow in &flows {
+        swr.observe(*flow);
+    }
+    let mut swr_top = swr.sample();
+    swr_top.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+    swr_top.dedup_by_key(|f| f.id);
+    swr_top.truncate(tracker.config().output_size());
+    println!(
+        "with-replacement baseline recall (same budget): {:.3} — the elephants swallow every slot",
+        recall(&required, &swr_top)
+    );
+
+    let mega: Vec<_> = flows
+        .iter()
+        .filter(|f| f.weight > total_bytes * 0.05)
+        .map(|f| f.id)
+        .collect();
+    println!("\n(mega-elephants carrying most of the bytes: {mega:?})");
+}

@@ -1,0 +1,49 @@
+//! # dwrs — Weighted Reservoir Sampling from Distributed Streams
+//!
+//! A production-quality Rust implementation of Jayaram, Sharma, Tirthapura
+//! and Woodruff, *"Weighted Reservoir Sampling from Distributed Streams"*
+//! (PODS 2019, arXiv:1904.04126), together with the substrates and baselines
+//! needed to reproduce every quantitative claim of the paper.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `dwrs-core` | the message-optimal distributed weighted SWOR (Algorithms 1–3), weighted SWR reduction, unweighted substrates, centralized reference samplers, exact oracle, math/RNG |
+//! | [`sim`] | `dwrs-sim` | the distributed coordinator-model simulator with exact message metering |
+//! | [`workloads`] | `dwrs-workloads` | stream generators incl. the lower-bound hard instances |
+//! | [`apps`] | `dwrs-apps` | residual heavy hitters (Thm. 4), L1 tracking (Thm. 6) + baselines, sliding-window extension |
+//! | [`stats`] | `dwrs-stats` | chi-square / KS / TV validation toolkit |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dwrs::core::swor::SworConfig;
+//! use dwrs::sim::{assign_sites, build_swor, Partition};
+//! use dwrs::core::Item;
+//!
+//! // 4 sites, continuous weighted sample (without replacement) of size 8.
+//! let mut runner = build_swor(SworConfig::new(8, 4), 42);
+//! let items: Vec<Item> = (0..10_000u64)
+//!     .map(|i| Item::new(i, 1.0 + (i % 13) as f64))
+//!     .collect();
+//! let sites = assign_sites(Partition::RoundRobin, 4, items.len(), 7);
+//! runner.run(sites.into_iter().zip(items));
+//!
+//! let sample = runner.coordinator.sample(); // valid at *every* prefix, too
+//! assert_eq!(sample.len(), 8);
+//! // Message-optimal: far fewer messages than stream items.
+//! assert!(runner.metrics.total() < 2_000);
+//! ```
+//!
+//! See `examples/` for full scenarios and `crates/bench` for the experiment
+//! harness regenerating the paper's tables (documented in EXPERIMENTS.md).
+
+pub use dwrs_apps as apps;
+pub use dwrs_core as core;
+pub use dwrs_sim as sim;
+pub use dwrs_stats as stats;
+pub use dwrs_workloads as workloads;
+
+/// Crate version of the facade.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

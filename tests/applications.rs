@@ -1,0 +1,139 @@
+//! Integration: the two applications (residual heavy hitters, L1 tracking)
+//! meet their guarantees end-to-end over the simulator.
+
+use dwrs::apps::l1::{run_tracker, FolkloreTracker, HyzTracker, L1Config, L1DupTracker};
+use dwrs::apps::residual_hh::{
+    exact_residual_heavy_hitters, recall, ResidualHeavyHitters, ResidualHhConfig,
+};
+use dwrs::core::Item;
+use dwrs::workloads::{residual_skew, weighted_epochs, zipf_ranked};
+
+#[test]
+fn residual_hh_full_recall_on_skewed_streams() {
+    let eps = 0.2;
+    let k = 8;
+    let mut failures = 0u32;
+    let runs = 10u64;
+    for run in 0..runs {
+        let items = residual_skew(1_500, 4, 100 + run);
+        let want = exact_residual_heavy_hitters(&items, eps);
+        assert!(!want.is_empty(), "degenerate instance");
+        let mut tracker =
+            ResidualHeavyHitters::new(ResidualHhConfig::new(eps, 0.05, k), 200 + run);
+        for (t, it) in items.iter().enumerate() {
+            tracker.observe(t % k, *it);
+        }
+        if recall(&want, &tracker.query()) < 1.0 {
+            failures += 1;
+        }
+    }
+    // delta = 0.05 per query; 10 runs should essentially never fail twice.
+    assert!(failures <= 1, "{failures}/{runs} runs missed a residual HH");
+}
+
+#[test]
+fn residual_hh_recall_holds_mid_stream() {
+    let eps = 0.25;
+    let k = 4;
+    let items = residual_skew(2_000, 3, 42);
+    let mut tracker = ResidualHeavyHitters::new(ResidualHhConfig::new(eps, 0.05, k), 7);
+    let mut worst: f64 = 1.0;
+    for (t, it) in items.iter().enumerate() {
+        tracker.observe(t % k, *it);
+        if t > 100 && t % 250 == 0 {
+            let want = exact_residual_heavy_hitters(&items[..=t], eps);
+            worst = worst.min(recall(&want, &tracker.query()));
+        }
+    }
+    assert!(worst >= 0.99, "mid-stream recall dropped to {worst}");
+}
+
+#[test]
+fn residual_hh_output_size_bounded() {
+    let eps = 0.1;
+    let cfg = ResidualHhConfig::new(eps, 0.1, 4);
+    let mut tracker = ResidualHeavyHitters::new(cfg.clone(), 3);
+    for (t, it) in zipf_ranked(3_000, 1.3, 5).iter().enumerate() {
+        tracker.observe(t % 4, *it);
+    }
+    assert!(tracker.query().len() <= cfg.output_size());
+}
+
+#[test]
+fn l1_duplication_tracker_meets_accuracy() {
+    let (eps, delta, k) = (0.2f64, 0.2f64, 4usize);
+    let stream: Vec<(usize, Item)> = (0..400u64)
+        .map(|i| ((i % k as u64) as usize, Item::new(i, 1.0 + (i % 5) as f64)))
+        .collect();
+    let mut ok = 0u32;
+    let runs = 10u32;
+    for run in 0..runs {
+        let mut tracker = L1DupTracker::new(L1Config::new(eps, delta, k), 900 + run as u64);
+        let (err, _) = run_tracker(&mut tracker, &stream, 40);
+        if err <= eps {
+            ok += 1;
+        }
+    }
+    // Max-over-probes within eps is stricter than the per-probe guarantee;
+    // still, the vast majority of runs must pass.
+    assert!(ok >= 7, "only {ok}/{runs} runs met eps");
+}
+
+#[test]
+fn l1_all_trackers_estimate_reasonably() {
+    let k = 8;
+    let n = 30_000u64;
+    let stream: Vec<(usize, Item)> = (0..n)
+        .map(|i| ((i % k as u64) as usize, Item::unit(i)))
+        .collect();
+    let mut ours = {
+        let mut cfg = L1Config::new(0.15, 0.25, k);
+        cfg.sample_size_override = Some(150);
+        cfg.dup_override = Some(500);
+        L1DupTracker::new(cfg, 1)
+    };
+    let mut folk = FolkloreTracker::new(0.15, k);
+    let mut hyz = HyzTracker::new(0.15, k, 2);
+    let (e_ours, m_ours) = run_tracker(&mut ours, &stream, 1_000);
+    let (e_folk, m_folk) = run_tracker(&mut folk, &stream, 1_000);
+    let (e_hyz, m_hyz) = run_tracker(&mut hyz, &stream, 1_000);
+    assert!(e_folk <= 0.15 + 1e-9, "folklore err {e_folk}");
+    assert!(e_hyz < 0.35, "hyz err {e_hyz}");
+    assert!(e_ours < 0.5, "ours err {e_ours}");
+    for (name, m) in [("ours", m_ours), ("folk", m_folk), ("hyz", m_hyz)] {
+        assert!(m < n / 2, "{name} used {m} messages for {n} items");
+        assert!(m > 0, "{name} used no messages");
+    }
+}
+
+#[test]
+fn hard_instance_forces_k_messages_per_epoch() {
+    // Theorem 5's epoch instance: the tracker must speak Ω(k) per epoch.
+    let k = 16;
+    let eta = 4;
+    let inst = weighted_epochs(k, eta);
+    let mut tracker = ResidualHeavyHitters::new(ResidualHhConfig::new(0.25, 0.1, k), 5);
+    for (site, it) in &inst {
+        tracker.observe(*site, *it);
+    }
+    let floor = (k as u32 * eta) as u64;
+    assert!(
+        tracker.messages() >= floor,
+        "messages {} below the per-epoch floor {floor}",
+        tracker.messages()
+    );
+}
+
+#[test]
+fn sliding_window_extension_end_to_end() {
+    use dwrs::apps::SlidingWindowSwor;
+    let mut sw = SlidingWindowSwor::new(5, 100, 9);
+    for it in zipf_ranked(5_000, 1.2, 11) {
+        sw.observe(it);
+    }
+    let sample = sw.sample();
+    assert_eq!(sample.len(), 5);
+    for kd in &sample {
+        assert!(kd.item.id >= 4_900, "stale item {}", kd.item.id);
+    }
+}

@@ -1,0 +1,98 @@
+//! Integration: everything is a pure function of its seed.
+
+use dwrs::core::swor::SworConfig;
+use dwrs::core::swr::SwrConfig;
+use dwrs::sim::{assign_sites, build_swor, build_swr, Partition};
+use dwrs::workloads;
+
+#[test]
+fn swor_runs_are_reproducible() {
+    let run = |seed: u64| {
+        let items = workloads::zipf_ranked(5_000, 1.4, 77);
+        let mut runner = build_swor(SworConfig::new(8, 4), seed);
+        let sites = assign_sites(Partition::Random, 4, items.len(), 5);
+        runner.run(sites.into_iter().zip(items));
+        let sample: Vec<(u64, u64)> = runner
+            .coordinator
+            .sample()
+            .iter()
+            .map(|k| (k.item.id, k.key.to_bits()))
+            .collect();
+        (sample, runner.metrics.total(), runner.metrics.by_kind.clone())
+    };
+    let a = run(123);
+    let b = run(123);
+    assert_eq!(a, b, "same seed must reproduce exactly");
+    let c = run(124);
+    assert_ne!(a.0, c.0, "different seeds must explore different randomness");
+}
+
+#[test]
+fn swr_runs_are_reproducible() {
+    let run = |seed: u64| {
+        let mut runner = build_swr(SwrConfig::new(6, 3), seed);
+        for i in 0..4_000u64 {
+            runner.step(
+                (i % 3) as usize,
+                dwrs::core::Item::new(i, 1.0 + (i % 7) as f64),
+            );
+        }
+        let ids: Vec<u64> = runner.coordinator.sample().iter().map(|i| i.id).collect();
+        (ids, runner.metrics.total())
+    };
+    assert_eq!(run(9), run(9));
+}
+
+#[test]
+fn workloads_are_reproducible() {
+    assert_eq!(
+        workloads::zipf_ranked(1000, 1.5, 3),
+        workloads::zipf_ranked(1000, 1.5, 3)
+    );
+    assert_eq!(
+        workloads::pareto(1000, 1.1, 1.0, 4),
+        workloads::pareto(1000, 1.1, 1.0, 4)
+    );
+    assert_eq!(
+        workloads::query_log(1000, 50, 1.0, 2.0, 5),
+        workloads::query_log(1000, 50, 1.0, 2.0, 5)
+    );
+    assert_ne!(
+        workloads::pareto(1000, 1.1, 1.0, 4),
+        workloads::pareto(1000, 1.1, 1.0, 5)
+    );
+}
+
+#[test]
+fn partitioning_is_reproducible() {
+    let a = assign_sites(Partition::Random, 8, 10_000, 42);
+    let b = assign_sites(Partition::Random, 8, 10_000, 42);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn site_seeds_are_independent() {
+    // Two sites in the same deployment must not mirror each other's keys:
+    // run a single-site-at-a-time stream and check messages differ.
+    let items = workloads::unit(4_000);
+    let run_on_site = |site: usize| {
+        let mut runner = build_swor(SworConfig::new(4, 2), 7);
+        runner.run(items.iter().map(|it| (site, *it)));
+        runner.metrics.kind("regular")
+    };
+    // Not a strict inequality requirement — but identical streams through
+    // different site RNGs producing identical counts AND samples would be
+    // suspicious. Compare sample key bits.
+    let sample_bits = |site: usize| {
+        let mut runner = build_swor(SworConfig::new(4, 2), 7);
+        runner.run(items.iter().map(|it| (site, *it)));
+        runner
+            .coordinator
+            .sample()
+            .iter()
+            .map(|k| k.key.to_bits())
+            .collect::<Vec<u64>>()
+    };
+    let _ = (run_on_site(0), run_on_site(1));
+    assert_ne!(sample_bits(0), sample_bits(1), "site RNG streams collide");
+}

@@ -1,0 +1,21 @@
+//! Smoke test: every experiment in the harness runs to completion at Quick
+//! scale — the full-scale outputs are recorded in EXPERIMENTS.md.
+
+use dwrs_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+
+#[test]
+fn all_experiments_run_quick() {
+    for id in ALL_EXPERIMENTS {
+        assert!(run_experiment(id, Scale::Quick), "unknown experiment {id}");
+    }
+}
+
+#[test]
+fn unknown_experiment_rejected() {
+    assert!(!run_experiment("e999", Scale::Quick));
+}
+
+#[test]
+fn table5_alias_works() {
+    assert!(run_experiment("table5", Scale::Quick));
+}

@@ -1,0 +1,70 @@
+//! Integration: the space claims of Proposition 6.
+//!
+//! * sites keep O(1) words (threshold + a level bitset);
+//! * the optimized coordinator keeps O(s) items total (sample + at most `s`
+//!   retained withheld items + O(log)-bit counters);
+//! * the faithful Algorithm 2 coordinator instead accumulates up to `4rs`
+//!   items per unsaturated level — the gap Proposition 6 removes.
+
+use dwrs::core::swor::{levels::LevelBits, SworConfig};
+use dwrs::sim::{build_swor, build_swor_faithful};
+use dwrs::workloads::{pareto, zipf_ranked};
+
+#[test]
+fn optimized_coordinator_withholds_at_most_s_items() {
+    // A heavy-tailed stream keeps many levels permanently unsaturated, so
+    // the faithful coordinator accumulates withheld items without bound
+    // while the optimized one retains at most s.
+    let (k, s) = (4usize, 8usize);
+    let items = pareto(40_000, 1.1, 1.0, 3);
+    let mut fast = build_swor(SworConfig::new(s, k), 5);
+    let mut slow = build_swor_faithful(SworConfig::new(s, k), 5);
+    let mut max_fast = 0usize;
+    let mut max_slow = 0usize;
+    for (t, it) in items.iter().enumerate() {
+        fast.step(t % k, *it);
+        slow.step(t % k, *it);
+        max_fast = max_fast.max(fast.coordinator.withheld_len());
+        max_slow = max_slow.max(slow.coordinator.withheld_len());
+    }
+    assert!(
+        max_fast <= s,
+        "optimized coordinator retained {max_fast} > s = {s} withheld items"
+    );
+    assert!(
+        max_slow > 4 * s,
+        "faithful coordinator only reached {max_slow}; instance too easy"
+    );
+    // Despite the space gap, both answer queries identically (checked
+    // elsewhere at every step; spot-check the final answer here).
+    let a: Vec<u64> = fast.coordinator.sample().iter().map(|x| x.item.id).collect();
+    let b: Vec<u64> = slow.coordinator.sample().iter().map(|x| x.item.id).collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn site_state_is_constant_words() {
+    // The saturation bitset covers every level that can occur for f64
+    // weights in a handful of words.
+    let mut bits = LevelBits::new();
+    // Weights up to 1e300 at r = 2 span ~1000 levels -> 16 words.
+    for level in 0..1_000u32 {
+        bits.set(level);
+    }
+    assert!(bits.words() <= 16, "bitset used {} words", bits.words());
+}
+
+#[test]
+fn query_cost_is_independent_of_stream_length() {
+    // The query answer materializes O(s) entries no matter how long the
+    // stream ran.
+    let (k, s) = (4usize, 16usize);
+    let mut runner = build_swor(SworConfig::new(s, k), 9);
+    for (t, it) in zipf_ranked(100_000, 1.2, 7).iter().enumerate() {
+        runner.step(t % k, *it);
+    }
+    let sample = runner.coordinator.sample();
+    assert_eq!(sample.len(), s);
+    assert!(runner.coordinator.withheld_len() <= s);
+    assert_eq!(runner.coordinator.released_sample().len().min(s), s.min(s));
+}
