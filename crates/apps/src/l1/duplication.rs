@@ -216,8 +216,7 @@ impl L1Estimator for L1DupTracker {
 
     fn estimate(&self) -> Option<f64> {
         // W̃ = s·u/ℓ (Algorithm 1's output step).
-        self.u_query()
-            .map(|u| self.s as f64 * u / self.ell as f64)
+        self.u_query().map(|u| self.s as f64 * u / self.ell as f64)
     }
 
     fn messages(&self) -> u64 {
@@ -288,7 +287,9 @@ mod tests {
         // Same (s, k, ℓ), same stream; compare message counts and estimates
         // across independent seeds — means must agree within a few percent.
         let (s, k, ell) = (20usize, 2usize, 64u64);
-        let items: Vec<Item> = (0..60u64).map(|i| Item::new(i, 1.0 + (i % 7) as f64)).collect();
+        let items: Vec<Item> = (0..60u64)
+            .map(|i| Item::new(i, 1.0 + (i % 7) as f64))
+            .collect();
         let runs = 60u64;
         let (mut b_reg, mut n_reg) = (0.0f64, 0.0f64);
         let (mut b_u, mut n_u) = (0.0f64, 0.0f64);

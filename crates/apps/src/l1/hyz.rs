@@ -144,7 +144,9 @@ mod tests {
     use crate::l1::run_tracker;
 
     fn unit_stream(n: u64, k: usize) -> Vec<(usize, Item)> {
-        (0..n).map(|i| ((i % k as u64) as usize, Item::unit(i))).collect()
+        (0..n)
+            .map(|i| ((i % k as u64) as usize, Item::unit(i)))
+            .collect()
     }
 
     #[test]

@@ -76,8 +76,9 @@ mod tests {
     #[test]
     fn run_tracker_probes() {
         let mut t = FolkloreTracker::new(0.1, 2);
-        let stream: Vec<(usize, Item)> =
-            (0..100).map(|i| ((i % 2) as usize, Item::unit(i as u64))).collect();
+        let stream: Vec<(usize, Item)> = (0..100)
+            .map(|i| ((i % 2) as usize, Item::unit(i as u64)))
+            .collect();
         let (err, msgs) = run_tracker(&mut t, &stream, 10);
         assert!(err <= 0.1 + 1e-9, "err {err}");
         assert!(msgs > 0);

@@ -165,13 +165,8 @@ mod tests {
         // counted exactly.
         let s = 64usize;
         let k = 4usize;
-        let items = dwrs_workloads::few_heavy(
-            10_000,
-            s / 2,
-            0.999,
-            dwrs_workloads::Placement::Shuffled,
-            5,
-        );
+        let items =
+            dwrs_workloads::few_heavy(10_000, s / 2, 0.999, dwrs_workloads::Placement::Shuffled, 5);
         let true_w: f64 = items.iter().map(|i| i.weight).sum();
         let mut tracker = PiggybackL1Tracker::new(s, k, 9);
         for (i, it) in items.iter().enumerate() {

@@ -25,6 +25,6 @@ pub use l1::{
     FolkloreTracker, HyzTracker, L1Config, L1DupTracker, L1Estimator, PiggybackL1Tracker,
 };
 pub use residual_hh::{
-    exact_residual_heavy_hitters, recall, ResidualHhConfig, ResidualHeavyHitters,
+    exact_residual_heavy_hitters, recall, ResidualHeavyHitters, ResidualHhConfig,
 };
 pub use sliding_window::SlidingWindowSwor;

@@ -78,13 +78,11 @@ impl SlidingWindowSwor {
         let mut later_keys: Vec<f64> = Vec::with_capacity(self.s);
         let mut keep = VecDeque::with_capacity(self.retained.len());
         for &(t, keyed) in self.retained.iter().rev() {
-            let dominated = later_keys.len() >= self.s
-                && keyed.key <= later_keys[self.s - 1];
+            let dominated = later_keys.len() >= self.s && keyed.key <= later_keys[self.s - 1];
             if !dominated {
                 keep.push_front((t, keyed));
                 // Insert into the sorted (descending) top-s of later keys.
-                let pos = later_keys
-                    .partition_point(|&k| k > keyed.key);
+                let pos = later_keys.partition_point(|&k| k > keyed.key);
                 if pos < self.s {
                     later_keys.insert(pos, keyed.key);
                     later_keys.truncate(self.s);
@@ -182,6 +180,9 @@ mod tests {
             hits_sw as f64 / trials as f64,
             hits_ref as f64 / trials as f64,
         );
-        assert!((p1 - p2).abs() < 0.02, "window sampler {p1} vs reference {p2}");
+        assert!(
+            (p1 - p2).abs() < 0.02,
+            "window sampler {p1} vs reference {p2}"
+        );
     }
 }

@@ -71,9 +71,7 @@ pub fn e4_inclusion(scale: Scale) {
         let se = (p * (1.0 - p) / trials as f64).sqrt().max(1e-12);
         max_z_probe = max_z_probe.max(((emp - p) / se).abs());
     }
-    println!(
-        "mid-stream (t={probe_t}): max |z| = {max_z_probe:.2}  [continuous validity, Def. 3]"
-    );
+    println!("mid-stream (t={probe_t}): max |z| = {max_z_probe:.2}  [continuous validity, Def. 3]");
     let verdict = if max_z < 4.5 && max_z_probe < 4.5 {
         "PASS"
     } else {

@@ -22,7 +22,10 @@ pub fn e7_epoch_count(scale: Scale) {
     while pow <= max_pow {
         let n_items = 1usize << pow;
         for (name, items) in [
-            ("uniform", uniform_weights(n_items, 1.0, 2.0, 80 + pow as u64)),
+            (
+                "uniform",
+                uniform_weights(n_items, 1.0, 2.0, 80 + pow as u64),
+            ),
             ("zipf1.2", zipf_ranked(n_items, 1.2, 90 + pow as u64)),
         ] {
             let w = total_weight(&items);

@@ -38,7 +38,15 @@ pub fn e12_accuracy(scale: Scale) {
     let cfg = L1Config::new(eps, delta, k);
     let mut table = Table::new(
         "E12 — duplication L1 tracker accuracy (Thm 6; paper constants)",
-        &["eps", "delta", "s", "ell", "trials", "max_err_med", "success_rate"],
+        &[
+            "eps",
+            "delta",
+            "s",
+            "ell",
+            "trials",
+            "max_err_med",
+            "success_rate",
+        ],
     );
     let mut errs = Vec::new();
     let mut successes = 0u64;
@@ -62,7 +70,9 @@ pub fn e12_accuracy(scale: Scale) {
         f(successes as f64 / trials as f64),
     ]);
     table.print();
-    println!("[Thm 6: per-probe success prob ≥ 1-δ; max-over-probes success here is a stricter event]");
+    println!(
+        "[Thm 6: per-probe success prob ≥ 1-δ; max-over-probes success here is a stricter event]"
+    );
 }
 
 /// E13: the paper's Section 5 table with measured message counts — the only
@@ -107,7 +117,14 @@ pub fn e13_table5(scale: Scale) {
     let epss: Vec<f64> = scale.pick(vec![0.3, 0.2], vec![0.3, 0.2, 0.1, 0.05]);
     let mut tb = Table::new(
         &format!("E13b — Section 5 table, eps sweep (k={k}, unit weights, n={n_items}): messages"),
-        &["eps", "folklore", "HYZ12", "this work", "hyz/folklore", "ours/folklore"],
+        &[
+            "eps",
+            "folklore",
+            "HYZ12",
+            "this work",
+            "hyz/folklore",
+            "ours/folklore",
+        ],
     );
     for &e in &epss {
         let stream = unit_stream(n_items, k);
@@ -138,7 +155,14 @@ pub fn e19_piggyback(scale: Scale) {
     let n_items = scale.pick(1u64 << 12, 1u64 << 16);
     let mut table = Table::new(
         "E19 — piggyback L1 (extension): error & messages vs duplication tracker (k=16)",
-        &["s", "piggy_err", "piggy_msgs", "dup_err", "dup_msgs", "dup/piggy msgs"],
+        &[
+            "s",
+            "piggy_err",
+            "piggy_msgs",
+            "dup_err",
+            "dup_msgs",
+            "dup/piggy msgs",
+        ],
     );
     for &s in scale.pick(&[64usize][..], &[64usize, 256, 1024][..]) {
         let stream: Vec<(usize, Item)> = (0..n_items)

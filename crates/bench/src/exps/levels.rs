@@ -23,11 +23,23 @@ pub fn e6_level_invariants(scale: Scale) {
         ("uniform", uniform_weights(n_items, 1.0, 2.0, 61)),
         (
             "few_heavy@start",
-            few_heavy(n_items, s / 2, 1.0 - 1.0 / (100.0 * s as f64), Placement::Start, 62),
+            few_heavy(
+                n_items,
+                s / 2,
+                1.0 - 1.0 / (100.0 * s as f64),
+                Placement::Start,
+                62,
+            ),
         ),
         (
             "few_heavy@shuffled",
-            few_heavy(n_items, s / 2, 1.0 - 1.0 / (100.0 * s as f64), Placement::Shuffled, 63),
+            few_heavy(
+                n_items,
+                s / 2,
+                1.0 - 1.0 / (100.0 * s as f64),
+                Placement::Shuffled,
+                63,
+            ),
         ),
         ("exploding eps=.05", exploding(0.05, 1e12, n_items)),
     ];
@@ -67,7 +79,10 @@ pub fn e15_ablation_no_levels(scale: Scale) {
     let w_target = scale.pick(1e15, 1e30);
     let streams = [
         ("exploding eps=.01", exploding(0.01, w_target, 1 << 20)),
-        ("uniform", dwrs_workloads::uniform_weights(scale.pick(1 << 12, 1 << 16), 1.0, 2.0, 3)),
+        (
+            "uniform",
+            dwrs_workloads::uniform_weights(scale.pick(1 << 12, 1 << 16), 1.0, 2.0, 3),
+        ),
         (
             "few_heavy@start",
             few_heavy(
@@ -102,16 +117,35 @@ pub fn e15_ablation_no_levels(scale: Scale) {
     // (b) L1-estimability of the s-th key statistic.
     let mut tb = Table::new(
         "E15b — why withholding matters: L1 estimate from the s-th key (k=8, s=64)",
-        &["stream", "W", "est ON (u·s + withheld)", "est OFF (u·s)", "on_rel_err", "off_rel_err"],
+        &[
+            "stream",
+            "W",
+            "est ON (u·s + withheld)",
+            "est OFF (u·s)",
+            "on_rel_err",
+            "off_rel_err",
+        ],
     );
     let heavy_streams = [
         (
             "few_heavy(99.99%)@shuffled",
-            few_heavy(scale.pick(1 << 12, 1 << 15), s / 2, 0.9999, Placement::Shuffled, 67),
+            few_heavy(
+                scale.pick(1 << 12, 1 << 15),
+                s / 2,
+                0.9999,
+                Placement::Shuffled,
+                67,
+            ),
         ),
         (
             "few_heavy(99%)@start",
-            few_heavy(scale.pick(1 << 12, 1 << 15), s / 2, 0.99, Placement::Start, 68),
+            few_heavy(
+                scale.pick(1 << 12, 1 << 15),
+                s / 2,
+                0.99,
+                Placement::Start,
+                68,
+            ),
         ),
     ];
     for (name, items) in &heavy_streams {
@@ -148,7 +182,14 @@ pub fn e20_capacity_factor(scale: Scale) {
     let items = few_heavy(n_items, s / 2, 0.999, Placement::Shuffled, 73);
     let mut table = Table::new(
         "E20 — level capacity factor sweep (k=8, s=16, few-heavy stream)",
-        &["factor", "capacity", "early", "total", "max_frac", "frac_bound 1/(c·s)"],
+        &[
+            "factor",
+            "capacity",
+            "early",
+            "total",
+            "max_frac",
+            "frac_bound 1/(c·s)",
+        ],
     );
     for &factor in &[1.0f64, 2.0, 4.0, 8.0] {
         let cfg = SworConfig::new(s, k).with_level_capacity_factor(factor);

@@ -2,11 +2,11 @@
 //! with-replacement baseline, message complexity vs ε, and the Theorem 5
 //! lower-bound instances.
 
-use dwrs_core::centralized::{OnlineWeightedSwr, StreamSampler};
-use dwrs_core::item::total_weight;
 use dwrs_apps::residual_hh::{
     exact_residual_heavy_hitters, recall, ResidualHeavyHitters, ResidualHhConfig,
 };
+use dwrs_core::centralized::{OnlineWeightedSwr, StreamSampler};
+use dwrs_core::item::total_weight;
 use dwrs_workloads::{exploding, residual_skew, weighted_epochs, zipf_ranked};
 
 use crate::exps::util::rhh_bound;
@@ -21,7 +21,14 @@ pub fn e9_recall(scale: Scale) {
     let n_items = scale.pick(400usize, 2_000usize);
     let mut table = Table::new(
         "E9 — residual heavy hitter recall: SWOR (Thm 4) vs SWR baseline, same budget",
-        &["stream", "eps", "s", "|required|", "swor_recall", "swr_recall"],
+        &[
+            "stream",
+            "eps",
+            "s",
+            "|required|",
+            "swor_recall",
+            "swr_recall",
+        ],
     );
     let cases = [
         ("residual_skew(top=3)", 3usize, 0.25f64),
@@ -68,7 +75,9 @@ pub fn e9_recall(scale: Scale) {
         ]);
     }
     table.print();
-    println!("[Thm 4: SWOR recall ≈ 1; with-replacement samplers drown in the giants on skewed streams]");
+    println!(
+        "[Thm 4: SWOR recall ≈ 1; with-replacement samplers drown in the giants on skewed streams]"
+    );
 }
 
 /// E10: residual-HH message complexity vs ε (Theorem 4's bound).
@@ -108,7 +117,15 @@ pub fn e10_messages(scale: Scale) {
 pub fn e11_lower_bound(scale: Scale) {
     let mut table = Table::new(
         "E11 — Thm 5 hard instances: messages vs Ω(k·lnW/ln k + lnW/eps)",
-        &["instance", "k", "eps", "n", "msgs", "lower_bound", "msgs/bound"],
+        &[
+            "instance",
+            "k",
+            "eps",
+            "n",
+            "msgs",
+            "lower_bound",
+            "msgs/bound",
+        ],
     );
     // Instance 1: exploding stream — forces the ε term.
     let eps = scale.pick(0.1, 0.05);

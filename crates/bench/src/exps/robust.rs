@@ -52,7 +52,14 @@ pub fn e17_delay(scale: Scale) {
     let w = total_weight(&items);
     let mut table = Table::new(
         "E17 — broadcast latency robustness (k=16, s=16, uniform)",
-        &["latency", "early", "regular", "total", "inflation", "sample_ok"],
+        &[
+            "latency",
+            "early",
+            "regular",
+            "total",
+            "inflation",
+            "sample_ok",
+        ],
     );
     let mut base_total = 0u64;
     for &latency in &[0u64, 8, 64, 512, 4096] {

@@ -1,8 +1,8 @@
 //! E1–E3: message complexity of weighted SWOR (Theorem 3) and the naive
 //! baseline gap.
 
-use dwrs_core::swor::SworConfig;
 use dwrs_core::item::total_weight;
+use dwrs_core::swor::SworConfig;
 use dwrs_sim::{assign_sites, build_naive, Partition};
 use dwrs_workloads::{uniform_weights, zipf_ranked};
 
@@ -20,7 +20,17 @@ pub fn e1_w_sweep(scale: Scale) {
     let max_pow = scale.pick(14, 20);
     let mut table = Table::new(
         "E1 — weighted SWOR messages vs W (k=16, s=16); Thm 3: k·ln(W/s)/ln(1+k/s)",
-        &["n", "W", "early", "regular", "bcast_evts", "total", "bytes", "bound", "ratio"],
+        &[
+            "n",
+            "W",
+            "early",
+            "regular",
+            "bcast_evts",
+            "total",
+            "bytes",
+            "bound",
+            "ratio",
+        ],
     );
     let mut ws = Vec::new();
     let mut totals = Vec::new();
@@ -51,7 +61,10 @@ pub fn e1_w_sweep(scale: Scale) {
     // Messages should be ~linear in ln W: slope of messages vs ln(W) in
     // log-log should be ~1 (i.e. messages ∝ (ln W)^1).
     let slope = log_log_slope(&ws, &totals);
-    println!("fit: messages ∝ (ln W)^{:.2}   [Thm 3 predicts exponent ≈ 1]", slope);
+    println!(
+        "fit: messages ∝ (ln W)^{:.2}   [Thm 3 predicts exponent ≈ 1]",
+        slope
+    );
 }
 
 /// E2: messages vs. `k` (fixed s) and vs. `s` (fixed k).
@@ -124,13 +137,7 @@ pub fn e3_vs_naive(scale: Scale) {
             let sites = assign_sites(Partition::RoundRobin, k, items.len(), 43);
             naive.run(sites.into_iter().zip(items.iter().copied()));
             let (a, b) = (opt.metrics.total(), naive.metrics.total());
-            table.row(&[
-                name.into(),
-                n(s as u64),
-                n(a),
-                n(b),
-                f(b as f64 / a as f64),
-            ]);
+            table.row(&[name.into(), n(s as u64), n(a), n(b), f(b as f64 / a as f64)]);
         }
     }
     table.print();

@@ -15,7 +15,15 @@ pub fn e5_swr(scale: Scale) {
     let (k, s) = (16usize, 16usize);
     let mut table = Table::new(
         "E5a — weighted SWR messages vs W (k=16, s=16); Cor. 1: (k+s·ln s)·lnW/ln(2+k/s)",
-        &["n", "W", "candidates", "bcast_evts", "total", "bound", "ratio"],
+        &[
+            "n",
+            "W",
+            "candidates",
+            "bcast_evts",
+            "total",
+            "bound",
+            "ratio",
+        ],
     );
     let mut pow = scale.pick(10, 12);
     let max_pow = scale.pick(12, 18);

@@ -32,8 +32,7 @@ pub fn swor_bound(k: usize, s: usize, total_weight: f64) -> f64 {
 pub fn swr_bound(k: usize, s: usize, total_weight: f64) -> f64 {
     let kf = k as f64;
     let sf = s as f64;
-    (kf + sf * sf.ln().max(1.0)) * total_weight.max(std::f64::consts::E).ln()
-        / (2.0 + kf / sf).ln()
+    (kf + sf * sf.ln().max(1.0)) * total_weight.max(std::f64::consts::E).ln() / (2.0 + kf / sf).ln()
 }
 
 /// Theorem 4's bound `(k/ln k + ln(1/(εδ))/ε)·ln(εW)`.

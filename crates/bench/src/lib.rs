@@ -25,8 +25,8 @@ pub use scale::Scale;
 
 /// All experiment ids, in run order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18", "e19", "e20", "e21",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17", "e18", "e19", "e20", "e21",
 ];
 
 /// Dispatches one experiment by id ("table5" aliases "e13").

@@ -44,7 +44,10 @@ pub struct Parsed {
 impl Parsed {
     /// String flag with default.
     pub fn str_or(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Integer flag with default.
@@ -76,7 +79,9 @@ pub fn parse_args(argv: &[String]) -> Result<Parsed, ArgError> {
         .ok_or_else(|| ArgError("missing command".into()))?
         .clone();
     if command.starts_with("--") {
-        return Err(ArgError(format!("expected a command, got flag '{command}'")));
+        return Err(ArgError(format!(
+            "expected a command, got flag '{command}'"
+        )));
     }
     let mut flags = BTreeMap::new();
     while let Some(flag) = it.next() {

@@ -298,7 +298,10 @@ mod tests {
     #[test]
     fn make_partition_specs() {
         assert_eq!(make_partition("roundrobin").unwrap(), Partition::RoundRobin);
-        assert_eq!(make_partition("single:2").unwrap(), Partition::SingleSite(2));
+        assert_eq!(
+            make_partition("single:2").unwrap(),
+            Partition::SingleSite(2)
+        );
         assert!(matches!(
             make_partition("skewed:0.8").unwrap(),
             Partition::Skewed { .. }

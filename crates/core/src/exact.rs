@@ -24,7 +24,10 @@ pub const MAX_ORACLE_ITEMS: usize = 20;
 /// non-positive, or if `s == 0`.
 pub fn inclusion_probabilities(weights: &[f64], s: usize) -> Vec<f64> {
     let n = weights.len();
-    assert!(n <= MAX_ORACLE_ITEMS, "oracle limited to {MAX_ORACLE_ITEMS} items");
+    assert!(
+        n <= MAX_ORACLE_ITEMS,
+        "oracle limited to {MAX_ORACLE_ITEMS} items"
+    );
     assert!(s >= 1, "sample size must be >= 1");
     assert!(
         weights.iter().all(|&w| w > 0.0 && w.is_finite()),

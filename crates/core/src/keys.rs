@@ -88,9 +88,7 @@ mod tests {
         let (w, theta) = (2.0, 5.0);
         let p = p_key_above(w, theta);
         let n = 400_000;
-        let hits = (0..n)
-            .filter(|_| key_for(w, &mut rng) > theta)
-            .count() as f64;
+        let hits = (0..n).filter(|_| key_for(w, &mut rng) > theta).count() as f64;
         let emp = hits / n as f64;
         let se = (p * (1.0 - p) / n as f64).sqrt();
         assert!((emp - p).abs() < 6.0 * se, "emp {emp} vs p {p}");

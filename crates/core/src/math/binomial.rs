@@ -15,7 +15,10 @@ use crate::rng::Rng;
 
 /// Draws an exact Binomial(n, p) variate.
 pub fn binomial(rng: &mut Rng, n: u64, p: f64) -> u64 {
-    assert!((0.0..=1.0).contains(&p) || p.is_nan(), "p must be in [0,1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p) || p.is_nan(),
+        "p must be in [0,1], got {p}"
+    );
     assert!(!p.is_nan(), "p must not be NaN");
     if n == 0 || p <= 0.0 {
         return 0;
@@ -112,10 +115,8 @@ fn btrs(rng: &mut Rng, n: u64, p: f64) -> u64 {
         if k < 0.0 || k > nf {
             continue;
         }
-        let accept_ln =
-            (v * alpha / (a / (us * us) + b)).ln();
-        let target =
-            h - ln_gamma(k + 1.0) - ln_gamma(nf - k + 1.0) + (k - m) * lpq;
+        let accept_ln = (v * alpha / (a / (us * us) + b)).ln();
+        let target = h - ln_gamma(k + 1.0) - ln_gamma(nf - k + 1.0) + (k - m) * lpq;
         if accept_ln <= target {
             return k as u64;
         }
@@ -200,9 +201,8 @@ mod tests {
         // exact pmf at mode +- 3
         let mode = ((n + 1) as f64 * p).floor() as u64;
         for k in mode.saturating_sub(3)..=mode + 3 {
-            let ln_pmf = crate::math::ln_choose(n, k)
-                + k as f64 * p.ln()
-                + (n - k) as f64 * (1.0 - p).ln();
+            let ln_pmf =
+                crate::math::ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
             let expect = ln_pmf.exp() * trials as f64;
             let got = *counts.get(&k).unwrap_or(&0) as f64;
             assert!(

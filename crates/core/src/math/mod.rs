@@ -75,8 +75,10 @@ mod tests {
         let mut rng = crate::rng::Rng::new(3);
         for &p in &[0.5f64, 0.1, 0.01] {
             let n = 100_000;
-            let mean: f64 =
-                (0..n).map(|_| geometric_trials(&mut rng, p) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n)
+                .map(|_| geometric_trials(&mut rng, p) as f64)
+                .sum::<f64>()
+                / n as f64;
             let expect = 1.0 / p;
             assert!(
                 (mean - expect).abs() < 0.05 * expect,

@@ -136,10 +136,7 @@ mod tests {
         let mut fact = 1.0f64;
         for n in 1..15u32 {
             // Γ(n) = (n-1)!
-            assert!(
-                (ln_gamma(n as f64) - fact.ln()).abs() < 1e-10,
-                "n = {n}"
-            );
+            assert!((ln_gamma(n as f64) - fact.ln()).abs() < 1e-10, "n = {n}");
             fact *= n as f64;
         }
     }

@@ -123,7 +123,11 @@ mod tests {
         let root = merge_two(&l, &r, s);
         let refs: Vec<&[Keyed]> = parts.iter().map(Vec::as_slice).collect();
         let flat = merge_samples(&refs, s);
-        let ids = |v: &[Keyed]| v.iter().map(|k| (k.item.id, k.key.to_bits())).collect::<Vec<_>>();
+        let ids = |v: &[Keyed]| {
+            v.iter()
+                .map(|k| (k.item.id, k.key.to_bits()))
+                .collect::<Vec<_>>()
+        };
         assert_eq!(ids(&root), ids(&flat));
     }
 }

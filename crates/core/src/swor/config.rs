@@ -98,7 +98,9 @@ mod tests {
 
     #[test]
     fn overrides_apply() {
-        let cfg = SworConfig::new(8, 8).with_r(3.0).with_level_capacity_factor(2.0);
+        let cfg = SworConfig::new(8, 8)
+            .with_r(3.0)
+            .with_level_capacity_factor(2.0);
         assert_eq!(cfg.r(), 3.0);
         assert_eq!(cfg.level_capacity(), 48);
     }

@@ -443,7 +443,11 @@ mod tests {
         }
         assert!(!coord.is_level_saturated(0));
         assert!(out.is_empty());
-        assert_eq!(coord.released_len(), 0, "nothing released before saturation");
+        assert_eq!(
+            coord.released_len(),
+            0,
+            "nothing released before saturation"
+        );
         // Saturating message releases the level and broadcasts.
         coord.receive(
             UpMsg::Early {

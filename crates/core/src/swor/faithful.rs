@@ -106,9 +106,7 @@ impl FaithfulCoordinator {
     /// Query: top-`s` of `S ∪ (∪_j D_j)` (Theorem 3).
     pub fn sample(&self) -> Vec<Keyed> {
         top_s_of(
-            self.sample
-                .iter()
-                .chain(self.level_sets.values().flatten()),
+            self.sample.iter().chain(self.level_sets.values().flatten()),
             self.cfg.sample_size,
         )
     }

@@ -66,7 +66,13 @@ mod tests {
 
     #[test]
     fn kinds_are_stable() {
-        assert_eq!(UpMsg::Early { item: Item::unit(1) }.kind(), "early");
+        assert_eq!(
+            UpMsg::Early {
+                item: Item::unit(1)
+            }
+            .kind(),
+            "early"
+        );
         assert_eq!(
             UpMsg::Regular {
                 item: Item::unit(1),
@@ -75,7 +81,10 @@ mod tests {
             .kind(),
             "regular"
         );
-        assert_eq!(DownMsg::LevelSaturated { level: 3 }.kind(), "level_saturated");
+        assert_eq!(
+            DownMsg::LevelSaturated { level: 3 }.kind(),
+            "level_saturated"
+        );
         assert_eq!(
             DownMsg::UpdateEpoch { threshold: 8.0 }.kind(),
             "update_epoch"

@@ -268,12 +268,7 @@ mod tests {
     use super::*;
     use crate::rng::mix;
 
-    fn run(
-        weights: &[f64],
-        k: usize,
-        s: usize,
-        seed: u64,
-    ) -> (WeightedSwrCoordinator, u64, u64) {
+    fn run(weights: &[f64], k: usize, s: usize, seed: u64) -> (WeightedSwrCoordinator, u64, u64) {
         let cfg = SwrConfig::new(s, k);
         let mut sites: Vec<WeightedSwrSite> = (0..k)
             .map(|i| WeightedSwrSite::new(&cfg, mix(seed, i as u64)))

@@ -124,11 +124,7 @@ impl TopK {
             return Offer::Inserted;
         }
         // Full: compare against the minimum.
-        let min = self
-            .heap
-            .peek()
-            .expect("non-empty full heap")
-            .0;
+        let min = self.heap.peek().expect("non-empty full heap").0;
         if entry > min {
             let evicted = self.heap.pop().expect("heap non-empty").0.keyed;
             self.heap.push(std::cmp::Reverse(entry));

@@ -269,10 +269,7 @@ mod tests {
         let total = up + down;
         // Θ(k log(n/s)/log(1+k/s)) with small constants; allow a wide berth
         // but demand strong sublinearity.
-        assert!(
-            total < n / 50,
-            "messages {total} not sublinear in n = {n}"
-        );
+        assert!(total < n / 50, "messages {total} not sublinear in n = {n}");
     }
 
     #[test]

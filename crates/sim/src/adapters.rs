@@ -274,14 +274,16 @@ mod tests {
     fn byte_accounting_matches_frame_sizes() {
         let cfg = SworConfig::new(8, 4);
         let mut r = build_swor(cfg, 21);
-        let stream =
-            (0..6000u64).map(|i| ((i % 4) as usize, Item::new(i, 1.0 + (i % 5) as f64)));
+        let stream = (0..6000u64).map(|i| ((i % 4) as usize, Item::new(i, 1.0 + (i % 5) as f64)));
         r.run(stream);
         let m = &r.metrics;
         let expect_up = 17 * m.kind("early") + 25 * m.kind("regular");
         assert_eq!(m.up_bytes, expect_up, "upstream bytes must match frames");
         let expect_down = 5 * m.kind("level_saturated") + 9 * m.kind("update_epoch");
-        assert_eq!(m.down_bytes, expect_down, "downstream bytes must match frames");
+        assert_eq!(
+            m.down_bytes, expect_down,
+            "downstream bytes must match frames"
+        );
         // Every message is O(1) machine words on the wire (Prop. 7).
         assert!(m.up_bytes <= 32 * m.up_total);
         assert!(m.down_bytes <= 32 * m.down_total);
@@ -322,8 +324,7 @@ mod tests {
         // verified here by size and by comparing message counts vs instant.
         let cfg = SworConfig::new(8, 4);
         let n = 8000u64;
-        let mk_stream =
-            || (0..n).map(|i| ((i % 4) as usize, Item::new(i, 1.0 + (i % 11) as f64)));
+        let mk_stream = || (0..n).map(|i| ((i % 4) as usize, Item::new(i, 1.0 + (i % 11) as f64)));
         let mut instant = build_swor(cfg.clone(), 99);
         instant.run(mk_stream());
         let mut delayed = build_swor(cfg, 99).with_latency(50);

@@ -104,7 +104,8 @@ where
         let unicasts = std::mem::take(&mut self.outbox.unicasts);
         let broadcasts = std::mem::take(&mut self.outbox.broadcasts);
         for (to, msg) in unicasts {
-            self.metrics.count_unicast(msg.kind(), msg.units(), msg.wire_bytes());
+            self.metrics
+                .count_unicast(msg.kind(), msg.units(), msg.wire_bytes());
             match &mut self.delivery {
                 Delivery::Instant => self.sites[to].receive(&msg),
                 Delivery::Delayed { latency, queues } => {
@@ -113,7 +114,8 @@ where
             }
         }
         for msg in broadcasts {
-            self.metrics.count_broadcast(msg.kind(), msg.units(), msg.wire_bytes(), k);
+            self.metrics
+                .count_broadcast(msg.kind(), msg.units(), msg.wire_bytes(), k);
             match &mut self.delivery {
                 Delivery::Instant => {
                     for site in &mut self.sites {
@@ -137,7 +139,8 @@ where
         self.sites[site].observe(item, &mut self.up_buf);
         let ups = std::mem::take(&mut self.up_buf);
         for up in ups {
-            self.metrics.count_up(up.kind(), up.units(), up.wire_bytes());
+            self.metrics
+                .count_up(up.kind(), up.units(), up.wire_bytes());
             self.coordinator.receive(site, up, &mut self.outbox);
             self.route_outbox();
         }

@@ -39,13 +39,7 @@ impl FanInTree {
     /// Builds `groups` groups with `k_per_group` sites each, sample size
     /// `s` everywhere, syncing each aggregator to the root every
     /// `sync_every` items it processes.
-    pub fn new(
-        s: usize,
-        groups: usize,
-        k_per_group: usize,
-        sync_every: u64,
-        seed: u64,
-    ) -> Self {
+    pub fn new(s: usize, groups: usize, k_per_group: usize, sync_every: u64, seed: u64) -> Self {
         assert!(groups >= 1 && k_per_group >= 1 && sync_every >= 1);
         let groups_vec = (0..groups)
             .map(|gi| {
@@ -103,11 +97,7 @@ impl FanInTree {
     /// Total messages: intra-group protocol traffic plus aggregator→root
     /// sync traffic.
     pub fn total_messages(&self) -> u64 {
-        self.groups
-            .iter()
-            .map(|g| g.metrics.total())
-            .sum::<u64>()
-            + self.root_messages
+        self.groups.iter().map(|g| g.metrics.total()).sum::<u64>() + self.root_messages
     }
 
     /// Number of groups.

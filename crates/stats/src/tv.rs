@@ -4,11 +4,7 @@
 /// `½·Σ|p_i - q_i|`.
 pub fn tv_distance(p: &[f64], q: &[f64]) -> f64 {
     assert_eq!(p.len(), q.len(), "length mismatch");
-    0.5 * p
-        .iter()
-        .zip(q)
-        .map(|(a, b)| (a - b).abs())
-        .sum::<f64>()
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
 }
 
 /// TV distance between two empirical count vectors (normalized first).

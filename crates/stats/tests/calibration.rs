@@ -15,7 +15,10 @@ fn assert_calibrated(ps: &[f64], label: &str) {
         "{label}: P(p < 0.1) = {below_10}"
     );
     let below_001 = ps.iter().filter(|&&p| p < 0.001).count() as f64 / n;
-    assert!(below_001 < 0.02, "{label}: too many tiny p-values {below_001}");
+    assert!(
+        below_001 < 0.02,
+        "{label}: too many tiny p-values {below_001}"
+    );
     let mean: f64 = ps.iter().sum::<f64>() / n;
     assert!(
         (mean - 0.5).abs() < 0.08,

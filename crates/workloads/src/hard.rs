@@ -164,8 +164,10 @@ mod tests {
         assert!(inst[8..12].iter().all(|(_, it)| it.weight == 16.0));
         // Every site appears once per epoch.
         for epoch in 0..3 {
-            let mut sites: Vec<usize> =
-                inst[epoch * 4..(epoch + 1) * 4].iter().map(|(s, _)| *s).collect();
+            let mut sites: Vec<usize> = inst[epoch * 4..(epoch + 1) * 4]
+                .iter()
+                .map(|(s, _)| *s)
+                .collect();
             sites.sort_unstable();
             assert_eq!(sites, vec![0, 1, 2, 3]);
         }

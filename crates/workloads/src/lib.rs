@@ -12,7 +12,7 @@ pub mod hard;
 pub mod skewed;
 pub mod trace;
 
-pub use basic::{unit, uniform_weights};
+pub use basic::{uniform_weights, unit};
 pub use hard::{exploding, l1_unit_epochs, weighted_epochs};
 pub use skewed::{few_heavy, lognormal, pareto, residual_skew, zipf_ranked, Placement};
 pub use trace::query_log;

@@ -21,9 +21,7 @@ pub enum Placement {
 pub fn zipf_ranked(n: usize, alpha: f64, seed: u64) -> Vec<Item> {
     assert!(n >= 1 && alpha > 0.0);
     let mut rng = Rng::new(seed);
-    let mut weights: Vec<f64> = (1..=n)
-        .map(|r| (n as f64 / r as f64).powf(alpha))
-        .collect();
+    let mut weights: Vec<f64> = (1..=n).map(|r| (n as f64 / r as f64).powf(alpha)).collect();
     rng.shuffle(&mut weights);
     weights
         .into_iter()

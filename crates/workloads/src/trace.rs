@@ -54,7 +54,10 @@ mod tests {
         assert_eq!(v.len(), 10_000);
         let zero = v.iter().filter(|i| i.id == 0).count();
         let deep = v.iter().filter(|i| i.id == 400).count();
-        assert!(zero > deep, "rank-0 id ({zero}) should recur more than rank-400 ({deep})");
+        assert!(
+            zero > deep,
+            "rank-0 id ({zero}) should recur more than rank-400 ({deep})"
+        );
         assert!(zero > 100, "rank-0 id too rare: {zero}");
     }
 

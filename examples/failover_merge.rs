@@ -24,7 +24,11 @@ fn main() {
     }
     tree.sync_all();
     let root = tree.root_sample();
-    println!("fan-in tree: {} regions, root sample of {}", tree.num_groups(), root.len());
+    println!(
+        "fan-in tree: {} regions, root sample of {}",
+        tree.num_groups(),
+        root.len()
+    );
     println!(
         "  total messages (intra-region + region->root): {}",
         tree.total_messages()
@@ -40,7 +44,11 @@ fn main() {
         "  estimated total    : {est_w:.4e}  (err {:.1}%)",
         100.0 * (est_w - total).abs() / total
     );
-    let odd_true: f64 = events.iter().filter(|e| e.id % 2 == 1).map(|e| e.weight).sum();
+    let odd_true: f64 = events
+        .iter()
+        .filter(|e| e.id % 2 == 1)
+        .map(|e| e.weight)
+        .sum();
     let odd_est = subset_sum(&root, false, |it| it.id % 2 == 1);
     println!(
         "  odd-id subset sum  : true {odd_true:.4e}, estimated {odd_est:.4e}  (err {:.1}%)",
@@ -72,8 +80,16 @@ fn main() {
             downs.clear();
         }
     }
-    let a: Vec<u64> = primary.coordinator.sample().iter().map(|k| k.item.id).collect();
+    let a: Vec<u64> = primary
+        .coordinator
+        .sample()
+        .iter()
+        .map(|k| k.item.id)
+        .collect();
     let b: Vec<u64> = standby.sample().iter().map(|k| k.item.id).collect();
-    println!("\nfailover: primary and restored standby agree on the sample: {}", a == b);
+    println!(
+        "\nfailover: primary and restored standby agree on the sample: {}",
+        a == b
+    );
     println!("  sample ids: {a:?}");
 }

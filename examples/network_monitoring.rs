@@ -41,10 +41,18 @@ fn main() {
     let required = exact_residual_heavy_hitters(&flows, eps);
 
     println!("\ntotal bytes observed : {total_bytes:.3e}");
-    println!("messages spent       : {}  (stream had {} records)", tracker.messages(), flows.len());
+    println!(
+        "messages spent       : {}  (stream had {} records)",
+        tracker.messages(),
+        flows.len()
+    );
     println!("\ntop candidate flows (by bytes):");
     for flow in candidates.iter().take(10) {
-        let marker = if required.contains(&flow.id) { "*" } else { " " };
+        let marker = if required.contains(&flow.id) {
+            "*"
+        } else {
+            " "
+        };
         println!("  {marker} flow {:>6}  bytes {:.3e}", flow.id, flow.weight);
     }
     println!("  (* = provably required: >= eps of the residual stream)");

@@ -40,9 +40,18 @@ fn main() {
     println!("\nmessages used:");
     println!("  early (withheld heavy items) : {}", m.kind("early"));
     println!("  regular (keyed forwards)     : {}", m.kind("regular"));
-    println!("  epoch broadcasts             : {}", m.kind("update_epoch"));
-    println!("  level-saturation broadcasts  : {}", m.kind("level_saturated"));
-    println!("  TOTAL                        : {}  (vs {n} stream items!)", m.total());
+    println!(
+        "  epoch broadcasts             : {}",
+        m.kind("update_epoch")
+    );
+    println!(
+        "  level-saturation broadcasts  : {}",
+        m.kind("level_saturated")
+    );
+    println!(
+        "  TOTAL                        : {}  (vs {n} stream items!)",
+        m.total()
+    );
 
     // Compare with the naive protocol the paper improves on: every site
     // keeps its own top-s and forwards every local change.

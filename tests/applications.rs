@@ -18,8 +18,7 @@ fn residual_hh_full_recall_on_skewed_streams() {
         let items = residual_skew(1_500, 4, 100 + run);
         let want = exact_residual_heavy_hitters(&items, eps);
         assert!(!want.is_empty(), "degenerate instance");
-        let mut tracker =
-            ResidualHeavyHitters::new(ResidualHhConfig::new(eps, 0.05, k), 200 + run);
+        let mut tracker = ResidualHeavyHitters::new(ResidualHhConfig::new(eps, 0.05, k), 200 + run);
         for (t, it) in items.iter().enumerate() {
             tracker.observe(t % k, *it);
         }

@@ -18,13 +18,20 @@ fn swor_runs_are_reproducible() {
             .iter()
             .map(|k| (k.item.id, k.key.to_bits()))
             .collect();
-        (sample, runner.metrics.total(), runner.metrics.by_kind.clone())
+        (
+            sample,
+            runner.metrics.total(),
+            runner.metrics.by_kind.clone(),
+        )
     };
     let a = run(123);
     let b = run(123);
     assert_eq!(a, b, "same seed must reproduce exactly");
     let c = run(124);
-    assert_ne!(a.0, c.0, "different seeds must explore different randomness");
+    assert_ne!(
+        a.0, c.0,
+        "different seeds must explore different randomness"
+    );
 }
 
 #[test]

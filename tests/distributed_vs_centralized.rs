@@ -10,9 +10,7 @@ use dwrs::sim::{build_swor, build_swor_faithful};
 use dwrs::stats::chi2_two_sample;
 
 /// Stream used throughout: 12 items with assorted weights.
-const WEIGHTS: [f64; 12] = [
-    3.0, 1.0, 7.0, 1.0, 2.0, 9.0, 1.0, 4.0, 2.0, 1.0, 5.0, 30.0,
-];
+const WEIGHTS: [f64; 12] = [3.0, 1.0, 7.0, 1.0, 2.0, 9.0, 1.0, 4.0, 2.0, 1.0, 5.0, 30.0];
 
 fn run_distributed(s: usize, k: usize, seed: u64) -> Vec<u64> {
     let mut runner = build_swor(SworConfig::new(s, k), seed);

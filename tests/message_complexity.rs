@@ -36,8 +36,7 @@ fn swor_within_constant_of_theorem3_bound() {
         let items = uniform_weights(1 << 14, 1.0, 2.0, k as u64);
         let w: f64 = items.iter().map(|i| i.weight).sum();
         let total = swor_total(s, k, &items, 5);
-        let bound =
-            k as f64 * (w / s as f64).ln() / (1.0 + k as f64 / s as f64).ln();
+        let bound = k as f64 * (w / s as f64).ln() / (1.0 + k as f64 / s as f64).ln();
         let ratio = total as f64 / bound;
         // Constants: early messages cost 4rs per level; allow a wide but
         // finite envelope.

@@ -16,8 +16,8 @@ fn stream_strategy() -> impl Strategy<Value = (Vec<(usize, f64)>, u64, usize, us
     (
         proptest::collection::vec((0usize..4, 1.0f64..100_000.0), 1..300),
         any::<u64>(),
-        1usize..6,  // s
-        1usize..5,  // k (site indices are taken mod k)
+        1usize..6, // s
+        1usize..5, // k (site indices are taken mod k)
     )
 }
 

@@ -37,8 +37,18 @@ fn optimized_coordinator_withholds_at_most_s_items() {
     );
     // Despite the space gap, both answer queries identically (checked
     // elsewhere at every step; spot-check the final answer here).
-    let a: Vec<u64> = fast.coordinator.sample().iter().map(|x| x.item.id).collect();
-    let b: Vec<u64> = slow.coordinator.sample().iter().map(|x| x.item.id).collect();
+    let a: Vec<u64> = fast
+        .coordinator
+        .sample()
+        .iter()
+        .map(|x| x.item.id)
+        .collect();
+    let b: Vec<u64> = slow
+        .coordinator
+        .sample()
+        .iter()
+        .map(|x| x.item.id)
+        .collect();
     assert_eq!(a, b);
 }
 

@@ -1,0 +1,300 @@
+//! Minimal, offline, API-compatible stand-in for the `criterion` crate.
+//!
+//! Implements the subset this workspace's benches use (see
+//! `vendor/README.md`): `criterion_group!` / `criterion_main!`,
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], and [`Bencher::iter`].
+//!
+//! Measurement is intentionally simple — a fixed-iteration timed loop with
+//! mean ns/iter on stdout, no statistics, no plots. `--test` (what
+//! `cargo bench -- --test` passes) switches to a single-iteration smoke run,
+//! and a positional argument filters benchmarks by substring, matching the
+//! real harness's CLI contract closely enough for CI.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer identity, re-exported for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies a benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("name", param)`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// `BenchmarkId::from_parameter(param)`.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Passed to bench closures; runs the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    matched: usize,
+}
+
+impl Drop for Criterion {
+    // A filter matching nothing is usually a misparsed flag (the stub treats
+    // any non-dash argument as a name filter); stay exit-0 — under
+    // `cargo bench -- <filter>` a filter may legitimately match zero
+    // benchmarks in *this* target while matching another — but don't let the
+    // empty run look like a successful one.
+    fn drop(&mut self) {
+        if self.matched == 0 {
+            if let Some(f) = &self.filter {
+                eprintln!("warning: benchmark filter '{f}' matched no benchmarks in this target");
+            }
+        }
+    }
+}
+
+impl Criterion {
+    /// Build from CLI args: recognizes `--test` (single-iteration smoke mode)
+    /// and a positional substring filter; ignores other harness flags the
+    /// real criterion accepts (`--bench`, `--verbose`, ...).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                self.test_mode = true;
+            } else if !arg.starts_with('-') {
+                self.filter = Some(arg);
+            }
+        }
+        self
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if !self.should_run(id) {
+            return;
+        }
+        self.matched += 1;
+        let iters = if self.test_mode { 1 } else { 20 };
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {id} ... ok");
+            return;
+        }
+        let per_iter = b.elapsed_ns as f64 / iters as f64;
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => format!(" ({:.1} Melem/s)", n as f64 / per_iter * 1e3),
+            Throughput::Bytes(n) => {
+                format!(" ({:.1} MiB/s)", n as f64 / per_iter * 1e9 / 1048576.0)
+            }
+        });
+        println!(
+            "{id:<50} {:>12.0} ns/iter{}",
+            per_iter,
+            rate.unwrap_or_default()
+        );
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(&id.id, None, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record units-per-iteration for derived rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub does not time-box runs.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&id, throughput, &mut f);
+        self
+    }
+
+    /// Run a parameterized benchmark inside this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let throughput = self.throughput;
+        self.criterion
+            .run_one(&id, throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Define a group function that runs each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_filters() {
+        let mut c = Criterion {
+            filter: Some("keep".into()),
+            test_mode: true,
+            matched: 0,
+        };
+        let mut ran = Vec::new();
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(1)).sample_size(10);
+            g.bench_function("keep_me", |b| {
+                b.iter(|| ran.push("keep"));
+            });
+            g.bench_function("skip_me", |b| {
+                b.iter(|| ran.push("skip"));
+            });
+            g.finish();
+        }
+        assert_eq!(ran, vec!["keep"]);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+            matched: 0,
+        };
+        let mut seen = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+                b.iter(|| seen = x);
+            });
+            g.finish();
+        }
+        assert_eq!(seen, 7);
+    }
+}

@@ -1,0 +1,511 @@
+//! Minimal, offline, API-compatible stand-in for the `proptest` crate.
+//!
+//! Implements exactly the subset this workspace's test suites use (see
+//! `vendor/README.md`): the [`proptest!`] macro, `prop_assert*!` /
+//! [`prop_assume!`], [`strategy::Strategy`] for numeric ranges and tuples,
+//! [`collection::vec`], [`arbitrary::any`], and
+//! [`test_runner::Config`] (`ProptestConfig`).
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **Deterministic**: every test derives its RNG seed from its own name
+//!   (FNV-1a), so a given binary always runs the identical case sequence.
+//!   No failure-persistence files are written.
+//! - **No shrinking**: a failing case reports its per-case seed instead of a
+//!   minimized input.
+
+/// Deterministic pseudo-random generation (SplitMix64).
+pub mod rng {
+    /// The RNG handed to strategies. SplitMix64: tiny, fast, and good enough
+    /// for test-case generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed directly from a 64-bit value.
+        pub fn from_seed(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        /// Derive a seed from a test name so each test gets a distinct but
+        /// reproducible stream (FNV-1a).
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self::from_seed(h)
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Run configuration and per-case error type.
+pub mod test_runner {
+    /// Stand-in for `proptest::test_runner::Config`. Only `cases` matters.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful (non-rejected) cases to run per test.
+        pub cases: u32,
+        /// Cap on total attempts (rejections included) before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// `ProptestConfig::with_cases(n)` — run `n` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_global_rejects: 65536,
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed — the case is skipped, not counted.
+        Reject(String),
+        /// A `prop_assert*!` failed — the test fails.
+        Fail(String),
+    }
+}
+
+/// The [`Strategy`] trait and implementations for ranges and tuples.
+pub mod strategy {
+    use crate::rng::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike the real crate there is no value-tree/shrinking machinery:
+    /// a strategy simply draws a value from the RNG.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Blanket impl so `&S` works where a strategy is expected.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                #[allow(clippy::unnecessary_cast)]
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty integer range strategy {}..{}",
+                        self.start,
+                        self.end
+                    );
+                    let width = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % width;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                #[allow(clippy::unnecessary_cast)]
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty float range strategy {}..{}",
+                        self.start,
+                        self.end
+                    );
+                    let v = self.start + (self.end - self.start) * rng.unit_f64() as $t;
+                    // Guard against rounding up to the excluded endpoint.
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+        )+};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! float_range_inclusive_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                #[allow(clippy::unnecessary_cast)]
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(
+                        start <= end,
+                        "empty float range strategy {}..={}",
+                        start,
+                        end
+                    );
+                    start + (end - start) * rng.unit_f64() as $t
+                }
+            }
+        )+};
+    }
+
+    float_range_inclusive_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+/// `any::<T>()` — the full-range strategy for a type.
+pub mod arbitrary {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::unnecessary_cast)]
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone, Debug, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<u64>()` etc. — unconstrained values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// Define property tests. Supports the two forms the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, (a, b) in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut seed_rng = $crate::rng::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut executed: u32 = 0;
+            let mut rejects: u32 = 0;
+            while executed < config.cases {
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest stub: too many rejected cases in {} ({} rejects, {} executed)",
+                        stringify!($name), rejects, executed
+                    );
+                }
+                let case_seed = seed_rng.next_u64();
+                // catch_unwind so a panic from the code under test (not just
+                // prop_assert*) still reports the case seed — without
+                // shrinking, the seed is the only way to regenerate the input.
+                let caught = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        let mut case_rng = $crate::rng::TestRng::from_seed(case_seed);
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut case_rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                ));
+                let outcome = match caught {
+                    ::std::result::Result::Ok(outcome) => outcome,
+                    ::std::result::Result::Err(payload) => {
+                        eprintln!(
+                            "proptest stub: case panicked in {} (case seed {:#018x})",
+                            stringify!($name),
+                            case_seed
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                };
+                match outcome {
+                    ::std::result::Result::Ok(()) => executed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejects += 1;
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case failed in {} (case seed {:#018x}): {}",
+                            stringify!($name), case_seed, msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "{}: `{:?}` != `{:?}`",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Skip (don't count) the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::rng::TestRng::deterministic("ranges_respect_bounds");
+        for _ in 0..1000 {
+            let v = crate::strategy::Strategy::generate(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = crate::strategy::Strategy::generate(&(1.0f64..2.0), &mut rng);
+            assert!((1.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut rng = crate::rng::TestRng::deterministic("vec_lengths");
+        for _ in 0..200 {
+            let v = crate::strategy::Strategy::generate(
+                &crate::collection::vec(0u64..5, 2..9),
+                &mut rng,
+            );
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::rng::TestRng::deterministic("same-name");
+        let mut b = crate::rng::TestRng::deterministic("same-name");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(x in 1u64..100, (lo, hi) in (0i64..10, 10i64..20)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(lo < hi);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(lo, hi);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        #[should_panic(expected = "boom")]
+        fn body_panics_still_propagate(n in 0usize..10) {
+            // Exercises the catch_unwind path: the runner prints the case
+            // seed to stderr, then resumes the unwind.
+            assert!(n >= 10, "boom: {n}");
+        }
+    }
+}
