@@ -8,7 +8,24 @@ usage: dwrs <command> [--flag value ...]
 
 commands:
   sample       run distributed weighted SWOR over a synthetic stream
+               (single-threaded lockstep simulator)
                flags: --n --k --s --workload --seed --partition --latency
+  run          run distributed weighted SWOR on a selectable engine and
+               report throughput alongside the sample and metrics
+               flags: --engine {lockstep|threads|tcp} (default threads)
+                      --n --k --s --workload --seed --partition
+                      --batch <msgs per upstream frame>   (default 64)
+                      --queue <up-queue bound in batches> (default 128)
+                      --format {text|json}                (default text)
+  serve        run a standalone SWOR coordinator as a TCP server: accept
+               --k framed site connections, then print sample + metrics
+               flags: --addr (default 127.0.0.1:0, prints bound address)
+                      --k --s --seed --queue
+  feed         drive one site of a `dwrs serve` coordinator over TCP;
+               run k feeds with identical --n/--workload/--seed/--partition
+               and distinct --site to reproduce `run --engine tcp`
+               flags: --connect <addr> --site <i>
+                      --n --k --s --workload --seed --partition --batch
   workload     print a generated workload as CSV (id,weight)
                flags: --kind --n --seed
   track-l1     compare the L1 trackers on a unit stream

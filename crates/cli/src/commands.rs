@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 use std::io::Write;
+use std::time::Instant;
 
 use dwrs_apps::l1::{
     run_tracker, FolkloreTracker, HyzTracker, L1Config, L1DupTracker, L1Estimator,
@@ -11,7 +12,8 @@ use dwrs_apps::residual_hh::{
 };
 use dwrs_core::swor::SworConfig;
 use dwrs_core::Item;
-use dwrs_sim::{assign_sites, build_swor, Partition};
+use dwrs_runtime::{run_swor, split_stream, EngineKind, RuntimeConfig};
+use dwrs_sim::{assign_sites, build_swor, swor_coordinator, swor_site, Metrics, Partition};
 use dwrs_workloads as workloads;
 
 use crate::args::{ArgError, Parsed};
@@ -20,6 +22,9 @@ use crate::args::{ArgError, Parsed};
 pub fn dispatch<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
     match p.command.as_str() {
         "sample" => cmd_sample(p, out),
+        "run" => cmd_run(p, out),
+        "serve" => cmd_serve(p, out),
+        "feed" => cmd_feed(p, out),
         "workload" => cmd_workload(p, out),
         "track-l1" => cmd_track_l1(p, out),
         "residual-hh" => cmd_residual_hh(p, out),
@@ -117,6 +122,173 @@ fn cmd_sample<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
         writeln!(out, "  {kind:<16} {count}").ok();
     }
     writeln!(out, "bytes on the wire: {}", m.total_bytes()).ok();
+    Ok(())
+}
+
+/// Shared stream setup for the engine commands: the deterministic global
+/// workload and its site assignment.
+fn make_stream(p: &Parsed) -> Result<(Vec<Item>, Vec<usize>, usize), ArgError> {
+    let n = p.u64_or("n", 1_000_000)? as usize;
+    let k = p.u64_or("k", 8)? as usize;
+    if k == 0 {
+        return Err(ArgError("--k must be at least 1".into()));
+    }
+    let seed = p.u64_or("seed", 42)?;
+    let items = make_workload(&p.str_or("workload", "zipf:1.1"), n, seed ^ 0xA5)?;
+    let partition = make_partition(&p.str_or("partition", "roundrobin"))?;
+    let sites = assign_sites(partition, k, items.len(), seed ^ 0x17);
+    Ok((items, sites, k))
+}
+
+fn runtime_config(p: &Parsed) -> Result<RuntimeConfig, ArgError> {
+    Ok(RuntimeConfig::new()
+        .with_batch_max(p.u64_or("batch", 64)?.max(1) as usize)
+        .with_queue_capacity(p.u64_or("queue", 128)?.max(1) as usize))
+}
+
+/// Prints the sample/metrics block shared by `run`, `serve`, and `sample`.
+fn report_run<W: Write>(out: &mut W, sample: &[dwrs_core::Keyed], metrics: &Metrics, head: usize) {
+    writeln!(out, "sample size: {}", sample.len()).ok();
+    writeln!(out, "sample head (id, weight, key):").ok();
+    for kd in sample.iter().take(head) {
+        writeln!(
+            out,
+            "  {:>12}  {:>14.4}  {:.6e}",
+            kd.item.id, kd.item.weight, kd.key
+        )
+        .ok();
+    }
+    writeln!(out, "messages: total {}", metrics.total()).ok();
+    for (kind, count) in &metrics.by_kind {
+        writeln!(out, "  {kind:<16} {count}").ok();
+    }
+    writeln!(out, "bytes on the wire: {}", metrics.total_bytes()).ok();
+}
+
+fn cmd_run<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
+    let engine: EngineKind = p.str_or("engine", "threads").parse().map_err(ArgError)?;
+    let s = p.u64_or("s", 64)? as usize;
+    let seed = p.u64_or("seed", 42)?;
+    let rcfg = runtime_config(p)?;
+    let format = p.str_or("format", "text");
+    if format != "text" && format != "json" {
+        return Err(ArgError(format!(
+            "--format must be text or json, got '{format}'"
+        )));
+    }
+    let (items, sites, k) = make_stream(p)?;
+    let n = items.len();
+
+    // Time the engine only, not workload generation.
+    let (sample, metrics, elapsed_s) = match engine {
+        EngineKind::Lockstep => {
+            // The lockstep simulator consumes the stream in its true global
+            // arrival order.
+            let mut runner = build_swor(SworConfig::new(s, k), seed);
+            let t0 = Instant::now();
+            runner.run(sites.into_iter().zip(items));
+            let dt = t0.elapsed().as_secs_f64();
+            (runner.coordinator.sample(), runner.metrics, dt)
+        }
+        _ => {
+            let streams = split_stream(k, sites.into_iter().zip(items));
+            let t0 = Instant::now();
+            let run = run_swor(engine, SworConfig::new(s, k), seed, streams, &rcfg)
+                .map_err(|e| ArgError(format!("{engine} engine failed: {e}")))?;
+            let dt = t0.elapsed().as_secs_f64();
+            (run.coordinator.sample(), run.metrics, dt)
+        }
+    };
+    let items_per_s = n as f64 / elapsed_s.max(1e-12);
+
+    if format == "json" {
+        writeln!(
+            out,
+            "{{\"engine\":\"{engine}\",\"n\":{n},\"k\":{k},\"s\":{s},\
+             \"elapsed_s\":{elapsed_s:.6},\"items_per_s\":{items_per_s:.1},\
+             \"sample_size\":{},\"messages\":{},\"up_messages\":{},\
+             \"down_messages\":{},\"bytes\":{}}}",
+            sample.len(),
+            metrics.total(),
+            metrics.up_total,
+            metrics.down_total,
+            metrics.total_bytes(),
+        )
+        .ok();
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "engine {engine}: n = {n}, k = {k}, s = {s}, batch = {}, queue = {}",
+        rcfg.batch_max, rcfg.queue_capacity
+    )
+    .ok();
+    writeln!(out, "elapsed: {elapsed_s:.3} s  ({items_per_s:.0} items/s)").ok();
+    report_run(out, &sample, &metrics, 8);
+    Ok(())
+}
+
+fn cmd_serve<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
+    let addr = p.str_or("addr", "127.0.0.1:0");
+    let k = p.u64_or("k", 8)? as usize;
+    let s = p.u64_or("s", 64)? as usize;
+    let seed = p.u64_or("seed", 42)?;
+    if k == 0 {
+        return Err(ArgError("--k must be at least 1".into()));
+    }
+    let rcfg = runtime_config(p)?;
+    let listener = std::net::TcpListener::bind(&addr)
+        .map_err(|e| ArgError(format!("cannot bind '{addr}': {e}")))?;
+    let bound = listener.local_addr().map_err(|e| ArgError(e.to_string()))?;
+    writeln!(out, "listening on {bound} (k = {k}, s = {s})").ok();
+    out.flush().ok();
+    let coordinator = swor_coordinator(SworConfig::new(s, k), seed);
+    let (coordinator, metrics) =
+        dwrs_runtime::tcp::serve_coordinator(&listener, k, coordinator, &rcfg)
+            .map_err(|e| ArgError(format!("serve failed: {e}")))?;
+    report_run(out, &coordinator.sample(), &metrics, 8);
+    Ok(())
+}
+
+fn cmd_feed<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
+    let connect = p
+        .flags
+        .get("connect")
+        .cloned()
+        .ok_or_else(|| ArgError("feed needs --connect <addr>".into()))?;
+    let site_id = p
+        .flags
+        .get("site")
+        .ok_or_else(|| ArgError("feed needs --site <i>".into()))?
+        .parse::<usize>()
+        .map_err(|_| ArgError("--site expects an integer".into()))?;
+    let s = p.u64_or("s", 64)? as usize;
+    let seed = p.u64_or("seed", 42)?;
+    let rcfg = runtime_config(p)?;
+    let (items, sites, k) = make_stream(p)?;
+    if site_id >= k {
+        return Err(ArgError(format!(
+            "--site {site_id} out of range for k = {k}"
+        )));
+    }
+    // This feed's share of the deterministic global stream.
+    let my_items: Vec<Item> = sites
+        .into_iter()
+        .zip(items)
+        .filter(|&(site, _)| site == site_id)
+        .map(|(_, item)| item)
+        .collect();
+    let site = swor_site(&SworConfig::new(s, k), seed, site_id);
+    let fed = my_items.len();
+    let (_site, metrics) =
+        dwrs_runtime::tcp::run_site(connect.as_str(), site_id, site, my_items, &rcfg)
+            .map_err(|e| ArgError(format!("feed failed: {e}")))?;
+    writeln!(
+        out,
+        "site {site_id}: fed {fed} items, sent {} messages ({} bytes)",
+        metrics.up_total, metrics.up_bytes
+    )
+    .ok();
     Ok(())
 }
 
@@ -237,6 +409,133 @@ mod tests {
         assert!(out.contains("sample (id, weight, key):"));
         assert!(out.contains("messages: total"));
         assert!(out.contains("bytes on the wire"));
+    }
+
+    #[test]
+    fn run_command_all_engines_report_throughput() {
+        for engine in ["lockstep", "threads", "tcp"] {
+            let (code, out) = run_cmd(&format!(
+                "run --engine {engine} --n 20000 --k 4 --s 8 --workload zipf:1.2 --batch 8 --queue 8"
+            ));
+            assert_eq!(code, 0, "engine {engine}: {out}");
+            assert!(out.contains(&format!("engine {engine}:")), "{out}");
+            assert!(out.contains("items/s"), "{out}");
+            assert!(out.contains("sample size: 8"), "{out}");
+            assert!(out.contains("messages: total"), "{out}");
+            assert!(out.contains("bytes on the wire"), "{out}");
+        }
+    }
+
+    #[test]
+    fn run_command_json_format() {
+        let (code, out) = run_cmd("run --engine threads --n 5000 --k 2 --s 4 --format json");
+        assert_eq!(code, 0, "output: {out}");
+        let line = out.lines().last().unwrap();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        for field in [
+            "\"engine\":\"threads\"",
+            "\"n\":5000",
+            "\"sample_size\":4",
+            "\"items_per_s\":",
+            "\"messages\":",
+            "\"bytes\":",
+        ] {
+            assert!(line.contains(field), "missing {field} in {line}");
+        }
+    }
+
+    #[test]
+    fn run_command_rejects_bad_engine_and_format() {
+        let (code, out) = run_cmd("run --engine quantum --n 10");
+        assert_eq!(code, 2);
+        assert!(out.contains("unknown engine"), "{out}");
+        let (code, out) = run_cmd("run --n 10 --format yaml");
+        assert_eq!(code, 2);
+        assert!(out.contains("--format"), "{out}");
+    }
+
+    /// `Write` sink shared across threads, so a test can watch `serve`'s
+    /// output for the bound address while the command is still running.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).expect("utf8")
+        }
+    }
+
+    #[test]
+    fn serve_and_feed_reproduce_tcp_engine() {
+        let k = 2;
+        let common = "--n 8000 --k 2 --s 8 --seed 9 --workload zipf:1.3";
+        // Start the coordinator server on an ephemeral port.
+        let serve_out = SharedBuf::default();
+        let server = {
+            let mut w = serve_out.clone();
+            std::thread::spawn(move || {
+                let argv: Vec<String> = "serve --addr 127.0.0.1:0 --k 2 --s 8 --seed 9"
+                    .split_whitespace()
+                    .map(String::from)
+                    .collect();
+                crate::run(&argv, &mut w)
+            })
+        };
+        // Wait for the bound address to appear.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            let text = serve_out.contents();
+            if let Some(line) = text.lines().find(|l| l.starts_with("listening on ")) {
+                break line["listening on ".len()..]
+                    .split_whitespace()
+                    .next()
+                    .unwrap()
+                    .to_string();
+            }
+            assert!(
+                !server.is_finished(),
+                "serve exited before listening: {text}"
+            );
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timed out waiting for serve to bind: {text}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+        // Drive both sites.
+        let feeds: Vec<_> = (0..k)
+            .map(|i| {
+                let cmd = format!("feed --connect {addr} --site {i} {common}");
+                std::thread::spawn(move || run_cmd(&cmd))
+            })
+            .collect();
+        for f in feeds {
+            let (code, out) = f.join().unwrap();
+            assert_eq!(code, 0, "feed output: {out}");
+            assert!(out.contains("fed 4000 items"), "{out}");
+        }
+        assert_eq!(server.join().unwrap(), 0);
+        let text = serve_out.contents();
+        assert!(text.contains("sample size: 8"), "{text}");
+        assert!(text.contains("messages: total"), "{text}");
+    }
+
+    #[test]
+    fn feed_validates_flags() {
+        let (code, out) = run_cmd("feed --site 0");
+        assert_eq!(code, 2);
+        assert!(out.contains("--connect"), "{out}");
+        let (code, out) = run_cmd("feed --connect 127.0.0.1:1 --site 9 --k 2 --n 10");
+        assert_eq!(code, 2);
+        assert!(out.contains("out of range"), "{out}");
     }
 
     #[test]

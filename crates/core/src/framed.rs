@@ -1,0 +1,303 @@
+//! Generic length-prefixed framing over any byte stream.
+//!
+//! [`super::swor::wire`] fixes the *payload* encoding of each protocol
+//! message; this module adds the transport-facing layer on top: a
+//! [`FrameCodec`] trait (implemented for [`UpMsg`]/[`DownMsg`] by delegating
+//! to `swor::wire`) and [`FramedWriter`]/[`FramedReader`], which move
+//! `u32`-length-prefixed blobs over any `std::io` stream. The runtime's
+//! loopback-TCP transport is built from exactly these pieces, so bytes on a
+//! real socket are byte-identical to what the simulator meters.
+//!
+//! Framing format: `[len: u32 LE][payload: len bytes]`, with `len` capped by
+//! [`MAX_FRAME_LEN`] so a corrupt or adversarial peer cannot trigger an
+//! unbounded allocation.
+
+use std::io::{self, Read, Write};
+
+use crate::swor::messages::{DownMsg, UpMsg};
+use crate::swor::wire::{self, WireError};
+
+/// Hard cap on a single frame's payload size (1 MiB). Protocol messages are
+/// O(1) machine words; even a maximal up-batch stays far below this.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// A self-delimiting binary codec: values encode to a byte sequence whose
+/// length is recoverable during decode, so frames can be concatenated.
+pub trait FrameCodec: Sized {
+    /// Appends the canonical encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decodes one value from the front of `buf`, returning it together
+    /// with the number of bytes consumed.
+    fn decode(buf: &[u8]) -> Result<(Self, usize), WireError>;
+}
+
+impl FrameCodec for UpMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        wire::encode_up(self, buf);
+    }
+    fn decode(buf: &[u8]) -> Result<(Self, usize), WireError> {
+        wire::decode_up(buf)
+    }
+}
+
+impl FrameCodec for DownMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        wire::encode_down(self, buf);
+    }
+    fn decode(buf: &[u8]) -> Result<(Self, usize), WireError> {
+        wire::decode_down(buf)
+    }
+}
+
+/// Encodes a sequence of codec values back-to-back into one payload.
+pub fn encode_seq<T: FrameCodec>(msgs: &[T], buf: &mut Vec<u8>) {
+    for m in msgs {
+        m.encode(buf);
+    }
+}
+
+/// Decodes a payload of back-to-back frames produced by [`encode_seq`].
+/// Trailing garbage (a frame boundary that does not land exactly on the end
+/// of the payload) is an error: framed transports deliver whole payloads.
+pub fn decode_seq<T: FrameCodec>(mut buf: &[u8]) -> Result<Vec<T>, WireError> {
+    let mut out = Vec::new();
+    while !buf.is_empty() {
+        let (msg, used) = T::decode(buf)?;
+        out.push(msg);
+        buf = &buf[used..];
+    }
+    Ok(out)
+}
+
+/// Maps a payload-level decode failure into `io::ErrorKind::InvalidData`.
+fn invalid(e: WireError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+/// Writes `u32`-length-prefixed frames to an underlying byte sink.
+#[derive(Debug)]
+pub struct FramedWriter<W: Write> {
+    inner: W,
+    scratch: Vec<u8>,
+}
+
+impl<W: Write> FramedWriter<W> {
+    /// Wraps a byte sink.
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Writes one raw payload as a frame.
+    pub fn write_blob(&mut self, payload: &[u8]) -> io::Result<()> {
+        let len = u32::try_from(payload.len())
+            .ok()
+            .filter(|&l| l <= MAX_FRAME_LEN)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("frame of {} bytes exceeds MAX_FRAME_LEN", payload.len()),
+                )
+            })?;
+        self.inner.write_all(&len.to_le_bytes())?;
+        self.inner.write_all(payload)
+    }
+
+    /// Encodes one codec value and writes it as a single frame.
+    pub fn write_msg<T: FrameCodec>(&mut self, msg: &T) -> io::Result<()> {
+        self.scratch.clear();
+        msg.encode(&mut self.scratch);
+        let payload = std::mem::take(&mut self.scratch);
+        let res = self.write_blob(&payload);
+        self.scratch = payload;
+        res
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
+    /// Borrows the underlying sink (e.g. to half-close a socket).
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+
+    /// Returns the underlying sink.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+/// Reads `u32`-length-prefixed frames from an underlying byte source.
+#[derive(Debug)]
+pub struct FramedReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> FramedReader<R> {
+    /// Wraps a byte source.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Reads the next frame's payload. Returns `Ok(None)` on a clean EOF at
+    /// a frame boundary; an EOF mid-frame is `UnexpectedEof`.
+    pub fn read_blob(&mut self) -> io::Result<Option<&[u8]>> {
+        let mut len_bytes = [0u8; 4];
+        match self.inner.read_exact(&mut len_bytes) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        let len = u32::from_le_bytes(len_bytes);
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds MAX_FRAME_LEN"),
+            ));
+        }
+        self.buf.resize(len as usize, 0);
+        self.inner.read_exact(&mut self.buf)?;
+        Ok(Some(&self.buf))
+    }
+
+    /// Reads and decodes the next frame as a single codec value. The frame
+    /// must contain exactly one value — trailing bytes are `InvalidData`.
+    pub fn read_msg<T: FrameCodec>(&mut self) -> io::Result<Option<T>> {
+        let Some(payload) = self.read_blob()? else {
+            return Ok(None);
+        };
+        let (msg, used) = T::decode(payload).map_err(invalid)?;
+        if used != payload.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing bytes after frame payload",
+            ));
+        }
+        Ok(Some(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Item;
+    use std::io::Cursor;
+
+    fn sample_ups() -> Vec<UpMsg> {
+        vec![
+            UpMsg::Early {
+                item: Item::new(1, 2.0),
+            },
+            UpMsg::Regular {
+                item: Item::new(2, 3.0),
+                key: 9.5,
+            },
+            UpMsg::Early {
+                item: Item::new(3, 4.5),
+            },
+        ]
+    }
+
+    #[test]
+    fn msg_roundtrip_through_stream() {
+        let mut w = FramedWriter::new(Vec::new());
+        for m in &sample_ups() {
+            w.write_msg(m).unwrap();
+        }
+        w.write_msg(&DownMsg::UpdateEpoch { threshold: 8.0 })
+            .unwrap();
+        let bytes = w.into_inner();
+        let mut r = FramedReader::new(Cursor::new(bytes));
+        for want in &sample_ups() {
+            let got: UpMsg = r.read_msg().unwrap().expect("frame");
+            assert_eq!(got, *want);
+        }
+        let down: DownMsg = r.read_msg().unwrap().expect("frame");
+        assert_eq!(down, DownMsg::UpdateEpoch { threshold: 8.0 });
+        assert!(r.read_msg::<UpMsg>().unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn seq_roundtrip_as_one_blob() {
+        let msgs = sample_ups();
+        let mut payload = Vec::new();
+        encode_seq(&msgs, &mut payload);
+        let back: Vec<UpMsg> = decode_seq(&payload).unwrap();
+        assert_eq!(back, msgs);
+        let mut w = FramedWriter::new(Vec::new());
+        w.write_blob(&payload).unwrap();
+        let mut r = FramedReader::new(Cursor::new(w.into_inner()));
+        let blob = r.read_blob().unwrap().expect("frame").to_vec();
+        assert_eq!(decode_seq::<UpMsg>(&blob).unwrap(), msgs);
+    }
+
+    #[test]
+    fn truncated_payload_is_unexpected_eof() {
+        let mut w = FramedWriter::new(Vec::new());
+        w.write_msg(&DownMsg::LevelSaturated { level: 3 }).unwrap();
+        let mut bytes = w.into_inner();
+        bytes.truncate(bytes.len() - 2);
+        let mut r = FramedReader::new(Cursor::new(bytes));
+        let err = r.read_msg::<DownMsg>().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        let mut r = FramedReader::new(Cursor::new(bytes));
+        let err = r.read_blob().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        let mut w = FramedWriter::new(Vec::new());
+        let huge = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        assert!(w.write_blob(&huge).is_err());
+    }
+
+    #[test]
+    fn garbage_payload_is_invalid_data() {
+        let mut w = FramedWriter::new(Vec::new());
+        w.write_blob(&[0xEE, 1, 2, 3]).unwrap();
+        let mut r = FramedReader::new(Cursor::new(w.into_inner()));
+        let err = r.read_msg::<UpMsg>().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn trailing_bytes_in_single_msg_frame_rejected() {
+        let mut payload = Vec::new();
+        DownMsg::LevelSaturated { level: 1 }.encode(&mut payload);
+        payload.push(0x00);
+        let mut w = FramedWriter::new(Vec::new());
+        w.write_blob(&payload).unwrap();
+        let mut r = FramedReader::new(Cursor::new(w.into_inner()));
+        let err = r.read_msg::<DownMsg>().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn decode_seq_rejects_split_frame() {
+        let mut payload = Vec::new();
+        encode_seq(&sample_ups(), &mut payload);
+        payload.pop();
+        assert_eq!(
+            decode_seq::<UpMsg>(&payload),
+            Err(WireError::Truncated),
+            "mid-frame cut must surface as Truncated"
+        );
+    }
+}

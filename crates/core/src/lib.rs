@@ -38,6 +38,7 @@
 pub mod centralized;
 pub mod estimate;
 pub mod exact;
+pub mod framed;
 pub mod item;
 pub mod keys;
 pub mod math;

@@ -1,11 +1,16 @@
 //! Property-based tests for the core primitives.
 
 use dwrs_core::exact::inclusion_probabilities;
+use dwrs_core::framed::{decode_seq, encode_seq};
 use dwrs_core::item::{Item, Keyed};
 use dwrs_core::keys::{key_above, p_key_above};
 use dwrs_core::math::{binomial, floor_log_base, geometric_trials, ln_choose, powi};
 use dwrs_core::merge::{merge_samples, merge_two};
 use dwrs_core::swor::level_of;
+use dwrs_core::swor::wire::{
+    decode_down, decode_up, down_len, encode_down, encode_up, up_len, WireError,
+};
+use dwrs_core::swor::{DownMsg, UpMsg};
 use dwrs_core::topk::TopK;
 use dwrs_core::Rng;
 use proptest::prelude::*;
@@ -171,6 +176,103 @@ proptest! {
         global.sort_by(|x, y| y.total_cmp(x));
         global.truncate(s);
         prop_assert_eq!(merged, global);
+    }
+
+    // ------------------------------------------------------------- wire
+
+    // Satellite of ISSUE 2: `decode` must be total on arbitrary bytes —
+    // never panic, only ever fail with Truncated / BadTag / BadField — so a
+    // malformed peer cannot crash a transport endpoint.
+    #[test]
+    fn wire_decode_total_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64)
+    ) {
+        match decode_up(&bytes) {
+            Ok((msg, used)) => {
+                prop_assert!(used <= bytes.len());
+                prop_assert_eq!(used, up_len(&msg));
+            }
+            Err(e) => prop_assert!(matches!(
+                e,
+                WireError::Truncated | WireError::BadTag(_) | WireError::BadField
+            )),
+        }
+        match decode_down(&bytes) {
+            Ok((msg, used)) => {
+                prop_assert!(used <= bytes.len());
+                prop_assert_eq!(used, down_len(&msg));
+            }
+            Err(e) => prop_assert!(matches!(
+                e,
+                WireError::Truncated | WireError::BadTag(_) | WireError::BadField
+            )),
+        }
+    }
+
+    // Encode→decode round-trips for both upstream frame tags (early,
+    // regular) across the full valid field domains.
+    #[test]
+    fn wire_up_roundtrip(
+        id in any::<u64>(),
+        weight in 1e-300f64..1e300,
+        key in 1e-300f64..1e300,
+        regular in any::<bool>()
+    ) {
+        let msg = if regular {
+            UpMsg::Regular { item: Item { id, weight }, key }
+        } else {
+            UpMsg::Early { item: Item { id, weight } }
+        };
+        let mut buf = Vec::new();
+        let len = encode_up(&msg, &mut buf);
+        prop_assert_eq!(len, buf.len());
+        prop_assert_eq!(len, up_len(&msg));
+        let (back, used) = decode_up(&buf).unwrap();
+        prop_assert_eq!(back, msg);
+        prop_assert_eq!(used, len);
+    }
+
+    // Encode→decode round-trips for both downstream frame tags
+    // (level_saturated, update_epoch).
+    #[test]
+    fn wire_down_roundtrip(
+        level in any::<u32>(),
+        threshold in 1e-300f64..1e300,
+        saturated in any::<bool>()
+    ) {
+        let msg = if saturated {
+            DownMsg::LevelSaturated { level }
+        } else {
+            DownMsg::UpdateEpoch { threshold }
+        };
+        let mut buf = Vec::new();
+        let len = encode_down(&msg, &mut buf);
+        prop_assert_eq!(len, down_len(&msg));
+        let (back, used) = decode_down(&buf).unwrap();
+        prop_assert_eq!(back, msg);
+        prop_assert_eq!(used, len);
+    }
+
+    // The generic framed layer composes with the wire codec: any batch of
+    // valid messages survives a length-prefixed stream round-trip.
+    #[test]
+    fn framed_seq_roundtrip(
+        raw in proptest::collection::vec((any::<u64>(), 0.5f64..1e12, 0.5f64..1e12), 0..12)
+    ) {
+        let msgs: Vec<UpMsg> = raw
+            .iter()
+            .map(|&(id, weight, key)| {
+                if id % 2 == 0 {
+                    UpMsg::Early { item: Item { id, weight } }
+                } else {
+                    UpMsg::Regular { item: Item { id, weight }, key }
+                }
+            })
+            .collect();
+        let mut payload = Vec::new();
+        encode_seq(&msgs, &mut payload);
+        let back: Vec<UpMsg> = decode_seq(&payload).unwrap();
+        prop_assert_eq!(back, msgs);
     }
 
     #[test]

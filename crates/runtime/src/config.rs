@@ -1,0 +1,68 @@
+//! Runtime tuning knobs.
+
+/// Configuration for the threaded/TCP engines.
+///
+/// The two knobs trade latency for throughput on the up path:
+///
+/// * `batch_max` — a site buffers upstream messages and ships them as one
+///   transport frame once this many have accumulated (the tail is always
+///   flushed at end-of-stream). Larger batches amortize channel wakeups and
+///   socket syscalls; smaller batches tighten the staleness window in which
+///   the coordinator has not yet seen a site's candidates.
+/// * `queue_capacity` — bound (in batches) of the site→coordinator queue.
+///   When the coordinator falls behind, site `send`s block: bounded-queue
+///   backpressure instead of unbounded buffering. The down path is
+///   deliberately *unbounded* and eagerly drained, which is what makes the
+///   blocking up path deadlock-free (see `crate::engine`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Upstream messages per transport frame before a flush is forced.
+    pub batch_max: usize,
+    /// Site→coordinator queue bound, in batches.
+    pub queue_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            batch_max: 64,
+            queue_capacity: 128,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the batch flush threshold (clamped to ≥ 1).
+    pub fn with_batch_max(mut self, batch_max: usize) -> Self {
+        self.batch_max = batch_max.max(1);
+        self
+    }
+
+    /// Sets the up-queue capacity (clamped to ≥ 1).
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_clamp_to_one() {
+        let cfg = RuntimeConfig::new()
+            .with_batch_max(0)
+            .with_queue_capacity(0);
+        assert_eq!(cfg.batch_max, 1);
+        assert_eq!(cfg.queue_capacity, 1);
+        let cfg = RuntimeConfig::new().with_batch_max(256);
+        assert_eq!(cfg.batch_max, 256);
+        assert_eq!(cfg.queue_capacity, RuntimeConfig::default().queue_capacity);
+    }
+}

@@ -1,0 +1,489 @@
+//! The threaded execution engine.
+//!
+//! Each site runs its partition of the stream on its own OS thread; the
+//! coordinator runs on another. Threads communicate only through a
+//! [`crate::transport`] wiring, so the same loops drive in-process channels
+//! and loopback TCP.
+//!
+//! # Deadlock freedom
+//!
+//! The up path is bounded and blocking (backpressure); the down path is
+//! unbounded and drained eagerly by sites (between items) and continuously
+//! by the TCP reader threads. Because the coordinator never blocks sending
+//! down, it always returns to draining the up queue, so blocked site
+//! `send`s always unblock. A cycle of blocking sends — the classic
+//! site⇄coordinator deadlock — cannot form.
+//!
+//! # Graceful shutdown
+//!
+//! Deterministic three-phase drain:
+//!
+//! 1. a site exhausts its input, flushes its final partial batch, sends
+//!    `Eof`, and **drops its up sender** (so a stuck sibling cannot wedge
+//!    the coordinator's queue);
+//! 2. the coordinator processes frames until every site has reported `Eof`
+//!    (or every up sender is gone), then closes all down links;
+//! 3. sites drain remaining downstream messages until their link closes,
+//!    then return their final state and per-thread [`Metrics`].
+//!
+//! The engine then joins every thread — converting panics into
+//! [`RuntimeError`]s instead of hangs — extracts the final weighted sample
+//! state (the returned coordinator), and merges the per-thread metrics into
+//! one [`Metrics`] whose totals follow the paper's accounting exactly as
+//! the lockstep simulator's do.
+
+use std::sync::mpsc;
+use std::thread;
+
+use dwrs_core::Item;
+use dwrs_sim::{CoordinatorNode, Meter, Metrics, Outbox, SiteNode};
+
+use crate::config::RuntimeConfig;
+use crate::transport::{
+    channel_wiring, CoordEndpoint, DownSender, SiteEndpoint, TransportError, UpFrame,
+};
+
+/// Why a runtime run failed.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// A site thread panicked.
+    SitePanicked(usize),
+    /// The coordinator thread panicked.
+    CoordinatorPanicked,
+    /// A transport link failed (I/O error, malformed frame, premature
+    /// disconnect).
+    Transport(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::SitePanicked(i) => write!(f, "site thread {i} panicked"),
+            RuntimeError::CoordinatorPanicked => write!(f, "coordinator thread panicked"),
+            RuntimeError::Transport(e) => write!(f, "transport failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<TransportError> for RuntimeError {
+    fn from(e: TransportError) -> Self {
+        RuntimeError::Transport(e.to_string())
+    }
+}
+
+/// Everything a completed run hands back.
+#[derive(Debug)]
+pub struct RunOutput<S, C> {
+    /// Final site states, in site order (each has seen every broadcast).
+    pub sites: Vec<S>,
+    /// Final coordinator state; query it for the weighted sample.
+    pub coordinator: C,
+    /// Merged per-thread metrics (coordinator first, then sites 0..k).
+    pub metrics: Metrics,
+}
+
+/// Drives one site over its endpoint: returns the final site state and the
+/// thread-local upstream metrics.
+///
+/// Downstream messages are applied *before* each `observe`, mirroring the
+/// lockstep runner's delayed-delivery mode: the protocols tolerate stale
+/// thresholds by design (correctness is unaffected; only message counts
+/// may inflate).
+pub(crate) fn site_loop<S, I>(
+    site: &mut S,
+    endpoint: SiteEndpoint<S::Up, S::Down>,
+    items: I,
+    batch_max: usize,
+) -> Result<Metrics, RuntimeError>
+where
+    S: SiteNode,
+    I: IntoIterator<Item = Item>,
+{
+    let SiteEndpoint { mut up, down, .. } = endpoint;
+    let mut metrics = Metrics::new();
+    let mut batch: Vec<S::Up> = Vec::with_capacity(batch_max);
+    for item in items {
+        while let Ok(msg) = down.try_recv() {
+            site.receive(&msg);
+        }
+        site.observe(item, &mut batch);
+        if batch.len() >= batch_max {
+            flush(&mut *up, &mut batch, batch_max, &mut metrics)?;
+        }
+    }
+    flush(&mut *up, &mut batch, batch_max, &mut metrics)?;
+    up.send(UpFrame::Eof)?;
+    up.close();
+    // Phase 1 complete: release the up sender so the coordinator's queue
+    // disconnects even if a sibling site is stuck, then drain the down link
+    // until the coordinator closes it (phase 3).
+    drop(up);
+    while let Ok(msg) = down.recv() {
+        site.receive(&msg);
+    }
+    Ok(metrics)
+}
+
+/// Ships the accumulated batch, metering each message by the paper's
+/// accounting (`units` wire messages, exact `wire_bytes`).
+fn flush<U: Meter>(
+    up: &mut dyn crate::transport::BatchSender<U>,
+    batch: &mut Vec<U>,
+    batch_max: usize,
+    metrics: &mut Metrics,
+) -> Result<(), TransportError> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    for msg in batch.iter() {
+        metrics.count_up(msg.kind(), msg.units(), msg.wire_bytes());
+    }
+    let full = std::mem::replace(batch, Vec::with_capacity(batch_max));
+    up.send(UpFrame::Batch(full))
+}
+
+/// Drives the coordinator until every site reached `Eof` (or disconnected),
+/// then closes the down links. Returns the thread-local downstream metrics
+/// (plus upstream metrics when `count_ups` — used by the standalone TCP
+/// server, whose remote sites cannot contribute their own meters).
+pub(crate) fn coordinator_loop<C>(
+    node: &mut C,
+    endpoint: CoordEndpoint<C::Up, C::Down>,
+    count_ups: bool,
+) -> Result<Metrics, RuntimeError>
+where
+    C: CoordinatorNode,
+{
+    let CoordEndpoint { up, mut downs } = endpoint;
+    let k = downs.len();
+    let mut metrics = Metrics::new();
+    let mut outbox = Outbox::new();
+    let mut done = 0usize;
+    let mut fault: Option<String> = None;
+    while done < k {
+        match up.recv() {
+            Ok((site, UpFrame::Batch(msgs))) => {
+                for msg in msgs {
+                    if count_ups {
+                        metrics.count_up(msg.kind(), msg.units(), msg.wire_bytes());
+                    }
+                    node.receive(site, msg, &mut outbox);
+                    route(&mut outbox, &mut downs, &mut metrics);
+                }
+            }
+            Ok((_, UpFrame::Eof)) => done += 1,
+            Ok((site, UpFrame::Fault(e))) => {
+                fault.get_or_insert(format!("site {site}: {e}"));
+                done += 1;
+            }
+            // All up senders dropped before k Eofs: a site died without its
+            // Eof (e.g. panicked). End the run; the engine's joins surface
+            // the precise cause.
+            Err(mpsc::RecvError) => break,
+        }
+    }
+    for d in &mut downs {
+        d.close();
+    }
+    drop(downs);
+    match fault {
+        Some(e) => Err(RuntimeError::Transport(e)),
+        None => Ok(metrics),
+    }
+}
+
+/// Routes one round's coordinator responses, with the paper's accounting:
+/// a unicast costs 1 message, a broadcast costs `k`.
+fn route<D: Meter>(
+    outbox: &mut Outbox<D>,
+    downs: &mut [Box<dyn DownSender<D>>],
+    metrics: &mut Metrics,
+) {
+    let k = downs.len();
+    let (unicasts, broadcasts) = outbox.take();
+    for (to, msg) in unicasts {
+        metrics.count_unicast(msg.kind(), msg.units(), msg.wire_bytes());
+        // A closed link means that site already finished; the message is
+        // metered (it was sent) but has no one left to act on it.
+        let _ = downs[to].send(&msg);
+    }
+    for msg in broadcasts {
+        metrics.count_broadcast(msg.kind(), msg.units(), msg.wire_bytes(), k);
+        for d in downs.iter_mut() {
+            let _ = d.send(&msg);
+        }
+    }
+}
+
+/// Runs a full deployment over an already-built wiring. The generic engine
+/// behind [`run_threads`] and [`crate::tcp::run_tcp`]: any
+/// [`SiteNode`]/[`CoordinatorNode`] pair from `dwrs-sim` runs unmodified.
+pub fn run_on<S, C, I>(
+    wiring: crate::transport::Wiring<S::Up, S::Down>,
+    sites: Vec<S>,
+    mut coordinator: C,
+    streams: Vec<I>,
+    cfg: &RuntimeConfig,
+) -> Result<RunOutput<S, C>, RuntimeError>
+where
+    S: SiteNode + Send,
+    S::Up: Send,
+    S::Down: Send,
+    C: CoordinatorNode<Up = S::Up, Down = S::Down> + Send,
+    I: IntoIterator<Item = Item> + Send,
+{
+    let (site_eps, coord_ep) = wiring;
+    let k = sites.len();
+    assert!(k >= 1, "need at least one site");
+    assert_eq!(site_eps.len(), k, "one endpoint per site");
+    assert_eq!(streams.len(), k, "one stream partition per site");
+    let batch_max = cfg.batch_max.max(1);
+
+    let (coord_res, site_res) = thread::scope(|scope| {
+        let mut site_handles = Vec::with_capacity(k);
+        for ((mut site, ep), items) in sites.into_iter().zip(site_eps).zip(streams) {
+            site_handles.push(scope.spawn(move || {
+                let metrics = site_loop(&mut site, ep, items, batch_max)?;
+                Ok::<_, RuntimeError>((site, metrics))
+            }));
+        }
+        let coord_handle = scope.spawn(move || {
+            let metrics = coordinator_loop(&mut coordinator, coord_ep, false)?;
+            Ok::<_, RuntimeError>((coordinator, metrics))
+        });
+        let site_res: Vec<_> = site_handles.into_iter().map(|h| h.join()).collect();
+        (coord_handle.join(), site_res)
+    });
+
+    // Surface panics deterministically: first panicking site, then the
+    // coordinator, then transport errors.
+    for (i, res) in site_res.iter().enumerate() {
+        if res.is_err() {
+            return Err(RuntimeError::SitePanicked(i));
+        }
+    }
+    let (coordinator, coord_metrics) =
+        coord_res.map_err(|_| RuntimeError::CoordinatorPanicked)??;
+    let mut metrics = coord_metrics;
+    let mut final_sites = Vec::with_capacity(k);
+    for res in site_res {
+        let (site, site_metrics) = res.expect("panics handled above")?;
+        metrics.merge(&site_metrics);
+        final_sites.push(site);
+    }
+    Ok(RunOutput {
+        sites: final_sites,
+        coordinator,
+        metrics,
+    })
+}
+
+/// Runs a deployment on OS threads connected by in-process bounded
+/// channels.
+///
+/// `streams[i]` is site `i`'s partition of the global stream, in that
+/// site's arrival order (use [`split_stream`] to derive partitions from a
+/// globally ordered stream).
+pub fn run_threads<S, C, I>(
+    sites: Vec<S>,
+    coordinator: C,
+    streams: Vec<I>,
+    cfg: &RuntimeConfig,
+) -> Result<RunOutput<S, C>, RuntimeError>
+where
+    S: SiteNode + Send,
+    S::Up: Send + 'static,
+    S::Down: Clone + Send + 'static,
+    C: CoordinatorNode<Up = S::Up, Down = S::Down> + Send,
+    I: IntoIterator<Item = Item> + Send,
+{
+    let wiring = channel_wiring(sites.len(), cfg.queue_capacity);
+    run_on(wiring, sites, coordinator, streams, cfg)
+}
+
+/// Splits a globally ordered `(site, item)` stream into per-site partitions
+/// preserving each site's arrival order — the runtime analogue of feeding
+/// `assign_sites` output to the lockstep runner.
+pub fn split_stream<I>(k: usize, stream: I) -> Vec<Vec<Item>>
+where
+    I: IntoIterator<Item = (usize, Item)>,
+{
+    let mut parts: Vec<Vec<Item>> = (0..k).map(|_| Vec::new()).collect();
+    for (site, item) in stream {
+        parts[site].push(item);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy protocol mirroring the lockstep runner's unit tests: sites
+    /// forward every item; the coordinator broadcasts a counter every 3
+    /// receipts.
+    #[derive(Debug)]
+    struct EchoSite {
+        seen_down: u64,
+    }
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    struct Up(u64);
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    struct Down(#[allow(dead_code)] u64);
+    impl Meter for Up {
+        fn kind(&self) -> &'static str {
+            "up"
+        }
+    }
+    impl Meter for Down {
+        fn kind(&self) -> &'static str {
+            "down"
+        }
+    }
+    impl SiteNode for EchoSite {
+        type Up = Up;
+        type Down = Down;
+        fn observe(&mut self, item: Item, out: &mut Vec<Up>) {
+            out.push(Up(item.id));
+        }
+        fn receive(&mut self, _msg: &Down) {
+            self.seen_down += 1;
+        }
+    }
+    #[derive(Debug)]
+    struct EchoCoord {
+        received: u64,
+    }
+    impl CoordinatorNode for EchoCoord {
+        type Up = Up;
+        type Down = Down;
+        fn receive(&mut self, _from: usize, _msg: Up, out: &mut Outbox<Down>) {
+            self.received += 1;
+            if self.received.is_multiple_of(3) {
+                out.broadcast(Down(self.received));
+            }
+        }
+    }
+
+    fn parts(n: u64, k: usize) -> Vec<Vec<Item>> {
+        split_stream(k, (0..n).map(|i| ((i % k as u64) as usize, Item::unit(i))))
+    }
+
+    #[test]
+    fn echo_protocol_full_accounting() {
+        let sites = vec![EchoSite { seen_down: 0 }, EchoSite { seen_down: 0 }];
+        let out = run_threads(
+            sites,
+            EchoCoord { received: 0 },
+            parts(9, 2),
+            &RuntimeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.coordinator.received, 9);
+        assert_eq!(out.metrics.up_total, 9);
+        assert_eq!(out.metrics.down_total, 6, "3 broadcasts × 2 sites");
+        assert_eq!(out.metrics.broadcast_events, 3);
+        // Every broadcast is drained before the sites return.
+        for s in &out.sites {
+            assert_eq!(s.seen_down, 3);
+        }
+    }
+
+    #[test]
+    fn tiny_queue_and_batch_still_complete() {
+        // queue_capacity 1 + batch_max 1 exercises the backpressure path on
+        // every single message.
+        let cfg = RuntimeConfig::new()
+            .with_batch_max(1)
+            .with_queue_capacity(1);
+        let sites = (0..4).map(|_| EchoSite { seen_down: 0 }).collect();
+        let out = run_threads(sites, EchoCoord { received: 0 }, parts(1000, 4), &cfg).unwrap();
+        assert_eq!(out.coordinator.received, 1000);
+        assert_eq!(out.metrics.up_total, 1000);
+    }
+
+    #[test]
+    fn final_partial_batch_is_flushed() {
+        let cfg = RuntimeConfig::new().with_batch_max(64);
+        let sites = vec![EchoSite { seen_down: 0 }];
+        // 7 items << batch_max: everything rides the end-of-stream flush.
+        let out = run_threads(sites, EchoCoord { received: 0 }, parts(7, 1), &cfg).unwrap();
+        assert_eq!(out.coordinator.received, 7);
+    }
+
+    #[derive(Debug)]
+    struct PanickingSite;
+    impl SiteNode for PanickingSite {
+        type Up = Up;
+        type Down = Down;
+        fn observe(&mut self, item: Item, _out: &mut Vec<Up>) {
+            if item.id == 3 {
+                panic!("injected failure");
+            }
+        }
+        fn receive(&mut self, _msg: &Down) {}
+    }
+
+    #[test]
+    fn site_panic_reported_not_hung() {
+        let sites = vec![PanickingSite, PanickingSite];
+        let err = run_threads(
+            sites,
+            EchoCoord { received: 0 },
+            parts(10, 2),
+            &RuntimeConfig::default(),
+        )
+        .unwrap_err();
+        // Under the (i % k) partition only site 1 ever sees id 3, so site 0
+        // completes normally and the failure must be pinned to site 1.
+        assert!(matches!(err, RuntimeError::SitePanicked(1)), "got {err:?}");
+    }
+
+    #[derive(Debug)]
+    struct PanickingCoord;
+    impl CoordinatorNode for PanickingCoord {
+        type Up = Up;
+        type Down = Down;
+        fn receive(&mut self, _from: usize, msg: Up, _out: &mut Outbox<Down>) {
+            if msg.0 >= 5 {
+                panic!("injected coordinator failure");
+            }
+        }
+    }
+
+    #[test]
+    fn coordinator_panic_reported_not_hung() {
+        let sites = vec![EchoSite { seen_down: 0 }, EchoSite { seen_down: 0 }];
+        let err = run_threads(
+            sites,
+            PanickingCoord,
+            parts(100, 2),
+            &RuntimeConfig::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::CoordinatorPanicked),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn split_stream_preserves_per_site_order() {
+        let parts = split_stream(
+            3,
+            vec![
+                (2, Item::unit(0)),
+                (0, Item::unit(1)),
+                (2, Item::unit(2)),
+                (1, Item::unit(3)),
+                (0, Item::unit(4)),
+            ],
+        );
+        let ids = |v: &Vec<Item>| v.iter().map(|i| i.id).collect::<Vec<_>>();
+        assert_eq!(ids(&parts[0]), vec![1, 4]);
+        assert_eq!(ids(&parts[1]), vec![3]);
+        assert_eq!(ids(&parts[2]), vec![0, 2]);
+    }
+}

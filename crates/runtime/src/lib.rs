@@ -1,0 +1,74 @@
+//! # dwrs-runtime
+//!
+//! A concurrent execution substrate for the PODS'19 site/coordinator
+//! protocols: `k` sites and one coordinator run as real OS threads
+//! connected by a pluggable framed [`transport`] — in-process bounded
+//! channels ([`run_threads`]) or loopback TCP with the `swor::wire`
+//! encoding on real sockets ([`tcp::run_tcp`], plus standalone
+//! [`tcp::serve_coordinator`] / [`tcp::run_site`] halves for multi-process
+//! deployments).
+//!
+//! Any [`dwrs_sim::SiteNode`] / [`dwrs_sim::CoordinatorNode`] pair runs
+//! unmodified; the lockstep simulator remains the specification substrate,
+//! this crate is the throughput substrate. The engine provides:
+//!
+//! * **per-site upstream batching** with a configurable flush threshold
+//!   ([`RuntimeConfig::batch_max`]);
+//! * **bounded-queue backpressure** on the up path
+//!   ([`RuntimeConfig::queue_capacity`]) with an unbounded, eagerly
+//!   drained down path — the combination that makes blocking sends
+//!   deadlock-free (see [`engine`]);
+//! * **deterministic graceful shutdown**: flush → `Eof` → coordinator
+//!   drain → down-link close → final sample extraction, with per-thread
+//!   [`dwrs_sim::Metrics`] merged into totals that follow the paper's
+//!   accounting exactly as the lockstep runner's do;
+//! * **panic-safe joins**: a crashing site or coordinator thread surfaces
+//!   as a [`RuntimeError`] instead of a hang.
+//!
+//! The threaded engines are *not* round-synchronous: sites apply
+//! coordinator broadcasts whenever they arrive, i.e. they run in the
+//! delayed-delivery regime the protocols already tolerate (stale
+//! thresholds cannot break correctness, only inflate message counts —
+//! `tests/runtime_equivalence.rs` verifies the output distribution matches
+//! the lockstep simulator's).
+//!
+//! # Example
+//!
+//! ```
+//! use dwrs_core::swor::SworConfig;
+//! use dwrs_core::Item;
+//! use dwrs_runtime::{run_swor, split_stream, EngineKind, RuntimeConfig};
+//!
+//! let k = 4;
+//! let streams = split_stream(
+//!     k,
+//!     (0..20_000u64).map(|i| ((i % k as u64) as usize, Item::new(i, 1.0 + (i % 9) as f64))),
+//! );
+//! let out = run_swor(
+//!     EngineKind::Threads,
+//!     SworConfig::new(16, k),
+//!     42,
+//!     streams,
+//!     &RuntimeConfig::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(out.coordinator.sample().len(), 16);
+//! // Message-optimal even across threads: far fewer messages than items.
+//! assert!(out.metrics.total() < 10_000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod config;
+pub mod engine;
+pub mod tcp;
+pub mod transport;
+
+pub use adapters::{run_swor, EngineKind};
+pub use config::RuntimeConfig;
+pub use engine::{run_threads, split_stream, RunOutput, RuntimeError};
+pub use transport::{
+    channel_wiring, BatchSender, CoordEndpoint, DownSender, SiteEndpoint, TransportError, UpFrame,
+    Wiring,
+};

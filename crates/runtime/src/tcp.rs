@@ -1,0 +1,443 @@
+//! Loopback-TCP transport: the same engine loops, but frames cross real
+//! sockets using `dwrs_core::framed` length-prefixed encoding over the
+//! `swor::wire` payload codec — so the bytes on the wire are exactly the
+//! bytes the metrics meter.
+//!
+//! Socket protocol (all frames are `[u32 len][payload]`, payload starts
+//! with one tag byte):
+//!
+//! | direction | tag | payload |
+//! |---|---|---|
+//! | site→coord | `HELLO` | `u32` site id (first frame on a connection) |
+//! | site→coord | `BATCH` | concatenated `FrameCodec` up-messages |
+//! | site→coord | `EOF` | empty — the site's stream is exhausted |
+//! | site→coord | `FAULT` | UTF-8 diagnostic — the site hit a local failure |
+//! | coord→site | `DOWN` | exactly one `FrameCodec` down-message |
+//!
+//! Shutdown is a half-close handshake: a site half-closes its write side
+//! after `EOF`; the coordinator half-closes each down link once every site
+//! reported `EOF`, which terminates the sites' drain loops.
+//!
+//! Dedicated reader threads bridge each socket onto the same `mpsc`
+//! receivers the channel transport uses: per-connection readers on the
+//! coordinator side feed the shared bounded up queue (so TCP inherits the
+//! engine's backpressure: a slow coordinator fills the queue, the readers
+//! block, the kernel socket buffers fill, and site writes stall), and one
+//! reader per site drains down-messages eagerly (which keeps the
+//! coordinator's down writes from ever blocking — the deadlock-freedom
+//! invariant).
+
+use std::io::{self, Read};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
+use std::thread;
+
+use dwrs_core::framed::{decode_seq, encode_seq, FrameCodec, FramedReader, FramedWriter};
+use dwrs_core::Item;
+use dwrs_sim::{CoordinatorNode, Metrics, SiteNode};
+
+use crate::config::RuntimeConfig;
+use crate::engine::{coordinator_loop, site_loop, RunOutput, RuntimeError};
+use crate::transport::{
+    BatchSender, CoordEndpoint, DownSender, SiteEndpoint, TransportError, UpFrame,
+};
+
+const TAG_HELLO: u8 = 0x10;
+const TAG_BATCH: u8 = 0x11;
+const TAG_EOF: u8 = 0x12;
+const TAG_FAULT: u8 = 0x13;
+const TAG_DOWN: u8 = 0x21;
+
+// ----------------------------------------------------------- site side
+
+/// Site-side up sender: encodes batches onto the socket.
+struct TcpBatchSender<U> {
+    writer: FramedWriter<TcpStream>,
+    scratch: Vec<u8>,
+    _marker: std::marker::PhantomData<fn(U)>,
+}
+
+impl<U: FrameCodec + Send> BatchSender<U> for TcpBatchSender<U> {
+    fn send(&mut self, frame: UpFrame<U>) -> Result<(), TransportError> {
+        self.scratch.clear();
+        match frame {
+            UpFrame::Batch(msgs) => {
+                self.scratch.push(TAG_BATCH);
+                encode_seq(&msgs, &mut self.scratch);
+            }
+            UpFrame::Eof => self.scratch.push(TAG_EOF),
+            UpFrame::Fault(msg) => {
+                self.scratch.push(TAG_FAULT);
+                self.scratch.extend_from_slice(msg.as_bytes());
+            }
+        }
+        let payload = std::mem::take(&mut self.scratch);
+        let res = self.writer.write_blob(&payload);
+        self.scratch = payload;
+        res.map_err(TransportError::Io)
+    }
+
+    fn close(&mut self) {
+        let _ = self.writer.flush();
+        let _ = self.writer.get_ref().shutdown(Shutdown::Write);
+    }
+}
+
+/// Connects one site to a coordinator at `addr`: performs the `HELLO`
+/// handshake and spawns the down-reader thread.
+pub fn connect_site<U, D>(
+    addr: impl ToSocketAddrs,
+    site_id: usize,
+) -> io::Result<SiteEndpoint<U, D>>
+where
+    U: FrameCodec + Send + 'static,
+    D: FrameCodec + Send + 'static,
+{
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = FramedWriter::new(stream.try_clone()?);
+    let mut hello = vec![TAG_HELLO];
+    hello.extend_from_slice(&(site_id as u32).to_le_bytes());
+    writer.write_blob(&hello)?;
+
+    let (down_tx, down_rx) = mpsc::channel::<D>();
+    let read_half = stream;
+    thread::spawn(move || down_reader(read_half, down_tx));
+    Ok(SiteEndpoint::new(
+        site_id,
+        Box::new(TcpBatchSender {
+            writer,
+            scratch: Vec::new(),
+            _marker: std::marker::PhantomData,
+        }),
+        down_rx,
+    ))
+}
+
+/// Site-side reader: decodes `DOWN` frames into the in-process channel
+/// until the coordinator half-closes. Runs on its own thread so the socket
+/// is always drained (downs never back up into the coordinator). On any
+/// exit — including a malformed frame — the socket is fully shut down so a
+/// peer blocked writing to it fails fast instead of hanging on a full
+/// kernel buffer.
+fn down_reader<D: FrameCodec>(stream: TcpStream, tx: mpsc::Sender<D>) {
+    let shutdown_handle = stream.try_clone().ok();
+    let mut reader = FramedReader::new(stream);
+    loop {
+        let stop = match reader.read_blob() {
+            Ok(Some(payload)) => match payload.split_first() {
+                Some((&TAG_DOWN, body)) => match D::decode(body) {
+                    Ok((msg, used)) if used == body.len() => tx.send(msg).is_err(),
+                    _ => true, // malformed: stop draining, the site will finish
+                },
+                _ => true,
+            },
+            Ok(None) | Err(_) => true,
+        };
+        if stop {
+            if let Some(s) = shutdown_handle.as_ref() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            return;
+        }
+    }
+}
+
+/// Runs one site endpoint to completion against a remote coordinator:
+/// connect, stream `items` through the protocol with batching, `EOF`,
+/// drain. Returns the final site state and its upstream [`Metrics`].
+pub fn run_site<S, I>(
+    addr: impl ToSocketAddrs,
+    site_id: usize,
+    mut site: S,
+    items: I,
+    cfg: &RuntimeConfig,
+) -> Result<(S, Metrics), RuntimeError>
+where
+    S: SiteNode,
+    S::Up: FrameCodec + Send + 'static,
+    S::Down: FrameCodec + Send + 'static,
+    I: IntoIterator<Item = Item>,
+{
+    let endpoint = connect_site(addr, site_id).map_err(TransportError::Io)?;
+    let metrics = site_loop(&mut site, endpoint, items, cfg.batch_max.max(1))?;
+    Ok((site, metrics))
+}
+
+// ---------------------------------------------------- coordinator side
+
+/// Coordinator-side down sender for one site connection.
+struct TcpDownSender<D> {
+    writer: FramedWriter<TcpStream>,
+    scratch: Vec<u8>,
+    _marker: std::marker::PhantomData<fn(D)>,
+}
+
+impl<D: FrameCodec + Send> DownSender<D> for TcpDownSender<D> {
+    fn send(&mut self, msg: &D) -> Result<(), TransportError> {
+        self.scratch.clear();
+        self.scratch.push(TAG_DOWN);
+        msg.encode(&mut self.scratch);
+        let payload = std::mem::take(&mut self.scratch);
+        let res = self.writer.write_blob(&payload);
+        self.scratch = payload;
+        res.map_err(TransportError::Io)
+    }
+
+    fn close(&mut self) {
+        let _ = self.writer.flush();
+        let _ = self.writer.get_ref().shutdown(Shutdown::Write);
+    }
+}
+
+/// Coordinator-side reader for one site connection: decodes
+/// `BATCH`/`EOF`/`FAULT` frames into the shared bounded up queue. Any
+/// protocol violation or abrupt disconnect becomes an [`UpFrame::Fault`]
+/// so the run terminates with a diagnostic instead of hanging. On exit the
+/// socket is fully shut down, so a misbehaving peer that keeps streaming
+/// fails fast on its next write instead of blocking forever once the
+/// kernel buffer fills.
+fn up_reader<U: FrameCodec>(
+    stream: TcpStream,
+    site: usize,
+    tx: mpsc::SyncSender<(usize, UpFrame<U>)>,
+) {
+    let shutdown_handle = stream.try_clone().ok();
+    let mut reader = FramedReader::new(stream);
+    loop {
+        let frame = match reader.read_blob() {
+            Ok(Some(payload)) => match payload.split_first() {
+                Some((&TAG_BATCH, body)) => match decode_seq::<U>(body) {
+                    Ok(msgs) => UpFrame::Batch(msgs),
+                    Err(e) => UpFrame::Fault(format!("bad batch payload: {e}")),
+                },
+                Some((&TAG_EOF, _)) => UpFrame::Eof,
+                Some((&TAG_FAULT, body)) => {
+                    UpFrame::Fault(String::from_utf8_lossy(body).into_owned())
+                }
+                Some((&tag, _)) => UpFrame::Fault(format!("unexpected frame tag {tag:#x}")),
+                None => UpFrame::Fault("empty frame".into()),
+            },
+            Ok(None) => UpFrame::Fault("connection closed before EOF frame".into()),
+            Err(e) => UpFrame::Fault(format!("read error: {e}")),
+        };
+        let terminal = !matches!(frame, UpFrame::Batch(_));
+        // A fault means the session is broken: fully shut the socket so a
+        // peer still streaming into it errors out promptly. A clean `Eof`
+        // must leave the socket open — the coordinator's down link shares
+        // it and still carries broadcasts until shutdown phase 2.
+        let broken = matches!(frame, UpFrame::Fault(_));
+        if tx.send((site, frame)).is_err() || terminal {
+            if broken {
+                if let Some(s) = shutdown_handle.as_ref() {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+            }
+            return;
+        }
+    }
+}
+
+/// Accepts `k` site connections on `listener`, reads each `HELLO`, and
+/// assembles the coordinator endpoint (spawning one up-reader thread per
+/// connection).
+pub fn accept_sites<U, D>(
+    listener: &TcpListener,
+    k: usize,
+    queue_capacity: usize,
+) -> Result<CoordEndpoint<U, D>, RuntimeError>
+where
+    U: FrameCodec + Send + 'static,
+    D: FrameCodec + Send + 'static,
+{
+    assert!(k >= 1, "need at least one site");
+    let (up_tx, up_rx) = mpsc::sync_channel(queue_capacity.max(1));
+    let mut downs: Vec<Option<Box<dyn DownSender<D>>>> = (0..k).map(|_| None).collect();
+    for _ in 0..k {
+        let (stream, _peer) = listener.accept().map_err(TransportError::Io)?;
+        stream.set_nodelay(true).map_err(TransportError::Io)?;
+        let site = read_hello(&stream)?;
+        if site >= k {
+            return Err(RuntimeError::Transport(format!(
+                "HELLO for site {site} but k = {k}"
+            )));
+        }
+        if downs[site].is_some() {
+            return Err(RuntimeError::Transport(format!(
+                "duplicate HELLO for site {site}"
+            )));
+        }
+        let writer = FramedWriter::new(stream.try_clone().map_err(TransportError::Io)?);
+        downs[site] = Some(Box::new(TcpDownSender {
+            writer,
+            scratch: Vec::new(),
+            _marker: std::marker::PhantomData,
+        }));
+        let tx = up_tx.clone();
+        thread::spawn(move || up_reader::<U>(stream, site, tx));
+    }
+    drop(up_tx);
+    let downs = downs
+        .into_iter()
+        .map(|d| d.expect("all k slots filled above"))
+        .collect();
+    Ok(CoordEndpoint::new(up_rx, downs))
+}
+
+/// Reads and validates the `HELLO` frame that opens every site connection.
+fn read_hello(stream: &TcpStream) -> Result<usize, RuntimeError> {
+    let mut len_bytes = [0u8; 4];
+    let mut take = stream;
+    take.read_exact(&mut len_bytes)
+        .map_err(|e| RuntimeError::Transport(format!("reading HELLO length: {e}")))?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len != 5 {
+        return Err(RuntimeError::Transport(format!(
+            "HELLO frame must be 5 bytes, got {len}"
+        )));
+    }
+    let mut payload = [0u8; 5];
+    take.read_exact(&mut payload)
+        .map_err(|e| RuntimeError::Transport(format!("reading HELLO payload: {e}")))?;
+    if payload[0] != TAG_HELLO {
+        return Err(RuntimeError::Transport(format!(
+            "expected HELLO tag, got {:#x}",
+            payload[0]
+        )));
+    }
+    Ok(u32::from_le_bytes(payload[1..5].try_into().expect("4 bytes")) as usize)
+}
+
+/// Runs a coordinator as a TCP server: accept `k` sites, drive the
+/// protocol until every site reports `EOF`, half-close, and return the
+/// final coordinator state plus metrics.
+///
+/// Metrics here include upstream counts (metered from the decoded frames):
+/// unlike the in-process engines, a standalone server cannot merge its
+/// remote sites' thread-local meters.
+pub fn serve_coordinator<C>(
+    listener: &TcpListener,
+    k: usize,
+    mut coordinator: C,
+    cfg: &RuntimeConfig,
+) -> Result<(C, Metrics), RuntimeError>
+where
+    C: CoordinatorNode,
+    C::Up: FrameCodec + Send + 'static,
+    C::Down: FrameCodec + Send + 'static,
+{
+    let endpoint = accept_sites::<C::Up, C::Down>(listener, k, cfg.queue_capacity)?;
+    let metrics = coordinator_loop(&mut coordinator, endpoint, true)?;
+    Ok((coordinator, metrics))
+}
+
+// ------------------------------------------------------------- engine
+
+/// Runs a full deployment over loopback TCP inside one process: binds an
+/// ephemeral listener on 127.0.0.1, connects `k` site sockets, and drives
+/// the same engine as [`crate::engine::run_threads`] with every protocol
+/// byte crossing the kernel's TCP stack.
+pub fn run_tcp<S, C, I>(
+    sites: Vec<S>,
+    coordinator: C,
+    streams: Vec<I>,
+    cfg: &RuntimeConfig,
+) -> Result<RunOutput<S, C>, RuntimeError>
+where
+    S: SiteNode + Send,
+    S::Up: FrameCodec + Send + 'static,
+    S::Down: FrameCodec + Send + 'static,
+    C: CoordinatorNode<Up = S::Up, Down = S::Down> + Send,
+    I: IntoIterator<Item = Item> + Send,
+{
+    let k = sites.len();
+    let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))
+        .map_err(|e| RuntimeError::Transport(format!("bind loopback listener: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| RuntimeError::Transport(e.to_string()))?;
+
+    // Connect all k site sockets first (they complete against the listen
+    // backlog without an accept loop running), then accept and handshake.
+    let mut eps = Vec::with_capacity(k);
+    for id in 0..k {
+        eps.push(
+            connect_site::<S::Up, S::Down>(addr, id)
+                .map_err(|e| RuntimeError::Transport(format!("connect site {id}: {e}")))?,
+        );
+    }
+    let coord_ep = accept_sites::<S::Up, S::Down>(&listener, k, cfg.queue_capacity)?;
+    crate::engine::run_on((eps, coord_ep), sites, coordinator, streams, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwrs_core::swor::{DownMsg, UpMsg};
+    use std::io::Write;
+
+    #[test]
+    fn hello_rejects_out_of_range_site() {
+        let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = thread::spawn(move || {
+            let a = connect_site::<UpMsg, DownMsg>(addr, 7);
+            drop(a);
+        });
+        let err = accept_sites::<UpMsg, DownMsg>(&listener, 2, 8).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Transport(ref m) if m.contains("site 7")),
+            "got {err:?}"
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn site_sent_fault_round_trips_with_message() {
+        // A Fault shipped through the site's BatchSender must arrive as a
+        // Fault with its diagnostic intact — not be silently degraded to a
+        // clean Eof.
+        let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = thread::spawn(move || {
+            let mut ep = connect_site::<UpMsg, DownMsg>(addr, 0).unwrap();
+            ep.up
+                .send(UpFrame::Fault("site disk on fire".into()))
+                .unwrap();
+        });
+        let ep = accept_sites::<UpMsg, DownMsg>(&listener, 1, 8).unwrap();
+        let (site, frame) = ep.up.recv().unwrap();
+        handle.join().unwrap();
+        assert_eq!(site, 0);
+        assert!(
+            matches!(frame, UpFrame::Fault(ref m) if m == "site disk on fire"),
+            "got {frame:?}"
+        );
+    }
+
+    #[test]
+    fn garbage_connection_surfaces_as_fault() {
+        let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Valid HELLO, then a garbage frame.
+            s.write_all(&5u32.to_le_bytes()).unwrap();
+            s.write_all(&[TAG_HELLO, 0, 0, 0, 0]).unwrap();
+            s.write_all(&3u32.to_le_bytes()).unwrap();
+            s.write_all(&[0xEE, 0xFF, 0x00]).unwrap();
+        });
+        let ep = accept_sites::<UpMsg, DownMsg>(&listener, 1, 8).unwrap();
+        let mut frames = Vec::new();
+        while let Ok(f) = ep.up.recv() {
+            frames.push(f);
+        }
+        handle.join().unwrap();
+        assert!(
+            frames
+                .iter()
+                .any(|(site, f)| *site == 0 && matches!(f, UpFrame::Fault(_))),
+            "got {frames:?}"
+        );
+    }
+}

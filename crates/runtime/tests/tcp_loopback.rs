@@ -1,0 +1,135 @@
+//! Integration: the full weighted-SWOR protocol over real loopback TCP
+//! sockets — in-process (`run_tcp`) and split into standalone server/client
+//! halves (`serve_coordinator` + `run_site`), the shape a multi-process
+//! deployment uses.
+
+use std::net::TcpListener;
+use std::thread;
+
+use dwrs_core::swor::SworConfig;
+use dwrs_core::Item;
+use dwrs_runtime::{run_swor, split_stream, EngineKind, RuntimeConfig};
+use dwrs_sim::{swor_coordinator, swor_site, Metrics};
+
+fn skewed_streams(n: u64, k: usize) -> Vec<Vec<Item>> {
+    let items = dwrs_workloads::zipf_ranked(n as usize, 1.2, 9);
+    split_stream(k, items.into_iter().enumerate().map(|(i, it)| (i % k, it)))
+}
+
+#[test]
+fn tcp_engine_end_to_end() {
+    let k = 4;
+    let n = 50_000u64;
+    let out = run_swor(
+        EngineKind::Tcp,
+        SworConfig::new(16, k),
+        1234,
+        skewed_streams(n, k),
+        &RuntimeConfig::default(),
+    )
+    .expect("tcp run");
+    assert_eq!(out.coordinator.sample().len(), 16);
+    // Exact wire accounting survives the socket hop and the thread merge.
+    let m = &out.metrics;
+    assert_eq!(m.up_bytes, 17 * m.kind("early") + 25 * m.kind("regular"));
+    assert_eq!(
+        m.down_bytes,
+        5 * m.kind("level_saturated") + 9 * m.kind("update_epoch")
+    );
+    assert_eq!(m.down_total, m.broadcast_events * k as u64);
+    // The sample is the true top-s: every sampled key clears the final u.
+    let sample = out.coordinator.sample();
+    let u = out.coordinator.u();
+    assert!(sample.iter().all(|kd| kd.key >= u));
+}
+
+#[test]
+fn serve_and_site_halves_interoperate() {
+    // A standalone coordinator server plus k independently spawned site
+    // clients — the multi-process deployment shape, here on threads.
+    let k = 3;
+    let cfg = SworConfig::new(8, k);
+    let seed = 77u64;
+    let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let streams = skewed_streams(30_000, k);
+
+    let server = thread::spawn({
+        let cfg = cfg.clone();
+        move || {
+            let coordinator = swor_coordinator(cfg, seed);
+            dwrs_runtime::tcp::serve_coordinator(
+                &listener,
+                k,
+                coordinator,
+                &RuntimeConfig::default(),
+            )
+        }
+    });
+
+    let mut clients = Vec::new();
+    for (i, items) in streams.into_iter().enumerate() {
+        let cfg = cfg.clone();
+        clients.push(thread::spawn(move || {
+            let site = swor_site(&cfg, seed, i);
+            dwrs_runtime::tcp::run_site(addr, i, site, items, &RuntimeConfig::default())
+        }));
+    }
+
+    let mut site_metrics = Metrics::new();
+    for c in clients {
+        let (_site, m) = c.join().unwrap().expect("site run");
+        site_metrics.merge(&m);
+    }
+    let (coordinator, server_metrics) = server.join().unwrap().expect("serve run");
+    assert_eq!(coordinator.sample().len(), 8);
+    // The server meters ups from decoded frames; the clients meter them at
+    // send time. Both sides of the wire must agree exactly.
+    assert_eq!(server_metrics.up_total, site_metrics.up_total);
+    assert_eq!(server_metrics.up_bytes, site_metrics.up_bytes);
+    assert_eq!(server_metrics.kind("early"), site_metrics.kind("early"));
+    assert_eq!(server_metrics.kind("regular"), site_metrics.kind("regular"));
+}
+
+#[test]
+fn tcp_and_threads_agree_on_heavy_hitter_inclusion() {
+    // Same deployment, same seed, both threaded substrates: the heaviest
+    // item of a very skewed stream must be sampled by both (its inclusion
+    // probability is overwhelming at this weight ratio).
+    let k = 4;
+    let mut items = dwrs_workloads::zipf_ranked(20_000, 1.5, 3);
+    // Make rank-1 truly dominant.
+    let max_id = items
+        .iter()
+        .max_by(|a, b| a.weight.total_cmp(&b.weight))
+        .unwrap()
+        .id;
+    for it in &mut items {
+        if it.id == max_id {
+            it.weight *= 1e6;
+        }
+    }
+    let streams = |items: &[Item]| {
+        split_stream(
+            k,
+            items.iter().copied().enumerate().map(|(i, it)| (i % k, it)),
+        )
+    };
+    for engine in [EngineKind::Threads, EngineKind::Tcp] {
+        let out = run_swor(
+            engine,
+            SworConfig::new(8, k),
+            555,
+            streams(&items),
+            &RuntimeConfig::default(),
+        )
+        .expect("run");
+        assert!(
+            out.coordinator
+                .sample()
+                .iter()
+                .any(|kd| kd.item.id == max_id),
+            "engine {engine}: dominant item missing from sample"
+        );
+    }
+}

@@ -72,20 +72,35 @@ impl CoordinatorNode for FaithfulCoordinator {
     }
 }
 
+/// Builds site `i` of a weighted-SWOR deployment. This is the canonical
+/// seed derivation — every execution substrate (lockstep runner, the
+/// `dwrs-runtime` engines, the CLI's `serve`/`feed` halves) must construct
+/// sites through it so identically-seeded deployments are identical
+/// across substrates.
+pub fn swor_site(cfg: &SworConfig, seed: u64, i: usize) -> SworSite {
+    SworSite::new(cfg, mix(seed, 0x5173_0000 + i as u64))
+}
+
+/// Builds the O(s)-space weighted-SWOR coordinator of a deployment (the
+/// canonical seed derivation; see [`swor_site`]).
+pub fn swor_coordinator(cfg: SworConfig, seed: u64) -> SworCoordinator {
+    SworCoordinator::new(cfg, mix(seed, 0xC00D))
+}
+
 /// Builds a full weighted-SWOR deployment: `k` seeded sites plus the
 /// O(s)-space coordinator.
 pub fn build_swor(cfg: SworConfig, seed: u64) -> Runner<SworSite, SworCoordinator> {
     let sites = (0..cfg.num_sites)
-        .map(|i| SworSite::new(&cfg, mix(seed, 0x5173_0000 + i as u64)))
+        .map(|i| swor_site(&cfg, seed, i))
         .collect();
-    let coordinator = SworCoordinator::new(cfg, mix(seed, 0xC00D));
+    let coordinator = swor_coordinator(cfg, seed);
     Runner::new(coordinator, sites)
 }
 
 /// Builds the verbatim-Algorithm-2 deployment (full level-set storage).
 pub fn build_swor_faithful(cfg: SworConfig, seed: u64) -> Runner<SworSite, FaithfulCoordinator> {
     let sites = (0..cfg.num_sites)
-        .map(|i| SworSite::new(&cfg, mix(seed, 0x5173_0000 + i as u64)))
+        .map(|i| swor_site(&cfg, seed, i))
         .collect();
     let coordinator = FaithfulCoordinator::new(cfg, mix(seed, 0xC00D));
     Runner::new(coordinator, sites)
@@ -287,6 +302,44 @@ mod tests {
         // Every message is O(1) machine words on the wire (Prop. 7).
         assert!(m.up_bytes <= 32 * m.up_total);
         assert!(m.down_bytes <= 32 * m.down_total);
+    }
+
+    #[test]
+    fn swor_meter_uses_exact_frame_sizes() {
+        // Satellite of ISSUE 2: the SWOR messages must report their exact
+        // `swor::wire` frame sizes, not the generic two-word default.
+        let early = UpMsg::Early {
+            item: Item::new(1, 2.0),
+        };
+        let regular = UpMsg::Regular {
+            item: Item::new(1, 2.0),
+            key: 3.0,
+        };
+        let saturated = DownMsg::LevelSaturated { level: 4 };
+        let epoch = DownMsg::UpdateEpoch { threshold: 8.0 };
+        assert_eq!(Meter::wire_bytes(&early), 17);
+        assert_eq!(Meter::wire_bytes(&regular), 25);
+        assert_eq!(Meter::wire_bytes(&saturated), 5);
+        assert_eq!(Meter::wire_bytes(&epoch), 9);
+        // None of them coincide with the default model figure, so a
+        // regression to the default would be caught here.
+        let default_bytes = 2 * dwrs_core::swor::wire::WORD_BYTES as u64;
+        for bytes in [17u64, 25, 5, 9] {
+            assert_ne!(bytes, default_bytes);
+        }
+        // The default itself is the paper's two-words-per-message figure,
+        // scaled by `units` for batched meters.
+        struct Plain(u64);
+        impl Meter for Plain {
+            fn kind(&self) -> &'static str {
+                "plain"
+            }
+            fn units(&self) -> u64 {
+                self.0
+            }
+        }
+        assert_eq!(Plain(1).wire_bytes(), 16);
+        assert_eq!(Plain(3).wire_bytes(), 48);
     }
 
     #[test]

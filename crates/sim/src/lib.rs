@@ -54,7 +54,10 @@ pub mod protocol;
 pub mod runner;
 pub mod tree;
 
-pub use adapters::{build_naive, build_swor, build_swor_faithful, build_swr, build_tag, NoDown};
+pub use adapters::{
+    build_naive, build_swor, build_swor_faithful, build_swr, build_tag, swor_coordinator,
+    swor_site, NoDown,
+};
 pub use metrics::Metrics;
 pub use partition::{assign_sites, Partition, Partitioner};
 pub use protocol::{CoordinatorNode, Meter, Outbox, SiteNode};

@@ -66,6 +66,31 @@ impl Metrics {
         self.up_bytes + self.down_bytes
     }
 
+    /// Folds another run's (or another thread's) counters into this one.
+    ///
+    /// All scalar totals add; per-kind buckets add key-wise. Timelines are
+    /// concatenated in `(items_processed, …)` order so a merged timeline
+    /// stays sorted when the inputs cover disjoint item ranges — the
+    /// runtime's per-thread metrics have no timelines, and lockstep runs
+    /// merge with empty ones, so in practice one side is always empty.
+    ///
+    /// This is the supported way to aggregate metrics across engines and
+    /// threads; summing `by_kind` entries by hand is not.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.up_total += other.up_total;
+        self.down_total += other.down_total;
+        self.broadcast_events += other.broadcast_events;
+        self.up_bytes += other.up_bytes;
+        self.down_bytes += other.down_bytes;
+        for (kind, count) in &other.by_kind {
+            *self.by_kind.entry(kind).or_insert(0) += count;
+        }
+        let mut timeline = std::mem::take(&mut self.timeline);
+        timeline.extend_from_slice(&other.timeline);
+        timeline.sort_by_key(|&(items, _)| items);
+        self.timeline = timeline;
+    }
+
     /// Appends a timeline snapshot.
     pub fn snapshot(&mut self, items_processed: u64) {
         self.timeline.push((items_processed, self.total()));
@@ -99,6 +124,69 @@ mod tests {
         assert_eq!(m.kind("update_epoch"), 8);
         assert_eq!(m.kind("missing"), 0);
         assert_eq!(m.broadcast_events, 1);
+    }
+
+    #[test]
+    fn merge_adds_counters_keywise() {
+        let mut a = Metrics::new();
+        a.count_up("early", 2, 34);
+        a.count_broadcast("update_epoch", 1, 9, 4);
+        a.snapshot(10);
+        let mut b = Metrics::new();
+        b.count_up("early", 1, 17);
+        b.count_up("regular", 3, 75);
+        b.count_unicast("ack", 1, 16);
+        a.merge(&b);
+        assert_eq!(a.up_total, 6);
+        assert_eq!(a.down_total, 4 + 1);
+        assert_eq!(a.broadcast_events, 1);
+        assert_eq!(a.up_bytes, 34 + 17 + 75);
+        assert_eq!(a.down_bytes, 9 * 4 + 16);
+        assert_eq!(a.kind("early"), 3);
+        assert_eq!(a.kind("regular"), 3);
+        assert_eq!(a.kind("update_epoch"), 4);
+        assert_eq!(a.kind("ack"), 1);
+        assert_eq!(a.timeline, vec![(10, 2 + 4)]);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Metrics::new();
+        a.count_up("x", 7, 112);
+        a.count_broadcast("y", 1, 8, 3);
+        a.snapshot(5);
+        let before = a.clone();
+        a.merge(&Metrics::new());
+        assert_eq!(a.up_total, before.up_total);
+        assert_eq!(a.down_total, before.down_total);
+        assert_eq!(a.by_kind, before.by_kind);
+        assert_eq!(a.timeline, before.timeline);
+        let mut fresh = Metrics::new();
+        fresh.merge(&before);
+        assert_eq!(fresh.total(), before.total());
+        assert_eq!(fresh.total_bytes(), before.total_bytes());
+        assert_eq!(fresh.by_kind, before.by_kind);
+    }
+
+    #[test]
+    fn merge_is_associative_on_totals() {
+        let mk = |seed: u64| {
+            let mut m = Metrics::new();
+            m.count_up("a", seed, seed * 10);
+            m.count_unicast("b", seed + 1, seed * 3);
+            m
+        };
+        let (x, y, z) = (mk(1), mk(2), mk(3));
+        let mut left = x.clone();
+        left.merge(&y);
+        left.merge(&z);
+        let mut yz = y.clone();
+        yz.merge(&z);
+        let mut right = x.clone();
+        right.merge(&yz);
+        assert_eq!(left.total(), right.total());
+        assert_eq!(left.total_bytes(), right.total_bytes());
+        assert_eq!(left.by_kind, right.by_kind);
     }
 
     #[test]

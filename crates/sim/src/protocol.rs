@@ -16,11 +16,19 @@ pub trait Meter {
     fn units(&self) -> u64 {
         1
     }
-    /// Encoded size in bytes (default: two machine words per wire message;
-    /// protocols with a real codec override this — the weighted SWOR
-    /// messages use their exact `swor::wire` frame sizes).
+    /// Encoded size in bytes.
+    ///
+    /// The default charges exactly **two machine words per wire message**
+    /// (`2 × WORD_BYTES = 16` bytes) — the paper's Section 2.1 cost model,
+    /// where every message carries O(1) words of Θ(log nW) bits and
+    /// message count equals word count up to constants. It is a *model*
+    /// figure for protocols without a codec, not a measured size: protocols
+    /// with a real byte encoding must override it (the weighted SWOR
+    /// messages report their exact `swor::wire` frame sizes of 5–25 bytes,
+    /// still O(1) words but not equal to the default — asserted by
+    /// `swor_meter_uses_exact_frame_sizes` in `adapters`).
     fn wire_bytes(&self) -> u64 {
-        16 * self.units()
+        2 * (dwrs_core::swor::wire::WORD_BYTES as u64) * self.units()
     }
 }
 
@@ -83,6 +91,16 @@ impl<D> Outbox<D> {
         self.broadcasts.push(msg);
     }
 
+    /// Removes and returns everything queued: `(unicasts, broadcasts)`.
+    /// This is how execution substrates (the lockstep [`crate::Runner`],
+    /// the `dwrs-runtime` thread/TCP engines) route coordinator responses.
+    pub fn take(&mut self) -> (Vec<(usize, D)>, Vec<D>) {
+        (
+            std::mem::take(&mut self.unicasts),
+            std::mem::take(&mut self.broadcasts),
+        )
+    }
+
     /// Whether nothing was queued.
     pub fn is_empty(&self) -> bool {
         self.unicasts.is_empty() && self.broadcasts.is_empty()
@@ -109,6 +127,17 @@ mod tests {
         assert_eq!(ob.unicasts, vec![(3, 7)]);
         assert_eq!(ob.broadcasts, vec![9]);
         ob.clear();
+        assert!(ob.is_empty());
+    }
+
+    #[test]
+    fn outbox_take_drains() {
+        let mut ob: Outbox<u32> = Outbox::new();
+        ob.unicast(1, 5);
+        ob.broadcast(6);
+        let (uni, bcast) = ob.take();
+        assert_eq!(uni, vec![(1, 5)]);
+        assert_eq!(bcast, vec![6]);
         assert!(ob.is_empty());
     }
 }

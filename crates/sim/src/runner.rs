@@ -101,8 +101,7 @@ where
     /// Routes everything in the outbox, applying metrics.
     fn route_outbox(&mut self) {
         let k = self.sites.len();
-        let unicasts = std::mem::take(&mut self.outbox.unicasts);
-        let broadcasts = std::mem::take(&mut self.outbox.broadcasts);
+        let (unicasts, broadcasts) = self.outbox.take();
         for (to, msg) in unicasts {
             self.metrics
                 .count_unicast(msg.kind(), msg.units(), msg.wire_bytes());

@@ -41,6 +41,7 @@
 
 pub use dwrs_apps as apps;
 pub use dwrs_core as core;
+pub use dwrs_runtime as runtime;
 pub use dwrs_sim as sim;
 pub use dwrs_stats as stats;
 pub use dwrs_workloads as workloads;

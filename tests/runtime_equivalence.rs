@@ -1,0 +1,199 @@
+//! Integration: the threaded runtime must be *distributionally equivalent*
+//! to the lockstep simulator (ISSUE 2 satellite).
+//!
+//! The threaded engine delivers coordinator broadcasts asynchronously —
+//! the delayed-delivery regime — so per-run message *counts* differ from
+//! lockstep, but the sampling distribution may not: with fixed RNG seeds,
+//! inclusion frequencies over many trials must pass the same
+//! `dwrs-stats` calibration checks (chi², KS) against the lockstep
+//! simulator on identical input.
+
+use dwrs::core::exact::inclusion_probabilities;
+use dwrs::core::swor::SworConfig;
+use dwrs::core::Item;
+use dwrs::runtime::{run_swor, split_stream, EngineKind, RuntimeConfig};
+use dwrs::sim::build_swor;
+use dwrs::stats::{chi2_two_sample, ks_two_sample};
+
+/// Stream used throughout: 12 items with assorted weights (the same
+/// instance `tests/distributed_vs_centralized.rs` validates against the
+/// exact oracle).
+const WEIGHTS: [f64; 12] = [3.0, 1.0, 7.0, 1.0, 2.0, 9.0, 1.0, 4.0, 2.0, 1.0, 5.0, 30.0];
+
+const K: usize = 4;
+
+fn stream() -> Vec<(usize, Item)> {
+    WEIGHTS
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (i % K, Item::new(i as u64, w)))
+        .collect()
+}
+
+fn lockstep_sample(s: usize, seed: u64) -> Vec<u64> {
+    let mut runner = build_swor(SworConfig::new(s, K), seed);
+    for (site, item) in stream() {
+        runner.step(site, item);
+    }
+    runner
+        .coordinator
+        .sample()
+        .iter()
+        .map(|kd| kd.item.id)
+        .collect()
+}
+
+fn threaded_sample(s: usize, seed: u64) -> Vec<u64> {
+    // Tight pipeline: irrelevant for distribution, but keeps the traffic
+    // regime close to lockstep on this tiny stream.
+    let rcfg = RuntimeConfig::new()
+        .with_batch_max(1)
+        .with_queue_capacity(1);
+    let out = run_swor(
+        EngineKind::Threads,
+        SworConfig::new(s, K),
+        seed,
+        split_stream(K, stream()),
+        &rcfg,
+    )
+    .expect("threaded run");
+    out.coordinator
+        .sample()
+        .iter()
+        .map(|kd| kd.item.id)
+        .collect()
+}
+
+#[test]
+fn threaded_inclusion_matches_lockstep_chi2() {
+    // Two-sample chi-square between lockstep and threaded inclusion counts
+    // over many independent seeded runs.
+    let s = 3;
+    let trials = 4_000u64;
+    let mut lockstep_counts = vec![0u64; WEIGHTS.len()];
+    let mut threaded_counts = vec![0u64; WEIGHTS.len()];
+    for t in 0..trials {
+        for id in lockstep_sample(s, 10_000 + t) {
+            lockstep_counts[id as usize] += 1;
+        }
+        for id in threaded_sample(s, 60_000 + t) {
+            threaded_counts[id as usize] += 1;
+        }
+    }
+    let r = chi2_two_sample(&lockstep_counts, &threaded_counts);
+    assert!(
+        r.p_value > 1e-4,
+        "distributions differ: chi2 = {:.2}, p = {:.2e}\nlockstep {lockstep_counts:?}\nthreaded {threaded_counts:?}",
+        r.statistic,
+        r.p_value
+    );
+}
+
+#[test]
+fn threaded_inclusion_matches_exact_oracle() {
+    // Stronger than agreeing with lockstep: the threaded engine's
+    // inclusion frequencies match the closed-form oracle within binomial
+    // error, item by item.
+    let s = 3;
+    let trials = 4_000u64;
+    let exact = inclusion_probabilities(&WEIGHTS, s);
+    let mut counts = vec![0u64; WEIGHTS.len()];
+    for t in 0..trials {
+        for id in threaded_sample(s, 300_000 + t) {
+            counts[id as usize] += 1;
+        }
+    }
+    for (i, &c) in counts.iter().enumerate() {
+        let p = exact[i];
+        let emp = c as f64 / trials as f64;
+        let se = (p * (1.0 - p) / trials as f64).sqrt().max(1e-6);
+        assert!(
+            (emp - p).abs() < 5.5 * se,
+            "item {i}: empirical {emp:.4} vs exact {p:.4} (se {se:.4})"
+        );
+    }
+}
+
+#[test]
+fn threaded_top_key_distribution_matches_lockstep_ks() {
+    // The largest sampled key is a continuous statistic of the whole run;
+    // its distribution must agree between engines (two-sample KS).
+    let s = 2;
+    let trials = 1_500u64;
+    let top_key = |ids_keys: Vec<f64>| ids_keys.into_iter().fold(f64::MIN, f64::max);
+    let mut lockstep_keys = Vec::with_capacity(trials as usize);
+    let mut threaded_keys = Vec::with_capacity(trials as usize);
+    for t in 0..trials {
+        let mut runner = build_swor(SworConfig::new(s, K), 700_000 + t);
+        for (site, item) in stream() {
+            runner.step(site, item);
+        }
+        lockstep_keys.push(top_key(
+            runner
+                .coordinator
+                .sample()
+                .iter()
+                .map(|kd| kd.key)
+                .collect(),
+        ));
+        let out = run_swor(
+            EngineKind::Threads,
+            SworConfig::new(s, K),
+            900_000 + t,
+            split_stream(K, stream()),
+            &RuntimeConfig::new()
+                .with_batch_max(1)
+                .with_queue_capacity(1),
+        )
+        .expect("threaded run");
+        threaded_keys.push(top_key(
+            out.coordinator.sample().iter().map(|kd| kd.key).collect(),
+        ));
+    }
+    let r = ks_two_sample(&lockstep_keys, &threaded_keys);
+    assert!(
+        r.p_value > 1e-4,
+        "top-key distributions differ: D = {:.4}, p = {:.2e}",
+        r.statistic,
+        r.p_value
+    );
+}
+
+#[test]
+fn engines_agree_on_large_skewed_stream_invariants() {
+    // One large skewed run per engine: identical final sample size, exact
+    // byte accounting on both sides, and every sampled key clearing u.
+    let k = 4;
+    let s = 16;
+    let n = 100_000;
+    let items = dwrs::workloads::zipf_ranked(n, 1.2, 31);
+    let parts = split_stream(
+        k,
+        items.iter().copied().enumerate().map(|(i, it)| (i % k, it)),
+    );
+    for engine in [EngineKind::Lockstep, EngineKind::Threads, EngineKind::Tcp] {
+        let out = run_swor(
+            engine,
+            SworConfig::new(s, k),
+            77,
+            parts.clone(),
+            &RuntimeConfig::default(),
+        )
+        .expect("run");
+        assert_eq!(out.coordinator.sample().len(), s, "engine {engine}");
+        let m = &out.metrics;
+        assert_eq!(
+            m.up_bytes,
+            17 * m.kind("early") + 25 * m.kind("regular"),
+            "engine {engine}: upstream byte accounting"
+        );
+        assert_eq!(
+            m.down_bytes,
+            5 * m.kind("level_saturated") + 9 * m.kind("update_epoch"),
+            "engine {engine}: downstream byte accounting"
+        );
+        assert_eq!(m.down_total, m.broadcast_events * k as u64);
+        let u = out.coordinator.u();
+        assert!(out.coordinator.sample().iter().all(|kd| kd.key >= u));
+    }
+}

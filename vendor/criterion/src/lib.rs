@@ -77,6 +77,37 @@ impl Bencher {
         }
         self.elapsed_ns = start.elapsed().as_nanos();
     }
+
+    /// Time `routine` with a per-iteration input built by `setup`; setup
+    /// time is excluded from the measurement (matching the real
+    /// criterion's `iter_batched`).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut elapsed = std::time::Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed_ns = elapsed.as_nanos();
+    }
+}
+
+/// Input-buffering strategy for [`Bencher::iter_batched`]. The stand-in
+/// builds inputs one at a time regardless, so the variants only mirror the
+/// real API.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: the real harness batches many per allocation.
+    SmallInput,
+    /// Large inputs: the real harness builds them one at a time.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
 }
 
 /// Top-level benchmark driver (stand-in for `criterion::Criterion`).
