@@ -1,4 +1,4 @@
-//! Deterministic `(1+ε)` L1 tracker — the "[14] + folklore" baseline row of
+//! Deterministic `(1+ε)` L1 tracker — the "\[14\] + folklore" baseline row of
 //! the paper's Section 5 table, with `O(k·log(W)/ε)` messages.
 //!
 //! Each site reports its local total whenever it has grown by a factor

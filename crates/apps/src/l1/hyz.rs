@@ -1,8 +1,8 @@
-//! Randomized L1 tracker in the style of Huang, Yi and Zhang [23] — the
+//! Randomized L1 tracker in the style of Huang, Yi and Zhang \[23\] — the
 //! best prior upper bound, `O((k + √k/ε)·log W)` expected messages, and the
 //! second comparison row of the paper's Section 5 table.
 //!
-//! Reconstruction from the stated guarantees (the paper of [23] is not
+//! Reconstruction from the stated guarantees (the paper of \[23\] is not
 //! reproduced here; see DESIGN.md §5): the protocol proceeds in *rounds*,
 //! each spanning roughly a doubling of the total weight.
 //!
@@ -18,7 +18,7 @@
 //! Expected signals per round: `p·B = c·max(√k, 1/ε)/ε`, and there are
 //! `log₂ W` rounds — matching the `O((k + √k/ε)·log W)` bound (the `1/ε²`
 //! variant of the rate keeps the estimate within `ε` even when `k < 1/ε²`,
-//! which is the regime [23] is optimal in).
+//! which is the regime \[23\] is optimal in).
 
 use dwrs_core::math::binomial::binomial;
 use dwrs_core::rng::{mix, Rng};

@@ -8,9 +8,9 @@
 //!   `ℓ·W/s`, so `W̃ = s·u/ℓ = (1±ε)·W`. Expected messages
 //!   `O(k·log(εW)/log k + log(εW)/ε²)` — optimal for `k ≥ 1/ε²`.
 //! * [`FolkloreTracker`] — the deterministic `(1+ε)` local-threshold
-//!   protocol attributed to "[14] + folklore": `O(k·log(W)/ε)` messages.
+//!   protocol attributed to "\[14\] + folklore": `O(k·log(W)/ε)` messages.
 //! * [`HyzTracker`] — reconstruction of the randomized tracker of Huang,
-//!   Yi and Zhang [23]: `O((k + √k/ε)·log W)` messages, the best prior
+//!   Yi and Zhang \[23\]: `O((k + √k/ε)·log W)` messages, the best prior
 //!   bound and optimal for `k ≤ 1/ε²`.
 //! * [`PiggybackL1Tracker`] — an implementation extension: rides on a
 //!   weighted SWOR deployment at zero extra messages with `O(1/√s)` error

@@ -1,0 +1,135 @@
+//! Tree-vs-flat topology comparison on the concurrent runtime: the same
+//! skewed weighted-SWOR workload as a flat `k`-site deployment and as a
+//! `g × (k/g)` fan-in tree, across engines and root-sync cadences.
+//!
+//! What the sweeps measure:
+//!
+//! * **`tree_vs_flat`** — end-to-end throughput (items/s) of flat vs. tree
+//!   on the threaded and loopback-TCP substrates. The tree adds `g`
+//!   aggregator threads and one root thread; on a multi-core host the
+//!   extra pipeline stages overlap with site work, so the tree's overhead
+//!   is the sync traffic, not wall-clock serialization.
+//! * **`tree_sync_rate`** — message-rate cost of freshness: total messages
+//!   (intra-group protocol + aggregator→root sync tier) as `sync_every`
+//!   sweeps from chatty to lazy. The sync tier costs `g·s/sync_every`
+//!   messages per item, so halving the period roughly doubles `"sync"`
+//!   traffic while the intra-group tier stays put — the bounded-staleness
+//!   vs. message-rate tradeoff quantified.
+//!
+//! CI runs each target once (`cargo bench -p dwrs-bench -- --test`) and
+//! separately collects `BENCH_tree.json` from CLI runs of the same shapes.
+
+use criterion::{
+    black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput,
+};
+use dwrs_core::swor::SworConfig;
+use dwrs_core::Item;
+use dwrs_runtime::{
+    run_swor, run_tree_swor, split_stream, split_tree_stream, EngineKind, RuntimeConfig,
+    TreeTopology,
+};
+use dwrs_sim::{assign_sites, Partition};
+
+const N: usize = 1_000_000;
+const S: usize = 64;
+const K: usize = 8;
+
+fn skewed(n: usize) -> Vec<Item> {
+    dwrs_workloads::zipf_ranked(n, 1.2, 5)
+}
+
+fn flat_parts(items: &[Item]) -> Vec<Vec<Item>> {
+    let sites = assign_sites(Partition::RoundRobin, K, items.len(), 6);
+    split_stream(K, sites.into_iter().zip(items.iter().copied()))
+}
+
+fn tree_parts(topo: &TreeTopology, items: &[Item]) -> Vec<Vec<Vec<Item>>> {
+    let sites = assign_sites(Partition::RoundRobin, topo.total_sites(), items.len(), 6);
+    split_tree_stream(topo, sites.into_iter().zip(items.iter().copied()))
+}
+
+fn tree_vs_flat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_vs_flat");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    let items = skewed(N);
+    let topo = TreeTopology::new(2, K / 2, 10_000);
+    for engine in [EngineKind::Threads, EngineKind::Tcp] {
+        g.bench_with_input(
+            BenchmarkId::new("flat", engine.to_string()),
+            &engine,
+            |b, &engine| {
+                b.iter_batched(
+                    || flat_parts(&items),
+                    |parts| {
+                        let out = run_swor(
+                            engine,
+                            SworConfig::new(S, K),
+                            7,
+                            parts,
+                            &RuntimeConfig::default(),
+                        )
+                        .expect("flat run");
+                        black_box(out.metrics.total())
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("tree", engine.to_string()),
+            &engine,
+            |b, &engine| {
+                b.iter_batched(
+                    || tree_parts(&topo, &items),
+                    |streams| {
+                        let out =
+                            run_tree_swor(engine, S, &topo, 7, streams, &RuntimeConfig::default())
+                                .expect("tree run");
+                        black_box(out.metrics.total())
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+fn tree_sync_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_sync_rate");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    let items = skewed(N);
+    for sync_every in [1_000u64, 10_000, 100_000] {
+        let topo = TreeTopology::new(2, K / 2, sync_every);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("every{sync_every}")),
+            &topo,
+            |b, topo| {
+                b.iter_batched(
+                    || tree_parts(topo, &items),
+                    |streams| {
+                        let out = run_tree_swor(
+                            EngineKind::Threads,
+                            S,
+                            topo,
+                            7,
+                            streams,
+                            &RuntimeConfig::default(),
+                        )
+                        .expect("tree run");
+                        // The quantity under test: total message rate
+                        // including the sync tier.
+                        black_box((out.metrics.total(), out.metrics.kind("sync")))
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, tree_vs_flat, tree_sync_rate);
+criterion_main!(benches);

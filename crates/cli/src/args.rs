@@ -13,10 +13,15 @@ commands:
   run          run distributed weighted SWOR on a selectable engine and
                report throughput alongside the sample and metrics
                flags: --engine {lockstep|threads|tcp} (default threads)
+                      --topology {flat|tree}          (default flat)
                       --n --k --s --workload --seed --partition
                       --batch <msgs per upstream frame>   (default 64)
                       --queue <up-queue bound in batches> (default 128)
                       --format {text|json}                (default text)
+               tree topology only (--k sites split across groups, each
+               group's aggregator syncing its sample to a root merger):
+                      --groups <g>          (default 2; must divide --k)
+                      --sync-every <items>  (default 10000)
   serve        run a standalone SWOR coordinator as a TCP server: accept
                --k framed site connections, then print sample + metrics
                flags: --addr (default 127.0.0.1:0, prints bound address)

@@ -12,7 +12,10 @@ use dwrs_apps::residual_hh::{
 };
 use dwrs_core::swor::SworConfig;
 use dwrs_core::Item;
-use dwrs_runtime::{run_swor, split_stream, EngineKind, RuntimeConfig};
+use dwrs_runtime::{
+    run_swor, run_tree_swor, split_stream, split_tree_stream, EngineKind, RuntimeConfig,
+    TreeTopology,
+};
 use dwrs_sim::{assign_sites, build_swor, swor_coordinator, swor_site, Metrics, Partition};
 use dwrs_workloads as workloads;
 
@@ -176,6 +179,15 @@ fn cmd_run<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
             "--format must be text or json, got '{format}'"
         )));
     }
+    match p.str_or("topology", "flat").as_str() {
+        "flat" => {}
+        "tree" => return cmd_run_tree(p, engine, s, seed, &rcfg, &format, out),
+        other => {
+            return Err(ArgError(format!(
+                "--topology must be flat or tree, got '{other}'"
+            )))
+        }
+    }
     let (items, sites, k) = make_stream(p)?;
     let n = items.len();
 
@@ -204,7 +216,7 @@ fn cmd_run<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
     if format == "json" {
         writeln!(
             out,
-            "{{\"engine\":\"{engine}\",\"n\":{n},\"k\":{k},\"s\":{s},\
+            "{{\"engine\":\"{engine}\",\"topology\":\"flat\",\"n\":{n},\"k\":{k},\"s\":{s},\
              \"elapsed_s\":{elapsed_s:.6},\"items_per_s\":{items_per_s:.1},\
              \"sample_size\":{},\"messages\":{},\"up_messages\":{},\
              \"down_messages\":{},\"bytes\":{}}}",
@@ -225,6 +237,82 @@ fn cmd_run<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
     .ok();
     writeln!(out, "elapsed: {elapsed_s:.3} s  ({items_per_s:.0} items/s)").ok();
     report_run(out, &sample, &metrics, 8);
+    Ok(())
+}
+
+/// `run --topology tree`: the hierarchical fan-in deployment. `--k` total
+/// sites are split into `--groups` groups (each running the full protocol
+/// against its aggregator), and aggregators sync their samples to a root
+/// merger every `--sync-every` items.
+fn cmd_run_tree<W: Write>(
+    p: &Parsed,
+    engine: EngineKind,
+    s: usize,
+    seed: u64,
+    rcfg: &RuntimeConfig,
+    format: &str,
+    out: &mut W,
+) -> Result<(), ArgError> {
+    let groups = p.u64_or("groups", 2)? as usize;
+    let sync_every = p.u64_or("sync-every", 10_000)?;
+    if groups == 0 {
+        return Err(ArgError("--groups must be at least 1".into()));
+    }
+    if sync_every == 0 {
+        return Err(ArgError("--sync-every must be at least 1".into()));
+    }
+    let (items, sites, k) = make_stream(p)?;
+    if !k.is_multiple_of(groups) {
+        return Err(ArgError(format!(
+            "--groups {groups} must divide --k {k} (sites per group must be uniform)"
+        )));
+    }
+    let topo = TreeTopology::new(groups, k / groups, sync_every);
+    let n = items.len();
+    let streams = split_tree_stream(&topo, sites.into_iter().zip(items));
+
+    let t0 = Instant::now();
+    let run = run_tree_swor(engine, s, &topo, seed, streams, rcfg)
+        .map_err(|e| ArgError(format!("{engine} tree engine failed: {e}")))?;
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let items_per_s = n as f64 / elapsed_s.max(1e-12);
+    let metrics = &run.metrics;
+    let syncs: u64 = run.group_stats.iter().map(|st| st.syncs).sum();
+
+    if format == "json" {
+        writeln!(
+            out,
+            "{{\"engine\":\"{engine}\",\"topology\":\"tree\",\"n\":{n},\"k\":{k},\
+             \"s\":{s},\"groups\":{groups},\"k_per_group\":{},\"sync_every\":{sync_every},\
+             \"elapsed_s\":{elapsed_s:.6},\"items_per_s\":{items_per_s:.1},\
+             \"sample_size\":{},\"messages\":{},\"up_messages\":{},\
+             \"down_messages\":{},\"sync_messages\":{},\"syncs\":{syncs},\"bytes\":{}}}",
+            topo.k_per_group,
+            run.root_sample.len(),
+            metrics.total(),
+            metrics.up_total,
+            metrics.down_total,
+            metrics.kind("sync"),
+            metrics.total_bytes(),
+        )
+        .ok();
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "engine {engine}: n = {n}, topology = tree ({groups} groups x {} sites), \
+         s = {s}, sync_every = {sync_every}, batch = {}, queue = {}",
+        topo.k_per_group, rcfg.batch_max, rcfg.queue_capacity
+    )
+    .ok();
+    writeln!(out, "elapsed: {elapsed_s:.3} s  ({items_per_s:.0} items/s)").ok();
+    writeln!(
+        out,
+        "root syncs: {syncs} ({} sync messages; root exact at shutdown)",
+        metrics.kind("sync")
+    )
+    .ok();
+    report_run(out, &run.root_sample, metrics, 8);
     Ok(())
 }
 
@@ -427,6 +515,57 @@ mod tests {
     }
 
     #[test]
+    fn run_tree_all_engines_report_root_sample() {
+        for engine in ["lockstep", "threads", "tcp"] {
+            let (code, out) = run_cmd(&format!(
+                "run --engine {engine} --topology tree --n 20000 --k 4 --groups 2 \
+                 --sync-every 1000 --s 8 --workload zipf:1.2 --batch 8 --queue 8"
+            ));
+            assert_eq!(code, 0, "engine {engine}: {out}");
+            assert!(
+                out.contains("topology = tree (2 groups x 2 sites)"),
+                "{out}"
+            );
+            assert!(out.contains("root syncs:"), "{out}");
+            assert!(out.contains("sample size: 8"), "{out}");
+            assert!(out.contains("items/s"), "{out}");
+        }
+    }
+
+    #[test]
+    fn run_tree_json_format() {
+        let (code, out) = run_cmd(
+            "run --engine threads --topology tree --n 8000 --k 4 --groups 2 --s 4 --format json",
+        );
+        assert_eq!(code, 0, "output: {out}");
+        let line = out.lines().last().unwrap();
+        for field in [
+            "\"topology\":\"tree\"",
+            "\"groups\":2",
+            "\"k_per_group\":2",
+            "\"sync_every\":10000",
+            "\"sample_size\":4",
+            "\"sync_messages\":",
+            "\"syncs\":",
+        ] {
+            assert!(line.contains(field), "missing {field} in {line}");
+        }
+    }
+
+    #[test]
+    fn run_tree_validates_flags() {
+        let (code, out) = run_cmd("run --topology tree --n 10 --k 8 --groups 3");
+        assert_eq!(code, 2);
+        assert!(out.contains("must divide"), "{out}");
+        let (code, out) = run_cmd("run --topology ring --n 10");
+        assert_eq!(code, 2);
+        assert!(out.contains("--topology"), "{out}");
+        let (code, out) = run_cmd("run --topology tree --n 10 --k 4 --sync-every 0");
+        assert_eq!(code, 2);
+        assert!(out.contains("--sync-every"), "{out}");
+    }
+
+    #[test]
     fn run_command_json_format() {
         let (code, out) = run_cmd("run --engine threads --n 5000 --k 2 --s 4 --format json");
         assert_eq!(code, 0, "output: {out}");
@@ -434,6 +573,7 @@ mod tests {
         assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         for field in [
             "\"engine\":\"threads\"",
+            "\"topology\":\"flat\"",
             "\"n\":5000",
             "\"sample_size\":4",
             "\"items_per_s\":",

@@ -1,4 +1,4 @@
-//! Efraimidis–Spirakis sequential weighted SWOR (reference [18] of the
+//! Efraimidis–Spirakis sequential weighted SWOR (reference \[18\] of the
 //! paper, *"Weighted random sampling with a reservoir"*, IPL 2006).
 //!
 //! Two variants:

@@ -5,7 +5,7 @@
 //!
 //! 1. **ground truth** — the distributed samplers must agree in distribution
 //!    with these (validated statistically in tests and experiment E4);
-//! 2. **baselines** — e.g. Efraimidis–Spirakis [18] is the sequential
+//! 2. **baselines** — e.g. Efraimidis–Spirakis \[18\] is the sequential
 //!    weighted SWOR the paper generalizes;
 //! 3. **documentation** — each module states the algorithm's origin.
 

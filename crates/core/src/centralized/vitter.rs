@@ -1,5 +1,5 @@
 //! Vitter's Algorithm R — classic unweighted reservoir sampling (reference
-//! [33] of the paper; the "reservoir sampling" the paper generalizes).
+//! \[33\] of the paper; the "reservoir sampling" the paper generalizes).
 //!
 //! Maintains a uniform sample without replacement of size `s`: item `t > s`
 //! replaces a uniformly random reservoir slot with probability `s/t`.

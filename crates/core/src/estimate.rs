@@ -3,7 +3,7 @@
 //! The paper's L1 tracker exploits the fact that the precision-sampling key
 //! order statistics carry magnitude information (Section 1.2, Section 5);
 //! the same structure — bottom-k sketches with exponential ranks
-//! (Cohen–Kaplan), called *priority sampling* in the paper's reference [17]
+//! (Cohen–Kaplan), called *priority sampling* in the paper's reference \[17\]
 //! (Duffield–Lund–Thorup) — yields **unbiased estimates of arbitrary subset
 //! sums** from the very sample the distributed protocol maintains.
 //!

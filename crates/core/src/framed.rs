@@ -14,11 +14,14 @@
 
 use std::io::{self, Read, Write};
 
-use crate::swor::messages::{DownMsg, UpMsg};
+use crate::swor::messages::{DownMsg, SyncMsg, UpMsg};
 use crate::swor::wire::{self, WireError};
 
 /// Hard cap on a single frame's payload size (1 MiB). Protocol messages are
-/// O(1) machine words; even a maximal up-batch stays far below this.
+/// O(1) machine words; even a maximal up-batch stays far below this. The
+/// largest frame in practice is a [`SyncMsg`] carrying a whole keyed sample
+/// (24 bytes per entry), which fits sample sizes up to ~43 000 under the
+/// cap.
 pub const MAX_FRAME_LEN: u32 = 1 << 20;
 
 /// A self-delimiting binary codec: values encode to a byte sequence whose
@@ -47,6 +50,15 @@ impl FrameCodec for DownMsg {
     }
     fn decode(buf: &[u8]) -> Result<(Self, usize), WireError> {
         wire::decode_down(buf)
+    }
+}
+
+impl FrameCodec for SyncMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        wire::encode_sync(self, buf);
+    }
+    fn decode(buf: &[u8]) -> Result<(Self, usize), WireError> {
+        wire::decode_sync(buf)
     }
 }
 

@@ -32,7 +32,7 @@
 //! Everything is deterministic given a seed: the crate deliberately has no
 //! runtime dependencies.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod centralized;

@@ -37,6 +37,36 @@ use crate::topk::top_s_of;
 
 /// Merges any number of keyed top-`s'` samples (each with `s' ≥ s` or
 /// covering its entire substream) into the top-`s` sample of the union.
+///
+/// This is the primitive behind fan-in trees: a root holding one sample per
+/// group merges them into a valid weighted SWOR of the union stream.
+///
+/// ```
+/// use dwrs_core::centralized::{ExpClockSwor, StreamSampler};
+/// use dwrs_core::merge::merge_samples;
+/// use dwrs_core::{Item, Keyed};
+///
+/// // Three disjoint regional substreams, each sampled independently...
+/// let regions: Vec<Vec<Keyed>> = (0..3u64)
+///     .map(|r| {
+///         let mut sampler = ExpClockSwor::new(4, r + 1);
+///         for i in 0..200u64 {
+///             sampler.observe(Item::new(r * 1_000 + i, 1.0 + (i % 5) as f64));
+///         }
+///         sampler.sample_keyed()
+///     })
+///     .collect();
+/// // ...merged at the root into one top-4 weighted SWOR of the union:
+/// let parts: Vec<&[Keyed]> = regions.iter().map(Vec::as_slice).collect();
+/// let root = merge_samples(&parts, 4);
+/// assert_eq!(root.len(), 4);
+/// // The merge keeps exactly the globally largest keys.
+/// let min_kept = root.iter().map(|k| k.key).fold(f64::MAX, f64::min);
+/// assert!(regions
+///     .iter()
+///     .flatten()
+///     .all(|k| k.key <= min_kept || root.iter().any(|r| r.key == k.key)));
+/// ```
 pub fn merge_samples(parts: &[&[Keyed]], s: usize) -> Vec<Keyed> {
     top_s_of(parts.iter().flat_map(|p| p.iter()), s)
 }

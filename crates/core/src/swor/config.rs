@@ -1,6 +1,22 @@
 //! Configuration shared by sites and coordinator.
 
 /// Parameters of the weighted SWOR protocol.
+///
+/// The two required parameters are the sample size `s` and the number of
+/// sites `k`; everything else defaults to the paper's constants and exists
+/// for the ablation experiments.
+///
+/// ```
+/// use dwrs_core::swor::SworConfig;
+///
+/// // A size-64 continuous weighted sample over 8 sites.
+/// let cfg = SworConfig::new(64, 8);
+/// assert_eq!(cfg.sample_size, 64);
+/// assert_eq!(cfg.num_sites, 8);
+/// // The paper's geometric base r = max(2, k/s) and 4rs level capacity:
+/// assert_eq!(cfg.r(), 2.0);
+/// assert_eq!(cfg.level_capacity(), 512);
+/// ```
 #[derive(Clone, Debug)]
 pub struct SworConfig {
     /// Desired sample size `s`.

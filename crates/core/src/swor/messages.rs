@@ -60,6 +60,35 @@ impl DownMsg {
     }
 }
 
+/// Aggregator → root message in a hierarchical (fan-in) deployment.
+///
+/// Samples are mergeable (see [`crate::merge`]), so an aggregator that runs
+/// the full protocol over its group of sites can periodically ship its
+/// *entire current keyed sample* to a root merger; the root's merge of the
+/// latest sync from every group is an exact weighted SWOR of everything the
+/// groups had seen as of those syncs (bounded staleness). In the paper's
+/// accounting each synced sample entry costs one message, so a sync of `s`
+/// entries costs `s` messages — the `g·s/sync_every` message-rate overhead
+/// of the tree topology.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyncMsg {
+    /// Index of the group (aggregator) this sample summarizes.
+    pub group: u32,
+    /// Items the aggregator's group had processed when the sync was taken —
+    /// the root's per-group coverage watermark, used for the
+    /// bounded-staleness guarantee.
+    pub items: u64,
+    /// The aggregator's current keyed sample (its top-`s`).
+    pub sample: Vec<crate::item::Keyed>,
+}
+
+impl SyncMsg {
+    /// Short label for metrics aggregation.
+    pub fn kind(&self) -> &'static str {
+        "sync"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -74,6 +74,6 @@ pub use config::SworConfig;
 pub use coordinator::{CoordStats, SworCoordinator};
 pub use faithful::FaithfulCoordinator;
 pub use levels::{epoch_of, epoch_threshold, level_of, LevelBits};
-pub use messages::{DownMsg, UpMsg};
+pub use messages::{DownMsg, SyncMsg, UpMsg};
 pub use naive::{NaiveCoordinator, NaiveSite};
 pub use site::{SiteStats, SworSite};

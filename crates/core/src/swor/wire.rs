@@ -10,15 +10,22 @@
 //! fields — deliberately boring, so that sizes are predictable and the
 //! round-trip is total on valid frames.
 
-use crate::item::Item;
+use crate::item::{Item, Keyed};
 
-use super::messages::{DownMsg, UpMsg};
+use super::messages::{DownMsg, SyncMsg, UpMsg};
 
 /// Frame tags.
 const TAG_EARLY: u8 = 0x01;
 const TAG_REGULAR: u8 = 0x02;
 const TAG_LEVEL_SATURATED: u8 = 0x11;
 const TAG_UPDATE_EPOCH: u8 = 0x12;
+const TAG_SYNC: u8 = 0x21;
+
+/// Encoded size of one [`Keyed`] sample entry inside a [`SyncMsg`] frame.
+const SYNC_ENTRY_BYTES: usize = 24;
+
+/// Fixed header size of a [`SyncMsg`] frame: tag, group, items, entry count.
+const SYNC_HEADER_BYTES: usize = 1 + 4 + 8 + 4;
 
 /// Errors from decoding.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -161,6 +168,71 @@ pub fn decode_down(buf: &[u8]) -> Result<(DownMsg, usize), WireError> {
     }
 }
 
+/// Encodes an aggregator→root sync frame, appending to `buf`; returns the
+/// frame length in bytes.
+pub fn encode_sync(msg: &SyncMsg, buf: &mut Vec<u8>) -> usize {
+    let start = buf.len();
+    buf.push(TAG_SYNC);
+    buf.extend_from_slice(&msg.group.to_le_bytes());
+    put_u64(buf, msg.items);
+    let count = u32::try_from(msg.sample.len()).expect("sample length fits u32");
+    buf.extend_from_slice(&count.to_le_bytes());
+    for kd in &msg.sample {
+        put_u64(buf, kd.item.id);
+        put_f64(buf, kd.item.weight);
+        put_f64(buf, kd.key);
+    }
+    buf.len() - start
+}
+
+/// Decodes one sync frame from the front of `buf`; returns the message and
+/// the bytes consumed.
+///
+/// The entry count is validated against the available bytes *before* the
+/// sample vector is allocated, so a malformed length cannot trigger an
+/// unbounded allocation.
+pub fn decode_sync(buf: &[u8]) -> Result<(SyncMsg, usize), WireError> {
+    let tag = *buf.first().ok_or(WireError::Truncated)?;
+    if tag != TAG_SYNC {
+        return Err(WireError::BadTag(tag));
+    }
+    let group = buf
+        .get(1..5)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        .ok_or(WireError::Truncated)?;
+    let items = get_u64(buf, 5)?;
+    let count = buf
+        .get(13..17)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        .ok_or(WireError::Truncated)? as usize;
+    // Bound the count by the bytes actually present before any arithmetic
+    // on it: `count * SYNC_ENTRY_BYTES` could overflow usize on 32-bit
+    // targets, defeating the length check below.
+    if count > buf.len().saturating_sub(SYNC_HEADER_BYTES) / SYNC_ENTRY_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let total = SYNC_HEADER_BYTES + count * SYNC_ENTRY_BYTES;
+    let mut sample = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = SYNC_HEADER_BYTES + i * SYNC_ENTRY_BYTES;
+        let id = get_u64(buf, at)?;
+        let weight = get_f64(buf, at + 8)?;
+        let key = get_f64(buf, at + 16)?;
+        if !(weight > 0.0 && weight.is_finite() && key > 0.0 && key.is_finite()) {
+            return Err(WireError::BadField);
+        }
+        sample.push(Keyed::new(Item { id, weight }, key));
+    }
+    Ok((
+        SyncMsg {
+            group,
+            items,
+            sample,
+        },
+        total,
+    ))
+}
+
 /// Encoded size of an upstream message in bytes (no allocation).
 pub fn up_len(msg: &UpMsg) -> usize {
     match msg {
@@ -175,6 +247,11 @@ pub fn down_len(msg: &DownMsg) -> usize {
         DownMsg::LevelSaturated { .. } => 5,
         DownMsg::UpdateEpoch { .. } => 9,
     }
+}
+
+/// Encoded size of an aggregator→root sync frame in bytes.
+pub fn sync_len(msg: &SyncMsg) -> usize {
+    SYNC_HEADER_BYTES + msg.sample.len() * SYNC_ENTRY_BYTES
 }
 
 /// The paper's machine-word size assumption: Θ(log nW) bits; 8 bytes here.
@@ -266,6 +343,67 @@ mod tests {
             at += used;
         }
         assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn sync_roundtrip_and_exact_size() {
+        let msg = SyncMsg {
+            group: 3,
+            items: 1_000_000,
+            sample: vec![
+                Keyed::new(Item::new(7, 2.5), 9.75),
+                Keyed::new(Item::new(u64::MAX, 1e300), 2.25e-10),
+            ],
+        };
+        let mut buf = Vec::new();
+        let len = encode_sync(&msg, &mut buf);
+        assert_eq!(len, buf.len());
+        assert_eq!(len, sync_len(&msg));
+        assert_eq!(len, 17 + 2 * 24);
+        let (back, used) = decode_sync(&buf).expect("decode");
+        assert_eq!(back, msg);
+        assert_eq!(used, len);
+        // Empty sample: header only.
+        let empty = SyncMsg {
+            group: 0,
+            items: 0,
+            sample: Vec::new(),
+        };
+        let mut buf = Vec::new();
+        assert_eq!(encode_sync(&empty, &mut buf), 17);
+        assert_eq!(decode_sync(&buf).unwrap().0, empty);
+    }
+
+    #[test]
+    fn sync_decode_rejects_malformed() {
+        assert_eq!(decode_sync(&[]), Err(WireError::Truncated));
+        assert_eq!(decode_sync(&[0xEE]), Err(WireError::BadTag(0xEE)));
+        // A count that promises more entries than the buffer holds must be
+        // rejected before allocation, not panic.
+        let mut buf = Vec::new();
+        encode_sync(
+            &SyncMsg {
+                group: 1,
+                items: 5,
+                sample: vec![Keyed::new(Item::new(1, 1.0), 2.0)],
+            },
+            &mut buf,
+        );
+        buf[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_sync(&buf), Err(WireError::Truncated));
+        // Non-positive key in an entry is out of domain.
+        let mut buf = Vec::new();
+        encode_sync(
+            &SyncMsg {
+                group: 1,
+                items: 5,
+                sample: vec![Keyed::new(Item::new(1, 1.0), 2.0)],
+            },
+            &mut buf,
+        );
+        let key_at = buf.len() - 8;
+        buf[key_at..].copy_from_slice(&(-1.0f64).to_le_bytes());
+        assert_eq!(decode_sync(&buf), Err(WireError::BadField));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! Reduction to unweighted SWR: an item `(e, w)` with integer weight `w`
 //! stands for `w` unit copies. The unweighted substrate is `s` independent
-//! single-item min-tag samplers (the structure of reference [14]): each unit
+//! single-item min-tag samplers (the structure of reference \[14\]): each unit
 //! copy gets an independent `Uniform(0,1)` tag per sampler, and each
 //! sampler's current sample is the item holding its minimum tag — a uniform
 //! random unit copy, i.e. item `e_i` with probability `w_i / W`.

@@ -2,12 +2,12 @@
 //!
 //! * [`swor`] — unweighted sampling without replacement over distributed
 //!   streams via minimum tags ("bottom-k"), in the style of
-//!   Tirthapura–Woodruff [31] / Chung–Tirthapura–Woodruff [11]. This is the
+//!   Tirthapura–Woodruff \[31\] / Chung–Tirthapura–Woodruff \[11\]. This is the
 //!   special case the paper's lower bound (Theorem 2 → Corollary 2) comes
 //!   from, and an independent baseline for the weighted algorithm run on
 //!   unit weights.
 //! * [`swr`] — unweighted sampling **with** replacement: the `s` independent
-//!   single-item samplers substrate of reference [14], realized as the
+//!   single-item samplers substrate of reference \[14\], realized as the
 //!   `w = 1` case of the weighted reduction in [`crate::swr`].
 
 pub mod swor;

@@ -6,7 +6,7 @@
 //! filtering threshold `β^{-j}` (the power of `β = max(2, 1+k/s)` just above
 //! `τ_s`); sites forward an item iff its tag is below the threshold.
 //!
-//! This is the message-optimal unweighted protocol of references [31]/[11],
+//! This is the message-optimal unweighted protocol of references \[31\]/\[11\],
 //! matching the `Θ(k·log(n/s)/log(1+k/s))` bound of Theorem 2, and serves
 //! as the independent baseline for the weighted algorithm on unit weights.
 

@@ -8,9 +8,10 @@ use dwrs_core::math::{binomial, floor_log_base, geometric_trials, ln_choose, pow
 use dwrs_core::merge::{merge_samples, merge_two};
 use dwrs_core::swor::level_of;
 use dwrs_core::swor::wire::{
-    decode_down, decode_up, down_len, encode_down, encode_up, up_len, WireError,
+    decode_down, decode_sync, decode_up, down_len, encode_down, encode_sync, encode_up, sync_len,
+    up_len, WireError,
 };
-use dwrs_core::swor::{DownMsg, UpMsg};
+use dwrs_core::swor::{DownMsg, SyncMsg, UpMsg};
 use dwrs_core::topk::TopK;
 use dwrs_core::Rng;
 use proptest::prelude::*;
@@ -251,6 +252,50 @@ proptest! {
         let (back, used) = decode_down(&buf).unwrap();
         prop_assert_eq!(back, msg);
         prop_assert_eq!(used, len);
+    }
+
+    // Satellite of ISSUE 3: the aggregator→root sync frame round-trips for
+    // arbitrary valid keyed samples (any group id, item watermark, sample
+    // length, id/weight/key values in domain).
+    #[test]
+    fn wire_sync_roundtrip(
+        group in any::<u32>(),
+        items in any::<u64>(),
+        raw in proptest::collection::vec((any::<u64>(), 1e-12f64..1e12, 1e-12f64..1e12), 0..24)
+    ) {
+        let msg = SyncMsg {
+            group,
+            items,
+            sample: raw
+                .iter()
+                .map(|&(id, weight, key)| Keyed::new(Item { id, weight }, key))
+                .collect(),
+        };
+        let mut buf = Vec::new();
+        let len = encode_sync(&msg, &mut buf);
+        prop_assert_eq!(len, buf.len());
+        prop_assert_eq!(len, sync_len(&msg));
+        let (back, used) = decode_sync(&buf).unwrap();
+        prop_assert_eq!(back, msg);
+        prop_assert_eq!(used, len);
+    }
+
+    // And its decoder is total on arbitrary bytes: never panics, never
+    // over-allocates, only fails with the three wire errors.
+    #[test]
+    fn wire_sync_decode_total_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..96)
+    ) {
+        match decode_sync(&bytes) {
+            Ok((msg, used)) => {
+                prop_assert!(used <= bytes.len());
+                prop_assert_eq!(used, sync_len(&msg));
+            }
+            Err(e) => prop_assert!(matches!(
+                e,
+                WireError::Truncated | WireError::BadTag(_) | WireError::BadField
+            )),
+        }
     }
 
     // The generic framed layer composes with the wire codec: any batch of

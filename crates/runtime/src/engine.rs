@@ -50,6 +50,10 @@ pub enum RuntimeError {
     SitePanicked(usize),
     /// The coordinator thread panicked.
     CoordinatorPanicked,
+    /// A group-aggregator thread panicked (hierarchical topology).
+    AggregatorPanicked(usize),
+    /// The root-merger thread panicked (hierarchical topology).
+    RootPanicked,
     /// A transport link failed (I/O error, malformed frame, premature
     /// disconnect).
     Transport(String),
@@ -60,6 +64,10 @@ impl std::fmt::Display for RuntimeError {
         match self {
             RuntimeError::SitePanicked(i) => write!(f, "site thread {i} panicked"),
             RuntimeError::CoordinatorPanicked => write!(f, "coordinator thread panicked"),
+            RuntimeError::AggregatorPanicked(g) => {
+                write!(f, "aggregator thread for group {g} panicked")
+            }
+            RuntimeError::RootPanicked => write!(f, "root merger thread panicked"),
             RuntimeError::Transport(e) => write!(f, "transport failure: {e}"),
         }
     }
@@ -104,16 +112,39 @@ where
     let SiteEndpoint { mut up, down, .. } = endpoint;
     let mut metrics = Metrics::new();
     let mut batch: Vec<S::Up> = Vec::with_capacity(batch_max);
+    let mut items_pending = 0u64;
     for item in items {
         while let Ok(msg) = down.try_recv() {
             site.receive(&msg);
         }
         site.observe(item, &mut batch);
+        items_pending += 1;
         if batch.len() >= batch_max {
-            flush(&mut *up, &mut batch, batch_max, &mut metrics)?;
+            flush(
+                &mut *up,
+                &mut batch,
+                &mut items_pending,
+                batch_max,
+                &mut metrics,
+            )?;
         }
     }
-    flush(&mut *up, &mut batch, batch_max, &mut metrics)?;
+    flush(
+        &mut *up,
+        &mut batch,
+        &mut items_pending,
+        batch_max,
+        &mut metrics,
+    )?;
+    // The tail of the stream may have produced no messages; ship the
+    // residual item count anyway so downstream watermarks (hierarchical
+    // sync cadence) cover the whole stream before `Eof`.
+    if items_pending > 0 {
+        up.send(UpFrame::Batch {
+            msgs: Vec::new(),
+            items: items_pending,
+        })?;
+    }
     up.send(UpFrame::Eof)?;
     up.close();
     // Phase 1 complete: release the up sender so the coordinator's queue
@@ -126,11 +157,13 @@ where
     Ok(metrics)
 }
 
-/// Ships the accumulated batch, metering each message by the paper's
-/// accounting (`units` wire messages, exact `wire_bytes`).
+/// Ships the accumulated batch together with the item count of its flush
+/// window, metering each message by the paper's accounting (`units` wire
+/// messages, exact `wire_bytes`).
 fn flush<U: Meter>(
     up: &mut dyn crate::transport::BatchSender<U>,
     batch: &mut Vec<U>,
+    items_pending: &mut u64,
     batch_max: usize,
     metrics: &mut Metrics,
 ) -> Result<(), TransportError> {
@@ -141,7 +174,8 @@ fn flush<U: Meter>(
         metrics.count_up(msg.kind(), msg.units(), msg.wire_bytes());
     }
     let full = std::mem::replace(batch, Vec::with_capacity(batch_max));
-    up.send(UpFrame::Batch(full))
+    let items = std::mem::take(items_pending);
+    up.send(UpFrame::Batch { msgs: full, items })
 }
 
 /// Drives the coordinator until every site reached `Eof` (or disconnected),
@@ -164,7 +198,7 @@ where
     let mut fault: Option<String> = None;
     while done < k {
         match up.recv() {
-            Ok((site, UpFrame::Batch(msgs))) => {
+            Ok((site, UpFrame::Batch { msgs, .. })) => {
                 for msg in msgs {
                     if count_ups {
                         metrics.count_up(msg.kind(), msg.units(), msg.wire_bytes());
@@ -195,8 +229,9 @@ where
 }
 
 /// Routes one round's coordinator responses, with the paper's accounting:
-/// a unicast costs 1 message, a broadcast costs `k`.
-fn route<D: Meter>(
+/// a unicast costs 1 message, a broadcast costs `k`. Shared with the
+/// hierarchical aggregator loop in [`crate::tree`].
+pub(crate) fn route<D: Meter>(
     outbox: &mut Outbox<D>,
     downs: &mut [Box<dyn DownSender<D>>],
     metrics: &mut Metrics,

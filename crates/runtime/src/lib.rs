@@ -32,6 +32,12 @@
 //! `tests/runtime_equivalence.rs` verifies the output distribution matches
 //! the lockstep simulator's).
 //!
+//! Beyond the flat `k`-sites-one-coordinator deployment, the [`tree`]
+//! module runs the **hierarchical fan-in topology**: groups of sites
+//! against per-group aggregators, which periodically ship their mergeable
+//! keyed samples to a root merger over the same transports (see
+//! [`run_tree_swor`]).
+//!
 //! # Example
 //!
 //! ```
@@ -64,6 +70,7 @@ pub mod config;
 pub mod engine;
 pub mod tcp;
 pub mod transport;
+pub mod tree;
 
 pub use adapters::{run_swor, EngineKind};
 pub use config::RuntimeConfig;
@@ -71,4 +78,7 @@ pub use engine::{run_threads, split_stream, RunOutput, RuntimeError};
 pub use transport::{
     channel_wiring, BatchSender, CoordEndpoint, DownSender, SiteEndpoint, TransportError, UpFrame,
     Wiring,
+};
+pub use tree::{
+    run_tree_swor, split_tree_stream, GroupStats, SampleSource, TreeOutput, TreeTopology,
 };

@@ -9,10 +9,15 @@
 //! | direction | tag | payload |
 //! |---|---|---|
 //! | site→coord | `HELLO` | `u32` site id (first frame on a connection) |
-//! | site→coord | `BATCH` | concatenated `FrameCodec` up-messages |
+//! | site→coord | `BATCH` | `u64` item count, then concatenated `FrameCodec` up-messages |
 //! | site→coord | `EOF` | empty — the site's stream is exhausted |
 //! | site→coord | `FAULT` | UTF-8 diagnostic — the site hit a local failure |
 //! | coord→site | `DOWN` | exactly one `FrameCodec` down-message |
+//!
+//! The `BATCH` item count is the sender's stream-progress watermark for the
+//! flush window (items observed, not messages sent — the protocols are
+//! message-sublinear); hierarchical aggregators key their root-sync cadence
+//! off it.
 //!
 //! Shutdown is a half-close handshake: a site half-closes its write side
 //! after `EOF`; the coordinator half-closes each down link once every site
@@ -61,8 +66,9 @@ impl<U: FrameCodec + Send> BatchSender<U> for TcpBatchSender<U> {
     fn send(&mut self, frame: UpFrame<U>) -> Result<(), TransportError> {
         self.scratch.clear();
         match frame {
-            UpFrame::Batch(msgs) => {
+            UpFrame::Batch { msgs, items } => {
                 self.scratch.push(TAG_BATCH);
+                self.scratch.extend_from_slice(&items.to_le_bytes());
                 encode_seq(&msgs, &mut self.scratch);
             }
             UpFrame::Eof => self.scratch.push(TAG_EOF),
@@ -207,10 +213,16 @@ fn up_reader<U: FrameCodec>(
     loop {
         let frame = match reader.read_blob() {
             Ok(Some(payload)) => match payload.split_first() {
-                Some((&TAG_BATCH, body)) => match decode_seq::<U>(body) {
-                    Ok(msgs) => UpFrame::Batch(msgs),
-                    Err(e) => UpFrame::Fault(format!("bad batch payload: {e}")),
-                },
+                Some((&TAG_BATCH, body)) if body.len() >= 8 => {
+                    let items = u64::from_le_bytes(body[..8].try_into().expect("8 bytes checked"));
+                    match decode_seq::<U>(&body[8..]) {
+                        Ok(msgs) => UpFrame::Batch { msgs, items },
+                        Err(e) => UpFrame::Fault(format!("bad batch payload: {e}")),
+                    }
+                }
+                Some((&TAG_BATCH, _)) => {
+                    UpFrame::Fault("batch frame shorter than its item-count header".into())
+                }
                 Some((&TAG_EOF, _)) => UpFrame::Eof,
                 Some((&TAG_FAULT, body)) => {
                     UpFrame::Fault(String::from_utf8_lossy(body).into_owned())
@@ -221,7 +233,7 @@ fn up_reader<U: FrameCodec>(
             Ok(None) => UpFrame::Fault("connection closed before EOF frame".into()),
             Err(e) => UpFrame::Fault(format!("read error: {e}")),
         };
-        let terminal = !matches!(frame, UpFrame::Batch(_));
+        let terminal = !matches!(frame, UpFrame::Batch { .. });
         // A fault means the session is broken: fully shut the socket so a
         // peer still streaming into it errors out promptly. A clean `Eof`
         // must leave the socket open — the coordinator's down link shares

@@ -16,7 +16,15 @@ use std::sync::mpsc;
 #[derive(Clone, Debug, PartialEq)]
 pub enum UpFrame<U> {
     /// A batch of upstream protocol messages, in site order.
-    Batch(Vec<U>),
+    Batch {
+        /// The protocol messages, in the order the site produced them.
+        msgs: Vec<U>,
+        /// Stream items the site observed since its previous frame. The
+        /// protocols are message-sublinear, so this generally exceeds
+        /// `msgs.len()`; hierarchical aggregators use it as the sync
+        /// cadence watermark (flat coordinators may ignore it).
+        items: u64,
+    },
     /// The site has exhausted its stream; no further frames follow.
     Eof,
     /// A transport-level failure observed on this link (decode error,
@@ -203,9 +211,24 @@ mod tests {
     #[test]
     fn channel_wiring_routes_up_and_down() {
         let (mut sites, mut coord) = channel_wiring::<u32, u32>(2, 4);
-        sites[1].up.send(UpFrame::Batch(vec![7, 8])).unwrap();
+        sites[1]
+            .up
+            .send(UpFrame::Batch {
+                msgs: vec![7, 8],
+                items: 5,
+            })
+            .unwrap();
         sites[0].up.send(UpFrame::Eof).unwrap();
-        assert_eq!(coord.up.recv().unwrap(), (1, UpFrame::Batch(vec![7u32, 8])));
+        assert_eq!(
+            coord.up.recv().unwrap(),
+            (
+                1,
+                UpFrame::Batch {
+                    msgs: vec![7u32, 8],
+                    items: 5
+                }
+            )
+        );
         assert_eq!(coord.up.recv().unwrap(), (0, UpFrame::Eof));
         coord.downs[0].send(&42).unwrap();
         assert_eq!(sites[0].down.recv().unwrap(), 42);

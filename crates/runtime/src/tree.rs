@@ -1,0 +1,765 @@
+//! Hierarchical fan-in topology on the concurrent substrate.
+//!
+//! The flat engine ([`crate::engine`]) runs `k` sites against one
+//! coordinator. This module promotes the two-level tree of
+//! `dwrs_sim::FanInTree` — `g` groups of `k` sites, each group running the
+//! **full weighted SWOR protocol** against its own *aggregator*, and a
+//! *root merger* holding the latest [`SyncMsg`] sample from every group —
+//! from a lockstep-only simulation to a first-class runtime topology over
+//! the same pluggable transports:
+//!
+//! ```text
+//!   group 0: site threads ──►┐
+//!                            ├─► aggregator 0 ──┐  SyncMsg every
+//!   group 1: site threads ──►┤                  │  `sync_every` items
+//!                            ├─► aggregator 1 ──┼─► root merger
+//!        ...                 │       ...        │   (merge_samples)
+//!   group g-1: sites ...   ──┴─► aggregator g-1─┘
+//! ```
+//!
+//! Both hops reuse the existing transport layer: sites↔aggregator links
+//! are ordinary [`crate::transport`] wirings (bounded in-process channels
+//! or framed loopback TCP), and the aggregator→root hop is *the same
+//! up-path abstraction* instantiated at `U = SyncMsg` — so the `HELLO`
+//! handshake, batch framing, fault frames, and backpressure discipline all
+//! carry over unchanged.
+//!
+//! # Deadlock freedom across two hops
+//!
+//! The invariant of the flat engine generalizes tier-wise. Site→aggregator
+//! and aggregator→root queues are bounded (blocking sends = backpressure);
+//! every down path is unbounded and eagerly drained. The root never sends,
+//! so it always returns to draining its queue; hence a blocked
+//! aggregator→root send always unblocks, hence the aggregator always
+//! returns to draining its site queue, hence blocked site sends always
+//! unblock. No cycle of blocking sends can form.
+//!
+//! # Shutdown ordering
+//!
+//! Deterministic two-tier drain, strictly ordered per group:
+//!
+//! 1. each site flushes its final partial batch (plus its residual item
+//!    count) and sends `Eof`;
+//! 2. once every site of a group reported `Eof`, the aggregator closes its
+//!    down links, performs one **final sync** — making the root's view of
+//!    that group exact — and sends its own `Eof` up;
+//! 3. the root drains until every group reported `Eof`, then merges.
+//!
+//! # Bounded staleness
+//!
+//! An aggregator syncs as soon as its item watermark (the per-frame counts
+//! shipped by the engine's site loop) has advanced `sync_every`
+//! items since the previous sync. Watermarks move in frame granularity, so
+//! the lag at a sync trigger is bounded by `sync_every - 1` plus the item
+//! window of the frame that crossed the threshold — recorded per group in
+//! [`GroupStats`] and asserted by the tree equivalence suite. After
+//! shutdown the root is exact: the final sync covers every item.
+
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::mpsc;
+use std::thread;
+
+use dwrs_core::merge::merge_samples;
+use dwrs_core::swor::{SworConfig, SworCoordinator, SyncMsg};
+use dwrs_core::{Item, Keyed};
+use dwrs_sim::{
+    swor_coordinator, swor_site, tree_group_seed, CoordinatorNode, FanInTree, Meter, Metrics,
+    NoDown, Outbox,
+};
+
+use crate::adapters::EngineKind;
+use crate::config::RuntimeConfig;
+use crate::engine::{route, site_loop, RuntimeError};
+use crate::tcp::{accept_sites, connect_site};
+use crate::transport::{
+    channel_wiring, CoordEndpoint, SiteEndpoint, TransportError, UpFrame, Wiring,
+};
+
+/// Shape of a two-level fan-in deployment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeTopology {
+    /// Number of groups `g` (one aggregator each).
+    pub groups: usize,
+    /// Sites per group `k` (the intra-group protocol runs with this `k`).
+    pub k_per_group: usize,
+    /// An aggregator ships its sample to the root every `sync_every` items
+    /// its group processes.
+    pub sync_every: u64,
+}
+
+impl TreeTopology {
+    /// A `groups × k_per_group` tree syncing every `sync_every` items.
+    pub fn new(groups: usize, k_per_group: usize, sync_every: u64) -> Self {
+        assert!(groups >= 1, "need at least one group");
+        assert!(k_per_group >= 1, "need at least one site per group");
+        assert!(sync_every >= 1, "sync period must be at least 1");
+        Self {
+            groups,
+            k_per_group,
+            sync_every,
+        }
+    }
+
+    /// Total number of leaf sites `g · k`.
+    pub fn total_sites(&self) -> usize {
+        self.groups * self.k_per_group
+    }
+}
+
+/// Per-group bookkeeping an aggregator hands back, used by the
+/// bounded-staleness assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Items the group's sites reported (watermark at shutdown).
+    pub items: u64,
+    /// Aggregator→root syncs performed (including the final sync).
+    pub syncs: u64,
+    /// Largest item watermark lag reached before a sync fired. Bounded by
+    /// `sync_every - 1 + max_frame_items` (see module docs).
+    pub max_unsynced: u64,
+    /// Largest single-frame item window received from a site.
+    pub max_frame_items: u64,
+}
+
+/// Everything a completed tree run hands back.
+#[derive(Debug)]
+pub struct TreeOutput {
+    /// The root's merged sample: an exact weighted SWOR of the full stream
+    /// (every group's final sync covers its whole substream).
+    pub root_sample: Vec<Keyed>,
+    /// Each group's last-synced sample, in group order.
+    pub group_samples: Vec<Vec<Keyed>>,
+    /// All tiers' accounting merged into one paper-accounting total: site
+    /// upstream traffic, aggregator downstream traffic, and one `"sync"`
+    /// message per synced sample entry.
+    pub metrics: Metrics,
+    /// Per-group staleness/cadence bookkeeping, in group order. (Lockstep
+    /// runs report `max_frame_items = 1`: watermarks advance per item.)
+    pub group_stats: Vec<GroupStats>,
+    /// Root-side log of `(group, items_covered)` per received sync, in
+    /// arrival order. Empty for lockstep runs.
+    pub sync_log: Vec<(usize, u64)>,
+}
+
+/// A coordinator that can expose its current keyed sample for a root sync
+/// (implemented by the weighted-SWOR coordinator; any mergeable-sample
+/// protocol can opt in).
+pub trait SampleSource {
+    /// The node's current keyed sample (its top-`s`).
+    fn keyed_sample(&self) -> Vec<Keyed>;
+}
+
+impl SampleSource for SworCoordinator {
+    fn keyed_sample(&self) -> Vec<Keyed> {
+        self.sample()
+    }
+}
+
+/// Ships one sync to the root, metering it as the paper accounts it (one
+/// message per synced entry, exact wire bytes).
+fn sync_to_root<C: SampleSource>(
+    node: &C,
+    root: &mut dyn crate::transport::BatchSender<SyncMsg>,
+    group: usize,
+    watermark: u64,
+    window: u64,
+    metrics: &mut Metrics,
+) -> Result<(), TransportError> {
+    let msg = SyncMsg {
+        group: group as u32,
+        items: watermark,
+        sample: node.keyed_sample(),
+    };
+    metrics.count_up(Meter::kind(&msg), msg.units(), msg.wire_bytes());
+    root.send(UpFrame::Batch {
+        msgs: vec![msg],
+        items: window,
+    })
+}
+
+/// Drives one group's aggregator: the flat coordinator loop (receive site
+/// batches, route broadcasts) plus the root-sync cadence and the
+/// final-sync/`Eof` shutdown handshake. Returns the aggregator's metrics
+/// (downstream routing + sync tier) and its [`GroupStats`].
+pub(crate) fn aggregator_loop<C>(
+    node: &mut C,
+    endpoint: CoordEndpoint<C::Up, C::Down>,
+    mut root: SiteEndpoint<SyncMsg, NoDown>,
+    group: usize,
+    sync_every: u64,
+) -> Result<(Metrics, GroupStats), RuntimeError>
+where
+    C: CoordinatorNode + SampleSource,
+{
+    let CoordEndpoint { up, mut downs } = endpoint;
+    let k = downs.len();
+    let mut metrics = Metrics::new();
+    let mut outbox = Outbox::new();
+    let mut stats = GroupStats::default();
+    let mut pending = 0u64;
+    let mut done = 0usize;
+    let mut fault: Option<String> = None;
+    while done < k {
+        match up.recv() {
+            Ok((site, UpFrame::Batch { msgs, items })) => {
+                for msg in msgs {
+                    node.receive(site, msg, &mut outbox);
+                    route(&mut outbox, &mut downs, &mut metrics);
+                }
+                pending += items;
+                stats.items += items;
+                stats.max_frame_items = stats.max_frame_items.max(items);
+                if pending >= sync_every {
+                    stats.max_unsynced = stats.max_unsynced.max(pending);
+                    let window = std::mem::take(&mut pending);
+                    sync_to_root(
+                        node,
+                        &mut *root.up,
+                        group,
+                        stats.items,
+                        window,
+                        &mut metrics,
+                    )?;
+                    stats.syncs += 1;
+                }
+            }
+            Ok((_, UpFrame::Eof)) => done += 1,
+            Ok((site, UpFrame::Fault(e))) => {
+                fault.get_or_insert(format!("group {group}, site {site}: {e}"));
+                done += 1;
+            }
+            // All site senders dropped before k Eofs: a site died without
+            // its Eof; the engine's joins surface the precise cause.
+            Err(mpsc::RecvError) => break,
+        }
+    }
+    for d in &mut downs {
+        d.close();
+    }
+    drop(downs);
+    if let Some(e) = fault {
+        // Propagate the failure up so the root terminates with a
+        // diagnostic instead of waiting for a sync that never comes.
+        let _ = root.up.send(UpFrame::Fault(e.clone()));
+        root.up.close();
+        return Err(RuntimeError::Transport(e));
+    }
+    // Final sync (shutdown phase 2): makes the root's view of this group
+    // exact, then half-close the root link.
+    stats.max_unsynced = stats.max_unsynced.max(pending);
+    sync_to_root(
+        node,
+        &mut *root.up,
+        group,
+        stats.items,
+        pending,
+        &mut metrics,
+    )?;
+    stats.syncs += 1;
+    root.up.send(UpFrame::Eof)?;
+    root.up.close();
+    drop(root.up);
+    // Drain the (empty) root→aggregator path until the root closes it, so
+    // shutdown stays ordered even if a future root gains a down path.
+    while root.down.recv().is_ok() {}
+    Ok((metrics, stats))
+}
+
+/// What the root merger hands back: each group's latest sample plus the
+/// `(group, items_covered)` watermark log in arrival order.
+type RootResult = Result<(Vec<Vec<Keyed>>, Vec<(usize, u64)>), RuntimeError>;
+
+/// Drives the root merger: collects each group's latest sync until every
+/// group reports `Eof`, recording the coverage watermark log. Syncs are
+/// sender-metered (by the aggregators), so the root contributes no
+/// metrics of its own.
+pub(crate) fn root_loop(endpoint: CoordEndpoint<SyncMsg, NoDown>) -> RootResult {
+    let CoordEndpoint { up, mut downs } = endpoint;
+    let g = downs.len();
+    let mut samples: Vec<Vec<Keyed>> = vec![Vec::new(); g];
+    let mut log: Vec<(usize, u64)> = Vec::new();
+    let mut done = 0usize;
+    let mut fault: Option<String> = None;
+    while done < g {
+        match up.recv() {
+            Ok((from, UpFrame::Batch { msgs, .. })) => {
+                for msg in msgs {
+                    let gi = msg.group as usize;
+                    if gi != from || gi >= g {
+                        fault.get_or_insert(format!(
+                            "sync for group {gi} arrived on group {from}'s link"
+                        ));
+                        continue;
+                    }
+                    log.push((gi, msg.items));
+                    samples[gi] = msg.sample;
+                }
+            }
+            Ok((_, UpFrame::Eof)) => done += 1,
+            Ok((from, UpFrame::Fault(e))) => {
+                fault.get_or_insert(format!("group {from}: {e}"));
+                done += 1;
+            }
+            Err(mpsc::RecvError) => break,
+        }
+    }
+    for d in &mut downs {
+        d.close();
+    }
+    drop(downs);
+    match fault {
+        Some(e) => Err(RuntimeError::Transport(e)),
+        None => Ok((samples, log)),
+    }
+}
+
+/// Splits a globally ordered `(global_site, item)` stream into per-group,
+/// per-site partitions: global site `i` is site `i % k` of group `i / k`.
+/// The tree analogue of [`crate::split_stream`].
+pub fn split_tree_stream<I>(topo: &TreeTopology, stream: I) -> Vec<Vec<Vec<Item>>>
+where
+    I: IntoIterator<Item = (usize, Item)>,
+{
+    let k = topo.k_per_group;
+    let mut parts: Vec<Vec<Vec<Item>>> = (0..topo.groups)
+        .map(|_| (0..k).map(|_| Vec::new()).collect())
+        .collect();
+    for (site, item) in stream {
+        assert!(site < topo.total_sites(), "global site index out of range");
+        parts[site / k][site % k].push(item);
+    }
+    parts
+}
+
+/// Runs a full weighted-SWOR fan-in tree over an already-built wiring: one
+/// site/aggregator wiring per group plus the aggregator→root wiring. The
+/// generic engine behind [`run_tree_swor`]'s threaded and TCP paths.
+#[allow(clippy::type_complexity)]
+fn run_tree_on(
+    group_wirings: Vec<Wiring<dwrs_core::swor::UpMsg, dwrs_core::swor::DownMsg>>,
+    root_wiring: Wiring<SyncMsg, NoDown>,
+    s: usize,
+    topo: &TreeTopology,
+    seed: u64,
+    streams: Vec<Vec<Vec<Item>>>,
+    cfg: &RuntimeConfig,
+) -> Result<TreeOutput, RuntimeError> {
+    let (g, k) = (topo.groups, topo.k_per_group);
+    let group_cfg = SworConfig::new(s, k);
+    let batch_max = cfg.batch_max.max(1);
+    let (root_links, root_ep) = root_wiring;
+    assert_eq!(group_wirings.len(), g, "one wiring per group");
+    assert_eq!(root_links.len(), g, "one root link per group");
+    assert_eq!(streams.len(), g, "one stream block per group");
+
+    type SiteRes = Result<Metrics, RuntimeError>;
+    type AggRes = Result<(Metrics, GroupStats), RuntimeError>;
+    let (root_res, agg_res, site_res) = thread::scope(|scope| {
+        let mut site_handles: Vec<thread::ScopedJoinHandle<'_, SiteRes>> =
+            Vec::with_capacity(g * k);
+        let mut agg_handles: Vec<thread::ScopedJoinHandle<'_, AggRes>> = Vec::with_capacity(g);
+        for (gi, (((site_eps, coord_ep), root_link), group_streams)) in group_wirings
+            .into_iter()
+            .zip(root_links)
+            .zip(streams)
+            .enumerate()
+        {
+            assert_eq!(site_eps.len(), k, "one endpoint per site");
+            assert_eq!(group_streams.len(), k, "one stream partition per site");
+            let group_seed = tree_group_seed(seed, gi);
+            for ((i, ep), items) in site_eps.into_iter().enumerate().zip(group_streams) {
+                let mut site = swor_site(&group_cfg, group_seed, i);
+                site_handles.push(scope.spawn(move || site_loop(&mut site, ep, items, batch_max)));
+            }
+            let mut aggregator = swor_coordinator(group_cfg.clone(), group_seed);
+            let sync_every = topo.sync_every;
+            agg_handles.push(scope.spawn(move || {
+                aggregator_loop(&mut aggregator, coord_ep, root_link, gi, sync_every)
+            }));
+        }
+        let root_handle = scope.spawn(move || root_loop(root_ep));
+        let site_res: Vec<_> = site_handles.into_iter().map(|h| h.join()).collect();
+        let agg_res: Vec<_> = agg_handles.into_iter().map(|h| h.join()).collect();
+        (root_handle.join(), agg_res, site_res)
+    });
+
+    // Surface panics deterministically: sites (by global index), then
+    // aggregators, then the root, then transport errors in the same order.
+    for (i, res) in site_res.iter().enumerate() {
+        if res.is_err() {
+            return Err(RuntimeError::SitePanicked(i));
+        }
+    }
+    for (gi, res) in agg_res.iter().enumerate() {
+        if res.is_err() {
+            return Err(RuntimeError::AggregatorPanicked(gi));
+        }
+    }
+    let root_out = root_res.map_err(|_| RuntimeError::RootPanicked)?;
+
+    let mut metrics = Metrics::new();
+    for res in site_res {
+        metrics.merge(&res.expect("panics handled above")?);
+    }
+    let mut group_stats = Vec::with_capacity(g);
+    for res in agg_res {
+        let (agg_metrics, stats) = res.expect("panics handled above")?;
+        metrics.merge(&agg_metrics);
+        group_stats.push(stats);
+    }
+    let (group_samples, sync_log) = root_out?;
+    let parts: Vec<&[Keyed]> = group_samples.iter().map(Vec::as_slice).collect();
+    let root_sample = merge_samples(&parts, s);
+    Ok(TreeOutput {
+        root_sample,
+        group_samples,
+        metrics,
+        group_stats,
+        sync_log,
+    })
+}
+
+/// Builds the fan-in tree deployment — seeded exactly like
+/// [`dwrs_sim::FanInTree`] via [`tree_group_seed`] — and runs it on the
+/// chosen substrate.
+///
+/// `streams[gi][i]` is the partition of the stream for site `i` of group
+/// `gi`, in that site's arrival order (use [`split_tree_stream`] to derive
+/// the blocks from a globally ordered stream).
+///
+/// With [`EngineKind::Lockstep`] the tree runs on the single-threaded
+/// simulator over a round-robin interleaving of the partitions; the other
+/// engines run `g·k` site threads, `g` aggregator threads, and one root
+/// thread over in-process channels or loopback TCP.
+pub fn run_tree_swor(
+    engine: EngineKind,
+    s: usize,
+    topo: &TreeTopology,
+    seed: u64,
+    streams: Vec<Vec<Vec<Item>>>,
+    cfg: &RuntimeConfig,
+) -> Result<TreeOutput, RuntimeError> {
+    let (g, k) = (topo.groups, topo.k_per_group);
+    assert_eq!(streams.len(), g, "one stream block per group");
+    match engine {
+        EngineKind::Lockstep => {
+            let mut tree = FanInTree::new(s, g, k, topo.sync_every, seed);
+            let mut iters: Vec<Vec<_>> = streams
+                .into_iter()
+                .map(|group| group.into_iter().map(Vec::into_iter).collect())
+                .collect();
+            loop {
+                let mut any = false;
+                for (gi, group_iters) in iters.iter_mut().enumerate() {
+                    for (i, it) in group_iters.iter_mut().enumerate() {
+                        if let Some(item) = it.next() {
+                            tree.observe(gi, i, item);
+                            any = true;
+                        }
+                    }
+                }
+                if !any {
+                    break;
+                }
+            }
+            tree.sync_all();
+            let group_samples: Vec<Vec<Keyed>> =
+                (0..g).map(|gi| tree.group_sample(gi).to_vec()).collect();
+            let group_stats = (0..g)
+                .map(|gi| GroupStats {
+                    items: tree.group_observed(gi),
+                    syncs: tree.group_syncs(gi),
+                    max_unsynced: tree.group_max_unsynced(gi),
+                    max_frame_items: 1,
+                })
+                .collect();
+            Ok(TreeOutput {
+                root_sample: tree.root_sample(),
+                group_samples,
+                metrics: tree.merged_metrics(),
+                group_stats,
+                sync_log: Vec::new(),
+            })
+        }
+        EngineKind::Threads => {
+            let group_wirings = (0..g)
+                .map(|_| channel_wiring(k, cfg.queue_capacity))
+                .collect();
+            let root_wiring = channel_wiring(g, cfg.queue_capacity);
+            run_tree_on(group_wirings, root_wiring, s, topo, seed, streams, cfg)
+        }
+        EngineKind::Tcp => run_tree_tcp(s, topo, seed, streams, cfg),
+    }
+}
+
+/// Wires the whole tree over loopback TCP inside one process — one
+/// listener per aggregator plus one for the root, every hop crossing the
+/// kernel's TCP stack with framed `swor::wire` encoding — then hands off
+/// to the shared engine.
+fn run_tree_tcp(
+    s: usize,
+    topo: &TreeTopology,
+    seed: u64,
+    streams: Vec<Vec<Vec<Item>>>,
+    cfg: &RuntimeConfig,
+) -> Result<TreeOutput, RuntimeError> {
+    let (g, k) = (topo.groups, topo.k_per_group);
+    // Fail fast instead of mid-run: a sync frame carries the whole sample
+    // (9-byte batch header + 17-byte SyncMsg header + 24 bytes per entry)
+    // and the framed transport caps payloads at MAX_FRAME_LEN. The channel
+    // engine has no such limit — only the framed hop does.
+    let max_sync_payload = 9 + 17 + 24 * s;
+    let frame_cap = dwrs_core::framed::MAX_FRAME_LEN as usize;
+    if max_sync_payload > frame_cap {
+        let max_s = (frame_cap - 9 - 17) / 24;
+        return Err(RuntimeError::Transport(format!(
+            "sample size {s} needs {max_sync_payload}-byte sync frames, over the \
+             {frame_cap}-byte framed-transport cap; the TCP tree supports s <= {max_s}"
+        )));
+    }
+    let bind = |what: &str| -> Result<(TcpListener, std::net::SocketAddr), RuntimeError> {
+        let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))
+            .map_err(|e| RuntimeError::Transport(format!("bind {what} listener: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| RuntimeError::Transport(e.to_string()))?;
+        Ok((listener, addr))
+    };
+    let (root_listener, root_addr) = bind("root")?;
+    let mut group_wirings = Vec::with_capacity(g);
+    let mut root_links = Vec::with_capacity(g);
+    for gi in 0..g {
+        let (listener, addr) = bind("group")?;
+        // Connect all k site sockets first (they complete against the
+        // listen backlog), then accept and handshake — as in the flat
+        // loopback engine.
+        let mut eps = Vec::with_capacity(k);
+        for i in 0..k {
+            eps.push(tcp_connect(addr, i, &format!("group {gi} site {i}"))?);
+        }
+        let coord_ep = accept_sites(&listener, k, cfg.queue_capacity)?;
+        group_wirings.push((eps, coord_ep));
+        root_links.push(tcp_connect(
+            root_addr,
+            gi,
+            &format!("group {gi} root link"),
+        )?);
+    }
+    let root_ep = accept_sites::<SyncMsg, NoDown>(&root_listener, g, cfg.queue_capacity)?;
+    run_tree_on(
+        group_wirings,
+        (root_links, root_ep),
+        s,
+        topo,
+        seed,
+        streams,
+        cfg,
+    )
+}
+
+/// [`connect_site`] with a contextualized transport error.
+fn tcp_connect<U, D>(
+    addr: impl ToSocketAddrs,
+    id: usize,
+    what: &str,
+) -> Result<SiteEndpoint<U, D>, RuntimeError>
+where
+    U: dwrs_core::framed::FrameCodec + Send + 'static,
+    D: dwrs_core::framed::FrameCodec + Send + 'static,
+{
+    connect_site(addr, id).map_err(|e| RuntimeError::Transport(format!("connect {what}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_streams(topo: &TreeTopology, n: u64) -> Vec<Vec<Vec<Item>>> {
+        let total = topo.total_sites() as u64;
+        split_tree_stream(
+            topo,
+            (0..n).map(|i| ((i % total) as usize, Item::new(i, 1.0 + (i % 7) as f64))),
+        )
+    }
+
+    #[test]
+    fn split_tree_stream_routes_by_group_and_site() {
+        let topo = TreeTopology::new(2, 2, 10);
+        let parts = split_tree_stream(
+            &topo,
+            vec![
+                (0, Item::unit(0)),
+                (3, Item::unit(1)),
+                (2, Item::unit(2)),
+                (3, Item::unit(3)),
+            ],
+        );
+        let ids = |v: &Vec<Item>| v.iter().map(|i| i.id).collect::<Vec<_>>();
+        assert_eq!(ids(&parts[0][0]), vec![0]);
+        assert!(parts[0][1].is_empty());
+        assert_eq!(ids(&parts[1][0]), vec![2]);
+        assert_eq!(ids(&parts[1][1]), vec![1, 3]);
+    }
+
+    #[test]
+    fn threads_tree_end_to_end() {
+        let topo = TreeTopology::new(3, 2, 500);
+        let n = 30_000u64;
+        let out = run_tree_swor(
+            EngineKind::Threads,
+            8,
+            &topo,
+            42,
+            tree_streams(&topo, n),
+            &RuntimeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.root_sample.len(), 8);
+        assert_eq!(out.group_samples.len(), 3);
+        // Every group's final sync covered its whole substream.
+        let items: u64 = out.group_stats.iter().map(|st| st.items).sum();
+        assert_eq!(items, n);
+        for (gi, st) in out.group_stats.iter().enumerate() {
+            assert!(st.syncs >= 1, "group {gi} never synced");
+            // Bounded staleness: lag at any sync trigger is under the
+            // period plus one frame's item window.
+            assert!(
+                st.max_unsynced < topo.sync_every + st.max_frame_items,
+                "group {gi}: max_unsynced {} vs bound {}",
+                st.max_unsynced,
+                topo.sync_every + st.max_frame_items
+            );
+            // The last sync in the log is the exact watermark.
+            let last = out
+                .sync_log
+                .iter()
+                .rev()
+                .find(|&&(g, _)| g == gi)
+                .expect("every group appears in the sync log");
+            assert_eq!(last.1, st.items, "group {gi} final sync not exact");
+        }
+        // Sync traffic is metered into the merged totals.
+        assert!(out.metrics.kind("sync") > 0);
+        assert!(out.metrics.kind("regular") + out.metrics.kind("early") > 0);
+    }
+
+    #[test]
+    fn tcp_tree_end_to_end() {
+        let topo = TreeTopology::new(2, 2, 1_000);
+        let n = 20_000u64;
+        let out = run_tree_swor(
+            EngineKind::Tcp,
+            8,
+            &topo,
+            7,
+            tree_streams(&topo, n),
+            &RuntimeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.root_sample.len(), 8);
+        let items: u64 = out.group_stats.iter().map(|st| st.items).sum();
+        assert_eq!(items, n);
+        assert!(out.metrics.kind("sync") > 0);
+    }
+
+    #[test]
+    fn lockstep_tree_matches_fan_in_tree_exactly() {
+        // The Lockstep engine is a thin driver over dwrs_sim::FanInTree;
+        // identical seeds and streams must give byte-identical samples.
+        let topo = TreeTopology::new(2, 2, 100);
+        let n = 5_000u64;
+        let out = run_tree_swor(
+            EngineKind::Lockstep,
+            4,
+            &topo,
+            11,
+            tree_streams(&topo, n),
+            &RuntimeConfig::default(),
+        )
+        .unwrap();
+        let mut tree = FanInTree::new(4, 2, 2, 100, 11);
+        // Reproduce the run_tree_swor round-robin interleaving: one item
+        // per (group, site) per round, in group-major order.
+        let streams = tree_streams(&topo, n);
+        let mut iters: Vec<Vec<_>> = streams
+            .into_iter()
+            .map(|gr| gr.into_iter().map(Vec::into_iter).collect())
+            .collect();
+        loop {
+            let mut any = false;
+            for (gi, group_iters) in iters.iter_mut().enumerate() {
+                for (si, it) in group_iters.iter_mut().enumerate() {
+                    if let Some(item) = it.next() {
+                        tree.observe(gi, si, item);
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        tree.sync_all();
+        let ids = |v: &[Keyed]| {
+            v.iter()
+                .map(|kd| (kd.item.id, kd.key.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ids(&out.root_sample), ids(&tree.root_sample()));
+        assert_eq!(out.metrics.total(), tree.total_messages());
+        assert_eq!(out.group_stats[0].items, tree.group_observed(0));
+        assert_eq!(out.group_stats[1].syncs, tree.group_syncs(1));
+    }
+
+    #[test]
+    fn tiny_queue_and_batch_tree_still_completes() {
+        // Two-hop backpressure on every message: the deadlock-freedom
+        // invariant must hold tier-wise.
+        let topo = TreeTopology::new(2, 2, 7);
+        let cfg = RuntimeConfig::new()
+            .with_batch_max(1)
+            .with_queue_capacity(1);
+        let out = run_tree_swor(
+            EngineKind::Threads,
+            4,
+            &topo,
+            3,
+            tree_streams(&topo, 4_000),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(out.root_sample.len(), 4);
+        let items: u64 = out.group_stats.iter().map(|st| st.items).sum();
+        assert_eq!(items, 4_000);
+    }
+
+    #[test]
+    fn tcp_tree_rejects_sample_size_over_frame_cap() {
+        // A sync frame must fit MAX_FRAME_LEN; the TCP engine fails fast
+        // with a diagnostic instead of erroring mid-run (the channel
+        // engine has no framing and accepts the same size).
+        let topo = TreeTopology::new(1, 1, 1_000);
+        let err = run_tree_swor(
+            EngineKind::Tcp,
+            50_000,
+            &topo,
+            1,
+            vec![vec![Vec::new()]],
+            &RuntimeConfig::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Transport(ref m) if m.contains("sample size 50000")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn topology_validates() {
+        assert_eq!(TreeTopology::new(4, 8, 100).total_sites(), 32);
+        let r = std::panic::catch_unwind(|| TreeTopology::new(0, 1, 1));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| TreeTopology::new(1, 1, 0));
+        assert!(r.is_err());
+    }
+}

@@ -2,11 +2,13 @@
 //! `dwrs-core`, plus convenience builders that wire up `k` seeded sites and
 //! a coordinator into a [`Runner`].
 
+use dwrs_core::framed::FrameCodec;
 use dwrs_core::item::Keyed;
 use dwrs_core::rng::mix;
+use dwrs_core::swor::wire::WireError;
 use dwrs_core::swor::{
     DownMsg, FaithfulCoordinator, NaiveCoordinator, NaiveSite, SworConfig, SworCoordinator,
-    SworSite, UpMsg,
+    SworSite, SyncMsg, UpMsg,
 };
 use dwrs_core::swr::{SwrConfig, SwrDown, SwrUp, WeightedSwrCoordinator, WeightedSwrSite};
 use dwrs_core::unweighted::swor::{TagConfig, TagCoordinator, TagDown, TagSite, TagUp};
@@ -32,6 +34,20 @@ impl Meter for DownMsg {
     }
     fn wire_bytes(&self) -> u64 {
         dwrs_core::swor::wire::down_len(self) as u64
+    }
+}
+
+impl Meter for SyncMsg {
+    fn kind(&self) -> &'static str {
+        SyncMsg::kind(self)
+    }
+    /// Each synced sample entry costs one message in the paper's accounting
+    /// (an empty sync is pure transport overhead, zero protocol messages).
+    fn units(&self) -> u64 {
+        self.sample.len() as u64
+    }
+    fn wire_bytes(&self) -> u64 {
+        dwrs_core::swor::wire::sync_len(self) as u64
     }
 }
 
@@ -72,6 +88,17 @@ impl CoordinatorNode for FaithfulCoordinator {
     }
 }
 
+/// Canonical per-group seed derivation for fan-in tree deployments: group
+/// `gi` of a tree seeded with `seed` runs its intra-group weighted-SWOR
+/// protocol with this seed (sites and aggregator then derive theirs via
+/// [`swor_site`] / [`swor_coordinator`]). Both the lockstep
+/// [`crate::tree::FanInTree`] and the `dwrs-runtime` tree engines construct
+/// groups through it, so identically-seeded trees are identical across
+/// substrates — which is what makes their output distributions comparable.
+pub fn tree_group_seed(seed: u64, group: usize) -> u64 {
+    mix(seed, 0x7EE0 + group as u64)
+}
+
 /// Builds site `i` of a weighted-SWOR deployment. This is the canonical
 /// seed derivation — every execution substrate (lockstep runner, the
 /// `dwrs-runtime` engines, the CLI's `serve`/`feed` halves) must construct
@@ -109,13 +136,25 @@ pub fn build_swor_faithful(cfg: SworConfig, seed: u64) -> Runner<SworSite, Faith
 // ---------------------------------------------------------------- naive SWOR
 
 /// Uninhabited-ish downstream type for protocols with no coordinator→site
-/// traffic (the naive baseline).
+/// traffic (the naive baseline, the tree root's reply path).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NoDown;
 
 impl Meter for NoDown {
     fn kind(&self) -> &'static str {
         "none"
+    }
+}
+
+/// A `NoDown` value is never sent, but framed transports require both
+/// directions of a link to have a codec: encoding emits nothing and any
+/// received frame is rejected (nobody legitimately sends one).
+impl FrameCodec for NoDown {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+    fn decode(buf: &[u8]) -> Result<(Self, usize), WireError> {
+        Err(buf
+            .first()
+            .map_or(WireError::Truncated, |&t| WireError::BadTag(t)))
     }
 }
 

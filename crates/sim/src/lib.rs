@@ -56,7 +56,7 @@ pub mod tree;
 
 pub use adapters::{
     build_naive, build_swor, build_swor_faithful, build_swr, build_tag, swor_coordinator,
-    swor_site, NoDown,
+    swor_site, tree_group_seed, NoDown,
 };
 pub use metrics::Metrics;
 pub use partition::{assign_sites, Partition, Partitioner};

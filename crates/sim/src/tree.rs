@@ -6,21 +6,51 @@
 //! top-`s` keyed samples over disjoint streams is a weighted SWOR of the
 //! union. This module wires that up: each group runs the full weighted SWOR
 //! protocol against its own aggregator; aggregators ship their current
-//! sample to the root every `sync_every` items (costing `s` messages each),
-//! and the root merges.
+//! sample to the root every `sync_every` items (a [`SyncMsg`], costing one
+//! message per synced entry), and the root merges.
 //!
 //! The root's sample is therefore an *exact* weighted SWOR of everything
 //! the groups had seen as of their last syncs — a bounded-staleness
 //! guarantee traded against the extra `g·s/sync_every` message rate.
+//!
+//! This is the lockstep (specification) implementation of the topology; the
+//! `dwrs-runtime` crate runs the identical tree — same
+//! [`crate::adapters::tree_group_seed`] seeding, same [`SyncMsg`] frames —
+//! on concurrent threads and loopback TCP.
 
 use dwrs_core::merge::merge_samples;
-use dwrs_core::swor::{SworConfig, SworCoordinator, SworSite};
+use dwrs_core::swor::{SworConfig, SworCoordinator, SworSite, SyncMsg};
 use dwrs_core::{Item, Keyed};
 
-use crate::adapters::build_swor;
+use crate::adapters::{build_swor, tree_group_seed};
+use crate::metrics::Metrics;
+use crate::protocol::Meter;
 use crate::runner::Runner;
 
 /// A two-level deployment: `g` groups of `k_per_group` sites, one root.
+///
+/// ```
+/// use dwrs_core::Item;
+/// use dwrs_sim::FanInTree;
+///
+/// // 2 groups × 4 sites, sample size 16, group→root sync every 100 items.
+/// let mut tree = FanInTree::new(16, 2, 4, 100, 42);
+/// for i in 0..10_000u64 {
+///     let (group, site) = ((i % 2) as usize, ((i / 2) % 4) as usize);
+///     tree.observe(group, site, Item::new(i, 1.0 + (i % 7) as f64));
+/// }
+/// tree.sync_all(); // strong consistency before querying
+/// assert_eq!(tree.root_sample().len(), 16);
+/// // All tiers account into one paper-accounting total: every upstream
+/// // message is an intra-group protocol message (early/regular) or one
+/// // synced sample entry ("sync").
+/// let m = tree.merged_metrics();
+/// assert!(m.kind("sync") > 0);
+/// assert_eq!(
+///     m.up_total,
+///     m.kind("early") + m.kind("regular") + m.kind("sync")
+/// );
+/// ```
 #[derive(Debug)]
 pub struct FanInTree {
     groups: Vec<Runner<SworSite, SworCoordinator>>,
@@ -29,25 +59,26 @@ pub struct FanInTree {
     k_per_group: usize,
     sync_every: u64,
     items_since_sync: Vec<u64>,
-    /// Aggregator → root messages (each synced sample entry counts 1).
-    pub root_messages: u64,
-    /// Total items observed.
-    pub observed: u64,
+    observed_per_group: Vec<u64>,
+    syncs_per_group: Vec<u64>,
+    max_unsynced: Vec<u64>,
+    /// Root-tier accounting: aggregator→root sync traffic, metered through
+    /// the same [`Metrics`] machinery as every other tier (one message per
+    /// synced sample entry, exact `SyncMsg` wire bytes), with a timeline
+    /// snapshot per sync.
+    metrics: Metrics,
 }
 
 impl FanInTree {
     /// Builds `groups` groups with `k_per_group` sites each, sample size
     /// `s` everywhere, syncing each aggregator to the root every
-    /// `sync_every` items it processes.
+    /// `sync_every` items it processes. Group `gi` is seeded with
+    /// [`tree_group_seed`]`(seed, gi)` — the derivation shared with the
+    /// `dwrs-runtime` tree engines.
     pub fn new(s: usize, groups: usize, k_per_group: usize, sync_every: u64, seed: u64) -> Self {
         assert!(groups >= 1 && k_per_group >= 1 && sync_every >= 1);
         let groups_vec = (0..groups)
-            .map(|gi| {
-                build_swor(
-                    SworConfig::new(s, k_per_group),
-                    dwrs_core::rng::mix(seed, 0x7EE0 + gi as u64),
-                )
-            })
+            .map(|gi| build_swor(SworConfig::new(s, k_per_group), tree_group_seed(seed, gi)))
             .collect();
         Self {
             groups: groups_vec,
@@ -56,15 +87,17 @@ impl FanInTree {
             k_per_group,
             sync_every,
             items_since_sync: vec![0; groups],
-            root_messages: 0,
-            observed: 0,
+            observed_per_group: vec![0; groups],
+            syncs_per_group: vec![0; groups],
+            max_unsynced: vec![0; groups],
+            metrics: Metrics::new(),
         }
     }
 
     /// Feeds one item to site `site` of group `group`.
     pub fn observe(&mut self, group: usize, site: usize, item: Item) {
         assert!(site < self.k_per_group);
-        self.observed += 1;
+        self.observed_per_group[group] += 1;
         self.groups[group].step(site, item);
         self.items_since_sync[group] += 1;
         if self.items_since_sync[group] >= self.sync_every {
@@ -72,12 +105,21 @@ impl FanInTree {
         }
     }
 
-    /// Forces a sync of one group's sample to the root.
+    /// Forces a sync of one group's sample to the root, metering the
+    /// [`SyncMsg`] into the root-tier [`Metrics`].
     pub fn sync_group(&mut self, group: usize) {
-        let sample = self.groups[group].coordinator.sample();
-        self.root_messages += sample.len() as u64;
-        self.group_samples[group] = sample;
+        let msg = SyncMsg {
+            group: group as u32,
+            items: self.observed_per_group[group],
+            sample: self.groups[group].coordinator.sample(),
+        };
+        self.metrics
+            .count_up(Meter::kind(&msg), msg.units(), msg.wire_bytes());
+        self.metrics.snapshot(self.observed());
+        self.group_samples[group] = msg.sample;
+        self.max_unsynced[group] = self.max_unsynced[group].max(self.items_since_sync[group]);
         self.items_since_sync[group] = 0;
+        self.syncs_per_group[group] += 1;
     }
 
     /// Syncs every group (e.g. before a strongly consistent query).
@@ -94,10 +136,54 @@ impl FanInTree {
         merge_samples(&parts, self.sample_size)
     }
 
+    /// Total items observed across all groups.
+    pub fn observed(&self) -> u64 {
+        self.observed_per_group.iter().sum()
+    }
+
+    /// Items observed by one group.
+    pub fn group_observed(&self, group: usize) -> u64 {
+        self.observed_per_group[group]
+    }
+
+    /// Number of aggregator→root syncs one group has performed.
+    pub fn group_syncs(&self, group: usize) -> u64 {
+        self.syncs_per_group[group]
+    }
+
+    /// Largest item watermark lag a group reached before syncing — in the
+    /// lockstep tree this never exceeds `sync_every` (the bounded-staleness
+    /// guarantee at item granularity).
+    pub fn group_max_unsynced(&self, group: usize) -> u64 {
+        self.max_unsynced[group]
+    }
+
+    /// The sample a group last shipped to the root.
+    pub fn group_sample(&self, group: usize) -> &[Keyed] {
+        &self.group_samples[group]
+    }
+
+    /// Aggregator → root messages (each synced sample entry counts 1).
+    pub fn root_messages(&self) -> u64 {
+        self.metrics.kind("sync")
+    }
+
+    /// All tiers' accounting folded into one [`Metrics`] via
+    /// [`Metrics::merge`]: every group's intra-group protocol counters plus
+    /// the root-tier sync counters, so tree message totals read exactly
+    /// like the flat protocol's.
+    pub fn merged_metrics(&self) -> Metrics {
+        let mut total = self.metrics.clone();
+        for g in &self.groups {
+            total.merge(&g.metrics);
+        }
+        total
+    }
+
     /// Total messages: intra-group protocol traffic plus aggregator→root
     /// sync traffic.
     pub fn total_messages(&self) -> u64 {
-        self.groups.iter().map(|g| g.metrics.total()).sum::<u64>() + self.root_messages
+        self.merged_metrics().total()
     }
 
     /// Number of groups.
@@ -110,6 +196,7 @@ impl FanInTree {
 mod tests {
     use super::*;
     use dwrs_core::exact::inclusion_probabilities;
+    use dwrs_core::swor::wire::sync_len;
 
     #[test]
     fn root_sample_size_is_min_t_s() {
@@ -166,7 +253,7 @@ mod tests {
             for i in 0..8_000u64 {
                 tree.observe((i % 4) as usize, ((i / 4) % 2) as usize, Item::unit(i));
             }
-            tree.root_messages
+            tree.root_messages()
         };
         let chatty = run(10);
         let lazy = run(1_000);
@@ -174,5 +261,51 @@ mod tests {
             chatty > 50 * lazy.max(1),
             "sync period had no effect: {chatty} vs {lazy}"
         );
+    }
+
+    #[test]
+    fn metrics_fold_root_tier_into_paper_accounting() {
+        // Satellite of ISSUE 3: tree message accounting must flow through
+        // `Metrics` (merged key-wise), not ad-hoc counters.
+        let mut tree = FanInTree::new(4, 2, 2, 50, 11);
+        for i in 0..2_000u64 {
+            tree.observe((i % 2) as usize, ((i / 2) % 2) as usize, Item::unit(i));
+        }
+        tree.sync_all();
+        let m = tree.merged_metrics();
+        // The sync bucket carries exactly the root messages.
+        assert_eq!(m.kind("sync"), tree.root_messages());
+        assert!(tree.root_messages() > 0);
+        // Full paper-accounting byte decomposition across tiers: every
+        // upstream byte is either an exact intra-group frame (17 B early,
+        // 25 B regular) or part of a SyncMsg frame (17 B header per sync +
+        // 24 B per synced entry).
+        let syncs = tree.group_syncs(0) + tree.group_syncs(1);
+        assert_eq!(
+            m.up_bytes,
+            17 * m.kind("early") + 25 * m.kind("regular") + 17 * syncs + 24 * m.kind("sync")
+        );
+        assert_eq!(
+            m.down_bytes,
+            5 * m.kind("level_saturated") + 9 * m.kind("update_epoch")
+        );
+        // Message totals decompose the same way.
+        assert_eq!(
+            m.up_total,
+            m.kind("early") + m.kind("regular") + m.kind("sync")
+        );
+        // Timeline snapshots recorded one entry per sync, in item order.
+        assert_eq!(m.timeline.len() as u64, syncs);
+        assert!(m.timeline.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Items observed are tracked per group.
+        assert_eq!(tree.observed(), 2_000);
+        assert_eq!(tree.group_observed(0) + tree.group_observed(1), 2_000);
+        // Spot-check the exact frame size helper against one sync.
+        let msg = SyncMsg {
+            group: 0,
+            items: tree.group_observed(0),
+            sample: tree.root_sample(),
+        };
+        assert_eq!(sync_len(&msg), 17 + 24 * msg.sample.len());
     }
 }

@@ -1,0 +1,242 @@
+//! Integration: the hierarchical fan-in runtime must be *distributionally
+//! equivalent* to the lockstep fan-in tree (ISSUE 3 tentpole).
+//!
+//! The concurrent tree runs every group in the delayed-delivery regime and
+//! syncs aggregators to the root in frame granularity, so per-run message
+//! counts differ from the lockstep `FanInTree`; the root sampling
+//! distribution may not: with fixed RNG seeds, root-sample inclusion
+//! frequencies over many trials must pass the same `dwrs-stats`
+//! calibration checks (chi², KS) against the lockstep tree on identical
+//! input, and item-by-item against the exact oracle.
+//!
+//! Also asserted here: the bounded-staleness guarantee on root samples
+//! (an aggregator's un-synced item lag never reaches `sync_every` plus one
+//! frame's item window, and the final sync makes the root exact), and the
+//! paper-accounting byte decomposition across all tiers.
+
+use dwrs::core::exact::inclusion_probabilities;
+use dwrs::core::Item;
+use dwrs::runtime::{run_tree_swor, split_tree_stream, EngineKind, RuntimeConfig, TreeTopology};
+use dwrs::stats::{chi2_two_sample, ks_two_sample};
+
+/// Stream used by the distributional tests: the same 12-item instance the
+/// flat equivalence suite validates against the exact oracle.
+const WEIGHTS: [f64; 12] = [3.0, 1.0, 7.0, 1.0, 2.0, 9.0, 1.0, 4.0, 2.0, 1.0, 5.0, 30.0];
+
+/// 2 groups × 2 sites; sync every item so even the tiny stream syncs.
+fn topo() -> TreeTopology {
+    TreeTopology::new(2, 2, 1)
+}
+
+fn tiny_streams() -> Vec<Vec<Vec<Item>>> {
+    split_tree_stream(
+        &topo(),
+        WEIGHTS
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i % 4, Item::new(i as u64, w))),
+    )
+}
+
+fn root_ids(engine: EngineKind, s: usize, seed: u64) -> Vec<u64> {
+    // Tight pipeline keeps the traffic regime close to lockstep on this
+    // tiny stream; irrelevant for the distribution.
+    let rcfg = RuntimeConfig::new()
+        .with_batch_max(1)
+        .with_queue_capacity(1);
+    let out = run_tree_swor(engine, s, &topo(), seed, tiny_streams(), &rcfg).expect("tree run");
+    out.root_sample.iter().map(|kd| kd.item.id).collect()
+}
+
+#[test]
+fn tree_inclusion_matches_lockstep_chi2() {
+    // Two-sample chi-square between lockstep-tree and runtime-tree root
+    // inclusion counts over many independent seeded runs.
+    let s = 3;
+    let trials = 3_000u64;
+    let mut lockstep_counts = vec![0u64; WEIGHTS.len()];
+    let mut threaded_counts = vec![0u64; WEIGHTS.len()];
+    for t in 0..trials {
+        for id in root_ids(EngineKind::Lockstep, s, 20_000 + t) {
+            lockstep_counts[id as usize] += 1;
+        }
+        for id in root_ids(EngineKind::Threads, s, 80_000 + t) {
+            threaded_counts[id as usize] += 1;
+        }
+    }
+    let r = chi2_two_sample(&lockstep_counts, &threaded_counts);
+    assert!(
+        r.p_value > 1e-4,
+        "distributions differ: chi2 = {:.2}, p = {:.2e}\nlockstep {lockstep_counts:?}\nthreaded {threaded_counts:?}",
+        r.statistic,
+        r.p_value
+    );
+}
+
+#[test]
+fn tree_inclusion_matches_exact_oracle() {
+    // Stronger than agreeing with the lockstep tree: the runtime tree's
+    // root-sample inclusion frequencies match the closed-form oracle within
+    // binomial error, item by item.
+    let s = 3;
+    let trials = 3_000u64;
+    let exact = inclusion_probabilities(&WEIGHTS, s);
+    let mut counts = vec![0u64; WEIGHTS.len()];
+    for t in 0..trials {
+        for id in root_ids(EngineKind::Threads, s, 500_000 + t) {
+            counts[id as usize] += 1;
+        }
+    }
+    for (i, &c) in counts.iter().enumerate() {
+        let p = exact[i];
+        let emp = c as f64 / trials as f64;
+        let se = (p * (1.0 - p) / trials as f64).sqrt().max(1e-6);
+        assert!(
+            (emp - p).abs() < 5.5 * se,
+            "item {i}: empirical {emp:.4} vs exact {p:.4} (se {se:.4})"
+        );
+    }
+}
+
+#[test]
+fn tree_top_key_distribution_matches_lockstep_ks() {
+    // The largest root-sampled key is a continuous statistic of the whole
+    // run; its distribution must agree between substrates (two-sample KS).
+    let s = 2;
+    let trials = 1_200u64;
+    let rcfg = RuntimeConfig::new()
+        .with_batch_max(1)
+        .with_queue_capacity(1);
+    let top_key = |engine: EngineKind, seed: u64| {
+        let out = run_tree_swor(engine, s, &topo(), seed, tiny_streams(), &rcfg).expect("tree run");
+        out.root_sample
+            .iter()
+            .map(|kd| kd.key)
+            .fold(f64::MIN, f64::max)
+    };
+    let mut lockstep_keys = Vec::with_capacity(trials as usize);
+    let mut threaded_keys = Vec::with_capacity(trials as usize);
+    for t in 0..trials {
+        lockstep_keys.push(top_key(EngineKind::Lockstep, 700_000 + t));
+        threaded_keys.push(top_key(EngineKind::Threads, 900_000 + t));
+    }
+    let r = ks_two_sample(&lockstep_keys, &threaded_keys);
+    assert!(
+        r.p_value > 1e-4,
+        "top-key distributions differ: D = {:.4}, p = {:.2e}",
+        r.statistic,
+        r.p_value
+    );
+}
+
+#[test]
+fn tree_engines_agree_on_large_skewed_stream_invariants() {
+    // One large skewed run per engine: full sample at the root, per-tier
+    // byte accounting exact, bounded staleness respected, final sync exact.
+    let topo = TreeTopology::new(2, 4, 5_000);
+    let s = 16;
+    let n = 200_000usize;
+    let items = dwrs::workloads::zipf_ranked(n, 1.2, 31);
+    let total_sites = topo.total_sites();
+    let streams = split_tree_stream(
+        &topo,
+        items
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, it)| (i % total_sites, it)),
+    );
+    for engine in [EngineKind::Lockstep, EngineKind::Threads, EngineKind::Tcp] {
+        let out = run_tree_swor(
+            engine,
+            s,
+            &topo,
+            77,
+            streams.clone(),
+            &RuntimeConfig::default(),
+        )
+        .expect("run");
+        assert_eq!(out.root_sample.len(), s, "engine {engine}");
+        // Watermarks cover the whole stream.
+        let covered: u64 = out.group_stats.iter().map(|st| st.items).sum();
+        assert_eq!(covered, n as u64, "engine {engine}");
+        // Bounded staleness per group: un-synced lag stays under the sync
+        // period plus one frame's item window (lockstep: window = 1).
+        for (gi, st) in out.group_stats.iter().enumerate() {
+            assert!(st.syncs >= 1, "engine {engine}: group {gi} never synced");
+            assert!(
+                st.max_unsynced < topo.sync_every + st.max_frame_items,
+                "engine {engine}: group {gi} lag {} >= bound {}",
+                st.max_unsynced,
+                topo.sync_every + st.max_frame_items
+            );
+        }
+        // Final syncs make the root exact: the concurrent engines log each
+        // group's last watermark equal to its item total.
+        if engine != EngineKind::Lockstep {
+            for (gi, st) in out.group_stats.iter().enumerate() {
+                let last = out
+                    .sync_log
+                    .iter()
+                    .rev()
+                    .find(|&&(g, _)| g == gi)
+                    .expect("group in sync log");
+                assert_eq!(last.1, st.items, "engine {engine}: group {gi} not exact");
+            }
+        }
+        // Paper-accounting byte decomposition across tiers: intra-group
+        // frames (17 B early / 25 B regular / 5 B saturated / 9 B epoch)
+        // plus SyncMsg frames (17 B header per sync + 24 B per entry).
+        let m = &out.metrics;
+        let syncs: u64 = out.group_stats.iter().map(|st| st.syncs).sum();
+        assert_eq!(
+            m.up_bytes,
+            17 * m.kind("early") + 25 * m.kind("regular") + 17 * syncs + 24 * m.kind("sync"),
+            "engine {engine}: upstream byte accounting"
+        );
+        assert_eq!(
+            m.down_bytes,
+            5 * m.kind("level_saturated") + 9 * m.kind("update_epoch"),
+            "engine {engine}: downstream byte accounting"
+        );
+        // Broadcasts cost k_per_group within each group.
+        assert_eq!(
+            m.down_total,
+            m.broadcast_events * topo.k_per_group as u64,
+            "engine {engine}: broadcast accounting"
+        );
+    }
+}
+
+#[test]
+fn tree_sync_rate_trades_staleness_for_traffic() {
+    // The g·s/sync_every message-rate tradeoff must be visible on the
+    // runtime substrate exactly as in the lockstep tree.
+    let n = 60_000usize;
+    let items = dwrs::workloads::zipf_ranked(n, 1.2, 5);
+    let run = |every: u64| {
+        let topo = TreeTopology::new(2, 2, every);
+        let streams = split_tree_stream(
+            &topo,
+            items.iter().copied().enumerate().map(|(i, it)| (i % 4, it)),
+        );
+        let out = run_tree_swor(
+            EngineKind::Threads,
+            8,
+            &topo,
+            9,
+            streams,
+            &RuntimeConfig::new()
+                .with_batch_max(8)
+                .with_queue_capacity(8),
+        )
+        .expect("run");
+        out.metrics.kind("sync")
+    };
+    let chatty = run(100);
+    let lazy = run(20_000);
+    assert!(
+        chatty > 10 * lazy.max(1),
+        "sync period had no effect on root traffic: {chatty} vs {lazy}"
+    );
+}

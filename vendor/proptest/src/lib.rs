@@ -96,7 +96,7 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and implementations for ranges and tuples.
+/// The [`Strategy`](strategy::Strategy) trait and implementations for ranges and tuples.
 pub mod strategy {
     use crate::rng::TestRng;
     use std::ops::Range;
