@@ -1,6 +1,8 @@
 //! Tree-vs-flat topology comparison on the concurrent runtime: the same
-//! skewed weighted-SWOR workload as a flat `k`-site deployment and as a
-//! `g × (k/g)` fan-in tree, across engines and root-sync cadences.
+//! skewed weighted-SWOR workload as a flat `k`-site scenario and as a
+//! `g × (k/g)` fan-in tree scenario, across engines and root-sync
+//! cadences — every combination one `Scenario` handed to `run_scenario`,
+//! streaming at O(batch × queue) memory.
 //!
 //! What the sweeps measure:
 //!
@@ -19,79 +21,39 @@
 //! CI runs each target once (`cargo bench -p dwrs-bench -- --test`) and
 //! separately collects `BENCH_tree.json` from CLI runs of the same shapes.
 
-use criterion::{
-    black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput,
-};
-use dwrs_core::swor::SworConfig;
-use dwrs_core::Item;
-use dwrs_runtime::{
-    run_swor, run_tree_swor, split_stream, split_tree_stream, EngineKind, RuntimeConfig,
-    TreeTopology,
-};
-use dwrs_sim::{assign_sites, Partition};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dwrs_runtime::{run_scenario, EngineKind, Scenario, Topology, Workload};
 
 const N: usize = 1_000_000;
 const S: usize = 64;
 const K: usize = 8;
 
-fn skewed(n: usize) -> Vec<Item> {
-    dwrs_workloads::zipf_ranked(n, 1.2, 5)
-}
-
-fn flat_parts(items: &[Item]) -> Vec<Vec<Item>> {
-    let sites = assign_sites(Partition::RoundRobin, K, items.len(), 6);
-    split_stream(K, sites.into_iter().zip(items.iter().copied()))
-}
-
-fn tree_parts(topo: &TreeTopology, items: &[Item]) -> Vec<Vec<Vec<Item>>> {
-    let sites = assign_sites(Partition::RoundRobin, topo.total_sites(), items.len(), 6);
-    split_tree_stream(topo, sites.into_iter().zip(items.iter().copied()))
+fn scenario(engine: EngineKind, topology: Topology) -> Scenario {
+    Scenario::new(engine, K, S)
+        .with_n(N as u64)
+        .with_seed(7)
+        .with_workload(Workload::Zipf { alpha: 1.2 })
+        .with_topology(topology)
 }
 
 fn tree_vs_flat(c: &mut Criterion) {
     let mut g = c.benchmark_group("tree_vs_flat");
     g.throughput(Throughput::Elements(N as u64));
     g.sample_size(10);
-    let items = skewed(N);
-    let topo = TreeTopology::new(2, K / 2, 10_000);
+    let tree = Topology::Tree {
+        groups: 2,
+        sync_every: 10_000,
+    };
     for engine in [EngineKind::Threads, EngineKind::Tcp] {
-        g.bench_with_input(
-            BenchmarkId::new("flat", engine.to_string()),
-            &engine,
-            |b, &engine| {
-                b.iter_batched(
-                    || flat_parts(&items),
-                    |parts| {
-                        let out = run_swor(
-                            engine,
-                            SworConfig::new(S, K),
-                            7,
-                            parts,
-                            &RuntimeConfig::default(),
-                        )
-                        .expect("flat run");
-                        black_box(out.metrics.total())
-                    },
-                    BatchSize::LargeInput,
-                );
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("tree", engine.to_string()),
-            &engine,
-            |b, &engine| {
-                b.iter_batched(
-                    || tree_parts(&topo, &items),
-                    |streams| {
-                        let out =
-                            run_tree_swor(engine, S, &topo, 7, streams, &RuntimeConfig::default())
-                                .expect("tree run");
-                        black_box(out.metrics.total())
-                    },
-                    BatchSize::LargeInput,
-                );
-            },
-        );
+        for (name, topology) in [("flat", Topology::Flat), ("tree", tree)] {
+            let sc = scenario(engine, topology);
+            g.bench_with_input(BenchmarkId::new(name, engine.to_string()), &sc, |b, sc| {
+                b.iter(|| {
+                    let report = run_scenario(sc).expect("run");
+                    black_box(report.metrics.total())
+                });
+            });
+        }
     }
     g.finish();
 }
@@ -100,31 +62,24 @@ fn tree_sync_rate(c: &mut Criterion) {
     let mut g = c.benchmark_group("tree_sync_rate");
     g.throughput(Throughput::Elements(N as u64));
     g.sample_size(10);
-    let items = skewed(N);
     for sync_every in [1_000u64, 10_000, 100_000] {
-        let topo = TreeTopology::new(2, K / 2, sync_every);
+        let sc = scenario(
+            EngineKind::Threads,
+            Topology::Tree {
+                groups: 2,
+                sync_every,
+            },
+        );
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("every{sync_every}")),
-            &topo,
-            |b, topo| {
-                b.iter_batched(
-                    || tree_parts(topo, &items),
-                    |streams| {
-                        let out = run_tree_swor(
-                            EngineKind::Threads,
-                            S,
-                            topo,
-                            7,
-                            streams,
-                            &RuntimeConfig::default(),
-                        )
-                        .expect("tree run");
-                        // The quantity under test: total message rate
-                        // including the sync tier.
-                        black_box((out.metrics.total(), out.metrics.kind("sync")))
-                    },
-                    BatchSize::LargeInput,
-                );
+            &sc,
+            |b, sc| {
+                b.iter(|| {
+                    let report = run_scenario(sc).expect("run");
+                    // The quantity under test: total message rate
+                    // including the sync tier.
+                    black_box((report.metrics.total(), report.metrics.kind("sync")))
+                });
             },
         );
     }

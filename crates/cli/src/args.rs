@@ -11,17 +11,23 @@ commands:
                (single-threaded lockstep simulator)
                flags: --n --k --s --workload --seed --partition --latency
   run          run distributed weighted SWOR on a selectable engine and
-               report throughput alongside the sample and metrics
+               report throughput alongside the sample and metrics; the
+               workload streams through the scenario driver's bounded
+               dispatcher, so memory stays O(batch x queue) whatever --n
                flags: --engine {lockstep|threads|tcp} (default threads)
                       --topology {flat|tree}          (default flat)
                       --n --k --s --workload --seed --partition
                       --batch <msgs per upstream frame>   (default 64)
                       --queue <up-queue bound in batches> (default 128)
                       --format {text|json}                (default text)
+                      --materialize {true|false}          (default false;
+                        true pre-builds the stream in memory, O(n) RSS)
                tree topology only (--k sites split across groups, each
                group's aggregator syncing its sample to a root merger):
                       --groups <g>          (default 2; must divide --k)
                       --sync-every <items>  (default 10000)
+               counts (--n, --sync-every) accept magnitudes: 250k, 1m,
+               2.5e6, 1g
   serve        run a standalone SWOR coordinator as a TCP server: accept
                --k framed site connections, then print sample + metrics
                flags: --addr (default 127.0.0.1:0, prints bound address)
@@ -40,6 +46,7 @@ commands:
 
 workload kinds: unit | uniform:<lo>,<hi> | zipf:<alpha> | pareto:<alpha>
                 | lognormal:<mu>,<sigma> | residual_skew:<top>
+                | csv:<path> (id,weight records; `dwrs workload` output)
 partitions:     roundrobin | random | single:<i> | skewed:<hot>";
 
 /// Parse failure.
@@ -91,6 +98,47 @@ impl Parsed {
                 .map_err(|_| ArgError(format!("--{key} expects a number, got '{v}'"))),
         }
     }
+
+    /// Count flag with default, accepting human-readable magnitudes (see
+    /// [`parse_magnitude`]): `--n 1m`, `--n 250k`, `--n 2.5e6`.
+    pub fn magnitude_or(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => parse_magnitude(v).map_err(|e| ArgError(format!("--{key}: {e}"))),
+        }
+    }
+}
+
+/// Parses a count with optional human-readable magnitude: a plain integer
+/// (`1000000`), a decimal with a `k`/`m`/`g`/`b` suffix (`250k`, `1m`,
+/// `2.5m`, `1g` — case-insensitive; `b` = `g` = 10⁹), or scientific
+/// notation (`2.5e6`). The value must be a non-negative whole number of
+/// items.
+pub fn parse_magnitude(v: &str) -> Result<u64, String> {
+    let v = v.trim();
+    if v.is_empty() {
+        return Err("expects a count, got ''".into());
+    }
+    if let Ok(n) = v.parse::<u64>() {
+        return Ok(n);
+    }
+    let (digits, multiplier) = match v.chars().last().map(|c| c.to_ascii_lowercase()) {
+        Some('k') => (&v[..v.len() - 1], 1e3),
+        Some('m') => (&v[..v.len() - 1], 1e6),
+        Some('g') | Some('b') => (&v[..v.len() - 1], 1e9),
+        _ => (v, 1.0),
+    };
+    let base: f64 = digits
+        .parse()
+        .map_err(|_| format!("expects a count like 1000000, 250k, 1m or 2.5e6, got '{v}'"))?;
+    let scaled = base * multiplier;
+    if !scaled.is_finite() || scaled < 0.0 || scaled > u64::MAX as f64 {
+        return Err(format!("count '{v}' is out of range"));
+    }
+    if (scaled - scaled.round()).abs() > 1e-6 {
+        return Err(format!("count '{v}' is not a whole number of items"));
+    }
+    Ok(scaled.round() as u64)
 }
 
 /// Parses `argv` (without the program name) into a [`Parsed`].
@@ -153,6 +201,35 @@ mod tests {
     #[test]
     fn rejects_empty() {
         assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn magnitudes_parse() {
+        assert_eq!(parse_magnitude("1000000").unwrap(), 1_000_000);
+        assert_eq!(parse_magnitude("250k").unwrap(), 250_000);
+        assert_eq!(parse_magnitude("1m").unwrap(), 1_000_000);
+        assert_eq!(parse_magnitude("2.5m").unwrap(), 2_500_000);
+        assert_eq!(parse_magnitude("2.5M").unwrap(), 2_500_000);
+        assert_eq!(parse_magnitude("2.5e6").unwrap(), 2_500_000);
+        assert_eq!(parse_magnitude("1g").unwrap(), 1_000_000_000);
+        assert_eq!(parse_magnitude("1b").unwrap(), 1_000_000_000);
+        assert_eq!(parse_magnitude("0").unwrap(), 0);
+        assert!(parse_magnitude("abc").is_err());
+        assert!(parse_magnitude("1.5").is_err(), "fractional items rejected");
+        assert!(parse_magnitude("-5k").is_err());
+        assert!(parse_magnitude("").is_err());
+        assert!(parse_magnitude("1e30").is_err(), "out of u64 range");
+    }
+
+    #[test]
+    fn magnitude_flag_reports_key() {
+        let p = parse_args(&argv("run --n 2m --sync-every 250k")).unwrap();
+        assert_eq!(p.magnitude_or("n", 0).unwrap(), 2_000_000);
+        assert_eq!(p.magnitude_or("sync-every", 0).unwrap(), 250_000);
+        assert_eq!(p.magnitude_or("absent", 7).unwrap(), 7);
+        let p = parse_args(&argv("run --n xyz")).unwrap();
+        let err = p.magnitude_or("n", 0).unwrap_err();
+        assert!(err.0.contains("--n"), "{err}");
     }
 
     #[test]

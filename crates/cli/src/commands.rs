@@ -1,7 +1,6 @@
 //! Subcommand implementations.
 
 use std::io::Write;
-use std::time::Instant;
 
 use dwrs_apps::l1::{
     run_tracker, FolkloreTracker, HyzTracker, L1Config, L1DupTracker, L1Estimator,
@@ -13,8 +12,7 @@ use dwrs_apps::residual_hh::{
 use dwrs_core::swor::SworConfig;
 use dwrs_core::Item;
 use dwrs_runtime::{
-    run_swor, run_tree_swor, split_stream, split_tree_stream, EngineKind, RuntimeConfig,
-    TreeTopology,
+    run_scenario, EngineKind, RunReport, RuntimeConfig, Scenario, Topology, Workload,
 };
 use dwrs_sim::{assign_sites, build_swor, swor_coordinator, swor_site, Metrics, Partition};
 use dwrs_workloads as workloads;
@@ -39,33 +37,23 @@ pub fn dispatch<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
     }
 }
 
-/// Builds a workload from a `kind[:params]` spec.
+/// Materializes a workload from a `kind[:params]` spec — the vec-backed
+/// adapter over the streaming [`Workload`] sources, for the commands that
+/// genuinely need the whole stream in memory (`sample`'s lockstep-latency
+/// mode). Everything else streams.
 pub fn make_workload(kind: &str, n: usize, seed: u64) -> Result<Vec<Item>, ArgError> {
-    let (name, params) = match kind.split_once(':') {
-        Some((a, b)) => (a, b),
-        None => (kind, ""),
-    };
-    let nums: Vec<f64> = if params.is_empty() {
-        Vec::new()
-    } else {
-        params
-            .split(',')
-            .map(|x| {
-                x.parse::<f64>()
-                    .map_err(|_| ArgError(format!("bad workload parameter '{x}'")))
-            })
-            .collect::<Result<_, _>>()?
-    };
-    let get = |i: usize, default: f64| nums.get(i).copied().unwrap_or(default);
-    Ok(match name {
-        "unit" => workloads::unit(n),
-        "uniform" => workloads::uniform_weights(n, get(0, 1.0), get(1, 10.0), seed),
-        "zipf" => workloads::zipf_ranked(n, get(0, 1.2), seed),
-        "pareto" => workloads::pareto(n, get(0, 1.2), 1.0, seed),
-        "lognormal" => workloads::lognormal(n, get(0, 1.0), get(1, 1.0), seed),
-        "residual_skew" => workloads::residual_skew(n, get(0, 4.0).max(1.0) as usize, seed),
-        other => return Err(ArgError(format!("unknown workload kind '{other}'"))),
-    })
+    let workload = Workload::parse(kind).map_err(ArgError)?;
+    // Since the whole stream is materialized anyway, `zipf` keeps the
+    // original exact rank permutation (each rank appears exactly once)
+    // instead of the streaming i.i.d.-rank approximation, preserving the
+    // `sample` command's historical output for a given seed.
+    if let Workload::Zipf { alpha } = workload {
+        return Ok(workloads::zipf_ranked(n, alpha, seed));
+    }
+    let source = workload
+        .source(n as u64, seed)
+        .map_err(|e| ArgError(e.to_string()))?;
+    Ok(source.collect())
 }
 
 /// Parses a partition spec.
@@ -128,19 +116,26 @@ fn cmd_sample<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// Shared stream setup for the engine commands: the deterministic global
-/// workload and its site assignment.
-fn make_stream(p: &Parsed) -> Result<(Vec<Item>, Vec<usize>, usize), ArgError> {
-    let n = p.u64_or("n", 1_000_000)? as usize;
+/// Builds the [`Scenario`] shared by the engine commands (`run` and the
+/// distributed `feed` half, which must reconstruct the identical global
+/// stream) from the common flags. Engine/topology default to
+/// threads/flat; `cmd_run` overrides them from its own flags.
+fn make_scenario(p: &Parsed) -> Result<Scenario, ArgError> {
+    let n = p.magnitude_or("n", 1_000_000)?;
     let k = p.u64_or("k", 8)? as usize;
     if k == 0 {
         return Err(ArgError("--k must be at least 1".into()));
     }
     let seed = p.u64_or("seed", 42)?;
-    let items = make_workload(&p.str_or("workload", "zipf:1.1"), n, seed ^ 0xA5)?;
+    let s = p.u64_or("s", 64)? as usize;
+    let workload = Workload::parse(&p.str_or("workload", "zipf:1.1")).map_err(ArgError)?;
     let partition = make_partition(&p.str_or("partition", "roundrobin"))?;
-    let sites = assign_sites(partition, k, items.len(), seed ^ 0x17);
-    Ok((items, sites, k))
+    Ok(Scenario::new(EngineKind::Threads, k, s)
+        .with_n(n)
+        .with_seed(seed)
+        .with_workload(workload)
+        .with_partition(partition)
+        .with_runtime(runtime_config(p)?))
 }
 
 fn runtime_config(p: &Parsed) -> Result<RuntimeConfig, ArgError> {
@@ -168,152 +163,172 @@ fn report_run<W: Write>(out: &mut W, sample: &[dwrs_core::Keyed], metrics: &Metr
     writeln!(out, "bytes on the wire: {}", metrics.total_bytes()).ok();
 }
 
+/// `run`: every engine×topology combination routes through one
+/// [`Scenario`] and [`run_scenario`] — the workload streams through the
+/// driver's bounded dispatcher, so memory stays O(batch × queue)
+/// regardless of `--n` (pass `--materialize true` to pre-build the stream
+/// in memory instead, e.g. for streaming-vs-materialized comparisons).
 fn cmd_run<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
     let engine: EngineKind = p.str_or("engine", "threads").parse().map_err(ArgError)?;
-    let s = p.u64_or("s", 64)? as usize;
-    let seed = p.u64_or("seed", 42)?;
-    let rcfg = runtime_config(p)?;
     let format = p.str_or("format", "text");
     if format != "text" && format != "json" {
         return Err(ArgError(format!(
             "--format must be text or json, got '{format}'"
         )));
     }
-    match p.str_or("topology", "flat").as_str() {
-        "flat" => {}
-        "tree" => return cmd_run_tree(p, engine, s, seed, &rcfg, &format, out),
+    let mut sc = make_scenario(p)?;
+    sc.engine = engine;
+    sc.topology = match p.str_or("topology", "flat").as_str() {
+        "flat" => Topology::Flat,
+        "tree" => {
+            let groups = p.u64_or("groups", 2)? as usize;
+            let sync_every = p.magnitude_or("sync-every", 10_000)?;
+            if groups == 0 {
+                return Err(ArgError("--groups must be at least 1".into()));
+            }
+            if sync_every == 0 {
+                return Err(ArgError("--sync-every must be at least 1".into()));
+            }
+            if !sc.k.is_multiple_of(groups) {
+                return Err(ArgError(format!(
+                    "--groups {groups} must divide --k {} (sites per group must be uniform)",
+                    sc.k
+                )));
+            }
+            Topology::Tree { groups, sync_every }
+        }
         other => {
             return Err(ArgError(format!(
                 "--topology must be flat or tree, got '{other}'"
             )))
         }
-    }
-    let (items, sites, k) = make_stream(p)?;
-    let n = items.len();
-
-    // Time the engine only, not workload generation.
-    let (sample, metrics, elapsed_s) = match engine {
-        EngineKind::Lockstep => {
-            // The lockstep simulator consumes the stream in its true global
-            // arrival order.
-            let mut runner = build_swor(SworConfig::new(s, k), seed);
-            let t0 = Instant::now();
-            runner.run(sites.into_iter().zip(items));
-            let dt = t0.elapsed().as_secs_f64();
-            (runner.coordinator.sample(), runner.metrics, dt)
+    };
+    let streaming = match p.str_or("materialize", "false").as_str() {
+        "false" | "no" | "0" => true,
+        "true" | "yes" | "1" => {
+            // Pre-build the identical stream in memory (the pre-driver
+            // execution model): generation leaves the timed window, RSS
+            // grows to O(n).
+            let items: Vec<Item> = sc.source().map_err(|e| ArgError(e.to_string()))?.collect();
+            sc.workload = Workload::items(items);
+            false
         }
-        _ => {
-            let streams = split_stream(k, sites.into_iter().zip(items));
-            let t0 = Instant::now();
-            let run = run_swor(engine, SworConfig::new(s, k), seed, streams, &rcfg)
-                .map_err(|e| ArgError(format!("{engine} engine failed: {e}")))?;
-            let dt = t0.elapsed().as_secs_f64();
-            (run.coordinator.sample(), run.metrics, dt)
+        other => {
+            return Err(ArgError(format!(
+                "--materialize must be true or false, got '{other}'"
+            )))
         }
     };
-    let items_per_s = n as f64 / elapsed_s.max(1e-12);
-
-    if format == "json" {
-        writeln!(
-            out,
-            "{{\"engine\":\"{engine}\",\"topology\":\"flat\",\"n\":{n},\"k\":{k},\"s\":{s},\
-             \"elapsed_s\":{elapsed_s:.6},\"items_per_s\":{items_per_s:.1},\
-             \"sample_size\":{},\"messages\":{},\"up_messages\":{},\
-             \"down_messages\":{},\"bytes\":{}}}",
-            sample.len(),
-            metrics.total(),
-            metrics.up_total,
-            metrics.down_total,
-            metrics.total_bytes(),
-        )
-        .ok();
-        return Ok(());
-    }
-    writeln!(
-        out,
-        "engine {engine}: n = {n}, k = {k}, s = {s}, batch = {}, queue = {}",
-        rcfg.batch_max, rcfg.queue_capacity
-    )
-    .ok();
-    writeln!(out, "elapsed: {elapsed_s:.3} s  ({items_per_s:.0} items/s)").ok();
-    report_run(out, &sample, &metrics, 8);
+    let report = run_scenario(&sc).map_err(|e| ArgError(format!("{engine} engine failed: {e}")))?;
+    print_report(&report, &sc, streaming, &format, out);
     Ok(())
 }
 
-/// `run --topology tree`: the hierarchical fan-in deployment. `--k` total
-/// sites are split into `--groups` groups (each running the full protocol
-/// against its aggregator), and aggregators sync their samples to a root
-/// merger every `--sync-every` items.
-fn cmd_run_tree<W: Write>(
-    p: &Parsed,
-    engine: EngineKind,
-    s: usize,
-    seed: u64,
-    rcfg: &RuntimeConfig,
+/// Prints a [`RunReport`] in the CLI's text or JSON format.
+fn print_report<W: Write>(
+    report: &RunReport,
+    sc: &Scenario,
+    streaming: bool,
     format: &str,
     out: &mut W,
-) -> Result<(), ArgError> {
-    let groups = p.u64_or("groups", 2)? as usize;
-    let sync_every = p.u64_or("sync-every", 10_000)?;
-    if groups == 0 {
-        return Err(ArgError("--groups must be at least 1".into()));
-    }
-    if sync_every == 0 {
-        return Err(ArgError("--sync-every must be at least 1".into()));
-    }
-    let (items, sites, k) = make_stream(p)?;
-    if !k.is_multiple_of(groups) {
-        return Err(ArgError(format!(
-            "--groups {groups} must divide --k {k} (sites per group must be uniform)"
-        )));
-    }
-    let topo = TreeTopology::new(groups, k / groups, sync_every);
-    let n = items.len();
-    let streams = split_tree_stream(&topo, sites.into_iter().zip(items));
-
-    let t0 = Instant::now();
-    let run = run_tree_swor(engine, s, &topo, seed, streams, rcfg)
-        .map_err(|e| ArgError(format!("{engine} tree engine failed: {e}")))?;
-    let elapsed_s = t0.elapsed().as_secs_f64();
-    let items_per_s = n as f64 / elapsed_s.max(1e-12);
-    let metrics = &run.metrics;
-    let syncs: u64 = run.group_stats.iter().map(|st| st.syncs).sum();
-
+) {
+    let engine = report.engine;
+    let (n, k, s) = (report.items, report.k, report.s);
+    let elapsed_s = report.elapsed.as_secs_f64();
+    let items_per_s = report.items_per_s();
+    let m = &report.metrics;
+    let rss = report.peak_rss_bytes.unwrap_or(0);
     if format == "json" {
+        match report.topology {
+            Topology::Flat => writeln!(
+                out,
+                "{{\"engine\":\"{engine}\",\"topology\":\"flat\",\"n\":{n},\"k\":{k},\"s\":{s},\
+                 \"elapsed_s\":{elapsed_s:.6},\"items_per_s\":{items_per_s:.1},\
+                 \"sample_size\":{},\"messages\":{},\"up_messages\":{},\
+                 \"down_messages\":{},\"bytes\":{},\"streaming\":{streaming},\
+                 \"invariants_ok\":{},\"peak_rss_bytes\":{rss}}}",
+                report.sample.len(),
+                m.total(),
+                m.up_total,
+                m.down_total,
+                m.total_bytes(),
+                report.invariants_ok(),
+            )
+            .ok(),
+            Topology::Tree { groups, sync_every } => writeln!(
+                out,
+                "{{\"engine\":\"{engine}\",\"topology\":\"tree\",\"n\":{n},\"k\":{k},\
+                 \"s\":{s},\"groups\":{groups},\"k_per_group\":{},\"sync_every\":{sync_every},\
+                 \"elapsed_s\":{elapsed_s:.6},\"items_per_s\":{items_per_s:.1},\
+                 \"sample_size\":{},\"messages\":{},\"up_messages\":{},\
+                 \"down_messages\":{},\"sync_messages\":{},\"syncs\":{},\"bytes\":{},\
+                 \"streaming\":{streaming},\"invariants_ok\":{},\"peak_rss_bytes\":{rss}}}",
+                k / groups,
+                report.sample.len(),
+                m.total(),
+                m.up_total,
+                m.down_total,
+                m.kind("sync"),
+                report.syncs(),
+                m.total_bytes(),
+                report.invariants_ok(),
+            )
+            .ok(),
+        };
+        return;
+    }
+    match report.topology {
+        Topology::Flat => {
+            writeln!(
+                out,
+                "engine {engine}: n = {n}, k = {k}, s = {s}, batch = {}, queue = {}",
+                sc.runtime.batch_max, sc.runtime.queue_capacity
+            )
+            .ok();
+        }
+        Topology::Tree { groups, sync_every } => {
+            writeln!(
+                out,
+                "engine {engine}: n = {n}, topology = tree ({groups} groups x {} sites), \
+                 s = {s}, sync_every = {sync_every}, batch = {}, queue = {}",
+                k / groups,
+                sc.runtime.batch_max,
+                sc.runtime.queue_capacity
+            )
+            .ok();
+        }
+    }
+    writeln!(out, "elapsed: {elapsed_s:.3} s  ({items_per_s:.0} items/s)").ok();
+    if let Some(d) = &report.dispatcher {
         writeln!(
             out,
-            "{{\"engine\":\"{engine}\",\"topology\":\"tree\",\"n\":{n},\"k\":{k},\
-             \"s\":{s},\"groups\":{groups},\"k_per_group\":{},\"sync_every\":{sync_every},\
-             \"elapsed_s\":{elapsed_s:.6},\"items_per_s\":{items_per_s:.1},\
-             \"sample_size\":{},\"messages\":{},\"up_messages\":{},\
-             \"down_messages\":{},\"sync_messages\":{},\"syncs\":{syncs},\"bytes\":{}}}",
-            topo.k_per_group,
-            run.root_sample.len(),
-            metrics.total(),
-            metrics.up_total,
-            metrics.down_total,
-            metrics.kind("sync"),
-            metrics.total_bytes(),
+            "streaming dispatch: {} frames, peak {} in flight (bound {}), \
+             buffered window <= {} items",
+            d.frames,
+            d.peak_in_flight_frames,
+            d.in_flight_bound(),
+            d.buffered_items_bound()
         )
         .ok();
-        return Ok(());
     }
-    writeln!(
-        out,
-        "engine {engine}: n = {n}, topology = tree ({groups} groups x {} sites), \
-         s = {s}, sync_every = {sync_every}, batch = {}, queue = {}",
-        topo.k_per_group, rcfg.batch_max, rcfg.queue_capacity
-    )
-    .ok();
-    writeln!(out, "elapsed: {elapsed_s:.3} s  ({items_per_s:.0} items/s)").ok();
-    writeln!(
-        out,
-        "root syncs: {syncs} ({} sync messages; root exact at shutdown)",
-        metrics.kind("sync")
-    )
-    .ok();
-    report_run(out, &run.root_sample, metrics, 8);
-    Ok(())
+    if let Topology::Tree { .. } = report.topology {
+        writeln!(
+            out,
+            "root syncs: {} ({} sync messages; root exact at shutdown)",
+            report.syncs(),
+            m.kind("sync")
+        )
+        .ok();
+    }
+    if !report.invariants_ok() {
+        writeln!(
+            out,
+            "WARNING: invariant violations: {:?}",
+            report.violations
+        )
+        .ok();
+    }
+    report_run(out, &report.sample, m, 8);
 }
 
 fn cmd_serve<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
@@ -350,42 +365,44 @@ fn cmd_feed<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
         .ok_or_else(|| ArgError("feed needs --site <i>".into()))?
         .parse::<usize>()
         .map_err(|_| ArgError("--site expects an integer".into()))?;
-    let s = p.u64_or("s", 64)? as usize;
-    let seed = p.u64_or("seed", 42)?;
-    let rcfg = runtime_config(p)?;
-    let (items, sites, k) = make_stream(p)?;
-    if site_id >= k {
+    let sc = make_scenario(p)?;
+    if site_id >= sc.k {
         return Err(ArgError(format!(
-            "--site {site_id} out of range for k = {k}"
+            "--site {site_id} out of range for k = {}",
+            sc.k
         )));
     }
-    // This feed's share of the deterministic global stream.
-    let my_items: Vec<Item> = sites
-        .into_iter()
-        .zip(items)
-        .filter(|&(site, _)| site == site_id)
-        .map(|(_, item)| item)
-        .collect();
-    let site = swor_site(&SworConfig::new(s, k), seed, site_id);
-    let fed = my_items.len();
-    let (_site, metrics) =
-        dwrs_runtime::tcp::run_site(connect.as_str(), site_id, site, my_items, &rcfg)
+    // This feed's share of the deterministic global stream, filtered out
+    // of the scenario's streaming source on the fly — every feed process
+    // reconstructs the identical stream from the shared flags, nothing is
+    // materialized.
+    let mut partitioner = sc.partitioner();
+    let source = sc.source().map_err(|e| ArgError(e.to_string()))?;
+    let my_items = source.filter(move |_| partitioner.next_site() == site_id);
+    let site = swor_site(&SworConfig::new(sc.s, sc.k), sc.seed, site_id);
+    let (site, metrics) =
+        dwrs_runtime::tcp::run_site(connect.as_str(), site_id, site, my_items, &sc.runtime)
             .map_err(|e| ArgError(format!("feed failed: {e}")))?;
     writeln!(
         out,
-        "site {site_id}: fed {fed} items, sent {} messages ({} bytes)",
-        metrics.up_total, metrics.up_bytes
+        "site {site_id}: fed {} items, sent {} messages ({} bytes)",
+        site.stats.observed, metrics.up_total, metrics.up_bytes
     )
     .ok();
     Ok(())
 }
 
 fn cmd_workload<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
-    let n = p.u64_or("n", 1_000)? as usize;
+    let n = p.magnitude_or("n", 1_000)?;
     let seed = p.u64_or("seed", 7)?;
-    let items = make_workload(&p.str_or("kind", "zipf:1.2"), n, seed)?;
+    let workload = Workload::parse(&p.str_or("kind", "zipf:1.2")).map_err(ArgError)?;
+    let source = workload
+        .source(n, seed)
+        .map_err(|e| ArgError(e.to_string()))?;
     writeln!(out, "id,weight").ok();
-    for it in items {
+    // Streamed straight to the sink: exporting a 100M-item workload needs
+    // no more memory than exporting a hundred.
+    for it in source {
         writeln!(out, "{},{}", it.id, it.weight).ok();
     }
     Ok(())
@@ -676,6 +693,70 @@ mod tests {
         let (code, out) = run_cmd("feed --connect 127.0.0.1:1 --site 9 --k 2 --n 10");
         assert_eq!(code, 2);
         assert!(out.contains("out of range"), "{out}");
+    }
+
+    #[test]
+    fn run_accepts_human_magnitudes() {
+        let (code, out) = run_cmd("run --engine lockstep --n 20k --k 4 --s 8 --format json");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"n\":20000"), "{out}");
+        let (code, out) = run_cmd(
+            "run --engine threads --topology tree --n 8k --k 4 --groups 2 \
+             --sync-every 1k --s 4 --format json",
+        );
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"sync_every\":1000"), "{out}");
+        assert!(out.contains("\"n\":8000"), "{out}");
+        let (code, out) = run_cmd("run --n nope");
+        assert_eq!(code, 2);
+        assert!(out.contains("--n"), "{out}");
+    }
+
+    #[test]
+    fn run_materialized_reproduces_streaming_lockstep_exactly() {
+        // --materialize true pre-builds the identical stream in memory;
+        // on the deterministic lockstep engine the protocol trace must be
+        // byte-identical to the streaming run.
+        let common = "run --engine lockstep --n 5000 --k 4 --s 8 --seed 3 --format json";
+        let (code, streaming) = run_cmd(common);
+        assert_eq!(code, 0, "{streaming}");
+        let (code, materialized) = run_cmd(&format!("{common} --materialize true"));
+        assert_eq!(code, 0, "{materialized}");
+        let field = |s: &str, key: &str| -> String {
+            let start = s.find(key).unwrap_or_else(|| panic!("{key} in {s}")) + key.len();
+            s[start..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect()
+        };
+        for key in ["\"messages\":", "\"bytes\":", "\"sample_size\":", "\"n\":"] {
+            assert_eq!(
+                field(&streaming, key),
+                field(&materialized, key),
+                "{key} differs:\n{streaming}\n{materialized}"
+            );
+        }
+        assert!(streaming.contains("\"streaming\":true"), "{streaming}");
+        assert!(
+            materialized.contains("\"streaming\":false"),
+            "{materialized}"
+        );
+    }
+
+    #[test]
+    fn csv_workload_round_trips_through_run() {
+        let path = std::env::temp_dir().join(format!("dwrs-cli-csv-{}.csv", std::process::id()));
+        let (code, csv) = run_cmd("workload --kind uniform:1,5 --n 500 --seed 9");
+        assert_eq!(code, 0);
+        std::fs::write(&path, &csv).unwrap();
+        let (code, out) = run_cmd(&format!(
+            "run --engine threads --workload csv:{} --k 2 --s 8 --format json",
+            path.display()
+        ));
+        std::fs::remove_file(&path).ok();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"n\":500"), "{out}");
+        assert!(out.contains("\"sample_size\":8"), "{out}");
     }
 
     #[test]

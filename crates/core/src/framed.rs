@@ -88,6 +88,12 @@ fn invalid(e: WireError) -> io::Error {
 }
 
 /// Writes `u32`-length-prefixed frames to an underlying byte sink.
+///
+/// Every frame is assembled — length prefix and payload — in one reusable
+/// scratch buffer and shipped with a *single* `write_all`, so a steady
+/// send loop performs one syscall per frame and no allocations once the
+/// scratch has grown to the working frame size (pre-sizable via
+/// [`FramedWriter::reserve_frame`]).
 #[derive(Debug)]
 pub struct FramedWriter<W: Write> {
     inner: W,
@@ -103,29 +109,53 @@ impl<W: Write> FramedWriter<W> {
         }
     }
 
-    /// Writes one raw payload as a frame.
-    pub fn write_blob(&mut self, payload: &[u8]) -> io::Result<()> {
-        let len = u32::try_from(payload.len())
+    /// Pre-sizes the internal scratch for frames up to `payload_len` bytes
+    /// (clamped to [`MAX_FRAME_LEN`]), so the first frames of a hot send
+    /// loop do not regrow it.
+    pub fn reserve_frame(&mut self, payload_len: usize) {
+        let want = payload_len.min(MAX_FRAME_LEN as usize) + 4;
+        if self.scratch.capacity() < want {
+            self.scratch.reserve(want - self.scratch.len());
+        }
+    }
+
+    /// Writes one frame whose payload is produced by `fill` directly into
+    /// the writer's scratch buffer — the zero-copy, single-syscall path the
+    /// transport send loops use. The length prefix is patched in after
+    /// `fill` returns; an over-[`MAX_FRAME_LEN`] payload is rejected before
+    /// anything reaches the sink.
+    pub fn write_frame_with(&mut self, fill: impl FnOnce(&mut Vec<u8>)) -> io::Result<()> {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&[0u8; 4]);
+        fill(&mut self.scratch);
+        let payload_len = self.scratch.len() - 4;
+        let len = u32::try_from(payload_len)
             .ok()
             .filter(|&l| l <= MAX_FRAME_LEN)
             .ok_or_else(|| {
                 io::Error::new(
                     io::ErrorKind::InvalidInput,
-                    format!("frame of {} bytes exceeds MAX_FRAME_LEN", payload.len()),
+                    format!("frame of {payload_len} bytes exceeds MAX_FRAME_LEN"),
                 )
             })?;
-        self.inner.write_all(&len.to_le_bytes())?;
-        self.inner.write_all(payload)
+        self.scratch[..4].copy_from_slice(&len.to_le_bytes());
+        self.inner.write_all(&self.scratch)
+    }
+
+    /// Writes one raw payload as a frame.
+    pub fn write_blob(&mut self, payload: &[u8]) -> io::Result<()> {
+        if payload.len() > MAX_FRAME_LEN as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("frame of {} bytes exceeds MAX_FRAME_LEN", payload.len()),
+            ));
+        }
+        self.write_frame_with(|buf| buf.extend_from_slice(payload))
     }
 
     /// Encodes one codec value and writes it as a single frame.
     pub fn write_msg<T: FrameCodec>(&mut self, msg: &T) -> io::Result<()> {
-        self.scratch.clear();
-        msg.encode(&mut self.scratch);
-        let payload = std::mem::take(&mut self.scratch);
-        let res = self.write_blob(&payload);
-        self.scratch = payload;
-        res
+        self.write_frame_with(|buf| msg.encode(buf))
     }
 
     /// Flushes the underlying sink.
@@ -278,6 +308,30 @@ mod tests {
         let mut w = FramedWriter::new(Vec::new());
         let huge = vec![0u8; MAX_FRAME_LEN as usize + 1];
         assert!(w.write_blob(&huge).is_err());
+        // The in-place builder rejects too, after fill but before the sink
+        // sees a byte (the buffer holds the 4-byte length prefix plus the
+        // payload, so an oversize payload means > MAX + 4 bytes total).
+        let err = w
+            .write_frame_with(|buf| buf.resize(MAX_FRAME_LEN as usize + 5, 0))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(w.get_ref().is_empty(), "nothing reached the sink");
+    }
+
+    #[test]
+    fn write_frame_with_builds_in_place() {
+        let mut w = FramedWriter::new(Vec::new());
+        w.reserve_frame(64);
+        w.write_frame_with(|buf| {
+            buf.push(0xAB);
+            buf.extend_from_slice(&7u64.to_le_bytes());
+        })
+        .unwrap();
+        let bytes = w.into_inner();
+        // [len = 9][tag][u64] — one contiguous frame.
+        assert_eq!(&bytes[..4], &9u32.to_le_bytes());
+        assert_eq!(bytes[4], 0xAB);
+        assert_eq!(&bytes[5..], &7u64.to_le_bytes());
     }
 
     #[test]

@@ -52,15 +52,19 @@ impl std::fmt::Display for EngineKind {
 /// Builds the weighted-SWOR deployment (same seeds as
 /// `dwrs_sim::build_swor`) and runs it on the chosen threaded substrate.
 ///
-/// `streams[i]` is site `i`'s partition of the stream in arrival order;
-/// `cfg.num_sites` must equal `streams.len()`.
-pub fn run_swor(
+/// `streams[i]` is site `i`'s partition of the stream in arrival order
+/// (any streaming iterator — pre-materialized vecs or the driver's
+/// bounded shard queues); `cfg.num_sites` must equal `streams.len()`.
+pub fn run_swor<I>(
     engine: EngineKind,
     cfg: SworConfig,
     seed: u64,
-    streams: Vec<Vec<Item>>,
+    streams: Vec<I>,
     rcfg: &RuntimeConfig,
-) -> Result<RunOutput<SworSite, SworCoordinator>, RuntimeError> {
+) -> Result<RunOutput<SworSite, SworCoordinator>, RuntimeError>
+where
+    I: IntoIterator<Item = Item> + Send,
+{
     assert_eq!(
         cfg.num_sites,
         streams.len(),
@@ -76,19 +80,7 @@ pub fn run_swor(
             // round-robin interleaving of the partitions (any interleaving
             // is a valid adversarial arrival order in the paper's model).
             let mut runner = dwrs_sim::Runner::new(coordinator, sites);
-            let mut iters: Vec<_> = streams.into_iter().map(Vec::into_iter).collect();
-            loop {
-                let mut any = false;
-                for (i, it) in iters.iter_mut().enumerate() {
-                    if let Some(item) = it.next() {
-                        runner.step(i, item);
-                        any = true;
-                    }
-                }
-                if !any {
-                    break;
-                }
-            }
+            crate::driver::interleave_shards(streams, |site, item| runner.step(site, item));
             Ok(RunOutput {
                 sites: runner.sites,
                 coordinator: runner.coordinator,
@@ -103,6 +95,7 @@ pub fn run_swor(
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[allow(deprecated)]
     use crate::engine::split_stream;
 
     #[test]
@@ -120,6 +113,7 @@ mod tests {
         assert_eq!(EngineKind::Tcp.to_string(), "tcp");
     }
 
+    #[allow(deprecated)]
     fn streams(n: u64, k: usize) -> Vec<Vec<Item>> {
         split_stream(
             k,

@@ -1,0 +1,1015 @@
+//! The scenario driver: one declarative description, any engine, any
+//! topology, O(batch × queue) memory.
+//!
+//! Before this layer existed every engine×topology combination was wired
+//! up separately (CLI, benches, equivalence tests, …), and every run
+//! pre-materialized the whole workload into `Vec<Vec<Item>>` — O(n)
+//! resident memory before the first `observe`. The driver replaces both:
+//!
+//! * [`Workload`] + [`ItemSource`] — a streaming, seedable description of
+//!   the input (synthetic generators, a CSV reader, or an in-memory vec
+//!   adapter). Generators synthesize items on demand; nothing is
+//!   materialized.
+//! * a **bounded sharded dispatcher** — a thread that pulls items off the
+//!   source, assigns each to a site via the scenario's
+//!   [`Partition`], and pushes fixed-size frames into per-site bounded
+//!   queues the engine's site threads consume. Peak buffered input is
+//!   `shards × (queue + 1) × frame` items (see [`DispatcherStats`]),
+//!   independent of stream length — O(batch × queue), not O(n).
+//! * [`Scenario`] + [`run_scenario`] — the single entry point: protocol
+//!   config, engine (lockstep | threads | tcp), topology (flat | tree),
+//!   workload, seed and partition in one value; the result is a uniform
+//!   [`RunReport`] (sample, per-tier metrics, invariant checks, wall
+//!   clock, throughput, dispatcher stats, peak-RSS estimate) whatever the
+//!   substrate.
+//!
+//! ```text
+//!             ┌────────────┐   frames (≤ frame_items each)
+//!   Workload ─► dispatcher ├──► shard 0 queue ─► site thread 0 ─┐
+//!   (stream)  │  thread    ├──► shard 1 queue ─► site thread 1 ─┼─► engine
+//!             │ Partition  ├──► …                               │
+//!             └────────────┘      bounded: queue_frames each    ┘
+//! ```
+//!
+//! The lockstep engine needs no dispatcher: the driver feeds the
+//! simulator directly from the source in global arrival order, at O(1)
+//! extra memory.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use dwrs_core::swor::SworConfig;
+use dwrs_core::{Item, Keyed};
+use dwrs_sim::{swor_coordinator, swor_site, FanInTree, Metrics, Partition, Partitioner, Runner};
+use dwrs_workloads::source::{
+    lognormal_stream, pareto_stream, uniform_stream, unit_stream, zipf_stream, CsvSource,
+    ItemSource,
+};
+
+use crate::adapters::EngineKind;
+use crate::config::RuntimeConfig;
+use crate::engine::{run_threads, RuntimeError};
+use crate::tcp::run_tcp;
+use crate::tree::{run_tree_swor, GroupStats, TreeTopology};
+
+// ----------------------------------------------------------- workloads
+
+/// Declarative workload description — resolved into a streaming
+/// [`ItemSource`] per run by [`Workload::source`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Workload {
+    /// `n` unit-weight items.
+    Unit,
+    /// Uniform weights in `[lo, hi)`.
+    Uniform {
+        /// Lower weight bound (exclusive of 0).
+        lo: f64,
+        /// Upper weight bound.
+        hi: f64,
+    },
+    /// I.i.d. Zipf-by-rank weights `(n/r)^alpha` (streaming; see
+    /// [`dwrs_workloads::zipf_stream`]).
+    Zipf {
+        /// Skew exponent.
+        alpha: f64,
+    },
+    /// I.i.d. Pareto(α) weights with scale `w_min`.
+    Pareto {
+        /// Tail exponent.
+        alpha: f64,
+        /// Scale (minimum weight).
+        w_min: f64,
+    },
+    /// I.i.d. log-normal weights `exp(mu + sigma·Z)`.
+    Lognormal {
+        /// Location parameter.
+        mu: f64,
+        /// Shape parameter.
+        sigma: f64,
+    },
+    /// The Theorem 4 residual-skew instance (`top` gigantic heads). The
+    /// construction is global, so this variant materializes — use only at
+    /// sizes where O(n) memory is acceptable.
+    ResidualSkew {
+        /// Number of gigantic head items.
+        top: usize,
+    },
+    /// `id,weight` records streamed from a CSV file (the `dwrs workload`
+    /// output format). `n` is ignored; the stream ends at EOF.
+    Csv(
+        /// Path to the CSV file.
+        std::path::PathBuf,
+    ),
+    /// An in-memory stream — the vec-backed adapter (`n` is ignored).
+    /// Useful for fixed test instances and for comparing materialized
+    /// against streaming execution of the same input. The items are
+    /// shared, not cloned: resolving the source per run costs O(1), so
+    /// repeated runs (benches, trials) neither copy nor double the O(n)
+    /// footprint. Build with [`Workload::items`].
+    Items(std::sync::Arc<Vec<Item>>),
+}
+
+/// Iterates a shared in-memory workload by index — the allocation-free
+/// source behind [`Workload::Items`].
+#[derive(Debug)]
+struct SharedItems {
+    items: std::sync::Arc<Vec<Item>>,
+    next: usize,
+}
+
+impl Iterator for SharedItems {
+    type Item = Item;
+
+    fn next(&mut self) -> Option<Item> {
+        let item = self.items.get(self.next).copied();
+        self.next += 1;
+        item
+    }
+}
+
+impl Workload {
+    /// Wraps an in-memory item vector as a shared workload (the
+    /// [`Workload::Items`] adapter).
+    pub fn items(items: Vec<Item>) -> Workload {
+        Workload::Items(std::sync::Arc::new(items))
+    }
+    /// Parses a `kind[:params]` spec (the CLI `--workload` syntax):
+    /// `unit`, `uniform:<lo>,<hi>`, `zipf:<alpha>`, `pareto:<alpha>`,
+    /// `lognormal:<mu>,<sigma>`, `residual_skew:<top>`, `csv:<path>`.
+    pub fn parse(spec: &str) -> Result<Workload, String> {
+        let (name, params) = match spec.split_once(':') {
+            Some((a, b)) => (a, b),
+            None => (spec, ""),
+        };
+        if name == "csv" {
+            if params.is_empty() {
+                return Err("csv workload needs a path: csv:<path>".into());
+            }
+            return Ok(Workload::Csv(params.into()));
+        }
+        let nums: Vec<f64> = if params.is_empty() {
+            Vec::new()
+        } else {
+            params
+                .split(',')
+                .map(|x| {
+                    x.parse::<f64>()
+                        .map_err(|_| format!("bad workload parameter '{x}'"))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let get = |i: usize, default: f64| nums.get(i).copied().unwrap_or(default);
+        Ok(match name {
+            "unit" => Workload::Unit,
+            "uniform" => Workload::Uniform {
+                lo: get(0, 1.0),
+                hi: get(1, 10.0),
+            },
+            "zipf" => Workload::Zipf { alpha: get(0, 1.2) },
+            "pareto" => Workload::Pareto {
+                alpha: get(0, 1.2),
+                w_min: 1.0,
+            },
+            "lognormal" => Workload::Lognormal {
+                mu: get(0, 1.0),
+                sigma: get(1, 1.0),
+            },
+            "residual_skew" => Workload::ResidualSkew {
+                top: get(0, 4.0).max(1.0) as usize,
+            },
+            other => return Err(format!("unknown workload kind '{other}'")),
+        })
+    }
+
+    /// Resolves the description into a streaming source of (up to) `n`
+    /// items. Only [`Workload::ResidualSkew`] and [`Workload::Items`]
+    /// occupy O(n) memory; every other variant is O(1).
+    pub fn source(&self, n: u64, seed: u64) -> std::io::Result<Box<dyn ItemSource>> {
+        Ok(match self {
+            Workload::Unit => Box::new(unit_stream(n)),
+            Workload::Uniform { lo, hi } => Box::new(uniform_stream(n, *lo, *hi, seed)),
+            Workload::Zipf { alpha } => Box::new(zipf_stream(n, *alpha, seed)),
+            Workload::Pareto { alpha, w_min } => Box::new(pareto_stream(n, *alpha, *w_min, seed)),
+            Workload::Lognormal { mu, sigma } => Box::new(lognormal_stream(n, *mu, *sigma, seed)),
+            Workload::ResidualSkew { top } => {
+                Box::new(dwrs_workloads::residual_skew(n as usize, *top, seed).into_iter())
+            }
+            Workload::Csv(path) => Box::new(CsvSource::open(path)?),
+            Workload::Items(items) => Box::new(SharedItems {
+                items: std::sync::Arc::clone(items),
+                next: 0,
+            }),
+        })
+    }
+}
+
+// ------------------------------------------------------------ scenario
+
+/// Coordinator topology of a deployment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// `k` sites against one coordinator.
+    Flat,
+    /// `groups` aggregators of `k / groups` sites each, syncing keyed
+    /// samples to a root merger every `sync_every` items.
+    Tree {
+        /// Number of groups (must divide the scenario's `k`).
+        groups: usize,
+        /// Aggregator→root sync period, in items per group.
+        sync_every: u64,
+    },
+}
+
+/// A complete, declarative description of one run: protocol, engine,
+/// topology, workload, seed and partition. Build with [`Scenario::new`]
+/// plus the `with_*` builders; execute with [`run_scenario`].
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Execution substrate.
+    pub engine: EngineKind,
+    /// Coordinator topology.
+    pub topology: Topology,
+    /// Total number of sites `k` (split across groups for trees).
+    pub k: usize,
+    /// Sample size `s`.
+    pub s: usize,
+    /// Stream length for synthetic workloads (CSV / in-memory sources set
+    /// their own length).
+    pub n: u64,
+    /// Master seed; workload, partition, sites and coordinator all derive
+    /// their independent streams from it.
+    pub seed: u64,
+    /// The input stream description.
+    pub workload: Workload,
+    /// How the globally ordered stream is split across sites.
+    pub partition: Partition,
+    /// Engine tuning (batching, queue bounds).
+    pub runtime: RuntimeConfig,
+    /// The paper's level-set mechanism (on by default). Disabling it makes
+    /// every key site-drawn, which in turn makes the final sample a
+    /// deterministic function of the scenario seed — identical across
+    /// engines (the determinism property tests rely on this).
+    pub level_sets: bool,
+}
+
+impl Scenario {
+    /// A flat `k`-site scenario with sample size `s` and defaults
+    /// mirroring the CLI (`n` = 1M, seed 42, `zipf:1.1`, round-robin).
+    pub fn new(engine: EngineKind, k: usize, s: usize) -> Self {
+        Self {
+            engine,
+            topology: Topology::Flat,
+            k,
+            s,
+            n: 1_000_000,
+            seed: 42,
+            workload: Workload::Zipf { alpha: 1.1 },
+            partition: Partition::RoundRobin,
+            runtime: RuntimeConfig::default(),
+            level_sets: true,
+        }
+    }
+
+    /// Sets the topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the synthetic stream length.
+    pub fn with_n(mut self, n: u64) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the workload.
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sets the partition strategy.
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// Sets the engine tuning knobs.
+    pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Enables or disables the level-set mechanism.
+    pub fn with_level_sets(mut self, enabled: bool) -> Self {
+        self.level_sets = enabled;
+        self
+    }
+
+    /// The seeded workload source this scenario reads (the derivation the
+    /// CLI's distributed `serve`/`feed` halves share, so every process of
+    /// a deployment reconstructs the identical global stream).
+    pub fn source(&self) -> std::io::Result<Box<dyn ItemSource>> {
+        self.workload.source(self.n, self.seed ^ 0xA5)
+    }
+
+    /// The seeded site assigner for this scenario's global stream (shared
+    /// derivation; see [`Scenario::source`]).
+    pub fn partitioner(&self) -> Partitioner {
+        Partitioner::new(self.partition, self.k, self.seed ^ 0x17)
+    }
+
+    /// Validates shape parameters, returning a human-readable complaint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 {
+            return Err("k must be at least 1".into());
+        }
+        if self.s == 0 {
+            return Err("sample size s must be at least 1".into());
+        }
+        if let Topology::Tree { groups, sync_every } = self.topology {
+            if groups == 0 {
+                return Err("tree topology needs at least one group".into());
+            }
+            if sync_every == 0 {
+                return Err("sync_every must be at least 1".into());
+            }
+            if !self.k.is_multiple_of(groups) {
+                return Err(format!(
+                    "groups {groups} must divide k {} (sites per group must be uniform)",
+                    self.k
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The intra-deployment protocol configuration for a coordinator over
+    /// `k` sites (the group size for trees, the full `k` for flat).
+    fn swor_config(&self, k: usize) -> SworConfig {
+        let mut cfg = SworConfig::new(self.s, k);
+        cfg.level_sets_enabled = self.level_sets;
+        cfg
+    }
+}
+
+// ---------------------------------------------------------- dispatcher
+
+/// Items per dispatcher frame. Frames amortize the per-queue-operation
+/// cost (one channel send wakes a site once per `FRAME_ITEMS` items) while
+/// keeping each shard's resident window small: a frame is 64 KiB of items.
+pub const FRAME_ITEMS: usize = 4096;
+
+/// Per-shard dispatch queue bound, in frames. Deep enough to ride out
+/// scheduling jitter between the feeder and a site thread, shallow enough
+/// that the whole input-side window stays a few hundred KiB per shard —
+/// the dispatcher's memory is `shards × (QUEUE_FRAMES + 2) × FRAME_ITEMS`
+/// items whatever the stream length.
+pub const QUEUE_FRAMES: usize = 4;
+
+/// What the dispatcher measured while feeding a run — the evidence for the
+/// bounded-memory invariant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DispatcherStats {
+    /// Items pulled off the source and dispatched.
+    pub items: u64,
+    /// Frames shipped across all shards.
+    pub frames: u64,
+    /// Number of shard queues (`k`, or `g·k` for trees).
+    pub shards: usize,
+    /// Items per frame.
+    pub frame_items: usize,
+    /// Per-shard queue bound, in frames.
+    pub queue_frames: usize,
+    /// Largest number of frames resident in queues at any instant
+    /// (tracked with relaxed atomics; at most [`Self::in_flight_bound`]).
+    pub peak_in_flight_frames: u64,
+    /// The engine dropped its receivers before the source was exhausted
+    /// (it failed mid-run; the run's error reports why).
+    pub receiver_gone: bool,
+}
+
+impl DispatcherStats {
+    /// Upper bound on frames simultaneously buffered: `queue_frames` per
+    /// shard plus one frame in flight per shard (accounting slack between
+    /// a send completing and the counter update).
+    pub fn in_flight_bound(&self) -> u64 {
+        self.shards as u64 * (self.queue_frames as u64 + 1)
+    }
+
+    /// Upper bound on *items* resident in the dispatch pipeline: queued
+    /// frames plus the partially filled frame per shard. This — not the
+    /// stream length — is the driver's input-side memory footprint.
+    pub fn buffered_items_bound(&self) -> u64 {
+        (self.in_flight_bound() + self.shards as u64) * self.frame_items as u64
+    }
+}
+
+/// The consuming end of one shard queue: a streaming per-site input the
+/// engines drive their site loops from.
+#[derive(Debug)]
+pub struct ShardSource {
+    rx: mpsc::Receiver<Vec<Item>>,
+    cur: std::vec::IntoIter<Item>,
+    in_flight: Arc<AtomicU64>,
+}
+
+impl Iterator for ShardSource {
+    type Item = Item;
+
+    fn next(&mut self) -> Option<Item> {
+        loop {
+            if let Some(item) = self.cur.next() {
+                return Some(item);
+            }
+            match self.rx.recv() {
+                Ok(frame) => {
+                    self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    self.cur = frame.into_iter();
+                }
+                Err(mpsc::RecvError) => return None,
+            }
+        }
+    }
+}
+
+/// Feeding half of the dispatch pipeline: owns the source-side frame
+/// buffers and the bounded senders.
+struct Dispatcher {
+    shards: Vec<(mpsc::SyncSender<Vec<Item>>, Vec<Item>)>,
+    in_flight: Arc<AtomicU64>,
+    stats: DispatcherStats,
+}
+
+impl Dispatcher {
+    /// Builds `shards` bounded queues of [`QUEUE_FRAMES`] frames each,
+    /// returning the feeder and the per-shard consuming ends.
+    fn new(shards: usize) -> (Self, Vec<ShardSource>) {
+        let queue_frames = QUEUE_FRAMES;
+        let in_flight = Arc::new(AtomicU64::new(0));
+        let mut txs = Vec::with_capacity(shards);
+        let mut rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::sync_channel(queue_frames.max(1));
+            txs.push((tx, Vec::with_capacity(FRAME_ITEMS)));
+            rxs.push(ShardSource {
+                rx,
+                cur: Vec::new().into_iter(),
+                in_flight: Arc::clone(&in_flight),
+            });
+        }
+        let stats = DispatcherStats {
+            shards,
+            frame_items: FRAME_ITEMS,
+            queue_frames: queue_frames.max(1),
+            ..DispatcherStats::default()
+        };
+        (
+            Self {
+                shards: txs,
+                in_flight,
+                stats,
+            },
+            rxs,
+        )
+    }
+
+    fn flush_shard(&mut self, shard: usize) {
+        let (tx, buf) = &mut self.shards[shard];
+        if buf.is_empty() {
+            return;
+        }
+        let frame = std::mem::replace(buf, Vec::with_capacity(FRAME_ITEMS));
+        // Count the frame *before* sending: the consumer can only decrement
+        // after delivery, so the counter never underflows, and it
+        // overcounts by at most the one frame this (single) feeder has in
+        // flight — the slack `in_flight_bound` accounts for.
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        if now > self.stats.peak_in_flight_frames {
+            self.stats.peak_in_flight_frames = now;
+        }
+        // A send blocks when the shard queue is full — that bounded-queue
+        // backpressure is exactly what caps resident memory.
+        if tx.send(frame).is_err() {
+            self.in_flight.fetch_sub(1, Ordering::Relaxed);
+            self.stats.receiver_gone = true;
+            return;
+        }
+        self.stats.frames += 1;
+    }
+
+    /// Drains the source into the shard queues until EOF or until every
+    /// receiver is gone. Runs on its own thread, concurrent with the
+    /// engine.
+    fn run(mut self, source: Box<dyn ItemSource>, mut partitioner: Partitioner) -> DispatcherStats {
+        for item in source {
+            let shard = partitioner.next_site();
+            self.stats.items += 1;
+            let (_, buf) = &mut self.shards[shard];
+            buf.push(item);
+            if buf.len() >= FRAME_ITEMS {
+                self.flush_shard(shard);
+                if self.stats.receiver_gone {
+                    break;
+                }
+            }
+        }
+        for shard in 0..self.shards.len() {
+            self.flush_shard(shard);
+        }
+        // Dropping the senders closes every shard queue: the engines' site
+        // loops observe end-of-stream and begin the shutdown handshake.
+        self.stats
+    }
+}
+
+// ------------------------------------------------------------- report
+
+/// Everything [`run_scenario`] hands back, uniform across engines and
+/// topologies.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Substrate the run executed on.
+    pub engine: EngineKind,
+    /// Topology the run executed in.
+    pub topology: Topology,
+    /// Total sites.
+    pub k: usize,
+    /// Sample size.
+    pub s: usize,
+    /// Items actually streamed (synthetic workloads: the scenario's `n`;
+    /// CSV / in-memory sources: their true length).
+    pub items: u64,
+    /// Wall-clock time of the run (dispatch + protocol + shutdown; for
+    /// streaming workloads, generation overlaps inside this window).
+    pub elapsed: Duration,
+    /// The final weighted sample — flat: the coordinator's; tree: the
+    /// root's merged (exact at shutdown) sample.
+    pub sample: Vec<Keyed>,
+    /// Merged per-tier message/byte accounting (the paper's accounting
+    /// exactly, as in every substrate).
+    pub metrics: Metrics,
+    /// Per-group cadence/staleness bookkeeping (tree runs; empty for
+    /// flat).
+    pub group_stats: Vec<GroupStats>,
+    /// Root-side `(group, items_covered)` sync log (concurrent tree runs;
+    /// empty otherwise).
+    pub sync_log: Vec<(usize, u64)>,
+    /// Dispatcher bookkeeping (`None` for lockstep runs, which stream
+    /// directly without a dispatcher).
+    pub dispatcher: Option<DispatcherStats>,
+    /// Process peak-RSS *estimate* after the run (`VmHWM` from
+    /// `/proc/self/status`; `None` where unavailable). An upper bound: the
+    /// high-water mark is process-wide and monotone across runs.
+    pub peak_rss_bytes: Option<u64>,
+    /// Violated invariants (empty on a healthy run): sample size, the
+    /// paper's exact per-kind byte decomposition, broadcast accounting,
+    /// key-vs-threshold consistency, tree staleness bounds.
+    pub violations: Vec<String>,
+}
+
+impl RunReport {
+    /// Items per second over the whole run.
+    pub fn items_per_s(&self) -> f64 {
+        self.items as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Aggregator→root syncs across all groups (0 for flat runs).
+    pub fn syncs(&self) -> u64 {
+        self.group_stats.iter().map(|st| st.syncs).sum()
+    }
+
+    /// Whether every invariant check passed.
+    pub fn invariants_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// `VmHWM` (peak resident set) of this process, in bytes.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .strip_prefix("VmHWM:")?
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+/// Checks the run-level invariants shared by every substrate; returns the
+/// violations (empty when healthy).
+#[allow(clippy::too_many_arguments)]
+fn check_invariants(
+    sample: &[Keyed],
+    metrics: &Metrics,
+    items: u64,
+    s: usize,
+    k_per_coordinator: usize,
+    u: Option<f64>,
+    tree: Option<(u64, &[GroupStats])>,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let expect = (s as u64).min(items);
+    if sample.len() as u64 != expect {
+        violations.push(format!(
+            "sample size {} != min(s, items) = {expect}",
+            sample.len()
+        ));
+    }
+    let syncs = tree.map_or(0, |(_, stats)| stats.iter().map(|st| st.syncs).sum());
+    let expect_up = 17 * metrics.kind("early")
+        + 25 * metrics.kind("regular")
+        + 17 * syncs
+        + 24 * metrics.kind("sync");
+    if metrics.up_bytes != expect_up {
+        violations.push(format!(
+            "upstream bytes {} != exact frame decomposition {expect_up}",
+            metrics.up_bytes
+        ));
+    }
+    let expect_down = 5 * metrics.kind("level_saturated") + 9 * metrics.kind("update_epoch");
+    if metrics.down_bytes != expect_down {
+        violations.push(format!(
+            "downstream bytes {} != exact frame decomposition {expect_down}",
+            metrics.down_bytes
+        ));
+    }
+    if metrics.down_total != metrics.broadcast_events * k_per_coordinator as u64 {
+        violations.push(format!(
+            "down_total {} != broadcast_events {} × k {k_per_coordinator}",
+            metrics.down_total, metrics.broadcast_events
+        ));
+    }
+    if let Some(u) = u {
+        if sample.iter().any(|kd| kd.key < u) {
+            violations.push(format!("a sampled key fell below the threshold u = {u:e}"));
+        }
+    }
+    if let Some((sync_every, stats)) = tree {
+        let covered: u64 = stats.iter().map(|st| st.items).sum();
+        if covered != items {
+            violations.push(format!(
+                "group watermarks cover {covered} items, stream had {items}"
+            ));
+        }
+        for (gi, st) in stats.iter().enumerate() {
+            if st.max_unsynced >= sync_every + st.max_frame_items.max(1) {
+                violations.push(format!(
+                    "group {gi}: staleness {} breaches bound {}",
+                    st.max_unsynced,
+                    sync_every + st.max_frame_items.max(1)
+                ));
+            }
+        }
+    }
+    violations
+}
+
+// -------------------------------------------------------------- driver
+
+/// Drains pre-sharded streams round-robin — one item per shard per round —
+/// feeding each `(shard, item)` pair to `f`. The canonical interleaving
+/// the legacy vec-based lockstep adapters use (any interleaving is a valid
+/// adversarial arrival order in the paper's model).
+pub fn interleave_shards<I>(shards: Vec<I>, mut f: impl FnMut(usize, Item))
+where
+    I: IntoIterator<Item = Item>,
+{
+    let mut iters: Vec<I::IntoIter> = shards.into_iter().map(IntoIterator::into_iter).collect();
+    loop {
+        let mut any = false;
+        for (i, it) in iters.iter_mut().enumerate() {
+            if let Some(item) = it.next() {
+                f(i, item);
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+}
+
+/// Executes a [`Scenario`] on its engine and topology, streaming the
+/// workload at O(batch × queue) memory, and returns the uniform
+/// [`RunReport`]. This is the single entry point every engine×topology
+/// surface (CLI, benches, equivalence suites) routes through.
+pub fn run_scenario(sc: &Scenario) -> Result<RunReport, RuntimeError> {
+    sc.validate().map_err(RuntimeError::InvalidScenario)?;
+    let source = sc
+        .source()
+        .map_err(|e| RuntimeError::InvalidScenario(format!("workload source: {e}")))?;
+    match sc.topology {
+        Topology::Flat => run_flat(sc, source),
+        Topology::Tree { groups, sync_every } => run_tree(sc, source, groups, sync_every),
+    }
+}
+
+fn run_flat(sc: &Scenario, source: Box<dyn ItemSource>) -> Result<RunReport, RuntimeError> {
+    let cfg = sc.swor_config(sc.k);
+    let sites: Vec<_> = (0..sc.k).map(|i| swor_site(&cfg, sc.seed, i)).collect();
+    let coordinator = swor_coordinator(cfg, sc.seed);
+    let t0 = Instant::now();
+    let (items, sample, metrics, u, dispatcher) = match sc.engine {
+        EngineKind::Lockstep => {
+            // No dispatcher: the simulator consumes the stream directly in
+            // its true global arrival order, O(1) extra memory.
+            let mut partitioner = sc.partitioner();
+            let mut runner = Runner::new(coordinator, sites);
+            let mut items = 0u64;
+            for item in source {
+                runner.step(partitioner.next_site(), item);
+                items += 1;
+            }
+            let sample = runner.coordinator.sample();
+            let u = runner.coordinator.u();
+            (items, sample, runner.metrics, u, None)
+        }
+        EngineKind::Threads | EngineKind::Tcp => {
+            let (dispatcher, shards) = Dispatcher::new(sc.k);
+            let partitioner = sc.partitioner();
+            let feeder = thread::spawn(move || dispatcher.run(source, partitioner));
+            let result = match sc.engine {
+                EngineKind::Threads => run_threads(sites, coordinator, shards, &sc.runtime),
+                _ => run_tcp(sites, coordinator, shards, &sc.runtime),
+            };
+            let dstats = join_feeder(feeder)?;
+            let out = result?;
+            let sample = out.coordinator.sample();
+            let u = out.coordinator.u();
+            (dstats.items, sample, out.metrics, u, Some(dstats))
+        }
+    };
+    let elapsed = t0.elapsed();
+    let violations = check_invariants(&sample, &metrics, items, sc.s, sc.k, Some(u), None);
+    Ok(RunReport {
+        engine: sc.engine,
+        topology: sc.topology,
+        k: sc.k,
+        s: sc.s,
+        items,
+        elapsed,
+        sample,
+        metrics,
+        group_stats: Vec::new(),
+        sync_log: Vec::new(),
+        dispatcher,
+        peak_rss_bytes: peak_rss_bytes(),
+        violations,
+    })
+}
+
+fn run_tree(
+    sc: &Scenario,
+    source: Box<dyn ItemSource>,
+    groups: usize,
+    sync_every: u64,
+) -> Result<RunReport, RuntimeError> {
+    let k_per_group = sc.k / groups;
+    let topo = TreeTopology::new(groups, k_per_group, sync_every);
+    let group_cfg = sc.swor_config(k_per_group);
+    let t0 = Instant::now();
+    let (items, out, dispatcher) = match sc.engine {
+        EngineKind::Lockstep => {
+            // Direct feed, global arrival order: site `i` of the global
+            // stream is site `i % k_per_group` of group `i / k_per_group`.
+            let mut partitioner = sc.partitioner();
+            let mut tree = FanInTree::from_config(group_cfg, groups, sync_every, sc.seed);
+            let mut items = 0u64;
+            for item in source {
+                let site = partitioner.next_site();
+                tree.observe(site / k_per_group, site % k_per_group, item);
+                items += 1;
+            }
+            (items, crate::tree::finish_lockstep_tree(tree), None)
+        }
+        EngineKind::Threads | EngineKind::Tcp => {
+            let (dispatcher, shards) = Dispatcher::new(sc.k);
+            let partitioner = sc.partitioner();
+            let feeder = thread::spawn(move || dispatcher.run(source, partitioner));
+            // Regroup the flat shard list into per-group blocks (shard
+            // order is global site order, which is group-major).
+            let mut it = shards.into_iter();
+            let grouped: Vec<Vec<ShardSource>> = (0..groups)
+                .map(|_| it.by_ref().take(k_per_group).collect())
+                .collect();
+            let result = run_tree_swor(sc.engine, &group_cfg, &topo, sc.seed, grouped, &sc.runtime);
+            let dstats = join_feeder(feeder)?;
+            let out = result?;
+            (dstats.items, out, Some(dstats))
+        }
+    };
+    let elapsed = t0.elapsed();
+    let violations = check_invariants(
+        &out.root_sample,
+        &out.metrics,
+        items,
+        sc.s,
+        k_per_group,
+        None,
+        Some((sync_every, &out.group_stats)),
+    );
+    Ok(RunReport {
+        engine: sc.engine,
+        topology: sc.topology,
+        k: sc.k,
+        s: sc.s,
+        items,
+        elapsed,
+        sample: out.root_sample,
+        metrics: out.metrics,
+        group_stats: out.group_stats,
+        sync_log: out.sync_log,
+        dispatcher,
+        peak_rss_bytes: peak_rss_bytes(),
+        violations,
+    })
+}
+
+/// Joins the dispatcher thread, converting a panicking source (e.g. a
+/// malformed CSV record) into a run error instead of a silently truncated
+/// stream.
+fn join_feeder(
+    feeder: thread::JoinHandle<DispatcherStats>,
+) -> Result<DispatcherStats, RuntimeError> {
+    feeder.join().map_err(|e| match e.downcast_ref::<String>() {
+        Some(msg) => RuntimeError::Transport(format!("workload dispatcher failed: {msg}")),
+        None => RuntimeError::Transport("workload dispatcher thread panicked".into()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key_bits(sample: &[Keyed]) -> Vec<(u64, u64)> {
+        sample
+            .iter()
+            .map(|kd| (kd.item.id, kd.key.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn workload_specs_parse() {
+        assert_eq!(Workload::parse("unit").unwrap(), Workload::Unit);
+        assert_eq!(
+            Workload::parse("uniform:2,5").unwrap(),
+            Workload::Uniform { lo: 2.0, hi: 5.0 }
+        );
+        assert_eq!(
+            Workload::parse("zipf:1.3").unwrap(),
+            Workload::Zipf { alpha: 1.3 }
+        );
+        assert!(matches!(
+            Workload::parse("csv:/tmp/x.csv").unwrap(),
+            Workload::Csv(_)
+        ));
+        assert!(Workload::parse("nope").unwrap_err().contains("unknown"));
+        assert!(Workload::parse("uniform:abc")
+            .unwrap_err()
+            .contains("bad workload parameter"));
+        assert!(Workload::parse("csv").is_err());
+    }
+
+    #[test]
+    fn scenario_validation_catches_shape_errors() {
+        let bad = Scenario::new(EngineKind::Threads, 0, 4);
+        assert!(bad.validate().is_err());
+        let bad = Scenario::new(EngineKind::Threads, 4, 0);
+        assert!(bad.validate().is_err());
+        let bad = Scenario::new(EngineKind::Threads, 8, 4).with_topology(Topology::Tree {
+            groups: 3,
+            sync_every: 100,
+        });
+        assert!(bad.validate().unwrap_err().contains("must divide"));
+        let bad = Scenario::new(EngineKind::Threads, 8, 4).with_topology(Topology::Tree {
+            groups: 2,
+            sync_every: 0,
+        });
+        assert!(bad.validate().is_err());
+        assert!(run_scenario(&bad).is_err());
+    }
+
+    #[test]
+    fn flat_scenario_runs_on_every_engine() {
+        for engine in [EngineKind::Lockstep, EngineKind::Threads, EngineKind::Tcp] {
+            let sc = Scenario::new(engine, 4, 8)
+                .with_n(20_000)
+                .with_workload(Workload::Zipf { alpha: 1.2 });
+            let report = run_scenario(&sc).expect("run");
+            assert_eq!(report.items, 20_000, "engine {engine}");
+            assert_eq!(report.sample.len(), 8, "engine {engine}");
+            assert!(
+                report.invariants_ok(),
+                "engine {engine}: {:?}",
+                report.violations
+            );
+            assert!(report.items_per_s() > 0.0);
+            match engine {
+                EngineKind::Lockstep => assert!(report.dispatcher.is_none()),
+                _ => {
+                    let d = report.dispatcher.expect("dispatcher stats");
+                    assert_eq!(d.items, 20_000);
+                    assert!(!d.receiver_gone);
+                    assert!(d.peak_in_flight_frames <= d.in_flight_bound());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_scenario_runs_on_every_engine() {
+        for engine in [EngineKind::Lockstep, EngineKind::Threads, EngineKind::Tcp] {
+            let sc = Scenario::new(engine, 4, 8)
+                .with_n(20_000)
+                .with_topology(Topology::Tree {
+                    groups: 2,
+                    sync_every: 1_000,
+                });
+            let report = run_scenario(&sc).expect("run");
+            assert_eq!(report.sample.len(), 8, "engine {engine}");
+            assert_eq!(report.group_stats.len(), 2, "engine {engine}");
+            assert!(report.syncs() >= 2, "engine {engine}");
+            assert!(
+                report.invariants_ok(),
+                "engine {engine}: {:?}",
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn level_sets_off_makes_engines_bit_identical() {
+        // With every key site-drawn, the sample is a deterministic
+        // function of the scenario seed: lockstep and threads must agree
+        // bit for bit (the cross-engine determinism the proptest suite
+        // exercises at scale).
+        let base = Scenario::new(EngineKind::Lockstep, 3, 6)
+            .with_n(5_000)
+            .with_workload(Workload::Uniform { lo: 1.0, hi: 9.0 })
+            .with_level_sets(false)
+            .with_seed(1234);
+        let lockstep = run_scenario(&base).expect("lockstep");
+        let mut threads_sc = base.clone();
+        threads_sc.engine = EngineKind::Threads;
+        let threads = run_scenario(&threads_sc).expect("threads");
+        assert_eq!(key_bits(&lockstep.sample), key_bits(&threads.sample));
+    }
+
+    #[test]
+    fn in_memory_workload_streams_through() {
+        let items: Vec<Item> = (0..100u64)
+            .map(|i| Item::new(i, 1.0 + (i % 7) as f64))
+            .collect();
+        let sc = Scenario::new(EngineKind::Threads, 2, 4)
+            .with_workload(Workload::items(items))
+            .with_n(0); // ignored by in-memory sources
+        let report = run_scenario(&sc).expect("run");
+        assert_eq!(report.items, 100);
+        assert_eq!(report.sample.len(), 4);
+    }
+
+    #[test]
+    fn dispatcher_bounds_are_small_and_respected() {
+        let sc = Scenario::new(EngineKind::Threads, 4, 8)
+            .with_n(300_000)
+            .with_workload(Workload::Unit);
+        let report = run_scenario(&sc).expect("run");
+        let d = report.dispatcher.expect("stats");
+        assert_eq!(d.items, 300_000);
+        assert!(d.peak_in_flight_frames <= d.in_flight_bound());
+        // The bounded window is a small constant fraction of the stream.
+        assert!(
+            d.buffered_items_bound() < 300_000,
+            "buffer bound {} not < n",
+            d.buffered_items_bound()
+        );
+    }
+
+    #[test]
+    fn csv_workload_errors_cleanly() {
+        let sc = Scenario::new(EngineKind::Threads, 2, 4)
+            .with_workload(Workload::Csv("/nonexistent/stream.csv".into()));
+        let err = run_scenario(&sc).unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidScenario(_)), "{err}");
+    }
+
+    #[test]
+    fn interleave_is_round_robin() {
+        let shards = vec![vec![Item::unit(0), Item::unit(2)], vec![Item::unit(1)]];
+        let mut seen = Vec::new();
+        interleave_shards(shards, |shard, item| seen.push((shard, item.id)));
+        assert_eq!(seen, vec![(0, 0), (1, 1), (0, 2)]);
+    }
+}

@@ -57,6 +57,9 @@ pub enum RuntimeError {
     /// A transport link failed (I/O error, malformed frame, premature
     /// disconnect).
     Transport(String),
+    /// A [`crate::driver::Scenario`] failed validation (bad shape
+    /// parameters, unresolvable workload source).
+    InvalidScenario(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -69,6 +72,7 @@ impl std::fmt::Display for RuntimeError {
             }
             RuntimeError::RootPanicked => write!(f, "root merger thread panicked"),
             RuntimeError::Transport(e) => write!(f, "transport failure: {e}"),
+            RuntimeError::InvalidScenario(e) => write!(f, "invalid scenario: {e}"),
         }
     }
 }
@@ -92,13 +96,21 @@ pub struct RunOutput<S, C> {
     pub metrics: Metrics,
 }
 
+/// How many items a site observes between polls of its down link. Draining
+/// broadcasts is an atomic-laden channel operation; polling once per item
+/// costs real throughput on the hot path, while the protocols tolerate
+/// arbitrarily stale thresholds by design (delayed-delivery regime — the
+/// extra staleness window of a few items only nudges message counts, never
+/// correctness).
+const DOWN_POLL_EVERY: u32 = 32;
+
 /// Drives one site over its endpoint: returns the final site state and the
 /// thread-local upstream metrics.
 ///
-/// Downstream messages are applied *before* each `observe`, mirroring the
-/// lockstep runner's delayed-delivery mode: the protocols tolerate stale
-/// thresholds by design (correctness is unaffected; only message counts
-/// may inflate).
+/// Downstream messages are applied in windows of [`DOWN_POLL_EVERY`] items
+/// ahead of `observe`, mirroring the lockstep runner's delayed-delivery
+/// mode: the protocols tolerate stale thresholds by design (correctness is
+/// unaffected; only message counts may inflate).
 pub(crate) fn site_loop<S, I>(
     site: &mut S,
     endpoint: SiteEndpoint<S::Up, S::Down>,
@@ -110,13 +122,19 @@ where
     I: IntoIterator<Item = Item>,
 {
     let SiteEndpoint { mut up, down, .. } = endpoint;
+    up.reserve_hint(batch_max);
     let mut metrics = Metrics::new();
     let mut batch: Vec<S::Up> = Vec::with_capacity(batch_max);
     let mut items_pending = 0u64;
+    let mut until_poll = 0u32;
     for item in items {
-        while let Ok(msg) = down.try_recv() {
-            site.receive(&msg);
+        if until_poll == 0 {
+            until_poll = DOWN_POLL_EVERY;
+            while let Ok(msg) = down.try_recv() {
+                site.receive(&msg);
+            }
         }
+        until_poll -= 1;
         site.observe(item, &mut batch);
         items_pending += 1;
         if batch.len() >= batch_max {
@@ -159,7 +177,10 @@ where
 
 /// Ships the accumulated batch together with the item count of its flush
 /// window, metering each message by the paper's accounting (`units` wire
-/// messages, exact `wire_bytes`).
+/// messages, exact `wire_bytes`). The batch vector is drained in place:
+/// encoding transports keep its allocation alive across flushes; channel
+/// transports move the storage with the messages, so capacity is restored
+/// here for the next window.
 fn flush<U: Meter>(
     up: &mut dyn crate::transport::BatchSender<U>,
     batch: &mut Vec<U>,
@@ -173,9 +194,12 @@ fn flush<U: Meter>(
     for msg in batch.iter() {
         metrics.count_up(msg.kind(), msg.units(), msg.wire_bytes());
     }
-    let full = std::mem::replace(batch, Vec::with_capacity(batch_max));
     let items = std::mem::take(items_pending);
-    up.send(UpFrame::Batch { msgs: full, items })
+    up.send_batch(batch, items)?;
+    if batch.capacity() < batch_max {
+        batch.reserve(batch_max - batch.len());
+    }
+    Ok(())
 }
 
 /// Drives the coordinator until every site reached `Eof` (or disconnected),
@@ -341,6 +365,19 @@ where
 /// Splits a globally ordered `(site, item)` stream into per-site partitions
 /// preserving each site's arrival order — the runtime analogue of feeding
 /// `assign_sites` output to the lockstep runner.
+///
+/// This **materializes the whole stream** (O(n) memory): each partition is
+/// the vec-backed [`crate::driver`] source adapter, kept only so old
+/// call sites keep compiling. New code should describe the deployment as a
+/// [`crate::driver::Scenario`] and let [`crate::driver::run_scenario`]
+/// stream the workload through the bounded dispatcher at O(batch × queue)
+/// memory instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "materializes the whole stream (O(n) memory); describe the run as a \
+            driver::Scenario and use driver::run_scenario, which streams at \
+            O(batch × queue) memory"
+)]
 pub fn split_stream<I>(k: usize, stream: I) -> Vec<Vec<Item>>
 where
     I: IntoIterator<Item = (usize, Item)>,
@@ -402,6 +439,7 @@ mod tests {
         }
     }
 
+    #[allow(deprecated)]
     fn parts(n: u64, k: usize) -> Vec<Vec<Item>> {
         split_stream(k, (0..n).map(|i| ((i % k as u64) as usize, Item::unit(i))))
     }
@@ -505,6 +543,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn split_stream_preserves_per_site_order() {
         let parts = split_stream(
             3,

@@ -38,35 +38,38 @@
 //! keyed samples to a root merger over the same transports (see
 //! [`run_tree_swor`]).
 //!
+//! All engine×topology combinations are unified behind the [`driver`]
+//! layer: describe the run as a [`Scenario`] (protocol, engine, topology,
+//! workload, seed, partition) and [`run_scenario`] streams the workload
+//! through a bounded sharded dispatcher — O(batch × queue) resident
+//! memory, never O(n) — returning a uniform [`RunReport`].
+//!
 //! # Example
 //!
 //! ```
-//! use dwrs_core::swor::SworConfig;
-//! use dwrs_core::Item;
-//! use dwrs_runtime::{run_swor, split_stream, EngineKind, RuntimeConfig};
+//! use dwrs_runtime::{run_scenario, EngineKind, Scenario, Workload};
 //!
-//! let k = 4;
-//! let streams = split_stream(
-//!     k,
-//!     (0..20_000u64).map(|i| ((i % k as u64) as usize, Item::new(i, 1.0 + (i % 9) as f64))),
-//! );
-//! let out = run_swor(
-//!     EngineKind::Threads,
-//!     SworConfig::new(16, k),
-//!     42,
-//!     streams,
-//!     &RuntimeConfig::default(),
-//! )
-//! .unwrap();
-//! assert_eq!(out.coordinator.sample().len(), 16);
+//! // 4 sites on the threaded engine, sample size 16, streaming 20k
+//! // uniform-weight items: nothing is materialized.
+//! let scenario = Scenario::new(EngineKind::Threads, 4, 16)
+//!     .with_n(20_000)
+//!     .with_workload(Workload::Uniform { lo: 1.0, hi: 10.0 });
+//! let report = run_scenario(&scenario).unwrap();
+//! assert_eq!(report.sample.len(), 16);
+//! assert!(report.invariants_ok(), "{:?}", report.violations);
 //! // Message-optimal even across threads: far fewer messages than items.
-//! assert!(out.metrics.total() < 10_000);
+//! assert!(report.metrics.total() < 10_000);
+//! // And the input side stayed bounded: the dispatch window is a small
+//! // constant, independent of stream length.
+//! let d = report.dispatcher.unwrap();
+//! assert!(d.peak_in_flight_frames <= d.in_flight_bound());
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod adapters;
 pub mod config;
+pub mod driver;
 pub mod engine;
 pub mod tcp;
 pub mod transport;
@@ -74,11 +77,16 @@ pub mod tree;
 
 pub use adapters::{run_swor, EngineKind};
 pub use config::RuntimeConfig;
-pub use engine::{run_threads, split_stream, RunOutput, RuntimeError};
+pub use driver::{
+    run_scenario, DispatcherStats, RunReport, Scenario, ShardSource, Topology, Workload,
+};
+#[allow(deprecated)]
+pub use engine::split_stream;
+pub use engine::{run_threads, RunOutput, RuntimeError};
 pub use transport::{
     channel_wiring, BatchSender, CoordEndpoint, DownSender, SiteEndpoint, TransportError, UpFrame,
     Wiring,
 };
-pub use tree::{
-    run_tree_swor, split_tree_stream, GroupStats, SampleSource, TreeOutput, TreeTopology,
-};
+#[allow(deprecated)]
+pub use tree::split_tree_stream;
+pub use tree::{run_tree_swor, GroupStats, SampleSource, TreeOutput, TreeTopology};

@@ -55,32 +55,55 @@ const TAG_DOWN: u8 = 0x21;
 
 // ----------------------------------------------------------- site side
 
-/// Site-side up sender: encodes batches onto the socket.
+/// Conservative per-message wire-size bound used to pre-size batch frames:
+/// every protocol message is O(1) machine words (the largest SWOR up frame
+/// is 25 bytes), so `batch_max` messages fit this many bytes.
+const MSG_SIZE_HINT: usize = 32;
+
+/// Site-side up sender: encodes batches onto the socket. Frames are built
+/// in the writer's reusable scratch (pre-sized from the engine's
+/// `batch_max` via [`BatchSender::reserve_hint`]) and shipped with a
+/// single `write_all` — no allocation, no copy, one syscall per flush.
 struct TcpBatchSender<U> {
     writer: FramedWriter<TcpStream>,
-    scratch: Vec<u8>,
     _marker: std::marker::PhantomData<fn(U)>,
 }
 
 impl<U: FrameCodec + Send> BatchSender<U> for TcpBatchSender<U> {
     fn send(&mut self, frame: UpFrame<U>) -> Result<(), TransportError> {
-        self.scratch.clear();
         match frame {
-            UpFrame::Batch { msgs, items } => {
-                self.scratch.push(TAG_BATCH);
-                self.scratch.extend_from_slice(&items.to_le_bytes());
-                encode_seq(&msgs, &mut self.scratch);
-            }
-            UpFrame::Eof => self.scratch.push(TAG_EOF),
-            UpFrame::Fault(msg) => {
-                self.scratch.push(TAG_FAULT);
-                self.scratch.extend_from_slice(msg.as_bytes());
-            }
+            UpFrame::Batch { mut msgs, items } => self.send_batch(&mut msgs, items),
+            UpFrame::Eof => self
+                .writer
+                .write_frame_with(|buf| buf.push(TAG_EOF))
+                .map_err(TransportError::Io),
+            UpFrame::Fault(msg) => self
+                .writer
+                .write_frame_with(|buf| {
+                    buf.push(TAG_FAULT);
+                    buf.extend_from_slice(msg.as_bytes());
+                })
+                .map_err(TransportError::Io),
         }
-        let payload = std::mem::take(&mut self.scratch);
-        let res = self.writer.write_blob(&payload);
-        self.scratch = payload;
-        res.map_err(TransportError::Io)
+    }
+
+    fn send_batch(&mut self, batch: &mut Vec<U>, items: u64) -> Result<(), TransportError> {
+        self.writer
+            .write_frame_with(|buf| {
+                buf.push(TAG_BATCH);
+                buf.extend_from_slice(&items.to_le_bytes());
+                encode_seq(batch, buf);
+            })
+            .map_err(TransportError::Io)?;
+        // Keep the caller's allocation: the messages were serialized from
+        // the borrow, nothing moved out.
+        batch.clear();
+        Ok(())
+    }
+
+    fn reserve_hint(&mut self, batch_max: usize) {
+        self.writer
+            .reserve_frame(9 + MSG_SIZE_HINT * batch_max.max(1));
     }
 
     fn close(&mut self) {
@@ -113,7 +136,6 @@ where
         site_id,
         Box::new(TcpBatchSender {
             writer,
-            scratch: Vec::new(),
             _marker: std::marker::PhantomData,
         }),
         down_rx,
@@ -172,22 +194,22 @@ where
 
 // ---------------------------------------------------- coordinator side
 
-/// Coordinator-side down sender for one site connection.
+/// Coordinator-side down sender for one site connection. Encodes each
+/// message in the writer's reusable scratch: no allocation per send, one
+/// syscall per message.
 struct TcpDownSender<D> {
     writer: FramedWriter<TcpStream>,
-    scratch: Vec<u8>,
     _marker: std::marker::PhantomData<fn(D)>,
 }
 
 impl<D: FrameCodec + Send> DownSender<D> for TcpDownSender<D> {
     fn send(&mut self, msg: &D) -> Result<(), TransportError> {
-        self.scratch.clear();
-        self.scratch.push(TAG_DOWN);
-        msg.encode(&mut self.scratch);
-        let payload = std::mem::take(&mut self.scratch);
-        let res = self.writer.write_blob(&payload);
-        self.scratch = payload;
-        res.map_err(TransportError::Io)
+        self.writer
+            .write_frame_with(|buf| {
+                buf.push(TAG_DOWN);
+                msg.encode(buf);
+            })
+            .map_err(TransportError::Io)
     }
 
     fn close(&mut self) {
@@ -282,7 +304,6 @@ where
         let writer = FramedWriter::new(stream.try_clone().map_err(TransportError::Io)?);
         downs[site] = Some(Box::new(TcpDownSender {
             writer,
-            scratch: Vec::new(),
             _marker: std::marker::PhantomData,
         }));
         let tx = up_tx.clone();

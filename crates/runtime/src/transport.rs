@@ -64,6 +64,23 @@ impl From<std::io::Error> for TransportError {
 pub trait BatchSender<U>: Send {
     /// Ships one frame; blocks under backpressure.
     fn send(&mut self, frame: UpFrame<U>) -> Result<(), TransportError>;
+
+    /// Ships the accumulated batch, draining `batch` in place.
+    ///
+    /// The default moves the messages out (a channel transport must hand
+    /// ownership across threads, so the vector's allocation travels with
+    /// them); encoding transports override this to serialize straight from
+    /// the borrowed batch and `clear()` it, keeping the caller's allocation
+    /// alive across flushes — the allocation-free hot path.
+    fn send_batch(&mut self, batch: &mut Vec<U>, items: u64) -> Result<(), TransportError> {
+        let msgs = std::mem::take(batch);
+        self.send(UpFrame::Batch { msgs, items })
+    }
+
+    /// Advisory: the sender will flush batches of up to `batch_max`
+    /// messages. Encoding transports pre-size their frame scratch from it.
+    fn reserve_hint(&mut self, _batch_max: usize) {}
+
     /// Signals that no more frames follow (flush + half-close for sockets).
     fn close(&mut self) {}
 }

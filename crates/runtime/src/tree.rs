@@ -316,6 +316,18 @@ pub(crate) fn root_loop(endpoint: CoordEndpoint<SyncMsg, NoDown>) -> RootResult 
 /// Splits a globally ordered `(global_site, item)` stream into per-group,
 /// per-site partitions: global site `i` is site `i % k` of group `i / k`.
 /// The tree analogue of [`crate::split_stream`].
+///
+/// This **materializes the whole stream** (O(n) memory), like its flat
+/// sibling; it is kept only so old call sites keep compiling. New code
+/// should describe the deployment as a [`crate::driver::Scenario`] with a
+/// tree topology and let [`crate::driver::run_scenario`] stream the
+/// workload through the bounded dispatcher at O(batch × queue) memory.
+#[deprecated(
+    since = "0.1.0",
+    note = "materializes the whole stream (O(n) memory); describe the run as a \
+            driver::Scenario with a tree topology and use driver::run_scenario, \
+            which streams at O(batch × queue) memory"
+)]
 pub fn split_tree_stream<I>(topo: &TreeTopology, stream: I) -> Vec<Vec<Vec<Item>>>
 where
     I: IntoIterator<Item = (usize, Item)>,
@@ -335,17 +347,20 @@ where
 /// site/aggregator wiring per group plus the aggregator→root wiring. The
 /// generic engine behind [`run_tree_swor`]'s threaded and TCP paths.
 #[allow(clippy::type_complexity)]
-fn run_tree_on(
+fn run_tree_on<I>(
     group_wirings: Vec<Wiring<dwrs_core::swor::UpMsg, dwrs_core::swor::DownMsg>>,
     root_wiring: Wiring<SyncMsg, NoDown>,
-    s: usize,
+    group_cfg: &SworConfig,
     topo: &TreeTopology,
     seed: u64,
-    streams: Vec<Vec<Vec<Item>>>,
+    streams: Vec<Vec<I>>,
     cfg: &RuntimeConfig,
-) -> Result<TreeOutput, RuntimeError> {
+) -> Result<TreeOutput, RuntimeError>
+where
+    I: IntoIterator<Item = Item> + Send,
+{
     let (g, k) = (topo.groups, topo.k_per_group);
-    let group_cfg = SworConfig::new(s, k);
+    let s = group_cfg.sample_size;
     let batch_max = cfg.batch_max.max(1);
     let (root_links, root_ep) = root_wiring;
     assert_eq!(group_wirings.len(), g, "one wiring per group");
@@ -368,7 +383,7 @@ fn run_tree_on(
             assert_eq!(group_streams.len(), k, "one stream partition per site");
             let group_seed = tree_group_seed(seed, gi);
             for ((i, ep), items) in site_eps.into_iter().enumerate().zip(group_streams) {
-                let mut site = swor_site(&group_cfg, group_seed, i);
+                let mut site = swor_site(group_cfg, group_seed, i);
                 site_handles.push(scope.spawn(move || site_loop(&mut site, ep, items, batch_max)));
             }
             let mut aggregator = swor_coordinator(group_cfg.clone(), group_seed);
@@ -419,76 +434,90 @@ fn run_tree_on(
     })
 }
 
+/// Finishes a lockstep fan-in tree run: final syncs (making the root
+/// exact), then the uniform [`TreeOutput`] conversion. Shared by the
+/// vec-based [`run_tree_swor`] lockstep arm and the streaming scenario
+/// driver — the one place lockstep tree results are assembled.
+pub(crate) fn finish_lockstep_tree(mut tree: FanInTree) -> TreeOutput {
+    tree.sync_all();
+    let g = tree.num_groups();
+    let group_samples: Vec<Vec<Keyed>> = (0..g).map(|gi| tree.group_sample(gi).to_vec()).collect();
+    let group_stats = (0..g)
+        .map(|gi| GroupStats {
+            items: tree.group_observed(gi),
+            syncs: tree.group_syncs(gi),
+            max_unsynced: tree.group_max_unsynced(gi),
+            max_frame_items: 1,
+        })
+        .collect();
+    TreeOutput {
+        root_sample: tree.root_sample(),
+        group_samples,
+        metrics: tree.merged_metrics(),
+        group_stats,
+        sync_log: Vec::new(),
+    }
+}
+
 /// Builds the fan-in tree deployment — seeded exactly like
 /// [`dwrs_sim::FanInTree`] via [`tree_group_seed`] — and runs it on the
-/// chosen substrate.
+/// chosen substrate. `group_cfg` is the intra-group protocol configuration
+/// (its `num_sites` must equal `topo.k_per_group`).
 ///
 /// `streams[gi][i]` is the partition of the stream for site `i` of group
-/// `gi`, in that site's arrival order (use [`split_tree_stream`] to derive
-/// the blocks from a globally ordered stream).
+/// `gi`, in that site's arrival order — any streaming iterators (the
+/// scenario driver passes its bounded shard queues; the deprecated
+/// [`split_tree_stream`] derives materialized O(n) blocks from a globally
+/// ordered stream for legacy call sites).
 ///
 /// With [`EngineKind::Lockstep`] the tree runs on the single-threaded
 /// simulator over a round-robin interleaving of the partitions; the other
 /// engines run `g·k` site threads, `g` aggregator threads, and one root
 /// thread over in-process channels or loopback TCP.
-pub fn run_tree_swor(
+pub fn run_tree_swor<I>(
     engine: EngineKind,
-    s: usize,
+    group_cfg: &SworConfig,
     topo: &TreeTopology,
     seed: u64,
-    streams: Vec<Vec<Vec<Item>>>,
+    streams: Vec<Vec<I>>,
     cfg: &RuntimeConfig,
-) -> Result<TreeOutput, RuntimeError> {
+) -> Result<TreeOutput, RuntimeError>
+where
+    I: IntoIterator<Item = Item> + Send,
+{
     let (g, k) = (topo.groups, topo.k_per_group);
     assert_eq!(streams.len(), g, "one stream block per group");
+    assert_eq!(
+        group_cfg.num_sites, k,
+        "group config must cover k_per_group sites"
+    );
     match engine {
         EngineKind::Lockstep => {
-            let mut tree = FanInTree::new(s, g, k, topo.sync_every, seed);
-            let mut iters: Vec<Vec<_>> = streams
-                .into_iter()
-                .map(|group| group.into_iter().map(Vec::into_iter).collect())
-                .collect();
-            loop {
-                let mut any = false;
-                for (gi, group_iters) in iters.iter_mut().enumerate() {
-                    for (i, it) in group_iters.iter_mut().enumerate() {
-                        if let Some(item) = it.next() {
-                            tree.observe(gi, i, item);
-                            any = true;
-                        }
-                    }
-                }
-                if !any {
-                    break;
-                }
-            }
-            tree.sync_all();
-            let group_samples: Vec<Vec<Keyed>> =
-                (0..g).map(|gi| tree.group_sample(gi).to_vec()).collect();
-            let group_stats = (0..g)
-                .map(|gi| GroupStats {
-                    items: tree.group_observed(gi),
-                    syncs: tree.group_syncs(gi),
-                    max_unsynced: tree.group_max_unsynced(gi),
-                    max_frame_items: 1,
-                })
-                .collect();
-            Ok(TreeOutput {
-                root_sample: tree.root_sample(),
-                group_samples,
-                metrics: tree.merged_metrics(),
-                group_stats,
-                sync_log: Vec::new(),
-            })
+            let mut tree = FanInTree::from_config(group_cfg.clone(), g, topo.sync_every, seed);
+            // Flatten group-major and interleave round-robin: the same
+            // one-item-per-site-per-round order as before.
+            let flat: Vec<I> = streams.into_iter().flatten().collect();
+            crate::driver::interleave_shards(flat, |shard, item| {
+                tree.observe(shard / k, shard % k, item);
+            });
+            Ok(finish_lockstep_tree(tree))
         }
         EngineKind::Threads => {
             let group_wirings = (0..g)
                 .map(|_| channel_wiring(k, cfg.queue_capacity))
                 .collect();
             let root_wiring = channel_wiring(g, cfg.queue_capacity);
-            run_tree_on(group_wirings, root_wiring, s, topo, seed, streams, cfg)
+            run_tree_on(
+                group_wirings,
+                root_wiring,
+                group_cfg,
+                topo,
+                seed,
+                streams,
+                cfg,
+            )
         }
-        EngineKind::Tcp => run_tree_tcp(s, topo, seed, streams, cfg),
+        EngineKind::Tcp => run_tree_tcp(group_cfg, topo, seed, streams, cfg),
     }
 }
 
@@ -496,14 +525,18 @@ pub fn run_tree_swor(
 /// listener per aggregator plus one for the root, every hop crossing the
 /// kernel's TCP stack with framed `swor::wire` encoding — then hands off
 /// to the shared engine.
-fn run_tree_tcp(
-    s: usize,
+fn run_tree_tcp<I>(
+    group_cfg: &SworConfig,
     topo: &TreeTopology,
     seed: u64,
-    streams: Vec<Vec<Vec<Item>>>,
+    streams: Vec<Vec<I>>,
     cfg: &RuntimeConfig,
-) -> Result<TreeOutput, RuntimeError> {
+) -> Result<TreeOutput, RuntimeError>
+where
+    I: IntoIterator<Item = Item> + Send,
+{
     let (g, k) = (topo.groups, topo.k_per_group);
+    let s = group_cfg.sample_size;
     // Fail fast instead of mid-run: a sync frame carries the whole sample
     // (9-byte batch header + 17-byte SyncMsg header + 24 bytes per entry)
     // and the framed transport caps payloads at MAX_FRAME_LEN. The channel
@@ -549,7 +582,7 @@ fn run_tree_tcp(
     run_tree_on(
         group_wirings,
         (root_links, root_ep),
-        s,
+        group_cfg,
         topo,
         seed,
         streams,
@@ -574,6 +607,7 @@ where
 mod tests {
     use super::*;
 
+    #[allow(deprecated)]
     fn tree_streams(topo: &TreeTopology, n: u64) -> Vec<Vec<Vec<Item>>> {
         let total = topo.total_sites() as u64;
         split_tree_stream(
@@ -583,6 +617,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn split_tree_stream_routes_by_group_and_site() {
         let topo = TreeTopology::new(2, 2, 10);
         let parts = split_tree_stream(
@@ -607,7 +642,7 @@ mod tests {
         let n = 30_000u64;
         let out = run_tree_swor(
             EngineKind::Threads,
-            8,
+            &SworConfig::new(8, topo.k_per_group),
             &topo,
             42,
             tree_streams(&topo, n),
@@ -649,7 +684,7 @@ mod tests {
         let n = 20_000u64;
         let out = run_tree_swor(
             EngineKind::Tcp,
-            8,
+            &SworConfig::new(8, topo.k_per_group),
             &topo,
             7,
             tree_streams(&topo, n),
@@ -670,7 +705,7 @@ mod tests {
         let n = 5_000u64;
         let out = run_tree_swor(
             EngineKind::Lockstep,
-            4,
+            &SworConfig::new(4, topo.k_per_group),
             &topo,
             11,
             tree_streams(&topo, n),
@@ -721,7 +756,7 @@ mod tests {
             .with_queue_capacity(1);
         let out = run_tree_swor(
             EngineKind::Threads,
-            4,
+            &SworConfig::new(4, topo.k_per_group),
             &topo,
             3,
             tree_streams(&topo, 4_000),
@@ -741,7 +776,7 @@ mod tests {
         let topo = TreeTopology::new(1, 1, 1_000);
         let err = run_tree_swor(
             EngineKind::Tcp,
-            50_000,
+            &SworConfig::new(50_000, topo.k_per_group),
             &topo,
             1,
             vec![vec![Vec::new()]],

@@ -8,9 +8,13 @@ use std::thread;
 
 use dwrs_core::swor::SworConfig;
 use dwrs_core::Item;
-use dwrs_runtime::{run_swor, split_stream, EngineKind, RuntimeConfig};
+use dwrs_runtime::run_swor;
+#[allow(deprecated)]
+use dwrs_runtime::split_stream;
+use dwrs_runtime::{EngineKind, RuntimeConfig};
 use dwrs_sim::{swor_coordinator, swor_site, Metrics};
 
+#[allow(deprecated)]
 fn skewed_streams(n: u64, k: usize) -> Vec<Vec<Item>> {
     let items = dwrs_workloads::zipf_ranked(n as usize, 1.2, 9);
     split_stream(k, items.into_iter().enumerate().map(|(i, it)| (i % k, it)))
@@ -109,6 +113,7 @@ fn tcp_and_threads_agree_on_heavy_hitter_inclusion() {
             it.weight *= 1e6;
         }
     }
+    #[allow(deprecated)]
     let streams = |items: &[Item]| {
         split_stream(
             k,

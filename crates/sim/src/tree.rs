@@ -76,9 +76,18 @@ impl FanInTree {
     /// [`tree_group_seed`]`(seed, gi)` — the derivation shared with the
     /// `dwrs-runtime` tree engines.
     pub fn new(s: usize, groups: usize, k_per_group: usize, sync_every: u64, seed: u64) -> Self {
-        assert!(groups >= 1 && k_per_group >= 1 && sync_every >= 1);
+        Self::from_config(SworConfig::new(s, k_per_group), groups, sync_every, seed)
+    }
+
+    /// Like [`FanInTree::new`], but with an explicit intra-group protocol
+    /// configuration (ablation knobs included): every group runs `cfg`
+    /// against `cfg.num_sites` sites. Used by the `dwrs-runtime` scenario
+    /// driver, whose [`SworConfig`] carries the level-sets toggle.
+    pub fn from_config(cfg: SworConfig, groups: usize, sync_every: u64, seed: u64) -> Self {
+        assert!(groups >= 1 && cfg.num_sites >= 1 && sync_every >= 1);
+        let (s, k_per_group) = (cfg.sample_size, cfg.num_sites);
         let groups_vec = (0..groups)
-            .map(|gi| build_swor(SworConfig::new(s, k_per_group), tree_group_seed(seed, gi)))
+            .map(|gi| build_swor(cfg.clone(), tree_group_seed(seed, gi)))
             .collect();
         Self {
             groups: groups_vec,

@@ -10,9 +10,14 @@
 pub mod basic;
 pub mod hard;
 pub mod skewed;
+pub mod source;
 pub mod trace;
 
 pub use basic::{uniform_weights, unit};
 pub use hard::{exploding, l1_unit_epochs, weighted_epochs};
 pub use skewed::{few_heavy, lognormal, pareto, residual_skew, zipf_ranked, Placement};
+pub use source::{
+    lognormal_stream, pareto_stream, uniform_stream, unit_stream, zipf_stream, CsvSource,
+    ItemSource,
+};
 pub use trace::query_log;

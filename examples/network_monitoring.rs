@@ -4,6 +4,10 @@
 //! *residual* heavy flows — the flows that matter once the handful of
 //! gigantic elephants are set aside (Theorem 4).
 //!
+//! The live sample runs as a real concurrent deployment through the
+//! scenario driver (`run_scenario`); the residual-heavy-hitter tracker
+//! then mines the same flow records.
+//!
 //! ```text
 //! cargo run --release --example network_monitoring
 //! ```
@@ -11,6 +15,8 @@
 use dwrs::apps::residual_hh::{
     exact_residual_heavy_hitters, recall, ResidualHeavyHitters, ResidualHhConfig,
 };
+use dwrs::runtime::{run_scenario, EngineKind, Scenario, Workload};
+use dwrs::sim::Partition;
 use dwrs::workloads;
 
 fn main() {
@@ -24,6 +30,27 @@ fn main() {
     // replacement" dashboards.
     let flows = workloads::residual_skew(20_000, 5, 2024);
     let total_bytes: f64 = flows.iter().map(|f| f.weight).sum();
+
+    // (a) The live bytes-weighted sample: the k devices run the
+    // message-optimal protocol as real threads, flows streaming through
+    // the driver's bounded dispatcher (adversarial random placement).
+    let scenario = Scenario::new(EngineKind::Threads, k, 16)
+        .with_workload(Workload::items(flows.clone()))
+        .with_partition(Partition::Random)
+        .with_seed(99);
+    let live = run_scenario(&scenario).expect("live sampling deployment");
+    println!(
+        "live bytes-weighted sample across {k} devices ({} messages for {} flows):",
+        live.metrics.total(),
+        live.items
+    );
+    for keyed in live.sample.iter().take(5) {
+        println!(
+            "  flow {:>6}  bytes {:.3e}  key {:.3e}",
+            keyed.item.id, keyed.item.weight, keyed.key
+        );
+    }
+    println!();
 
     let cfg = ResidualHhConfig::new(eps, delta, k);
     println!(

@@ -1,42 +1,50 @@
 //! Quickstart: continuous weighted sampling without replacement over a
-//! distributed stream, in five minutes.
+//! distributed stream, in five minutes — one `Scenario`, any engine.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use dwrs::core::swor::SworConfig;
-use dwrs::core::Item;
-use dwrs::sim::{assign_sites, build_naive, build_swor, Partition};
+use dwrs::runtime::{run_scenario, EngineKind, Scenario, Topology, Workload};
+use dwrs::sim::{assign_sites, build_naive, Partition};
 
 fn main() {
-    // A stream of 100k weighted items, observed by k = 8 distributed sites.
-    // The coordinator must hold a weighted sample (without replacement) of
-    // size s = 10 that is valid at *every* point in time.
+    // A stream of 100k weighted items, observed by k = 64 distributed
+    // sites. The coordinator must hold a weighted sample (without
+    // replacement) of size s = 32 that is valid at *every* point in time.
     let k = 64;
     let s = 32;
     let n = 100_000u64;
 
-    let items: Vec<Item> = (0..n)
-        .map(|i| Item::new(i, 1.0 + (i % 100) as f64))
-        .collect();
-    let total_weight: f64 = items.iter().map(|it| it.weight).sum();
-    let sites = assign_sites(Partition::Random, k, items.len(), 7);
+    // Describe the whole deployment declaratively: protocol, engine,
+    // topology, workload, seed, partition. The driver streams the
+    // workload through a bounded dispatcher — memory stays O(batch ×
+    // queue) no matter how large n grows.
+    let scenario = Scenario::new(EngineKind::Threads, k, s)
+        .with_n(n)
+        .with_seed(42)
+        .with_workload(Workload::Uniform { lo: 1.0, hi: 100.0 })
+        .with_partition(Partition::Random);
+    let report = run_scenario(&scenario).expect("scenario run");
 
-    // The paper's message-optimal protocol (Algorithms 1-3).
-    let mut runner = build_swor(SworConfig::new(s, k), 42);
-    runner.run(sites.iter().copied().zip(items.iter().copied()));
-
-    println!("stream: n = {n}, total weight W = {total_weight}");
-    println!("\ncurrent weighted sample (id, weight, key):");
-    for keyed in runner.coordinator.sample() {
+    println!(
+        "stream: n = {} items across {k} sites ({} engine, {:.0} items/s)",
+        report.items,
+        report.engine,
+        report.items_per_s()
+    );
+    println!(
+        "\ncurrent weighted sample (id, weight, key), first 10 of {}:",
+        s
+    );
+    for keyed in report.sample.iter().take(10) {
         println!(
-            "  item {:>6}  weight {:>5}  key {:.3e}",
+            "  item {:>6}  weight {:>8.3}  key {:.3e}",
             keyed.item.id, keyed.item.weight, keyed.key
         );
     }
 
-    let m = &runner.metrics;
+    let m = &report.metrics;
     println!("\nmessages used:");
     println!("  early (withheld heavy items) : {}", m.kind("early"));
     println!("  regular (keyed forwards)     : {}", m.kind("regular"));
@@ -52,16 +60,48 @@ fn main() {
         "  TOTAL                        : {}  (vs {n} stream items!)",
         m.total()
     );
+    if let Some(d) = &report.dispatcher {
+        println!(
+            "\nstreaming dispatch: {} frames, buffered window <= {} items \
+             (independent of n)",
+            d.frames,
+            d.buffered_items_bound()
+        );
+    }
+    println!(
+        "invariants: {}",
+        if report.invariants_ok() {
+            "all checks passed"
+        } else {
+            "VIOLATED"
+        }
+    );
+
+    // The same scenario as a two-tier fan-in tree — one line changed.
+    let tree = scenario.clone().with_topology(Topology::Tree {
+        groups: 8,
+        sync_every: 5_000,
+    });
+    let tree_report = run_scenario(&tree).expect("tree run");
+    println!(
+        "\nfan-in tree (8 groups x 8 sites): root sample {} entries, {} root syncs, {} messages",
+        tree_report.sample.len(),
+        tree_report.syncs(),
+        tree_report.metrics.total()
+    );
 
     // Compare with the naive protocol the paper improves on: every site
     // keeps its own top-s and forwards every local change.
+    let items: Vec<_> = scenario.source().expect("source").collect();
+    let sites = assign_sites(Partition::Random, k, items.len(), 42 ^ 0x17);
     let mut naive = build_naive(s, k, 43);
-    naive.run(sites.iter().copied().zip(items.iter().copied()));
+    naive.run(sites.into_iter().zip(items));
     println!(
         "\nnaive per-site-sampler baseline: {} messages ({:.1}x more)",
         naive.metrics.total(),
         naive.metrics.total() as f64 / m.total().max(1) as f64
     );
+    let total_weight: f64 = 50.5 * n as f64; // E[uniform(1,100)] per item
     println!(
         "\nTheorem 3: O(k·log(W/s)/log(1+k/s)) = O({:.0}) messages expected",
         (k as f64) * (total_weight / s as f64).ln() / (1.0 + k as f64 / s as f64).ln()

@@ -18,23 +18,31 @@
 //!
 //! ## Quickstart
 //!
+//! One declarative [`Scenario`] runs on any engine (lockstep simulator,
+//! OS threads, loopback TCP) in any topology (flat, fan-in tree), with
+//! the workload streamed through a bounded dispatcher — O(batch × queue)
+//! resident memory however long the stream:
+//!
 //! ```
-//! use dwrs::core::swor::SworConfig;
-//! use dwrs::sim::{assign_sites, build_swor, Partition};
-//! use dwrs::core::Item;
+//! use dwrs::runtime::RuntimeConfig;
+//! use dwrs::{run_scenario, EngineKind, Scenario, Workload};
 //!
-//! // 4 sites, continuous weighted sample (without replacement) of size 8.
-//! let mut runner = build_swor(SworConfig::new(8, 4), 42);
-//! let items: Vec<Item> = (0..10_000u64)
-//!     .map(|i| Item::new(i, 1.0 + (i % 13) as f64))
-//!     .collect();
-//! let sites = assign_sites(Partition::RoundRobin, 4, items.len(), 7);
-//! runner.run(sites.into_iter().zip(items));
+//! // 4 site threads, continuous weighted sample (without replacement)
+//! // of size 8 over a streamed 10k-item weighted stream. The tight
+//! // batch/queue keeps the feedback window small on this short stream
+//! // (message counts grow with pipeline depth; see the README).
+//! let scenario = Scenario::new(EngineKind::Threads, 4, 8)
+//!     .with_n(10_000)
+//!     .with_seed(42)
+//!     .with_workload(Workload::Uniform { lo: 1.0, hi: 14.0 })
+//!     .with_runtime(RuntimeConfig::new().with_batch_max(4).with_queue_capacity(4));
+//! let report = run_scenario(&scenario).unwrap();
 //!
-//! let sample = runner.coordinator.sample(); // valid at *every* prefix, too
-//! assert_eq!(sample.len(), 8);
+//! assert_eq!(report.sample.len(), 8); // valid at *every* prefix, too
 //! // Message-optimal: far fewer messages than stream items.
-//! assert!(runner.metrics.total() < 2_000);
+//! assert!(report.metrics.total() < 2_000);
+//! // Accounting/sample invariants are checked on every run.
+//! assert!(report.invariants_ok());
 //! ```
 //!
 //! See `examples/` for full scenarios and `crates/bench` for the experiment
@@ -46,6 +54,8 @@ pub use dwrs_runtime as runtime;
 pub use dwrs_sim as sim;
 pub use dwrs_stats as stats;
 pub use dwrs_workloads as workloads;
+
+pub use dwrs_runtime::{run_scenario, EngineKind, RunReport, Scenario, Topology, Workload};
 
 /// Crate version of the facade.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,5 +1,6 @@
 //! Integration: the threaded runtime must be *distributionally equivalent*
-//! to the lockstep simulator (ISSUE 2 satellite).
+//! to the lockstep simulator (ISSUE 2 satellite), with every engine now
+//! driven through the unified scenario driver (`run_scenario`).
 //!
 //! The threaded engine delivers coordinator broadcasts asynchronously —
 //! the delayed-delivery regime — so per-run message *counts* differ from
@@ -9,10 +10,8 @@
 //! simulator on identical input.
 
 use dwrs::core::exact::inclusion_probabilities;
-use dwrs::core::swor::SworConfig;
 use dwrs::core::Item;
-use dwrs::runtime::{run_swor, split_stream, EngineKind, RuntimeConfig};
-use dwrs::sim::build_swor;
+use dwrs::runtime::{run_scenario, EngineKind, RuntimeConfig, Scenario, Workload};
 use dwrs::stats::{chi2_two_sample, ks_two_sample};
 
 /// Stream used throughout: 12 items with assorted weights (the same
@@ -22,46 +21,34 @@ const WEIGHTS: [f64; 12] = [3.0, 1.0, 7.0, 1.0, 2.0, 9.0, 1.0, 4.0, 2.0, 1.0, 5.
 
 const K: usize = 4;
 
-fn stream() -> Vec<(usize, Item)> {
+fn items() -> Vec<Item> {
     WEIGHTS
         .iter()
         .enumerate()
-        .map(|(i, &w)| (i % K, Item::new(i as u64, w)))
+        .map(|(i, &w)| Item::new(i as u64, w))
         .collect()
 }
 
-fn lockstep_sample(s: usize, seed: u64) -> Vec<u64> {
-    let mut runner = build_swor(SworConfig::new(s, K), seed);
-    for (site, item) in stream() {
-        runner.step(site, item);
-    }
-    runner
-        .coordinator
-        .sample()
-        .iter()
-        .map(|kd| kd.item.id)
-        .collect()
-}
-
-fn threaded_sample(s: usize, seed: u64) -> Vec<u64> {
+/// The fixed 12-item scenario: the in-memory workload adapter plus the
+/// default round-robin partition reproduces the `i % K` site assignment
+/// the oracle suite uses.
+fn scenario(engine: EngineKind, s: usize, seed: u64) -> Scenario {
     // Tight pipeline: irrelevant for distribution, but keeps the traffic
     // regime close to lockstep on this tiny stream.
-    let rcfg = RuntimeConfig::new()
-        .with_batch_max(1)
-        .with_queue_capacity(1);
-    let out = run_swor(
-        EngineKind::Threads,
-        SworConfig::new(s, K),
-        seed,
-        split_stream(K, stream()),
-        &rcfg,
-    )
-    .expect("threaded run");
-    out.coordinator
-        .sample()
-        .iter()
-        .map(|kd| kd.item.id)
-        .collect()
+    Scenario::new(engine, K, s)
+        .with_workload(Workload::items(items()))
+        .with_seed(seed)
+        .with_runtime(
+            RuntimeConfig::new()
+                .with_batch_max(1)
+                .with_queue_capacity(1),
+        )
+}
+
+fn sample_ids(engine: EngineKind, s: usize, seed: u64) -> Vec<u64> {
+    let report = run_scenario(&scenario(engine, s, seed)).expect("run");
+    assert!(report.invariants_ok(), "{:?}", report.violations);
+    report.sample.iter().map(|kd| kd.item.id).collect()
 }
 
 #[test]
@@ -73,10 +60,10 @@ fn threaded_inclusion_matches_lockstep_chi2() {
     let mut lockstep_counts = vec![0u64; WEIGHTS.len()];
     let mut threaded_counts = vec![0u64; WEIGHTS.len()];
     for t in 0..trials {
-        for id in lockstep_sample(s, 10_000 + t) {
+        for id in sample_ids(EngineKind::Lockstep, s, 10_000 + t) {
             lockstep_counts[id as usize] += 1;
         }
-        for id in threaded_sample(s, 60_000 + t) {
+        for id in sample_ids(EngineKind::Threads, s, 60_000 + t) {
             threaded_counts[id as usize] += 1;
         }
     }
@@ -99,7 +86,7 @@ fn threaded_inclusion_matches_exact_oracle() {
     let exact = inclusion_probabilities(&WEIGHTS, s);
     let mut counts = vec![0u64; WEIGHTS.len()];
     for t in 0..trials {
-        for id in threaded_sample(s, 300_000 + t) {
+        for id in sample_ids(EngineKind::Threads, s, 300_000 + t) {
             counts[id as usize] += 1;
         }
     }
@@ -120,35 +107,19 @@ fn threaded_top_key_distribution_matches_lockstep_ks() {
     // its distribution must agree between engines (two-sample KS).
     let s = 2;
     let trials = 1_500u64;
-    let top_key = |ids_keys: Vec<f64>| ids_keys.into_iter().fold(f64::MIN, f64::max);
+    let top_key = |engine: EngineKind, seed: u64| {
+        let report = run_scenario(&scenario(engine, s, seed)).expect("run");
+        report
+            .sample
+            .iter()
+            .map(|kd| kd.key)
+            .fold(f64::MIN, f64::max)
+    };
     let mut lockstep_keys = Vec::with_capacity(trials as usize);
     let mut threaded_keys = Vec::with_capacity(trials as usize);
     for t in 0..trials {
-        let mut runner = build_swor(SworConfig::new(s, K), 700_000 + t);
-        for (site, item) in stream() {
-            runner.step(site, item);
-        }
-        lockstep_keys.push(top_key(
-            runner
-                .coordinator
-                .sample()
-                .iter()
-                .map(|kd| kd.key)
-                .collect(),
-        ));
-        let out = run_swor(
-            EngineKind::Threads,
-            SworConfig::new(s, K),
-            900_000 + t,
-            split_stream(K, stream()),
-            &RuntimeConfig::new()
-                .with_batch_max(1)
-                .with_queue_capacity(1),
-        )
-        .expect("threaded run");
-        threaded_keys.push(top_key(
-            out.coordinator.sample().iter().map(|kd| kd.key).collect(),
-        ));
+        lockstep_keys.push(top_key(EngineKind::Lockstep, 700_000 + t));
+        threaded_keys.push(top_key(EngineKind::Threads, 900_000 + t));
     }
     let r = ks_two_sample(&lockstep_keys, &threaded_keys);
     assert!(
@@ -161,27 +132,30 @@ fn threaded_top_key_distribution_matches_lockstep_ks() {
 
 #[test]
 fn engines_agree_on_large_skewed_stream_invariants() {
-    // One large skewed run per engine: identical final sample size, exact
-    // byte accounting on both sides, and every sampled key clearing u.
+    // One large skewed streaming run per engine through the driver:
+    // identical final sample size, exact byte accounting on both sides
+    // (the driver's own invariant checks), and bounded dispatch.
     let k = 4;
     let s = 16;
-    let n = 100_000;
-    let items = dwrs::workloads::zipf_ranked(n, 1.2, 31);
-    let parts = split_stream(
-        k,
-        items.iter().copied().enumerate().map(|(i, it)| (i % k, it)),
-    );
+    let n = 100_000u64;
     for engine in [EngineKind::Lockstep, EngineKind::Threads, EngineKind::Tcp] {
-        let out = run_swor(
-            engine,
-            SworConfig::new(s, k),
-            77,
-            parts.clone(),
-            &RuntimeConfig::default(),
-        )
-        .expect("run");
-        assert_eq!(out.coordinator.sample().len(), s, "engine {engine}");
-        let m = &out.metrics;
+        let sc = Scenario::new(engine, k, s)
+            .with_n(n)
+            .with_seed(77)
+            .with_workload(Workload::Zipf { alpha: 1.2 });
+        let report = run_scenario(&sc).expect("run");
+        assert_eq!(report.items, n, "engine {engine}");
+        assert_eq!(report.sample.len(), s, "engine {engine}");
+        // The driver checks sample size, exact per-kind byte
+        // decomposition, broadcast accounting and key-vs-threshold
+        // consistency; a healthy run reports no violations.
+        assert!(
+            report.invariants_ok(),
+            "engine {engine}: {:?}",
+            report.violations
+        );
+        // Spot-check the decomposition independently of the driver.
+        let m = &report.metrics;
         assert_eq!(
             m.up_bytes,
             17 * m.kind("early") + 25 * m.kind("regular"),
@@ -193,7 +167,16 @@ fn engines_agree_on_large_skewed_stream_invariants() {
             "engine {engine}: downstream byte accounting"
         );
         assert_eq!(m.down_total, m.broadcast_events * k as u64);
-        let u = out.coordinator.u();
-        assert!(out.coordinator.sample().iter().all(|kd| kd.key >= u));
+        // Concurrent engines stream through the bounded dispatcher.
+        if engine != EngineKind::Lockstep {
+            let d = report.dispatcher.expect("dispatcher stats");
+            assert_eq!(d.items, n, "engine {engine}");
+            assert!(
+                d.peak_in_flight_frames <= d.in_flight_bound(),
+                "engine {engine}: {} > bound {}",
+                d.peak_in_flight_frames,
+                d.in_flight_bound()
+            );
+        }
     }
 }

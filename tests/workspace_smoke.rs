@@ -24,6 +24,13 @@ fn facade_reexports_resolve() {
     // dwrs::stats
     let d = dwrs::stats::tv_distance(&[0.5, 0.5], &[0.5, 0.5]);
     assert!(d.abs() < 1e-12);
+    // dwrs::runtime and the root-level scenario driver re-exports.
+    let sc = dwrs::Scenario::new(dwrs::EngineKind::Lockstep, 2, 4)
+        .with_n(64)
+        .with_workload(dwrs::Workload::Unit);
+    let report = dwrs::run_scenario(&sc).expect("facade scenario run");
+    assert_eq!(report.sample.len(), 4);
+    assert!(report.invariants_ok());
     // Facade version string is wired through from the manifest.
     assert!(!dwrs::VERSION.is_empty());
 }
