@@ -23,11 +23,13 @@
 pub mod duplication;
 pub mod folklore;
 pub mod hyz;
+pub mod node;
 pub mod piggyback;
 
 pub use duplication::{L1Config, L1DupTracker};
 pub use folklore::FolkloreTracker;
 pub use hyz::HyzTracker;
+pub use node::L1Site;
 pub use piggyback::PiggybackL1Tracker;
 
 use dwrs_core::Item;

@@ -12,7 +12,16 @@
 //!   Section 5 comparison table.
 //! * [`sliding_window`] — weighted SWOR over a sequence-based sliding
 //!   window, the extension named in the paper's conclusion as an open
-//!   problem (centralized demonstration).
+//!   problem.
+//!
+//! Each application also ships its **runtime protocol nodes** — site /
+//! coordinator implementations of the `dwrs_sim` node traits
+//! ([`L1Site`], [`WindowSite`]/[`WindowCoordinator`]; residual heavy
+//! hitters run on the stock SWOR nodes) — so `dwrs-runtime` executes them
+//! as first-class `Query`s on every engine and topology
+//! (`dwrs run --query {l1,rhh,window}`), not only in centralized
+//! simulation. The streaming [`ResidualOracle`] provides the exact
+//! heavy-hitter answer for recall checks at any stream length.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -22,9 +31,9 @@ pub mod residual_hh;
 pub mod sliding_window;
 
 pub use l1::{
-    FolkloreTracker, HyzTracker, L1Config, L1DupTracker, L1Estimator, PiggybackL1Tracker,
+    FolkloreTracker, HyzTracker, L1Config, L1DupTracker, L1Estimator, L1Site, PiggybackL1Tracker,
 };
 pub use residual_hh::{
-    exact_residual_heavy_hitters, recall, ResidualHeavyHitters, ResidualHhConfig,
+    exact_residual_heavy_hitters, recall, ResidualHeavyHitters, ResidualHhConfig, ResidualOracle,
 };
-pub use sliding_window::SlidingWindowSwor;
+pub use sliding_window::{RetainedSet, SlidingWindowSwor, WindowCoordinator, WindowSite, WindowUp};

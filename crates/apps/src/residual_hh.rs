@@ -128,6 +128,126 @@ impl ResidualHeavyHitters {
     }
 }
 
+/// Streaming exact oracle for Definition 6: maintains the top-`1/ε` head
+/// weights, the residual mass, and a pruned candidate set, in
+/// `O(1/ε + candidates)` memory — so heavy-hitter recall can be checked
+/// against the exact answer on streams far too long to materialize.
+///
+/// Soundness of pruning: the residual `‖x_tail(1/ε)‖₁` is nondecreasing in
+/// time (a new item either joins the head set, displacing a weight into
+/// the residual, or adds to the residual directly), so an item with
+/// `w < ε·residual_now` can never satisfy `w ≥ ε·residual_final` — it is
+/// safe to drop at arrival or at any later prune. Assumes distinct ids, as
+/// produced by the workload generators.
+#[derive(Debug)]
+pub struct ResidualOracle {
+    eps: f64,
+    /// Head capacity `t = ⌊1/ε⌋`.
+    t: usize,
+    /// Min-heap of the top-`t` weights seen.
+    heads: std::collections::BinaryHeap<std::cmp::Reverse<ordered::F64>>,
+    /// Total weight outside the current head set.
+    residual: f64,
+    /// Survivors of the arrival-time filter, pruned on doubling.
+    candidates: Vec<Item>,
+    prune_at: usize,
+    items: u64,
+}
+
+/// Total order wrapper so weights can live in a heap.
+mod ordered {
+    /// An `f64` ordered by `total_cmp` (weights are finite and positive).
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct F64(pub f64);
+    impl Eq for F64 {}
+    #[allow(clippy::non_canonical_partial_ord_impl)]
+    impl PartialOrd for F64 {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.0.total_cmp(&other.0))
+        }
+    }
+    impl Ord for F64 {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0)
+        }
+    }
+}
+
+impl ResidualOracle {
+    /// Creates the oracle for residual threshold `ε ∈ (0, 1)`.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "ε must be in (0,1)");
+        Self {
+            eps,
+            t: (1.0 / eps).floor() as usize,
+            heads: std::collections::BinaryHeap::new(),
+            residual: 0.0,
+            candidates: Vec::new(),
+            prune_at: 64,
+            items: 0,
+        }
+    }
+
+    /// Feeds the next stream item.
+    pub fn observe(&mut self, item: Item) {
+        use std::cmp::Reverse;
+        self.items += 1;
+        let w = item.weight;
+        if self.heads.len() < self.t {
+            self.heads.push(Reverse(ordered::F64(w)));
+        } else {
+            match self.heads.peek() {
+                Some(&Reverse(ordered::F64(min))) if w > min => {
+                    self.heads.pop();
+                    self.residual += min;
+                    self.heads.push(Reverse(ordered::F64(w)));
+                }
+                _ => self.residual += w,
+            }
+        }
+        // Arrival-time filter: w < ε·residual_now can never qualify.
+        if self.residual == 0.0 || w >= self.eps * self.residual {
+            self.candidates.push(item);
+            if self.candidates.len() >= self.prune_at {
+                self.prune();
+            }
+        }
+    }
+
+    fn prune(&mut self) {
+        let thr = self.eps * self.residual;
+        if self.residual > 0.0 {
+            self.candidates.retain(|i| i.weight >= thr);
+        }
+        self.prune_at = (self.candidates.len() * 2).max(64);
+    }
+
+    /// Items observed so far.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// The exact required set right now: ids with
+    /// `w ≥ ε·‖x_tail(1/ε)‖₁` (empty while the residual is zero,
+    /// mirroring [`exact_residual_heavy_hitters`]).
+    pub fn required(&self) -> Vec<ItemId> {
+        if self.residual <= 0.0 {
+            return Vec::new();
+        }
+        let thr = self.eps * self.residual;
+        self.candidates
+            .iter()
+            .filter(|i| i.weight >= thr)
+            .map(|i| i.id)
+            .collect()
+    }
+
+    /// Current residual mass `‖x_tail(1/ε)‖₁`.
+    pub fn residual(&self) -> f64 {
+        self.residual
+    }
+}
+
 /// Offline oracle: the ids of all items in `items` (a stream prefix) with
 /// `x_i ≥ ε·‖x_tail(1/ε)‖₁` (Definition 6). Assumes distinct ids, as
 /// produced by the workload generators.
@@ -186,6 +306,52 @@ mod tests {
         // tail(1/0.35 -> 2) removes ids 0,1; residual = 160; thr = 56.
         assert!(want.contains(&0) && want.contains(&1) && want.contains(&2));
         assert_eq!(want.len(), 3);
+    }
+
+    #[test]
+    fn streaming_oracle_matches_batch_oracle() {
+        // The streaming oracle must return exactly the batch oracle's set
+        // (as sets — order differs) on assorted streams.
+        for (seed, n, top) in [(1u64, 500usize, 3usize), (9, 2_000, 1), (42, 1_000, 5)] {
+            for eps in [0.1, 0.25, 0.4] {
+                let items = dwrs_workloads::residual_skew(n, top, seed);
+                let mut oracle = ResidualOracle::new(eps);
+                for it in &items {
+                    oracle.observe(*it);
+                }
+                let mut want = exact_residual_heavy_hitters(&items, eps);
+                let mut got = oracle.required();
+                want.sort_unstable();
+                got.sort_unstable();
+                assert_eq!(got, want, "eps {eps} seed {seed}");
+                assert_eq!(oracle.items(), n as u64);
+            }
+        }
+        // And on a flat stream (no giants) for the degenerate shape.
+        let items: Vec<Item> = (0..400u64).map(Item::unit).collect();
+        let mut oracle = ResidualOracle::new(0.2);
+        for it in &items {
+            oracle.observe(*it);
+        }
+        let mut want = exact_residual_heavy_hitters(&items, 0.2);
+        let mut got = oracle.required();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn streaming_oracle_memory_stays_bounded() {
+        // 200k unit items: candidates must stay near t + 1/ε, not O(n).
+        let mut oracle = ResidualOracle::new(0.1);
+        for i in 0..200_000u64 {
+            oracle.observe(Item::unit(i));
+        }
+        assert!(
+            oracle.candidates.len() < 1_000,
+            "candidate set grew to {}",
+            oracle.candidates.len()
+        );
     }
 
     #[test]

@@ -2,8 +2,6 @@
 //! the paper's conclusion poses as an open problem ("extend our algorithm
 //! for weighted sampling to the sliding window model").
 //!
-//! This module provides a centralized solution as a forward-looking
-//! demonstration (the distributed message-optimal version remains open).
 //! The idea follows the precision-sampling view: every item keeps its key
 //! `v = w/t`; an item can appear in the top-`s` of **some** future window
 //! only if fewer than `s` *later* items have larger keys (later items are in
@@ -11,64 +9,136 @@
 //! "s-undominated from the right" — has expected size `O(s·log(n/s))`, and
 //! the window sample is read off by filtering to the window and taking the
 //! top `s` keys.
+//!
+//! Two layers live here:
+//!
+//! * [`RetainedSet`] / [`SlidingWindowSwor`] — the centralized structure,
+//!   clocked either by arrival count (`observe`) or by an explicit global
+//!   arrival index (`observe_at`). Pruning is **amortized**: dominated
+//!   entries are only garbage-collected when the set doubles, which keeps
+//!   the per-item cost at `O(s)` amortized without changing any sample
+//!   (un-pruned dominated entries can never reach a top-`s`).
+//! * [`WindowSite`] / [`WindowCoordinator`] — the distributed runtime
+//!   nodes. Each site runs the retained-set filter over its own substream
+//!   (dominance at a site implies global dominance: later items at the
+//!   site are later — hence co-windowed — globally) and ships its retained
+//!   candidates at end-of-stream via [`dwrs_sim::SiteNode::finish`]; the
+//!   coordinator merges, expires by the global arrival index, and answers
+//!   with the exact window sample. Message cost is `O(s·log(n_i/s))` per
+//!   site, not `O(n_i)`. Requires item ids to be the global arrival order
+//!   (true for every built-in workload generator and their CSV round
+//!   trips); a message-optimal *continuously tracking* version remains
+//!   open, as in the paper.
 
 use std::collections::VecDeque;
 
+use dwrs_core::framed::FrameCodec;
 use dwrs_core::keys::assign_key;
 use dwrs_core::rng::Rng;
+use dwrs_core::swor::wire::WireError;
 use dwrs_core::{Item, Keyed};
+use dwrs_sim::{CoordinatorNode, Meter, NoDown, Outbox, SiteNode};
 
-/// Centralized sliding-window weighted SWOR.
+/// The "s-undominated from the right" candidate structure, clocked by a
+/// monotone arrival index. Exact at every query; pruning is amortized.
 #[derive(Debug)]
-pub struct SlidingWindowSwor {
+pub struct RetainedSet {
     window: u64,
     s: usize,
-    rng: Rng,
-    /// Retained `(arrival_time, keyed)` in arrival order; invariant: each
-    /// entry has fewer than `s` later entries with larger keys.
+    /// Retained `(arrival_index, keyed)` in arrival order.
     retained: VecDeque<(u64, Keyed)>,
-    time: u64,
+    /// Amortization mark: prune when the set grows past this.
+    prune_at: usize,
+    /// Largest arrival index observed.
+    max_index: u64,
 }
 
-impl SlidingWindowSwor {
-    /// Creates a sampler of size `s` over the last `window` arrivals.
-    pub fn new(s: usize, window: u64, seed: u64) -> Self {
+impl RetainedSet {
+    /// Creates a retained set for samples of size `s` over the last
+    /// `window` arrivals.
+    pub fn new(s: usize, window: u64) -> Self {
         assert!(s >= 1 && window >= 1);
         Self {
             window,
             s,
-            rng: Rng::new(seed),
             retained: VecDeque::new(),
-            time: 0,
+            prune_at: 64,
+            max_index: 0,
         }
     }
 
-    /// Items observed so far.
-    pub fn time(&self) -> u64 {
-        self.time
-    }
-
-    /// Number of retained items (the structure whose expected size is
-    /// `O(s·log(window/s))`).
-    pub fn retained_len(&self) -> usize {
+    /// Number of retained entries (between prunes this may transiently
+    /// reach twice the `O(s·log(window/s))` steady state).
+    pub fn len(&self) -> usize {
         self.retained.len()
     }
 
-    /// Feeds the next item.
-    pub fn observe(&mut self, item: Item) {
-        let keyed = assign_key(item, &mut self.rng);
-        self.time += 1;
-        self.retained.push_back((self.time, keyed));
-        // Expire items that left the window.
-        let cutoff = self.time.saturating_sub(self.window);
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.retained.is_empty()
+    }
+
+    /// Largest arrival index observed so far.
+    pub fn max_index(&self) -> u64 {
+        self.max_index
+    }
+
+    /// Inserts a keyed item with its arrival index. Indices are normally
+    /// non-decreasing (arrival order — the O(1) fast path); an
+    /// out-of-order index (e.g. a hand-edited CSV whose ids are not the
+    /// arrival sequence) is placed at its sorted position, so the
+    /// structure stays correct for the id-ordered window instead of
+    /// silently mis-expiring (or panicking mid-run).
+    pub fn insert(&mut self, index: u64, keyed: Keyed) {
+        self.max_index = self.max_index.max(index);
+        if self.retained.back().is_none_or(|&(t, _)| t <= index) {
+            self.retained.push_back((index, keyed));
+        } else {
+            let pos = self.retained.partition_point(|&(t, _)| t <= index);
+            self.retained.insert(pos, (index, keyed));
+        }
+        self.expire();
+        if self.retained.len() >= self.prune_at {
+            self.prune();
+            self.prune_at = (self.retained.len() * 2).max(64);
+        }
+    }
+
+    /// Folds another retained set's entries into this one (coordinator
+    /// merge). Entries are interleaved by arrival index to restore global
+    /// arrival order.
+    pub fn merge_from(&mut self, entries: impl IntoIterator<Item = (u64, Keyed)>) {
+        let mut merged: Vec<(u64, Keyed)> = self.retained.drain(..).collect();
+        merged.extend(entries);
+        merged.sort_by_key(|&(t, _)| t);
+        for (t, _) in &merged {
+            self.max_index = self.max_index.max(*t);
+        }
+        self.retained = merged.into();
+        self.expire();
+        self.prune();
+        self.prune_at = (self.retained.len() * 2).max(64);
+    }
+
+    /// Whether the entry at arrival index `t` has left the window of the
+    /// newest observed index: the window is the last `window` arrivals,
+    /// i.e. indices `t` with `t + window > max_index`. Phrased additively
+    /// so it is correct for 0-based clocks too (`max_index - window`
+    /// saturating at 0 used to expire index 0 while it was still
+    /// in-window).
+    fn expired(&self, t: u64) -> bool {
+        t.saturating_add(self.window) <= self.max_index
+    }
+
+    /// Drops entries that left the window of the newest observed index.
+    fn expire(&mut self) {
         while let Some(&(t, _)) = self.retained.front() {
-            if t <= cutoff {
+            if self.expired(t) {
                 self.retained.pop_front();
             } else {
                 break;
             }
         }
-        self.prune();
     }
 
     /// Re-establishes the dominance invariant: walk from newest to oldest,
@@ -93,13 +163,256 @@ impl SlidingWindowSwor {
     }
 
     /// The weighted SWOR of the current window: top-`s` keys among retained
-    /// in-window items (every in-window item not retained is provably beaten
-    /// by `s` in-window items).
+    /// in-window items. Exact whether or not a prune is pending — dominated
+    /// entries are beaten by `s` in-window keys by construction.
     pub fn sample(&self) -> Vec<Keyed> {
-        let mut v: Vec<Keyed> = self.retained.iter().map(|&(_, k)| k).collect();
+        let mut v: Vec<Keyed> = self
+            .retained
+            .iter()
+            .filter(|&&(t, _)| !self.expired(t))
+            .map(|&(_, k)| k)
+            .collect();
         v.sort_by(|a, b| b.key.total_cmp(&a.key));
         v.truncate(self.s);
         v
+    }
+
+    /// Iterates the retained `(arrival_index, keyed)` entries in arrival
+    /// order (what a distributed site ships at end-of-stream).
+    pub fn entries(&self) -> impl Iterator<Item = (u64, Keyed)> + '_ {
+        self.retained.iter().copied()
+    }
+}
+
+/// Centralized sliding-window weighted SWOR (self-clocked convenience
+/// wrapper over [`RetainedSet`]).
+#[derive(Debug)]
+pub struct SlidingWindowSwor {
+    set: RetainedSet,
+    rng: Rng,
+    time: u64,
+}
+
+impl SlidingWindowSwor {
+    /// Creates a sampler of size `s` over the last `window` arrivals.
+    pub fn new(s: usize, window: u64, seed: u64) -> Self {
+        Self {
+            set: RetainedSet::new(s, window),
+            rng: Rng::new(seed),
+            time: 0,
+        }
+    }
+
+    /// Items observed so far.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Number of retained items (the structure whose steady-state size is
+    /// `O(s·log(window/s))`; transiently up to 2× between amortized
+    /// prunes).
+    pub fn retained_len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Feeds the next item (arrival index = observation count).
+    pub fn observe(&mut self, item: Item) {
+        let keyed = assign_key(item, &mut self.rng);
+        self.time += 1;
+        self.set.insert(self.time, keyed);
+    }
+
+    /// The weighted SWOR of the current window.
+    pub fn sample(&self) -> Vec<Keyed> {
+        self.set.sample()
+    }
+}
+
+// ------------------------------------------------------- runtime nodes
+
+/// Site→coordinator message of the distributed window sampler: one
+/// retained candidate, shipped at end-of-stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowUp {
+    /// The candidate with its precision-sampling key. The item's id is its
+    /// global arrival index (the workload generators' convention), which
+    /// the coordinator uses as the window clock.
+    pub keyed: Keyed,
+}
+
+impl Meter for WindowUp {
+    fn kind(&self) -> &'static str {
+        "window_cand"
+    }
+    fn wire_bytes(&self) -> u64 {
+        WINDOW_UP_BYTES
+    }
+}
+
+/// Exact wire size of a [`WindowUp`] frame: tag, id, weight, key.
+pub const WINDOW_UP_BYTES: u64 = 25;
+
+const TAG_WINDOW_CAND: u8 = 0x31;
+
+impl FrameCodec for WindowUp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(TAG_WINDOW_CAND);
+        buf.extend_from_slice(&self.keyed.item.id.to_le_bytes());
+        buf.extend_from_slice(&self.keyed.item.weight.to_le_bytes());
+        buf.extend_from_slice(&self.keyed.key.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8]) -> Result<(Self, usize), WireError> {
+        let tag = *buf.first().ok_or(WireError::Truncated)?;
+        if tag != TAG_WINDOW_CAND {
+            return Err(WireError::BadTag(tag));
+        }
+        let field = |at: usize| -> Result<u64, WireError> {
+            buf.get(at..at + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                .ok_or(WireError::Truncated)
+        };
+        let id = field(1)?;
+        let weight = f64::from_bits(field(9)?);
+        let key = f64::from_bits(field(17)?);
+        if !(weight > 0.0 && weight.is_finite() && key > 0.0 && key.is_finite()) {
+            return Err(WireError::BadField);
+        }
+        Ok((
+            WindowUp {
+                keyed: Keyed::new(Item { id, weight }, key),
+            },
+            WINDOW_UP_BYTES as usize,
+        ))
+    }
+}
+
+/// Site node of the distributed sliding-window sampler: filters its
+/// substream down to the locally s-undominated candidates and ships them at
+/// end-of-stream (zero per-item messages).
+#[derive(Debug)]
+pub struct WindowSite {
+    set: RetainedSet,
+    rng: Rng,
+}
+
+impl WindowSite {
+    /// Creates the site for samples of size `s` over the last `window`
+    /// global arrivals, with a per-site key seed.
+    pub fn new(s: usize, window: u64, seed: u64) -> Self {
+        Self {
+            set: RetainedSet::new(s, window),
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// Number of currently retained candidates.
+    pub fn retained_len(&self) -> usize {
+        self.set.len()
+    }
+}
+
+impl SiteNode for WindowSite {
+    type Up = WindowUp;
+    type Down = NoDown;
+
+    fn observe(&mut self, item: Item, _out: &mut Vec<WindowUp>) {
+        let keyed = assign_key(item, &mut self.rng);
+        // The item id is the global arrival index; site-local dominance
+        // (≥ s later *site* items with larger keys) implies global
+        // dominance, because later site items are later global items and
+        // the window is a suffix of arrivals.
+        self.set.insert(item.id, keyed);
+    }
+
+    fn receive(&mut self, _msg: &NoDown) {}
+
+    fn finish(&mut self, out: &mut Vec<WindowUp>) {
+        out.extend(self.set.entries().map(|(_, keyed)| WindowUp { keyed }));
+    }
+}
+
+/// Coordinator of the distributed sliding-window sampler: merges the
+/// sites' retained candidates and answers with the window sample, expired
+/// by the largest arrival index across all sites. Incoming candidates are
+/// buffered and folded into the retained structure in batches, so a
+/// receive costs O(1) amortized instead of a full re-sort per message.
+#[derive(Debug)]
+pub struct WindowCoordinator {
+    set: RetainedSet,
+    /// Candidates not yet folded into `set` (merged on the next batch
+    /// boundary; queries consult both).
+    pending: Vec<(u64, Keyed)>,
+    received: u64,
+}
+
+/// How many buffered candidates trigger a batch merge in
+/// [`WindowCoordinator`].
+const MERGE_BATCH: usize = 1024;
+
+impl WindowCoordinator {
+    /// Creates the coordinator for samples of size `s` over the last
+    /// `window` global arrivals.
+    pub fn new(s: usize, window: u64) -> Self {
+        Self {
+            set: RetainedSet::new(s, window),
+            pending: Vec::new(),
+            received: 0,
+        }
+    }
+
+    /// Every in-window retained candidate, un-truncated — what a tree
+    /// aggregator syncs to the root, so that entries valid for the
+    /// *global* window watermark (which only the root can apply) are
+    /// never displaced by a premature local top-`s` cut.
+    pub fn window_entries(&self) -> Vec<Keyed> {
+        let max_index = self
+            .pending
+            .iter()
+            .map(|&(t, _)| t)
+            .fold(self.set.max_index(), u64::max);
+        let window = self.set.window;
+        let in_window = |t: u64| t.saturating_add(window) > max_index;
+        let mut v: Vec<Keyed> = self
+            .set
+            .entries()
+            .filter(|&(t, _)| in_window(t))
+            .map(|(_, k)| k)
+            .collect();
+        v.extend(
+            self.pending
+                .iter()
+                .filter(|&&(t, _)| in_window(t))
+                .map(|&(_, k)| k),
+        );
+        v
+    }
+
+    /// The current window sample (exact once every site has finished):
+    /// top-`s` keys among the in-window candidates.
+    pub fn sample(&self) -> Vec<Keyed> {
+        let mut v = self.window_entries();
+        v.sort_by(|a, b| b.key.total_cmp(&a.key));
+        v.truncate(self.set.s);
+        v
+    }
+
+    /// Candidate messages received.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+}
+
+impl CoordinatorNode for WindowCoordinator {
+    type Up = WindowUp;
+    type Down = NoDown;
+
+    fn receive(&mut self, _from: usize, msg: WindowUp, _out: &mut Outbox<NoDown>) {
+        self.received += 1;
+        self.pending.push((msg.keyed.item.id, msg.keyed));
+        if self.pending.len() >= MERGE_BATCH {
+            self.set.merge_from(self.pending.drain(..));
+        }
     }
 }
 
@@ -139,7 +452,8 @@ mod tests {
         for i in 0..20_000u64 {
             sw.observe(Item::unit(i));
         }
-        // Expected ~ s·ln(window/s) ≈ 8·6.2 ≈ 50; assert well below window.
+        // Expected steady state ~ s·ln(window/s) ≈ 50; amortized pruning
+        // allows a transient 2× on top — still far below the window.
         assert!(
             sw.retained_len() < 400,
             "retained {} not sublinear in window {window}",
@@ -184,5 +498,155 @@ mod tests {
             (p1 - p2).abs() < 0.02,
             "window sampler {p1} vs reference {p2}"
         );
+    }
+
+    #[test]
+    fn window_up_round_trips_at_exact_size() {
+        let msg = WindowUp {
+            keyed: Keyed::new(Item::new(42, 3.5), 17.25),
+        };
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        assert_eq!(buf.len() as u64, WINDOW_UP_BYTES);
+        assert_eq!(Meter::wire_bytes(&msg), WINDOW_UP_BYTES);
+        let (back, used) = WindowUp::decode(&buf).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(used as u64, WINDOW_UP_BYTES);
+        assert!(WindowUp::decode(&[0xEE]).is_err());
+        assert!(WindowUp::decode(&buf[..10]).is_err());
+    }
+
+    #[test]
+    fn distributed_nodes_reproduce_centralized_sample() {
+        // Round-robin split across k sites; after finish + merge, the
+        // coordinator's sample must equal a centralized retained set fed
+        // with the same keyed items.
+        let (s, window, n, k) = (4usize, 64u64, 2_000u64, 3usize);
+        let mut central = RetainedSet::new(s, window);
+        let mut sites: Vec<WindowSite> = (0..k)
+            .map(|i| WindowSite::new(s, window, 1000 + i as u64))
+            .collect();
+        let mut coord = WindowCoordinator::new(s, window);
+        // Feed sites; mirror the exact keys into the central set.
+        let mut out = Vec::new();
+        for i in 0..n {
+            let site = (i % k as u64) as usize;
+            let item = Item::new(i, 1.0 + (i % 5) as f64);
+            // Draw the key exactly as the site will (same rng stream):
+            // observe through the site, then read the key back off its
+            // retained set is fragile; instead give the central set its
+            // own independent draw — distribution equality is checked by
+            // `matches_full_resampling_distribution`; here we check the
+            // exact merge logic with per-site keys.
+            sites[site].observe(item, &mut out);
+            assert!(out.is_empty(), "window sites send nothing per item");
+        }
+        let mut shipped = 0usize;
+        let mut ob = Outbox::new();
+        for site in sites.iter_mut() {
+            let mut msgs = Vec::new();
+            site.finish(&mut msgs);
+            shipped += msgs.len();
+            for m in msgs {
+                coord.receive(0, m, &mut ob);
+            }
+        }
+        assert!(ob.is_empty(), "window coordinator sends nothing down");
+        // Message cost is the retained sets, not the stream.
+        assert!(
+            shipped < (n as usize) / 10,
+            "shipped {shipped} of n = {n} items"
+        );
+        let sample = coord.sample();
+        assert_eq!(sample.len(), s);
+        // Every sampled item is in the global window.
+        for kd in &sample {
+            assert!(kd.item.id > n - 1 - window, "stale {}", kd.item.id);
+        }
+        // Exactness against a directly-merged central set with the same
+        // per-site keys: rebuild by re-running the sites' entries.
+        for site in &sites {
+            central.merge_from(site.set.entries());
+        }
+        let want = central.sample();
+        let got = coord.sample();
+        let ids = |v: &[Keyed]| v.iter().map(|kd| kd.item.id).collect::<Vec<_>>();
+        assert_eq!(ids(&got), ids(&want));
+    }
+
+    #[test]
+    fn zero_based_index_zero_stays_in_window() {
+        // Regression: with a 0-based arrival clock (item ids), the old
+        // `max - window` cutoff saturated at 0 and expired index 0 while
+        // it was still inside the window — the stream's first item could
+        // never be sampled.
+        let mut set = RetainedSet::new(8, 100);
+        for i in 0..50u64 {
+            set.insert(i, Keyed::new(Item::unit(i), 1.0 + i as f64));
+        }
+        let sample = set.sample();
+        assert_eq!(sample.len(), 8);
+        // Window (100) covers the whole stream: id 0 is a valid candidate
+        // and the full in-window candidate count is 50.
+        let mut all = RetainedSet::new(64, 100);
+        for i in 0..50u64 {
+            all.insert(i, Keyed::new(Item::unit(i), 1.0 + i as f64));
+        }
+        assert_eq!(all.sample().len(), 50, "every item is in-window");
+        assert!(all.sample().iter().any(|kd| kd.item.id == 0));
+        // And expiry still fires exactly at the boundary once max ≥ window.
+        let mut set = RetainedSet::new(64, 10);
+        for i in 0..25u64 {
+            set.insert(i, Keyed::new(Item::unit(i), 1.0 + i as f64));
+        }
+        let ids: Vec<u64> = set.sample().iter().map(|kd| kd.item.id).collect();
+        assert_eq!(ids.len(), 10);
+        assert!(ids.iter().all(|&id| id >= 15), "{ids:?}");
+    }
+
+    #[test]
+    fn out_of_order_indices_are_sorted_in_not_corrupting() {
+        // Non-arrival-ordered ids (e.g. a hand-edited CSV): entries land
+        // at their sorted position, so the window is well-defined over
+        // the id order — no panic, no premature expiry.
+        let mut set = RetainedSet::new(4, 100);
+        for &i in &[5u64, 1, 9, 3, 7, 2, 8] {
+            set.insert(i, Keyed::new(Item::unit(i), 1.0 + i as f64));
+        }
+        let ids: Vec<u64> = set.entries().map(|(t, _)| t).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "entries kept in id order");
+        assert_eq!(set.sample().len(), 4);
+        // Expiry still keys off the max id: nothing here is out of window.
+        assert_eq!(set.len(), 7);
+    }
+
+    #[test]
+    fn coordinator_batches_pending_merges() {
+        // More candidates than MERGE_BATCH: the pending buffer must fold
+        // into the retained set without losing entries, and queries must
+        // see buffered candidates immediately.
+        let (s, window) = (4usize, 1 << 20);
+        let mut coord = WindowCoordinator::new(s, window);
+        let mut ob = Outbox::new();
+        let n = (MERGE_BATCH * 2 + 100) as u64;
+        for i in 0..n {
+            let keyed = Keyed::new(Item::new(i, 1.0), 1.0 + (i % 97) as f64);
+            coord.receive(0, WindowUp { keyed }, &mut ob);
+        }
+        assert_eq!(coord.received(), n);
+        let sample = coord.sample();
+        assert_eq!(sample.len(), s);
+        // Top keys are 97.0 + 1.0; the last (pending, unmerged) entries are
+        // visible to the query.
+        assert!(sample.iter().all(|kd| kd.key >= 97.0));
+        assert!(!coord.window_entries().is_empty());
+    }
+
+    #[test]
+    fn retained_set_rejects_degenerate_shapes() {
+        assert!(std::panic::catch_unwind(|| RetainedSet::new(0, 10)).is_err());
+        assert!(std::panic::catch_unwind(|| RetainedSet::new(1, 0)).is_err());
     }
 }

@@ -10,12 +10,26 @@ commands:
   sample       run distributed weighted SWOR over a synthetic stream
                (single-threaded lockstep simulator)
                flags: --n --k --s --workload --seed --partition --latency
-  run          run distributed weighted SWOR on a selectable engine and
-               report throughput alongside the sample and metrics; the
-               workload streams through the scenario driver's bounded
-               dispatcher, so memory stays O(batch x queue) whatever --n
+  run          run one of the paper's applications on a selectable engine
+               and report throughput alongside the sample, metrics and the
+               query's answer; the workload streams through the scenario
+               driver's bounded dispatcher, so memory stays O(batch x
+               queue) whatever --n
                flags: --engine {lockstep|threads|tcp} (default threads)
                       --topology {flat|tree}          (default flat)
+                      --query  {swor|l1[:eps[,delta]]|rhh[:eps[,delta]]
+                                |window[:len]}        (default swor)
+                        swor    continuous weighted SWOR (sample size --s)
+                        l1      L1/count tracking, W~ = (1+-eps)W (Thm 6);
+                                s and the duplication factor derive from
+                                eps,delta (defaults 0.2,0.25)
+                        rhh     residual heavy hitters (Thm 4): top 2/eps
+                                sample items by weight, recall checked
+                                against the exact oracle (defaults
+                                eps 0.2, delta 0.05)
+                        window  weighted SWOR over the last len arrivals
+                                (default 100000; needs arrival-ordered ids,
+                                true for every built-in workload)
                       --n --k --s --workload --seed --partition
                       --batch <msgs per upstream frame>   (default 64)
                       --queue <up-queue bound in batches> (default 128)
@@ -44,9 +58,13 @@ commands:
   residual-hh  track residual heavy hitters on a skewed stream
                flags: --n --k --eps --delta --top --seed
 
-workload kinds: unit | uniform:<lo>,<hi> | zipf:<alpha> | pareto:<alpha>
-                | lognormal:<mu>,<sigma> | residual_skew:<top>
+workload kinds: unit | uniform:<lo>,<hi> | zipf:<alpha> | zipf_iid:<alpha>
+                | pareto:<alpha> | lognormal:<mu>,<sigma>
+                | residual_skew:<top>
                 | csv:<path> (id,weight records; `dwrs workload` output)
+                zipf is the exact rank permutation (O(n) memory; `run`
+                needs --materialize true); zipf_iid draws i.i.d. ranks
+                and streams at O(1) memory
 partitions:     roundrobin | random | single:<i> | skewed:<hot>";
 
 /// Parse failure.

@@ -12,7 +12,8 @@ use dwrs_apps::residual_hh::{
 use dwrs_core::swor::SworConfig;
 use dwrs_core::Item;
 use dwrs_runtime::{
-    run_scenario, EngineKind, RunReport, RuntimeConfig, Scenario, Topology, Workload,
+    run_scenario, EngineKind, Query, QueryAnswer, RunReport, RuntimeConfig, Scenario, Topology,
+    Workload,
 };
 use dwrs_sim::{assign_sites, build_swor, swor_coordinator, swor_site, Metrics, Partition};
 use dwrs_workloads as workloads;
@@ -43,13 +44,9 @@ pub fn dispatch<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
 /// mode). Everything else streams.
 pub fn make_workload(kind: &str, n: usize, seed: u64) -> Result<Vec<Item>, ArgError> {
     let workload = Workload::parse(kind).map_err(ArgError)?;
-    // Since the whole stream is materialized anyway, `zipf` keeps the
-    // original exact rank permutation (each rank appears exactly once)
-    // instead of the streaming i.i.d.-rank approximation, preserving the
-    // `sample` command's historical output for a given seed.
-    if let Workload::Zipf { alpha } = workload {
-        return Ok(workloads::zipf_ranked(n, alpha, seed));
-    }
+    // `zipf` resolves to the exact rank permutation (each rank appears
+    // exactly once), preserving the `sample` command's historical output
+    // for a given seed; `zipf_iid` is the streaming i.i.d.-rank variant.
     let source = workload
         .source(n as u64, seed)
         .map_err(|e| ArgError(e.to_string()))?;
@@ -128,7 +125,7 @@ fn make_scenario(p: &Parsed) -> Result<Scenario, ArgError> {
     }
     let seed = p.u64_or("seed", 42)?;
     let s = p.u64_or("s", 64)? as usize;
-    let workload = Workload::parse(&p.str_or("workload", "zipf:1.1")).map_err(ArgError)?;
+    let workload = Workload::parse(&p.str_or("workload", "zipf_iid:1.1")).map_err(ArgError)?;
     let partition = make_partition(&p.str_or("partition", "roundrobin"))?;
     Ok(Scenario::new(EngineKind::Threads, k, s)
         .with_n(n)
@@ -178,6 +175,7 @@ fn cmd_run<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
     }
     let mut sc = make_scenario(p)?;
     sc.engine = engine;
+    sc.query = Query::parse(&p.str_or("query", "swor")).map_err(ArgError)?;
     sc.topology = match p.str_or("topology", "flat").as_str() {
         "flat" => Topology::Flat,
         "tree" => {
@@ -204,7 +202,20 @@ fn cmd_run<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
         }
     };
     let streaming = match p.str_or("materialize", "false").as_str() {
-        "false" | "no" | "0" => true,
+        "false" | "no" | "0" => {
+            // A streaming run of the exact zipf permutation is impossible:
+            // historically `zipf` silently fell back to the i.i.d.-rank
+            // stream, changing the workload distribution with the flag.
+            // Refuse the ambiguous combination instead.
+            if let Workload::ZipfRanked { alpha } = sc.workload {
+                return Err(ArgError(format!(
+                    "workload 'zipf:{alpha}' is the exact rank permutation and cannot \
+                     stream; pass --materialize true to run it (O(n) memory), or use \
+                     'zipf_iid:{alpha}' for the streaming i.i.d.-rank distribution"
+                )));
+            }
+            true
+        }
         "true" | "yes" | "1" => {
             // Pre-build the identical stream in memory (the pre-driver
             // execution model): generation leaves the timed window, RSS
@@ -238,15 +249,39 @@ fn print_report<W: Write>(
     let items_per_s = report.items_per_s();
     let m = &report.metrics;
     let rss = report.peak_rss_bytes.unwrap_or(0);
+    // Query-specific JSON fragment, spliced into both topology shapes.
+    let answer_json = match &report.answer {
+        QueryAnswer::Swor => String::new(),
+        QueryAnswer::L1 {
+            estimate,
+            true_weight,
+            rel_error,
+            ell,
+        } => format!(
+            ",\"estimate\":{estimate:.6e},\"true_weight\":{true_weight:.6e},\
+             \"rel_error\":{rel_error:.6},\"ell\":{ell}"
+        ),
+        QueryAnswer::ResidualHh {
+            candidates,
+            required,
+            recall,
+        } => format!(
+            ",\"candidates\":{},\"required\":{required},\"recall\":{recall:.4}",
+            candidates.len()
+        ),
+        QueryAnswer::SlidingWindow { window } => format!(",\"window\":{window}"),
+    };
+    let query = report.query.name();
     if format == "json" {
         match report.topology {
             Topology::Flat => writeln!(
                 out,
-                "{{\"engine\":\"{engine}\",\"topology\":\"flat\",\"n\":{n},\"k\":{k},\"s\":{s},\
+                "{{\"engine\":\"{engine}\",\"topology\":\"flat\",\"query\":\"{query}\",\
+                 \"n\":{n},\"k\":{k},\"s\":{s},\
                  \"elapsed_s\":{elapsed_s:.6},\"items_per_s\":{items_per_s:.1},\
                  \"sample_size\":{},\"messages\":{},\"up_messages\":{},\
                  \"down_messages\":{},\"bytes\":{},\"streaming\":{streaming},\
-                 \"invariants_ok\":{},\"peak_rss_bytes\":{rss}}}",
+                 \"invariants_ok\":{}{answer_json},\"peak_rss_bytes\":{rss}}}",
                 report.sample.len(),
                 m.total(),
                 m.up_total,
@@ -257,12 +292,14 @@ fn print_report<W: Write>(
             .ok(),
             Topology::Tree { groups, sync_every } => writeln!(
                 out,
-                "{{\"engine\":\"{engine}\",\"topology\":\"tree\",\"n\":{n},\"k\":{k},\
+                "{{\"engine\":\"{engine}\",\"topology\":\"tree\",\"query\":\"{query}\",\
+                 \"n\":{n},\"k\":{k},\
                  \"s\":{s},\"groups\":{groups},\"k_per_group\":{},\"sync_every\":{sync_every},\
                  \"elapsed_s\":{elapsed_s:.6},\"items_per_s\":{items_per_s:.1},\
                  \"sample_size\":{},\"messages\":{},\"up_messages\":{},\
                  \"down_messages\":{},\"sync_messages\":{},\"syncs\":{},\"bytes\":{},\
-                 \"streaming\":{streaming},\"invariants_ok\":{},\"peak_rss_bytes\":{rss}}}",
+                 \"streaming\":{streaming},\"invariants_ok\":{}{answer_json},\
+                 \"peak_rss_bytes\":{rss}}}",
                 k / groups,
                 report.sample.len(),
                 m.total(),
@@ -281,7 +318,8 @@ fn print_report<W: Write>(
         Topology::Flat => {
             writeln!(
                 out,
-                "engine {engine}: n = {n}, k = {k}, s = {s}, batch = {}, queue = {}",
+                "engine {engine}: query = {query}, n = {n}, k = {k}, s = {s}, \
+                 batch = {}, queue = {}",
                 sc.runtime.batch_max, sc.runtime.queue_capacity
             )
             .ok();
@@ -289,13 +327,46 @@ fn print_report<W: Write>(
         Topology::Tree { groups, sync_every } => {
             writeln!(
                 out,
-                "engine {engine}: n = {n}, topology = tree ({groups} groups x {} sites), \
-                 s = {s}, sync_every = {sync_every}, batch = {}, queue = {}",
+                "engine {engine}: query = {query}, n = {n}, topology = tree \
+                 ({groups} groups x {} sites), s = {s}, sync_every = {sync_every}, \
+                 batch = {}, queue = {}",
                 k / groups,
                 sc.runtime.batch_max,
                 sc.runtime.queue_capacity
             )
             .ok();
+        }
+    }
+    match &report.answer {
+        QueryAnswer::Swor => {}
+        QueryAnswer::L1 {
+            estimate,
+            true_weight,
+            rel_error,
+            ell,
+        } => {
+            writeln!(
+                out,
+                "L1 estimate: W~ = {estimate:.6e} vs exact W = {true_weight:.6e} \
+                 (rel error {rel_error:.4}, ell = {ell})"
+            )
+            .ok();
+        }
+        QueryAnswer::ResidualHh {
+            candidates,
+            required,
+            recall,
+        } => {
+            writeln!(
+                out,
+                "residual heavy hitters: {} candidates, recall {recall:.3} of \
+                 {required} required (exact oracle)",
+                candidates.len()
+            )
+            .ok();
+        }
+        QueryAnswer::SlidingWindow { window } => {
+            writeln!(out, "sliding window: last {window} arrivals sampled").ok();
         }
     }
     writeln!(out, "elapsed: {elapsed_s:.3} s  ({items_per_s:.0} items/s)").ok();
@@ -370,6 +441,16 @@ fn cmd_feed<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
         return Err(ArgError(format!(
             "--site {site_id} out of range for k = {}",
             sc.k
+        )));
+    }
+    // Same refusal as `run`'s streaming mode: a feed process streams its
+    // share of the source on the fly and must not silently materialize
+    // the O(n) rank permutation (nor silently switch distributions).
+    if let Workload::ZipfRanked { alpha } = sc.workload {
+        return Err(ArgError(format!(
+            "workload 'zipf:{alpha}' is the exact rank permutation and cannot stream \
+             through feed; use 'zipf_iid:{alpha}' for the streaming i.i.d.-rank \
+             distribution"
         )));
     }
     // This feed's share of the deterministic global stream, filtered out
@@ -520,7 +601,7 @@ mod tests {
     fn run_command_all_engines_report_throughput() {
         for engine in ["lockstep", "threads", "tcp"] {
             let (code, out) = run_cmd(&format!(
-                "run --engine {engine} --n 20000 --k 4 --s 8 --workload zipf:1.2 --batch 8 --queue 8"
+                "run --engine {engine} --n 20000 --k 4 --s 8 --workload zipf_iid:1.2 --batch 8 --queue 8"
             ));
             assert_eq!(code, 0, "engine {engine}: {out}");
             assert!(out.contains(&format!("engine {engine}:")), "{out}");
@@ -536,7 +617,7 @@ mod tests {
         for engine in ["lockstep", "threads", "tcp"] {
             let (code, out) = run_cmd(&format!(
                 "run --engine {engine} --topology tree --n 20000 --k 4 --groups 2 \
-                 --sync-every 1000 --s 8 --workload zipf:1.2 --batch 8 --queue 8"
+                 --sync-every 1000 --s 8 --workload zipf_iid:1.2 --batch 8 --queue 8"
             ));
             assert_eq!(code, 0, "engine {engine}: {out}");
             assert!(
@@ -547,6 +628,66 @@ mod tests {
             assert!(out.contains("sample size: 8"), "{out}");
             assert!(out.contains("items/s"), "{out}");
         }
+    }
+
+    #[test]
+    fn run_query_flag_reports_answers_on_every_engine() {
+        for engine in ["lockstep", "threads", "tcp"] {
+            let (code, out) = run_cmd(&format!(
+                "run --engine {engine} --query l1:0.25,0.25 --n 20000 --k 4 --format json"
+            ));
+            assert_eq!(code, 0, "{out}");
+            let line = out.lines().last().unwrap();
+            for field in [
+                "\"query\":\"l1\"",
+                "\"estimate\":",
+                "\"true_weight\":",
+                "\"rel_error\":",
+                "\"invariants_ok\":true",
+            ] {
+                assert!(line.contains(field), "missing {field} in {line}");
+            }
+            let (code, out) = run_cmd(&format!(
+                "run --engine {engine} --query rhh:0.25 --n 20000 --k 4 \
+                 --workload residual_skew:4 --format json"
+            ));
+            assert_eq!(code, 0, "{out}");
+            let line = out.lines().last().unwrap();
+            for field in ["\"query\":\"rhh\"", "\"recall\":", "\"required\":"] {
+                assert!(line.contains(field), "missing {field} in {line}");
+            }
+            let (code, out) = run_cmd(&format!(
+                "run --engine {engine} --query window:5000 --n 20000 --k 4 --s 8 --format json"
+            ));
+            assert_eq!(code, 0, "{out}");
+            let line = out.lines().last().unwrap();
+            for field in [
+                "\"query\":\"window\"",
+                "\"window\":5000",
+                "\"sample_size\":8",
+            ] {
+                assert!(line.contains(field), "missing {field} in {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_query_text_output_and_tree_topology() {
+        let (code, out) = run_cmd(
+            "run --engine threads --query l1:0.25,0.25 --n 10000 --k 4 --groups 2 --topology tree",
+        );
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("query = l1"), "{out}");
+        assert!(out.contains("L1 estimate"), "{out}");
+        let (code, out) = run_cmd("run --query quantum --n 10");
+        assert_eq!(code, 2);
+        assert!(out.contains("unknown query"), "{out}");
+        let (code, out) = run_cmd("run --query l1:0.9 --n 10");
+        assert_eq!(code, 2);
+        assert!(out.contains("eps"), "{out}");
+        let (code, out) = run_cmd("run --query window:0 --n 10");
+        assert_eq!(code, 2);
+        assert!(out.contains("window"), "{out}");
     }
 
     #[test]
@@ -633,7 +774,7 @@ mod tests {
     #[test]
     fn serve_and_feed_reproduce_tcp_engine() {
         let k = 2;
-        let common = "--n 8000 --k 2 --s 8 --seed 9 --workload zipf:1.3";
+        let common = "--n 8000 --k 2 --s 8 --seed 9 --workload zipf_iid:1.3";
         // Start the coordinator server on an ephemeral port.
         let serve_out = SharedBuf::default();
         let server = {
@@ -690,6 +831,12 @@ mod tests {
         let (code, out) = run_cmd("feed --site 0");
         assert_eq!(code, 2);
         assert!(out.contains("--connect"), "{out}");
+        // Feed streams its source: the materializing zipf permutation is
+        // refused with the same guidance as `run`'s streaming mode.
+        let (code, out) =
+            run_cmd("feed --connect 127.0.0.1:1 --site 0 --k 2 --n 10 --workload zipf:1.1");
+        assert_eq!(code, 2);
+        assert!(out.contains("zipf_iid"), "{out}");
         let (code, out) = run_cmd("feed --connect 127.0.0.1:1 --site 9 --k 2 --n 10");
         assert_eq!(code, 2);
         assert!(out.contains("out of range"), "{out}");
@@ -710,6 +857,44 @@ mod tests {
         let (code, out) = run_cmd("run --n nope");
         assert_eq!(code, 2);
         assert!(out.contains("--n"), "{out}");
+    }
+
+    #[test]
+    fn zipf_streaming_run_is_refused_as_ambiguous() {
+        // `zipf` is the exact rank permutation; streaming it silently used
+        // to substitute the i.i.d.-rank distribution. Now it's an error…
+        let (code, out) = run_cmd("run --engine lockstep --n 5000 --k 2 --s 4 --workload zipf:1.2");
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("zipf_iid"), "{out}");
+        assert!(out.contains("--materialize true"), "{out}");
+        // …while both explicit spellings run.
+        let (code, out) = run_cmd(
+            "run --engine lockstep --n 5000 --k 2 --s 4 --workload zipf:1.2 --materialize true",
+        );
+        assert_eq!(code, 0, "{out}");
+        let (code, out) =
+            run_cmd("run --engine lockstep --n 5000 --k 2 --s 4 --workload zipf_iid:1.2");
+        assert_eq!(code, 0, "{out}");
+    }
+
+    #[test]
+    fn degenerate_flags_are_errors_not_panics() {
+        for cmd in [
+            "run --engine threads --n 10 --k 2 --s 4 --workload uniform:5,2",
+            "run --engine threads --n 10 --k 2 --s 4 --workload zipf_iid:-1",
+            "run --engine threads --n 10 --k 2 --s 4 --workload lognormal:0,nan",
+            "run --engine threads --n 10 --k 2 --s 0",
+            "run --engine threads --n 1e300 --k 2 --s 4",
+            "run --engine threads --n -5k --k 2 --s 4",
+            "workload --kind pareto:0 --n 10",
+        ] {
+            let (code, out) = run_cmd(cmd);
+            assert_eq!(code, 2, "`{cmd}` should fail cleanly: {out}");
+        }
+        // n = 0 is a clean empty run, not a panic.
+        let (code, out) = run_cmd("run --engine lockstep --n 0 --k 2 --s 4 --format json");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"n\":0"), "{out}");
     }
 
     #[test]

@@ -211,6 +211,16 @@ impl<R: Read> FramedReader<R> {
         Ok(Some(&self.buf))
     }
 
+    /// Borrows the underlying byte source.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Returns the underlying byte source.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
     /// Reads and decodes the next frame as a single codec value. The frame
     /// must contain exactly one value — trailing bytes are `InvalidData`.
     pub fn read_msg<T: FrameCodec>(&mut self) -> io::Result<Option<T>> {

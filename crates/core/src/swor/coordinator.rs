@@ -45,6 +45,11 @@ pub struct CoordStats {
     pub saturations: u64,
     /// Epoch advances (each causes one broadcast).
     pub epoch_broadcasts: u64,
+    /// The first epoch entered (set when `u` first reaches 1). Together
+    /// with the final epoch this pins the epoch-broadcast count:
+    /// `epoch_broadcasts = final_epoch - first_epoch + 1` — the unified
+    /// down-path accounting the run-level invariants verify.
+    pub first_epoch: Option<i64>,
     /// Withheld items dropped by the O(s)-space optimization.
     pub withheld_dropped: u64,
     /// Total weight of items known to lie in saturated level sets (the
@@ -243,18 +248,41 @@ impl SworCoordinator {
     }
 
     /// Algorithm 3: insert into `S`, evicting the minimum if necessary, and
-    /// broadcast an epoch update if `u` crossed a power of `r`.
+    /// broadcast an epoch update for **every** power of `r` that `u`
+    /// crossed.
+    ///
+    /// One broadcast per epoch crossed — not one per crossing event — keeps
+    /// the downstream accounting a function of the epochs visited rather
+    /// than of how they were visited. Under delayed delivery (the threaded
+    /// and TCP engines) a single accepted key can jump `u` across several
+    /// epochs at once; coalescing those into one message made identical
+    /// scenarios meter differently across engines (the 224-vs-232
+    /// down-message drift between streaming and materialized TCP runs), and
+    /// it under-counts against the paper's `O(log(εW))`-epochs analysis,
+    /// which charges each epoch its own broadcast.
     fn add_to_sample(&mut self, keyed: Keyed, out: &mut Vec<DownMsg>) {
         self.sample.offer(keyed);
         let new_epoch = epoch_of(self.sample.u(), self.r);
         if new_epoch != self.epoch {
             if let Some(j) = new_epoch {
-                // u is nondecreasing, so epochs only move forward.
+                // u is nondecreasing, so epochs only move forward. Entering
+                // the epoch machinery (None -> Some) announces only the
+                // current epoch; afterwards every intermediate epoch is
+                // announced in order, ending with the current one.
+                let first = match self.epoch {
+                    Some(prev) => prev + 1,
+                    None => {
+                        self.stats.first_epoch = Some(j);
+                        j
+                    }
+                };
                 self.epoch = new_epoch;
-                self.stats.epoch_broadcasts += 1;
-                out.push(DownMsg::UpdateEpoch {
-                    threshold: epoch_threshold(j, self.r),
-                });
+                for epoch in first..=j {
+                    self.stats.epoch_broadcasts += 1;
+                    out.push(DownMsg::UpdateEpoch {
+                        threshold: epoch_threshold(epoch, self.r),
+                    });
+                }
             }
         }
     }
@@ -561,7 +589,7 @@ mod tests {
             &mut out,
         );
         assert!(out.is_empty());
-        // Jumping multiple epochs broadcasts once with the new threshold.
+        // Advancing one epoch broadcasts once with the new threshold.
         coord.receive(
             UpMsg::Regular {
                 item: Item::new(4, 1.0),
@@ -576,6 +604,29 @@ mod tests {
             out[0],
             DownMsg::UpdateEpoch { threshold } if threshold == 8.0
         ));
+        // Jumping multiple epochs at once broadcasts every epoch crossed,
+        // in order — the down-path accounting counts epochs visited, not
+        // crossing events (delayed delivery must meter like instant).
+        out.clear();
+        coord.receive(
+            UpMsg::Regular {
+                item: Item::new(5, 1.0),
+                key: 1000.0,
+            },
+            &mut out,
+        );
+        // Keys now {1000, 64}: u = 64 in [64, 128) -> epoch 6; epochs 4,
+        // 5 and 6 are each announced with their own threshold.
+        assert_eq!(coord.epoch(), Some(6));
+        let thresholds: Vec<f64> = out
+            .iter()
+            .map(|m| match m {
+                DownMsg::UpdateEpoch { threshold } => *threshold,
+                other => panic!("unexpected broadcast {other:?}"),
+            })
+            .collect();
+        assert_eq!(thresholds, vec![16.0, 32.0, 64.0]);
+        assert_eq!(coord.stats.epoch_broadcasts, 1 + 1 + 3);
     }
 
     #[test]

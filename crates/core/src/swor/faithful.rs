@@ -90,15 +90,25 @@ impl FaithfulCoordinator {
         }
     }
 
+    /// Mirrors [`super::coordinator::SworCoordinator`]'s per-epoch-crossed
+    /// broadcasts: every
+    /// epoch `u` passes is announced with its own threshold (see the
+    /// optimized coordinator for the accounting rationale).
     fn add_to_sample(&mut self, keyed: Keyed, out: &mut Vec<DownMsg>) {
         self.sample.offer(keyed);
         let new_epoch = epoch_of(self.sample.u(), self.r);
         if new_epoch != self.epoch {
             if let Some(j) = new_epoch {
+                let first = match self.epoch {
+                    Some(prev) => prev + 1,
+                    None => j,
+                };
                 self.epoch = new_epoch;
-                out.push(DownMsg::UpdateEpoch {
-                    threshold: epoch_threshold(j, self.r),
-                });
+                for epoch in first..=j {
+                    out.push(DownMsg::UpdateEpoch {
+                        threshold: epoch_threshold(epoch, self.r),
+                    });
+                }
             }
         }
     }

@@ -1,0 +1,153 @@
+//! Adversarial framing properties: a hostile or corrupt peer controls the
+//! 4-byte length prefix and the payload bytes; the framed reader must
+//! reject oversized prefixes **before** allocating or reading a single
+//! payload byte, and must never panic on arbitrary payload garbage.
+
+use std::io::{self, Cursor, Read};
+
+use dwrs_core::framed::{FramedReader, FramedWriter, MAX_FRAME_LEN};
+use dwrs_core::swor::{DownMsg, SyncMsg, UpMsg};
+use dwrs_core::{Item, Keyed};
+use proptest::prelude::*;
+
+/// A byte source that hands out a fixed prefix and then trips a flag if the
+/// reader ever asks for more — in particular, if the reader trusted a
+/// hostile length prefix and tried to fill a huge payload buffer, the
+/// `read` call for that buffer lands here.
+struct TrapReader {
+    prefix: Cursor<Vec<u8>>,
+    /// Largest single `read` request observed after the prefix ran dry.
+    overread: usize,
+}
+
+impl TrapReader {
+    fn new(prefix: Vec<u8>) -> Self {
+        Self {
+            prefix: Cursor::new(prefix),
+            overread: 0,
+        }
+    }
+}
+
+impl Read for TrapReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.prefix.read(buf)?;
+        if n == 0 && !buf.is_empty() {
+            self.overread = self.overread.max(buf.len());
+        }
+        Ok(n)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any length prefix over MAX_FRAME_LEN is rejected as InvalidData
+    /// without the reader requesting any payload bytes — i.e. before the
+    /// `len`-sized buffer is filled (and in particular before a hostile
+    /// multi-GB prefix can drive a multi-GB allocation).
+    #[test]
+    fn oversized_prefix_rejected_before_payload_read(
+        len in (MAX_FRAME_LEN + 1)..=u32::MAX,
+    ) {
+        let mut reader = FramedReader::new(TrapReader::new(len.to_le_bytes().to_vec()));
+        let err = reader.read_blob().expect_err("oversized prefix must fail");
+        prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// Same property through the typed `read_msg` path.
+    #[test]
+    fn oversized_prefix_rejected_in_read_msg(
+        len in (MAX_FRAME_LEN + 1)..=u32::MAX,
+        tail in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&tail);
+        let mut reader = FramedReader::new(TrapReader::new(bytes));
+        let err = reader
+            .read_msg::<UpMsg>()
+            .expect_err("oversized prefix must fail");
+        prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// The trap actually observes the payload read for in-bounds prefixes,
+    /// so the two properties above genuinely prove "no payload read": a
+    /// truncated valid-length frame *does* reach the payload read and the
+    /// request never exceeds the declared length.
+    #[test]
+    fn in_bounds_prefix_reads_at_most_len(
+        len in 1u32..=MAX_FRAME_LEN,
+    ) {
+        let mut reader = FramedReader::new(TrapReader::new(len.to_le_bytes().to_vec()));
+        let err = reader.read_blob().expect_err("mid-frame EOF must fail");
+        prop_assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        let trap = reader.into_inner();
+        prop_assert!(trap.overread >= 1, "payload read never happened");
+        prop_assert!(
+            trap.overread <= len as usize,
+            "requested {} bytes for a {len}-byte frame",
+            trap.overread
+        );
+    }
+
+    /// Decoding arbitrary garbage payloads is total: every outcome is a
+    /// clean io::Error (InvalidData for malformed payloads, UnexpectedEof
+    /// for mid-frame cuts), never a panic, for all three protocol codecs.
+    #[test]
+    fn garbage_frames_never_panic(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut bytes = (payload.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&payload);
+        for outcome in [
+            FramedReader::new(Cursor::new(bytes.clone())).read_msg::<UpMsg>().map(|_| ()),
+            FramedReader::new(Cursor::new(bytes.clone())).read_msg::<DownMsg>().map(|_| ()),
+            FramedReader::new(Cursor::new(bytes.clone())).read_msg::<SyncMsg>().map(|_| ()),
+        ] {
+            if let Err(e) = outcome {
+                prop_assert!(
+                    matches!(
+                        e.kind(),
+                        io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+                    ),
+                    "unexpected error kind {:?}",
+                    e.kind()
+                );
+            }
+        }
+    }
+
+    /// Valid frames round-trip through a byte stream for every message
+    /// shape, including boundary ids and weights.
+    #[test]
+    fn valid_frames_round_trip(
+        id in any::<u64>(),
+        weight in 1.0f64..1e12,
+        key in 1e-6f64..1e12,
+        threshold in 1e-6f64..1e12,
+        level in 0u32..64,
+    ) {
+        let mut w = FramedWriter::new(Vec::new());
+        let up1 = UpMsg::Early { item: Item::new(id, weight) };
+        let up2 = UpMsg::Regular { item: Item::new(id, weight), key };
+        let d1 = DownMsg::LevelSaturated { level };
+        let d2 = DownMsg::UpdateEpoch { threshold };
+        let sync = SyncMsg {
+            group: 3,
+            items: id,
+            sample: vec![Keyed::new(Item::new(id, weight), key)],
+        };
+        w.write_msg(&up1).unwrap();
+        w.write_msg(&up2).unwrap();
+        w.write_msg(&d1).unwrap();
+        w.write_msg(&d2).unwrap();
+        w.write_msg(&sync).unwrap();
+        let mut r = FramedReader::new(Cursor::new(w.into_inner()));
+        prop_assert_eq!(r.read_msg::<UpMsg>().unwrap().unwrap(), up1);
+        prop_assert_eq!(r.read_msg::<UpMsg>().unwrap().unwrap(), up2);
+        prop_assert_eq!(r.read_msg::<DownMsg>().unwrap().unwrap(), d1);
+        prop_assert_eq!(r.read_msg::<DownMsg>().unwrap().unwrap(), d2);
+        prop_assert_eq!(r.read_msg::<SyncMsg>().unwrap().unwrap(), sync);
+        prop_assert!(r.read_msg::<UpMsg>().unwrap().is_none());
+    }
+}

@@ -38,11 +38,12 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use dwrs_core::swor::SworConfig;
+use dwrs_core::framed::FrameCodec;
+use dwrs_core::swor::{CoordStats, SworConfig};
 use dwrs_core::{Item, Keyed};
-use dwrs_sim::{swor_coordinator, swor_site, FanInTree, Metrics, Partition, Partitioner, Runner};
+use dwrs_sim::{CoordinatorNode, FanInTree, Metrics, Partition, Partitioner, Runner, SiteNode};
 use dwrs_workloads::source::{
     lognormal_stream, pareto_stream, uniform_stream, unit_stream, zipf_stream, CsvSource,
     ItemSource,
@@ -50,9 +51,15 @@ use dwrs_workloads::source::{
 
 use crate::adapters::EngineKind;
 use crate::config::RuntimeConfig;
-use crate::engine::{run_threads, RuntimeError};
+use crate::engine::{run_threads, RunOutput, RuntimeError};
+use crate::query::{run_query_flat, run_query_tree, FlatOutcome, TreeOutcome};
 use crate::tcp::run_tcp;
-use crate::tree::{run_tree_swor, GroupStats, TreeTopology};
+use crate::tree::{
+    finish_lockstep_tree, run_tree_nodes, GroupStats, LockstepTree, SampleSource, TreeOutput,
+    TreeTopology,
+};
+
+pub use crate::query::{Query, QueryAnswer};
 
 // ----------------------------------------------------------- workloads
 
@@ -69,9 +76,22 @@ pub enum Workload {
         /// Upper weight bound.
         hi: f64,
     },
-    /// I.i.d. Zipf-by-rank weights `(n/r)^alpha` (streaming; see
-    /// [`dwrs_workloads::zipf_stream`]).
+    /// I.i.d. Zipf-by-rank weights `(n/r)^alpha` with each rank drawn
+    /// uniformly at random (streaming, O(1) memory; see
+    /// [`dwrs_workloads::zipf_stream`]). The CLI spells this `zipf_iid`.
+    /// Same marginal weight distribution as [`Workload::ZipfRanked`], but
+    /// ranks repeat — it is *not* the exact permutation.
     Zipf {
+        /// Skew exponent.
+        alpha: f64,
+    },
+    /// The exact Zipf rank permutation: every rank `1..=n` appears exactly
+    /// once, shuffled (see [`dwrs_workloads::zipf_ranked`]). The CLI spells
+    /// this `zipf`. The construction is global, so this variant
+    /// **materializes** (O(n) memory) — `run` refuses it in streaming mode
+    /// rather than silently switching distributions; pass
+    /// `--materialize true` or use `zipf_iid` to stream.
+    ZipfRanked {
         /// Skew exponent.
         alpha: f64,
     },
@@ -136,8 +156,10 @@ impl Workload {
         Workload::Items(std::sync::Arc::new(items))
     }
     /// Parses a `kind[:params]` spec (the CLI `--workload` syntax):
-    /// `unit`, `uniform:<lo>,<hi>`, `zipf:<alpha>`, `pareto:<alpha>`,
-    /// `lognormal:<mu>,<sigma>`, `residual_skew:<top>`, `csv:<path>`.
+    /// `unit`, `uniform:<lo>,<hi>`, `zipf:<alpha>` (exact rank permutation,
+    /// materializes), `zipf_iid:<alpha>` (i.i.d. ranks, streams),
+    /// `pareto:<alpha>`, `lognormal:<mu>,<sigma>`, `residual_skew:<top>`,
+    /// `csv:<path>`.
     pub fn parse(spec: &str) -> Result<Workload, String> {
         let (name, params) = match spec.split_once(':') {
             Some((a, b)) => (a, b),
@@ -167,7 +189,8 @@ impl Workload {
                 lo: get(0, 1.0),
                 hi: get(1, 10.0),
             },
-            "zipf" => Workload::Zipf { alpha: get(0, 1.2) },
+            "zipf" => Workload::ZipfRanked { alpha: get(0, 1.2) },
+            "zipf_iid" => Workload::Zipf { alpha: get(0, 1.2) },
             "pareto" => Workload::Pareto {
                 alpha: get(0, 1.2),
                 w_min: 1.0,
@@ -183,14 +206,90 @@ impl Workload {
         })
     }
 
+    /// Validates the distribution parameters, returning a human-readable
+    /// complaint instead of letting a generator assert mid-run (degenerate
+    /// shapes like `uniform:5,2`, `zipf:-1` or `lognormal:0,nan` are
+    /// rejected here, before any thread is spawned).
+    pub fn validate(&self) -> Result<(), String> {
+        let finite = |name: &str, x: f64| {
+            if x.is_finite() {
+                Ok(())
+            } else {
+                Err(format!("workload parameter {name} = {x} must be finite"))
+            }
+        };
+        match *self {
+            Workload::Unit | Workload::Csv(_) | Workload::Items(_) => Ok(()),
+            Workload::Uniform { lo, hi } => {
+                finite("lo", lo)?;
+                finite("hi", hi)?;
+                if lo > 0.0 && hi > lo {
+                    Ok(())
+                } else {
+                    Err(format!("uniform workload needs 0 < lo < hi, got {lo},{hi}"))
+                }
+            }
+            Workload::Zipf { alpha } | Workload::ZipfRanked { alpha } => {
+                finite("alpha", alpha)?;
+                if alpha > 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!("zipf alpha must be positive, got {alpha}"))
+                }
+            }
+            Workload::Pareto { alpha, w_min } => {
+                finite("alpha", alpha)?;
+                finite("w_min", w_min)?;
+                if alpha > 0.0 && w_min > 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "pareto workload needs alpha > 0 and w_min > 0, got {alpha},{w_min}"
+                    ))
+                }
+            }
+            Workload::Lognormal { mu, sigma } => {
+                finite("mu", mu)?;
+                finite("sigma", sigma)?;
+                if sigma >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!("lognormal sigma must be >= 0, got {sigma}"))
+                }
+            }
+            Workload::ResidualSkew { top } => {
+                if top >= 1 {
+                    Ok(())
+                } else {
+                    Err("residual_skew needs at least one head item".into())
+                }
+            }
+        }
+    }
+
+    /// Whether resolving this workload occupies O(n) memory (a global
+    /// construction or an in-memory vec) rather than streaming at O(1).
+    pub fn materializes(&self) -> bool {
+        matches!(
+            self,
+            Workload::ZipfRanked { .. } | Workload::ResidualSkew { .. } | Workload::Items(_)
+        )
+    }
+
     /// Resolves the description into a streaming source of (up to) `n`
-    /// items. Only [`Workload::ResidualSkew`] and [`Workload::Items`]
-    /// occupy O(n) memory; every other variant is O(1).
+    /// items. Only the [`Workload::materializes`] variants occupy O(n)
+    /// memory; every other variant is O(1). Invalid distribution
+    /// parameters surface as `InvalidInput` errors rather than panics.
     pub fn source(&self, n: u64, seed: u64) -> std::io::Result<Box<dyn ItemSource>> {
+        self.validate()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
         Ok(match self {
             Workload::Unit => Box::new(unit_stream(n)),
             Workload::Uniform { lo, hi } => Box::new(uniform_stream(n, *lo, *hi, seed)),
             Workload::Zipf { alpha } => Box::new(zipf_stream(n, *alpha, seed)),
+            Workload::ZipfRanked { alpha } => {
+                Box::new(dwrs_workloads::zipf_ranked(n as usize, *alpha, seed).into_iter())
+            }
             Workload::Pareto { alpha, w_min } => Box::new(pareto_stream(n, *alpha, *w_min, seed)),
             Workload::Lognormal { mu, sigma } => Box::new(lognormal_stream(n, *mu, *sigma, seed)),
             Workload::ResidualSkew { top } => {
@@ -252,6 +351,9 @@ pub struct Scenario {
     /// deterministic function of the scenario seed — identical across
     /// engines (the determinism property tests rely on this).
     pub level_sets: bool,
+    /// Which application protocol the deployment runs (SWOR by default);
+    /// see [`Query`].
+    pub query: Query,
 }
 
 impl Scenario {
@@ -269,6 +371,7 @@ impl Scenario {
             partition: Partition::RoundRobin,
             runtime: RuntimeConfig::default(),
             level_sets: true,
+            query: Query::Swor,
         }
     }
 
@@ -314,6 +417,12 @@ impl Scenario {
         self
     }
 
+    /// Sets the application query the deployment runs.
+    pub fn with_query(mut self, query: Query) -> Self {
+        self.query = query;
+        self
+    }
+
     /// The seeded workload source this scenario reads (the derivation the
     /// CLI's distributed `serve`/`feed` halves share, so every process of
     /// a deployment reconstructs the identical global stream).
@@ -335,6 +444,8 @@ impl Scenario {
         if self.s == 0 {
             return Err("sample size s must be at least 1".into());
         }
+        self.workload.validate()?;
+        self.query.validate()?;
         if let Topology::Tree { groups, sync_every } = self.topology {
             if groups == 0 {
                 return Err("tree topology needs at least one group".into());
@@ -353,9 +464,10 @@ impl Scenario {
     }
 
     /// The intra-deployment protocol configuration for a coordinator over
-    /// `k` sites (the group size for trees, the full `k` for flat).
-    fn swor_config(&self, k: usize) -> SworConfig {
-        let mut cfg = SworConfig::new(self.s, k);
+    /// `k` sites (the group size for trees, the full `k` for flat), with
+    /// an explicit sample size (the query's effective `s`).
+    pub(crate) fn swor_config_with(&self, s: usize, k: usize) -> SworConfig {
+        let mut cfg = SworConfig::new(s, k);
         cfg.level_sets_enabled = self.level_sets;
         cfg
     }
@@ -377,10 +489,13 @@ pub const QUEUE_FRAMES: usize = 4;
 
 /// What the dispatcher measured while feeding a run — the evidence for the
 /// bounded-memory invariant.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct DispatcherStats {
     /// Items pulled off the source and dispatched.
     pub items: u64,
+    /// Total weight of the dispatched items (the exact `W` that query
+    /// answers such as the L1 estimate are checked against).
+    pub weight: f64,
     /// Frames shipped across all shards.
     pub frames: u64,
     /// Number of shard queues (`k`, or `g·k` for trees).
@@ -513,6 +628,7 @@ impl Dispatcher {
         for item in source {
             let shard = partitioner.next_site();
             self.stats.items += 1;
+            self.stats.weight += item.weight;
             let (_, buf) = &mut self.shards[shard];
             buf.push(item);
             if buf.len() >= FRAME_ITEMS {
@@ -541,13 +657,21 @@ pub struct RunReport {
     pub engine: EngineKind,
     /// Topology the run executed in.
     pub topology: Topology,
+    /// The application query the run executed.
+    pub query: Query,
+    /// The query-specific answer (estimate, candidate set, …); the
+    /// `sample` field is always the underlying keyed sample.
+    pub answer: QueryAnswer,
     /// Total sites.
     pub k: usize,
-    /// Sample size.
+    /// Effective sample size of the underlying protocol (the scenario's
+    /// `s`, or the L1/residual-HH theorem-derived size).
     pub s: usize,
     /// Items actually streamed (synthetic workloads: the scenario's `n`;
     /// CSV / in-memory sources: their true length).
     pub items: u64,
+    /// Exact total weight of the streamed items.
+    pub total_weight: f64,
     /// Wall-clock time of the run (dispatch + protocol + shutdown; for
     /// streaming workloads, generation overlaps inside this window).
     pub elapsed: Duration,
@@ -607,29 +731,49 @@ fn peak_rss_bytes() -> Option<u64> {
     Some(kb * 1024)
 }
 
+/// Per-query context for the invariant checks.
+struct InvariantCtx<'a> {
+    query: &'a Query,
+    answer: &'a QueryAnswer,
+    u: Option<f64>,
+    /// Flat swor-family runs: the coordinator's final counters and epoch,
+    /// for the unified down-path accounting check.
+    coord_stats: Option<CoordStats>,
+    final_epoch: Option<i64>,
+}
+
 /// Checks the run-level invariants shared by every substrate; returns the
 /// violations (empty when healthy).
-#[allow(clippy::too_many_arguments)]
 fn check_invariants(
     sample: &[Keyed],
     metrics: &Metrics,
     items: u64,
     s: usize,
     k_per_coordinator: usize,
-    u: Option<f64>,
+    ctx: &InvariantCtx<'_>,
     tree: Option<(u64, &[GroupStats])>,
 ) -> Vec<String> {
     let mut violations = Vec::new();
-    let expect = (s as u64).min(items);
+    let mut expect = (s as u64).min(items);
+    if let Query::SlidingWindow { window } = ctx.query {
+        expect = expect.min(*window);
+    }
+    if let Some(ell) = ctx.query.duplication() {
+        // L1 inserts up to ℓ keyed duplicates per item, and until the
+        // sample fills nothing is filtered anywhere (every threshold is
+        // still 0), so the sample holds min(s, items·ℓ) entries.
+        expect = (s as u64).min(items.saturating_mul(ell));
+    }
     if sample.len() as u64 != expect {
         violations.push(format!(
-            "sample size {} != min(s, items) = {expect}",
+            "sample size {} != min(s, items·dups, window) = {expect}",
             sample.len()
         ));
     }
     let syncs = tree.map_or(0, |(_, stats)| stats.iter().map(|st| st.syncs).sum());
     let expect_up = 17 * metrics.kind("early")
         + 25 * metrics.kind("regular")
+        + 25 * metrics.kind("window_cand")
         + 17 * syncs
         + 24 * metrics.kind("sync");
     if metrics.up_bytes != expect_up {
@@ -651,10 +795,70 @@ fn check_invariants(
             metrics.down_total, metrics.broadcast_events
         ));
     }
-    if let Some(u) = u {
+    // Unified down-path accounting (flat swor-family runs): the broadcast
+    // counts must be the deterministic function of the coordinator's final
+    // state — one `level_saturated` per saturation, one `update_epoch` per
+    // epoch in the span [first, final] — whatever the engine or delivery
+    // timing (the 224-vs-232 metering-drift regression guard).
+    if let Some(stats) = ctx.coord_stats {
+        let k = k_per_coordinator as u64;
+        if metrics.kind("level_saturated") != stats.saturations * k {
+            violations.push(format!(
+                "level_saturated count {} != saturations {} × k {k}",
+                metrics.kind("level_saturated"),
+                stats.saturations
+            ));
+        }
+        if metrics.kind("update_epoch") != stats.epoch_broadcasts * k {
+            violations.push(format!(
+                "update_epoch count {} != epoch broadcasts {} × k {k}",
+                metrics.kind("update_epoch"),
+                stats.epoch_broadcasts
+            ));
+        }
+        if let (Some(first), Some(last)) = (stats.first_epoch, ctx.final_epoch) {
+            let span = (last - first + 1).max(0) as u64;
+            if stats.epoch_broadcasts != span {
+                violations.push(format!(
+                    "epoch broadcasts {} != epoch span {span} (epochs {first}..={last})",
+                    stats.epoch_broadcasts
+                ));
+            }
+        }
+    }
+    if let Some(u) = ctx.u {
         if sample.iter().any(|kd| kd.key < u) {
             violations.push(format!("a sampled key fell below the threshold u = {u:e}"));
         }
+    }
+    match (ctx.query, ctx.answer) {
+        (Query::SlidingWindow { window }, _) => {
+            let cutoff = items.saturating_sub(*window);
+            if let Some(stale) = sample.iter().find(|kd| kd.item.id < cutoff) {
+                violations.push(format!(
+                    "window sample contains expired item {} (cutoff {cutoff})",
+                    stale.item.id
+                ));
+            }
+        }
+        // A loose accuracy guard: the theorem gives (1±ε) with prob. 1-δ;
+        // 0.5 catches wiring bugs (wrong ℓ, wrong u) without flaking on
+        // unlucky seeds.
+        (
+            Query::L1 { .. },
+            QueryAnswer::L1 {
+                estimate,
+                true_weight,
+                rel_error,
+                ..
+            },
+        ) if items > 1_000 && *rel_error > 0.5 => {
+            violations.push(format!(
+                "L1 estimate {estimate:.3e} is off the exact weight \
+                 {true_weight:.3e} by {rel_error:.2}"
+            ));
+        }
+        _ => {}
     }
     if let Some((sync_every, stats)) = tree {
         let covered: u64 = stats.iter().map(|st| st.items).sum();
@@ -716,25 +920,44 @@ pub fn run_scenario(sc: &Scenario) -> Result<RunReport, RuntimeError> {
     }
 }
 
-fn run_flat(sc: &Scenario, source: Box<dyn ItemSource>) -> Result<RunReport, RuntimeError> {
-    let cfg = sc.swor_config(sc.k);
-    let sites: Vec<_> = (0..sc.k).map(|i| swor_site(&cfg, sc.seed, i)).collect();
-    let coordinator = swor_coordinator(cfg, sc.seed);
-    let t0 = Instant::now();
-    let (items, sample, metrics, u, dispatcher) = match sc.engine {
+/// What a generic engine drive hands back: items streamed, their total
+/// weight, the protocol output, and dispatcher stats (concurrent engines
+/// only).
+pub(crate) type DriveResult<Out> = Result<(u64, f64, Out, Option<DispatcherStats>), RuntimeError>;
+
+/// Drives a flat deployment of arbitrary protocol nodes on the scenario's
+/// engine: the lockstep simulator consumes the stream directly (O(1)
+/// extra memory, plus the end-of-stream [`SiteNode::finish`] pass); the
+/// concurrent engines stream it through the bounded dispatcher.
+pub(crate) fn drive_flat<S, C>(
+    sc: &Scenario,
+    source: Box<dyn ItemSource>,
+    sites: Vec<S>,
+    coordinator: C,
+) -> DriveResult<RunOutput<S, C>>
+where
+    S: SiteNode + Send,
+    S::Up: FrameCodec + Send + 'static,
+    S::Down: FrameCodec + Clone + Send + 'static,
+    C: CoordinatorNode<Up = S::Up, Down = S::Down> + Send,
+{
+    match sc.engine {
         EngineKind::Lockstep => {
-            // No dispatcher: the simulator consumes the stream directly in
-            // its true global arrival order, O(1) extra memory.
             let mut partitioner = sc.partitioner();
             let mut runner = Runner::new(coordinator, sites);
-            let mut items = 0u64;
+            let (mut items, mut weight) = (0u64, 0.0f64);
             for item in source {
+                weight += item.weight;
                 runner.step(partitioner.next_site(), item);
                 items += 1;
             }
-            let sample = runner.coordinator.sample();
-            let u = runner.coordinator.u();
-            (items, sample, runner.metrics, u, None)
+            runner.finish();
+            let out = RunOutput {
+                sites: runner.sites,
+                coordinator: runner.coordinator,
+                metrics: runner.metrics,
+            };
+            Ok((items, weight, out, None))
         }
         EngineKind::Threads | EngineKind::Tcp => {
             let (dispatcher, shards) = Dispatcher::new(sc.k);
@@ -746,19 +969,127 @@ fn run_flat(sc: &Scenario, source: Box<dyn ItemSource>) -> Result<RunReport, Run
             };
             let dstats = join_feeder(feeder)?;
             let out = result?;
-            let sample = out.coordinator.sample();
-            let u = out.coordinator.u();
-            (dstats.items, sample, out.metrics, u, Some(dstats))
+            Ok((dstats.items, dstats.weight, out, Some(dstats)))
         }
+    }
+}
+
+/// Drives a fan-in tree of arbitrary protocol nodes on the scenario's
+/// engine. `swor_lockstep_cfg` selects the specialized [`FanInTree`] for
+/// the lockstep arm (SWOR-family queries, byte-compatible with historical
+/// runs); `None` uses the generic [`LockstepTree`] built from the same
+/// factories the concurrent engines use.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive_tree<S, A>(
+    sc: &Scenario,
+    source: Box<dyn ItemSource>,
+    groups: usize,
+    sync_every: u64,
+    swor_lockstep_cfg: Option<&SworConfig>,
+    mut mk_site: impl FnMut(usize, usize) -> S,
+    mut mk_aggregator: impl FnMut(usize) -> A,
+    s_eff: usize,
+) -> DriveResult<TreeOutput>
+where
+    S: SiteNode + Send,
+    S::Up: FrameCodec + Send + 'static,
+    S::Down: FrameCodec + Clone + Send + 'static,
+    A: CoordinatorNode<Up = S::Up, Down = S::Down> + SampleSource + Send,
+{
+    let k_per_group = sc.k / groups;
+    let topo = TreeTopology::new(groups, k_per_group, sync_every);
+    match sc.engine {
+        EngineKind::Lockstep => {
+            // Direct feed, global arrival order: site `i` of the global
+            // stream is site `i % k_per_group` of group `i / k_per_group`.
+            let mut partitioner = sc.partitioner();
+            let (mut items, mut weight) = (0u64, 0.0f64);
+            let out = if let Some(cfg) = swor_lockstep_cfg {
+                let mut tree = FanInTree::from_config(cfg.clone(), groups, sync_every, sc.seed);
+                for item in source {
+                    let site = partitioner.next_site();
+                    weight += item.weight;
+                    tree.observe(site / k_per_group, site % k_per_group, item);
+                    items += 1;
+                }
+                finish_lockstep_tree(tree)
+            } else {
+                let runners = (0..groups)
+                    .map(|gi| {
+                        Runner::new(
+                            mk_aggregator(gi),
+                            (0..k_per_group).map(|i| mk_site(gi, i)).collect(),
+                        )
+                    })
+                    .collect();
+                let mut tree = LockstepTree::new(s_eff, sync_every, runners);
+                for item in source {
+                    let site = partitioner.next_site();
+                    weight += item.weight;
+                    tree.observe(site / k_per_group, site % k_per_group, item);
+                    items += 1;
+                }
+                tree.finish()
+            };
+            Ok((items, weight, out, None))
+        }
+        EngineKind::Threads | EngineKind::Tcp => {
+            let (dispatcher, shards) = Dispatcher::new(sc.k);
+            let partitioner = sc.partitioner();
+            let feeder = thread::spawn(move || dispatcher.run(source, partitioner));
+            // Regroup the flat shard list into per-group blocks (shard
+            // order is global site order, which is group-major).
+            let mut it = shards.into_iter();
+            let grouped: Vec<Vec<ShardSource>> = (0..groups)
+                .map(|_| it.by_ref().take(k_per_group).collect())
+                .collect();
+            let result = run_tree_nodes(
+                sc.engine,
+                s_eff,
+                &topo,
+                mk_site,
+                mk_aggregator,
+                grouped,
+                &sc.runtime,
+            );
+            let dstats = join_feeder(feeder)?;
+            let out = result?;
+            Ok((dstats.items, dstats.weight, out, Some(dstats)))
+        }
+    }
+}
+
+fn run_flat(sc: &Scenario, source: Box<dyn ItemSource>) -> Result<RunReport, RuntimeError> {
+    let FlatOutcome {
+        items,
+        weight,
+        elapsed,
+        sample,
+        metrics,
+        u,
+        coord_stats,
+        final_epoch,
+        dispatcher,
+        answer,
+    } = run_query_flat(sc, source)?;
+    let s_eff = sc.query.sample_size(sc.s);
+    let ctx = InvariantCtx {
+        query: &sc.query,
+        answer: &answer,
+        u,
+        coord_stats,
+        final_epoch,
     };
-    let elapsed = t0.elapsed();
-    let violations = check_invariants(&sample, &metrics, items, sc.s, sc.k, Some(u), None);
+    let violations = check_invariants(&sample, &metrics, items, s_eff, sc.k, &ctx, None);
     Ok(RunReport {
         engine: sc.engine,
         topology: sc.topology,
+        query: sc.query,
+        answer,
         k: sc.k,
-        s: sc.s,
+        s: s_eff,
         items,
+        total_weight: weight,
         elapsed,
         sample,
         metrics,
@@ -777,55 +1108,40 @@ fn run_tree(
     sync_every: u64,
 ) -> Result<RunReport, RuntimeError> {
     let k_per_group = sc.k / groups;
-    let topo = TreeTopology::new(groups, k_per_group, sync_every);
-    let group_cfg = sc.swor_config(k_per_group);
-    let t0 = Instant::now();
-    let (items, out, dispatcher) = match sc.engine {
-        EngineKind::Lockstep => {
-            // Direct feed, global arrival order: site `i` of the global
-            // stream is site `i % k_per_group` of group `i / k_per_group`.
-            let mut partitioner = sc.partitioner();
-            let mut tree = FanInTree::from_config(group_cfg, groups, sync_every, sc.seed);
-            let mut items = 0u64;
-            for item in source {
-                let site = partitioner.next_site();
-                tree.observe(site / k_per_group, site % k_per_group, item);
-                items += 1;
-            }
-            (items, crate::tree::finish_lockstep_tree(tree), None)
-        }
-        EngineKind::Threads | EngineKind::Tcp => {
-            let (dispatcher, shards) = Dispatcher::new(sc.k);
-            let partitioner = sc.partitioner();
-            let feeder = thread::spawn(move || dispatcher.run(source, partitioner));
-            // Regroup the flat shard list into per-group blocks (shard
-            // order is global site order, which is group-major).
-            let mut it = shards.into_iter();
-            let grouped: Vec<Vec<ShardSource>> = (0..groups)
-                .map(|_| it.by_ref().take(k_per_group).collect())
-                .collect();
-            let result = run_tree_swor(sc.engine, &group_cfg, &topo, sc.seed, grouped, &sc.runtime);
-            let dstats = join_feeder(feeder)?;
-            let out = result?;
-            (dstats.items, out, Some(dstats))
-        }
+    let TreeOutcome {
+        items,
+        weight,
+        elapsed,
+        out,
+        dispatcher,
+        answer,
+    } = run_query_tree(sc, source, groups, sync_every)?;
+    let s_eff = sc.query.sample_size(sc.s);
+    let ctx = InvariantCtx {
+        query: &sc.query,
+        answer: &answer,
+        u: None,
+        coord_stats: None,
+        final_epoch: None,
     };
-    let elapsed = t0.elapsed();
     let violations = check_invariants(
         &out.root_sample,
         &out.metrics,
         items,
-        sc.s,
+        s_eff,
         k_per_group,
-        None,
+        &ctx,
         Some((sync_every, &out.group_stats)),
     );
     Ok(RunReport {
         engine: sc.engine,
         topology: sc.topology,
+        query: sc.query,
+        answer,
         k: sc.k,
-        s: sc.s,
+        s: s_eff,
         items,
+        total_weight: weight,
         elapsed,
         sample: out.root_sample,
         metrics: out.metrics,
@@ -869,8 +1185,15 @@ mod tests {
         );
         assert_eq!(
             Workload::parse("zipf:1.3").unwrap(),
+            Workload::ZipfRanked { alpha: 1.3 }
+        );
+        assert_eq!(
+            Workload::parse("zipf_iid:1.3").unwrap(),
             Workload::Zipf { alpha: 1.3 }
         );
+        assert!(Workload::parse("zipf_iid:1.3").unwrap().validate().is_ok());
+        assert!(!Workload::parse("zipf_iid:1.3").unwrap().materializes());
+        assert!(Workload::parse("zipf:1.3").unwrap().materializes());
         assert!(matches!(
             Workload::parse("csv:/tmp/x.csv").unwrap(),
             Workload::Csv(_)
@@ -880,6 +1203,74 @@ mod tests {
             .unwrap_err()
             .contains("bad workload parameter"));
         assert!(Workload::parse("csv").is_err());
+    }
+
+    #[test]
+    fn degenerate_workload_params_are_typed_errors_not_panics() {
+        // Generator asserts must never fire mid-run: validation rejects
+        // the shapes up front, through both validate() and run_scenario().
+        for bad in [
+            Workload::Uniform { lo: 5.0, hi: 2.0 },
+            Workload::Uniform { lo: 0.0, hi: 1.0 },
+            Workload::Uniform {
+                lo: 1.0,
+                hi: f64::INFINITY,
+            },
+            Workload::Zipf { alpha: 0.0 },
+            Workload::Zipf { alpha: -1.0 },
+            Workload::ZipfRanked { alpha: f64::NAN },
+            Workload::Pareto {
+                alpha: -0.5,
+                w_min: 1.0,
+            },
+            Workload::Pareto {
+                alpha: 1.0,
+                w_min: 0.0,
+            },
+            Workload::Lognormal {
+                mu: 0.0,
+                sigma: -1.0,
+            },
+            Workload::Lognormal {
+                mu: f64::NAN,
+                sigma: 1.0,
+            },
+            Workload::ResidualSkew { top: 0 },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} accepted");
+            assert!(bad.source(10, 1).is_err(), "{bad:?} source resolved");
+            let sc = Scenario::new(EngineKind::Lockstep, 2, 4)
+                .with_n(10)
+                .with_workload(bad.clone());
+            let err = run_scenario(&sc).unwrap_err();
+            assert!(
+                matches!(err, RuntimeError::InvalidScenario(_)),
+                "{bad:?}: {err}"
+            );
+        }
+        // n = 0 is a valid (empty) stream, not a panic.
+        let sc = Scenario::new(EngineKind::Lockstep, 2, 4)
+            .with_n(0)
+            .with_workload(Workload::Zipf { alpha: 1.2 });
+        let report = run_scenario(&sc).expect("empty stream runs");
+        assert_eq!(report.items, 0);
+        assert!(report.sample.is_empty());
+    }
+
+    #[test]
+    fn zipf_ranked_workload_is_the_exact_permutation() {
+        // The `zipf` spec resolves to the rank permutation: collected, its
+        // weights are exactly the multiset {(n/r)^alpha : r = 1..=n}.
+        let n = 64u64;
+        let alpha = 1.2f64;
+        let wl = Workload::parse("zipf:1.2").unwrap();
+        let mut got: Vec<f64> = wl.source(n, 9).unwrap().map(|it| it.weight).collect();
+        got.sort_by(f64::total_cmp);
+        let mut want: Vec<f64> = (1..=n)
+            .map(|r| (n as f64 / r as f64).powf(alpha).max(1.0))
+            .collect();
+        want.sort_by(f64::total_cmp);
+        assert_eq!(got, want);
     }
 
     #[test]
@@ -1003,6 +1394,153 @@ mod tests {
             .with_workload(Workload::Csv("/nonexistent/stream.csv".into()));
         let err = run_scenario(&sc).unwrap_err();
         assert!(matches!(err, RuntimeError::InvalidScenario(_)), "{err}");
+    }
+
+    #[test]
+    fn every_query_runs_on_every_engine_and_topology() {
+        for query in [
+            Query::Swor,
+            Query::L1 {
+                eps: 0.25,
+                delta: 0.25,
+            },
+            Query::ResidualHh {
+                eps: 0.25,
+                delta: 0.1,
+            },
+            Query::SlidingWindow { window: 5_000 },
+        ] {
+            for engine in [EngineKind::Lockstep, EngineKind::Threads, EngineKind::Tcp] {
+                for topology in [
+                    Topology::Flat,
+                    Topology::Tree {
+                        groups: 2,
+                        sync_every: 2_000,
+                    },
+                ] {
+                    let sc = Scenario::new(engine, 4, 16)
+                        .with_n(20_000)
+                        .with_workload(Workload::Zipf { alpha: 1.2 })
+                        .with_topology(topology)
+                        .with_query(query);
+                    let report = run_scenario(&sc).unwrap_or_else(|e| {
+                        panic!("{query:?} on {engine}/{topology:?} failed: {e}")
+                    });
+                    assert_eq!(report.items, 20_000, "{query:?} {engine} {topology:?}");
+                    assert!(
+                        report.invariants_ok(),
+                        "{query:?} {engine} {topology:?}: {:?}",
+                        report.violations
+                    );
+                    assert!(report.total_weight > 0.0);
+                    match (&report.query, &report.answer) {
+                        (Query::Swor, QueryAnswer::Swor) => {
+                            assert_eq!(report.sample.len(), 16);
+                        }
+                        (Query::L1 { .. }, QueryAnswer::L1 { rel_error, .. }) => {
+                            assert!(*rel_error < 0.5, "L1 rel error {rel_error}");
+                        }
+                        (
+                            Query::ResidualHh { .. },
+                            QueryAnswer::ResidualHh {
+                                candidates, recall, ..
+                            },
+                        ) => {
+                            assert!(!candidates.is_empty());
+                            assert!(*recall >= 0.0);
+                        }
+                        (
+                            Query::SlidingWindow { window },
+                            QueryAnswer::SlidingWindow { window: w },
+                        ) => {
+                            assert_eq!(window, w);
+                            let cutoff = 20_000u64 - window;
+                            assert!(report.sample.iter().all(|kd| kd.item.id >= cutoff));
+                            assert_eq!(report.sample.len(), 16);
+                        }
+                        other => panic!("mismatched query/answer: {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn l1_query_with_stream_shorter_than_sample_size_is_healthy() {
+        // Regression (review finding): L1 inserts ℓ keyed duplicates per
+        // item, so the sample fills to min(s, items·ℓ) — a short stream
+        // must not trip the one-key-per-item sample-size invariant.
+        let sc = Scenario::new(EngineKind::Lockstep, 2, 4)
+            .with_n(200)
+            .with_workload(Workload::Unit)
+            .with_query(Query::L1 {
+                eps: 0.2,
+                delta: 0.25,
+            });
+        let report = run_scenario(&sc).expect("run");
+        assert_eq!(report.items, 200);
+        assert!(report.items < report.s as u64, "test premise: n < s_eff");
+        assert_eq!(report.sample.len(), report.s, "filled by duplicates");
+        assert!(report.invariants_ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn rhh_query_recovers_planted_hitters() {
+        // The Theorem 4 instance: residual-skew stream, recall vs the
+        // exact oracle must be 1.0 on the lockstep substrate.
+        for engine in [EngineKind::Lockstep, EngineKind::Threads] {
+            let sc = Scenario::new(engine, 4, 8)
+                .with_n(30_000)
+                .with_workload(Workload::ResidualSkew { top: 4 })
+                .with_query(Query::ResidualHh {
+                    eps: 0.2,
+                    delta: 0.05,
+                });
+            let report = run_scenario(&sc).expect("run");
+            match report.answer {
+                QueryAnswer::ResidualHh {
+                    required, recall, ..
+                } => {
+                    assert!(required > 0, "oracle found no required hitters");
+                    assert!(
+                        recall >= 0.99,
+                        "engine {engine}: recall {recall} of {required} required"
+                    );
+                }
+                other => panic!("wrong answer shape {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn window_query_matches_min_of_window_and_stream() {
+        // Window larger than the stream: the sample covers everything.
+        let sc = Scenario::new(EngineKind::Threads, 2, 8)
+            .with_n(1_000)
+            .with_query(Query::SlidingWindow { window: 50_000 })
+            .with_workload(Workload::Unit);
+        let report = run_scenario(&sc).expect("run");
+        assert_eq!(report.sample.len(), 8);
+        assert!(report.invariants_ok(), "{:?}", report.violations);
+        // Regression (review finding): s ≥ n ≤ window must sample every
+        // item, including arrival index 0 — the saturating expiry cutoff
+        // used to drop it.
+        let sc = Scenario::new(EngineKind::Lockstep, 2, 64)
+            .with_n(50)
+            .with_query(Query::SlidingWindow { window: 100 })
+            .with_workload(Workload::Unit);
+        let report = run_scenario(&sc).expect("run");
+        assert_eq!(report.sample.len(), 50, "{:?}", report.violations);
+        assert!(report.invariants_ok(), "{:?}", report.violations);
+        assert!(report.sample.iter().any(|kd| kd.item.id == 0));
+        // Stream smaller than s: sample is the whole window.
+        let sc = Scenario::new(EngineKind::Threads, 2, 64)
+            .with_n(100)
+            .with_query(Query::SlidingWindow { window: 10 })
+            .with_workload(Workload::Unit);
+        let report = run_scenario(&sc).expect("run");
+        assert_eq!(report.sample.len(), 10, "window-limited sample");
+        assert!(report.invariants_ok(), "{:?}", report.violations);
     }
 
     #[test]

@@ -147,6 +147,24 @@ where
             )?;
         }
     }
+    // End-of-stream protocols assemble their closing messages here (e.g.
+    // the sliding-window site ships its retained candidate set); per-item
+    // protocols leave the batch untouched. The closing burst can exceed
+    // `batch_max` (it is not item-driven), so ship it in batch-sized
+    // chunks — a single oversized flush would overflow the framed
+    // transport's MAX_FRAME_LEN cap.
+    site.finish(&mut batch);
+    while batch.len() > batch_max {
+        let rest = batch.split_off(batch_max);
+        flush(
+            &mut *up,
+            &mut batch,
+            &mut items_pending,
+            batch_max,
+            &mut metrics,
+        )?;
+        batch = rest;
+    }
     flush(
         &mut *up,
         &mut batch,
@@ -484,6 +502,37 @@ mod tests {
         // 7 items << batch_max: everything rides the end-of-stream flush.
         let out = run_threads(sites, EchoCoord { received: 0 }, parts(7, 1), &cfg).unwrap();
         assert_eq!(out.coordinator.received, 7);
+    }
+
+    /// Site whose entire output arrives at end-of-stream (the window
+    /// sampler's shape): nothing per item, a burst from `finish`.
+    #[derive(Debug)]
+    struct FinisherSite {
+        burst: u64,
+    }
+    impl SiteNode for FinisherSite {
+        type Up = Up;
+        type Down = Down;
+        fn observe(&mut self, _item: Item, _out: &mut Vec<Up>) {}
+        fn receive(&mut self, _msg: &Down) {}
+        fn finish(&mut self, out: &mut Vec<Up>) {
+            out.extend((0..self.burst).map(Up));
+        }
+    }
+
+    #[test]
+    fn finish_burst_larger_than_batch_max_is_chunked_through() {
+        // Regression: the closing burst is not item-driven, so it can
+        // exceed batch_max; it must be flushed in batch-sized chunks (a
+        // single oversized flush would overflow a framed transport's
+        // frame cap) and still arrive completely.
+        let cfg = RuntimeConfig::new()
+            .with_batch_max(8)
+            .with_queue_capacity(2);
+        let sites = vec![FinisherSite { burst: 100 }, FinisherSite { burst: 3 }];
+        let out = run_threads(sites, EchoCoord { received: 0 }, parts(10, 2), &cfg).unwrap();
+        assert_eq!(out.coordinator.received, 103);
+        assert_eq!(out.metrics.up_total, 103);
     }
 
     #[derive(Debug)]

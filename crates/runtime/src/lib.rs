@@ -71,6 +71,7 @@ pub mod adapters;
 pub mod config;
 pub mod driver;
 pub mod engine;
+pub mod query;
 pub mod tcp;
 pub mod transport;
 pub mod tree;
@@ -83,10 +84,13 @@ pub use driver::{
 #[allow(deprecated)]
 pub use engine::split_stream;
 pub use engine::{run_threads, RunOutput, RuntimeError};
+pub use query::{Query, QueryAnswer};
 pub use transport::{
     channel_wiring, BatchSender, CoordEndpoint, DownSender, SiteEndpoint, TransportError, UpFrame,
     Wiring,
 };
 #[allow(deprecated)]
 pub use tree::split_tree_stream;
-pub use tree::{run_tree_swor, GroupStats, SampleSource, TreeOutput, TreeTopology};
+pub use tree::{
+    run_tree_nodes, run_tree_swor, GroupStats, LockstepTree, SampleSource, TreeOutput, TreeTopology,
+};

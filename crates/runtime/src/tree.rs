@@ -64,7 +64,7 @@ use dwrs_core::swor::{SworConfig, SworCoordinator, SyncMsg};
 use dwrs_core::{Item, Keyed};
 use dwrs_sim::{
     swor_coordinator, swor_site, tree_group_seed, CoordinatorNode, FanInTree, Meter, Metrics,
-    NoDown, Outbox,
+    NoDown, Outbox, SiteNode,
 };
 
 use crate::adapters::EngineKind;
@@ -152,6 +152,33 @@ pub trait SampleSource {
 impl SampleSource for SworCoordinator {
     fn keyed_sample(&self) -> Vec<Keyed> {
         self.sample()
+    }
+}
+
+/// Largest candidate count a window aggregator syncs in one frame: what
+/// fits a `MAX_FRAME_LEN` sync payload (17-byte header + 24 bytes per
+/// entry, with slack for the batch wrapper). ~43k entries — far above the
+/// expected `O(s·log(window/s))` retained-set size for any `s` the TCP
+/// tree admits; only adversarially ordered keys (a near-monotone key
+/// stream, whose undominated set is the whole window) ever reach it.
+const MAX_WINDOW_SYNC_ENTRIES: usize = (dwrs_core::framed::MAX_FRAME_LEN as usize - 64) / 24;
+
+impl SampleSource for dwrs_apps::WindowCoordinator {
+    /// Aggregators sync their **un-truncated** in-window candidate set:
+    /// the group's watermark lags the global one, so a premature local
+    /// top-`s` cut could let globally-expired entries displace candidates
+    /// the root still needs. The root applies the global window cutoff
+    /// and the final top-`s` (`Query::SlidingWindow`'s tree answer).
+    /// Only the frame-cap backstop [`MAX_WINDOW_SYNC_ENTRIES`] truncates
+    /// (keeping the largest keys), so the sync always fits the framed
+    /// transport.
+    fn keyed_sample(&self) -> Vec<Keyed> {
+        let mut entries = self.window_entries();
+        if entries.len() > MAX_WINDOW_SYNC_ENTRIES {
+            entries.sort_by(|a, b| b.key.total_cmp(&a.key));
+            entries.truncate(MAX_WINDOW_SYNC_ENTRIES);
+        }
+        entries
     }
 }
 
@@ -343,24 +370,32 @@ where
     parts
 }
 
-/// Runs a full weighted-SWOR fan-in tree over an already-built wiring: one
-/// site/aggregator wiring per group plus the aggregator→root wiring. The
-/// generic engine behind [`run_tree_swor`]'s threaded and TCP paths.
-#[allow(clippy::type_complexity)]
-fn run_tree_on<I>(
-    group_wirings: Vec<Wiring<dwrs_core::swor::UpMsg, dwrs_core::swor::DownMsg>>,
+/// Runs a full fan-in tree over an already-built wiring: one
+/// site/aggregator wiring per group plus the aggregator→root wiring.
+/// Generic over the protocol — `mk_site(group, site)` and
+/// `mk_aggregator(group)` build the group deployments (any
+/// [`SiteNode`]/[`CoordinatorNode`]+[`SampleSource`] pair) — and the
+/// engine behind both the threaded and TCP paths of [`run_tree_swor`] and
+/// the query-generic [`run_tree_nodes`].
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+fn run_tree_on<S, A, I>(
+    group_wirings: Vec<Wiring<S::Up, S::Down>>,
     root_wiring: Wiring<SyncMsg, NoDown>,
-    group_cfg: &SworConfig,
+    s: usize,
     topo: &TreeTopology,
-    seed: u64,
+    mut mk_site: impl FnMut(usize, usize) -> S,
+    mut mk_aggregator: impl FnMut(usize) -> A,
     streams: Vec<Vec<I>>,
     cfg: &RuntimeConfig,
 ) -> Result<TreeOutput, RuntimeError>
 where
+    S: SiteNode + Send,
+    S::Up: Send,
+    S::Down: Send,
+    A: CoordinatorNode<Up = S::Up, Down = S::Down> + SampleSource + Send,
     I: IntoIterator<Item = Item> + Send,
 {
     let (g, k) = (topo.groups, topo.k_per_group);
-    let s = group_cfg.sample_size;
     let batch_max = cfg.batch_max.max(1);
     let (root_links, root_ep) = root_wiring;
     assert_eq!(group_wirings.len(), g, "one wiring per group");
@@ -381,12 +416,11 @@ where
         {
             assert_eq!(site_eps.len(), k, "one endpoint per site");
             assert_eq!(group_streams.len(), k, "one stream partition per site");
-            let group_seed = tree_group_seed(seed, gi);
             for ((i, ep), items) in site_eps.into_iter().enumerate().zip(group_streams) {
-                let mut site = swor_site(group_cfg, group_seed, i);
+                let mut site = mk_site(gi, i);
                 site_handles.push(scope.spawn(move || site_loop(&mut site, ep, items, batch_max)));
             }
-            let mut aggregator = swor_coordinator(group_cfg.clone(), group_seed);
+            let mut aggregator = mk_aggregator(gi);
             let sync_every = topo.sync_every;
             agg_handles.push(scope.spawn(move || {
                 aggregator_loop(&mut aggregator, coord_ep, root_link, gi, sync_every)
@@ -459,6 +493,119 @@ pub(crate) fn finish_lockstep_tree(mut tree: FanInTree) -> TreeOutput {
     }
 }
 
+/// Single-threaded fan-in tree over arbitrary protocol nodes: one lockstep
+/// [`dwrs_sim::Runner`] per group plus the root's sync/merge bookkeeping —
+/// the generic lockstep analogue of [`run_tree_nodes`], used by the
+/// scenario driver for every non-SWOR [`crate::driver::Query`] (SWOR keeps
+/// the specialized [`FanInTree`], with which identically-seeded runs are
+/// byte-compatible).
+pub struct LockstepTree<S, A>
+where
+    S: SiteNode,
+    A: CoordinatorNode<Up = S::Up, Down = S::Down> + SampleSource,
+{
+    groups: Vec<dwrs_sim::Runner<S, A>>,
+    synced: Vec<Vec<Keyed>>,
+    stats: Vec<GroupStats>,
+    pending: Vec<u64>,
+    sync_metrics: Metrics,
+    sync_every: u64,
+    s: usize,
+}
+
+impl<S, A> std::fmt::Debug for LockstepTree<S, A>
+where
+    S: SiteNode,
+    A: CoordinatorNode<Up = S::Up, Down = S::Down> + SampleSource,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LockstepTree({} groups, sync_every {})",
+            self.groups.len(),
+            self.sync_every
+        )
+    }
+}
+
+impl<S, A> LockstepTree<S, A>
+where
+    S: SiteNode,
+    A: CoordinatorNode<Up = S::Up, Down = S::Down> + SampleSource,
+{
+    /// Builds the tree from per-group lockstep runners (each already
+    /// holding its `k` sites and aggregator), syncing every group's keyed
+    /// sample to the root after `sync_every` of its items.
+    pub fn new(s: usize, sync_every: u64, groups: Vec<dwrs_sim::Runner<S, A>>) -> Self {
+        assert!(!groups.is_empty(), "need at least one group");
+        assert!(sync_every >= 1, "sync period must be at least 1");
+        let g = groups.len();
+        Self {
+            groups,
+            synced: vec![Vec::new(); g],
+            stats: vec![GroupStats::default(); g],
+            pending: vec![0; g],
+            sync_metrics: Metrics::new(),
+            sync_every,
+            s,
+        }
+    }
+
+    /// Feeds one item to site `site` of group `group`.
+    pub fn observe(&mut self, group: usize, site: usize, item: Item) {
+        self.groups[group].step(site, item);
+        self.stats[group].items += 1;
+        self.stats[group].max_frame_items = 1;
+        self.pending[group] += 1;
+        if self.pending[group] >= self.sync_every {
+            self.sync_group(group);
+        }
+    }
+
+    /// Ships group `group`'s current sample to the root, with the paper's
+    /// sync-tier accounting (one message per synced entry, exact wire
+    /// bytes) — identical to the concurrent aggregator's metering.
+    fn sync_group(&mut self, group: usize) {
+        let st = &mut self.stats[group];
+        st.max_unsynced = st.max_unsynced.max(self.pending[group]);
+        self.pending[group] = 0;
+        let msg = SyncMsg {
+            group: group as u32,
+            items: st.items,
+            sample: self.groups[group].coordinator.keyed_sample(),
+        };
+        self.sync_metrics
+            .count_up(Meter::kind(&msg), msg.units(), msg.wire_bytes());
+        st.syncs += 1;
+        self.synced[group] = msg.sample;
+    }
+
+    /// Ends the stream: every site's `finish` messages route through its
+    /// aggregator, each group performs its final (exact) sync, and the
+    /// root merges. Mirrors the concurrent shutdown ordering.
+    pub fn finish(mut self) -> TreeOutput {
+        let g = self.groups.len();
+        for gi in 0..g {
+            self.groups[gi].finish();
+            self.sync_group(gi);
+        }
+        let mut metrics = Metrics::new();
+        for runner in &self.groups {
+            metrics.merge(&runner.metrics);
+        }
+        metrics.merge(&self.sync_metrics);
+        let parts: Vec<&[Keyed]> = self.synced.iter().map(Vec::as_slice).collect();
+        let root_sample = merge_samples(&parts, self.s);
+        TreeOutput {
+            root_sample,
+            group_samples: self.synced,
+            metrics,
+            group_stats: self.stats,
+            sync_log: Vec::new(),
+        }
+    }
+}
+
 /// Builds the fan-in tree deployment — seeded exactly like
 /// [`dwrs_sim::FanInTree`] via [`tree_group_seed`] — and runs it on the
 /// chosen substrate. `group_cfg` is the intra-group protocol configuration
@@ -502,6 +649,53 @@ where
             });
             Ok(finish_lockstep_tree(tree))
         }
+        EngineKind::Threads | EngineKind::Tcp => {
+            let group_seed = |gi: usize| tree_group_seed(seed, gi);
+            run_tree_nodes(
+                engine,
+                group_cfg.sample_size,
+                topo,
+                |gi, i| swor_site(group_cfg, group_seed(gi), i),
+                |gi| swor_coordinator(group_cfg.clone(), group_seed(gi)),
+                streams,
+                cfg,
+            )
+        }
+    }
+}
+
+/// Runs a generic fan-in tree on the threaded or TCP substrate: `g` groups
+/// of `k` sites built by `mk_site(group, site)` against per-group
+/// aggregators built by `mk_aggregator(group)` (any
+/// [`SiteNode`]/[`CoordinatorNode`]+[`SampleSource`] pair), with the
+/// aggregator→root hop at `U = SyncMsg` and the root merging each group's
+/// latest keyed sample into a top-`s`. This is the engine every
+/// [`crate::driver::Query`] tree deployment routes through; the lockstep
+/// analogue is the driver's generic group-runner loop.
+pub fn run_tree_nodes<S, A, I>(
+    engine: EngineKind,
+    s: usize,
+    topo: &TreeTopology,
+    mk_site: impl FnMut(usize, usize) -> S,
+    mk_aggregator: impl FnMut(usize) -> A,
+    streams: Vec<Vec<I>>,
+    cfg: &RuntimeConfig,
+) -> Result<TreeOutput, RuntimeError>
+where
+    S: SiteNode + Send,
+    S::Up: dwrs_core::framed::FrameCodec + Send + 'static,
+    S::Down: dwrs_core::framed::FrameCodec + Clone + Send + 'static,
+    A: CoordinatorNode<Up = S::Up, Down = S::Down> + SampleSource + Send,
+    I: IntoIterator<Item = Item> + Send,
+{
+    let (g, k) = (topo.groups, topo.k_per_group);
+    assert_eq!(streams.len(), g, "one stream block per group");
+    match engine {
+        EngineKind::Lockstep => Err(RuntimeError::InvalidScenario(
+            "run_tree_nodes drives the concurrent substrates; lockstep trees run through \
+             the scenario driver"
+                .into(),
+        )),
         EngineKind::Threads => {
             let group_wirings = (0..g)
                 .map(|_| channel_wiring(k, cfg.queue_capacity))
@@ -510,33 +704,38 @@ where
             run_tree_on(
                 group_wirings,
                 root_wiring,
-                group_cfg,
+                s,
                 topo,
-                seed,
+                mk_site,
+                mk_aggregator,
                 streams,
                 cfg,
             )
         }
-        EngineKind::Tcp => run_tree_tcp(group_cfg, topo, seed, streams, cfg),
+        EngineKind::Tcp => run_tree_tcp(s, topo, mk_site, mk_aggregator, streams, cfg),
     }
 }
 
 /// Wires the whole tree over loopback TCP inside one process — one
 /// listener per aggregator plus one for the root, every hop crossing the
-/// kernel's TCP stack with framed `swor::wire` encoding — then hands off
+/// kernel's TCP stack with framed wire encoding — then hands off
 /// to the shared engine.
-fn run_tree_tcp<I>(
-    group_cfg: &SworConfig,
+fn run_tree_tcp<S, A, I>(
+    s: usize,
     topo: &TreeTopology,
-    seed: u64,
+    mk_site: impl FnMut(usize, usize) -> S,
+    mk_aggregator: impl FnMut(usize) -> A,
     streams: Vec<Vec<I>>,
     cfg: &RuntimeConfig,
 ) -> Result<TreeOutput, RuntimeError>
 where
+    S: SiteNode + Send,
+    S::Up: dwrs_core::framed::FrameCodec + Send + 'static,
+    S::Down: dwrs_core::framed::FrameCodec + Send + 'static,
+    A: CoordinatorNode<Up = S::Up, Down = S::Down> + SampleSource + Send,
     I: IntoIterator<Item = Item> + Send,
 {
     let (g, k) = (topo.groups, topo.k_per_group);
-    let s = group_cfg.sample_size;
     // Fail fast instead of mid-run: a sync frame carries the whole sample
     // (9-byte batch header + 17-byte SyncMsg header + 24 bytes per entry)
     // and the framed transport caps payloads at MAX_FRAME_LEN. The channel
@@ -582,9 +781,10 @@ where
     run_tree_on(
         group_wirings,
         (root_links, root_ep),
-        group_cfg,
+        s,
         topo,
-        seed,
+        mk_site,
+        mk_aggregator,
         streams,
         cfg,
     )

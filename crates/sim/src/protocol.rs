@@ -44,6 +44,15 @@ pub trait SiteNode {
 
     /// Processes one downstream message.
     fn receive(&mut self, msg: &Self::Down);
+
+    /// Called once after the site's stream is exhausted, before the final
+    /// flush: protocols whose answer is assembled at end-of-stream (e.g.
+    /// the sliding-window sampler shipping its retained set) push their
+    /// closing messages here. The default is a no-op — per-item protocols
+    /// need nothing at shutdown.
+    fn finish(&mut self, out: &mut Vec<Self::Up>) {
+        let _ = out;
+    }
 }
 
 /// Coordinator-side protocol endpoint.

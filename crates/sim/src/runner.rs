@@ -178,6 +178,25 @@ where
         }
     }
 
+    /// Ends the stream: every site's [`SiteNode::finish`] messages are
+    /// routed through the coordinator with the usual accounting. Protocols
+    /// that assemble their answer at end-of-stream (the sliding-window
+    /// sampler) need this before the coordinator is queried; per-item
+    /// protocols are unaffected (the default `finish` sends nothing).
+    pub fn finish(&mut self) {
+        for site in 0..self.sites.len() {
+            debug_assert!(self.up_buf.is_empty());
+            self.sites[site].finish(&mut self.up_buf);
+            let ups = std::mem::take(&mut self.up_buf);
+            for up in ups {
+                self.metrics
+                    .count_up(up.kind(), up.units(), up.wire_bytes());
+                self.coordinator.receive(site, up, &mut self.outbox);
+                self.route_outbox();
+            }
+        }
+    }
+
     /// Delivers every still-queued downstream message (delayed mode), e.g.
     /// at the end of a stream before inspecting site state.
     pub fn flush_delayed(&mut self) {

@@ -52,8 +52,9 @@ pub fn uniform_stream(n: u64, lo: f64, hi: f64, seed: u64) -> impl ItemSource {
 /// ≥ 1). Same marginal distribution as [`crate::zipf_ranked`], without the
 /// O(n) rank permutation (see the module docs).
 pub fn zipf_stream(n: u64, alpha: f64, seed: u64) -> impl ItemSource {
-    assert!(n >= 1 && alpha > 0.0);
+    assert!(alpha > 0.0);
     let mut rng = Rng::new(seed);
+    // n = 0 is simply the empty stream (the closure never runs).
     (0..n).map(move |i| {
         let r = 1 + rng.range(n);
         Item::new(i, (n as f64 / r as f64).powf(alpha).max(1.0))

@@ -3,6 +3,74 @@
 use dwrs_workloads::*;
 use proptest::prelude::*;
 
+/// Pins the two zipf marginals (ISSUE 5 satellite): `zipf_ranked` is the
+/// exact rank permutation; `zipf_stream` draws i.i.d. uniform ranks. The
+/// rank *marginals* must agree (two-sample KS between the weight samples
+/// does not reject), while the joint structure differs — which is exactly
+/// why the CLI surfaces them as distinct workload names.
+#[test]
+fn zipf_ranked_and_stream_share_the_weight_marginal() {
+    let n = 20_000usize;
+    let alpha = 1.2f64;
+    let ranked: Vec<f64> = zipf_ranked(n, alpha, 11).iter().map(|i| i.weight).collect();
+    let streamed: Vec<f64> = zipf_stream(n as u64, alpha, 12).map(|i| i.weight).collect();
+    let r = dwrs_stats::ks_two_sample(&ranked, &streamed);
+    assert!(
+        r.p_value > 1e-3,
+        "marginals diverged: D = {:.4}, p = {:.2e}",
+        r.statistic,
+        r.p_value
+    );
+}
+
+/// The ranked variant is a permutation: every rank weight appears exactly
+/// once. This is the property the streaming variant *cannot* have — and
+/// the reason flipping `--materialize` must not switch between them.
+#[test]
+fn zipf_ranked_is_exactly_one_weight_per_rank() {
+    let n = 4_096usize;
+    let alpha = 1.4f64;
+    let mut got: Vec<f64> = zipf_ranked(n, alpha, 5).iter().map(|i| i.weight).collect();
+    got.sort_by(f64::total_cmp);
+    let mut want: Vec<f64> = (1..=n)
+        .map(|r| (n as f64 / r as f64).powf(alpha).max(1.0))
+        .collect();
+    want.sort_by(f64::total_cmp);
+    assert_eq!(got, want);
+    // The i.i.d. variant repeats ranks with overwhelming probability.
+    let mut streamed: Vec<f64> = zipf_stream(n as u64, alpha, 5).map(|i| i.weight).collect();
+    streamed.sort_by(f64::total_cmp);
+    streamed.dedup();
+    assert!(
+        streamed.len() < n,
+        "i.i.d. ranks produced a perfect permutation — astronomically unlikely"
+    );
+}
+
+/// The streaming variant's ranks are i.i.d. uniform over `1..=n`: the
+/// empirical rank CDF stays within the one-sample KS band.
+#[test]
+fn zipf_stream_ranks_are_uniform() {
+    let n = 20_000u64;
+    let alpha = 1.3f64;
+    // Invert the weight map to recover each drawn rank (weights invert to
+    // exactly n/r; the max(1.0) clamp only touches rank n itself).
+    let ranks: Vec<f64> = zipf_stream(n, alpha, 77)
+        .map(|it| n as f64 / it.weight.powf(1.0 / alpha))
+        .collect();
+    // CDF of the discrete uniform on 1..=n: P(X <= x) = floor(x)/n. On
+    // discrete data the continuous KS p-value is conservative (ties can
+    // only shrink the null statistic), which is the safe direction for a
+    // regression test.
+    let r = dwrs_stats::ks_one_sample(&ranks, |x| (x.floor() / n as f64).clamp(0.0, 1.0));
+    assert!(
+        r.p_value > 1e-4,
+        "rank ECDF deviates: D = {:.4}, p = {:.2e}",
+        r.statistic,
+        r.p_value
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

@@ -55,7 +55,9 @@ pub use dwrs_sim as sim;
 pub use dwrs_stats as stats;
 pub use dwrs_workloads as workloads;
 
-pub use dwrs_runtime::{run_scenario, EngineKind, RunReport, Scenario, Topology, Workload};
+pub use dwrs_runtime::{
+    run_scenario, EngineKind, Query, QueryAnswer, RunReport, Scenario, Topology, Workload,
+};
 
 /// Crate version of the facade.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -153,6 +153,29 @@ pub mod strategy {
 
     int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+    macro_rules! int_range_inclusive_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                #[allow(clippy::unnecessary_cast)]
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(
+                        start <= end,
+                        "empty integer range strategy {}..={}",
+                        start,
+                        end
+                    );
+                    let width = (end as i128 - start as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % width;
+                    (start as i128 + off as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
     macro_rules! float_range_strategy {
         ($($t:ty),+) => {$(
             impl Strategy for Range<$t> {
