@@ -22,11 +22,16 @@
 //! (`dwrs run --query {l1,rhh,window}`), not only in centralized
 //! simulation. The streaming [`ResidualOracle`] provides the exact
 //! heavy-hitter answer for recall checks at any stream length.
+//!
+//! The [`live`] module extracts each application's answer from a
+//! coordinator's *current* sample mid-stream — the shared implementation
+//! behind both end-of-run answers and the daemon's live queries.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod l1;
+pub mod live;
 pub mod residual_hh;
 pub mod sliding_window;
 

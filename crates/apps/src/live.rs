@@ -1,0 +1,110 @@
+//! Live-answer extraction: turning a coordinator's *current* weighted
+//! sample into each application's answer **mid-stream**.
+//!
+//! The paper's protocols are continuous — the coordinator's state is a
+//! valid weighted SWOR of everything observed so far at every instant, so
+//! each application answer can be read off *now*, not only at end of
+//! stream. These helpers are the single implementation shared by the
+//! batch path (`dwrs-runtime`'s end-of-run [`answers`](self)) and the
+//! daemon's live queries (`dwrs query --kind l1-now` etc.), so a
+//! mid-stream answer and a final answer are computed by the same code.
+//!
+//! All functions take the sample **sorted by key descending** — the order
+//! `SworCoordinator::sample` and the tree root's merge already produce.
+
+use dwrs_core::Keyed;
+
+/// Algorithm 1's output statistic `u`: the `s`-th largest key of the
+/// query set (released sample ∪ withheld items — withheld heavy levels
+/// carry the largest keys, so they must be included). Zero until the
+/// sample fills: before `s` keys exist there is no estimate yet.
+pub fn sth_largest_key(sample: &[Keyed], s: usize) -> f64 {
+    if sample.len() >= s {
+        sample.last().map_or(0.0, |kd| kd.key)
+    } else {
+        0.0
+    }
+}
+
+/// The L1 tracker's estimate `W̃ = s·u/ℓ` (Theorem 6): `u` is the
+/// `s`-th-largest-key statistic over the duplicated stream and `ℓ` the
+/// duplication factor. Valid at any instant; before the sample fills
+/// (`u = 0`) the estimate is 0.
+pub fn l1_estimate(s: usize, ell: u64, u: f64) -> f64 {
+    s as f64 * u / ell as f64
+}
+
+/// The residual-heavy-hitter candidate set so far: the top `2/ε` sample
+/// items by weight, heaviest first (Section 4's extraction, applied to
+/// the current sample instead of the final one). `output_size` is
+/// `ResidualHhConfig::output_size()` = `⌈2/ε⌉`.
+pub fn rhh_candidates(sample: &[Keyed], output_size: usize) -> Vec<Keyed> {
+    let mut candidates: Vec<Keyed> = sample.to_vec();
+    candidates.sort_by(|a, b| b.item.weight.total_cmp(&a.item.weight));
+    candidates.truncate(output_size);
+    candidates
+}
+
+/// The sample filtered to the trailing `window` arrivals, assuming item
+/// ids are arrival sequence numbers (the repo's synthetic workloads and
+/// the window protocol's convention): an entry survives iff
+/// `id ≥ items_observed − window`.
+///
+/// This is a *best-effort* live view over the plain SWOR state — exact
+/// sequence-based window sampling needs the dedicated window protocol
+/// nodes; over a daemon stream running plain SWOR it degrades gracefully
+/// to "recent survivors of the overall sample".
+pub fn window_survivors(sample: &[Keyed], items_observed: u64, window: u64) -> Vec<Keyed> {
+    let cutoff = items_observed.saturating_sub(window);
+    sample
+        .iter()
+        .filter(|kd| kd.item.id >= cutoff)
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwrs_core::Item;
+
+    fn kd(id: u64, weight: f64, key: f64) -> Keyed {
+        Keyed::new(Item::new(id, weight), key)
+    }
+
+    #[test]
+    fn u_statistic_is_zero_until_full() {
+        let sample = vec![kd(1, 1.0, 9.0), kd(2, 1.0, 5.0)];
+        assert_eq!(sth_largest_key(&sample, 3), 0.0);
+        assert_eq!(sth_largest_key(&sample, 2), 5.0);
+        assert_eq!(sth_largest_key(&[], 1), 0.0);
+    }
+
+    #[test]
+    fn l1_estimate_formula() {
+        assert_eq!(l1_estimate(10, 2, 6.0), 30.0);
+        assert_eq!(l1_estimate(10, 1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn rhh_candidates_are_heaviest_first() {
+        let sample = vec![kd(1, 2.0, 9.0), kd(2, 8.0, 5.0), kd(3, 4.0, 4.0)];
+        let top = rhh_candidates(&sample, 2);
+        assert_eq!(
+            top.iter().map(|kd| kd.item.id).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+    }
+
+    #[test]
+    fn window_filters_by_arrival_cutoff() {
+        let sample = vec![kd(100, 1.0, 9.0), kd(40, 1.0, 5.0), kd(90, 1.0, 2.0)];
+        let recent = window_survivors(&sample, 100, 20);
+        assert_eq!(
+            recent.iter().map(|kd| kd.item.id).collect::<Vec<_>>(),
+            vec![100, 90]
+        );
+        // A window longer than the stream keeps everything.
+        assert_eq!(window_survivors(&sample, 100, 1000).len(), 3);
+    }
+}

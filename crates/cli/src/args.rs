@@ -51,6 +51,29 @@ commands:
                and distinct --site to reproduce `run --engine tcp`
                flags: --connect <addr> --site <i>
                       --n --k --s --workload --seed --partition --batch
+  daemon       run the long-lived multi-stream sampling service: hosts
+               many named streams (each with its own k, s, and query),
+               accepts attach/detach/reconnect mid-run, and answers live
+               queries while streams run; drains gracefully on a shutdown
+               control frame or SIGTERM/SIGINT
+               flags: --listen (default 127.0.0.1:0, prints bound address)
+                      --seed --queue
+  attach       drive one site slot of a daemon stream (creates the stream
+               first if needed; an existing stream keeps its original
+               configuration); --eof false detaches instead of finishing,
+               leaving the slot resumable by a later attach
+               flags: --connect <addr> --stream <name> --site <i>
+                      --query {swor|l1[:eps[,delta]]|rhh[:eps[,delta]]
+                               |window[:len]}  (stream query, default swor)
+                      --eof {true|false}       (default true)
+                      --n --k --s --workload --seed --partition --batch
+  query        live queries against a running daemon stream
+               flags: --connect <addr> --stream <name>
+                      --kind {sample|l1-now|rhh-so-far|window-now|stats
+                              |drain|shutdown} (default stats)
+                      --window <len>  (window-now on non-window streams)
+                      --repeat <n>    (re-issue n times, print queries/s)
+                      --format {text|json}
   workload     print a generated workload as CSV (id,weight)
                flags: --kind --n --seed
   track-l1     compare the L1 trackers on a unit stream

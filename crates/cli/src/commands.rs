@@ -9,12 +9,18 @@ use dwrs_apps::l1::{
 use dwrs_apps::residual_hh::{
     exact_residual_heavy_hitters, recall, ResidualHeavyHitters, ResidualHhConfig,
 };
+use dwrs_apps::L1Site;
+use dwrs_core::ctrl::{CtrlMsg, CtrlResp, LiveQueryKind, LiveSnapshot};
+use dwrs_core::framed::FrameCodec;
 use dwrs_core::swor::SworConfig;
 use dwrs_core::Item;
+use dwrs_runtime::daemon::{AttachClient, CtrlClient, Daemon, DaemonConfig};
+use dwrs_runtime::query::l1_site_seed;
 use dwrs_runtime::{
     run_scenario, EngineKind, Query, QueryAnswer, RunReport, RuntimeConfig, Scenario, Topology,
     Workload,
 };
+use dwrs_sim::SiteNode;
 use dwrs_sim::{assign_sites, build_swor, swor_coordinator, swor_site, Metrics, Partition};
 use dwrs_workloads as workloads;
 
@@ -27,6 +33,9 @@ pub fn dispatch<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
         "run" => cmd_run(p, out),
         "serve" => cmd_serve(p, out),
         "feed" => cmd_feed(p, out),
+        "daemon" => cmd_daemon(p, out),
+        "attach" => cmd_attach(p, out),
+        "query" => cmd_query(p, out),
         "workload" => cmd_workload(p, out),
         "track-l1" => cmd_track_l1(p, out),
         "residual-hh" => cmd_residual_hh(p, out),
@@ -415,12 +424,38 @@ fn cmd_serve<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
         .map_err(|e| ArgError(format!("cannot bind '{addr}': {e}")))?;
     let bound = listener.local_addr().map_err(|e| ArgError(e.to_string()))?;
     writeln!(out, "listening on {bound} (k = {k}, s = {s})").ok();
+    writeln!(
+        out,
+        "note: serve runs one fixed-k stream and exits at Eof; for a persistent \
+         multi-stream service with live queries, use `dwrs daemon`"
+    )
+    .ok();
     out.flush().ok();
     let coordinator = swor_coordinator(SworConfig::new(s, k), seed);
-    let (coordinator, metrics) =
+    let (coordinator, metrics, items) =
         dwrs_runtime::tcp::serve_coordinator(&listener, k, coordinator, &rcfg)
             .map_err(|e| ArgError(format!("serve failed: {e}")))?;
-    report_run(out, &coordinator.sample(), &metrics, 8);
+    let sample = coordinator.sample();
+    // The same snapshot JSON the daemon's live queries emit, so scripts
+    // can consume serve and daemon output interchangeably.
+    let snapshot = LiveSnapshot {
+        kind: LiveQueryKind::CurrentSample,
+        items,
+        epoch: coordinator.epoch(),
+        u: coordinator.u(),
+        estimate: sample.iter().map(|kd| kd.item.weight).sum(),
+        ell: 1,
+        sites_attached: 0,
+        sites_eof: k as u32,
+        up_msgs: metrics.up_total,
+        down_msgs: metrics.down_total,
+        up_bytes: metrics.up_bytes,
+        down_bytes: metrics.down_bytes,
+        broadcast_events: metrics.broadcast_events,
+        sample: sample.clone(),
+    };
+    writeln!(out, "{}", snapshot.to_json("serve")).ok();
+    report_run(out, &sample, &metrics, 8);
     Ok(())
 }
 
@@ -471,6 +506,350 @@ fn cmd_feed<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
     )
     .ok();
     Ok(())
+}
+
+/// `daemon`: the long-lived multi-stream sampling service. Blocks until a
+/// `Shutdown` control frame arrives or the process receives
+/// SIGTERM/SIGINT, then reports every drained stream.
+fn cmd_daemon<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
+    let listen = p.str_or("listen", "127.0.0.1:0");
+    let cfg = DaemonConfig {
+        seed: p.u64_or("seed", 42)?,
+        queue_capacity: p.u64_or("queue", 128)?.max(1) as usize,
+    };
+    let daemon = Daemon::bind(listen.as_str(), cfg)
+        .map_err(|e| ArgError(format!("cannot bind '{listen}': {e}")))?;
+    writeln!(out, "daemon listening on {}", daemon.local_addr()).ok();
+    writeln!(
+        out,
+        "create/attach/query streams with: dwrs attach | dwrs query --connect {}",
+        daemon.local_addr()
+    )
+    .ok();
+    out.flush().ok();
+    let daemon = std::sync::Arc::new(daemon);
+    #[cfg(unix)]
+    install_signal_shutdown(std::sync::Arc::clone(&daemon));
+    daemon.join();
+    for (name, snap) in daemon.drained() {
+        writeln!(
+            out,
+            "drained stream {name:?}: {} items, sample size {}, {} up msgs ({} bytes), \
+             {} broadcasts",
+            snap.items,
+            snap.sample.len(),
+            snap.up_msgs,
+            snap.up_bytes,
+            snap.broadcast_events
+        )
+        .ok();
+    }
+    writeln!(out, "daemon stopped").ok();
+    Ok(())
+}
+
+/// Installs a SIGTERM/SIGINT handler that triggers a graceful
+/// [`Daemon::shutdown`] (every stream drained with the flush → Eof →
+/// drain discipline) from a watcher thread — the handler itself only sets
+/// a flag, keeping it async-signal-safe.
+#[cfg(unix)]
+fn install_signal_shutdown(daemon: std::sync::Arc<Daemon>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(15, on_signal); // SIGTERM
+        signal(2, on_signal); // SIGINT
+    }
+    std::thread::spawn(move || loop {
+        if SIGNALLED.load(Ordering::SeqCst) {
+            daemon.shutdown();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+}
+
+/// `attach`: drive one site slot of a daemon stream. Creates the stream
+/// first (idempotent — an existing stream keeps its configuration), then
+/// streams this site's share of the deterministic workload, exactly as
+/// `feed` does for the one-shot server. `--eof false` detaches instead of
+/// finishing, leaving the slot resumable by a later attach.
+fn cmd_attach<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
+    let connect = p
+        .flags
+        .get("connect")
+        .cloned()
+        .ok_or_else(|| ArgError("attach needs --connect <addr>".into()))?;
+    let stream = p
+        .flags
+        .get("stream")
+        .cloned()
+        .ok_or_else(|| ArgError("attach needs --stream <name>".into()))?;
+    let site_id = p
+        .flags
+        .get("site")
+        .ok_or_else(|| ArgError("attach needs --site <i>".into()))?
+        .parse::<usize>()
+        .map_err(|_| ArgError("--site expects an integer".into()))?;
+    let sc = make_scenario(p)?;
+    if site_id >= sc.k {
+        return Err(ArgError(format!(
+            "--site {site_id} out of range for k = {}",
+            sc.k
+        )));
+    }
+    let spec = p.str_or("query", "swor");
+    let query = Query::parse(&spec).map_err(ArgError)?;
+    let send_eof = match p.str_or("eof", "true").as_str() {
+        "true" => true,
+        "false" => false,
+        v => return Err(ArgError(format!("--eof expects true|false, got '{v}'"))),
+    };
+    // Same streaming refusal as `feed`: the exact rank permutation cannot
+    // stream.
+    if let Workload::ZipfRanked { alpha } = sc.workload {
+        return Err(ArgError(format!(
+            "workload 'zipf:{alpha}' is the exact rank permutation and cannot stream \
+             through attach; use 'zipf_iid:{alpha}'"
+        )));
+    }
+    // Create the stream first (idempotent), over a short-lived control
+    // connection.
+    let mut ctrl = CtrlClient::connect(connect.as_str())
+        .map_err(|e| ArgError(format!("cannot connect '{connect}': {e}")))?;
+    let created = ctrl
+        .request(&CtrlMsg::Create {
+            stream: stream.clone(),
+            k: sc.k as u32,
+            s: sc.s as u32,
+            query: spec.clone(),
+        })
+        .map_err(|e| ArgError(format!("create failed: {e}")))?;
+    if let CtrlResp::Err { msg } = created {
+        return Err(ArgError(format!("create refused: {msg}")));
+    }
+    drop(ctrl);
+    // This site's share of the deterministic global stream, filtered on
+    // the fly — identical to `feed`'s partitioning.
+    let mut partitioner = sc.partitioner();
+    let source = sc.source().map_err(|e| ArgError(e.to_string()))?;
+    let my_items = source.filter(move |_| partitioner.next_site() == site_id);
+    let s_eff = query.sample_size(sc.s);
+    let cfg = SworConfig::new(s_eff, sc.k);
+    match query {
+        Query::L1 { .. } => {
+            let ell = query.duplication().expect("l1 has a duplication factor");
+            let site = L1Site::new(&cfg, ell, l1_site_seed(sc.seed, site_id));
+            drive_attach(
+                &connect,
+                &stream,
+                site_id,
+                site,
+                my_items,
+                &sc.runtime,
+                send_eof,
+                out,
+            )
+        }
+        // rhh runs on the stock SWOR nodes; window streams run the plain
+        // SWOR substrate with best-effort id filtering at query time.
+        _ => {
+            let site = swor_site(&cfg, sc.seed, site_id);
+            drive_attach(
+                &connect,
+                &stream,
+                site_id,
+                site,
+                my_items,
+                &sc.runtime,
+                send_eof,
+                out,
+            )
+        }
+    }
+}
+
+/// The attach-side driving loop shared by every site-node type.
+#[allow(clippy::too_many_arguments)]
+fn drive_attach<S, I, W>(
+    addr: &str,
+    stream: &str,
+    site_id: usize,
+    site: S,
+    items: I,
+    rcfg: &RuntimeConfig,
+    send_eof: bool,
+    out: &mut W,
+) -> Result<(), ArgError>
+where
+    S: SiteNode,
+    S::Up: FrameCodec + Send + 'static,
+    S::Down: FrameCodec + Send + 'static,
+    I: Iterator<Item = Item>,
+    W: Write,
+{
+    let t0 = std::time::Instant::now();
+    let mut client = AttachClient::attach(addr, stream, site_id, site, rcfg)
+        .map_err(|e| ArgError(format!("attach failed: {e}")))?;
+    let attach_ms = t0.elapsed().as_secs_f64() * 1e3;
+    writeln!(
+        out,
+        "site {site_id}: attached to stream {stream:?} in {attach_ms:.2} ms \
+         (resumed {}, prior items {})",
+        client.resumed(),
+        client.prior_items()
+    )
+    .ok();
+    out.flush().ok();
+    let mut fed = 0u64;
+    client
+        .feed(items.inspect(|_| fed += 1))
+        .map_err(|e| ArgError(format!("feed failed: {e}")))?;
+    let outcome = if send_eof {
+        client.finish()
+    } else {
+        client.detach()
+    };
+    let (_, metrics) = outcome.map_err(|e| ArgError(format!("close failed: {e}")))?;
+    writeln!(
+        out,
+        "site {site_id}: fed {fed} items, sent {} messages ({} bytes), {}",
+        metrics.up_total,
+        metrics.up_bytes,
+        if send_eof {
+            "finished (Eof)"
+        } else {
+            "detached (resumable)"
+        }
+    )
+    .ok();
+    Ok(())
+}
+
+/// `query`: issue live queries against a running daemon stream —
+/// `sample`, `l1-now`, `rhh-so-far`, `window-now`, `stats` — plus the
+/// `drain` and `shutdown` control verbs.
+fn cmd_query<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
+    let connect = p
+        .flags
+        .get("connect")
+        .cloned()
+        .ok_or_else(|| ArgError("query needs --connect <addr>".into()))?;
+    let kindstr = p.str_or("kind", "stats");
+    let format = p.str_or("format", "text");
+    if format != "text" && format != "json" {
+        return Err(ArgError(format!(
+            "--format must be text or json, got '{format}'"
+        )));
+    }
+    let live_kind = match kindstr.as_str() {
+        "shutdown" | "drain" => None,
+        other => Some(LiveQueryKind::parse(other).ok_or_else(|| {
+            ArgError(format!(
+                "--kind expects sample|l1-now|rhh-so-far|window-now|stats|drain|shutdown, \
+                 got '{other}'"
+            ))
+        })?),
+    };
+    let mut ctrl = CtrlClient::connect(connect.as_str())
+        .map_err(|e| ArgError(format!("cannot connect '{connect}': {e}")))?;
+    if kindstr == "shutdown" {
+        let resp = ctrl
+            .shutdown()
+            .map_err(|e| ArgError(format!("shutdown failed: {e}")))?;
+        match resp {
+            CtrlResp::Ok { info } => {
+                writeln!(out, "daemon shut down: {info}").ok();
+                return Ok(());
+            }
+            other => return Err(ArgError(format!("unexpected response {other:?}"))),
+        }
+    }
+    let stream = p
+        .flags
+        .get("stream")
+        .cloned()
+        .ok_or_else(|| ArgError("query needs --stream <name>".into()))?;
+    if kindstr == "drain" {
+        let snap = ctrl
+            .drain_stream(&stream)
+            .map_err(|e| ArgError(format!("drain failed: {e}")))?;
+        print_snapshot(out, &stream, &snap, &format);
+        return Ok(());
+    }
+    let kind = live_kind.expect("validated above");
+    let window = p.magnitude_or("window", 0)?;
+    let repeat = p.u64_or("repeat", 1)?.max(1);
+    let t0 = std::time::Instant::now();
+    let mut last = None;
+    for _ in 0..repeat {
+        last = Some(
+            ctrl.snapshot(&stream, kind, window)
+                .map_err(|e| ArgError(format!("query failed: {e}")))?,
+        );
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let snap = last.expect("repeat >= 1");
+    print_snapshot(out, &stream, &snap, &format);
+    if repeat > 1 {
+        writeln!(
+            out,
+            "{repeat} queries in {elapsed:.3} s ({:.0} queries/s)",
+            repeat as f64 / elapsed.max(1e-9)
+        )
+        .ok();
+    }
+    Ok(())
+}
+
+/// Prints one live snapshot — `--format json` emits the same
+/// [`LiveSnapshot::to_json`] line as `serve`'s final report.
+fn print_snapshot<W: Write>(out: &mut W, stream: &str, snap: &LiveSnapshot, format: &str) {
+    if format == "json" {
+        writeln!(out, "{}", snap.to_json(stream)).ok();
+        return;
+    }
+    writeln!(
+        out,
+        "stream {stream:?} [{}] at {} items (epoch {}):",
+        snap.kind.name(),
+        snap.items,
+        snap.epoch.map_or("-".to_string(), |e| e.to_string())
+    )
+    .ok();
+    writeln!(
+        out,
+        "  u = {:.6e}, estimate = {:.4}, ell = {}",
+        snap.u, snap.estimate, snap.ell
+    )
+    .ok();
+    writeln!(
+        out,
+        "  sites: {} attached, {} finished",
+        snap.sites_attached, snap.sites_eof
+    )
+    .ok();
+    writeln!(
+        out,
+        "  messages: {} up ({} bytes), {} down ({} bytes), {} broadcasts",
+        snap.up_msgs, snap.up_bytes, snap.down_msgs, snap.down_bytes, snap.broadcast_events
+    )
+    .ok();
+    writeln!(out, "  sample size: {}", snap.sample.len()).ok();
+    for kd in snap.sample.iter().take(5) {
+        writeln!(
+            out,
+            "    {:>12}  {:>14.4}  {:.6e}",
+            kd.item.id, kd.item.weight, kd.key
+        )
+        .ok();
+    }
 }
 
 fn cmd_workload<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
@@ -824,6 +1203,162 @@ mod tests {
         let text = serve_out.contents();
         assert!(text.contains("sample size: 8"), "{text}");
         assert!(text.contains("messages: total"), "{text}");
+        // The pointer to daemon mode, and the daemon-shaped snapshot JSON.
+        assert!(text.contains("use `dwrs daemon`"), "{text}");
+        let json = text
+            .lines()
+            .find(|l| l.starts_with('{'))
+            .expect("snapshot json line");
+        for field in [
+            "\"stream\":\"serve\"",
+            "\"kind\":\"current-sample\"",
+            "\"items\":8000",
+            "\"sample_size\":8",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+
+    /// Starts `dwrs daemon` on a background thread and returns the bound
+    /// address, the output buffer, and the join handle.
+    fn spawn_daemon() -> (String, SharedBuf, std::thread::JoinHandle<i32>) {
+        let out = SharedBuf::default();
+        let handle = {
+            let mut w = out.clone();
+            std::thread::spawn(move || {
+                let argv: Vec<String> = "daemon --listen 127.0.0.1:0 --seed 11"
+                    .split_whitespace()
+                    .map(String::from)
+                    .collect();
+                crate::run(&argv, &mut w)
+            })
+        };
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            let text = out.contents();
+            if let Some(line) = text.lines().find(|l| l.starts_with("daemon listening on ")) {
+                break line["daemon listening on ".len()..].trim().to_string();
+            }
+            assert!(
+                !handle.is_finished(),
+                "daemon exited before listening: {text}"
+            );
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timed out waiting for daemon to bind: {text}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+        (addr, out, handle)
+    }
+
+    #[test]
+    fn daemon_attach_query_shutdown_lifecycle() {
+        let (addr, daemon_out, daemon) = spawn_daemon();
+        // Two streams: a 2-site swor stream and a 1-site l1 stream.
+        let swor_common = format!(
+            "--connect {addr} --stream alpha --n 6000 --k 2 --s 8 --seed 9 \
+             --workload zipf_iid:1.3"
+        );
+        let attachers: Vec<_> = (0..2)
+            .map(|i| {
+                let cmd = format!("attach {swor_common} --site {i}");
+                std::thread::spawn(move || run_cmd(&cmd))
+            })
+            .collect();
+        for a in attachers {
+            let (code, out) = a.join().unwrap();
+            assert_eq!(code, 0, "attach output: {out}");
+            assert!(out.contains("attached to stream \"alpha\""), "{out}");
+            assert!(out.contains("fed 3000 items"), "{out}");
+            assert!(out.contains("finished (Eof)"), "{out}");
+        }
+        let (code, out) = run_cmd(&format!(
+            "attach --connect {addr} --stream beta --site 0 --n 2000 --k 1 --s 4 \
+             --query l1:0.3,0.3 --workload unit"
+        ));
+        assert_eq!(code, 0, "{out}");
+        // Live queries: text stats on alpha, JSON l1-now on beta, repeat
+        // for the queries/s line.
+        let (code, out) = run_cmd(&format!(
+            "query --connect {addr} --stream alpha --kind stats"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(
+            out.contains("stream \"alpha\" [stats] at 6000 items"),
+            "{out}"
+        );
+        assert!(out.contains("2 finished"), "{out}");
+        let (code, out) = run_cmd(&format!(
+            "query --connect {addr} --stream beta --kind l1-now --format json --repeat 20"
+        ));
+        assert_eq!(code, 0, "{out}");
+        let json = out.lines().find(|l| l.starts_with('{')).expect("json");
+        for field in [
+            "\"stream\":\"beta\"",
+            "\"kind\":\"l1-now\"",
+            "\"items\":2000",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        assert!(out.contains("queries/s"), "{out}");
+        // Drain alpha explicitly; shut the daemon down (drains beta).
+        let (code, out) = run_cmd(&format!(
+            "query --connect {addr} --stream alpha --kind drain --format json"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"items\":6000"), "{out}");
+        let (code, out) = run_cmd(&format!("query --connect {addr} --kind shutdown"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("daemon shut down"), "{out}");
+        assert_eq!(daemon.join().unwrap(), 0);
+        let text = daemon_out.contents();
+        assert!(text.contains("drained stream \"alpha\""), "{text}");
+        assert!(text.contains("drained stream \"beta\""), "{text}");
+        assert!(text.contains("daemon stopped"), "{text}");
+    }
+
+    #[test]
+    fn attach_detach_reattach_resumes() {
+        let (addr, _daemon_out, daemon) = spawn_daemon();
+        let common = format!("--connect {addr} --stream s --k 1 --s 4 --seed 3 --workload unit");
+        let (code, out) = run_cmd(&format!("attach {common} --site 0 --n 500 --eof false"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("resumed false"), "{out}");
+        assert!(out.contains("detached (resumable)"), "{out}");
+        let (code, out) = run_cmd(&format!("attach {common} --site 0 --n 700"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("resumed true, prior items 500"), "{out}");
+        let (code, out) = run_cmd(&format!("query --connect {addr} --stream s --kind sample"));
+        assert_eq!(code, 0, "{out}");
+        // 500 from the first attach + 700 from the resumed one.
+        assert!(out.contains("at 1200 items"), "{out}");
+        let (code, _) = run_cmd(&format!("query --connect {addr} --kind shutdown"));
+        assert_eq!(code, 0);
+        assert_eq!(daemon.join().unwrap(), 0);
+    }
+
+    #[test]
+    fn attach_and_query_validate_flags() {
+        let (code, out) = run_cmd("attach --connect 127.0.0.1:1");
+        assert_eq!(code, 2);
+        assert!(out.contains("--stream"), "{out}");
+        let (code, out) = run_cmd("attach --connect 127.0.0.1:1 --stream s");
+        assert_eq!(code, 2);
+        assert!(out.contains("--site"), "{out}");
+        let (code, out) =
+            run_cmd("attach --connect 127.0.0.1:1 --stream s --site 0 --workload zipf:1.1");
+        assert_eq!(code, 2);
+        assert!(out.contains("zipf_iid"), "{out}");
+        let (code, out) = run_cmd("attach --connect 127.0.0.1:1 --stream s --site 0 --eof maybe");
+        assert_eq!(code, 2);
+        assert!(out.contains("--eof"), "{out}");
+        let (code, out) = run_cmd("query --stream s --kind stats");
+        assert_eq!(code, 2);
+        assert!(out.contains("--connect"), "{out}");
+        let (code, out) = run_cmd("query --connect 127.0.0.1:1 --stream s --kind tarot");
+        assert_eq!(code, 2);
+        assert!(out.contains("--kind"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,854 @@
+//! Control-protocol frames for the long-lived sampling daemon.
+//!
+//! The daemon (`dwrs-runtime::daemon`) hosts many concurrent *named
+//! streams* and answers live queries while they run. Clients speak a small
+//! request/response protocol over the same `[u32 LE length][payload]`
+//! framing as the data plane ([`crate::framed`]): every control payload is
+//! one [`CtrlMsg`] (client → daemon) or [`CtrlResp`] (daemon → client).
+//!
+//! Layouts follow the `swor::wire` conventions exactly: a one-byte tag,
+//! little-endian fixed-width integers, `f64` as IEEE-754 bits, and strings
+//! as a `u16` length followed by UTF-8 bytes. Decoding is *total* — any
+//! byte string either decodes or returns a [`WireError`], never panics —
+//! and validates counts against the available bytes **before** allocating
+//! (the same discipline as `swor::wire::decode_sync`). The framing layer's
+//! `MAX_FRAME_LEN` guard applies unchanged.
+//!
+//! The byte layout of every frame is documented operator-facing in
+//! `docs/DAEMON.md`; a doc-sync test asserts the two stay aligned.
+
+use crate::framed::FrameCodec;
+use crate::item::{Item, Keyed};
+use crate::swor::wire::WireError;
+
+/// Tag byte of [`CtrlMsg::Create`].
+pub const TAG_CREATE: u8 = 0x40;
+/// Tag byte of [`CtrlMsg::Attach`].
+pub const TAG_ATTACH: u8 = 0x41;
+/// Tag byte of [`CtrlMsg::Query`].
+pub const TAG_QUERY: u8 = 0x42;
+/// Tag byte of [`CtrlMsg::Drain`].
+pub const TAG_DRAIN: u8 = 0x43;
+/// Tag byte of [`CtrlMsg::Shutdown`].
+pub const TAG_SHUTDOWN: u8 = 0x44;
+/// Tag byte of [`CtrlResp::Ok`].
+pub const TAG_OK: u8 = 0x50;
+/// Tag byte of [`CtrlResp::Err`].
+pub const TAG_ERR: u8 = 0x51;
+/// Tag byte of [`CtrlResp::Attached`].
+pub const TAG_ATTACHED: u8 = 0x52;
+/// Tag byte of [`CtrlResp::Answer`].
+pub const TAG_ANSWER: u8 = 0x53;
+
+/// Bytes per encoded sample entry in a [`LiveSnapshot`]: `u64` id,
+/// `f64` weight, `f64` key.
+pub const SNAPSHOT_ENTRY_BYTES: usize = 24;
+
+/// The live query kinds a running stream can answer mid-run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LiveQueryKind {
+    /// The coordinator's current weighted sample (query set).
+    CurrentSample,
+    /// The L1 estimate `W̃ = s·u/ℓ` at this instant.
+    L1Now,
+    /// The residual-heavy-hitter candidate set so far (top `2/ε` sample
+    /// items by weight).
+    RhhSoFar,
+    /// The sample filtered to the trailing window of arrivals.
+    WindowNow,
+    /// Per-tier message/byte accounting only (no sample entries).
+    Stats,
+}
+
+impl LiveQueryKind {
+    /// The wire discriminant byte.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            LiveQueryKind::CurrentSample => 0,
+            LiveQueryKind::L1Now => 1,
+            LiveQueryKind::RhhSoFar => 2,
+            LiveQueryKind::WindowNow => 3,
+            LiveQueryKind::Stats => 4,
+        }
+    }
+
+    /// Decodes a wire discriminant byte.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(LiveQueryKind::CurrentSample),
+            1 => Some(LiveQueryKind::L1Now),
+            2 => Some(LiveQueryKind::RhhSoFar),
+            3 => Some(LiveQueryKind::WindowNow),
+            4 => Some(LiveQueryKind::Stats),
+            _ => None,
+        }
+    }
+
+    /// The operator-facing name (`dwrs query --kind <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            LiveQueryKind::CurrentSample => "current-sample",
+            LiveQueryKind::L1Now => "l1-now",
+            LiveQueryKind::RhhSoFar => "rhh-so-far",
+            LiveQueryKind::WindowNow => "window-now",
+            LiveQueryKind::Stats => "stats",
+        }
+    }
+
+    /// Parses an operator-facing name (aliases: `sample`, `l1`, `rhh`,
+    /// `window`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "current-sample" | "sample" => Some(LiveQueryKind::CurrentSample),
+            "l1-now" | "l1" => Some(LiveQueryKind::L1Now),
+            "rhh-so-far" | "rhh" => Some(LiveQueryKind::RhhSoFar),
+            "window-now" | "window" => Some(LiveQueryKind::WindowNow),
+            "stats" => Some(LiveQueryKind::Stats),
+            _ => None,
+        }
+    }
+
+    /// All kinds, in wire-discriminant order.
+    pub fn all() -> [LiveQueryKind; 5] {
+        [
+            LiveQueryKind::CurrentSample,
+            LiveQueryKind::L1Now,
+            LiveQueryKind::RhhSoFar,
+            LiveQueryKind::WindowNow,
+            LiveQueryKind::Stats,
+        ]
+    }
+}
+
+/// A client → daemon control request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CtrlMsg {
+    /// Creates stream `stream` with `k` site slots, base sample size `s`,
+    /// and application query `query` (a `Query::parse` spec such as
+    /// `"swor"` or `"l1:0.2,0.25"`). Creating an existing stream is a
+    /// no-op acknowledged with [`CtrlResp::Ok`]; the original
+    /// configuration wins.
+    Create {
+        /// Stream name (non-empty, at most `u16::MAX` UTF-8 bytes).
+        stream: String,
+        /// Number of site slots `k` (≥ 1).
+        k: u32,
+        /// Base sample size `s` (≥ 1); the query may derive a larger
+        /// effective size.
+        s: u32,
+        /// Application query spec.
+        query: String,
+    },
+    /// Attaches this connection as site `site` of stream `stream`; the
+    /// connection then switches to the data-plane framing (`TAG_BATCH` /
+    /// `TAG_EOF`). Reattaching a previously detached slot resumes it.
+    Attach {
+        /// Stream name.
+        stream: String,
+        /// Site slot in `0..k`.
+        site: u32,
+    },
+    /// Answers a live query against the stream's current state.
+    Query {
+        /// Stream name.
+        stream: String,
+        /// Which live answer to extract.
+        kind: LiveQueryKind,
+        /// Kind-specific argument: the window length in arrivals for
+        /// [`LiveQueryKind::WindowNow`] (0 = the stream's own window);
+        /// ignored otherwise.
+        arg: u64,
+    },
+    /// Waits until every attached site has sent Eof or detached, then
+    /// returns the final snapshot and removes the stream.
+    Drain {
+        /// Stream name.
+        stream: String,
+    },
+    /// Drains every stream and stops the daemon.
+    Shutdown,
+}
+
+/// A daemon → client control response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CtrlResp {
+    /// Generic acknowledgement.
+    Ok {
+        /// Human-readable detail (e.g. `"created"` / `"exists"`).
+        info: String,
+    },
+    /// The request failed; the stream (if any) is unaffected.
+    Err {
+        /// Human-readable reason.
+        msg: String,
+    },
+    /// An [`CtrlMsg::Attach`] was accepted; the connection is now the
+    /// slot's data link.
+    Attached {
+        /// The confirmed site slot.
+        site: u32,
+        /// Whether the slot had fed items before (reconnect).
+        resumed: bool,
+        /// Items the slot had contributed before this attach.
+        items: u64,
+    },
+    /// A live answer ([`CtrlMsg::Query`] or [`CtrlMsg::Drain`]).
+    Answer {
+        /// The snapshot at the instant the stream processor answered.
+        snapshot: LiveSnapshot,
+    },
+}
+
+/// A stream's state at one instant, as carried by [`CtrlResp::Answer`].
+///
+/// This is the incremental form of a `RunReport`: items observed so far,
+/// the current epoch/threshold, the kind-specific estimate, and the
+/// per-tier message/byte accounting at that instant. Because the threaded
+/// engines run in the delayed-delivery regime, a snapshot reflects the
+/// frames the coordinator has *processed*, which may trail what sites
+/// have sent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LiveSnapshot {
+    /// Which live answer the `sample`/`estimate` fields carry.
+    pub kind: LiveQueryKind,
+    /// Items observed across all site slots (sum of batch watermarks).
+    pub items: u64,
+    /// The coordinator's current epoch `j` (`None` before the first
+    /// epoch broadcast).
+    pub epoch: Option<i64>,
+    /// The current threshold statistic `u` (the `s`-th largest released
+    /// key; 0 until the sample fills).
+    pub u: f64,
+    /// Kind-specific estimate: `W̃ = s·u/ℓ` for `l1-now`, the retained
+    /// weight sum for the sample-carrying kinds, 0 for `stats`.
+    pub estimate: f64,
+    /// The duplication factor `ℓ` in force (1 unless the stream runs the
+    /// L1 query).
+    pub ell: u64,
+    /// Site slots currently attached.
+    pub sites_attached: u32,
+    /// Site slots that have completed with Eof.
+    pub sites_eof: u32,
+    /// Site → coordinator messages processed.
+    pub up_msgs: u64,
+    /// Coordinator → site messages sent (broadcasts count `k`).
+    pub down_msgs: u64,
+    /// Upstream bytes (exact wire sizes).
+    pub up_bytes: u64,
+    /// Downstream bytes (broadcast bytes count `k`-fold).
+    pub down_bytes: u64,
+    /// Broadcast events (each costing `k` messages).
+    pub broadcast_events: u64,
+    /// The kind-specific entry set: the current sample, the heavy-hitter
+    /// candidates (heaviest first), or the window survivors; empty for
+    /// `stats`.
+    pub sample: Vec<Keyed>,
+}
+
+impl LiveSnapshot {
+    /// Serializes the snapshot as a single-line JSON object. Shared by
+    /// `dwrs serve`, `dwrs query --format json`, and the daemon-smoke
+    /// artifacts so every path emits the identical shape.
+    pub fn to_json(&self, stream: &str) -> String {
+        let epoch = match self.epoch {
+            Some(e) => e.to_string(),
+            None => "null".into(),
+        };
+        format!(
+            concat!(
+                "{{\"stream\":\"{}\",\"kind\":\"{}\",\"items\":{},",
+                "\"epoch\":{},\"u\":{},\"estimate\":{},\"ell\":{},",
+                "\"sites_attached\":{},\"sites_eof\":{},",
+                "\"up_messages\":{},\"down_messages\":{},",
+                "\"up_bytes\":{},\"down_bytes\":{},\"broadcast_events\":{},",
+                "\"sample_size\":{}}}"
+            ),
+            json_escape(stream),
+            self.kind.name(),
+            self.items,
+            epoch,
+            json_f64(self.u),
+            json_f64(self.estimate),
+            self.ell,
+            self.sites_attached,
+            self.sites_eof,
+            self.up_msgs,
+            self.down_msgs,
+            self.up_bytes,
+            self.down_bytes,
+            self.broadcast_events,
+            self.sample.len(),
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding helpers (the swor::wire conventions).
+
+fn put_u64(buf: &mut Vec<u8>, x: u64) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, x: u32) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, x: f64) {
+    put_u64(buf, x.to_bits());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    buf.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_u64(buf: &[u8], at: usize) -> Result<u64, WireError> {
+    let bytes = buf
+        .get(at..at + 8)
+        .ok_or(WireError::Truncated)?
+        .try_into()
+        .expect("slice length checked");
+    Ok(u64::from_le_bytes(bytes))
+}
+
+fn get_u32(buf: &[u8], at: usize) -> Result<u32, WireError> {
+    let bytes = buf
+        .get(at..at + 4)
+        .ok_or(WireError::Truncated)?
+        .try_into()
+        .expect("slice length checked");
+    Ok(u32::from_le_bytes(bytes))
+}
+
+fn get_f64(buf: &[u8], at: usize) -> Result<f64, WireError> {
+    get_u64(buf, at).map(f64::from_bits)
+}
+
+/// Reads a `u16`-length-prefixed UTF-8 string at `at`, returning the
+/// string and the offset just past it.
+fn get_str(buf: &[u8], at: usize) -> Result<(String, usize), WireError> {
+    let len_bytes = buf
+        .get(at..at + 2)
+        .ok_or(WireError::Truncated)?
+        .try_into()
+        .expect("slice length checked");
+    let len = u16::from_le_bytes(len_bytes) as usize;
+    let bytes = buf.get(at + 2..at + 2 + len).ok_or(WireError::Truncated)?;
+    let s = std::str::from_utf8(bytes).map_err(|_| WireError::BadField)?;
+    Ok((s.to_string(), at + 2 + len))
+}
+
+fn check_finite_positive(x: f64) -> Result<f64, WireError> {
+    if x.is_finite() && x > 0.0 {
+        Ok(x)
+    } else {
+        Err(WireError::BadField)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CtrlMsg codec.
+
+impl FrameCodec for CtrlMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            CtrlMsg::Create {
+                stream,
+                k,
+                s,
+                query,
+            } => {
+                buf.push(TAG_CREATE);
+                put_str(buf, stream);
+                put_u32(buf, *k);
+                put_u32(buf, *s);
+                put_str(buf, query);
+            }
+            CtrlMsg::Attach { stream, site } => {
+                buf.push(TAG_ATTACH);
+                put_str(buf, stream);
+                put_u32(buf, *site);
+            }
+            CtrlMsg::Query { stream, kind, arg } => {
+                buf.push(TAG_QUERY);
+                put_str(buf, stream);
+                buf.push(kind.as_u8());
+                put_u64(buf, *arg);
+            }
+            CtrlMsg::Drain { stream } => {
+                buf.push(TAG_DRAIN);
+                put_str(buf, stream);
+            }
+            CtrlMsg::Shutdown => buf.push(TAG_SHUTDOWN),
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Result<(Self, usize), WireError> {
+        let tag = *buf.first().ok_or(WireError::Truncated)?;
+        match tag {
+            TAG_CREATE => {
+                let (stream, at) = get_str(buf, 1)?;
+                let k = get_u32(buf, at)?;
+                let s = get_u32(buf, at + 4)?;
+                let (query, end) = get_str(buf, at + 8)?;
+                if stream.is_empty() || k == 0 || s == 0 {
+                    return Err(WireError::BadField);
+                }
+                Ok((
+                    CtrlMsg::Create {
+                        stream,
+                        k,
+                        s,
+                        query,
+                    },
+                    end,
+                ))
+            }
+            TAG_ATTACH => {
+                let (stream, at) = get_str(buf, 1)?;
+                let site = get_u32(buf, at)?;
+                if stream.is_empty() {
+                    return Err(WireError::BadField);
+                }
+                Ok((CtrlMsg::Attach { stream, site }, at + 4))
+            }
+            TAG_QUERY => {
+                let (stream, at) = get_str(buf, 1)?;
+                let kind_byte = *buf.get(at).ok_or(WireError::Truncated)?;
+                let kind = LiveQueryKind::from_u8(kind_byte).ok_or(WireError::BadField)?;
+                let arg = get_u64(buf, at + 1)?;
+                if stream.is_empty() {
+                    return Err(WireError::BadField);
+                }
+                Ok((CtrlMsg::Query { stream, kind, arg }, at + 9))
+            }
+            TAG_DRAIN => {
+                let (stream, end) = get_str(buf, 1)?;
+                if stream.is_empty() {
+                    return Err(WireError::BadField);
+                }
+                Ok((CtrlMsg::Drain { stream }, end))
+            }
+            TAG_SHUTDOWN => Ok((CtrlMsg::Shutdown, 1)),
+            other => Err(WireError::BadTag(other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CtrlResp codec.
+
+/// Fixed bytes of an encoded snapshot before the variable parts: tag-free
+/// header of kind, items, epoch flag, u, estimate, ell, attached, eof and
+/// the five accounting counters, then the `u32` entry count. The optional
+/// 8-byte epoch value and the entries follow.
+const SNAPSHOT_HEADER_BYTES: usize = 1 + 8 + 1 + 8 + 8 + 8 + 4 + 4 + 5 * 8 + 4;
+
+fn encode_snapshot(snap: &LiveSnapshot, buf: &mut Vec<u8>) {
+    buf.push(snap.kind.as_u8());
+    put_u64(buf, snap.items);
+    match snap.epoch {
+        Some(e) => {
+            buf.push(1);
+            put_u64(buf, e as u64);
+        }
+        None => buf.push(0),
+    }
+    put_f64(buf, snap.u);
+    put_f64(buf, snap.estimate);
+    put_u64(buf, snap.ell);
+    put_u32(buf, snap.sites_attached);
+    put_u32(buf, snap.sites_eof);
+    put_u64(buf, snap.up_msgs);
+    put_u64(buf, snap.down_msgs);
+    put_u64(buf, snap.up_bytes);
+    put_u64(buf, snap.down_bytes);
+    put_u64(buf, snap.broadcast_events);
+    debug_assert!(snap.sample.len() <= u32::MAX as usize);
+    put_u32(buf, snap.sample.len() as u32);
+    for kd in &snap.sample {
+        put_u64(buf, kd.item.id);
+        put_f64(buf, kd.item.weight);
+        put_f64(buf, kd.key);
+    }
+}
+
+fn decode_snapshot(buf: &[u8], at: usize) -> Result<(LiveSnapshot, usize), WireError> {
+    let kind_byte = *buf.get(at).ok_or(WireError::Truncated)?;
+    let kind = LiveQueryKind::from_u8(kind_byte).ok_or(WireError::BadField)?;
+    let items = get_u64(buf, at + 1)?;
+    let epoch_flag = *buf.get(at + 9).ok_or(WireError::Truncated)?;
+    let (epoch, mut off) = match epoch_flag {
+        0 => (None, at + 10),
+        1 => (Some(get_u64(buf, at + 10)? as i64), at + 18),
+        _ => return Err(WireError::BadField),
+    };
+    let u = get_f64(buf, off)?;
+    let estimate = get_f64(buf, off + 8)?;
+    let ell = get_u64(buf, off + 16)?;
+    let sites_attached = get_u32(buf, off + 24)?;
+    let sites_eof = get_u32(buf, off + 28)?;
+    let up_msgs = get_u64(buf, off + 32)?;
+    let down_msgs = get_u64(buf, off + 40)?;
+    let up_bytes = get_u64(buf, off + 48)?;
+    let down_bytes = get_u64(buf, off + 56)?;
+    let broadcast_events = get_u64(buf, off + 64)?;
+    let count = get_u32(buf, off + 72)? as usize;
+    off += 76;
+    if !u.is_finite() || u < 0.0 || !estimate.is_finite() || ell == 0 {
+        return Err(WireError::BadField);
+    }
+    // Bound the claimed entry count by the bytes actually present before
+    // allocating (the decode_sync discipline): a hostile count cannot
+    // force a large allocation.
+    if count > buf.len().saturating_sub(off) / SNAPSHOT_ENTRY_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let mut sample = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = get_u64(buf, off)?;
+        let weight = check_finite_positive(get_f64(buf, off + 8)?)?;
+        let key = check_finite_positive(get_f64(buf, off + 16)?)?;
+        sample.push(Keyed::new(Item::new(id, weight), key));
+        off += SNAPSHOT_ENTRY_BYTES;
+    }
+    Ok((
+        LiveSnapshot {
+            kind,
+            items,
+            epoch,
+            u,
+            estimate,
+            ell,
+            sites_attached,
+            sites_eof,
+            up_msgs,
+            down_msgs,
+            up_bytes,
+            down_bytes,
+            broadcast_events,
+            sample,
+        },
+        off,
+    ))
+}
+
+/// Exact encoded size of a snapshot (excluding the response tag byte).
+pub fn snapshot_len(sample_len: usize, epoch_present: bool) -> usize {
+    SNAPSHOT_HEADER_BYTES + if epoch_present { 8 } else { 0 } + sample_len * SNAPSHOT_ENTRY_BYTES
+}
+
+impl FrameCodec for CtrlResp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            CtrlResp::Ok { info } => {
+                buf.push(TAG_OK);
+                put_str(buf, info);
+            }
+            CtrlResp::Err { msg } => {
+                buf.push(TAG_ERR);
+                put_str(buf, msg);
+            }
+            CtrlResp::Attached {
+                site,
+                resumed,
+                items,
+            } => {
+                buf.push(TAG_ATTACHED);
+                put_u32(buf, *site);
+                buf.push(u8::from(*resumed));
+                put_u64(buf, *items);
+            }
+            CtrlResp::Answer { snapshot } => {
+                buf.push(TAG_ANSWER);
+                encode_snapshot(snapshot, buf);
+            }
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Result<(Self, usize), WireError> {
+        let tag = *buf.first().ok_or(WireError::Truncated)?;
+        match tag {
+            TAG_OK => {
+                let (info, end) = get_str(buf, 1)?;
+                Ok((CtrlResp::Ok { info }, end))
+            }
+            TAG_ERR => {
+                let (msg, end) = get_str(buf, 1)?;
+                Ok((CtrlResp::Err { msg }, end))
+            }
+            TAG_ATTACHED => {
+                let site = get_u32(buf, 1)?;
+                let resumed = match *buf.get(5).ok_or(WireError::Truncated)? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::BadField),
+                };
+                let items = get_u64(buf, 6)?;
+                Ok((
+                    CtrlResp::Attached {
+                        site,
+                        resumed,
+                        items,
+                    },
+                    14,
+                ))
+            }
+            TAG_ANSWER => {
+                let (snapshot, end) = decode_snapshot(buf, 1)?;
+                Ok((CtrlResp::Answer { snapshot }, end))
+            }
+            other => Err(WireError::BadTag(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> LiveSnapshot {
+        LiveSnapshot {
+            kind: LiveQueryKind::L1Now,
+            items: 123_456,
+            epoch: Some(-3),
+            u: 17.5,
+            estimate: 120_000.0,
+            ell: 9,
+            sites_attached: 3,
+            sites_eof: 1,
+            up_msgs: 512,
+            down_msgs: 64,
+            up_bytes: 10_240,
+            down_bytes: 576,
+            broadcast_events: 8,
+            sample: vec![
+                Keyed::new(Item::new(7, 2.0), 40.0),
+                Keyed::new(Item::new(9, 1.0), 11.25),
+            ],
+        }
+    }
+
+    fn roundtrip<T: FrameCodec + PartialEq + std::fmt::Debug>(msg: &T) {
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let (back, used) = T::decode(&buf).expect("decode");
+        assert_eq!(&back, msg);
+        assert_eq!(used, buf.len(), "must consume the whole encoding");
+    }
+
+    #[test]
+    fn roundtrip_all_msg_variants() {
+        roundtrip(&CtrlMsg::Create {
+            stream: "clicks".into(),
+            k: 8,
+            s: 64,
+            query: "l1:0.2,0.25".into(),
+        });
+        roundtrip(&CtrlMsg::Attach {
+            stream: "clicks".into(),
+            site: 3,
+        });
+        for kind in LiveQueryKind::all() {
+            roundtrip(&CtrlMsg::Query {
+                stream: "x".into(),
+                kind,
+                arg: 100_000,
+            });
+        }
+        roundtrip(&CtrlMsg::Drain {
+            stream: "clicks".into(),
+        });
+        roundtrip(&CtrlMsg::Shutdown);
+    }
+
+    #[test]
+    fn roundtrip_all_resp_variants() {
+        roundtrip(&CtrlResp::Ok {
+            info: "created".into(),
+        });
+        roundtrip(&CtrlResp::Err {
+            msg: "no such stream".into(),
+        });
+        roundtrip(&CtrlResp::Attached {
+            site: 2,
+            resumed: true,
+            items: 5000,
+        });
+        roundtrip(&CtrlResp::Answer {
+            snapshot: sample_snapshot(),
+        });
+        let mut no_epoch = sample_snapshot();
+        no_epoch.epoch = None;
+        no_epoch.sample.clear();
+        no_epoch.kind = LiveQueryKind::Stats;
+        roundtrip(&CtrlResp::Answer { snapshot: no_epoch });
+    }
+
+    #[test]
+    fn snapshot_len_matches_encoding() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        CtrlResp::Answer {
+            snapshot: snap.clone(),
+        }
+        .encode(&mut buf);
+        assert_eq!(buf.len(), 1 + snapshot_len(snap.sample.len(), true));
+        let mut no_epoch = snap;
+        no_epoch.epoch = None;
+        let mut buf2 = Vec::new();
+        CtrlResp::Answer { snapshot: no_epoch }.encode(&mut buf2);
+        assert_eq!(buf2.len(), buf.len() - 8);
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert_eq!(CtrlMsg::decode(&[0x7f]), Err(WireError::BadTag(0x7f)));
+        assert_eq!(CtrlResp::decode(&[0x7f]), Err(WireError::BadTag(0x7f)));
+        assert_eq!(CtrlMsg::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(CtrlResp::decode(&[]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let mut buf = Vec::new();
+        CtrlMsg::Create {
+            stream: "s".into(),
+            k: 2,
+            s: 4,
+            query: "swor".into(),
+        }
+        .encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(
+                CtrlMsg::decode(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        let mut resp = Vec::new();
+        CtrlResp::Answer {
+            snapshot: sample_snapshot(),
+        }
+        .encode(&mut resp);
+        for cut in 0..resp.len() {
+            assert!(CtrlResp::decode(&resp[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn domain_violations_are_bad_fields() {
+        // Empty stream name.
+        let mut buf = Vec::new();
+        CtrlMsg::Drain { stream: "x".into() }.encode(&mut buf);
+        buf[1] = 0;
+        buf[2] = 0;
+        let truncated = &buf[..3];
+        assert_eq!(CtrlMsg::decode(truncated), Err(WireError::BadField));
+
+        // k = 0 in Create.
+        let mut create = Vec::new();
+        CtrlMsg::Create {
+            stream: "s".into(),
+            k: 1,
+            s: 1,
+            query: "swor".into(),
+        }
+        .encode(&mut create);
+        create[4] = 0; // k's low byte (tag + u16 len + 1-byte name)
+        assert_eq!(CtrlMsg::decode(&create), Err(WireError::BadField));
+
+        // Invalid UTF-8 in a string field.
+        let mut bad_utf8 = vec![TAG_DRAIN, 1, 0, 0xff];
+        assert_eq!(CtrlMsg::decode(&bad_utf8), Err(WireError::BadField));
+        bad_utf8[3] = b'x';
+        assert!(CtrlMsg::decode(&bad_utf8).is_ok());
+
+        // Unknown query kind byte.
+        let mut q = Vec::new();
+        CtrlMsg::Query {
+            stream: "s".into(),
+            kind: LiveQueryKind::Stats,
+            arg: 0,
+        }
+        .encode(&mut q);
+        let kind_at = 1 + 2 + 1;
+        q[kind_at] = 99;
+        assert_eq!(CtrlMsg::decode(&q), Err(WireError::BadField));
+
+        // Bool bytes other than 0/1.
+        let mut att = Vec::new();
+        CtrlResp::Attached {
+            site: 0,
+            resumed: false,
+            items: 0,
+        }
+        .encode(&mut att);
+        att[5] = 2;
+        assert_eq!(CtrlResp::decode(&att), Err(WireError::BadField));
+    }
+
+    #[test]
+    fn snapshot_rejects_nonpositive_entries() {
+        let mut snap = sample_snapshot();
+        snap.sample[0].item.weight = 1.0;
+        let mut buf = Vec::new();
+        CtrlResp::Answer { snapshot: snap }.encode(&mut buf);
+        // Overwrite the first entry's weight with -1.0 in place.
+        let entry_at = buf.len() - 2 * SNAPSHOT_ENTRY_BYTES;
+        buf[entry_at + 8..entry_at + 16].copy_from_slice(&(-1.0f64).to_bits().to_le_bytes());
+        assert_eq!(CtrlResp::decode(&buf), Err(WireError::BadField));
+        // And a NaN key likewise.
+        buf[entry_at + 8..entry_at + 16].copy_from_slice(&1.0f64.to_bits().to_le_bytes());
+        buf[entry_at + 16..entry_at + 24].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert_eq!(CtrlResp::decode(&buf), Err(WireError::BadField));
+    }
+
+    #[test]
+    fn hostile_entry_count_is_bounded_before_allocation() {
+        let mut snap = sample_snapshot();
+        snap.sample.clear();
+        let mut buf = Vec::new();
+        CtrlResp::Answer { snapshot: snap }.encode(&mut buf);
+        // Claim u32::MAX entries with no entry bytes present: must fail
+        // with Truncated (checked before any allocation), not OOM.
+        let count_at = buf.len() - 4;
+        buf[count_at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(CtrlResp::decode(&buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let snap = sample_snapshot();
+        let js = snap.to_json("clicks");
+        assert!(js.starts_with("{\"stream\":\"clicks\",\"kind\":\"l1-now\","));
+        assert!(js.contains("\"items\":123456"));
+        assert!(js.contains("\"epoch\":-3"));
+        assert!(js.contains("\"sample_size\":2"));
+        let mut none = snap;
+        none.epoch = None;
+        assert!(none.to_json("a\"b").contains("\"stream\":\"a\\\"b\""));
+        assert!(none.to_json("x").contains("\"epoch\":null"));
+    }
+}

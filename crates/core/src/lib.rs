@@ -36,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod centralized;
+pub mod ctrl;
 pub mod estimate;
 pub mod exact;
 pub mod framed;

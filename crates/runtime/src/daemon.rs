@@ -1,0 +1,1298 @@
+//! The long-lived sampling daemon: a persistent, connection-accepting
+//! coordinator process hosting many concurrent **named streams**.
+//!
+//! The one-shot [`crate::tcp::serve_coordinator`] server runs exactly one
+//! stream for exactly `k` sites and exits at the final drain. The paper's
+//! model, however, is *continuous monitoring*: the coordinator must hold a
+//! valid weighted SWOR — and answer the application queries derived from
+//! it — **at every time step**, not only at the end. [`Daemon`] is that
+//! model as a process:
+//!
+//! * **Multi-tenant**: each stream is created by name
+//!   ([`CtrlMsg::Create`]) with its own `k`, `s`, and application query,
+//!   and runs an independent stock [`SworCoordinator`] on its own
+//!   processor thread.
+//! * **Attach / detach / reconnect**: sites join mid-run
+//!   ([`CtrlMsg::Attach`]), may disconnect (a clean socket close at a
+//!   frame boundary detaches the slot without faulting the stream — the
+//!   deliberate difference from the one-shot server, where a close before
+//!   `Eof` is a fault), and may reattach later to resume. Reattached
+//!   links are **replayed** the coordinator's current broadcast state
+//!   (saturated levels, the epoch threshold) so a reconnecting site
+//!   filters exactly as a continuously-connected one would.
+//! * **Live queries while streams run** ([`CtrlMsg::Query`]): the
+//!   per-stream processor serializes query commands into the same queue
+//!   as data frames, so every [`LiveSnapshot`] is taken at a well-defined
+//!   instant of the stream — Theorem 3's "valid SWOR at every step" made
+//!   observable.
+//! * **Graceful shutdown**: [`Daemon::shutdown`] (or a
+//!   [`CtrlMsg::Shutdown`] control frame) drains every stream with the
+//!   same flush → `Eof` → drain discipline as the engines, returning each
+//!   stream's final snapshot.
+//!
+//! Wire protocol: control frames are [`CtrlMsg`] / [`CtrlResp`] over the
+//! standard `[u32 LE length][payload]` framing; after a successful attach
+//! the same connection switches to the data-plane framing
+//! (`TAG_BATCH`/`TAG_EOF` upstream, `TAG_DOWN` downstream) shared with
+//! the one-shot TCP transport. See `docs/DAEMON.md` for the operator
+//! guide and byte-level layouts.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use dwrs_core::ctrl::{CtrlMsg, CtrlResp, LiveQueryKind, LiveSnapshot};
+use dwrs_core::framed::{decode_seq, FrameCodec, FramedReader, FramedWriter};
+use dwrs_core::swor::levels::epoch_threshold;
+use dwrs_core::swor::{DownMsg, SworConfig, SworCoordinator, UpMsg};
+use dwrs_core::{Item, Keyed};
+use dwrs_sim::{swor_coordinator, CoordinatorNode, Meter, Metrics, Outbox, SiteNode};
+
+use crate::config::RuntimeConfig;
+use crate::engine::{flush, DOWN_POLL_EVERY};
+use crate::query::Query;
+use crate::tcp::{down_reader, tcp_batch_sender, tcp_down_sender, TAG_BATCH, TAG_EOF};
+use crate::transport::{BatchSender, UpFrame};
+use crate::RuntimeError;
+
+/// Daemon-wide configuration.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Base seed; each stream's coordinator seed is derived from it and
+    /// the stream name, so restarting the daemon reproduces a run.
+    pub seed: u64,
+    /// Bound (in commands) of each stream processor's queue — the same
+    /// backpressure role as [`RuntimeConfig::queue_capacity`].
+    pub queue_capacity: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            queue_capacity: 128,
+        }
+    }
+}
+
+/// Derives a stream's coordinator seed from the daemon seed and the
+/// stream name (FNV-1a over the name, xor-folded with the base seed).
+fn stream_seed(seed: u64, name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in name.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ------------------------------------------------------------- stream side
+
+/// Lifecycle of one site slot within a stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlotState {
+    /// Never attached.
+    Empty,
+    /// A connection currently owns the slot.
+    Attached,
+    /// The connection went away without `Eof`; the slot may be resumed.
+    Detached,
+    /// The slot sent `Eof`; it is finished for good.
+    Finished,
+}
+
+/// Commands serialized into a stream processor's queue. Data frames and
+/// queries share the queue, so a query's answer reflects exactly the
+/// frames that preceded it.
+enum StreamCmd {
+    /// Phase 1 of attach: validate and claim the slot. The connection
+    /// handler writes the `Attached` response on the socket *before*
+    /// registering the down link (phase 2), so the processor can never
+    /// race a broadcast onto the socket mid-response.
+    Reserve {
+        site: usize,
+        reply: mpsc::SyncSender<Result<(bool, u64), String>>,
+    },
+    /// Phase 2 of attach: register the slot's down link and replay the
+    /// coordinator's current broadcast state onto it.
+    Link {
+        site: usize,
+        down: Box<dyn crate::transport::DownSender<DownMsg>>,
+    },
+    /// One decoded upstream batch with its stream-progress watermark.
+    Up {
+        site: usize,
+        msgs: Vec<UpMsg>,
+        items: u64,
+    },
+    /// The site finished its stream.
+    Eof { site: usize },
+    /// The connection went away without `Eof`; the slot may reattach.
+    Detach { site: usize },
+    /// A live query against the current state.
+    Query {
+        kind: LiveQueryKind,
+        arg: u64,
+        reply: mpsc::SyncSender<Result<LiveSnapshot, String>>,
+    },
+    /// Finish once no slot is attached; reply with the final snapshot.
+    Drain {
+        reply: mpsc::SyncSender<LiveSnapshot>,
+    },
+}
+
+/// One named stream's processor-side state.
+struct StreamState {
+    query: Query,
+    /// Effective sample size (the query may inflate the scenario `s`).
+    s_eff: usize,
+    /// L1 duplication factor ℓ (1 for non-L1 streams).
+    ell: u64,
+    /// Output size for `rhh-so-far` (top candidates by weight).
+    rhh_output: usize,
+    /// The stream's own window length, when it is a sliding-window query.
+    window_default: Option<u64>,
+    coordinator: SworCoordinator,
+    downs: Vec<Option<Box<dyn crate::transport::DownSender<DownMsg>>>>,
+    slots: Vec<SlotState>,
+    /// Per-slot stream-progress watermark (items observed, survives
+    /// detach so a resumed slot keeps accumulating).
+    slot_items: Vec<u64>,
+    metrics: Metrics,
+}
+
+impl StreamState {
+    fn drain_complete(&self) -> bool {
+        !self.slots.contains(&SlotState::Attached)
+    }
+
+    fn close_down(&mut self, site: usize) {
+        if let Some(mut d) = self.downs[site].take() {
+            d.close();
+        }
+    }
+
+    /// The live-query kind that answers this stream's *own* query —
+    /// the kind the final drain snapshot is reported as, so an L1
+    /// stream drains to its weight estimate, a window stream to its
+    /// window survivors, and so on.
+    fn natural_kind(&self) -> LiveQueryKind {
+        match self.query {
+            Query::Swor => LiveQueryKind::CurrentSample,
+            Query::L1 { .. } => LiveQueryKind::L1Now,
+            Query::ResidualHh { .. } => LiveQueryKind::RhhSoFar,
+            Query::SlidingWindow { .. } => LiveQueryKind::WindowNow,
+        }
+    }
+
+    /// Builds the live answer at this instant. `arg` is the window length
+    /// for `window-now` (0 = the stream's own window).
+    fn live_snapshot(&self, kind: LiveQueryKind, arg: u64) -> Result<LiveSnapshot, String> {
+        use dwrs_apps::live;
+        let full = self.coordinator.sample();
+        let items: u64 = self.slot_items.iter().sum();
+        let u = live::sth_largest_key(&full, self.s_eff);
+        let (estimate, sample) = match kind {
+            LiveQueryKind::CurrentSample => (weight_sum(&full), full),
+            LiveQueryKind::L1Now => (live::l1_estimate(self.s_eff, self.ell, u), full),
+            LiveQueryKind::RhhSoFar => {
+                let cands = live::rhh_candidates(&full, self.rhh_output);
+                (weight_sum(&cands), cands)
+            }
+            LiveQueryKind::WindowNow => {
+                let window = if arg > 0 {
+                    arg
+                } else {
+                    self.window_default.ok_or_else(|| {
+                        format!(
+                            "window-now on a '{}' stream needs an explicit window length",
+                            self.query.name()
+                        )
+                    })?
+                };
+                let survivors = live::window_survivors(&full, items, window);
+                (weight_sum(&survivors), survivors)
+            }
+            LiveQueryKind::Stats => (0.0, Vec::new()),
+        };
+        Ok(LiveSnapshot {
+            kind,
+            items,
+            epoch: self.coordinator.epoch(),
+            u,
+            estimate,
+            ell: self.ell,
+            sites_attached: count_state(&self.slots, SlotState::Attached),
+            sites_eof: count_state(&self.slots, SlotState::Finished),
+            up_msgs: self.metrics.up_total,
+            down_msgs: self.metrics.down_total,
+            up_bytes: self.metrics.up_bytes,
+            down_bytes: self.metrics.down_bytes,
+            broadcast_events: self.metrics.broadcast_events,
+            sample,
+        })
+    }
+}
+
+fn weight_sum(sample: &[Keyed]) -> f64 {
+    sample.iter().map(|kd| kd.item.weight).sum()
+}
+
+fn count_state(slots: &[SlotState], want: SlotState) -> u32 {
+    slots.iter().filter(|s| **s == want).count() as u32
+}
+
+/// Routes one round's coordinator responses over the daemon's *optional*
+/// down links. Metering follows the paper exactly as [`crate::engine`]'s
+/// router: a unicast costs 1 message, a broadcast costs the configured
+/// `k` — whether or not every slot currently has a live link (a detached
+/// site would have been sent the message; it will be replayed the
+/// resulting state on reattach).
+fn route_live(
+    outbox: &mut Outbox<DownMsg>,
+    downs: &mut [Option<Box<dyn crate::transport::DownSender<DownMsg>>>],
+    metrics: &mut Metrics,
+) {
+    let k = downs.len();
+    let (unicasts, broadcasts) = outbox.take();
+    for (to, msg) in unicasts {
+        metrics.count_unicast(msg.kind(), msg.units(), msg.wire_bytes());
+        if let Some(d) = downs[to].as_mut() {
+            let _ = d.send(&msg);
+        }
+    }
+    for msg in broadcasts {
+        metrics.count_broadcast(msg.kind(), msg.units(), msg.wire_bytes(), k);
+        for d in downs.iter_mut().flatten() {
+            let _ = d.send(&msg);
+        }
+    }
+}
+
+/// The per-stream processor loop: owns the coordinator, consumes the
+/// serialized command queue, exits after a completed drain (or when the
+/// daemon is torn down and every command sender is gone).
+fn stream_processor(mut st: StreamState, rx: mpsc::Receiver<StreamCmd>) {
+    let mut outbox = Outbox::new();
+    let mut drain_reply: Option<mpsc::SyncSender<LiveSnapshot>> = None;
+    loop {
+        let Ok(cmd) = rx.recv() else {
+            break;
+        };
+        match cmd {
+            StreamCmd::Reserve { site, reply } => {
+                let result = if site >= st.slots.len() {
+                    Err(format!(
+                        "site {site} out of range (stream has {} slots)",
+                        st.slots.len()
+                    ))
+                } else {
+                    match st.slots[site] {
+                        SlotState::Attached => Err(format!("site {site} is already attached")),
+                        SlotState::Finished => Err(format!("site {site} already sent Eof")),
+                        prev => {
+                            st.slots[site] = SlotState::Attached;
+                            Ok((prev == SlotState::Detached, st.slot_items[site]))
+                        }
+                    }
+                };
+                let _ = reply.send(result);
+            }
+            StreamCmd::Link { site, down } => {
+                st.downs[site] = Some(down);
+                // Replay the coordinator's broadcast state so the fresh
+                // link filters exactly as a continuously-connected site:
+                // one LevelSaturated per saturated level, plus the current
+                // epoch threshold. Metered as unicasts — they go to one
+                // site, not all k.
+                let mut replayed: Vec<DownMsg> = st
+                    .coordinator
+                    .snapshot()
+                    .levels
+                    .iter()
+                    .filter(|l| l.saturated)
+                    .map(|l| DownMsg::LevelSaturated { level: l.level })
+                    .collect();
+                if let Some(j) = st.coordinator.epoch() {
+                    replayed.push(DownMsg::UpdateEpoch {
+                        threshold: epoch_threshold(j, st.coordinator.config().r()),
+                    });
+                }
+                for msg in replayed {
+                    st.metrics
+                        .count_unicast(msg.kind(), msg.units(), msg.wire_bytes());
+                    if let Some(d) = st.downs[site].as_mut() {
+                        let _ = d.send(&msg);
+                    }
+                }
+            }
+            StreamCmd::Up { site, msgs, items } => {
+                st.slot_items[site] += items;
+                for msg in msgs {
+                    st.metrics
+                        .count_up(msg.kind(), msg.units(), msg.wire_bytes());
+                    CoordinatorNode::receive(&mut st.coordinator, site, msg, &mut outbox);
+                    route_live(&mut outbox, &mut st.downs, &mut st.metrics);
+                }
+            }
+            StreamCmd::Eof { site } => {
+                st.slots[site] = SlotState::Finished;
+                // Close this slot's down link now (the one-shot engine
+                // closes all links at the end of the run; a daemon stream
+                // has no end, so the per-site drain loop must terminate
+                // here for the client's finish() to return).
+                st.close_down(site);
+            }
+            StreamCmd::Detach { site } => {
+                if st.slots[site] == SlotState::Attached {
+                    st.slots[site] = SlotState::Detached;
+                }
+                st.close_down(site);
+            }
+            StreamCmd::Query { kind, arg, reply } => {
+                let _ = reply.send(st.live_snapshot(kind, arg));
+            }
+            StreamCmd::Drain { reply } => {
+                drain_reply = Some(reply);
+            }
+        }
+        if let Some(reply) = drain_reply.take() {
+            if st.drain_complete() {
+                for site in 0..st.downs.len() {
+                    st.close_down(site);
+                }
+                let snap = st.live_snapshot(st.natural_kind(), 0).unwrap_or_else(|_| {
+                    // The natural kind never fails (a window stream
+                    // has a default window); defensive fallback.
+                    st.live_snapshot(LiveQueryKind::Stats, 0).unwrap()
+                });
+                let _ = reply.send(snap);
+                return;
+            }
+            drain_reply = Some(reply);
+        }
+    }
+}
+
+// ------------------------------------------------------------- daemon side
+
+/// A handle to one stream's processor.
+struct StreamHandle {
+    cmd: mpsc::SyncSender<StreamCmd>,
+    join: JoinHandle<()>,
+}
+
+/// State shared between the listener, connection handlers, and the
+/// [`Daemon`] handle.
+struct Shared {
+    cfg: DaemonConfig,
+    accepting: AtomicBool,
+    streams: Mutex<HashMap<String, StreamHandle>>,
+    /// Final snapshots of drained streams, in drain order — the daemon's
+    /// run report.
+    drained: Mutex<Vec<(String, LiveSnapshot)>>,
+}
+
+/// A running sampling daemon.
+///
+/// Binds a listener, then serves control connections until
+/// [`Daemon::shutdown`] is called (from any thread — the handle is
+/// `Sync`) or a [`CtrlMsg::Shutdown`] control frame arrives.
+///
+/// # Example
+///
+/// ```
+/// use dwrs_core::ctrl::LiveQueryKind;
+/// use dwrs_core::swor::SworConfig;
+/// use dwrs_core::Item;
+/// use dwrs_runtime::daemon::{AttachClient, CtrlClient, Daemon, DaemonConfig};
+/// use dwrs_runtime::RuntimeConfig;
+/// use dwrs_sim::swor_site;
+///
+/// let daemon = Daemon::bind("127.0.0.1:0", DaemonConfig::default()).unwrap();
+/// let addr = daemon.local_addr();
+///
+/// // Create a stream and attach one site.
+/// let mut ctrl = CtrlClient::connect(addr).unwrap();
+/// ctrl.create("demo", 1, 8, "swor").unwrap();
+/// let site = swor_site(&SworConfig::new(8, 1), 42, 0);
+/// let mut client =
+///     AttachClient::attach(addr, "demo", 0, site, &RuntimeConfig::default()).unwrap();
+///
+/// // Feed items, then query the live sample mid-run.
+/// client.feed((0..1000).map(Item::unit)).unwrap();
+/// client.finish().unwrap();
+/// let snap = ctrl.snapshot("demo", LiveQueryKind::CurrentSample, 0).unwrap();
+/// assert_eq!(snap.items, 1000);
+/// assert_eq!(snap.sample.len(), 8);
+///
+/// let final_snap = ctrl.drain_stream("demo").unwrap();
+/// assert_eq!(final_snap.sites_eof, 1);
+/// daemon.shutdown();
+/// ```
+pub struct Daemon {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener_join: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Daemon({})", self.addr)
+    }
+}
+
+impl Daemon {
+    /// Binds `addr` and starts accepting control connections.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: DaemonConfig) -> io::Result<Daemon> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cfg,
+            accepting: AtomicBool::new(true),
+            streams: Mutex::new(HashMap::new()),
+            drained: Mutex::new(Vec::new()),
+        });
+        let join = thread::spawn({
+            let shared = Arc::clone(&shared);
+            move || listener_loop(listener, shared, local)
+        });
+        Ok(Daemon {
+            addr: local,
+            shared,
+            listener_join: Mutex::new(Some(join)),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains every stream (flush → `Eof` → drain
+    /// discipline on each), and returns the final snapshots in drain
+    /// order. Idempotent; safe to call from a signal-watcher thread while
+    /// another thread blocks in [`Daemon::join`].
+    pub fn shutdown(&self) -> Vec<(String, LiveSnapshot)> {
+        let snaps = shutdown_impl(&self.shared, self.addr);
+        let join = self.listener_join.lock().unwrap().take();
+        if let Some(j) = join {
+            let _ = j.join();
+        }
+        snaps
+    }
+
+    /// Blocks until the listener exits — i.e. until [`Daemon::shutdown`]
+    /// is called from another thread or a [`CtrlMsg::Shutdown`] control
+    /// frame arrives.
+    pub fn join(&self) {
+        let join = self.listener_join.lock().unwrap().take();
+        if let Some(j) = join {
+            let _ = j.join();
+        }
+    }
+
+    /// Final snapshots of every stream drained so far (by control frame
+    /// or shutdown), in drain order.
+    pub fn drained(&self) -> Vec<(String, LiveSnapshot)> {
+        self.shared.drained.lock().unwrap().clone()
+    }
+}
+
+/// The shutdown path shared by [`Daemon::shutdown`] and the
+/// [`CtrlMsg::Shutdown`] handler (which runs on a connection thread and
+/// has no `Daemon` handle).
+fn shutdown_impl(shared: &Shared, addr: SocketAddr) -> Vec<(String, LiveSnapshot)> {
+    let was_accepting = shared.accepting.swap(false, Ordering::SeqCst);
+    let handles: Vec<(String, StreamHandle)> = {
+        let mut streams = shared.streams.lock().unwrap();
+        streams.drain().collect()
+    };
+    let mut snaps = Vec::new();
+    for (name, handle) in handles {
+        let (tx, rx) = mpsc::sync_channel(1);
+        if handle.cmd.send(StreamCmd::Drain { reply: tx }).is_ok() {
+            if let Ok(snap) = rx.recv() {
+                snaps.push((name, snap));
+            }
+        }
+        let _ = handle.join.join();
+    }
+    shared.drained.lock().unwrap().extend(snaps.iter().cloned());
+    if was_accepting {
+        // Wake the listener's blocking accept so it can observe the flag.
+        let _ = TcpStream::connect(addr);
+    }
+    snaps
+}
+
+fn listener_loop(listener: TcpListener, shared: Arc<Shared>, addr: SocketAddr) {
+    for conn in listener.incoming() {
+        if !shared.accepting.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || handle_connection(shared, addr, stream));
+    }
+}
+
+/// Creates a stream (idempotent). Returns the ack detail.
+fn create_stream(
+    shared: &Shared,
+    name: &str,
+    k: u32,
+    s: u32,
+    spec: &str,
+) -> Result<&'static str, String> {
+    let query = Query::parse(spec)?;
+    query.validate()?;
+    if !shared.accepting.load(Ordering::SeqCst) {
+        return Err("daemon is shutting down".to_string());
+    }
+    let mut streams = shared.streams.lock().unwrap();
+    if streams.contains_key(name) {
+        return Ok("exists");
+    }
+    let k_us = k as usize;
+    let s_eff = query.sample_size(s as usize);
+    let ell = query.duplication().unwrap_or(1);
+    let rhh_output = match query {
+        Query::ResidualHh { eps, delta } => {
+            dwrs_apps::ResidualHhConfig::new(eps, delta, k_us).output_size()
+        }
+        // Non-rhh streams still answer rhh-so-far best-effort with the
+        // default ε = 0.2 output size.
+        _ => dwrs_apps::ResidualHhConfig::new(0.2, 0.05, k_us).output_size(),
+    };
+    let window_default = match query {
+        Query::SlidingWindow { window } => Some(window),
+        _ => None,
+    };
+    let coordinator = swor_coordinator(
+        SworConfig::new(s_eff, k_us),
+        stream_seed(shared.cfg.seed, name),
+    );
+    let st = StreamState {
+        query,
+        s_eff,
+        ell,
+        rhh_output,
+        window_default,
+        coordinator,
+        downs: (0..k_us).map(|_| None).collect(),
+        slots: vec![SlotState::Empty; k_us],
+        slot_items: vec![0; k_us],
+        metrics: Metrics::new(),
+    };
+    let (tx, rx) = mpsc::sync_channel(shared.cfg.queue_capacity.max(1));
+    let join = thread::spawn(move || stream_processor(st, rx));
+    streams.insert(name.to_string(), StreamHandle { cmd: tx, join });
+    Ok("created")
+}
+
+/// Looks up a stream's command sender.
+fn stream_cmd(shared: &Shared, name: &str) -> Option<mpsc::SyncSender<StreamCmd>> {
+    shared
+        .streams
+        .lock()
+        .unwrap()
+        .get(name)
+        .map(|h| h.cmd.clone())
+}
+
+/// One control connection: a loop of control frames, until the client
+/// goes away or the connection becomes a site's data link.
+fn handle_connection(shared: Arc<Shared>, addr: SocketAddr, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // The down half is split off up front: once an attach succeeds, the
+    // processor writes broadcasts on it while this thread keeps reading
+    // data frames from the original.
+    let Ok(down_half) = stream.try_clone() else {
+        return;
+    };
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = FramedWriter::new(write_half);
+    let mut reader = FramedReader::new(stream);
+    loop {
+        let msg = match reader.read_msg::<CtrlMsg>() {
+            Ok(Some(m)) => m,
+            // Clean close or garbage: drop the connection. Control
+            // connections carry no stream state, so nothing to unwind.
+            Ok(None) | Err(_) => return,
+        };
+        let resp = match msg {
+            CtrlMsg::Create {
+                stream: name,
+                k,
+                s,
+                query,
+            } => match create_stream(&shared, &name, k, s, &query) {
+                Ok(info) => CtrlResp::Ok { info: info.into() },
+                Err(msg) => CtrlResp::Err { msg },
+            },
+            CtrlMsg::Attach { stream: name, site } => {
+                let site = site as usize;
+                let Some(cmd) = stream_cmd(&shared, &name) else {
+                    if writer
+                        .write_msg(&CtrlResp::Err {
+                            msg: format!("no such stream {name:?}"),
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                    continue;
+                };
+                let (rtx, rrx) = mpsc::sync_channel(1);
+                if cmd.send(StreamCmd::Reserve { site, reply: rtx }).is_err() {
+                    if writer
+                        .write_msg(&CtrlResp::Err {
+                            msg: format!("stream {name:?} is draining"),
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                    continue;
+                }
+                match rrx.recv() {
+                    Ok(Ok((resumed, items))) => {
+                        let ack = CtrlResp::Attached {
+                            site: site as u32,
+                            resumed,
+                            items,
+                        };
+                        if writer.write_msg(&ack).is_err() {
+                            // The slot is reserved but the client is gone;
+                            // release it.
+                            let _ = cmd.send(StreamCmd::Detach { site });
+                            return;
+                        }
+                        // Response written: now it is safe to hand the
+                        // processor the down link (two-phase attach — see
+                        // StreamCmd::Reserve).
+                        let down = tcp_down_sender::<DownMsg>(down_half);
+                        if cmd.send(StreamCmd::Link { site, down }).is_err() {
+                            return;
+                        }
+                        site_data_loop(&mut reader, site, &cmd);
+                        return;
+                    }
+                    Ok(Err(msg)) => CtrlResp::Err { msg },
+                    Err(_) => CtrlResp::Err {
+                        msg: format!("stream {name:?} is draining"),
+                    },
+                }
+            }
+            CtrlMsg::Query {
+                stream: name,
+                kind,
+                arg,
+            } => match stream_cmd(&shared, &name) {
+                None => CtrlResp::Err {
+                    msg: format!("no such stream {name:?}"),
+                },
+                Some(cmd) => {
+                    let (rtx, rrx) = mpsc::sync_channel(1);
+                    let sent = cmd
+                        .send(StreamCmd::Query {
+                            kind,
+                            arg,
+                            reply: rtx,
+                        })
+                        .is_ok();
+                    match (sent, sent.then(|| rrx.recv())) {
+                        (true, Some(Ok(Ok(snapshot)))) => CtrlResp::Answer { snapshot },
+                        (true, Some(Ok(Err(msg)))) => CtrlResp::Err { msg },
+                        _ => CtrlResp::Err {
+                            msg: format!("stream {name:?} is draining"),
+                        },
+                    }
+                }
+            },
+            CtrlMsg::Drain { stream: name } => {
+                // Remove the handle first so no new attach can race the
+                // drain; connections already attached keep their cloned
+                // senders and finish normally.
+                let handle = shared.streams.lock().unwrap().remove(&name);
+                match handle {
+                    None => CtrlResp::Err {
+                        msg: format!("no such stream {name:?}"),
+                    },
+                    Some(handle) => {
+                        let (rtx, rrx) = mpsc::sync_channel(1);
+                        let _ = handle.cmd.send(StreamCmd::Drain { reply: rtx });
+                        match rrx.recv() {
+                            Ok(snapshot) => {
+                                let _ = handle.join.join();
+                                shared
+                                    .drained
+                                    .lock()
+                                    .unwrap()
+                                    .push((name, snapshot.clone()));
+                                CtrlResp::Answer { snapshot }
+                            }
+                            Err(_) => CtrlResp::Err {
+                                msg: format!("stream {name:?} already drained"),
+                            },
+                        }
+                    }
+                }
+            }
+            CtrlMsg::Shutdown => {
+                let snaps = shutdown_impl(&shared, addr);
+                let _ = writer.write_msg(&CtrlResp::Ok {
+                    info: format!("drained {} stream(s)", snaps.len()),
+                });
+                return;
+            }
+        };
+        if writer.write_msg(&resp).is_err() {
+            return;
+        }
+    }
+}
+
+/// After a successful attach, the connection is the slot's data link:
+/// decode `TAG_BATCH`/`TAG_EOF` frames into processor commands. A clean
+/// close at a frame boundary is a **detach** (the slot may reattach
+/// later) — deliberately unlike the one-shot server's reader, which
+/// treats it as a fault.
+fn site_data_loop(
+    reader: &mut FramedReader<TcpStream>,
+    site: usize,
+    cmd: &mpsc::SyncSender<StreamCmd>,
+) {
+    loop {
+        match reader.read_blob() {
+            Ok(Some(payload)) => match payload.split_first() {
+                Some((&TAG_BATCH, body)) if body.len() >= 8 => {
+                    let items = u64::from_le_bytes(body[..8].try_into().unwrap());
+                    match decode_seq::<UpMsg>(&body[8..]) {
+                        Ok(msgs) => {
+                            if cmd.send(StreamCmd::Up { site, msgs, items }).is_err() {
+                                return;
+                            }
+                        }
+                        Err(_) => {
+                            let _ = cmd.send(StreamCmd::Detach { site });
+                            return;
+                        }
+                    }
+                }
+                Some((&TAG_EOF, _)) => {
+                    let _ = cmd.send(StreamCmd::Eof { site });
+                    return;
+                }
+                // TAG_FAULT, or any unrecognised frame: the slot is gone
+                // but resumable, same as a clean detach.
+                _ => {
+                    let _ = cmd.send(StreamCmd::Detach { site });
+                    return;
+                }
+            },
+            Ok(None) | Err(_) => {
+                let _ = cmd.send(StreamCmd::Detach { site });
+                return;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- client side
+
+/// A framed control connection to a daemon.
+pub struct CtrlClient {
+    reader: FramedReader<TcpStream>,
+    writer: FramedWriter<TcpStream>,
+}
+
+impl std::fmt::Debug for CtrlClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CtrlClient")
+    }
+}
+
+impl CtrlClient {
+    /// Connects to a daemon's control port.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<CtrlClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(CtrlClient {
+            writer: FramedWriter::new(stream.try_clone()?),
+            reader: FramedReader::new(stream),
+        })
+    }
+
+    /// Sends one control request and reads its response.
+    pub fn request(&mut self, msg: &CtrlMsg) -> io::Result<CtrlResp> {
+        self.writer.write_msg(msg)?;
+        match self.reader.read_msg::<CtrlResp>()? {
+            Some(resp) => Ok(resp),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the control connection",
+            )),
+        }
+    }
+
+    /// Creates stream `stream` (idempotent — an existing stream keeps its
+    /// original configuration).
+    pub fn create(&mut self, stream: &str, k: u32, s: u32, query: &str) -> io::Result<CtrlResp> {
+        self.request(&CtrlMsg::Create {
+            stream: stream.to_string(),
+            k,
+            s,
+            query: query.to_string(),
+        })
+    }
+
+    /// Issues a live query and returns the snapshot (daemon-side refusals
+    /// surface as [`RuntimeError::Transport`]).
+    pub fn snapshot(
+        &mut self,
+        stream: &str,
+        kind: LiveQueryKind,
+        arg: u64,
+    ) -> Result<LiveSnapshot, RuntimeError> {
+        let resp = self
+            .request(&CtrlMsg::Query {
+                stream: stream.to_string(),
+                kind,
+                arg,
+            })
+            .map_err(|e| RuntimeError::Transport(e.to_string()))?;
+        expect_answer(resp)
+    }
+
+    /// Drains `stream` (waits for every attached site to finish or
+    /// detach) and returns its final snapshot.
+    pub fn drain_stream(&mut self, stream: &str) -> Result<LiveSnapshot, RuntimeError> {
+        let resp = self
+            .request(&CtrlMsg::Drain {
+                stream: stream.to_string(),
+            })
+            .map_err(|e| RuntimeError::Transport(e.to_string()))?;
+        expect_answer(resp)
+    }
+
+    /// Asks the daemon to drain every stream and stop.
+    pub fn shutdown(&mut self) -> io::Result<CtrlResp> {
+        self.request(&CtrlMsg::Shutdown)
+    }
+}
+
+fn expect_answer(resp: CtrlResp) -> Result<LiveSnapshot, RuntimeError> {
+    match resp {
+        CtrlResp::Answer { snapshot } => Ok(snapshot),
+        CtrlResp::Err { msg } => Err(RuntimeError::Transport(msg)),
+        other => Err(RuntimeError::Transport(format!(
+            "unexpected control response {other:?}"
+        ))),
+    }
+}
+
+/// A site attached to a daemon stream: the client half of the data plane.
+///
+/// Wraps any [`SiteNode`] whose messages are wire-codable and drives it
+/// with the engine's own discipline — upstream batching with
+/// [`RuntimeConfig::batch_max`], downstream broadcasts polled every
+/// `DOWN_POLL_EVERY` items, flush → `Eof` → drain on
+/// [`AttachClient::finish`]. [`AttachClient::detach`] leaves the slot
+/// resumable instead, so a later attach continues the same stream
+/// (validity is preserved: the daemon replays threshold state on
+/// reattach, and the key-space filter is monotone).
+pub struct AttachClient<S: SiteNode> {
+    site: S,
+    up: Box<dyn BatchSender<S::Up>>,
+    down: mpsc::Receiver<S::Down>,
+    batch: Vec<S::Up>,
+    items_pending: u64,
+    until_poll: u32,
+    batch_max: usize,
+    metrics: Metrics,
+    resumed: bool,
+    prior_items: u64,
+}
+
+impl<S: SiteNode> std::fmt::Debug for AttachClient<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AttachClient(resumed {})", self.resumed)
+    }
+}
+
+impl<S> AttachClient<S>
+where
+    S: SiteNode,
+    S::Up: FrameCodec + Send + 'static,
+    S::Down: FrameCodec + Send + 'static,
+{
+    /// Connects to `addr`, attaches as site `site_id` of stream `stream`,
+    /// and returns the ready-to-feed client. Fails if the slot is taken,
+    /// finished, out of range, or the stream does not exist.
+    pub fn attach(
+        addr: impl ToSocketAddrs,
+        stream: &str,
+        site_id: usize,
+        site: S,
+        cfg: &RuntimeConfig,
+    ) -> Result<AttachClient<S>, RuntimeError> {
+        let sock = TcpStream::connect(addr).map_err(io_transport)?;
+        sock.set_nodelay(true).map_err(io_transport)?;
+        let mut writer = FramedWriter::new(sock.try_clone().map_err(io_transport)?);
+        let mut ctrl_reader = FramedReader::new(sock);
+        writer
+            .write_msg(&CtrlMsg::Attach {
+                stream: stream.to_string(),
+                site: site_id as u32,
+            })
+            .map_err(io_transport)?;
+        let resp = ctrl_reader
+            .read_msg::<CtrlResp>()
+            .map_err(io_transport)?
+            .ok_or_else(|| {
+                RuntimeError::Transport("daemon closed the connection during attach".into())
+            })?;
+        let (resumed, prior_items) = match resp {
+            CtrlResp::Attached { resumed, items, .. } => (resumed, items),
+            CtrlResp::Err { msg } => {
+                return Err(RuntimeError::Transport(format!("attach refused: {msg}")))
+            }
+            other => {
+                return Err(RuntimeError::Transport(format!(
+                    "unexpected attach response {other:?}"
+                )))
+            }
+        };
+        // The reader consumed exactly the response frame (FramedReader
+        // never over-reads); the socket's read side now carries TAG_DOWN
+        // data frames — hand it to a dedicated down-reader thread.
+        let (down_tx, down_rx) = mpsc::channel();
+        let read_half = ctrl_reader.into_inner();
+        thread::spawn(move || down_reader::<S::Down>(read_half, down_tx));
+        let mut up = tcp_batch_sender::<S::Up>(writer.into_inner());
+        up.reserve_hint(cfg.batch_max);
+        Ok(AttachClient {
+            site,
+            up,
+            down: down_rx,
+            batch: Vec::with_capacity(cfg.batch_max),
+            items_pending: 0,
+            until_poll: 0,
+            batch_max: cfg.batch_max,
+            metrics: Metrics::new(),
+            resumed,
+            prior_items,
+        })
+    }
+
+    /// Whether this attach resumed a previously detached slot.
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// Items this slot had contributed before this attach.
+    pub fn prior_items(&self) -> u64 {
+        self.prior_items
+    }
+
+    /// Observes a run of stream items, applying coordinator broadcasts as
+    /// they arrive and flushing upstream batches at `batch_max` — the
+    /// engine's site loop, incrementally.
+    pub fn feed(&mut self, items: impl IntoIterator<Item = Item>) -> Result<(), RuntimeError> {
+        for item in items {
+            if self.until_poll == 0 {
+                self.until_poll = DOWN_POLL_EVERY;
+                while let Ok(msg) = self.down.try_recv() {
+                    self.site.receive(&msg);
+                }
+            }
+            self.until_poll -= 1;
+            self.site.observe(item, &mut self.batch);
+            self.items_pending += 1;
+            if self.batch.len() >= self.batch_max {
+                flush(
+                    &mut *self.up,
+                    &mut self.batch,
+                    &mut self.items_pending,
+                    self.batch_max,
+                    &mut self.metrics,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes the slot for good: site finish-burst → flush → `Eof` →
+    /// close → drain remaining broadcasts. Returns the site and this
+    /// client's metrics. The slot cannot be reattached afterwards.
+    pub fn finish(self) -> Result<(S, Metrics), RuntimeError> {
+        let AttachClient {
+            mut site,
+            mut up,
+            down,
+            mut batch,
+            mut items_pending,
+            batch_max,
+            mut metrics,
+            ..
+        } = self;
+        // The closing burst can exceed batch_max (it is not item-driven):
+        // ship it in batch-sized chunks, as the engine's site loop does.
+        site.finish(&mut batch);
+        while batch.len() > batch_max {
+            let rest = batch.split_off(batch_max);
+            flush(
+                &mut *up,
+                &mut batch,
+                &mut items_pending,
+                batch_max,
+                &mut metrics,
+            )?;
+            batch = rest;
+        }
+        flush(
+            &mut *up,
+            &mut batch,
+            &mut items_pending,
+            batch_max,
+            &mut metrics,
+        )?;
+        if items_pending > 0 {
+            // Residual watermark: items observed since the last flush that
+            // produced no messages still advance the stream's progress.
+            up.send(UpFrame::Batch {
+                msgs: Vec::new(),
+                items: items_pending,
+            })
+            .map_err(|e| RuntimeError::Transport(e.to_string()))?;
+        }
+        up.send(UpFrame::Eof)
+            .map_err(|e| RuntimeError::Transport(e.to_string()))?;
+        up.close();
+        drop(up);
+        // The daemon closes this slot's down link on Eof; drain to it.
+        while let Ok(msg) = down.recv() {
+            site.receive(&msg);
+        }
+        Ok((site, metrics))
+    }
+
+    /// Detaches, leaving the slot resumable: flush → residual watermark →
+    /// close **without** `Eof`. The daemon sees the clean close at a
+    /// frame boundary and marks the slot detached; a later
+    /// [`AttachClient::attach`] on the same slot resumes it.
+    pub fn detach(self) -> Result<(S, Metrics), RuntimeError> {
+        let AttachClient {
+            mut site,
+            mut up,
+            down,
+            mut batch,
+            mut items_pending,
+            batch_max,
+            mut metrics,
+            ..
+        } = self;
+        flush(
+            &mut *up,
+            &mut batch,
+            &mut items_pending,
+            batch_max,
+            &mut metrics,
+        )?;
+        if items_pending > 0 {
+            up.send(UpFrame::Batch {
+                msgs: Vec::new(),
+                items: items_pending,
+            })
+            .map_err(|e| RuntimeError::Transport(e.to_string()))?;
+        }
+        up.close();
+        drop(up);
+        // The daemon closes the down link on detach; drain to it.
+        while let Ok(msg) = down.recv() {
+            site.receive(&msg);
+        }
+        Ok((site, metrics))
+    }
+}
+
+fn io_transport(e: io::Error) -> RuntimeError {
+    RuntimeError::Transport(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwrs_sim::swor_site;
+
+    fn daemon() -> Daemon {
+        Daemon::bind("127.0.0.1:0", DaemonConfig::default()).expect("bind")
+    }
+
+    #[test]
+    fn create_is_idempotent_and_validated() {
+        let d = daemon();
+        let mut ctrl = CtrlClient::connect(d.local_addr()).unwrap();
+        assert_eq!(
+            ctrl.create("s1", 2, 8, "swor").unwrap(),
+            CtrlResp::Ok {
+                info: "created".into()
+            }
+        );
+        assert_eq!(
+            ctrl.create("s1", 4, 16, "swor").unwrap(),
+            CtrlResp::Ok {
+                info: "exists".into()
+            }
+        );
+        // A bad query spec is refused without creating anything.
+        assert!(matches!(
+            ctrl.create("s2", 2, 8, "l1:9.0,0.5").unwrap(),
+            CtrlResp::Err { .. }
+        ));
+        assert!(matches!(
+            ctrl.request(&CtrlMsg::Query {
+                stream: "s2".into(),
+                kind: LiveQueryKind::Stats,
+                arg: 0
+            })
+            .unwrap(),
+            CtrlResp::Err { .. }
+        ));
+        d.shutdown();
+    }
+
+    #[test]
+    fn attach_feed_query_drain_round_trip() {
+        let d = daemon();
+        let addr = d.local_addr();
+        let mut ctrl = CtrlClient::connect(addr).unwrap();
+        ctrl.create("s", 2, 8, "swor").unwrap();
+        let cfg = SworConfig::new(8, 2);
+        let rcfg = RuntimeConfig::default();
+        let mut clients: Vec<AttachClient<_>> = (0..2)
+            .map(|i| {
+                AttachClient::attach(addr, "s", i, swor_site(&cfg, 7, i), &rcfg).expect("attach")
+            })
+            .collect();
+        for (i, c) in clients.iter_mut().enumerate() {
+            assert!(!c.resumed());
+            c.feed((0..500u64).map(|t| Item::new(2 * t + i as u64, 1.0 + (t % 5) as f64)))
+                .unwrap();
+        }
+        for c in clients {
+            c.finish().unwrap();
+        }
+        let snap = ctrl.snapshot("s", LiveQueryKind::CurrentSample, 0).unwrap();
+        assert_eq!(snap.items, 1000);
+        assert_eq!(snap.sites_eof, 2);
+        assert_eq!(snap.sample.len(), 8);
+        assert!(snap.sample.iter().all(|kd| kd.key >= snap.u));
+        let fin = ctrl.drain_stream("s").unwrap();
+        assert_eq!(fin.items, 1000);
+        // Drained: the stream is gone.
+        assert!(ctrl.snapshot("s", LiveQueryKind::Stats, 0).is_err());
+        assert_eq!(d.shutdown().len(), 0);
+        assert_eq!(d.drained().len(), 1);
+    }
+
+    #[test]
+    fn attach_conflicts_are_refused() {
+        let d = daemon();
+        let addr = d.local_addr();
+        let mut ctrl = CtrlClient::connect(addr).unwrap();
+        ctrl.create("s", 1, 4, "swor").unwrap();
+        let cfg = SworConfig::new(4, 1);
+        let rcfg = RuntimeConfig::default();
+        let held = AttachClient::attach(addr, "s", 0, swor_site(&cfg, 1, 0), &rcfg).unwrap();
+        // Same slot while held → refused; out-of-range slot → refused.
+        assert!(AttachClient::attach(addr, "s", 0, swor_site(&cfg, 1, 0), &rcfg).is_err());
+        assert!(AttachClient::attach(addr, "s", 9, swor_site(&cfg, 1, 0), &rcfg).is_err());
+        held.finish().unwrap();
+        // Finished slot → refused (Eof is final).
+        assert!(AttachClient::attach(addr, "s", 0, swor_site(&cfg, 1, 0), &rcfg).is_err());
+        d.shutdown();
+    }
+
+    #[test]
+    fn detach_then_reattach_resumes_the_slot() {
+        let d = daemon();
+        let addr = d.local_addr();
+        let mut ctrl = CtrlClient::connect(addr).unwrap();
+        ctrl.create("s", 1, 4, "swor").unwrap();
+        let cfg = SworConfig::new(4, 1);
+        let rcfg = RuntimeConfig::default();
+        let mut c = AttachClient::attach(addr, "s", 0, swor_site(&cfg, 3, 0), &rcfg).unwrap();
+        c.feed((0..300).map(Item::unit)).unwrap();
+        let (site, _) = c.detach().unwrap();
+        // The watermark survives the detach.
+        let snap = ctrl.snapshot("s", LiveQueryKind::Stats, 0).unwrap();
+        assert_eq!(snap.items, 300);
+        assert_eq!(snap.sites_attached, 0);
+        let mut c = AttachClient::attach(addr, "s", 0, site, &rcfg).unwrap();
+        assert!(c.resumed());
+        assert_eq!(c.prior_items(), 300);
+        c.feed((300..700).map(Item::unit)).unwrap();
+        c.finish().unwrap();
+        let fin = ctrl.drain_stream("s").unwrap();
+        assert_eq!(fin.items, 700);
+        assert_eq!(fin.sample.len(), 4);
+        d.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_every_stream() {
+        let d = daemon();
+        let addr = d.local_addr();
+        let mut ctrl = CtrlClient::connect(addr).unwrap();
+        ctrl.create("a", 1, 4, "swor").unwrap();
+        ctrl.create("b", 1, 4, "window:100").unwrap();
+        let rcfg = RuntimeConfig::default();
+        let cfg = SworConfig::new(4, 1);
+        let c = AttachClient::attach(addr, "a", 0, swor_site(&cfg, 5, 0), &rcfg).unwrap();
+        c.finish().unwrap();
+        let mut snaps = d.shutdown();
+        snaps.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].0, "a");
+        assert_eq!(snaps[1].0, "b");
+        // Idempotent.
+        assert!(d.shutdown().is_empty());
+        // New control connections are no longer served.
+        assert!(CtrlClient::connect(addr)
+            .and_then(|mut c| c.create("late", 1, 4, "swor"))
+            .is_err());
+    }
+
+    #[test]
+    fn shutdown_control_frame_stops_the_daemon() {
+        let d = daemon();
+        let addr = d.local_addr();
+        let mut ctrl = CtrlClient::connect(addr).unwrap();
+        ctrl.create("s", 1, 4, "swor").unwrap();
+        let resp = ctrl.shutdown().unwrap();
+        assert!(matches!(resp, CtrlResp::Ok { .. }));
+        d.join(); // returns because the control frame stopped the listener
+        assert_eq!(d.drained().len(), 1);
+    }
+
+    #[test]
+    fn window_now_needs_a_window() {
+        let d = daemon();
+        let addr = d.local_addr();
+        let mut ctrl = CtrlClient::connect(addr).unwrap();
+        ctrl.create("plain", 1, 4, "swor").unwrap();
+        ctrl.create("win", 1, 4, "window:50").unwrap();
+        // Explicit arg works on any stream; arg 0 only on window streams.
+        assert!(ctrl.snapshot("plain", LiveQueryKind::WindowNow, 10).is_ok());
+        assert!(ctrl.snapshot("plain", LiveQueryKind::WindowNow, 0).is_err());
+        assert!(ctrl.snapshot("win", LiveQueryKind::WindowNow, 0).is_ok());
+        d.shutdown();
+    }
+}

@@ -40,6 +40,7 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
 
+use dwrs_core::ctrl::{LiveQueryKind, LiveSnapshot};
 use dwrs_core::framed::FrameCodec;
 use dwrs_core::swor::{CoordStats, SworConfig};
 use dwrs_core::{Item, Keyed};
@@ -698,6 +699,9 @@ pub struct RunReport {
     /// paper's exact per-kind byte decomposition, broadcast accounting,
     /// key-vs-threshold consistency, tree staleness bounds.
     pub violations: Vec<String>,
+    /// The coordinator's final epoch (flat swor-family runs; `None` for
+    /// tree runs, whose root holds merged samples rather than epochs).
+    pub final_epoch: Option<i64>,
 }
 
 impl RunReport {
@@ -714,6 +718,40 @@ impl RunReport {
     /// Whether every invariant check passed.
     pub fn invariants_ok(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// The report in the daemon's incremental-snapshot form: the
+    /// [`LiveSnapshot`] a live query would have returned at the instant
+    /// the run finished — items observed, epoch, and byte accounting at
+    /// that instant — so batch runs and daemon streams serialize
+    /// identically ([`LiveSnapshot::to_json`]).
+    pub fn live_snapshot(&self) -> LiveSnapshot {
+        use dwrs_apps::live;
+        let ell = self.query.duplication().unwrap_or(1);
+        let u = live::sth_largest_key(&self.sample, self.s);
+        let weight: f64 = self.sample.iter().map(|kd| kd.item.weight).sum();
+        let (kind, estimate) = match self.query {
+            Query::L1 { .. } => (LiveQueryKind::L1Now, live::l1_estimate(self.s, ell, u)),
+            Query::ResidualHh { .. } => (LiveQueryKind::RhhSoFar, weight),
+            Query::SlidingWindow { .. } => (LiveQueryKind::WindowNow, weight),
+            Query::Swor => (LiveQueryKind::CurrentSample, weight),
+        };
+        LiveSnapshot {
+            kind,
+            items: self.items,
+            epoch: self.final_epoch,
+            u,
+            estimate,
+            ell,
+            sites_attached: 0,
+            sites_eof: self.k as u32,
+            up_msgs: self.metrics.up_total,
+            down_msgs: self.metrics.down_total,
+            up_bytes: self.metrics.up_bytes,
+            down_bytes: self.metrics.down_bytes,
+            broadcast_events: self.metrics.broadcast_events,
+            sample: self.sample.clone(),
+        }
     }
 }
 
@@ -1098,6 +1136,7 @@ fn run_flat(sc: &Scenario, source: Box<dyn ItemSource>) -> Result<RunReport, Run
         dispatcher,
         peak_rss_bytes: peak_rss_bytes(),
         violations,
+        final_epoch,
     })
 }
 
@@ -1150,6 +1189,7 @@ fn run_tree(
         dispatcher,
         peak_rss_bytes: peak_rss_bytes(),
         violations,
+        final_epoch: None,
     })
 }
 

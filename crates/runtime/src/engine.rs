@@ -102,7 +102,7 @@ pub struct RunOutput<S, C> {
 /// arbitrarily stale thresholds by design (delayed-delivery regime — the
 /// extra staleness window of a few items only nudges message counts, never
 /// correctness).
-const DOWN_POLL_EVERY: u32 = 32;
+pub(crate) const DOWN_POLL_EVERY: u32 = 32;
 
 /// Drives one site over its endpoint: returns the final site state and the
 /// thread-local upstream metrics.
@@ -199,7 +199,7 @@ where
 /// encoding transports keep its allocation alive across flushes; channel
 /// transports move the storage with the messages, so capacity is restored
 /// here for the next window.
-fn flush<U: Meter>(
+pub(crate) fn flush<U: Meter>(
     up: &mut dyn crate::transport::BatchSender<U>,
     batch: &mut Vec<U>,
     items_pending: &mut u64,
@@ -223,12 +223,15 @@ fn flush<U: Meter>(
 /// Drives the coordinator until every site reached `Eof` (or disconnected),
 /// then closes the down links. Returns the thread-local downstream metrics
 /// (plus upstream metrics when `count_ups` — used by the standalone TCP
-/// server, whose remote sites cannot contribute their own meters).
+/// server, whose remote sites cannot contribute their own meters) together
+/// with the total stream-progress watermark (items observed, summed over
+/// every batch frame — the incremental-snapshot accounting the daemon and
+/// `serve` report).
 pub(crate) fn coordinator_loop<C>(
     node: &mut C,
     endpoint: CoordEndpoint<C::Up, C::Down>,
     count_ups: bool,
-) -> Result<Metrics, RuntimeError>
+) -> Result<(Metrics, u64), RuntimeError>
 where
     C: CoordinatorNode,
 {
@@ -237,10 +240,12 @@ where
     let mut metrics = Metrics::new();
     let mut outbox = Outbox::new();
     let mut done = 0usize;
+    let mut items_observed = 0u64;
     let mut fault: Option<String> = None;
     while done < k {
         match up.recv() {
-            Ok((site, UpFrame::Batch { msgs, .. })) => {
+            Ok((site, UpFrame::Batch { msgs, items })) => {
+                items_observed += items;
                 for msg in msgs {
                     if count_ups {
                         metrics.count_up(msg.kind(), msg.units(), msg.wire_bytes());
@@ -266,7 +271,7 @@ where
     drop(downs);
     match fault {
         Some(e) => Err(RuntimeError::Transport(e)),
-        None => Ok(metrics),
+        None => Ok((metrics, items_observed)),
     }
 }
 
@@ -327,7 +332,7 @@ where
             }));
         }
         let coord_handle = scope.spawn(move || {
-            let metrics = coordinator_loop(&mut coordinator, coord_ep, false)?;
+            let (metrics, _items) = coordinator_loop(&mut coordinator, coord_ep, false)?;
             Ok::<_, RuntimeError>((coordinator, metrics))
         });
         let site_res: Vec<_> = site_handles.into_iter().map(|h| h.join()).collect();

@@ -38,6 +38,12 @@
 //! keyed samples to a root merger over the same transports (see
 //! [`run_tree_swor`]).
 //!
+//! For continuous monitoring — the paper's actual setting — the
+//! [`daemon`] module runs the coordinator as a **long-lived process**
+//! hosting many concurrent named streams, with mid-run attach / detach /
+//! reconnect and live queries answered while streams run (see
+//! [`daemon::Daemon`] and [`daemon::AttachClient`]).
+//!
 //! All engine×topology combinations are unified behind the [`driver`]
 //! layer: describe the run as a [`Scenario`] (protocol, engine, topology,
 //! workload, seed, partition) and [`run_scenario`] streams the workload
@@ -65,10 +71,11 @@
 //! assert!(d.peak_in_flight_frames <= d.in_flight_bound());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adapters;
 pub mod config;
+pub mod daemon;
 pub mod driver;
 pub mod engine;
 pub mod query;
@@ -78,6 +85,7 @@ pub mod tree;
 
 pub use adapters::{run_swor, EngineKind};
 pub use config::RuntimeConfig;
+pub use daemon::{AttachClient, CtrlClient, Daemon, DaemonConfig};
 pub use driver::{
     run_scenario, DispatcherStats, RunReport, Scenario, ShardSource, Topology, Workload,
 };

@@ -239,12 +239,15 @@ pub(crate) struct FlatOutcome {
 }
 
 /// Canonical seed derivation for L1 sites (per deployment seed and site).
-fn l1_site_seed(seed: u64, i: usize) -> u64 {
+/// Public so daemon attach clients derive the same per-site keys as the
+/// batch engines for a given deployment seed.
+pub fn l1_site_seed(seed: u64, i: usize) -> u64 {
     mix(seed, 0x1151_0000 + i as u64)
 }
 
-/// Canonical seed derivation for window-sampler sites.
-fn window_site_seed(seed: u64, i: usize) -> u64 {
+/// Canonical seed derivation for window-sampler sites (see
+/// [`l1_site_seed`]).
+pub fn window_site_seed(seed: u64, i: usize) -> u64 {
     mix(seed, 0x3140_0000 + i as u64)
 }
 
@@ -440,16 +443,12 @@ pub(crate) fn run_query_tree(
 /// alone, since withheld heavy levels carry the largest keys. Zero until
 /// the sample fills (no estimate yet).
 fn l1_u(sample: &[Keyed], s: usize) -> f64 {
-    if sample.len() >= s {
-        sample.last().map_or(0.0, |kd| kd.key)
-    } else {
-        0.0
-    }
+    dwrs_apps::live::sth_largest_key(sample, s)
 }
 
 /// Assembles the L1 answer from the s-th-largest key statistic.
 fn l1_answer(s: usize, ell: u64, u: f64, true_weight: f64) -> QueryAnswer {
-    let estimate = s as f64 * u / ell as f64;
+    let estimate = dwrs_apps::live::l1_estimate(s, ell, u);
     let rel_error = if true_weight > 0.0 {
         (estimate - true_weight).abs() / true_weight
     } else {
@@ -473,9 +472,10 @@ fn residual_answer(
     delta: f64,
 ) -> Result<QueryAnswer, RuntimeError> {
     let cfg = ResidualHhConfig::new(eps, delta, sc.k.max(1));
-    let mut candidates: Vec<Item> = sample.iter().map(|kd| kd.item).collect();
-    candidates.sort_by(|a, b| b.weight.total_cmp(&a.weight));
-    candidates.truncate(cfg.output_size());
+    let candidates: Vec<Item> = dwrs_apps::live::rhh_candidates(sample, cfg.output_size())
+        .into_iter()
+        .map(|kd| kd.item)
+        .collect();
     // Second pass: the exact oracle over the identical stream (sources are
     // seeded and deterministic, CSVs reopen).
     let mut oracle = ResidualOracle::new(eps);

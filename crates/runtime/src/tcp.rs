@@ -48,10 +48,10 @@ use crate::transport::{
 };
 
 const TAG_HELLO: u8 = 0x10;
-const TAG_BATCH: u8 = 0x11;
-const TAG_EOF: u8 = 0x12;
-const TAG_FAULT: u8 = 0x13;
-const TAG_DOWN: u8 = 0x21;
+pub(crate) const TAG_BATCH: u8 = 0x11;
+pub(crate) const TAG_EOF: u8 = 0x12;
+pub(crate) const TAG_FAULT: u8 = 0x13;
+pub(crate) const TAG_DOWN: u8 = 0x21;
 
 // ----------------------------------------------------------- site side
 
@@ -67,6 +67,18 @@ const MSG_SIZE_HINT: usize = 32;
 struct TcpBatchSender<U> {
     writer: FramedWriter<TcpStream>,
     _marker: std::marker::PhantomData<fn(U)>,
+}
+
+/// Builds the site-side up sender over an already-connected socket
+/// (shared with the daemon's attach client, whose handshake is a control
+/// frame instead of `HELLO`).
+pub(crate) fn tcp_batch_sender<U: FrameCodec + Send + 'static>(
+    stream: TcpStream,
+) -> Box<dyn BatchSender<U>> {
+    Box::new(TcpBatchSender {
+        writer: FramedWriter::new(stream),
+        _marker: std::marker::PhantomData,
+    })
 }
 
 impl<U: FrameCodec + Send> BatchSender<U> for TcpBatchSender<U> {
@@ -148,7 +160,7 @@ where
 /// exit — including a malformed frame — the socket is fully shut down so a
 /// peer blocked writing to it fails fast instead of hanging on a full
 /// kernel buffer.
-fn down_reader<D: FrameCodec>(stream: TcpStream, tx: mpsc::Sender<D>) {
+pub(crate) fn down_reader<D: FrameCodec>(stream: TcpStream, tx: mpsc::Sender<D>) {
     let shutdown_handle = stream.try_clone().ok();
     let mut reader = FramedReader::new(stream);
     loop {
@@ -200,6 +212,18 @@ where
 struct TcpDownSender<D> {
     writer: FramedWriter<TcpStream>,
     _marker: std::marker::PhantomData<fn(D)>,
+}
+
+/// Builds the coordinator-side down sender for one site connection
+/// (shared with the daemon, which registers per-slot senders as sites
+/// attach instead of accepting a fixed `k` up front).
+pub(crate) fn tcp_down_sender<D: FrameCodec + Send + 'static>(
+    stream: TcpStream,
+) -> Box<dyn DownSender<D>> {
+    Box::new(TcpDownSender {
+        writer: FramedWriter::new(stream),
+        _marker: std::marker::PhantomData,
+    })
 }
 
 impl<D: FrameCodec + Send> DownSender<D> for TcpDownSender<D> {
@@ -343,25 +367,30 @@ fn read_hello(stream: &TcpStream) -> Result<usize, RuntimeError> {
 
 /// Runs a coordinator as a TCP server: accept `k` sites, drive the
 /// protocol until every site reports `EOF`, half-close, and return the
-/// final coordinator state plus metrics.
+/// final coordinator state, metrics, and the total stream-progress
+/// watermark (items observed across all sites, from the batch frames).
 ///
 /// Metrics here include upstream counts (metered from the decoded frames):
 /// unlike the in-process engines, a standalone server cannot merge its
 /// remote sites' thread-local meters.
+///
+/// This serves exactly one stream to completion and returns. For a
+/// persistent multi-stream service with live queries, use
+/// [`crate::daemon::Daemon`].
 pub fn serve_coordinator<C>(
     listener: &TcpListener,
     k: usize,
     mut coordinator: C,
     cfg: &RuntimeConfig,
-) -> Result<(C, Metrics), RuntimeError>
+) -> Result<(C, Metrics, u64), RuntimeError>
 where
     C: CoordinatorNode,
     C::Up: FrameCodec + Send + 'static,
     C::Down: FrameCodec + Send + 'static,
 {
     let endpoint = accept_sites::<C::Up, C::Down>(listener, k, cfg.queue_capacity)?;
-    let metrics = coordinator_loop(&mut coordinator, endpoint, true)?;
-    Ok((coordinator, metrics))
+    let (metrics, items) = coordinator_loop(&mut coordinator, endpoint, true)?;
+    Ok((coordinator, metrics, items))
 }
 
 // ------------------------------------------------------------- engine

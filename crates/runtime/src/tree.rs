@@ -169,7 +169,7 @@ impl SampleSource for dwrs_apps::WindowCoordinator {
     /// top-`s` cut could let globally-expired entries displace candidates
     /// the root still needs. The root applies the global window cutoff
     /// and the final top-`s` (`Query::SlidingWindow`'s tree answer).
-    /// Only the frame-cap backstop [`MAX_WINDOW_SYNC_ENTRIES`] truncates
+    /// Only the frame-cap backstop `MAX_WINDOW_SYNC_ENTRIES` truncates
     /// (keeping the largest keys), so the sync always fits the framed
     /// transport.
     fn keyed_sample(&self) -> Vec<Keyed> {

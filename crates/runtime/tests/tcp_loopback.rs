@@ -85,7 +85,8 @@ fn serve_and_site_halves_interoperate() {
         let (_site, m) = c.join().unwrap().expect("site run");
         site_metrics.merge(&m);
     }
-    let (coordinator, server_metrics) = server.join().unwrap().expect("serve run");
+    let (coordinator, server_metrics, items_observed) = server.join().unwrap().expect("serve run");
+    assert_eq!(items_observed, 30_000, "watermark covers the whole stream");
     assert_eq!(coordinator.sample().len(), 8);
     // The server meters ups from decoded frames; the clients meter them at
     // send time. Both sides of the wire must agree exactly.

@@ -1,0 +1,94 @@
+//! Doc-sync: `docs/DAEMON.md`'s wire reference must document every
+//! control frame the codec actually implements — the acceptance gate for
+//! the operator guide. The test extracts the `TAG_*` constants from
+//! `crates/core/src/ctrl.rs` and asserts each name and tag byte appears
+//! in the guide, so adding a frame without documenting it fails CI.
+
+use dwrs::core::ctrl::{LiveQueryKind, SNAPSHOT_ENTRY_BYTES};
+
+fn repo_file(rel: &str) -> String {
+    let path = format!("{}/{}", env!("CARGO_MANIFEST_DIR"), rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// `(name, "0xNN")` for every `pub const TAG_...: u8 = 0xNN;` in the
+/// control codec source.
+fn wire_tags() -> Vec<(String, String)> {
+    let src = repo_file("crates/core/src/ctrl.rs");
+    let mut tags = Vec::new();
+    for line in src.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("pub const TAG_") else {
+            continue;
+        };
+        let Some((name, rhs)) = rest.split_once(": u8 = ") else {
+            continue;
+        };
+        let hex = rhs.trim_end_matches(';');
+        assert!(
+            hex.starts_with("0x") && hex.len() == 4,
+            "unexpected tag constant form: {line}"
+        );
+        tags.push((format!("TAG_{name}"), hex.to_string()));
+    }
+    tags
+}
+
+#[test]
+fn every_control_frame_is_documented() {
+    let tags = wire_tags();
+    assert_eq!(
+        tags.len(),
+        9,
+        "control tag inventory changed — update this test and docs/DAEMON.md: {tags:?}"
+    );
+    let guide = repo_file("docs/DAEMON.md");
+    for (name, hex) in &tags {
+        assert!(
+            guide.contains(name),
+            "docs/DAEMON.md does not document the {name} frame"
+        );
+        assert!(
+            guide.contains(hex),
+            "docs/DAEMON.md does not show {name}'s tag byte {hex}"
+        );
+    }
+}
+
+#[test]
+fn every_live_query_kind_is_documented() {
+    let guide = repo_file("docs/DAEMON.md");
+    for kind in LiveQueryKind::all() {
+        assert!(
+            guide.contains(kind.name()),
+            "docs/DAEMON.md does not document the '{}' query kind",
+            kind.name()
+        );
+        assert!(
+            guide.contains(&format!("| {} |", kind.as_u8())),
+            "docs/DAEMON.md does not show '{}'s wire byte {}",
+            kind.name(),
+            kind.as_u8()
+        );
+    }
+}
+
+#[test]
+fn snapshot_entry_size_is_documented() {
+    let guide = repo_file("docs/DAEMON.md");
+    assert!(
+        guide.contains(&format!(
+            "`SNAPSHOT_ENTRY_BYTES` = {SNAPSHOT_ENTRY_BYTES} bytes"
+        )),
+        "docs/DAEMON.md does not state the {SNAPSHOT_ENTRY_BYTES}-byte snapshot entry size"
+    );
+}
+
+#[test]
+fn readme_links_the_guide() {
+    let readme = repo_file("README.md");
+    assert!(
+        readme.contains("docs/DAEMON.md"),
+        "README.md does not link the daemon operator guide"
+    );
+}

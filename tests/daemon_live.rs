@@ -1,0 +1,232 @@
+//! Integration: the long-lived daemon hosts concurrent named streams and
+//! answers live queries mid-run (the paper's continuous-monitoring model
+//! as a process), and a site reconnect preserves sample validity.
+
+use std::thread;
+use std::time::Duration;
+
+use dwrs::apps::L1Site;
+use dwrs::core::ctrl::LiveQueryKind;
+use dwrs::core::merge::merge_two;
+use dwrs::core::swor::SworConfig;
+use dwrs::core::Item;
+use dwrs::runtime::daemon::{AttachClient, CtrlClient, Daemon, DaemonConfig};
+use dwrs::runtime::query::l1_site_seed;
+use dwrs::runtime::{Query, RuntimeConfig};
+use dwrs::sim::swor_site;
+
+const CHUNK: u64 = 500;
+
+/// Feeds `n` unit-weight items (ids `site, site+k, …` interleaved) in
+/// chunks, with a short pause between chunks so the main thread's live
+/// queries genuinely interleave with feeding.
+fn feed_chunked<S>(mut client: AttachClient<S>, site: usize, k: u64, n: u64)
+where
+    S: dwrs::sim::SiteNode<Up = dwrs::core::swor::UpMsg, Down = dwrs::core::swor::DownMsg>,
+{
+    let mut fed = 0u64;
+    while fed < n {
+        let chunk = CHUNK.min(n - fed);
+        client
+            .feed((fed..fed + chunk).map(|t| Item::unit(t * k + site as u64)))
+            .expect("feed");
+        fed += chunk;
+        thread::sleep(Duration::from_millis(1));
+    }
+    client.finish().expect("finish");
+}
+
+#[test]
+fn two_streams_answer_live_queries_while_running() {
+    let per_site = 5_000u64;
+    let k = 2usize;
+    let daemon = Daemon::bind("127.0.0.1:0", DaemonConfig::default()).expect("bind");
+    let addr = daemon.local_addr();
+    let mut ctrl = CtrlClient::connect(addr).expect("ctrl");
+    ctrl.create("swor", k as u32, 16, "swor").expect("create");
+    ctrl.create("l1", k as u32, 16, "l1:0.3,0.3")
+        .expect("create");
+
+    let l1_query = Query::parse("l1:0.3,0.3").unwrap();
+    let s_eff = l1_query.sample_size(16);
+    let ell = l1_query.duplication().unwrap();
+    let rcfg = RuntimeConfig::default();
+
+    // Two sites per stream, fed concurrently.
+    let mut feeders = Vec::new();
+    for i in 0..k {
+        let swor_client = AttachClient::attach(
+            addr,
+            "swor",
+            i,
+            swor_site(&SworConfig::new(16, k), 7, i),
+            &rcfg,
+        )
+        .expect("attach swor");
+        feeders.push(thread::spawn(move || {
+            feed_chunked(swor_client, i, k as u64, per_site)
+        }));
+        let l1_client = AttachClient::attach(
+            addr,
+            "l1",
+            i,
+            L1Site::new(&SworConfig::new(s_eff, k), ell, l1_site_seed(9, i)),
+            &rcfg,
+        )
+        .expect("attach l1");
+        feeders.push(thread::spawn(move || {
+            feed_chunked(l1_client, i, k as u64, per_site)
+        }));
+    }
+
+    // Interleaved live queries while both streams run: the
+    // items-observed watermark must be monotone per stream, every
+    // snapshot's sample must clear its own threshold u, and the L1
+    // estimate must stay the right order of magnitude mid-stream (the
+    // theorem's (1±ε) envelope holds per time step with prob 1−δ; with
+    // ε = 0.3 we allow generous slack at arbitrary interleavings).
+    let mut last_swor = 0u64;
+    let mut last_l1 = 0u64;
+    let mut mid_stream_seen = false;
+    loop {
+        let sw = ctrl
+            .snapshot("swor", LiveQueryKind::CurrentSample, 0)
+            .expect("live swor");
+        assert!(sw.items >= last_swor, "watermark went backwards");
+        last_swor = sw.items;
+        assert!(sw.sample.iter().all(|kd| kd.key >= sw.u));
+        assert_eq!(sw.sample.len() as u64, sw.items.min(16));
+
+        let l1 = ctrl
+            .snapshot("l1", LiveQueryKind::L1Now, 0)
+            .expect("live l1");
+        assert!(l1.items >= last_l1, "watermark went backwards");
+        last_l1 = l1.items;
+        assert_eq!(l1.ell, ell);
+        if l1.items >= 1_000 && l1.items < 2 * per_site {
+            mid_stream_seen = true;
+            // Unit weights: true W at this instant is the watermark.
+            let rel = (l1.estimate - l1.items as f64).abs() / l1.items as f64;
+            assert!(
+                rel < 0.75,
+                "mid-stream L1 estimate off: {} vs {} items",
+                l1.estimate,
+                l1.items
+            );
+        }
+        if last_swor == 2 * per_site && last_l1 == 2 * per_site {
+            break;
+        }
+        thread::sleep(Duration::from_millis(1));
+    }
+    assert!(mid_stream_seen, "never observed a mid-stream L1 snapshot");
+    for f in feeders {
+        f.join().expect("feeder");
+    }
+
+    // window-now with an explicit window on the swor stream: only the
+    // last `window` arrivals survive. Ids are arrival-interleaved across
+    // the two sites, so id ≥ items − window is the survivor condition.
+    let win = ctrl
+        .snapshot("swor", LiveQueryKind::WindowNow, 400)
+        .expect("window-now");
+    let cutoff = win.items.saturating_sub(400);
+    assert!(win.sample.iter().all(|kd| kd.item.id >= cutoff));
+
+    // rhh-so-far: candidates are the top sample items by weight.
+    let rhh = ctrl
+        .snapshot("swor", LiveQueryKind::RhhSoFar, 0)
+        .expect("rhh-so-far");
+    for pair in rhh.sample.windows(2) {
+        assert!(pair[0].item.weight >= pair[1].item.weight);
+    }
+
+    // Final drains: full watermark, both sites finished, tight L1.
+    let fin_swor = ctrl.drain_stream("swor").expect("drain swor");
+    assert_eq!(fin_swor.items, 2 * per_site);
+    assert_eq!(fin_swor.sites_eof, 2);
+    assert_eq!(fin_swor.sample.len(), 16);
+    // An L1 stream drains to its own answer kind, not the raw sample.
+    let fin_l1 = ctrl.drain_stream("l1").expect("drain l1");
+    assert_eq!(fin_l1.kind, LiveQueryKind::L1Now);
+    assert_eq!(fin_l1.items, 2 * per_site);
+    assert_eq!(fin_l1.sample.len(), s_eff);
+    let rel = (fin_l1.estimate - fin_l1.items as f64).abs() / fin_l1.items as f64;
+    assert!(rel < 0.45, "final L1 estimate off: {}", fin_l1.estimate);
+    assert!(daemon.shutdown().is_empty());
+    assert_eq!(daemon.drained().len(), 2);
+}
+
+#[test]
+fn reconnect_mid_stream_preserves_sample_validity() {
+    let k = 2usize;
+    let s = 8usize;
+    let daemon = Daemon::bind("127.0.0.1:0", DaemonConfig::default()).expect("bind");
+    let addr = daemon.local_addr();
+    let mut ctrl = CtrlClient::connect(addr).expect("ctrl");
+    ctrl.create("s", k as u32, s as u32, "swor")
+        .expect("create");
+    let cfg = SworConfig::new(s, k);
+    let rcfg = RuntimeConfig::default();
+    let skewed = |t: u64| Item::new(t, 1.0 + (t % 97) as f64);
+
+    // Site 1 runs its whole share normally.
+    let site1 = thread::spawn({
+        let cfg = cfg.clone();
+        move || {
+            let mut c = AttachClient::attach(addr, "s", 1, swor_site(&cfg, 5, 1), &rcfg)
+                .expect("attach site 1");
+            c.feed((0..4_000u64).map(|t| skewed(2 * t + 1)))
+                .expect("feed");
+            c.finish().expect("finish");
+        }
+    });
+
+    // Site 0: feed half, detach, reattach, feed the rest.
+    let mut c = AttachClient::attach(addr, "s", 0, swor_site(&cfg, 5, 0), &rcfg).expect("attach");
+    c.feed((0..2_000u64).map(|t| skewed(2 * t))).expect("feed");
+    let (site0, _) = c.detach().expect("detach");
+
+    // A mid-run snapshot taken while the slot is detached (site 1 may
+    // still be feeding — any instant is a valid query point).
+    let mid = ctrl
+        .snapshot("s", LiveQueryKind::CurrentSample, 0)
+        .expect("mid snapshot");
+    assert!(mid.items >= 2_000);
+
+    let mut c = AttachClient::attach(addr, "s", 0, site0, &rcfg).expect("reattach");
+    assert!(c.resumed());
+    assert_eq!(c.prior_items(), 2_000);
+    c.feed((2_000..4_000u64).map(|t| skewed(2 * t)))
+        .expect("feed");
+    c.finish().expect("finish");
+    site1.join().expect("site 1");
+
+    let fin = ctrl.drain_stream("s").expect("drain");
+    assert_eq!(fin.items, 8_000);
+    assert_eq!(fin.sites_eof, 2);
+    assert_eq!(fin.sample.len(), s);
+    assert!(fin.sample.iter().all(|kd| kd.key >= fin.u));
+
+    // Validity across the reconnect: the coordinator only ever discards
+    // keys below its (monotone) threshold, so no mid-run sampled key can
+    // outrank the final sample. Re-merging the mid-run snapshot through
+    // the paper's mergeability operator must surface nothing new — every
+    // entry of the merged top-s is an item the final sample already
+    // holds (the two snapshots overlap, so ids repeat rather than
+    // displace), and every mid-run item that fell out of the final
+    // sample lost to a key at least as large as the final threshold.
+    let merged = merge_two(&mid.sample, &fin.sample, s);
+    let fin_ids: std::collections::HashSet<u64> = fin.sample.iter().map(|kd| kd.item.id).collect();
+    assert!(
+        merged.iter().all(|kd| fin_ids.contains(&kd.item.id)),
+        "a mid-run-only key outranked the final sample after reconnect"
+    );
+    assert!(
+        mid.sample
+            .iter()
+            .all(|kd| fin_ids.contains(&kd.item.id) || kd.key <= fin.u),
+        "a displaced mid-run key exceeds the final threshold"
+    );
+    daemon.shutdown();
+}
