@@ -72,8 +72,26 @@ commands:
                       --kind {sample|l1-now|rhh-so-far|window-now|stats
                               |drain|shutdown} (default stats)
                       --window <len>  (window-now on non-window streams)
-                      --repeat <n>    (re-issue n times, print queries/s)
+                      --repeat <n>    (re-issue n times; prints queries/s
+                                       plus sketch-backed round-trip
+                                       latency p50/p90/p99/max)
                       --format {text|json}
+  metrics      one-shot telemetry scrape of a running daemon: counters,
+               gauges, quantile histograms, trace events, and a section
+               per live stream
+               flags: --connect <addr>
+                      --format {prom|json}  (default prom: Prometheus-
+                                             style exposition text)
+                      --events <n>          (trace events per ring,
+                                             default 32)
+  top          refreshing per-stream table against a live daemon:
+               items/s (from consecutive scrapes), sites attached/eof,
+               queue depth, live-query latency p50/p95/p99, last trace
+               event
+               flags: --connect <addr>
+                      --refresh <seconds>   (default 1)
+                      --iterations <n>      (default 0 = until stopped)
+                      --events <n>          (default 4)
   workload     print a generated workload as CSV (id,weight)
                flags: --kind --n --seed
   track-l1     compare the L1 trackers on a unit stream

@@ -10,7 +10,7 @@ use dwrs_apps::residual_hh::{
     exact_residual_heavy_hitters, recall, ResidualHeavyHitters, ResidualHhConfig,
 };
 use dwrs_apps::L1Site;
-use dwrs_core::ctrl::{CtrlMsg, CtrlResp, LiveQueryKind, LiveSnapshot};
+use dwrs_core::ctrl::{CtrlMsg, CtrlResp, LiveQueryKind, LiveSnapshot, MetricsReport};
 use dwrs_core::framed::FrameCodec;
 use dwrs_core::swor::SworConfig;
 use dwrs_core::Item;
@@ -22,6 +22,8 @@ use dwrs_runtime::{
 };
 use dwrs_sim::SiteNode;
 use dwrs_sim::{assign_sites, build_swor, swor_coordinator, swor_site, Metrics, Partition};
+use dwrs_stats::QuantileSketch;
+use dwrs_telemetry::{event_name, render_json, render_prometheus, HISTOGRAM_EPS};
 use dwrs_workloads as workloads;
 
 use crate::args::{ArgError, Parsed};
@@ -36,6 +38,8 @@ pub fn dispatch<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
         "daemon" => cmd_daemon(p, out),
         "attach" => cmd_attach(p, out),
         "query" => cmd_query(p, out),
+        "metrics" => cmd_metrics(p, out),
+        "top" => cmd_top(p, out),
         "workload" => cmd_workload(p, out),
         "track-l1" => cmd_track_l1(p, out),
         "residual-hh" => cmd_residual_hh(p, out),
@@ -281,6 +285,19 @@ fn print_report<W: Write>(
         QueryAnswer::SlidingWindow { window } => format!(",\"window\":{window}"),
     };
     let query = report.query.name();
+    // The per-tier `(items_processed, total_messages)` timeline snapshots
+    // the lockstep runner and tree tiers record — previously dropped on
+    // the floor by the JSON output.
+    let timeline_json = if m.timeline.is_empty() {
+        String::new()
+    } else {
+        let points: Vec<String> = m
+            .timeline
+            .iter()
+            .map(|(items, msgs)| format!("[{items},{msgs}]"))
+            .collect();
+        format!(",\"metrics_timeline\":[{}]", points.join(","))
+    };
     if format == "json" {
         match report.topology {
             Topology::Flat => writeln!(
@@ -290,7 +307,7 @@ fn print_report<W: Write>(
                  \"elapsed_s\":{elapsed_s:.6},\"items_per_s\":{items_per_s:.1},\
                  \"sample_size\":{},\"messages\":{},\"up_messages\":{},\
                  \"down_messages\":{},\"bytes\":{},\"streaming\":{streaming},\
-                 \"invariants_ok\":{}{answer_json},\"peak_rss_bytes\":{rss}}}",
+                 \"invariants_ok\":{}{answer_json}{timeline_json},\"peak_rss_bytes\":{rss}}}",
                 report.sample.len(),
                 m.total(),
                 m.up_total,
@@ -307,8 +324,8 @@ fn print_report<W: Write>(
                  \"elapsed_s\":{elapsed_s:.6},\"items_per_s\":{items_per_s:.1},\
                  \"sample_size\":{},\"messages\":{},\"up_messages\":{},\
                  \"down_messages\":{},\"sync_messages\":{},\"syncs\":{},\"bytes\":{},\
-                 \"streaming\":{streaming},\"invariants_ok\":{}{answer_json},\
-                 \"peak_rss_bytes\":{rss}}}",
+                 \"streaming\":{streaming},\"invariants_ok\":{}{answer_json}\
+                 {timeline_json},\"peak_rss_bytes\":{rss}}}",
                 k / groups,
                 report.sample.len(),
                 m.total(),
@@ -786,26 +803,181 @@ fn cmd_query<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
     let kind = live_kind.expect("validated above");
     let window = p.magnitude_or("window", 0)?;
     let repeat = p.u64_or("repeat", 1)?.max(1);
+    // Client-side round-trip latencies go into the same ε-approximate
+    // quantile sketch the daemon uses for its own service latencies, so
+    // the two sides' percentiles are directly comparable.
+    let mut latency = QuantileSketch::new(HISTOGRAM_EPS);
     let t0 = std::time::Instant::now();
     let mut last = None;
     for _ in 0..repeat {
+        let q0 = std::time::Instant::now();
         last = Some(
             ctrl.snapshot(&stream, kind, window)
                 .map_err(|e| ArgError(format!("query failed: {e}")))?,
         );
+        latency.observe(q0.elapsed().as_nanos() as f64);
     }
     let elapsed = t0.elapsed().as_secs_f64();
     let snap = last.expect("repeat >= 1");
     print_snapshot(out, &stream, &snap, &format);
     if repeat > 1 {
+        let us = |q: f64, sketch: &mut QuantileSketch| sketch.query(q).unwrap_or(0.0) / 1e3;
+        let (p50, p90, p99) = (
+            us(0.50, &mut latency),
+            us(0.90, &mut latency),
+            us(0.99, &mut latency),
+        );
+        let max = latency.max().unwrap_or(0.0) / 1e3;
+        let qps = repeat as f64 / elapsed.max(1e-9);
+        if format == "json" {
+            writeln!(
+                out,
+                "{{\"stream\":\"{stream}\",\"repeat\":{repeat},\"elapsed_s\":{elapsed:.6},\
+                 \"queries_per_s\":{qps:.1},\"latency_us\":{{\"p50\":{p50:.1},\
+                 \"p90\":{p90:.1},\"p99\":{p99:.1},\"max\":{max:.1}}}}}"
+            )
+            .ok();
+        } else {
+            writeln!(
+                out,
+                "{repeat} queries in {elapsed:.3} s ({qps:.0} queries/s)\n\
+                 round-trip latency: p50 {p50:.1} us, p90 {p90:.1} us, \
+                 p99 {p99:.1} us, max {max:.1} us"
+            )
+            .ok();
+        }
+    }
+    Ok(())
+}
+
+/// `metrics`: one-shot telemetry scrape of a running daemon —
+/// Prometheus-style exposition text by default, `--format json` for the
+/// full structured report (per-stream sections included).
+fn cmd_metrics<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
+    let connect = p
+        .flags
+        .get("connect")
+        .cloned()
+        .ok_or_else(|| ArgError("metrics needs --connect <addr>".into()))?;
+    let format = p.str_or("format", "prom");
+    if !matches!(format.as_str(), "prom" | "text" | "json") {
+        return Err(ArgError(format!(
+            "--format must be prom, text or json, got '{format}'"
+        )));
+    }
+    let events = p.u64_or("events", 32)?.min(u64::from(u32::MAX)) as u32;
+    let mut ctrl = CtrlClient::connect(connect.as_str())
+        .map_err(|e| ArgError(format!("cannot connect '{connect}': {e}")))?;
+    let report = ctrl
+        .metrics(events)
+        .map_err(|e| ArgError(format!("scrape failed: {e}")))?;
+    if format == "json" {
+        writeln!(out, "{}", render_json(&report)).ok();
+    } else {
+        write!(out, "{}", render_prometheus(&report)).ok();
+    }
+    Ok(())
+}
+
+/// `top`: a refreshing per-stream table against a live daemon. Each round
+/// scrapes the telemetry endpoint and derives items/s from the counter
+/// and clock deltas between consecutive scrapes.
+fn cmd_top<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
+    let connect = p
+        .flags
+        .get("connect")
+        .cloned()
+        .ok_or_else(|| ArgError("top needs --connect <addr>".into()))?;
+    let refresh = p.f64_or("refresh", 1.0)?;
+    if !refresh.is_finite() || refresh < 0.0 {
+        return Err(ArgError(format!(
+            "--refresh expects a non-negative number of seconds, got {refresh}"
+        )));
+    }
+    let iterations = p.u64_or("iterations", 0)?;
+    let events = p.u64_or("events", 4)?.min(u64::from(u32::MAX)) as u32;
+    let mut ctrl = CtrlClient::connect(connect.as_str())
+        .map_err(|e| ArgError(format!("cannot connect '{connect}': {e}")))?;
+    let mut prev: Option<MetricsReport> = None;
+    let mut round = 0u64;
+    loop {
+        round += 1;
+        let report = match ctrl.metrics(events) {
+            Ok(r) => r,
+            Err(e) => {
+                if round == 1 {
+                    return Err(ArgError(format!("scrape failed: {e}")));
+                }
+                writeln!(out, "daemon went away: {e}").ok();
+                return Ok(());
+            }
+        };
+        print_top(out, &report, prev.as_ref());
+        out.flush().ok();
+        prev = Some(report);
+        if iterations > 0 && round >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(refresh.max(0.05)));
+    }
+}
+
+/// One `top` frame: the daemon header plus a row per stream. Rates come
+/// from deltas against the previous scrape (dashes on the first one).
+fn print_top<W: Write>(out: &mut W, report: &MetricsReport, prev: Option<&MetricsReport>) {
+    writeln!(
+        out,
+        "dwrs top: uptime {:.1} s, {} stream(s) live, {} created, {} daemon event(s)",
+        report.uptime_nanos as f64 / 1e9,
+        report.streams.len(),
+        report.streams_created,
+        report.events.len(),
+    )
+    .ok();
+    writeln!(
+        out,
+        "{:<16} {:>12} {:>11} {:>7} {:>7} {:>9} {:>9} {:>9}  last event",
+        "stream", "items", "items/s", "sites", "queue", "p50(us)", "p95(us)", "p99(us)",
+    )
+    .ok();
+    for s in &report.streams {
+        let rate = prev
+            .and_then(|p| {
+                let before = p.streams.iter().find(|ps| ps.stream == s.stream)?;
+                let dt = report.now_nanos.saturating_sub(p.now_nanos) as f64 / 1e9;
+                (dt > 0.0).then(|| (s.items.saturating_sub(before.items)) as f64 / dt)
+            })
+            .map_or_else(|| "-".to_string(), |r| format!("{r:.0}"));
+        let (p50, p95, p99) = s.latency.as_ref().map_or_else(
+            || ("-".to_string(), "-".to_string(), "-".to_string()),
+            |h| {
+                (
+                    format!("{:.1}", h.p50 / 1e3),
+                    format!("{:.1}", h.p95 / 1e3),
+                    format!("{:.1}", h.p99 / 1e3),
+                )
+            },
+        );
+        let last_event = s.events.last().map_or_else(
+            || "-".to_string(),
+            |e| format!("{} (a={}, b={})", event_name(e.code), e.a, e.b),
+        );
         writeln!(
             out,
-            "{repeat} queries in {elapsed:.3} s ({:.0} queries/s)",
-            repeat as f64 / elapsed.max(1e-9)
+            "{:<16} {:>12} {:>11} {:>3}/{:<3} {:>7} {:>9} {:>9} {:>9}  {}",
+            s.stream,
+            s.items,
+            rate,
+            s.sites_attached,
+            s.sites_eof,
+            format!("{}/{}", s.queue_depth, s.queue_capacity),
+            p50,
+            p95,
+            p99,
+            last_event
         )
         .ok();
     }
-    Ok(())
 }
 
 /// Prints one live snapshot — `--format json` emits the same
@@ -1301,7 +1473,53 @@ mod tests {
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }
+        // --repeat emits sketch-backed round-trip percentiles, not a bare
+        // QPS count.
+        let stats = out
+            .lines()
+            .find(|l| l.contains("\"repeat\":20"))
+            .expect("repeat stats json line");
+        for field in [
+            "\"queries_per_s\":",
+            "\"latency_us\":",
+            "\"p50\":",
+            "\"p99\":",
+        ] {
+            assert!(stats.contains(field), "missing {field} in {stats}");
+        }
+        // Text mode keeps the QPS line and adds the percentiles.
+        let (code, out) = run_cmd(&format!(
+            "query --connect {addr} --stream beta --kind stats --repeat 10"
+        ));
+        assert_eq!(code, 0, "{out}");
         assert!(out.contains("queries/s"), "{out}");
+        assert!(out.contains("round-trip latency: p50"), "{out}");
+        // A telemetry scrape mid-lifecycle: Prometheus text exposition
+        // with live gauges, and the same report as JSON.
+        let (code, out) = run_cmd(&format!("metrics --connect {addr}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("# TYPE dwrs_items_total counter"), "{out}");
+        assert!(
+            out.contains("dwrs_stream_items_total{stream=\"beta\"} 2000"),
+            "{out}"
+        );
+        let (code, out) = run_cmd(&format!("metrics --connect {addr} --format json"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"streams_created\":"), "{out}");
+        assert!(out.contains("\"stream\":\"beta\""), "{out}");
+        // Two top frames: per-stream rows with a rate column on the
+        // second frame.
+        let (code, out) = run_cmd(&format!(
+            "top --connect {addr} --iterations 2 --refresh 0.05"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert_eq!(
+            out.matches("dwrs top: uptime").count(),
+            2,
+            "two frames: {out}"
+        );
+        assert!(out.contains("beta"), "{out}");
+        assert!(out.contains("p95(us)"), "{out}");
         // Drain alpha explicitly; shut the daemon down (drains beta).
         let (code, out) = run_cmd(&format!(
             "query --connect {addr} --stream alpha --kind drain --format json"

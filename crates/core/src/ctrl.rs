@@ -31,6 +31,8 @@ pub const TAG_QUERY: u8 = 0x42;
 pub const TAG_DRAIN: u8 = 0x43;
 /// Tag byte of [`CtrlMsg::Shutdown`].
 pub const TAG_SHUTDOWN: u8 = 0x44;
+/// Tag byte of [`CtrlMsg::Metrics`].
+pub const TAG_METRICS: u8 = 0x45;
 /// Tag byte of [`CtrlResp::Ok`].
 pub const TAG_OK: u8 = 0x50;
 /// Tag byte of [`CtrlResp::Err`].
@@ -39,6 +41,8 @@ pub const TAG_ERR: u8 = 0x51;
 pub const TAG_ATTACHED: u8 = 0x52;
 /// Tag byte of [`CtrlResp::Answer`].
 pub const TAG_ANSWER: u8 = 0x53;
+/// Tag byte of [`CtrlResp::Metrics`].
+pub const TAG_METRICS_REPORT: u8 = 0x54;
 
 /// Bytes per encoded sample entry in a [`LiveSnapshot`]: `u64` id,
 /// `f64` weight, `f64` key.
@@ -167,6 +171,15 @@ pub enum CtrlMsg {
     },
     /// Drains every stream and stops the daemon.
     Shutdown,
+    /// Scrapes the daemon's telemetry: global registry samples plus one
+    /// [`StreamMetrics`] per live stream, each captured through the
+    /// stream's own command queue (the same consistent cut live queries
+    /// get).
+    Metrics {
+        /// Most-recent trace events to include per ring (0 = counters and
+        /// gauges only, no event history).
+        events: u32,
+    },
 }
 
 /// A daemon → client control response.
@@ -196,6 +209,11 @@ pub enum CtrlResp {
     Answer {
         /// The snapshot at the instant the stream processor answered.
         snapshot: LiveSnapshot,
+    },
+    /// A telemetry scrape ([`CtrlMsg::Metrics`]).
+    Metrics {
+        /// The daemon-wide report at the instant of the scrape.
+        report: MetricsReport,
     },
 }
 
@@ -280,6 +298,154 @@ impl LiveSnapshot {
             self.sample.len(),
         )
     }
+}
+
+/// What a metric's single `value` means in a [`MetricSample`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing count.
+    Counter,
+    /// Instantaneous level that can move both ways.
+    Gauge,
+    /// ε-approximate distribution; `value` is the observation count and
+    /// the percentiles ride in the attached [`HistSummary`].
+    Histogram,
+}
+
+impl MetricKind {
+    /// The wire discriminant byte.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            MetricKind::Counter => 0,
+            MetricKind::Gauge => 1,
+            MetricKind::Histogram => 2,
+        }
+    }
+
+    /// Decodes a wire discriminant byte.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(MetricKind::Counter),
+            1 => Some(MetricKind::Gauge),
+            2 => Some(MetricKind::Histogram),
+            _ => None,
+        }
+    }
+
+    /// The Prometheus exposition `# TYPE` name (histograms render as
+    /// `summary` because the sketch reports quantiles, not buckets).
+    pub fn prom_type(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "summary",
+        }
+    }
+}
+
+/// Sketch-backed percentile digest of one histogram metric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistSummary {
+    /// Observations folded into the sketch.
+    pub count: u64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Exact maximum observation.
+    pub max: f64,
+}
+
+/// One named metric in a scrape: a counter/gauge value, or a histogram's
+/// count plus its [`HistSummary`] percentiles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSample {
+    /// Metric name (`dwrs_..._total` style, stable across releases).
+    pub name: String,
+    /// How to read `value`.
+    pub kind: MetricKind,
+    /// Counter/gauge value, or the histogram observation count.
+    pub value: f64,
+    /// Percentiles for histogram metrics; `None` for counters/gauges or
+    /// empty histograms.
+    pub hist: Option<HistSummary>,
+}
+
+/// One structured event from a fixed-capacity trace ring.
+///
+/// Events carry two untyped payload words whose meaning depends on the
+/// code (documented per event in `docs/DAEMON.md`); codes map to names via
+/// the `dwrs-telemetry` trace catalog.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Per-ring sequence number (gaps mean the ring wrapped).
+    pub seq: u64,
+    /// Nanoseconds since the owning process's telemetry epoch
+    /// (monotonic; comparable within one report, not across daemons).
+    pub nanos: u64,
+    /// Event code (see the trace catalog).
+    pub code: u8,
+    /// First payload word (e.g. a site slot).
+    pub a: u64,
+    /// Second payload word (e.g. an item count).
+    pub b: u64,
+}
+
+/// Encoded size of one [`TraceEvent`]: `u64` seq + `u64` nanos + code byte
+/// + two `u64` payload words.
+pub const TRACE_EVENT_BYTES: usize = 8 + 8 + 1 + 8 + 8;
+
+/// Per-stream telemetry captured through the stream's command queue, so
+/// every number reflects one consistent instant of that stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamMetrics {
+    /// Stream name.
+    pub stream: String,
+    /// The application query spec the stream runs.
+    pub query: String,
+    /// Items observed across all site slots.
+    pub items: u64,
+    /// Site slots currently attached.
+    pub sites_attached: u32,
+    /// Site slots completed with Eof.
+    pub sites_eof: u32,
+    /// Commands waiting in the stream's queue when the scrape ran.
+    pub queue_depth: u32,
+    /// The queue's bound.
+    pub queue_capacity: u32,
+    /// Live queries answered so far (drains are not counted).
+    pub queries: u64,
+    /// Per-query service latency percentiles in nanoseconds, measured
+    /// from dequeue to answer inside the stream processor.
+    pub latency: Option<HistSummary>,
+    /// Most recent trace-ring events for this stream, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+/// A whole-daemon telemetry scrape: registry samples, daemon-level trace
+/// events, and one [`StreamMetrics`] per live stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsReport {
+    /// Monotonic nanoseconds since the daemon's telemetry epoch at the
+    /// instant the report was assembled. Consecutive scrapes subtract
+    /// these to turn item counters into rates.
+    pub now_nanos: u64,
+    /// Nanoseconds the daemon has been up.
+    pub uptime_nanos: u64,
+    /// Streams created over the daemon's lifetime (a counter; `streams`
+    /// holds only the live ones).
+    pub streams_created: u64,
+    /// Global registry contents, sorted by name.
+    pub samples: Vec<MetricSample>,
+    /// Daemon-level trace events (accepts, ctrl errors, shutdown),
+    /// oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Per-stream sections, sorted by stream name.
+    pub streams: Vec<StreamMetrics>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -402,6 +568,10 @@ impl FrameCodec for CtrlMsg {
                 put_str(buf, stream);
             }
             CtrlMsg::Shutdown => buf.push(TAG_SHUTDOWN),
+            CtrlMsg::Metrics { events } => {
+                buf.push(TAG_METRICS);
+                put_u32(buf, *events);
+            }
         }
     }
 
@@ -452,6 +622,10 @@ impl FrameCodec for CtrlMsg {
                 Ok((CtrlMsg::Drain { stream }, end))
             }
             TAG_SHUTDOWN => Ok((CtrlMsg::Shutdown, 1)),
+            TAG_METRICS => {
+                let events = get_u32(buf, 1)?;
+                Ok((CtrlMsg::Metrics { events }, 5))
+            }
             other => Err(WireError::BadTag(other)),
         }
     }
@@ -560,6 +734,208 @@ pub fn snapshot_len(sample_len: usize, epoch_present: bool) -> usize {
     SNAPSHOT_HEADER_BYTES + if epoch_present { 8 } else { 0 } + sample_len * SNAPSHOT_ENTRY_BYTES
 }
 
+// ---------------------------------------------------------------------------
+// MetricsReport codec.
+
+/// Smallest possible encoded [`MetricSample`]: empty name, kind byte,
+/// value, absent-hist flag. Bounds hostile sample counts before allocation.
+const SAMPLE_MIN_BYTES: usize = 2 + 1 + 8 + 1;
+
+/// Smallest possible encoded [`StreamMetrics`]: two empty strings, the
+/// fixed counters, absent-latency flag, empty event list.
+const STREAM_MIN_BYTES: usize = 2 + 2 + 8 + 4 + 4 + 4 + 4 + 8 + 1 + 4;
+
+fn check_finite(x: f64) -> Result<f64, WireError> {
+    if x.is_finite() {
+        Ok(x)
+    } else {
+        Err(WireError::BadField)
+    }
+}
+
+fn encode_hist(h: &Option<HistSummary>, buf: &mut Vec<u8>) {
+    match h {
+        None => buf.push(0),
+        Some(h) => {
+            buf.push(1);
+            put_u64(buf, h.count);
+            put_f64(buf, h.p50);
+            put_f64(buf, h.p90);
+            put_f64(buf, h.p95);
+            put_f64(buf, h.p99);
+            put_f64(buf, h.max);
+        }
+    }
+}
+
+fn decode_hist(buf: &[u8], at: usize) -> Result<(Option<HistSummary>, usize), WireError> {
+    match *buf.get(at).ok_or(WireError::Truncated)? {
+        0 => Ok((None, at + 1)),
+        1 => {
+            let count = get_u64(buf, at + 1)?;
+            let p50 = check_finite(get_f64(buf, at + 9)?)?;
+            let p90 = check_finite(get_f64(buf, at + 17)?)?;
+            let p95 = check_finite(get_f64(buf, at + 25)?)?;
+            let p99 = check_finite(get_f64(buf, at + 33)?)?;
+            let max = check_finite(get_f64(buf, at + 41)?)?;
+            Ok((
+                Some(HistSummary {
+                    count,
+                    p50,
+                    p90,
+                    p95,
+                    p99,
+                    max,
+                }),
+                at + 49,
+            ))
+        }
+        _ => Err(WireError::BadField),
+    }
+}
+
+fn encode_events(events: &[TraceEvent], buf: &mut Vec<u8>) {
+    debug_assert!(events.len() <= u32::MAX as usize);
+    put_u32(buf, events.len() as u32);
+    for e in events {
+        put_u64(buf, e.seq);
+        put_u64(buf, e.nanos);
+        buf.push(e.code);
+        put_u64(buf, e.a);
+        put_u64(buf, e.b);
+    }
+}
+
+fn decode_events(buf: &[u8], at: usize) -> Result<(Vec<TraceEvent>, usize), WireError> {
+    let count = get_u32(buf, at)? as usize;
+    let mut off = at + 4;
+    if count > buf.len().saturating_sub(off) / TRACE_EVENT_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let mut events = Vec::with_capacity(count);
+    for _ in 0..count {
+        let seq = get_u64(buf, off)?;
+        let nanos = get_u64(buf, off + 8)?;
+        let code = *buf.get(off + 16).ok_or(WireError::Truncated)?;
+        let a = get_u64(buf, off + 17)?;
+        let b = get_u64(buf, off + 25)?;
+        events.push(TraceEvent {
+            seq,
+            nanos,
+            code,
+            a,
+            b,
+        });
+        off += TRACE_EVENT_BYTES;
+    }
+    Ok((events, off))
+}
+
+fn encode_report(report: &MetricsReport, buf: &mut Vec<u8>) {
+    put_u64(buf, report.now_nanos);
+    put_u64(buf, report.uptime_nanos);
+    put_u64(buf, report.streams_created);
+    debug_assert!(report.samples.len() <= u32::MAX as usize);
+    put_u32(buf, report.samples.len() as u32);
+    for s in &report.samples {
+        put_str(buf, &s.name);
+        buf.push(s.kind.as_u8());
+        put_f64(buf, s.value);
+        encode_hist(&s.hist, buf);
+    }
+    encode_events(&report.events, buf);
+    debug_assert!(report.streams.len() <= u32::MAX as usize);
+    put_u32(buf, report.streams.len() as u32);
+    for st in &report.streams {
+        put_str(buf, &st.stream);
+        put_str(buf, &st.query);
+        put_u64(buf, st.items);
+        put_u32(buf, st.sites_attached);
+        put_u32(buf, st.sites_eof);
+        put_u32(buf, st.queue_depth);
+        put_u32(buf, st.queue_capacity);
+        put_u64(buf, st.queries);
+        encode_hist(&st.latency, buf);
+        encode_events(&st.events, buf);
+    }
+}
+
+fn decode_report(buf: &[u8], at: usize) -> Result<(MetricsReport, usize), WireError> {
+    let now_nanos = get_u64(buf, at)?;
+    let uptime_nanos = get_u64(buf, at + 8)?;
+    let streams_created = get_u64(buf, at + 16)?;
+    let sample_count = get_u32(buf, at + 24)? as usize;
+    let mut off = at + 28;
+    if sample_count > buf.len().saturating_sub(off) / SAMPLE_MIN_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let mut samples = Vec::with_capacity(sample_count);
+    for _ in 0..sample_count {
+        let (name, next) = get_str(buf, off)?;
+        let kind_byte = *buf.get(next).ok_or(WireError::Truncated)?;
+        let kind = MetricKind::from_u8(kind_byte).ok_or(WireError::BadField)?;
+        let value = check_finite(get_f64(buf, next + 1)?)?;
+        let (hist, next) = decode_hist(buf, next + 9)?;
+        if name.is_empty() {
+            return Err(WireError::BadField);
+        }
+        samples.push(MetricSample {
+            name,
+            kind,
+            value,
+            hist,
+        });
+        off = next;
+    }
+    let (events, next) = decode_events(buf, off)?;
+    off = next;
+    let stream_count = get_u32(buf, off)? as usize;
+    off += 4;
+    if stream_count > buf.len().saturating_sub(off) / STREAM_MIN_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let mut streams = Vec::with_capacity(stream_count);
+    for _ in 0..stream_count {
+        let (stream, next) = get_str(buf, off)?;
+        let (query, next) = get_str(buf, next)?;
+        let items = get_u64(buf, next)?;
+        let sites_attached = get_u32(buf, next + 8)?;
+        let sites_eof = get_u32(buf, next + 12)?;
+        let queue_depth = get_u32(buf, next + 16)?;
+        let queue_capacity = get_u32(buf, next + 20)?;
+        let queries = get_u64(buf, next + 24)?;
+        let (latency, next) = decode_hist(buf, next + 32)?;
+        let (stream_events, next) = decode_events(buf, next)?;
+        if stream.is_empty() {
+            return Err(WireError::BadField);
+        }
+        streams.push(StreamMetrics {
+            stream,
+            query,
+            items,
+            sites_attached,
+            sites_eof,
+            queue_depth,
+            queue_capacity,
+            queries,
+            latency,
+            events: stream_events,
+        });
+        off = next;
+    }
+    Ok((
+        MetricsReport {
+            now_nanos,
+            uptime_nanos,
+            streams_created,
+            samples,
+            events,
+            streams,
+        },
+        off,
+    ))
+}
+
 impl FrameCodec for CtrlResp {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
@@ -584,6 +960,10 @@ impl FrameCodec for CtrlResp {
             CtrlResp::Answer { snapshot } => {
                 buf.push(TAG_ANSWER);
                 encode_snapshot(snapshot, buf);
+            }
+            CtrlResp::Metrics { report } => {
+                buf.push(TAG_METRICS_REPORT);
+                encode_report(report, buf);
             }
         }
     }
@@ -619,6 +999,10 @@ impl FrameCodec for CtrlResp {
             TAG_ANSWER => {
                 let (snapshot, end) = decode_snapshot(buf, 1)?;
                 Ok((CtrlResp::Answer { snapshot }, end))
+            }
+            TAG_METRICS_REPORT => {
+                let (report, end) = decode_report(buf, 1)?;
+                Ok((CtrlResp::Metrics { report }, end))
             }
             other => Err(WireError::BadTag(other)),
         }
@@ -836,6 +1220,174 @@ mod tests {
         let count_at = buf.len() - 4;
         buf[count_at..].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(CtrlResp::decode(&buf), Err(WireError::Truncated));
+    }
+
+    fn sample_report() -> MetricsReport {
+        MetricsReport {
+            now_nanos: 1_000_000_007,
+            uptime_nanos: 999_999_999,
+            streams_created: 3,
+            samples: vec![
+                MetricSample {
+                    name: "dwrs_items_total".into(),
+                    kind: MetricKind::Counter,
+                    value: 123456.0,
+                    hist: None,
+                },
+                MetricSample {
+                    name: "dwrs_queue_depth".into(),
+                    kind: MetricKind::Gauge,
+                    value: 3.0,
+                    hist: None,
+                },
+                MetricSample {
+                    name: "dwrs_query_latency_ns".into(),
+                    kind: MetricKind::Histogram,
+                    value: 17.0,
+                    hist: Some(HistSummary {
+                        count: 17,
+                        p50: 1200.0,
+                        p90: 2500.0,
+                        p95: 3000.0,
+                        p99: 8000.0,
+                        max: 9000.0,
+                    }),
+                },
+            ],
+            events: vec![TraceEvent {
+                seq: 1,
+                nanos: 42,
+                code: 9,
+                a: 0,
+                b: 0,
+            }],
+            streams: vec![StreamMetrics {
+                stream: "clicks".into(),
+                query: "l1:0.2,0.25".into(),
+                items: 50_000,
+                sites_attached: 4,
+                sites_eof: 1,
+                queue_depth: 2,
+                queue_capacity: 64,
+                queries: 9,
+                latency: Some(HistSummary {
+                    count: 9,
+                    p50: 900.0,
+                    p90: 1500.0,
+                    p95: 1700.0,
+                    p99: 2000.0,
+                    max: 2100.0,
+                }),
+                events: vec![
+                    TraceEvent {
+                        seq: 10,
+                        nanos: 100,
+                        code: 1,
+                        a: 2,
+                        b: 0,
+                    },
+                    TraceEvent {
+                        seq: 11,
+                        nanos: 200,
+                        code: 4,
+                        a: 0,
+                        b: 7,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_metrics_frames() {
+        roundtrip(&CtrlMsg::Metrics { events: 32 });
+        roundtrip(&CtrlResp::Metrics {
+            report: sample_report(),
+        });
+        // Degenerate report: nothing registered, no streams.
+        roundtrip(&CtrlResp::Metrics {
+            report: MetricsReport {
+                now_nanos: 0,
+                uptime_nanos: 0,
+                streams_created: 0,
+                samples: vec![],
+                events: vec![],
+                streams: vec![],
+            },
+        });
+    }
+
+    #[test]
+    fn truncated_metrics_report_is_rejected() {
+        let mut buf = Vec::new();
+        CtrlResp::Metrics {
+            report: sample_report(),
+        }
+        .encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(
+                CtrlResp::decode(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_metrics_counts_are_bounded_before_allocation() {
+        let empty = MetricsReport {
+            now_nanos: 0,
+            uptime_nanos: 0,
+            streams_created: 0,
+            samples: vec![],
+            events: vec![],
+            streams: vec![],
+        };
+        // Claim u32::MAX samples / events / streams with no bytes present:
+        // each must fail Truncated, before any allocation.
+        let mut buf = Vec::new();
+        CtrlResp::Metrics {
+            report: empty.clone(),
+        }
+        .encode(&mut buf);
+        // Layout after the tag: 3×u64, then sample count at offset 25.
+        for count_at in [25usize, 29, 33] {
+            let mut hostile = buf.clone();
+            hostile[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            assert_eq!(
+                CtrlResp::decode(&hostile),
+                Err(WireError::Truncated),
+                "count at {count_at}"
+            );
+        }
+        let _ = empty;
+    }
+
+    #[test]
+    fn metrics_report_domain_violations() {
+        // Unknown metric kind byte.
+        let mut report = sample_report();
+        report.streams.clear();
+        report.events.clear();
+        report.samples.truncate(1);
+        let mut buf = Vec::new();
+        CtrlResp::Metrics {
+            report: report.clone(),
+        }
+        .encode(&mut buf);
+        let name_len = report.samples[0].name.len();
+        let kind_at = 1 + 24 + 4 + 2 + name_len;
+        buf[kind_at] = 99;
+        assert_eq!(CtrlResp::decode(&buf), Err(WireError::BadField));
+
+        // NaN metric value.
+        buf[kind_at] = MetricKind::Counter.as_u8();
+        buf[kind_at + 1..kind_at + 9].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert_eq!(CtrlResp::decode(&buf), Err(WireError::BadField));
+
+        // Hist flag byte other than 0/1.
+        buf[kind_at + 1..kind_at + 9].copy_from_slice(&1.0f64.to_bits().to_le_bytes());
+        buf[kind_at + 9] = 2;
+        assert_eq!(CtrlResp::decode(&buf), Err(WireError::BadField));
     }
 
     #[test]

@@ -40,16 +40,28 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::Instant;
 
-use dwrs_core::ctrl::{CtrlMsg, CtrlResp, LiveQueryKind, LiveSnapshot};
+use dwrs_core::ctrl::{
+    CtrlMsg, CtrlResp, LiveQueryKind, LiveSnapshot, MetricsReport, StreamMetrics, TAG_ATTACH,
+    TAG_CREATE, TAG_DRAIN, TAG_METRICS, TAG_QUERY, TAG_SHUTDOWN,
+};
 use dwrs_core::framed::{decode_seq, FrameCodec, FramedReader, FramedWriter};
 use dwrs_core::swor::levels::epoch_threshold;
 use dwrs_core::swor::{DownMsg, SworConfig, SworCoordinator, UpMsg};
 use dwrs_core::{Item, Keyed};
 use dwrs_sim::{swor_coordinator, CoordinatorNode, Meter, Metrics, Outbox, SiteNode};
+use dwrs_stats::QuantileSketch;
+use dwrs_telemetry::{
+    global, summarize, Counter, Gauge, Histogram, TraceKind, TraceRing, DEFAULT_RING_CAPACITY,
+    METRIC_BROADCAST_EVENTS_TOTAL, METRIC_CONNECTIONS_TOTAL, METRIC_CTRL_ERRORS_TOTAL,
+    METRIC_DOWN_MESSAGES_TOTAL, METRIC_ITEMS_TOTAL, METRIC_LIVE_QUERIES_TOTAL,
+    METRIC_QUERY_LATENCY_NS, METRIC_SCRAPES_TOTAL, METRIC_SITES_ATTACHED, METRIC_STREAMS_ACTIVE,
+    METRIC_UP_MESSAGES_TOTAL, METRIC_WIRE_BYTES_TOTAL,
+};
 
 use crate::config::RuntimeConfig;
 use crate::engine::{flush, DOWN_POLL_EVERY};
@@ -141,10 +153,72 @@ enum StreamCmd {
     Drain {
         reply: mpsc::SyncSender<LiveSnapshot>,
     },
+    /// A telemetry scrape section for this stream, answered from the
+    /// processor loop — the same command-queue consistency as live
+    /// queries, so the scraped counters reflect exactly the frames that
+    /// preceded the scrape.
+    Metrics {
+        /// How many trailing trace events to include.
+        events: u32,
+        reply: mpsc::SyncSender<StreamMetrics>,
+    },
+}
+
+/// A stream's command sender plus a shared depth counter, so telemetry
+/// can report each processor queue's instantaneous occupancy. The
+/// counter is incremented on every successful send and decremented by
+/// the processor as it dequeues — cheap relaxed atomics on both sides.
+#[derive(Clone)]
+struct CmdSender {
+    tx: mpsc::SyncSender<StreamCmd>,
+    depth: Arc<AtomicU64>,
+}
+
+impl CmdSender {
+    fn send(&self, cmd: StreamCmd) -> Result<(), mpsc::SendError<StreamCmd>> {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        let res = self.tx.send(cmd);
+        if res.is_err() {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+        }
+        res
+    }
+}
+
+/// Global-registry handles a stream processor updates, resolved once at
+/// stream creation so the hot loop never touches the registry lock.
+struct StreamCtrs {
+    items: Arc<Counter>,
+    up_msgs: Arc<Counter>,
+    down_msgs: Arc<Counter>,
+    wire_bytes: Arc<Counter>,
+    broadcasts: Arc<Counter>,
+    live_queries: Arc<Counter>,
+    sites_attached: Arc<Gauge>,
+    streams_active: Arc<Gauge>,
+    latency: Arc<Histogram>,
+}
+
+impl StreamCtrs {
+    fn new() -> Self {
+        let reg = &global().registry;
+        Self {
+            items: reg.counter(METRIC_ITEMS_TOTAL),
+            up_msgs: reg.counter(METRIC_UP_MESSAGES_TOTAL),
+            down_msgs: reg.counter(METRIC_DOWN_MESSAGES_TOTAL),
+            wire_bytes: reg.counter(METRIC_WIRE_BYTES_TOTAL),
+            broadcasts: reg.counter(METRIC_BROADCAST_EVENTS_TOTAL),
+            live_queries: reg.counter(METRIC_LIVE_QUERIES_TOTAL),
+            sites_attached: reg.gauge(METRIC_SITES_ATTACHED),
+            streams_active: reg.gauge(METRIC_STREAMS_ACTIVE),
+            latency: reg.histogram(METRIC_QUERY_LATENCY_NS),
+        }
+    }
 }
 
 /// One named stream's processor-side state.
 struct StreamState {
+    name: String,
     query: Query,
     /// Effective sample size (the query may inflate the scenario `s`).
     s_eff: usize,
@@ -161,6 +235,20 @@ struct StreamState {
     /// detach so a resumed slot keeps accumulating).
     slot_items: Vec<u64>,
     metrics: Metrics,
+    /// This stream's structured-event ring (lifecycle, epochs,
+    /// saturations), sharing the process-wide epoch so event timestamps
+    /// are comparable across streams.
+    trace: TraceRing,
+    /// Per-stream live-query service latencies (nanoseconds).
+    latency: QuantileSketch,
+    /// Live queries answered so far.
+    queries: u64,
+    /// Bound of the processor's command queue.
+    queue_capacity: u32,
+    /// Shared occupancy counter for the command queue (see [`CmdSender`]).
+    depth: Arc<AtomicU64>,
+    /// Cached global-registry handles.
+    ctrs: StreamCtrs,
 }
 
 impl StreamState {
@@ -254,6 +342,7 @@ fn route_live(
     outbox: &mut Outbox<DownMsg>,
     downs: &mut [Option<Box<dyn crate::transport::DownSender<DownMsg>>>],
     metrics: &mut Metrics,
+    trace: &TraceRing,
 ) {
     let k = downs.len();
     let (unicasts, broadcasts) = outbox.take();
@@ -264,6 +353,14 @@ fn route_live(
         }
     }
     for msg in broadcasts {
+        match &msg {
+            DownMsg::UpdateEpoch { threshold } => {
+                trace.record(TraceKind::EpochBroadcast, threshold.to_bits(), 0);
+            }
+            DownMsg::LevelSaturated { level } => {
+                trace.record(TraceKind::Saturation, u64::from(*level), 0);
+            }
+        }
         metrics.count_broadcast(msg.kind(), msg.units(), msg.wire_bytes(), k);
         for d in downs.iter_mut().flatten() {
             let _ = d.send(&msg);
@@ -281,6 +378,7 @@ fn stream_processor(mut st: StreamState, rx: mpsc::Receiver<StreamCmd>) {
         let Ok(cmd) = rx.recv() else {
             break;
         };
+        st.depth.fetch_sub(1, Ordering::Relaxed);
         match cmd {
             StreamCmd::Reserve { site, reply } => {
                 let result = if site >= st.slots.len() {
@@ -294,7 +392,15 @@ fn stream_processor(mut st: StreamState, rx: mpsc::Receiver<StreamCmd>) {
                         SlotState::Finished => Err(format!("site {site} already sent Eof")),
                         prev => {
                             st.slots[site] = SlotState::Attached;
-                            Ok((prev == SlotState::Detached, st.slot_items[site]))
+                            let resumed = prev == SlotState::Detached;
+                            let kind = if resumed {
+                                TraceKind::Reconnect
+                            } else {
+                                TraceKind::Attach
+                            };
+                            st.trace.record(kind, site as u64, st.slot_items[site]);
+                            st.ctrs.sites_attached.add(1);
+                            Ok((resumed, st.slot_items[site]))
                         }
                     }
                 };
@@ -330,15 +436,37 @@ fn stream_processor(mut st: StreamState, rx: mpsc::Receiver<StreamCmd>) {
             }
             StreamCmd::Up { site, msgs, items } => {
                 st.slot_items[site] += items;
+                // Global counters are frame-granular: one snapshot of the
+                // per-stream Metrics before the frame, deltas added after.
+                let before = (
+                    st.metrics.up_total,
+                    st.metrics.down_total,
+                    st.metrics.up_bytes + st.metrics.down_bytes,
+                    st.metrics.broadcast_events,
+                );
                 for msg in msgs {
                     st.metrics
                         .count_up(msg.kind(), msg.units(), msg.wire_bytes());
                     CoordinatorNode::receive(&mut st.coordinator, site, msg, &mut outbox);
-                    route_live(&mut outbox, &mut st.downs, &mut st.metrics);
+                    route_live(&mut outbox, &mut st.downs, &mut st.metrics, &st.trace);
                 }
+                st.ctrs.items.add(items);
+                st.ctrs.up_msgs.add(st.metrics.up_total - before.0);
+                st.ctrs.down_msgs.add(st.metrics.down_total - before.1);
+                st.ctrs
+                    .wire_bytes
+                    .add(st.metrics.up_bytes + st.metrics.down_bytes - before.2);
+                st.ctrs
+                    .broadcasts
+                    .add(st.metrics.broadcast_events - before.3);
             }
             StreamCmd::Eof { site } => {
+                if st.slots[site] == SlotState::Attached {
+                    st.ctrs.sites_attached.add(-1);
+                }
                 st.slots[site] = SlotState::Finished;
+                st.trace
+                    .record(TraceKind::Eof, site as u64, st.slot_items[site]);
                 // Close this slot's down link now (the one-shot engine
                 // closes all links at the end of the run; a daemon stream
                 // has no end, so the per-site drain loop must terminate
@@ -348,14 +476,37 @@ fn stream_processor(mut st: StreamState, rx: mpsc::Receiver<StreamCmd>) {
             StreamCmd::Detach { site } => {
                 if st.slots[site] == SlotState::Attached {
                     st.slots[site] = SlotState::Detached;
+                    st.ctrs.sites_attached.add(-1);
+                    st.trace
+                        .record(TraceKind::Detach, site as u64, st.slot_items[site]);
                 }
                 st.close_down(site);
             }
             StreamCmd::Query { kind, arg, reply } => {
+                let t0 = Instant::now();
                 let _ = reply.send(st.live_snapshot(kind, arg));
+                let nanos = t0.elapsed().as_nanos() as f64;
+                st.latency.observe(nanos);
+                st.ctrs.latency.observe(nanos);
+                st.ctrs.live_queries.inc();
+                st.queries += 1;
             }
             StreamCmd::Drain { reply } => {
                 drain_reply = Some(reply);
+            }
+            StreamCmd::Metrics { events, reply } => {
+                let _ = reply.send(StreamMetrics {
+                    stream: st.name.clone(),
+                    query: st.query.name().to_string(),
+                    items: st.slot_items.iter().sum(),
+                    sites_attached: count_state(&st.slots, SlotState::Attached),
+                    sites_eof: count_state(&st.slots, SlotState::Finished),
+                    queue_depth: st.depth.load(Ordering::Relaxed) as u32,
+                    queue_capacity: st.queue_capacity,
+                    queries: st.queries,
+                    latency: summarize(&mut st.latency),
+                    events: st.trace.snapshot(events as usize),
+                });
             }
         }
         if let Some(reply) = drain_reply.take() {
@@ -368,19 +519,26 @@ fn stream_processor(mut st: StreamState, rx: mpsc::Receiver<StreamCmd>) {
                     // has a default window); defensive fallback.
                     st.live_snapshot(LiveQueryKind::Stats, 0).unwrap()
                 });
+                let items: u64 = st.slot_items.iter().sum();
+                st.trace.record(TraceKind::Drain, 0, items);
+                global().trace.record(TraceKind::Drain, 0, items);
+                st.ctrs.streams_active.add(-1);
                 let _ = reply.send(snap);
                 return;
             }
             drain_reply = Some(reply);
         }
     }
+    // Every command sender is gone without a drain (daemon teardown
+    // mid-stream): the stream is no longer live.
+    st.ctrs.streams_active.add(-1);
 }
 
 // ------------------------------------------------------------- daemon side
 
 /// A handle to one stream's processor.
 struct StreamHandle {
-    cmd: mpsc::SyncSender<StreamCmd>,
+    cmd: CmdSender,
     join: JoinHandle<()>,
 }
 
@@ -393,6 +551,10 @@ struct Shared {
     /// Final snapshots of drained streams, in drain order — the daemon's
     /// run report.
     drained: Mutex<Vec<(String, LiveSnapshot)>>,
+    /// Total streams ever created (drained streams stay counted).
+    streams_created: AtomicU64,
+    /// When the daemon bound its listener, for scrape uptime.
+    started: Instant,
 }
 
 /// A running sampling daemon.
@@ -454,6 +616,8 @@ impl Daemon {
             accepting: AtomicBool::new(true),
             streams: Mutex::new(HashMap::new()),
             drained: Mutex::new(Vec::new()),
+            streams_created: AtomicU64::new(0),
+            started: Instant::now(),
         });
         let join = thread::spawn({
             let shared = Arc::clone(&shared);
@@ -506,6 +670,10 @@ impl Daemon {
 /// has no `Daemon` handle).
 fn shutdown_impl(shared: &Shared, addr: SocketAddr) -> Vec<(String, LiveSnapshot)> {
     let was_accepting = shared.accepting.swap(false, Ordering::SeqCst);
+    if was_accepting {
+        let streams_left = shared.streams.lock().unwrap().len() as u64;
+        global().trace.record(TraceKind::Shutdown, streams_left, 0);
+    }
     let handles: Vec<(String, StreamHandle)> = {
         let mut streams = shared.streams.lock().unwrap();
         streams.drain().collect()
@@ -575,7 +743,15 @@ fn create_stream(
         SworConfig::new(s_eff, k_us),
         stream_seed(shared.cfg.seed, name),
     );
+    let queue_capacity = shared.cfg.queue_capacity.max(1);
+    let depth = Arc::new(AtomicU64::new(0));
+    let trace = TraceRing::with_epoch(DEFAULT_RING_CAPACITY, global().epoch());
+    trace.record(TraceKind::Create, k.into(), s_eff as u64);
+    let ctrs = StreamCtrs::new();
+    ctrs.streams_active.add(1);
+    shared.streams_created.fetch_add(1, Ordering::Relaxed);
     let st = StreamState {
+        name: name.to_string(),
         query,
         s_eff,
         ell,
@@ -586,15 +762,27 @@ fn create_stream(
         slots: vec![SlotState::Empty; k_us],
         slot_items: vec![0; k_us],
         metrics: Metrics::new(),
+        trace,
+        latency: Histogram::local_sketch(),
+        queries: 0,
+        queue_capacity: queue_capacity as u32,
+        depth: Arc::clone(&depth),
+        ctrs,
     };
-    let (tx, rx) = mpsc::sync_channel(shared.cfg.queue_capacity.max(1));
+    let (tx, rx) = mpsc::sync_channel(queue_capacity);
     let join = thread::spawn(move || stream_processor(st, rx));
-    streams.insert(name.to_string(), StreamHandle { cmd: tx, join });
+    streams.insert(
+        name.to_string(),
+        StreamHandle {
+            cmd: CmdSender { tx, depth },
+            join,
+        },
+    );
     Ok("created")
 }
 
 /// Looks up a stream's command sender.
-fn stream_cmd(shared: &Shared, name: &str) -> Option<mpsc::SyncSender<StreamCmd>> {
+fn stream_cmd(shared: &Shared, name: &str) -> Option<CmdSender> {
     shared
         .streams
         .lock()
@@ -603,10 +791,74 @@ fn stream_cmd(shared: &Shared, name: &str) -> Option<mpsc::SyncSender<StreamCmd>
         .map(|h| h.cmd.clone())
 }
 
+/// The wire tag a control request travels under — recorded as the
+/// payload of `ctrl-error` trace events so an operator can see *which*
+/// request kind was refused.
+fn ctrl_tag(msg: &CtrlMsg) -> u8 {
+    match msg {
+        CtrlMsg::Create { .. } => TAG_CREATE,
+        CtrlMsg::Attach { .. } => TAG_ATTACH,
+        CtrlMsg::Query { .. } => TAG_QUERY,
+        CtrlMsg::Drain { .. } => TAG_DRAIN,
+        CtrlMsg::Shutdown => TAG_SHUTDOWN,
+        CtrlMsg::Metrics { .. } => TAG_METRICS,
+    }
+}
+
+/// Counts one refused control request and drops a breadcrumb in the
+/// daemon-level trace ring with the request's wire tag.
+fn note_ctrl_error(tag: u8) {
+    let t = global();
+    t.registry.counter(METRIC_CTRL_ERRORS_TOTAL).inc();
+    t.trace.record(TraceKind::CtrlError, u64::from(tag), 0);
+}
+
+/// Assembles one [`MetricsReport`]: the global registry snapshot and
+/// daemon-level trace tail, plus one per-stream section answered through
+/// each stream's own command queue — the same serialization as live
+/// queries, so every section is consistent with the frames that preceded
+/// it. Streams mid-drain are skipped (their processor no longer serves
+/// the queue).
+fn scrape(shared: &Shared, events: u32) -> MetricsReport {
+    let t = global();
+    t.registry.counter(METRIC_SCRAPES_TOTAL).inc();
+    let senders: Vec<CmdSender> = shared
+        .streams
+        .lock()
+        .unwrap()
+        .values()
+        .map(|h| h.cmd.clone())
+        .collect();
+    let mut streams = Vec::with_capacity(senders.len());
+    for cmd in senders {
+        let (rtx, rrx) = mpsc::sync_channel(1);
+        if cmd.send(StreamCmd::Metrics { events, reply: rtx }).is_ok() {
+            if let Ok(section) = rrx.recv() {
+                streams.push(section);
+            }
+        }
+    }
+    streams.sort_by(|a, b| a.stream.cmp(&b.stream));
+    MetricsReport {
+        now_nanos: t.now_nanos(),
+        uptime_nanos: shared.started.elapsed().as_nanos() as u64,
+        streams_created: shared.streams_created.load(Ordering::Relaxed),
+        samples: t.registry.snapshot(),
+        events: t.trace.snapshot(events as usize),
+        streams,
+    }
+}
+
 /// One control connection: a loop of control frames, until the client
 /// goes away or the connection becomes a site's data link.
 fn handle_connection(shared: Arc<Shared>, addr: SocketAddr, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
+    {
+        let t = global();
+        let conns = t.registry.counter(METRIC_CONNECTIONS_TOTAL);
+        conns.inc();
+        t.trace.record(TraceKind::Connection, conns.get(), 0);
+    }
     // The down half is split off up front: once an attach succeeds, the
     // processor writes broadcasts on it while this thread keeps reading
     // data frames from the original.
@@ -625,6 +877,7 @@ fn handle_connection(shared: Arc<Shared>, addr: SocketAddr, stream: TcpStream) {
             // connections carry no stream state, so nothing to unwind.
             Ok(None) | Err(_) => return,
         };
+        let req_tag = ctrl_tag(&msg);
         let resp = match msg {
             CtrlMsg::Create {
                 stream: name,
@@ -638,6 +891,7 @@ fn handle_connection(shared: Arc<Shared>, addr: SocketAddr, stream: TcpStream) {
             CtrlMsg::Attach { stream: name, site } => {
                 let site = site as usize;
                 let Some(cmd) = stream_cmd(&shared, &name) else {
+                    note_ctrl_error(req_tag);
                     if writer
                         .write_msg(&CtrlResp::Err {
                             msg: format!("no such stream {name:?}"),
@@ -650,6 +904,7 @@ fn handle_connection(shared: Arc<Shared>, addr: SocketAddr, stream: TcpStream) {
                 };
                 let (rtx, rrx) = mpsc::sync_channel(1);
                 if cmd.send(StreamCmd::Reserve { site, reply: rtx }).is_err() {
+                    note_ctrl_error(req_tag);
                     if writer
                         .write_msg(&CtrlResp::Err {
                             msg: format!("stream {name:?} is draining"),
@@ -744,6 +999,9 @@ fn handle_connection(shared: Arc<Shared>, addr: SocketAddr, stream: TcpStream) {
                     }
                 }
             }
+            CtrlMsg::Metrics { events } => CtrlResp::Metrics {
+                report: scrape(&shared, events),
+            },
             CtrlMsg::Shutdown => {
                 let snaps = shutdown_impl(&shared, addr);
                 let _ = writer.write_msg(&CtrlResp::Ok {
@@ -752,6 +1010,9 @@ fn handle_connection(shared: Arc<Shared>, addr: SocketAddr, stream: TcpStream) {
                 return;
             }
         };
+        if matches!(resp, CtrlResp::Err { .. }) {
+            note_ctrl_error(req_tag);
+        }
         if writer.write_msg(&resp).is_err() {
             return;
         }
@@ -763,11 +1024,7 @@ fn handle_connection(shared: Arc<Shared>, addr: SocketAddr, stream: TcpStream) {
 /// close at a frame boundary is a **detach** (the slot may reattach
 /// later) — deliberately unlike the one-shot server's reader, which
 /// treats it as a fault.
-fn site_data_loop(
-    reader: &mut FramedReader<TcpStream>,
-    site: usize,
-    cmd: &mpsc::SyncSender<StreamCmd>,
-) {
+fn site_data_loop(reader: &mut FramedReader<TcpStream>, site: usize, cmd: &CmdSender) {
     loop {
         match reader.read_blob() {
             Ok(Some(payload)) => match payload.split_first() {
@@ -884,6 +1141,23 @@ impl CtrlClient {
     /// Asks the daemon to drain every stream and stop.
     pub fn shutdown(&mut self) -> io::Result<CtrlResp> {
         self.request(&CtrlMsg::Shutdown)
+    }
+
+    /// Scrapes the daemon's telemetry: the metrics-registry snapshot, the
+    /// trailing `events` daemon-level trace events, and one per-stream
+    /// section answered with the same command-queue consistency as live
+    /// queries.
+    pub fn metrics(&mut self, events: u32) -> Result<MetricsReport, RuntimeError> {
+        let resp = self
+            .request(&CtrlMsg::Metrics { events })
+            .map_err(|e| RuntimeError::Transport(e.to_string()))?;
+        match resp {
+            CtrlResp::Metrics { report } => Ok(report),
+            CtrlResp::Err { msg } => Err(RuntimeError::Transport(msg)),
+            other => Err(RuntimeError::Transport(format!(
+                "unexpected control response {other:?}"
+            ))),
+        }
     }
 }
 

@@ -536,6 +536,7 @@ pub struct ShardSource {
     rx: mpsc::Receiver<Vec<Item>>,
     cur: std::vec::IntoIter<Item>,
     in_flight: Arc<AtomicU64>,
+    depth_gauge: Arc<dwrs_telemetry::Gauge>,
 }
 
 impl Iterator for ShardSource {
@@ -548,7 +549,8 @@ impl Iterator for ShardSource {
             }
             match self.rx.recv() {
                 Ok(frame) => {
-                    self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    let now = self.in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
+                    self.depth_gauge.set(now as i64);
                     self.cur = frame.into_iter();
                 }
                 Err(mpsc::RecvError) => return None,
@@ -563,6 +565,8 @@ struct Dispatcher {
     shards: Vec<(mpsc::SyncSender<Vec<Item>>, Vec<Item>)>,
     in_flight: Arc<AtomicU64>,
     stats: DispatcherStats,
+    frames_counter: Arc<dwrs_telemetry::Counter>,
+    depth_gauge: Arc<dwrs_telemetry::Gauge>,
 }
 
 impl Dispatcher {
@@ -571,6 +575,7 @@ impl Dispatcher {
     fn new(shards: usize) -> (Self, Vec<ShardSource>) {
         let queue_frames = QUEUE_FRAMES;
         let in_flight = Arc::new(AtomicU64::new(0));
+        let (frames_counter, depth_gauge) = crate::obs::dispatch_handles();
         let mut txs = Vec::with_capacity(shards);
         let mut rxs = Vec::with_capacity(shards);
         for _ in 0..shards {
@@ -580,6 +585,7 @@ impl Dispatcher {
                 rx,
                 cur: Vec::new().into_iter(),
                 in_flight: Arc::clone(&in_flight),
+                depth_gauge: Arc::clone(&depth_gauge),
             });
         }
         let stats = DispatcherStats {
@@ -593,6 +599,8 @@ impl Dispatcher {
                 shards: txs,
                 in_flight,
                 stats,
+                frames_counter,
+                depth_gauge,
             },
             rxs,
         )
@@ -612,6 +620,7 @@ impl Dispatcher {
         if now > self.stats.peak_in_flight_frames {
             self.stats.peak_in_flight_frames = now;
         }
+        self.depth_gauge.set(now as i64);
         // A send blocks when the shard queue is full — that bounded-queue
         // backpressure is exactly what caps resident memory.
         if tx.send(frame).is_err() {
@@ -620,6 +629,7 @@ impl Dispatcher {
             return;
         }
         self.stats.frames += 1;
+        self.frames_counter.inc();
     }
 
     /// Drains the source into the shard queues until EOF or until every

@@ -39,6 +39,7 @@ use dwrs_core::Item;
 use dwrs_sim::{CoordinatorNode, Meter, Metrics, Outbox, SiteNode};
 
 use crate::config::RuntimeConfig;
+use crate::obs::{record_thread_metrics, FlushMeter};
 use crate::transport::{
     channel_wiring, CoordEndpoint, DownSender, SiteEndpoint, TransportError, UpFrame,
 };
@@ -124,6 +125,9 @@ where
     let SiteEndpoint { mut up, down, .. } = endpoint;
     up.reserve_hint(batch_max);
     let mut metrics = Metrics::new();
+    // Telemetry is flush-granular: zero work per item, a few relaxed
+    // atomics plus two local-sketch pushes per flush (see crate::obs).
+    let mut meter = FlushMeter::new();
     let mut batch: Vec<S::Up> = Vec::with_capacity(batch_max);
     let mut items_pending = 0u64;
     let mut until_poll = 0u32;
@@ -138,6 +142,7 @@ where
         site.observe(item, &mut batch);
         items_pending += 1;
         if batch.len() >= batch_max {
+            meter.on_flush(batch.len(), items_pending);
             flush(
                 &mut *up,
                 &mut batch,
@@ -156,6 +161,7 @@ where
     site.finish(&mut batch);
     while batch.len() > batch_max {
         let rest = batch.split_off(batch_max);
+        meter.on_flush(batch.len(), items_pending);
         flush(
             &mut *up,
             &mut batch,
@@ -164,6 +170,9 @@ where
             &mut metrics,
         )?;
         batch = rest;
+    }
+    if !batch.is_empty() {
+        meter.on_flush(batch.len(), items_pending);
     }
     flush(
         &mut *up,
@@ -176,6 +185,7 @@ where
     // residual item count anyway so downstream watermarks (hierarchical
     // sync cadence) cover the whole stream before `Eof`.
     if items_pending > 0 {
+        meter.on_items(items_pending);
         up.send(UpFrame::Batch {
             msgs: Vec::new(),
             items: items_pending,
@@ -190,6 +200,8 @@ where
     while let Ok(msg) = down.recv() {
         site.receive(&msg);
     }
+    meter.finish();
+    record_thread_metrics(&metrics);
     Ok(metrics)
 }
 
@@ -269,6 +281,7 @@ where
         d.close();
     }
     drop(downs);
+    record_thread_metrics(&metrics);
     match fault {
         Some(e) => Err(RuntimeError::Transport(e)),
         None => Ok((metrics, items_observed)),

@@ -50,6 +50,13 @@
 //! through a bounded sharded dispatcher — O(batch × queue) resident
 //! memory, never O(n) — returning a uniform [`RunReport`].
 //!
+//! Every layer reports into the `dwrs-telemetry` registry (frame-granular
+//! counters, dispatcher depth gauges, sketch-backed latency histograms)
+//! and the daemon additionally keeps per-stream trace rings, all
+//! scrapeable live over the control socket (`CtrlMsg::Metrics`) while
+//! streams run — see the Telemetry sections of `docs/DAEMON.md` and
+//! `docs/ARCHITECTURE.md`.
+//!
 //! # Example
 //!
 //! ```
@@ -78,6 +85,7 @@ pub mod config;
 pub mod daemon;
 pub mod driver;
 pub mod engine;
+pub(crate) mod obs;
 pub mod query;
 pub mod tcp;
 pub mod transport;

@@ -1,0 +1,170 @@
+//! Runtime-side instrumentation: how the engine loops, the sharded
+//! dispatcher and the tree tiers record into the process-wide
+//! [`dwrs_telemetry`] registry.
+//!
+//! The discipline mirrors the per-thread [`Metrics`] accounting the
+//! engines already do: **zero work per item**. Hot loops touch telemetry
+//! only at flush boundaries (a handful of relaxed atomic adds plus two
+//! local-sketch pushes), keep their histogram observations in thread-local
+//! [`QuantileSketch`]es, and fold them into the shared registry every
+//! [`FOLD_EVERY`] flushes and at loop exit — exactly like per-thread
+//! `Metrics` merging into a run total. Message/byte totals are folded once
+//! per thread, at loop exit, from the `Metrics` value the thread returns
+//! anyway.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dwrs_sim::Metrics;
+use dwrs_stats::QuantileSketch;
+use dwrs_telemetry::{
+    global, Counter, Gauge, Histogram, METRIC_BROADCAST_EVENTS_TOTAL, METRIC_DISPATCH_FRAMES_TOTAL,
+    METRIC_DISPATCH_QUEUE_DEPTH, METRIC_DOWN_MESSAGES_TOTAL, METRIC_FLUSH_INTERVAL_NS,
+    METRIC_FRAME_ITEMS, METRIC_ITEMS_TOTAL, METRIC_SITE_FLUSHES_TOTAL, METRIC_TREE_SYNCS_TOTAL,
+    METRIC_UP_MESSAGES_TOTAL, METRIC_WIRE_BYTES_TOTAL,
+};
+
+/// How many flushes a site loop batches locally before folding its
+/// histogram sketches into the shared registry. Counters (items, flushes)
+/// update on every flush so mid-run scrapes stay monotone; only the
+/// distribution digests are folded at this coarser cadence.
+const FOLD_EVERY: u32 = 64;
+
+/// Per-site-thread flush instrumentation. One meter lives on each site
+/// loop's stack: counter handles are resolved once (no registry lookups on
+/// the hot path), distributions accumulate in thread-local sketches.
+pub(crate) struct FlushMeter {
+    items: Arc<Counter>,
+    flushes: Arc<Counter>,
+    frame_hist: Arc<Histogram>,
+    interval_hist: Arc<Histogram>,
+    frame_local: QuantileSketch,
+    interval_local: QuantileSketch,
+    last_flush: Instant,
+    unfolded: u32,
+}
+
+impl FlushMeter {
+    /// A meter recording into the process-wide registry.
+    pub(crate) fn new() -> Self {
+        let r = &global().registry;
+        Self {
+            items: r.counter(METRIC_ITEMS_TOTAL),
+            flushes: r.counter(METRIC_SITE_FLUSHES_TOTAL),
+            frame_hist: r.histogram(METRIC_FRAME_ITEMS),
+            interval_hist: r.histogram(METRIC_FLUSH_INTERVAL_NS),
+            frame_local: Histogram::local_sketch(),
+            interval_local: Histogram::local_sketch(),
+            last_flush: Instant::now(),
+            unfolded: 0,
+        }
+    }
+
+    /// Items that advanced the stream without a message flush (the
+    /// residual watermark shipped just before `Eof`).
+    pub(crate) fn on_items(&mut self, items: u64) {
+        if items > 0 {
+            self.items.add(items);
+        }
+    }
+
+    /// One upstream flush of `msgs` messages covering `items` observed
+    /// items: two relaxed counter adds, two local-sketch pushes, one
+    /// monotonic-clock read.
+    pub(crate) fn on_flush(&mut self, msgs: usize, items: u64) {
+        self.items.add(items);
+        self.flushes.inc();
+        let now = Instant::now();
+        self.frame_local.observe(msgs as f64);
+        self.interval_local
+            .observe(now.duration_since(self.last_flush).as_nanos() as f64);
+        self.last_flush = now;
+        self.unfolded += 1;
+        if self.unfolded >= FOLD_EVERY {
+            self.fold();
+        }
+    }
+
+    fn fold(&mut self) {
+        self.frame_hist.merge_local(&mut self.frame_local);
+        self.interval_hist.merge_local(&mut self.interval_local);
+        self.unfolded = 0;
+    }
+
+    /// Folds any remaining local observations; call at loop exit.
+    pub(crate) fn finish(&mut self) {
+        self.fold();
+    }
+}
+
+/// Folds one thread's final [`Metrics`] into the global message/byte
+/// counters. Per-thread metrics are disjoint (sites count ups, routers
+/// count downs — the same split the engine's merge relies on), so calling
+/// this once per exiting thread sums to the run totals without double
+/// counting.
+pub(crate) fn record_thread_metrics(m: &Metrics) {
+    let r = &global().registry;
+    if m.up_total > 0 {
+        r.counter(METRIC_UP_MESSAGES_TOTAL).add(m.up_total);
+    }
+    if m.down_total > 0 {
+        r.counter(METRIC_DOWN_MESSAGES_TOTAL).add(m.down_total);
+    }
+    let bytes = m.up_bytes + m.down_bytes;
+    if bytes > 0 {
+        r.counter(METRIC_WIRE_BYTES_TOTAL).add(bytes);
+    }
+    if m.broadcast_events > 0 {
+        r.counter(METRIC_BROADCAST_EVENTS_TOTAL)
+            .add(m.broadcast_events);
+    }
+}
+
+/// Handle for one aggregator→root sync (tree tier cadence).
+pub(crate) fn tree_syncs_counter() -> Arc<Counter> {
+    global().registry.counter(METRIC_TREE_SYNCS_TOTAL)
+}
+
+/// Dispatcher-side handles: frames shipped and the instantaneous
+/// in-flight frame depth across all shard queues.
+pub(crate) fn dispatch_handles() -> (Arc<Counter>, Arc<Gauge>) {
+    let r = &global().registry;
+    (
+        r.counter(METRIC_DISPATCH_FRAMES_TOTAL),
+        r.gauge(METRIC_DISPATCH_QUEUE_DEPTH),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_meter_accumulates_into_the_global_registry() {
+        let r = &global().registry;
+        let items0 = r.counter(METRIC_ITEMS_TOTAL).get();
+        let flushes0 = r.counter(METRIC_SITE_FLUSHES_TOTAL).get();
+        let frames0 = r.histogram(METRIC_FRAME_ITEMS).count();
+        let mut meter = FlushMeter::new();
+        for _ in 0..3 {
+            meter.on_flush(16, 100);
+        }
+        meter.on_items(7);
+        meter.finish();
+        assert_eq!(r.counter(METRIC_ITEMS_TOTAL).get() - items0, 307);
+        assert_eq!(r.counter(METRIC_SITE_FLUSHES_TOTAL).get() - flushes0, 3);
+        assert_eq!(r.histogram(METRIC_FRAME_ITEMS).count() - frames0, 3);
+    }
+
+    #[test]
+    fn thread_metrics_fold_totals() {
+        let r = &global().registry;
+        let up0 = r.counter(METRIC_UP_MESSAGES_TOTAL).get();
+        let bytes0 = r.counter(METRIC_WIRE_BYTES_TOTAL).get();
+        let mut m = Metrics::new();
+        m.count_up("regular", 2, 50);
+        record_thread_metrics(&m);
+        assert_eq!(r.counter(METRIC_UP_MESSAGES_TOTAL).get() - up0, 2);
+        assert_eq!(r.counter(METRIC_WIRE_BYTES_TOTAL).get() - bytes0, 50);
+    }
+}

@@ -70,6 +70,7 @@ use dwrs_sim::{
 use crate::adapters::EngineKind;
 use crate::config::RuntimeConfig;
 use crate::engine::{route, site_loop, RuntimeError};
+use crate::obs::{record_thread_metrics, tree_syncs_counter};
 use crate::tcp::{accept_sites, connect_site};
 use crate::transport::{
     channel_wiring, CoordEndpoint, SiteEndpoint, TransportError, UpFrame, Wiring,
@@ -223,6 +224,8 @@ where
     let mut metrics = Metrics::new();
     let mut outbox = Outbox::new();
     let mut stats = GroupStats::default();
+    // Resolved once; each sync is then a single relaxed atomic add.
+    let syncs_counter = tree_syncs_counter();
     let mut pending = 0u64;
     let mut done = 0usize;
     let mut fault: Option<String> = None;
@@ -248,6 +251,7 @@ where
                         &mut metrics,
                     )?;
                     stats.syncs += 1;
+                    syncs_counter.inc();
                 }
             }
             Ok((_, UpFrame::Eof)) => done += 1,
@@ -283,12 +287,14 @@ where
         &mut metrics,
     )?;
     stats.syncs += 1;
+    syncs_counter.inc();
     root.up.send(UpFrame::Eof)?;
     root.up.close();
     drop(root.up);
     // Drain the (empty) root→aggregator path until the root closes it, so
     // shutdown stays ordered even if a future root gains a down path.
     while root.down.recv().is_ok() {}
+    record_thread_metrics(&metrics);
     Ok((metrics, stats))
 }
 

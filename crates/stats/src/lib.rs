@@ -11,9 +11,11 @@
 pub mod chi2;
 pub mod descriptive;
 pub mod ks;
+pub mod sketch;
 pub mod tv;
 
 pub use chi2::{chi2_gof, chi2_two_sample, Chi2Result};
 pub use descriptive::{mean, quantile, stddev, variance, Summary};
 pub use ks::{ks_one_sample, ks_two_sample, KsResult};
+pub use sketch::QuantileSketch;
 pub use tv::{tv_distance, tv_from_counts};

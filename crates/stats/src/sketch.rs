@@ -1,0 +1,538 @@
+//! Mergeable streaming quantile sketch (Greenwald–Khanna style).
+//!
+//! [`QuantileSketch`] answers any quantile query within `eps` *rank* error
+//! using `O(1/eps · log(eps · n))` stored tuples, independent of the stream
+//! length. Each stored tuple `(v, g, delta)` brackets the true rank of `v`:
+//! `rmin = Σ g` over tuples up to and including it, `rmax = rmin + delta`.
+//! The compression invariant `g_i + g_{i+1} + delta_{i+1} ≤ 2·eps·n` is what
+//! bounds the query error.
+//!
+//! Two sketches built with the same `eps` fold with [`QuantileSketch::merge`]
+//! the same way per-thread `Metrics` fold today: rank-interval widths add
+//! across the merge, so a merge of shards each within `eps·n_i` stays within
+//! `eps·Σn_i` of the exact combined ranks. Inserts are buffered and folded in
+//! batches so the amortized per-observation cost is a push onto a `Vec`.
+
+/// One summary tuple: `v` covers `g` observations whose ranks end at
+/// `rmin(self)`, with `delta` extra rank uncertainty above that.
+#[derive(Clone, Copy, Debug)]
+struct Tuple {
+    v: f64,
+    g: u64,
+    delta: u64,
+}
+
+/// Streaming `eps`-approximate quantile summary with merge support.
+///
+/// ```
+/// use dwrs_stats::QuantileSketch;
+/// let mut s = QuantileSketch::new(0.01);
+/// for i in 0..10_000 {
+///     s.observe(i as f64);
+/// }
+/// let p50 = s.query(0.5).unwrap();
+/// assert!((p50 - 5_000.0).abs() <= 0.01 * 10_000.0 + 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct QuantileSketch {
+    eps: f64,
+    /// Summary tuples, sorted by `v`.
+    tuples: Vec<Tuple>,
+    /// Raw observations not yet folded into `tuples`.
+    buffer: Vec<f64>,
+    buffer_cap: usize,
+    count: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch with rank-error tolerance `eps` (e.g. `0.01`
+    /// answers every quantile within ±1% of the true rank). Panics unless
+    /// `0 < eps < 1`.
+    pub fn new(eps: f64) -> Self {
+        assert!(
+            eps > 0.0 && eps < 1.0 && eps.is_finite(),
+            "quantile sketch eps must be in (0, 1), got {eps}"
+        );
+        // Batch inserts so compression runs once per O(1/eps) observations.
+        let buffer_cap = ((1.0 / eps) as usize).clamp(16, 4096);
+        Self {
+            eps,
+            tuples: Vec::new(),
+            buffer: Vec::with_capacity(buffer_cap),
+            buffer_cap,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// The rank-error tolerance this sketch was built with.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Total number of observations folded in (including buffered ones).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest observation, `None` when empty. Exact.
+    pub fn min(&self) -> Option<f64> {
+        (!self.is_empty()).then_some(self.min)
+    }
+
+    /// Largest observation, `None` when empty. Exact.
+    pub fn max(&self) -> Option<f64> {
+        (!self.is_empty()).then_some(self.max)
+    }
+
+    /// Sum of all observations. Exact (up to float rounding).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, `None` when empty. Exact (up to float rounding).
+    pub fn mean(&self) -> Option<f64> {
+        (!self.is_empty()).then_some(self.sum / self.count as f64)
+    }
+
+    /// Number of summary tuples currently held (after folding the buffer).
+    /// Exposed so tests can assert the `O(1/eps · log(eps·n))` space bound.
+    pub fn tuple_count(&mut self) -> usize {
+        self.fold_buffer();
+        self.tuples.len()
+    }
+
+    /// Records one observation. Amortized O(1): values are buffered and
+    /// folded into the summary every `O(1/eps)` calls. Non-finite values are
+    /// rejected with a panic — a NaN would poison every later comparison.
+    pub fn observe(&mut self, v: f64) {
+        assert!(v.is_finite(), "quantile sketch observation must be finite");
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.buffer.push(v);
+        if self.buffer.len() >= self.buffer_cap {
+            self.fold_buffer();
+        }
+    }
+
+    /// Answers the `q`-quantile (`q ∈ [0, 1]`) within `eps` rank error;
+    /// `None` when empty. `query(0.0)` / `query(1.0)` return the exact
+    /// min / max.
+    pub fn query(&mut self, q: f64) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
+        if self.is_empty() {
+            return None;
+        }
+        if q == 0.0 {
+            return Some(self.min);
+        }
+        if q == 1.0 {
+            return Some(self.max);
+        }
+        self.fold_buffer();
+        let n = self.count as f64;
+        // Target rank in 1..=n, and the slack the invariant guarantees.
+        let r = (q * n).ceil().max(1.0);
+        let limit = r + (self.eps * n).floor();
+        let mut rmin: u64 = 0;
+        for i in 0..self.tuples.len() {
+            rmin += self.tuples[i].g;
+            let next_rmax = match self.tuples.get(i + 1) {
+                Some(next) => rmin + next.g + next.delta,
+                // Last tuple is the max: its rank is exact.
+                None => return Some(self.tuples[i].v),
+            };
+            // The first tuple whose successor could overshoot the tolerance
+            // band is the answer: its own rank interval contains r ± eps·n.
+            if (next_rmax as f64) > limit {
+                return Some(self.tuples[i].v);
+            }
+        }
+        unreachable!("non-empty sketch always yields a tuple");
+    }
+
+    /// Convenience: several quantiles in one pass over the summary.
+    pub fn quantiles(&mut self, qs: &[f64]) -> Vec<Option<f64>> {
+        qs.iter().map(|&q| self.query(q)).collect()
+    }
+
+    /// Folds `other` into `self`. Rank-interval widths add across the merge,
+    /// so shards each within `eps·n_i` combine to within `eps·Σn_i` — the
+    /// same contract as `Metrics::merge` for message counters. Panics if the
+    /// sketches were built with different `eps`.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            (self.eps - other.eps).abs() < 1e-12,
+            "cannot merge sketches with different eps ({} vs {})",
+            self.eps,
+            other.eps
+        );
+        if other.is_empty() {
+            return;
+        }
+        // Other's buffered values are raw exact observations: replay them.
+        // Counts/min/max/sum for them come along with the replay.
+        let mut other_summary = Vec::new();
+        let mut other_summary_count = 0u64;
+        for t in &other.tuples {
+            other_summary.push(*t);
+            other_summary_count += t.g;
+        }
+        for &v in &other.buffer {
+            self.count += 1;
+            self.sum += v;
+            self.buffer.push(v);
+        }
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.fold_buffer();
+        if other_summary.is_empty() {
+            return;
+        }
+        self.count += other_summary_count;
+        self.sum += other.sum - other.buffer.iter().sum::<f64>();
+        self.tuples = combine(&self.tuples, &other_summary);
+        self.compress();
+    }
+
+    /// Drops every observation but keeps `eps` and capacity.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        self.buffer.clear();
+        self.count = 0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+        self.sum = 0.0;
+    }
+
+    /// Merges buffered raw observations into the tuple summary.
+    fn fold_buffer(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        self.buffer.sort_by(f64::total_cmp);
+        let mut merged = Vec::with_capacity(self.tuples.len() + self.buffer.len());
+        let mut bi = 0;
+        for t in &self.tuples {
+            while bi < self.buffer.len() && self.buffer[bi] <= t.v {
+                merged.push(Tuple {
+                    v: self.buffer[bi],
+                    g: 1,
+                    // A raw value inserted before summary tuple `t` is only
+                    // uncertain about how many of `t`'s covered items sit
+                    // below it: the standard GK insert bound.
+                    delta: (t.g + t.delta).saturating_sub(1),
+                });
+                bi += 1;
+            }
+            merged.push(*t);
+        }
+        while bi < self.buffer.len() {
+            // Past the last summary tuple: rank is exact.
+            merged.push(Tuple {
+                v: self.buffer[bi],
+                g: 1,
+                delta: 0,
+            });
+            bi += 1;
+        }
+        self.buffer.clear();
+        self.tuples = merged;
+        self.compress();
+    }
+
+    /// Greedily merges adjacent tuples while the GK invariant
+    /// `g_i + g_{i+1} + delta_{i+1} ≤ 2·eps·n` holds.
+    fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let threshold = (2.0 * self.eps * self.count as f64).floor() as u64;
+        let mut out: Vec<Tuple> = Vec::with_capacity(self.tuples.len());
+        out.push(self.tuples[0]);
+        // Keep the first and last tuples verbatim so the ends stay sharp.
+        for i in 1..self.tuples.len() {
+            let t = self.tuples[i];
+            let last = *out.last().expect("out is seeded");
+            let can_merge =
+                out.len() > 1 && i < self.tuples.len() - 1 && last.g + t.g + t.delta <= threshold;
+            if can_merge {
+                let last = out.last_mut().expect("out is seeded");
+                // Absorb `last` into `t`: the combined tuple keeps `t`'s
+                // value and uncertainty, covering both gs.
+                *last = Tuple {
+                    v: t.v,
+                    g: last.g + t.g,
+                    delta: t.delta,
+                };
+            } else {
+                out.push(t);
+            }
+        }
+        self.tuples = out;
+    }
+}
+
+/// Merge-sorts two tuple lists into one valid summary. A tuple keeps its own
+/// `(g, delta)` and inherits the rank uncertainty of the *other* summary's
+/// successor tuple — the items that summary cannot place on one side of it.
+fn combine(a: &[Tuple], b: &[Tuple]) -> Vec<Tuple> {
+    if a.is_empty() {
+        return b.to_vec();
+    }
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let take_a = match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) => x.v <= y.v,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => unreachable!(),
+        };
+        let (t, other_next) = if take_a {
+            let t = a[i];
+            i += 1;
+            (t, b.get(j))
+        } else {
+            let t = b[j];
+            j += 1;
+            (t, a.get(i))
+        };
+        let extra = match other_next {
+            Some(nxt) => (nxt.g + nxt.delta).saturating_sub(1),
+            None => 0,
+        };
+        out.push(Tuple {
+            v: t.v,
+            g: t.g,
+            delta: t.delta + extra,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact rank band of `v` in a sorted oracle: positions (1-based) that
+    /// `v` could occupy among equals.
+    fn rank_band(sorted: &[f64], v: f64) -> (f64, f64) {
+        let lo = sorted.partition_point(|&x| x < v);
+        let hi = sorted.partition_point(|&x| x <= v);
+        (lo as f64 + 1.0, hi as f64)
+    }
+
+    /// Asserts every decile answered by `sk` is within `eps·n` rank error of
+    /// the exact answer over `data`.
+    fn assert_rank_error(sk: &mut QuantileSketch, data: &[f64], eps: f64) {
+        let mut sorted = data.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len() as f64;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let got = sk.query(q).expect("non-empty");
+            let target = (q * n).ceil().max(1.0);
+            let (lo, hi) = rank_band(&sorted, got);
+            let err = if target < lo {
+                lo - target
+            } else if target > hi {
+                target - hi
+            } else {
+                0.0
+            };
+            assert!(
+                err <= eps * n + 1.0,
+                "q={q}: got {got} with rank band [{lo},{hi}], target {target}, \
+                 err {err} > eps·n = {}",
+                eps * n
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sketch_answers_none() {
+        let mut s = QuantileSketch::new(0.05);
+        assert!(s.is_empty());
+        assert_eq!(s.query(0.5), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut s = QuantileSketch::new(0.05);
+        s.observe(42.0);
+        assert_eq!(s.query(0.0), Some(42.0));
+        assert_eq!(s.query(0.5), Some(42.0));
+        assert_eq!(s.query(1.0), Some(42.0));
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), Some(42.0));
+    }
+
+    #[test]
+    fn ends_are_exact() {
+        let mut s = QuantileSketch::new(0.02);
+        for i in 0..50_000 {
+            s.observe((i * 7 % 50_000) as f64);
+        }
+        assert_eq!(s.query(0.0), Some(0.0));
+        assert_eq!(s.query(1.0), Some(49_999.0));
+        assert_eq!(s.min(), Some(0.0));
+        assert_eq!(s.max(), Some(49_999.0));
+    }
+
+    #[test]
+    fn uniform_stream_within_eps() {
+        let eps = 0.01;
+        let mut s = QuantileSketch::new(eps);
+        let mut data = Vec::new();
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for _ in 0..100_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = (x % 1_000_000) as f64;
+            data.push(v);
+            s.observe(v);
+        }
+        assert_rank_error(&mut s, &data, eps);
+    }
+
+    #[test]
+    fn sorted_adversary_within_eps() {
+        let eps = 0.01;
+        let mut s = QuantileSketch::new(eps);
+        let data: Vec<f64> = (0..100_000).map(|i| i as f64).collect();
+        for &v in &data {
+            s.observe(v);
+        }
+        assert_rank_error(&mut s, &data, eps);
+        let mut rev = QuantileSketch::new(eps);
+        for &v in data.iter().rev() {
+            rev.observe(v);
+        }
+        assert_rank_error(&mut rev, &data, eps);
+    }
+
+    #[test]
+    fn space_stays_sublinear() {
+        let eps = 0.01;
+        let mut s = QuantileSketch::new(eps);
+        for i in 0..1_000_000u64 {
+            s.observe((i.wrapping_mul(2654435761) % 1_000_003) as f64);
+        }
+        let tuples = s.tuple_count();
+        // O(1/eps · log(eps n)) with small constants: 1/0.01 · log2(10^4) ≈
+        // 1300. Allow generous headroom; the point is ≪ n.
+        assert!(
+            tuples < 10_000,
+            "summary kept {tuples} tuples for 1M observations"
+        );
+    }
+
+    #[test]
+    fn merge_of_shards_matches_pooled_data() {
+        let eps = 0.01;
+        let shards = 8;
+        let mut pooled = Vec::new();
+        let mut merged = QuantileSketch::new(eps);
+        for shard in 0..shards {
+            let mut s = QuantileSketch::new(eps);
+            let mut x: u64 = 0xdeadbeef + shard;
+            for _ in 0..20_000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let v = (x % 500_000) as f64;
+                pooled.push(v);
+                s.observe(v);
+            }
+            merged.merge(&s);
+        }
+        assert_eq!(merged.count(), pooled.len() as u64);
+        assert_rank_error(&mut merged, &pooled, eps);
+    }
+
+    #[test]
+    fn merge_empty_and_into_empty() {
+        let mut a = QuantileSketch::new(0.05);
+        let mut b = QuantileSketch::new(0.05);
+        a.merge(&b); // empty into empty
+        assert!(a.is_empty());
+        b.observe(1.0);
+        b.observe(2.0);
+        a.merge(&b); // into empty
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.query(1.0), Some(2.0));
+        let c = QuantileSketch::new(0.05);
+        a.merge(&c); // empty into non-empty
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different eps")]
+    fn merge_rejects_mismatched_eps() {
+        let mut a = QuantileSketch::new(0.01);
+        let b = QuantileSketch::new(0.02);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_observation_panics() {
+        let mut s = QuantileSketch::new(0.05);
+        s.observe(f64::NAN);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = QuantileSketch::new(0.05);
+        for i in 0..1000 {
+            s.observe(i as f64);
+        }
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.query(0.5), None);
+        s.observe(7.0);
+        assert_eq!(s.query(0.5), Some(7.0));
+    }
+
+    #[test]
+    fn sum_and_mean_are_exact() {
+        let mut s = QuantileSketch::new(0.02);
+        let mut sum = 0.0;
+        for i in 1..=10_000 {
+            s.observe(i as f64);
+            sum += i as f64;
+        }
+        assert!((s.sum() - sum).abs() < 1e-6);
+        assert!((s.mean().unwrap() - sum / 10_000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based validation of the quantile sketch against an exact sorted
+//! oracle: the `eps` rank-error guarantee must hold for uniform, zipfian and
+//! adversarially sorted inputs, and for arbitrary shardings of a stream
+//! merged back together (the telemetry registry folds per-thread sketches
+//! exactly this way).
+
+use dwrs_stats::QuantileSketch;
+use proptest::prelude::*;
+use proptest::rng::TestRng;
+
+/// Checks every 5%-ile of `sk` against the exact rank band of `data`.
+/// Allows `eps·n + 1` to absorb ceil/floor rounding at tiny n.
+fn assert_within_eps(sk: &mut QuantileSketch, data: &[f64], eps: f64) -> Result<(), TestCaseError> {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    for i in 0..=20 {
+        let q = i as f64 / 20.0;
+        let got = sk.query(q).expect("sketch is non-empty");
+        let lo = sorted.partition_point(|&x| x < got) as f64 + 1.0;
+        let hi = sorted.partition_point(|&x| x <= got) as f64;
+        let target = (q * n).ceil().max(1.0);
+        let err = if target < lo {
+            lo - target
+        } else if target > hi {
+            target - hi
+        } else {
+            0.0
+        };
+        prop_assert!(
+            err <= eps * n + 1.0,
+            "q={} answered {} (rank band [{},{}]), target rank {}, err > {}",
+            q,
+            got,
+            lo,
+            hi,
+            target,
+            eps * n
+        );
+    }
+    Ok(())
+}
+
+/// Zipf-ish heavy-tailed draw: rank r with probability ∝ 1/r over `universe`.
+fn zipf_draw(rng: &mut TestRng, universe: u64) -> f64 {
+    // Inverse-CDF on the harmonic weights via rejection-free scan is too
+    // slow; use the standard approximation u^(-1) shape: x = universe^u is
+    // heavy-tailed enough to stress the sketch's skew handling.
+    let u = rng.unit_f64();
+    (universe as f64).powf(u).floor()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn uniform_streams_respect_eps(
+        n in 200usize..12_000,
+        scale in 1u64..1_000_000,
+        eps_mil in 5u64..80,
+    ) {
+        let eps = eps_mil as f64 / 1000.0;
+        let mut rng = TestRng::from_seed(n as u64 ^ (scale << 20) ^ eps_mil);
+        let mut sk = QuantileSketch::new(eps);
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = (rng.next_u64() % scale.max(1)) as f64;
+            data.push(v);
+            sk.observe(v);
+        }
+        prop_assert_eq!(sk.count(), n as u64);
+        assert_within_eps(&mut sk, &data, eps)?;
+    }
+
+    #[test]
+    fn zipf_streams_respect_eps(
+        n in 200usize..12_000,
+        universe in 10u64..1_000_000,
+        eps_mil in 5u64..80,
+    ) {
+        let eps = eps_mil as f64 / 1000.0;
+        let mut rng = TestRng::from_seed((n as u64) << 32 ^ universe ^ eps_mil);
+        let mut sk = QuantileSketch::new(eps);
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = zipf_draw(&mut rng, universe);
+            data.push(v);
+            sk.observe(v);
+        }
+        assert_within_eps(&mut sk, &data, eps)?;
+    }
+
+    #[test]
+    fn sorted_adversaries_respect_eps(
+        n in 200usize..12_000,
+        eps_mil in 5u64..80,
+        descending in proptest::arbitrary::any::<bool>(),
+    ) {
+        let eps = eps_mil as f64 / 1000.0;
+        let mut sk = QuantileSketch::new(eps);
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        if descending {
+            for &v in data.iter().rev() { sk.observe(v); }
+        } else {
+            for &v in &data { sk.observe(v); }
+        }
+        assert_within_eps(&mut sk, &data, eps)?;
+    }
+
+    #[test]
+    fn merged_shards_respect_eps(
+        shards in 2usize..9,
+        per_shard in 100usize..3_000,
+        eps_mil in 10u64..60,
+    ) {
+        let eps = eps_mil as f64 / 1000.0;
+        let mut rng = TestRng::from_seed((shards as u64) << 48 ^ (per_shard as u64) << 8 ^ eps_mil);
+        let mut pooled = Vec::new();
+        let mut merged = QuantileSketch::new(eps);
+        for _ in 0..shards {
+            let mut sk = QuantileSketch::new(eps);
+            for _ in 0..per_shard {
+                let v = (rng.next_u64() % 100_000) as f64;
+                pooled.push(v);
+                sk.observe(v);
+            }
+            merged.merge(&sk);
+        }
+        prop_assert_eq!(merged.count(), pooled.len() as u64);
+        // Merge-of-shards must meet the same eps bound as a single sketch
+        // over the pooled stream.
+        assert_within_eps(&mut merged, &pooled, eps)?;
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_on_counts(
+        a_n in 1usize..2_000,
+        b_n in 1usize..2_000,
+    ) {
+        let eps = 0.02;
+        let mut rng = TestRng::from_seed((a_n as u64) << 32 ^ b_n as u64);
+        let mut a = QuantileSketch::new(eps);
+        let mut b = QuantileSketch::new(eps);
+        for _ in 0..a_n { a.observe((rng.next_u64() % 1000) as f64); }
+        for _ in 0..b_n { b.observe((rng.next_u64() % 1000) as f64); }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.count(), (a_n + b_n) as u64);
+        prop_assert_eq!(ab.query(0.0), ba.query(0.0));
+        prop_assert_eq!(ab.query(1.0), ba.query(1.0));
+    }
+}

@@ -1,0 +1,108 @@
+//! # dwrs-telemetry
+//!
+//! Observability layer for the dwrs runtime: a lock-cheap metrics
+//! [`Registry`] (atomic counters and gauges, sketch-backed ε-approximate
+//! histograms), fixed-capacity [`TraceRing`]s of structured events, and
+//! exposition rendering (Prometheus text / JSON) for the daemon's
+//! `TAG_METRICS` control frame.
+//!
+//! The design mirrors how the engines already account messages: hot paths
+//! record into thread-local state (an `Arc<Counter>` handle, a local
+//! [`dwrs_stats::QuantileSketch`]) and fold into shared state at batch
+//! boundaries,
+//! exactly like per-thread `Metrics` merging into a run total. A scrape
+//! reads relaxed atomics and short-lived mutexes — it never stalls the
+//! data plane.
+//!
+//! Process-wide instrumentation goes through [`global()`], so the engine
+//! site/coordinator loops, the sharded dispatcher and the tree tiers can
+//! meter themselves without threading a handle through every signature.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod names;
+pub mod registry;
+pub mod render;
+pub mod trace;
+
+pub use names::*;
+pub use registry::{summarize, Counter, Gauge, Histogram, Registry, HISTOGRAM_EPS};
+pub use render::{render_json, render_prometheus};
+pub use trace::{event_name, TraceKind, TraceRing, DEFAULT_RING_CAPACITY};
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One process's telemetry: the shared registry, the process-level trace
+/// ring, and the monotonic epoch every nanosecond timestamp is relative
+/// to.
+#[derive(Debug)]
+pub struct Telemetry {
+    /// The metric registry.
+    pub registry: Registry,
+    /// Process/daemon-level events (connections, ctrl errors, shutdown).
+    pub trace: TraceRing,
+    epoch: Instant,
+}
+
+impl Telemetry {
+    /// A fresh telemetry instance with its own epoch.
+    pub fn new() -> Self {
+        let epoch = Instant::now();
+        Self {
+            registry: Registry::new(),
+            trace: TraceRing::with_epoch(DEFAULT_RING_CAPACITY, epoch),
+            epoch,
+        }
+    }
+
+    /// The monotonic epoch; share it with per-stream [`TraceRing`]s so
+    /// all timestamps in one report are comparable.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Nanoseconds since the epoch.
+    pub fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-wide telemetry instance, created on first use. Engine
+/// loops, the dispatcher and the daemon all record here; the daemon's
+/// scrape handler snapshots it into a `MetricsReport`.
+pub fn global() -> &'static Telemetry {
+    static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+    GLOBAL.get_or_init(Telemetry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_is_stable_and_ticks() {
+        let t1 = global();
+        let t2 = global();
+        assert!(std::ptr::eq(t1, t2));
+        let a = t1.now_nanos();
+        let b = t1.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fresh_instances_are_isolated() {
+        let t = Telemetry::new();
+        t.registry.counter("x").add(5);
+        let u = Telemetry::new();
+        assert_eq!(u.registry.counter("x").get(), 0);
+        assert_eq!(t.registry.counter("x").get(), 5);
+    }
+}

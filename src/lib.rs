@@ -14,7 +14,8 @@
 //! | [`runtime`] | `dwrs-runtime` | concurrent site/coordinator engines (threads, loopback TCP) in flat and hierarchical topologies |
 //! | [`workloads`] | `dwrs-workloads` | stream generators incl. the lower-bound hard instances |
 //! | [`apps`] | `dwrs-apps` | residual heavy hitters (Thm. 4), L1 tracking (Thm. 6) + baselines, sliding-window extension |
-//! | [`stats`] | `dwrs-stats` | chi-square / KS / TV validation toolkit |
+//! | [`stats`] | `dwrs-stats` | chi-square / KS / TV validation toolkit, mergeable GK quantile sketch |
+//! | [`telemetry`] | `dwrs-telemetry` | metrics registry (counters, gauges, sketch-backed histograms), trace rings, Prometheus/JSON exposition |
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,7 @@ pub use dwrs_core as core;
 pub use dwrs_runtime as runtime;
 pub use dwrs_sim as sim;
 pub use dwrs_stats as stats;
+pub use dwrs_telemetry as telemetry;
 pub use dwrs_workloads as workloads;
 
 pub use dwrs_runtime::{

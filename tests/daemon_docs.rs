@@ -39,7 +39,7 @@ fn every_control_frame_is_documented() {
     let tags = wire_tags();
     assert_eq!(
         tags.len(),
-        9,
+        11,
         "control tag inventory changed — update this test and docs/DAEMON.md: {tags:?}"
     );
     let guide = repo_file("docs/DAEMON.md");
@@ -81,6 +81,77 @@ fn snapshot_entry_size_is_documented() {
             "`SNAPSHOT_ENTRY_BYTES` = {SNAPSHOT_ENTRY_BYTES} bytes"
         )),
         "docs/DAEMON.md does not state the {SNAPSHOT_ENTRY_BYTES}-byte snapshot entry size"
+    );
+}
+
+/// `"dwrs_..."` string value for every `pub const METRIC_...` in the
+/// telemetry name catalog.
+fn metric_names() -> Vec<String> {
+    let src = repo_file("crates/telemetry/src/names.rs");
+    let mut names = Vec::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if !line.starts_with("pub const METRIC_") {
+            continue;
+        }
+        let Some((_, rhs)) = line.split_once('"') else {
+            continue;
+        };
+        let Some((value, _)) = rhs.split_once('"') else {
+            continue;
+        };
+        names.push(value.to_string());
+    }
+    names
+}
+
+#[test]
+fn every_metric_name_is_documented() {
+    let names = metric_names();
+    assert!(
+        names.len() >= 18,
+        "metric name inventory shrank unexpectedly: {names:?}"
+    );
+    let guide = repo_file("docs/DAEMON.md");
+    for name in &names {
+        assert!(
+            guide.contains(&format!("`{name}`")),
+            "docs/DAEMON.md does not document the {name} metric"
+        );
+    }
+}
+
+#[test]
+fn every_trace_event_is_documented() {
+    let guide = repo_file("docs/DAEMON.md");
+    for kind in dwrs::telemetry::TraceKind::all() {
+        assert!(
+            guide.contains(&format!("| {} | `{}` |", kind.as_u8(), kind.name())),
+            "docs/DAEMON.md trace catalog is missing code {} ({})",
+            kind.as_u8(),
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn metrics_frame_is_cross_referenced() {
+    let guide = repo_file("docs/DAEMON.md");
+    for needle in [
+        "TAG_METRICS",
+        "TAG_METRICS_REPORT",
+        "dwrs top",
+        "dwrs metrics",
+    ] {
+        assert!(
+            guide.contains(needle),
+            "docs/DAEMON.md telemetry section is missing {needle}"
+        );
+    }
+    let arch = repo_file("docs/ARCHITECTURE.md");
+    assert!(
+        arch.contains("dwrs-telemetry"),
+        "docs/ARCHITECTURE.md does not describe the telemetry layer"
     );
 }
 

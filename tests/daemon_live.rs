@@ -1,6 +1,7 @@
 //! Integration: the long-lived daemon hosts concurrent named streams and
 //! answers live queries mid-run (the paper's continuous-monitoring model
-//! as a process), and a site reconnect preserves sample validity.
+//! as a process), a site reconnect preserves sample validity, and
+//! `TAG_METRICS` scrapes are monotone mid-run and agree with final totals.
 
 use std::thread;
 use std::time::Duration;
@@ -155,6 +156,117 @@ fn two_streams_answer_live_queries_while_running() {
     assert!(rel < 0.45, "final L1 estimate off: {}", fin_l1.estimate);
     assert!(daemon.shutdown().is_empty());
     assert_eq!(daemon.drained().len(), 2);
+}
+
+/// Satellite of the telemetry layer: `TAG_METRICS` scrapes answered
+/// while a stream runs must be monotone (the per-stream items watermark
+/// and query counter never go backwards, the report clock advances) and
+/// the final scrape must agree exactly with the drain snapshot's totals.
+/// All assertions are on the per-stream `StreamMetrics` section — the
+/// registry is process-global and shared with the other tests in this
+/// binary, so global counters are not comparable here.
+#[test]
+fn metrics_scrapes_are_monotone_and_match_final_totals() {
+    use dwrs::telemetry::TraceKind;
+
+    let per_site = 4_000u64;
+    let k = 2usize;
+    let daemon = Daemon::bind("127.0.0.1:0", DaemonConfig::default()).expect("bind");
+    let addr = daemon.local_addr();
+    let mut ctrl = CtrlClient::connect(addr).expect("ctrl");
+    ctrl.create("tele", k as u32, 8, "swor").expect("create");
+    let rcfg = RuntimeConfig::default();
+
+    let mut feeders = Vec::new();
+    for i in 0..k {
+        let client = AttachClient::attach(
+            addr,
+            "tele",
+            i,
+            swor_site(&SworConfig::new(8, k), 3, i),
+            &rcfg,
+        )
+        .expect("attach");
+        feeders.push(thread::spawn(move || {
+            feed_chunked(client, i, k as u64, per_site)
+        }));
+    }
+
+    // Scrape while feeding. Each round also issues one live query so the
+    // stream's latency sketch and query counter advance under our feet.
+    let mut last_items = 0u64;
+    let mut last_queries = 0u64;
+    let mut last_now = 0u64;
+    let mut queries_issued = 0u64;
+    let mut mid_run_seen = false;
+    loop {
+        let report = ctrl.metrics(16).expect("scrape");
+        assert!(report.now_nanos >= last_now, "report clock went backwards");
+        assert!(report.streams_created >= 1);
+        last_now = report.now_nanos;
+        let sec = report
+            .streams
+            .iter()
+            .find(|s| s.stream == "tele")
+            .expect("per-stream section");
+        assert_eq!(sec.query, "swor");
+        assert!(sec.items >= last_items, "items watermark went backwards");
+        assert!(sec.queries >= last_queries, "query counter went backwards");
+        assert!(sec.queue_depth <= sec.queue_capacity);
+        assert!(sec.sites_attached as usize + sec.sites_eof as usize <= k);
+        if sec.items > 0 && sec.items < 2 * per_site {
+            mid_run_seen = true;
+        }
+        let done = sec.items == 2 * per_site && sec.sites_eof as usize == k;
+        last_items = sec.items;
+        last_queries = sec.queries;
+        if done {
+            break;
+        }
+        ctrl.snapshot("tele", LiveQueryKind::CurrentSample, 0)
+            .expect("live query");
+        queries_issued += 1;
+        thread::sleep(Duration::from_millis(1));
+    }
+    assert!(mid_run_seen, "never scraped mid-run");
+    for f in feeders {
+        f.join().expect("feeder");
+    }
+
+    // Final scrape: totals agree with what was fed, the latency summary
+    // counts exactly the live queries we issued, and the trace ring holds
+    // the stream's lifecycle in order.
+    let report = ctrl.metrics(64).expect("final scrape");
+    let sec = report
+        .streams
+        .iter()
+        .find(|s| s.stream == "tele")
+        .expect("per-stream section")
+        .clone();
+    assert_eq!(sec.items, 2 * per_site);
+    assert_eq!(sec.sites_eof as usize, k);
+    assert_eq!(sec.sites_attached, 0);
+    assert_eq!(sec.queries, queries_issued);
+    let lat = sec.latency.as_ref().expect("latency summary");
+    assert_eq!(lat.count, queries_issued);
+    assert!(lat.p50 > 0.0);
+    assert!(lat.p99 >= lat.p50 && lat.max >= lat.p99);
+    let codes: Vec<u8> = sec.events.iter().map(|e| e.code).collect();
+    assert!(codes.contains(&TraceKind::Create.as_u8()), "create event");
+    assert!(codes.contains(&TraceKind::Attach.as_u8()), "attach event");
+    assert!(codes.contains(&TraceKind::Eof.as_u8()), "eof event");
+    for w in sec.events.windows(2) {
+        assert!(w[0].seq < w[1].seq, "trace seq not strictly increasing");
+        assert!(w[0].nanos <= w[1].nanos, "trace time not monotone");
+    }
+
+    // Drain and cross-check: the scrape saw the same watermark the drain
+    // snapshot reports, i.e. the telemetry path and the sampling path
+    // agree on the final totals.
+    let fin = ctrl.drain_stream("tele").expect("drain");
+    assert_eq!(fin.items, sec.items);
+    assert_eq!(u64::from(fin.sites_eof), u64::from(sec.sites_eof));
+    daemon.shutdown();
 }
 
 #[test]
