@@ -92,6 +92,32 @@ commands:
                       --refresh <seconds>   (default 1)
                       --iterations <n>      (default 0 = until stopped)
                       --events <n>          (default 4)
+  load         drive a daemon stream at a configured rate under a traffic
+               schedule, interleave live query workers, optionally execute
+               a seeded chaos plan (clean kills, connection drops, pauses),
+               and assert the post-run invariants (sample containment
+               across failover, monotone watermarks, error envelopes);
+               exits non-zero on any violation
+               flags: --connect <addr>  (omit to run an in-process daemon
+                                         for the duration of the run)
+                      --stream <name>          (default load)
+                      --writers <w>            (site slots, default 4)
+                      --s <sample size>        (default 64)
+                      --query {swor|l1[:eps[,delta]]|rhh[:eps[,delta]]
+                               |window[:len]}  (default swor)
+                      --rate <items/s>         (default 50k; magnitudes ok)
+                      --n <items>              (default 100k)
+                      --schedule {steady|bursty[:period_ms,duty_pct,burst]
+                                  |diurnal[:period_ms,amp]
+                                  |hotkey[:hot_pct]}     (default steady)
+                      --query-workers <q>      (default 2)
+                      --faults <f>    (default 0 = chaos off; faults round-
+                                       robin across writers, actions cycle
+                                       kill-clean, kill-drop, pause)
+                      --seed <seed>            (default 1)
+                      --batch --queue          (attach-client batching)
+                      --format {text|json}     (default text)
+                      --bench <path>  (append the JSON row to a file)
   workload     print a generated workload as CSV (id,weight)
                flags: --kind --n --seed
   track-l1     compare the L1 trackers on a unit stream

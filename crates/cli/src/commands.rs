@@ -40,6 +40,7 @@ pub fn dispatch<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
         "query" => cmd_query(p, out),
         "metrics" => cmd_metrics(p, out),
         "top" => cmd_top(p, out),
+        "load" => cmd_load(p, out),
         "workload" => cmd_workload(p, out),
         "track-l1" => cmd_track_l1(p, out),
         "residual-hh" => cmd_residual_hh(p, out),
@@ -1022,6 +1023,110 @@ fn print_snapshot<W: Write>(out: &mut W, stream: &str, snap: &LiveSnapshot, form
         )
         .ok();
     }
+}
+
+/// `load`: a complete load/chaos experiment against a daemon — paced
+/// writers under a traffic schedule, interleaved query workers, an
+/// optional seeded fault plan, and the post-run invariant battery. The
+/// command is a thin veneer over [`dwrs_load::run_load`]; any invariant
+/// violation makes it exit non-zero so CI can gate on a run.
+fn cmd_load<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {
+    let format = p.str_or("format", "text");
+    if format != "text" && format != "json" {
+        return Err(ArgError(format!(
+            "--format must be text or json, got '{format}'"
+        )));
+    }
+    let schedule_spec = p.str_or("schedule", "steady");
+    let faults = p.u64_or("faults", 0)? as usize;
+    let mut cfg = dwrs_load::LoadConfig::new(&p.str_or("stream", "load"));
+    cfg.connect = p.flags.get("connect").cloned();
+    cfg.writers = p.u64_or("writers", cfg.writers as u64)? as usize;
+    cfg.s = p.u64_or("s", cfg.s as u64)? as usize;
+    cfg.query = p.str_or("query", &cfg.query);
+    cfg.rate = p.magnitude_or("rate", cfg.rate)?;
+    cfg.n = p.magnitude_or("n", cfg.n)?;
+    cfg.schedule = dwrs_load::Schedule::parse(&schedule_spec).map_err(ArgError)?;
+    cfg.query_workers = p.u64_or("query-workers", cfg.query_workers as u64)? as usize;
+    cfg.chaos = (faults > 0).then_some(dwrs_load::ChaosConfig { faults });
+    cfg.seed = p.u64_or("seed", cfg.seed)?;
+    cfg.runtime.batch_max = p.u64_or("batch", cfg.runtime.batch_max as u64)?.max(1) as usize;
+    cfg.runtime.queue_capacity =
+        p.u64_or("queue", cfg.runtime.queue_capacity as u64)?.max(1) as usize;
+
+    let report = dwrs_load::run_load(&cfg).map_err(|e| ArgError(format!("load failed: {e}")))?;
+
+    if let Some(path) = p.flags.get("bench") {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| ArgError(format!("cannot open bench file '{path}': {e}")))?;
+        writeln!(f, "{}", report.to_json())
+            .map_err(|e| ArgError(format!("cannot append to '{path}': {e}")))?;
+    }
+
+    if format == "json" {
+        writeln!(out, "{}", report.to_json()).ok();
+    } else {
+        writeln!(
+            out,
+            "load: {} writers at {} items/s ({}), {} items, query {}",
+            report.writers, report.rate, report.schedule, report.n, cfg.query
+        )
+        .ok();
+        writeln!(
+            out,
+            "fed {} items in {:.3} s: {:.0} items/s achieved ({:+.2}% vs target), \
+             {} delivered",
+            report.fed,
+            report.elapsed_s,
+            report.achieved_rate,
+            report.rate_error_pct,
+            report.delivered
+        )
+        .ok();
+        writeln!(
+            out,
+            "queries: {} answered, {} scrapes, {} errors",
+            report.queries, report.scrapes, report.query_errors
+        )
+        .ok();
+        if let Some(l) = &report.latency {
+            writeln!(
+                out,
+                "query latency ({} obs): p50 {:.1} us, p90 {:.1} us, p99 {:.1} us, \
+                 max {:.1} us",
+                l.count, l.p50_us, l.p90_us, l.p99_us, l.max_us
+            )
+            .ok();
+        }
+        for e in &report.events {
+            writeln!(
+                out,
+                "chaos: site {} {} at {} items (dwell {} ms, snapshot at {} stream \
+                 items, {} retries)",
+                e.site,
+                e.action.name(),
+                e.at_items,
+                e.dwell_ms,
+                e.snapshot_items,
+                e.retries
+            )
+            .ok();
+        }
+        if report.invariants_ok() {
+            writeln!(out, "invariants: all passed").ok();
+        }
+    }
+    if !report.invariants_ok() {
+        return Err(ArgError(format!(
+            "invariant violations: {}",
+            report.violations.join("; ")
+        )));
+    }
+    Ok(())
 }
 
 fn cmd_workload<W: Write>(p: &Parsed, out: &mut W) -> Result<(), ArgError> {

@@ -1,0 +1,46 @@
+//! Load harness for the sampling daemon: rate-controlled traffic,
+//! latency percentiles, and deterministic chaos.
+//!
+//! The paper's guarantee — a valid weighted sample-without-replacement at
+//! *every* point in the stream — is only worth stating if it survives
+//! hostile conditions: sites that burst, stall, crash mid-batch, and
+//! reconnect while queries keep arriving. This crate turns that into a
+//! harness:
+//!
+//! - **Writers** drive a live daemon at a configured items/s under a
+//!   pluggable [`Schedule`] (steady, bursty, diurnal, adversarial
+//!   hot-key), paced by absolute integer arithmetic
+//!   ([`Pacer`]/[`SchedulePacer`]) so the achieved rate never drifts
+//!   from the target.
+//! - **Query workers** interleave live `Query`/`Metrics` frames and fold
+//!   each response latency into a per-worker
+//!   [`dwrs_stats::QuantileSketch`], merged at the end — percentiles
+//!   without storing a single latency.
+//! - **Chaos** executes a seeded, bit-reproducible [`FaultPlan`]:
+//!   clean detach/reattach, connection drops without close, and feed
+//!   pauses, with a controller thread snapshotting the stream
+//!   mid-outage.
+//! - **Invariants** are asserted after the run — mid-outage snapshots
+//!   are contained in the final sample (`merge_samples` surfaces nothing
+//!   new), watermarks only move forward across scrapes, and estimates
+//!   stay inside their error envelopes. A violation fails the run, so
+//!   the harness is a test, not just a meter.
+//!
+//! Entry point: build a [`LoadConfig`], call [`run_load`], inspect the
+//! [`LoadReport`]. The `dwrs load` CLI command is a thin veneer over
+//! exactly that.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod pacer;
+pub mod plan;
+pub mod report;
+pub mod runner;
+pub mod schedule;
+
+pub use pacer::{Pacer, SchedulePacer};
+pub use plan::{Fault, FaultAction, FaultPlan, FAULT_NAMES};
+pub use report::{ChaosEvent, LatencySummary, LoadReport};
+pub use runner::{run_load, ChaosConfig, LoadConfig};
+pub use schedule::{Schedule, HOT_WEIGHT, SCHEDULE_NAMES};

@@ -1,0 +1,219 @@
+//! Rate pacing: converting elapsed wall time into an item quota.
+//!
+//! The pacer is *absolute*, not incremental: both directions are computed
+//! from the run's start instant, so rounding never accumulates. At any
+//! elapsed time the quota is `⌊elapsed · rate⌋` exactly (in integer
+//! nanosecond arithmetic for the steady path), and the inverse —
+//! "when is item `n` due?" — is `⌈n / rate⌉` in nanoseconds. Feeding
+//! `quota − fed` items and sleeping until the next deadline holds any rate
+//! from 1 item/s to 1e9 items/s without drift or overflow.
+
+use std::time::Duration;
+
+use crate::schedule::Schedule;
+
+const NANOS_PER_SEC: u128 = 1_000_000_000;
+
+/// A constant-rate pacer over integer nanosecond arithmetic.
+#[derive(Clone, Copy, Debug)]
+pub struct Pacer {
+    rate: u64,
+}
+
+impl Pacer {
+    /// Creates a pacer targeting `rate` items per second.
+    ///
+    /// # Panics
+    /// Panics if `rate` is zero.
+    pub fn new(rate: u64) -> Pacer {
+        assert!(rate > 0, "pacer rate must be positive");
+        Pacer { rate }
+    }
+
+    /// The configured rate in items per second.
+    pub fn rate(&self) -> u64 {
+        self.rate
+    }
+
+    /// How many items should have been sent by `elapsed`:
+    /// `⌊elapsed · rate⌋`. Saturates instead of overflowing at
+    /// astronomical `elapsed × rate` combinations.
+    pub fn due_by(&self, elapsed: Duration) -> u64 {
+        let due = elapsed
+            .as_nanos()
+            .checked_mul(u128::from(self.rate))
+            .map(|n| n / NANOS_PER_SEC)
+            .unwrap_or(u128::MAX);
+        u64::try_from(due).unwrap_or(u64::MAX)
+    }
+
+    /// The earliest elapsed time at which item index `n` (0-based) is due:
+    /// the inverse of [`Pacer::due_by`], so `due_by(deadline(n)) > n`
+    /// always holds and a sender that sleeps until `deadline(fed)` never
+    /// stalls.
+    pub fn deadline(&self, n: u64) -> Duration {
+        // Item n is due once ⌊t·rate⌋ ≥ n+1, i.e. t ≥ (n+1)/rate seconds.
+        let nanos = (u128::from(n) + 1)
+            .saturating_mul(NANOS_PER_SEC)
+            .div_ceil(u128::from(self.rate));
+        duration_from_nanos_u128(nanos)
+    }
+}
+
+/// A pacer whose instantaneous rate follows a [`Schedule`] shape.
+///
+/// Steady and hot-key schedules take the exact integer path of [`Pacer`];
+/// shaped schedules convert elapsed wall time to "virtual time" through
+/// the schedule's closed-form [`Schedule::cumulative`] integral, so the
+/// quota is still computed absolutely from the start instant and full
+/// periods land on exactly `rate × period` items.
+#[derive(Clone, Debug)]
+pub struct SchedulePacer {
+    pacer: Pacer,
+    schedule: Schedule,
+}
+
+impl SchedulePacer {
+    /// Creates a shaped pacer with mean `rate` items per second.
+    ///
+    /// # Panics
+    /// Panics if `rate` is zero.
+    pub fn new(rate: u64, schedule: Schedule) -> SchedulePacer {
+        SchedulePacer {
+            pacer: Pacer::new(rate),
+            schedule,
+        }
+    }
+
+    /// The mean rate in items per second.
+    pub fn rate(&self) -> u64 {
+        self.pacer.rate()
+    }
+
+    /// The schedule shaping this pacer.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// How many items should have been sent by `elapsed` under the shaped
+    /// rate.
+    pub fn due_by(&self, elapsed: Duration) -> u64 {
+        match self.schedule {
+            Schedule::Steady | Schedule::HotKey { .. } => self.pacer.due_by(elapsed),
+            _ => {
+                let virtual_s = self.schedule.cumulative(elapsed.as_secs_f64());
+                let due = virtual_s * self.pacer.rate() as f64;
+                if !due.is_finite() || due <= 0.0 {
+                    0
+                } else if due >= u64::MAX as f64 {
+                    u64::MAX
+                } else {
+                    due as u64
+                }
+            }
+        }
+    }
+
+    /// How long a sender that has fed `n` items should sleep before
+    /// re-checking the quota. Exact for steady-rate schedules (the precise
+    /// gap to item `n`'s deadline); for shaped schedules a short bounded
+    /// nap, since the instantaneous rate varies — the sender re-checks
+    /// [`SchedulePacer::due_by`] after waking, so a conservative hint only
+    /// costs wake-ups, never correctness.
+    pub fn sleep_hint(&self, n: u64, elapsed: Duration) -> Duration {
+        match self.schedule {
+            Schedule::Steady | Schedule::HotKey { .. } => {
+                self.pacer.deadline(n).saturating_sub(elapsed)
+            }
+            _ => {
+                // Shaped path: take one steady step as the hint, capped at
+                // 2 ms so a trough never oversleeps into the next burst.
+                let step = self.pacer.deadline(n).saturating_sub(elapsed);
+                step.min(Duration::from_millis(2))
+                    .max(Duration::from_micros(50))
+            }
+        }
+    }
+}
+
+/// Builds a `Duration` from a u128 nanosecond count, saturating at the
+/// maximum representable duration.
+fn duration_from_nanos_u128(nanos: u128) -> Duration {
+    let secs = nanos / NANOS_PER_SEC;
+    let sub = (nanos % NANOS_PER_SEC) as u32;
+    match u64::try_from(secs) {
+        Ok(s) => Duration::new(s, sub),
+        Err(_) => Duration::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_quota_at_whole_seconds() {
+        for rate in [1, 7, 1_000, 1_000_000_000] {
+            let p = Pacer::new(rate);
+            for secs in [1u64, 2, 10, 3600] {
+                assert_eq!(p.due_by(Duration::from_secs(secs)), rate * secs);
+            }
+        }
+    }
+
+    #[test]
+    fn quota_saturates_instead_of_overflowing() {
+        let p = Pacer::new(1_000_000_000);
+        assert_eq!(p.due_by(Duration::MAX), u64::MAX);
+        assert_eq!(p.due_by(Duration::ZERO), 0);
+    }
+
+    #[test]
+    fn deadline_is_the_inverse_of_due_by() {
+        for rate in [1u64, 3, 1_000, 999_999_937, 1_000_000_000] {
+            let p = Pacer::new(rate);
+            for n in [0u64, 1, 2, 999, 1_000_000] {
+                let d = p.deadline(n);
+                assert!(p.due_by(d) > n, "rate {rate}, item {n}");
+                if let Some(before) = d.checked_sub(Duration::from_nanos(1)) {
+                    assert!(p.due_by(before) <= n, "rate {rate}, item {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_saturates_at_extreme_indices() {
+        let p = Pacer::new(1);
+        // u64::MAX items at 1/s lands just inside Duration's range.
+        let d = p.deadline(u64::MAX - 1);
+        assert!(d <= Duration::MAX);
+        assert!(d.as_secs() >= u64::MAX - 1);
+    }
+
+    #[test]
+    fn shaped_quota_matches_steady_on_full_periods() {
+        let sp = SchedulePacer::new(10_000, Schedule::parse("bursty:100,20,4").unwrap());
+        // 10 full 100 ms periods = 1 s = exactly 10_000 items.
+        assert_eq!(sp.due_by(Duration::from_secs(1)), 10_000);
+        let dp = SchedulePacer::new(4_000, Schedule::parse("diurnal:200,0.9").unwrap());
+        let due = dp.due_by(Duration::from_secs(2));
+        assert!(
+            (due as i64 - 8_000).unsigned_abs() <= 1,
+            "diurnal full periods: {due}"
+        );
+    }
+
+    #[test]
+    fn shaped_quota_is_monotone() {
+        for spec in ["bursty:50,30,3", "diurnal:80,0.8"] {
+            let sp = SchedulePacer::new(50_000, Schedule::parse(spec).unwrap());
+            let mut last = 0;
+            for ms in 0..500 {
+                let due = sp.due_by(Duration::from_millis(ms));
+                assert!(due >= last, "{spec} at {ms} ms");
+                last = due;
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Seeded fault plans: deterministic chaos.
+//!
+//! A [`FaultPlan`] is a pure function of `(seed, sites, per_site_items,
+//! faults)` — the same inputs always produce the bit-identical plan, so a
+//! failing chaos run reproduces from nothing but its seed. Faults trigger
+//! on a writer's *fed-item watermark* (not wall time), which keeps the
+//! injection point deterministic even when scheduling jitter shifts the
+//! wall clock.
+
+/// Every fault action name, for docs and doc-sync tests.
+pub const FAULT_NAMES: [&str; 3] = ["kill-clean", "kill-drop", "pause"];
+
+/// What the chaos controller does to a writer at its trigger point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Detach at a frame boundary (resumable close), dwell, then
+    /// reattach to the same site slot with retry-with-backoff.
+    KillClean,
+    /// Drop the TCP connection without a clean close — models a crashed
+    /// site; any batched-but-unflushed items are lost, and the writer
+    /// restarts with a fresh site incarnation.
+    KillDrop,
+    /// Pause the feed for the dwell without touching the connection —
+    /// models a stalled site; the daemon sees silence, not a close.
+    Pause,
+}
+
+impl FaultAction {
+    /// The action's plan/report name (`kill-clean` | `kill-drop` |
+    /// `pause`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultAction::KillClean => FAULT_NAMES[0],
+            FaultAction::KillDrop => FAULT_NAMES[1],
+            FaultAction::Pause => FAULT_NAMES[2],
+        }
+    }
+}
+
+/// One planned fault: at `at_items` fed items, writer `site` performs
+/// `action` and stays down (or silent) for `dwell_ms`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// Writer (site index) the fault targets.
+    pub site: usize,
+    /// Fed-item watermark of that writer at which the fault fires.
+    pub at_items: u64,
+    /// What happens at the trigger point.
+    pub action: FaultAction,
+    /// Outage / silence duration in milliseconds.
+    pub dwell_ms: u64,
+}
+
+/// A deterministic sequence of faults, ordered by `(site, at_items)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed the plan was generated from.
+    pub seed: u64,
+    /// The planned faults, sorted by `(site, at_items)`.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Generates the plan for `faults` faults across `sites` writers each
+    /// feeding `per_site_items` items. Pure and deterministic: identical
+    /// arguments yield a bit-identical plan.
+    ///
+    /// Sites are assigned round-robin (so any plan with ≥ 2 faults over
+    /// ≥ 2 sites kills at least 2 distinct sites) and actions cycle
+    /// kill-clean → kill-drop → pause. Trigger watermarks are drawn in
+    /// the middle 10–80% of the per-site feed so every fault fires
+    /// mid-stream, and same-site triggers are spread apart so a writer
+    /// has fed real traffic between consecutive faults.
+    pub fn generate(seed: u64, sites: usize, per_site_items: u64, faults: usize) -> FaultPlan {
+        let mut rng = seed;
+        let mut out = Vec::with_capacity(faults);
+        let lo = per_site_items / 10;
+        let span = (per_site_items * 7 / 10).max(1);
+        for f in 0..faults {
+            let site = f % sites.max(1);
+            let action = match f % 3 {
+                0 => FaultAction::KillClean,
+                1 => FaultAction::KillDrop,
+                _ => FaultAction::Pause,
+            };
+            let at_items = lo + splitmix64(&mut rng) % span;
+            let dwell_ms = 5 + splitmix64(&mut rng) % 35;
+            out.push(Fault {
+                site,
+                at_items,
+                action,
+                dwell_ms,
+            });
+        }
+        out.sort_by_key(|f| (f.site, f.at_items));
+        // Separate same-site triggers so consecutive faults never collide
+        // on one watermark (a writer checks triggers between batches).
+        let gap = (per_site_items / 50).max(1);
+        for i in 1..out.len() {
+            if out[i].site == out[i - 1].site && out[i].at_items < out[i - 1].at_items + gap {
+                out[i].at_items = out[i - 1].at_items + gap;
+            }
+        }
+        FaultPlan { seed, faults: out }
+    }
+
+    /// The faults targeting one writer, in trigger order.
+    pub fn for_site(&self, site: usize) -> Vec<Fault> {
+        self.faults
+            .iter()
+            .filter(|f| f.site == site)
+            .copied()
+            .collect()
+    }
+
+    /// How many distinct sites this plan kills (clean or drop) — the
+    /// chaos acceptance bar requires at least 2.
+    pub fn distinct_kill_sites(&self) -> usize {
+        let mut sites: Vec<usize> = self
+            .faults
+            .iter()
+            .filter(|f| f.action != FaultAction::Pause)
+            .map(|f| f.site)
+            .collect();
+        sites.sort_unstable();
+        sites.dedup();
+        sites.len()
+    }
+}
+
+/// SplitMix64 step — the same tiny deterministic generator the vendored
+/// proptest and the driver's seed derivation use.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::generate(42, 4, 10_000, 6);
+        let b = FaultPlan::generate(42, 4, 10_000, 6);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(43, 4, 10_000, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn triggers_fire_mid_stream() {
+        let plan = FaultPlan::generate(7, 3, 9_000, 9);
+        assert_eq!(plan.faults.len(), 9);
+        for f in &plan.faults {
+            assert!(f.at_items >= 900, "{f:?}");
+            assert!(f.at_items < 9_000, "{f:?}");
+            assert!(f.dwell_ms >= 5 && f.dwell_ms < 40, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn kills_at_least_two_distinct_sites() {
+        for seed in 0..20 {
+            let plan = FaultPlan::generate(seed, 4, 5_000, 4);
+            assert!(plan.distinct_kill_sites() >= 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn same_site_triggers_are_separated() {
+        let plan = FaultPlan::generate(99, 2, 10_000, 8);
+        for site in 0..2 {
+            let faults = plan.for_site(site);
+            for pair in faults.windows(2) {
+                assert!(pair[1].at_items > pair[0].at_items, "{pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn action_names_cover_the_catalog() {
+        let named: Vec<&str> = [
+            FaultAction::KillClean,
+            FaultAction::KillDrop,
+            FaultAction::Pause,
+        ]
+        .iter()
+        .map(|a| a.name())
+        .collect();
+        assert_eq!(named, FAULT_NAMES);
+    }
+}

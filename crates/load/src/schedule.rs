@@ -1,0 +1,321 @@
+//! Traffic schedules: how the target rate is shaped over time.
+//!
+//! A [`Schedule`] is a deterministic rate *shape* with mean 1: the pacer
+//! multiplies it by the configured items/s, so every schedule delivers the
+//! same total item count over full periods — only the arrival pattern
+//! differs. The shapes are closed-form integrable, which is what lets the
+//! pacer compute "items due by `t`" exactly instead of accumulating
+//! per-tick rounding drift (see [`crate::pacer::SchedulePacer`]).
+
+use std::f64::consts::TAU;
+
+/// Every schedule name the parser accepts, for docs and doc-sync tests.
+pub const SCHEDULE_NAMES: [&str; 4] = ["steady", "bursty", "diurnal", "hotkey"];
+
+/// A deterministic, mean-1 rate shape.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Schedule {
+    /// Constant rate: multiplier 1 at every instant.
+    Steady,
+    /// Square-wave bursts: multiplier `burst` for the first
+    /// `duty_pct`% of every period, and a compensating low multiplier
+    /// `(100 − duty_pct·burst)/(100 − duty_pct)` for the rest, so each
+    /// full period integrates to exactly the configured mean.
+    Bursty {
+        /// Burst period in milliseconds.
+        period_ms: u64,
+        /// Percentage of the period spent bursting (`0 < duty_pct < 100`).
+        duty_pct: u32,
+        /// Rate multiplier during the burst (`1 ≤ burst ≤ 100/duty_pct`).
+        burst: f64,
+    },
+    /// A compressed day: multiplier `1 + amp·sin(2πt/period)`, the
+    /// smooth peak-and-trough profile of user-facing traffic. Integrates
+    /// to the configured mean over every full period.
+    Diurnal {
+        /// Cycle period in milliseconds.
+        period_ms: u64,
+        /// Peak-to-mean amplitude (`0 ≤ amp < 1`; the trough rate is
+        /// `1 − amp` of the mean, so it never goes negative).
+        amp: f64,
+    },
+    /// Adversarial hot keys: the *rate* is steady, but `hot_pct`% of
+    /// items carry [`HOT_WEIGHT`]× weight — the worst case for the
+    /// sampler's level/epoch machinery and for residual-heavy-hitter
+    /// queries, since a few keys dominate the total weight.
+    HotKey {
+        /// Percentage of items that are heavy (`0 < hot_pct ≤ 100`).
+        hot_pct: u32,
+    },
+}
+
+/// Weight of a hot item under [`Schedule::HotKey`] (cold items weigh 1).
+pub const HOT_WEIGHT: f64 = 1_000.0;
+
+impl Schedule {
+    /// The schedule's parse name (`steady` | `bursty` | `diurnal` |
+    /// `hotkey`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Schedule::Steady => "steady",
+            Schedule::Bursty { .. } => "bursty",
+            Schedule::Diurnal { .. } => "diurnal",
+            Schedule::HotKey { .. } => "hotkey",
+        }
+    }
+
+    /// Parses a `name[:params]` spec (the CLI `--schedule` syntax):
+    /// `steady`, `bursty[:period_ms[,duty_pct[,burst]]]`,
+    /// `diurnal[:period_ms[,amp]]`, `hotkey[:hot_pct]`.
+    ///
+    /// ```
+    /// use dwrs_load::Schedule;
+    /// assert_eq!(Schedule::parse("steady").unwrap(), Schedule::Steady);
+    /// let b = Schedule::parse("bursty:500,20,4").unwrap();
+    /// assert_eq!(b.name(), "bursty");
+    /// assert!(Schedule::parse("bursty:500,20,99").is_err()); // mean > 1
+    /// ```
+    pub fn parse(spec: &str) -> Result<Schedule, String> {
+        let (name, params) = match spec.split_once(':') {
+            Some((n, p)) => (n, Some(p)),
+            None => (spec, None),
+        };
+        let parts: Vec<&str> = params.map(|p| p.split(',').collect()).unwrap_or_default();
+        let num = |ix: usize, default: f64| -> Result<f64, String> {
+            match parts.get(ix) {
+                None => Ok(default),
+                Some(v) => v
+                    .trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("schedule parameter '{v}' is not a number")),
+            }
+        };
+        let sched = match name {
+            "steady" => {
+                if params.is_some() {
+                    return Err("steady takes no parameters".into());
+                }
+                Schedule::Steady
+            }
+            "bursty" => Schedule::Bursty {
+                period_ms: num(0, 1_000.0)? as u64,
+                duty_pct: num(1, 20.0)? as u32,
+                burst: num(2, 4.0)?,
+            },
+            "diurnal" => Schedule::Diurnal {
+                period_ms: num(0, 10_000.0)? as u64,
+                amp: num(1, 0.8)?,
+            },
+            "hotkey" => Schedule::HotKey {
+                hot_pct: num(0, 10.0)? as u32,
+            },
+            other => {
+                return Err(format!(
+                    "unknown schedule '{other}' (expected {})",
+                    SCHEDULE_NAMES.join("|")
+                ))
+            }
+        };
+        sched.validate()?;
+        Ok(sched)
+    }
+
+    /// Rejects degenerate parameters (zero periods, negative-rate
+    /// troughs, bursts whose compensating low rate would be negative).
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Schedule::Steady => Ok(()),
+            Schedule::Bursty {
+                period_ms,
+                duty_pct,
+                burst,
+            } => {
+                if period_ms == 0 {
+                    return Err("bursty period must be positive".into());
+                }
+                if duty_pct == 0 || duty_pct >= 100 {
+                    return Err(format!(
+                        "bursty duty must be in 1..=99 percent, got {duty_pct}"
+                    ));
+                }
+                if !burst.is_finite() || burst < 1.0 {
+                    return Err(format!("bursty multiplier must be >= 1, got {burst}"));
+                }
+                if burst * f64::from(duty_pct) > 100.0 {
+                    return Err(format!(
+                        "bursty multiplier {burst} over a {duty_pct}% duty exceeds the mean \
+                         (need burst <= {:.2})",
+                        100.0 / f64::from(duty_pct)
+                    ));
+                }
+                Ok(())
+            }
+            Schedule::Diurnal { period_ms, amp } => {
+                if period_ms == 0 {
+                    return Err("diurnal period must be positive".into());
+                }
+                if !amp.is_finite() || !(0.0..1.0).contains(&amp) {
+                    return Err(format!("diurnal amplitude must be in [0, 1), got {amp}"));
+                }
+                Ok(())
+            }
+            Schedule::HotKey { hot_pct } => {
+                if hot_pct == 0 || hot_pct > 100 {
+                    return Err(format!(
+                        "hotkey percentage must be in 1..=100, got {hot_pct}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Instantaneous rate multiplier at `t` seconds into the run.
+    /// Non-negative for every valid schedule; mean 1 over full periods.
+    pub fn multiplier(&self, t: f64) -> f64 {
+        match *self {
+            Schedule::Steady | Schedule::HotKey { .. } => 1.0,
+            Schedule::Bursty {
+                period_ms,
+                duty_pct,
+                burst,
+            } => {
+                let period = period_ms as f64 / 1e3;
+                let duty = f64::from(duty_pct) / 100.0;
+                let phase = t.rem_euclid(period);
+                if phase < duty * period {
+                    burst
+                } else {
+                    bursty_low(duty, burst)
+                }
+            }
+            Schedule::Diurnal { period_ms, amp } => {
+                let period = period_ms as f64 / 1e3;
+                1.0 + amp * (TAU * t / period).sin()
+            }
+        }
+    }
+
+    /// The exact integral `∫₀ᵗ multiplier(x) dx` in seconds — the shaped
+    /// "virtual time" the pacer converts to an item quota. Closed form,
+    /// so there is no accumulated per-tick drift: full periods contribute
+    /// exactly their wall length (mean 1).
+    pub fn cumulative(&self, t: f64) -> f64 {
+        match *self {
+            Schedule::Steady | Schedule::HotKey { .. } => t,
+            Schedule::Bursty {
+                period_ms,
+                duty_pct,
+                burst,
+            } => {
+                let period = period_ms as f64 / 1e3;
+                let duty = f64::from(duty_pct) / 100.0;
+                let low = bursty_low(duty, burst);
+                let full = (t / period).floor();
+                let phase = t - full * period;
+                // One full period integrates to duty·burst + (1−duty)·low
+                // = 1 period exactly, by the low-rate construction.
+                let head =
+                    phase.min(duty * period) * burst + (phase - duty * period).max(0.0) * low;
+                full * period + head
+            }
+            Schedule::Diurnal { period_ms, amp } => {
+                let period = period_ms as f64 / 1e3;
+                t + amp * period / TAU * (1.0 - (TAU * t / period).cos())
+            }
+        }
+    }
+
+    /// The heavy-item percentage when this is the hot-key schedule.
+    pub fn hot_pct(&self) -> Option<u32> {
+        match *self {
+            Schedule::HotKey { hot_pct } => Some(hot_pct),
+            _ => None,
+        }
+    }
+}
+
+/// The compensating low multiplier of a bursty schedule: chosen so
+/// `duty·burst + (1−duty)·low = 1`.
+fn bursty_low(duty: f64, burst: f64) -> f64 {
+    ((1.0 - duty * burst) / (1.0 - duty)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_names() {
+        for name in SCHEDULE_NAMES {
+            let s = Schedule::parse(name).expect(name);
+            assert_eq!(s.name(), name);
+        }
+        assert!(Schedule::parse("nope").is_err());
+        assert!(Schedule::parse("steady:1").is_err());
+        assert!(Schedule::parse("bursty:abc").is_err());
+    }
+
+    #[test]
+    fn degenerate_parameters_rejected() {
+        assert!(Schedule::parse("bursty:0,20,4").is_err());
+        assert!(Schedule::parse("bursty:100,0,4").is_err());
+        assert!(Schedule::parse("bursty:100,100,1").is_err());
+        assert!(Schedule::parse("bursty:100,50,3").is_err()); // mean > 1
+        assert!(Schedule::parse("diurnal:0").is_err());
+        assert!(Schedule::parse("diurnal:100,1.5").is_err());
+        assert!(Schedule::parse("hotkey:0").is_err());
+        assert!(Schedule::parse("hotkey:101").is_err());
+    }
+
+    #[test]
+    fn full_periods_integrate_to_the_mean() {
+        for spec in ["bursty:250,20,4", "diurnal:400,0.8"] {
+            let s = Schedule::parse(spec).unwrap();
+            for periods in 1..5 {
+                let t = 0.25
+                    * periods as f64
+                    * if spec.starts_with("diurnal") {
+                        1.6
+                    } else {
+                        1.0
+                    };
+                let got = s.cumulative(t);
+                // Full periods of both shapes: 250 ms and 400 ms divide t.
+                assert!((got - t).abs() < 1e-9, "{spec}: cumulative({t}) = {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_is_never_negative() {
+        for spec in ["steady", "bursty:100,25,4", "diurnal:100,0.99", "hotkey:50"] {
+            let s = Schedule::parse(spec).unwrap();
+            for i in 0..1000 {
+                let t = i as f64 * 0.00173;
+                assert!(s.multiplier(t) >= 0.0, "{spec} at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn cumulative_matches_numeric_integral() {
+        let s = Schedule::parse("bursty:100,30,3").unwrap();
+        let d = Schedule::parse("diurnal:170,0.6").unwrap();
+        for sched in [s, d] {
+            let mut acc = 0.0;
+            let dt = 1e-5;
+            let mut t = 0.0;
+            for _ in 0..40_000 {
+                acc += sched.multiplier(t + dt / 2.0) * dt;
+                t += dt;
+                let exact = sched.cumulative(t);
+                assert!(
+                    (acc - exact).abs() < 1e-3,
+                    "{}: numeric {acc} vs exact {exact} at {t}",
+                    sched.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end runs of the load harness against an in-process daemon:
+//! steady pacing hits the target rate, chaos plans execute and the
+//! invariants survive, and every schedule/query combination produces a
+//! clean report.
+
+use dwrs_load::{run_load, ChaosConfig, FaultAction, LoadConfig, Schedule};
+
+#[test]
+fn steady_run_hits_the_rate_and_reports_latency() {
+    let mut cfg = LoadConfig::new("load-steady");
+    cfg.writers = 2;
+    cfg.rate = 20_000;
+    cfg.n = 20_000;
+    cfg.query_workers = 2;
+    cfg.seed = 11;
+    let report = run_load(&cfg).expect("run");
+    assert!(
+        report.invariants_ok(),
+        "violations: {:?}",
+        report.violations
+    );
+    assert_eq!(report.fed, 20_000);
+    assert_eq!(report.delivered, 20_000);
+    assert!(
+        report.rate_error_pct.abs() <= 5.0,
+        "rate error {:+.2}%",
+        report.rate_error_pct
+    );
+    let latency = report.latency.expect("query workers ran");
+    assert!(latency.count > 0);
+    assert!(latency.p50_us <= latency.p90_us);
+    assert!(latency.p90_us <= latency.p99_us);
+    assert!(latency.p99_us <= latency.max_us);
+    assert!(report.queries > 0);
+    assert!(report.scrapes > 0);
+    assert_eq!(report.query_errors, 0);
+}
+
+#[test]
+fn chaos_run_executes_the_plan_and_invariants_hold() {
+    let mut cfg = LoadConfig::new("load-chaos");
+    cfg.writers = 3;
+    cfg.rate = 30_000;
+    cfg.n = 30_000;
+    cfg.query_workers = 1;
+    cfg.chaos = Some(ChaosConfig { faults: 3 });
+    cfg.seed = 7;
+    let report = run_load(&cfg).expect("run");
+    assert!(
+        report.invariants_ok(),
+        "violations: {:?}",
+        report.violations
+    );
+    assert!(report.chaos);
+    // All three planned faults fired: one of each action, on distinct
+    // sites (round-robin assignment over 3 writers).
+    assert_eq!(report.events.len(), 3);
+    let mut kill_sites: Vec<usize> = report
+        .events
+        .iter()
+        .filter(|e| e.action != FaultAction::Pause)
+        .map(|e| e.site)
+        .collect();
+    kill_sites.sort_unstable();
+    kill_sites.dedup();
+    assert!(kill_sites.len() >= 2, "events: {:?}", report.events);
+    // The kill-drop may lose a still-unflushed tail, never gain items.
+    assert!(report.delivered <= report.fed);
+    assert!(report.fed <= report.n);
+    // Mid-outage snapshots were taken while sites were down.
+    assert!(report.events.iter().any(|e| e.snapshot_items > 0));
+}
+
+#[test]
+fn chaos_is_deterministic_per_seed() {
+    let mut cfg = LoadConfig::new("load-det-a");
+    cfg.writers = 2;
+    cfg.rate = 40_000;
+    cfg.n = 16_000;
+    cfg.query_workers = 0;
+    cfg.chaos = Some(ChaosConfig { faults: 2 });
+    cfg.seed = 123;
+    let a = run_load(&cfg).expect("run a");
+    cfg.stream = "load-det-b".into();
+    let b = run_load(&cfg).expect("run b");
+    // The plan (sites, triggers, actions, dwells) is identical; only
+    // wall-clock-dependent observations may differ.
+    let plan_a: Vec<_> = a
+        .events
+        .iter()
+        .map(|e| (e.site, e.at_items, e.action, e.dwell_ms))
+        .collect();
+    let plan_b: Vec<_> = b
+        .events
+        .iter()
+        .map(|e| (e.site, e.at_items, e.action, e.dwell_ms))
+        .collect();
+    assert_eq!(plan_a, plan_b);
+    assert!(a.invariants_ok() && b.invariants_ok());
+}
+
+#[test]
+fn shaped_schedules_and_l1_streams_run_clean() {
+    for (stream, schedule, query) in [
+        ("load-bursty", "bursty:200,20,4", "swor"),
+        ("load-hot", "hotkey:20", "swor"),
+        ("load-l1", "steady", "l1:0.3,0.25"),
+    ] {
+        let mut cfg = LoadConfig::new(stream);
+        cfg.writers = 2;
+        cfg.rate = 30_000;
+        cfg.n = 15_000;
+        cfg.query_workers = 1;
+        cfg.schedule = Schedule::parse(schedule).unwrap();
+        cfg.query = query.into();
+        cfg.seed = 5;
+        let report = run_load(&cfg).expect(stream);
+        assert!(
+            report.invariants_ok(),
+            "{stream} violations: {:?}",
+            report.violations
+        );
+        assert_eq!(report.delivered, 15_000, "{stream}");
+        let json = report.to_json();
+        assert!(
+            json.contains(&format!("\"schedule\":\"{schedule}")),
+            "{json}"
+        );
+    }
+}
+
+#[test]
+fn bad_configs_are_refused() {
+    let mut cfg = LoadConfig::new("load-bad");
+    cfg.writers = 0;
+    assert!(run_load(&cfg).is_err());
+    let mut cfg = LoadConfig::new("load-bad");
+    cfg.rate = 0;
+    assert!(run_load(&cfg).is_err());
+    let mut cfg = LoadConfig::new("");
+    cfg.stream.clear();
+    assert!(run_load(&cfg).is_err());
+    let mut cfg = LoadConfig::new("load-bad");
+    cfg.query = "l1:9.0,0.5".into();
+    assert!(run_load(&cfg).is_err());
+}

@@ -43,7 +43,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dwrs_core::ctrl::{
     CtrlMsg, CtrlResp, LiveQueryKind, LiveSnapshot, MetricsReport, StreamMetrics, TAG_ATTACH,
@@ -1171,6 +1171,74 @@ fn expect_answer(resp: CtrlResp) -> Result<LiveSnapshot, RuntimeError> {
     }
 }
 
+/// The live halves of a claimed site slot, before the site state is
+/// married in (see `AttachClient::open_slot`).
+struct SlotLink<S: SiteNode> {
+    up: Box<dyn BatchSender<S::Up>>,
+    down: mpsc::Receiver<S::Down>,
+    resumed: bool,
+    prior_items: u64,
+}
+
+/// Bounded, deterministic retry-with-backoff for
+/// [`AttachClient::attach_with_retry`].
+///
+/// Attempt `i` (0-based) that fails is followed by a sleep of
+/// `min(cap_ms, base_ms · 2^i)` milliseconds, shortened by a
+/// deterministic jitter of up to half the delay derived from
+/// `jitter_seed` — so concurrently restarting sites do not reconnect in
+/// lockstep, yet a given seed always produces the identical schedule
+/// (chaos runs stay reproducible).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attach attempts before giving up (≥ 1; a value of 1 means
+    /// no retry).
+    pub attempts: u32,
+    /// First backoff delay in milliseconds.
+    pub base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub cap_ms: u64,
+    /// Seed for the deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 8 attempts, 10 ms doubling to a 500 ms cap: rides out the
+    /// ~100 ms-scale window in which a daemon still considers a crashed
+    /// slot attached, without stalling a genuinely refused attach for
+    /// more than ~2 s total.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 8,
+            base_ms: 10,
+            cap_ms: 500,
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep after failed attempt `attempt` (0-based): exponential
+    /// backoff with the documented cap and deterministic jitter. Pure —
+    /// the same policy and attempt always yield the same delay.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let full = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.cap_ms)
+            .max(1);
+        // Deterministic jitter in [0, full/2], derived SplitMix-style
+        // from (seed, attempt).
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Duration::from_millis(full - z % (full / 2 + 1))
+    }
+}
+
 /// A site attached to a daemon stream: the client half of the data plane.
 ///
 /// Wraps any [`SiteNode`] whose messages are wire-codable and drives it
@@ -1216,6 +1284,52 @@ where
         site: S,
         cfg: &RuntimeConfig,
     ) -> Result<AttachClient<S>, RuntimeError> {
+        let link = Self::open_slot(addr, stream, site_id, cfg)?;
+        Ok(Self::assemble(site, link, cfg))
+    }
+
+    /// Like [`AttachClient::attach`], but retries the connect/handshake
+    /// with bounded exponential backoff when the daemon refuses or the
+    /// connection drops mid-handshake — the failover path, where a
+    /// restarting site races the daemon noticing the old link died. The
+    /// site state is only consumed on success, so every retry resumes
+    /// from the identical state. Returns the client and the number of
+    /// *failed* attempts that preceded it (0 = first try succeeded).
+    ///
+    /// When every attempt fails the error is
+    /// [`RuntimeError::ReattachExhausted`] carrying the final attempt's
+    /// failure.
+    pub fn attach_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        stream: &str,
+        site_id: usize,
+        site: S,
+        cfg: &RuntimeConfig,
+        policy: &RetryPolicy,
+    ) -> Result<(AttachClient<S>, u32), RuntimeError> {
+        let attempts = policy.attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            match Self::open_slot(addr.clone(), stream, site_id, cfg) {
+                Ok(link) => return Ok((Self::assemble(site, link, cfg), attempt)),
+                Err(e) => last = e.to_string(),
+            }
+            if attempt + 1 < attempts {
+                thread::sleep(policy.delay(attempt));
+            }
+        }
+        Err(RuntimeError::ReattachExhausted { attempts, last })
+    }
+
+    /// The connect + handshake half of an attach: claims the slot and
+    /// returns the live link halves. Does not touch the site state, so a
+    /// failed handshake loses nothing — the caller can retry.
+    fn open_slot(
+        addr: impl ToSocketAddrs,
+        stream: &str,
+        site_id: usize,
+        cfg: &RuntimeConfig,
+    ) -> Result<SlotLink<S>, RuntimeError> {
         let sock = TcpStream::connect(addr).map_err(io_transport)?;
         sock.set_nodelay(true).map_err(io_transport)?;
         let mut writer = FramedWriter::new(sock.try_clone().map_err(io_transport)?);
@@ -1251,18 +1365,28 @@ where
         thread::spawn(move || down_reader::<S::Down>(read_half, down_tx));
         let mut up = tcp_batch_sender::<S::Up>(writer.into_inner());
         up.reserve_hint(cfg.batch_max);
-        Ok(AttachClient {
-            site,
+        Ok(SlotLink {
             up,
             down: down_rx,
+            resumed,
+            prior_items,
+        })
+    }
+
+    /// Marries the site state to a claimed slot link.
+    fn assemble(site: S, link: SlotLink<S>, cfg: &RuntimeConfig) -> AttachClient<S> {
+        AttachClient {
+            site,
+            up: link.up,
+            down: link.down,
             batch: Vec::with_capacity(cfg.batch_max),
             items_pending: 0,
             until_poll: 0,
             batch_max: cfg.batch_max,
             metrics: Metrics::new(),
-            resumed,
-            prior_items,
-        })
+            resumed: link.resumed,
+            prior_items: link.prior_items,
+        }
     }
 
     /// Whether this attach resumed a previously detached slot.
@@ -1355,6 +1479,24 @@ where
             site.receive(&msg);
         }
         Ok((site, metrics))
+    }
+
+    /// Kills the link the way a crashing site process would: the socket
+    /// is torn down in both directions with no flush and no close
+    /// handshake, so anything batched but not yet shipped is lost and no
+    /// down-drain is attempted. The daemon observes the dead connection
+    /// and marks the slot detached (resumable); a replacement incarnation
+    /// can then reattach. Returns the site state as of the crash —
+    /// callers simulating a real crash usually discard it.
+    ///
+    /// Prefer this over merely dropping the client for crash simulation:
+    /// the down-reader thread holds its own handle to the socket, so a
+    /// plain drop sends no FIN and leaves the daemon considering the slot
+    /// attached until it next pushes a broadcast down the dead link.
+    pub fn abort(self) -> S {
+        let AttachClient { site, mut up, .. } = self;
+        up.abort();
+        site
     }
 
     /// Detaches, leaving the slot resumable: flush → residual watermark →

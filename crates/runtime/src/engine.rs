@@ -61,6 +61,15 @@ pub enum RuntimeError {
     /// A [`crate::driver::Scenario`] failed validation (bad shape
     /// parameters, unresolvable workload source).
     InvalidScenario(String),
+    /// Every attempt of a bounded
+    /// [`crate::daemon::AttachClient::attach_with_retry`] failed; the
+    /// slot could not be (re)claimed.
+    ReattachExhausted {
+        /// Attach attempts made before giving up.
+        attempts: u32,
+        /// The last attempt's failure, verbatim.
+        last: String,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -74,6 +83,9 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::RootPanicked => write!(f, "root merger thread panicked"),
             RuntimeError::Transport(e) => write!(f, "transport failure: {e}"),
             RuntimeError::InvalidScenario(e) => write!(f, "invalid scenario: {e}"),
+            RuntimeError::ReattachExhausted { attempts, last } => {
+                write!(f, "reattach exhausted after {attempts} attempts: {last}")
+            }
         }
     }
 }

@@ -93,7 +93,7 @@ pub mod tree;
 
 pub use adapters::{run_swor, EngineKind};
 pub use config::RuntimeConfig;
-pub use daemon::{AttachClient, CtrlClient, Daemon, DaemonConfig};
+pub use daemon::{AttachClient, CtrlClient, Daemon, DaemonConfig, RetryPolicy};
 pub use driver::{
     run_scenario, DispatcherStats, RunReport, Scenario, ShardSource, Topology, Workload,
 };

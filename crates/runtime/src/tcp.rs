@@ -118,6 +118,10 @@ impl<U: FrameCodec + Send> BatchSender<U> for TcpBatchSender<U> {
             .reserve_frame(9 + MSG_SIZE_HINT * batch_max.max(1));
     }
 
+    fn abort(&mut self) {
+        let _ = self.writer.get_ref().shutdown(Shutdown::Both);
+    }
+
     fn close(&mut self) {
         let _ = self.writer.flush();
         let _ = self.writer.get_ref().shutdown(Shutdown::Write);

@@ -81,6 +81,14 @@ pub trait BatchSender<U>: Send {
     /// messages. Encoding transports pre-size their frame scratch from it.
     fn reserve_hint(&mut self, _batch_max: usize) {}
 
+    /// Severs the link immediately, discarding anything unflushed — the
+    /// crash path. Socket transports tear the connection down in *both*
+    /// directions (no flush, no close handshake) so the peer observes the
+    /// death promptly; the default falls back to a clean `close`.
+    fn abort(&mut self) {
+        self.close();
+    }
+
     /// Signals that no more frames follow (flush + half-close for sockets).
     fn close(&mut self) {}
 }

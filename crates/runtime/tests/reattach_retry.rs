@@ -1,0 +1,187 @@
+//! Failover-path coverage for `AttachClient::attach_with_retry`: a flaky
+//! listener that kills the first connections is ridden out by the backoff
+//! loop, exhaustion surfaces as the typed `ReattachExhausted` error, and
+//! an aborted (crashed) link frees its slot for the next incarnation.
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use dwrs_core::swor::SworConfig;
+use dwrs_core::Item;
+use dwrs_runtime::daemon::{AttachClient, CtrlClient, Daemon, DaemonConfig};
+use dwrs_runtime::{RetryPolicy, RuntimeConfig, RuntimeError};
+use dwrs_sim::swor_site;
+
+/// A quick policy for tests: real backoff shape, millisecond scale.
+fn fast_policy(attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        attempts,
+        base_ms: 1,
+        cap_ms: 8,
+        jitter_seed: 42,
+    }
+}
+
+/// One half of the proxy pump: copy until EOF, then propagate the
+/// half-close so framing semantics survive the hop.
+fn pipe(mut from: TcpStream, mut to: TcpStream) {
+    let _ = io::copy(&mut from, &mut to);
+    let _ = to.shutdown(Shutdown::Write);
+    let _ = from.shutdown(Shutdown::Read);
+}
+
+/// A listener that accepts and immediately slams the first `drop_first`
+/// connections, then transparently proxies the rest to `real` — the
+/// shape of a daemon behind a recovering network path.
+fn flaky_proxy(real: SocketAddr, drop_first: usize) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+    let addr = listener.local_addr().expect("proxy addr");
+    thread::spawn(move || {
+        let mut dropped = 0;
+        for conn in listener.incoming() {
+            let Ok(client) = conn else { break };
+            if dropped < drop_first {
+                dropped += 1;
+                drop(client);
+                continue;
+            }
+            let Ok(upstream) = TcpStream::connect(real) else {
+                break;
+            };
+            let (cr, cw) = (client.try_clone().expect("clone"), client);
+            let (ur, uw) = (upstream.try_clone().expect("clone"), upstream);
+            thread::spawn(move || pipe(cr, uw));
+            thread::spawn(move || pipe(ur, cw));
+        }
+    });
+    addr
+}
+
+#[test]
+fn retry_rides_out_a_flaky_listener() {
+    let d = Daemon::bind("127.0.0.1:0", DaemonConfig::default()).expect("bind");
+    let mut ctrl = CtrlClient::connect(d.local_addr()).expect("ctrl");
+    ctrl.create("flaky", 1, 8, "swor").expect("create");
+    let proxy = flaky_proxy(d.local_addr(), 3);
+
+    let cfg = SworConfig::new(8, 1);
+    let rcfg = RuntimeConfig::default();
+    let (mut client, failures) = AttachClient::attach_with_retry(
+        proxy,
+        "flaky",
+        0,
+        swor_site(&cfg, 7, 0),
+        &rcfg,
+        &fast_policy(8),
+    )
+    .expect("attach through the proxy");
+    // Exactly the slammed connections were burned; the first clean one
+    // won the slot.
+    assert_eq!(failures, 3);
+    assert!(!client.resumed());
+
+    client.feed((0..500).map(Item::unit)).expect("feed");
+    client.finish().expect("finish");
+    let fin = ctrl.drain_stream("flaky").expect("drain");
+    assert_eq!(fin.items, 500);
+    d.shutdown();
+}
+
+#[test]
+fn exhaustion_is_a_typed_error() {
+    // A listener that never lets a handshake through.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    thread::spawn(move || {
+        for conn in listener.incoming() {
+            drop(conn);
+        }
+    });
+
+    let cfg = SworConfig::new(4, 1);
+    let rcfg = RuntimeConfig::default();
+    let err = AttachClient::attach_with_retry(
+        addr,
+        "gone",
+        0,
+        swor_site(&cfg, 1, 0),
+        &rcfg,
+        &fast_policy(3),
+    )
+    .expect_err("every attempt must fail");
+    match err {
+        RuntimeError::ReattachExhausted { attempts, ref last } => {
+            assert_eq!(attempts, 3);
+            assert!(!last.is_empty(), "the final failure is carried along");
+        }
+        other => panic!("expected ReattachExhausted, got {other:?}"),
+    }
+    let rendered = err.to_string();
+    assert!(
+        rendered.contains("reattach exhausted after 3 attempts"),
+        "got {rendered:?}"
+    );
+}
+
+#[test]
+fn abort_frees_the_slot_for_the_next_incarnation() {
+    let d = Daemon::bind("127.0.0.1:0", DaemonConfig::default()).expect("bind");
+    let addr = d.local_addr();
+    let mut ctrl = CtrlClient::connect(addr).expect("ctrl");
+    ctrl.create("crashy", 1, 4, "swor").expect("create");
+
+    let cfg = SworConfig::new(4, 1);
+    let rcfg = RuntimeConfig::default();
+    let mut c = AttachClient::attach(addr, "crashy", 0, swor_site(&cfg, 3, 0), &rcfg).unwrap();
+    c.feed((0..300).map(Item::unit)).expect("feed");
+    // Crash: no flush, no handshake. The daemon must notice on its own.
+    drop(c.abort());
+
+    // The slot comes back resumable; the retry loop absorbs the window
+    // in which the daemon has not yet processed the dead link.
+    let (mut c, _failures) = AttachClient::attach_with_retry(
+        addr,
+        "crashy",
+        0,
+        swor_site(&cfg, 9, 0),
+        &rcfg,
+        &fast_policy(10),
+    )
+    .expect("reattach after crash");
+    assert!(c.resumed());
+    // Whatever the crash lost, it cannot have manufactured items.
+    assert!(c.prior_items() <= 300);
+    c.feed((300..400).map(Item::unit)).expect("feed resumed");
+    c.finish().expect("finish");
+    let fin = ctrl.drain_stream("crashy").expect("drain");
+    assert!(fin.items <= 400);
+    assert!(fin.items >= 100, "the resumed incarnation's items arrived");
+    d.shutdown();
+}
+
+#[test]
+fn backoff_delays_are_deterministic_and_capped() {
+    let p = RetryPolicy {
+        attempts: 8,
+        base_ms: 10,
+        cap_ms: 100,
+        jitter_seed: 99,
+    };
+    for attempt in 0..8 {
+        let full = (10u64 << attempt).min(100);
+        let d = p.delay(attempt);
+        // Pure: same policy and attempt, same delay.
+        assert_eq!(d, p.delay(attempt));
+        // Jitter shortens by at most half; the cap always holds.
+        assert!(d <= Duration::from_millis(full));
+        assert!(d >= Duration::from_millis(full / 2));
+    }
+    // Different seeds de-synchronize concurrently restarting sites.
+    let q = RetryPolicy {
+        jitter_seed: 7,
+        ..p
+    };
+    assert!((0..8).any(|a| p.delay(a) != q.delay(a)));
+}

@@ -1,0 +1,97 @@
+//! Slow-peer coverage for `CtrlClient`: a throttling control server that
+//! trickles its reply one byte at a time (length prefix included) must
+//! still decode cleanly, and the client must wait in blocking reads — not
+//! burn a core polling. Kept as its own test binary so the process-wide
+//! CPU-time measurement is not polluted by sibling tests.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use dwrs_core::ctrl::{CtrlMsg, CtrlResp};
+use dwrs_core::framed::{FramedReader, FramedWriter};
+use dwrs_runtime::daemon::CtrlClient;
+
+/// This process's accumulated CPU time (user + system), read from
+/// `/proc/self/stat` — std exposes no process-CPU clock, and the test
+/// must not add dependencies. Linux-only, like the loopback daemon tests.
+fn process_cpu() -> Duration {
+    let stat = std::fs::read_to_string("/proc/self/stat").expect("read /proc/self/stat");
+    // Fields 14 (utime) and 15 (stime), counted *after* the parenthesised
+    // comm field, which may itself contain spaces.
+    let rest = stat.rsplit(')').next().expect("comm close paren");
+    let mut fields = rest.split_ascii_whitespace();
+    let utime: u64 = fields.nth(11).expect("utime").parse().expect("utime int");
+    let stime: u64 = fields.next().expect("stime").parse().expect("stime int");
+    // `_SC_CLK_TCK` is 100 on the Linux targets this test supports.
+    Duration::from_nanos((utime + stime) * (1_000_000_000 / 100))
+}
+
+#[test]
+fn trickled_reply_decodes_without_busy_waiting() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    // The reply the server will trickle: big enough that byte-at-a-time
+    // delivery takes a measurable wall-clock while the client waits.
+    let info: String = "slow but steady wins the frame ".repeat(8);
+    let reply = CtrlResp::Ok { info: info.clone() };
+
+    let server = thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        stream.set_nodelay(true).expect("nodelay");
+        // Read the request whole (the client sends it normally).
+        let mut reader = FramedReader::new(stream.try_clone().expect("clone"));
+        let req = reader
+            .read_msg::<CtrlMsg>()
+            .expect("read request")
+            .expect("one request");
+        assert!(matches!(req, CtrlMsg::Create { .. }), "got {req:?}");
+        // Encode the response into a buffer, then dribble it out a byte
+        // at a time — every read on the client side returns partial data.
+        let mut encoded = FramedWriter::new(Vec::new());
+        encoded.write_msg(&reply).expect("encode");
+        let bytes = encoded.into_inner();
+        let mut out = stream;
+        for b in &bytes {
+            out.write_all(std::slice::from_ref(b)).expect("trickle");
+            out.flush().expect("flush");
+            thread::sleep(Duration::from_micros(700));
+        }
+        bytes.len()
+    });
+
+    let mut ctrl = CtrlClient::connect(addr).expect("connect");
+    let cpu0 = process_cpu();
+    let t0 = Instant::now();
+    let resp = ctrl
+        .request(&CtrlMsg::Create {
+            stream: "s".into(),
+            k: 1,
+            s: 8,
+            query: "swor".into(),
+        })
+        .expect("request against the trickle server");
+    let wall = t0.elapsed();
+    let cpu = process_cpu() - cpu0;
+    let sent = server.join().expect("server");
+
+    // Correctness: the frame reassembled exactly despite arriving in
+    // `sent` one-byte reads.
+    assert_eq!(resp, CtrlResp::Ok { info });
+    assert!(sent > 200, "reply should be non-trivial, got {sent} bytes");
+
+    // The trickle dominates the wall clock...
+    assert!(
+        wall >= Duration::from_millis(100),
+        "trickle finished suspiciously fast: {wall:?}"
+    );
+    // ...while the client sleeps in blocking reads. A busy-polling client
+    // would burn CPU comparable to the wall time; granting a generous
+    // margin keeps the assertion robust on loaded CI machines.
+    assert!(
+        cpu < wall / 3,
+        "client burned {cpu:?} CPU over {wall:?} wall — is it polling?"
+    );
+}

@@ -218,6 +218,19 @@ impl QuantileSketch {
         self.compress();
     }
 
+    /// Merges a whole pool of per-worker sketches into one — the
+    /// fan-in counterpart of sharded recording (each worker observes
+    /// into its own sketch with no synchronization, then the pool folds
+    /// here). Returns an empty sketch of the given `eps` when the pool
+    /// is empty. Panics if any sketch disagrees on `eps`.
+    pub fn merge_all<'a>(eps: f64, pool: impl IntoIterator<Item = &'a QuantileSketch>) -> Self {
+        let mut merged = QuantileSketch::new(eps);
+        for sketch in pool {
+            merged.merge(sketch);
+        }
+        merged
+    }
+
     /// Drops every observation but keeps `eps` and capacity.
     pub fn clear(&mut self) {
         self.tuples.clear();
@@ -522,6 +535,38 @@ mod tests {
         assert_eq!(s.query(0.5), None);
         s.observe(7.0);
         assert_eq!(s.query(0.5), Some(7.0));
+    }
+
+    #[test]
+    fn merge_all_pools_worker_sketches() {
+        // Four "workers" each record a disjoint quarter of 0..20_000; the
+        // pooled sketch must answer quantiles over the union within the
+        // merged rank-error bound, exactly as one sketch over it all.
+        let eps = 0.01;
+        let n = 20_000u64;
+        let workers: Vec<QuantileSketch> = (0..4)
+            .map(|w| {
+                let mut s = QuantileSketch::new(eps);
+                for i in (w..n).step_by(4) {
+                    s.observe(i as f64);
+                }
+                s
+            })
+            .collect();
+        let mut pooled = QuantileSketch::merge_all(eps, &workers);
+        assert_eq!(pooled.count(), n);
+        assert_eq!(pooled.max(), Some((n - 1) as f64));
+        for q in [0.5, 0.9, 0.99] {
+            let got = pooled.query(q).unwrap();
+            let rank = got as u64;
+            let want = (q * n as f64) as u64;
+            let slack = (2.0 * eps * n as f64) as u64;
+            assert!(
+                rank.abs_diff(want) <= slack,
+                "q{q}: got rank {rank}, want {want} ± {slack}"
+            );
+        }
+        assert!(QuantileSketch::merge_all(eps, []).is_empty());
     }
 
     #[test]

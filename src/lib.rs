@@ -16,6 +16,7 @@
 //! | [`apps`] | `dwrs-apps` | residual heavy hitters (Thm. 4), L1 tracking (Thm. 6) + baselines, sliding-window extension |
 //! | [`stats`] | `dwrs-stats` | chi-square / KS / TV validation toolkit, mergeable GK quantile sketch |
 //! | [`telemetry`] | `dwrs-telemetry` | metrics registry (counters, gauges, sketch-backed histograms), trace rings, Prometheus/JSON exposition |
+//! | [`load`] | `dwrs-load` | load/chaos harness against the live daemon: rate-controlled schedules, latency percentiles, seeded fault plans, post-run invariant battery |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@
 
 pub use dwrs_apps as apps;
 pub use dwrs_core as core;
+pub use dwrs_load as load;
 pub use dwrs_runtime as runtime;
 pub use dwrs_sim as sim;
 pub use dwrs_stats as stats;

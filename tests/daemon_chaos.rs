@@ -1,0 +1,190 @@
+//! Chaos integration against the live daemon, through the facade: a
+//! seeded kill → query-mid-outage → reattach cycle must preserve sample
+//! containment (merging the mid-outage snapshot into the final sample
+//! surfaces nothing new), telemetry watermarks must never move backwards
+//! across the fault, and a shutdown must drain every stream cleanly —
+//! including slots left detached by a crash.
+
+use std::collections::HashSet;
+use std::thread;
+use std::time::Duration;
+
+use dwrs::core::ctrl::LiveQueryKind;
+use dwrs::core::merge::merge_two;
+use dwrs::core::swor::SworConfig;
+use dwrs::core::Item;
+use dwrs::load::{run_load, ChaosConfig, FaultAction, LoadConfig};
+use dwrs::runtime::daemon::{AttachClient, CtrlClient, Daemon, DaemonConfig, RetryPolicy};
+use dwrs::runtime::RuntimeConfig;
+use dwrs::sim::swor_site;
+
+const K: usize = 2;
+const S: usize = 16;
+const PER_SITE: u64 = 4_000;
+
+/// A reattach policy quick enough for tests but with real backoff shape:
+/// the daemon may not have processed the dead link yet when the next
+/// incarnation first knocks.
+fn quick_retry() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 10,
+        base_ms: 1,
+        cap_ms: 16,
+        jitter_seed: 7,
+    }
+}
+
+#[test]
+fn kill_query_reattach_preserves_containment_and_watermarks() {
+    let d = Daemon::bind("127.0.0.1:0", DaemonConfig::default()).expect("bind");
+    let addr = d.local_addr();
+    let mut ctrl = CtrlClient::connect(addr).expect("ctrl");
+    ctrl.create("chaos", K as u32, S as u32, "swor")
+        .expect("create");
+
+    let cfg = SworConfig::new(S, K);
+    let rcfg = RuntimeConfig::default();
+
+    // Site 1 feeds its whole share in the background, unaffected by the
+    // crash on site 0 — queries mid-outage see a genuinely live stream.
+    let bg = thread::spawn(move || {
+        let cfg = SworConfig::new(S, K);
+        let mut c = AttachClient::attach(addr, "chaos", 1, swor_site(&cfg, 11, 1), &rcfg)
+            .expect("attach site 1");
+        for chunk in 0..(PER_SITE / 500) {
+            c.feed((chunk * 500..(chunk + 1) * 500).map(|t| Item::unit(t * K as u64 + 1)))
+                .expect("feed site 1");
+            thread::sleep(Duration::from_millis(1));
+        }
+        c.finish().expect("finish site 1");
+    });
+
+    // Site 0: feed the first half, snapshot, then die without a close
+    // handshake — the seeded crash.
+    let mut c = AttachClient::attach(addr, "chaos", 0, swor_site(&cfg, 5, 0), &rcfg)
+        .expect("attach site 0");
+    c.feed((0..PER_SITE / 2).map(|t| Item::unit(t * K as u64)))
+        .expect("feed first half");
+    let mid = ctrl
+        .snapshot("chaos", LiveQueryKind::CurrentSample, 0)
+        .expect("mid snapshot");
+    let items_before_crash = ctrl.metrics(0).expect("scrape").streams[0].items;
+    drop(c.abort());
+
+    // Mid-outage the stream keeps answering, and the watermark has not
+    // regressed below what we saw before the crash.
+    let outage = ctrl
+        .snapshot("chaos", LiveQueryKind::CurrentSample, 0)
+        .expect("snapshot during outage");
+    assert!(outage.items >= mid.items, "watermark regressed mid-outage");
+    let outage_items = ctrl.metrics(0).expect("scrape").streams[0].items;
+    assert!(
+        outage_items >= items_before_crash,
+        "scrape watermark regressed"
+    );
+
+    // The next incarnation reattaches (retry absorbs the window where the
+    // daemon has not yet reaped the dead link) and resumes the slot.
+    let (mut c, _retries) = AttachClient::attach_with_retry(
+        addr,
+        "chaos",
+        0,
+        swor_site(&cfg, 6, 0),
+        &rcfg,
+        &quick_retry(),
+    )
+    .expect("reattach site 0");
+    assert!(c.resumed(), "slot must come back resumable");
+    assert!(c.prior_items() <= PER_SITE / 2, "crash cannot mint items");
+    c.feed((PER_SITE / 2..PER_SITE).map(|t| Item::unit(t * K as u64)))
+        .expect("feed second half");
+    c.finish().expect("finish site 0");
+    bg.join().expect("site 1");
+
+    // Containment: merging the mid-crash snapshot into the final sample
+    // surfaces no id the final sample does not already hold, and any
+    // mid-snapshot entry that vanished was displaced by a key above the
+    // final threshold.
+    let fin = ctrl
+        .snapshot("chaos", LiveQueryKind::CurrentSample, 0)
+        .expect("final snapshot");
+    assert!(fin.items >= outage.items, "final watermark regressed");
+    let fin_ids: HashSet<u64> = fin.sample.iter().map(|e| e.item.id).collect();
+    for entry in merge_two(&mid.sample, &fin.sample, S) {
+        assert!(
+            fin_ids.contains(&entry.item.id),
+            "merge surfaced id {} absent from the final sample",
+            entry.item.id
+        );
+    }
+    for entry in &mid.sample {
+        assert!(
+            fin_ids.contains(&entry.item.id) || entry.key <= fin.u,
+            "id {} (key {:.6e}) vanished without a displacing key above u {:.6e}",
+            entry.item.id,
+            entry.key,
+            fin.u
+        );
+    }
+
+    // Clean drain: kill-drop may have lost unflushed items, but nothing
+    // can be manufactured, and both finished sites' flushed items arrive.
+    let drained = ctrl.drain_stream("chaos").expect("drain");
+    assert!(drained.items <= 2 * PER_SITE);
+    assert!(drained.items > PER_SITE, "site 1 plus resumed site 0 items");
+    assert_eq!(drained.sample.len(), S);
+    d.shutdown();
+}
+
+#[test]
+fn shutdown_drains_streams_with_crashed_slots() {
+    let d = Daemon::bind("127.0.0.1:0", DaemonConfig::default()).expect("bind");
+    let addr = d.local_addr();
+    let mut ctrl = CtrlClient::connect(addr).expect("ctrl");
+    ctrl.create("wounded", 1, 8, "swor").expect("create");
+
+    let cfg = SworConfig::new(8, 1);
+    let rcfg = RuntimeConfig::default();
+    let mut c =
+        AttachClient::attach(addr, "wounded", 0, swor_site(&cfg, 3, 0), &rcfg).expect("attach");
+    c.feed((0..1_000).map(Item::unit)).expect("feed");
+    // Crash and never come back: the slot is left detached-by-death.
+    drop(c.abort());
+
+    // Give the daemon a moment to observe the dead link, then the
+    // graceful shutdown path must still drain the stream rather than
+    // wedge on the crashed slot.
+    thread::sleep(Duration::from_millis(50));
+    d.shutdown();
+    let drained = d.drained();
+    let (name, snap) = drained
+        .iter()
+        .find(|(n, _)| n == "wounded")
+        .expect("stream drained at shutdown");
+    assert_eq!(name, "wounded");
+    assert!(snap.items <= 1_000, "crash cannot mint items");
+    assert!(!snap.sample.is_empty(), "flushed items survived the crash");
+}
+
+#[test]
+fn facade_load_run_executes_chaos_and_passes_invariants() {
+    let mut cfg = LoadConfig::new("facade-chaos");
+    cfg.writers = 2;
+    cfg.n = 20_000;
+    cfg.rate = 40_000;
+    cfg.query_workers = 1;
+    cfg.chaos = Some(ChaosConfig { faults: 2 });
+    cfg.seed = 99;
+    let report = run_load(&cfg).expect("run");
+    assert!(
+        report.invariants_ok(),
+        "violations: {:?}",
+        report.violations
+    );
+    assert_eq!(report.events.len(), 2, "both planned faults executed");
+    // Seeded plan: the first two actions of the cycle, in plan order.
+    let actions: Vec<FaultAction> = report.events.iter().map(|e| e.action).collect();
+    assert!(actions.contains(&FaultAction::KillClean));
+    assert!(actions.contains(&FaultAction::KillDrop));
+    assert!(report.delivered <= report.fed);
+}
