@@ -32,7 +32,12 @@ fn engines(c: &mut Criterion) {
     g.throughput(Throughput::Elements(N as u64));
     g.sample_size(10);
     for k in [4usize, 8] {
-        for engine in [EngineKind::Lockstep, EngineKind::Threads, EngineKind::Tcp] {
+        for engine in [
+            EngineKind::Lockstep,
+            EngineKind::Threads,
+            EngineKind::Tcp,
+            EngineKind::Epoll,
+        ] {
             let sc = scenario(engine, k);
             g.bench_with_input(
                 BenchmarkId::new(engine.to_string(), format!("k{k}")),

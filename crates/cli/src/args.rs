@@ -15,7 +15,10 @@ commands:
                query's answer; the workload streams through the scenario
                driver's bounded dispatcher, so memory stays O(batch x
                queue) whatever --n
-               flags: --engine {lockstep|threads|tcp} (default threads)
+               flags: --engine {lockstep|threads|tcp|epoll}
+                                                       (default threads;
+                        epoll = the tcp wire format multiplexed onto a
+                        few event-loop threads, for k in the thousands)
                       --topology {flat|tree}          (default flat)
                       --query  {swor|l1[:eps[,delta]]|rhh[:eps[,delta]]
                                 |window[:len]}        (default swor)
@@ -33,6 +36,9 @@ commands:
                       --n --k --s --workload --seed --partition
                       --batch <msgs per upstream frame>   (default 64)
                       --queue <up-queue bound in batches> (default 128)
+                      --down-poll-every <items between down-link polls>
+                                                          (default 32;
+                        lower = fresher thresholds, higher = throughput)
                       --format {text|json}                (default text)
                       --materialize {true|false}          (default false;
                         true pre-builds the stream in memory, O(n) RSS)
@@ -67,6 +73,7 @@ commands:
                                |window[:len]}  (stream query, default swor)
                       --eof {true|false}       (default true)
                       --n --k --s --workload --seed --partition --batch
+                      --down-poll-every
   query        live queries against a running daemon stream
                flags: --connect <addr> --stream <name>
                       --kind {sample|l1-now|rhh-so-far|window-now|stats

@@ -152,7 +152,8 @@ fn make_scenario(p: &Parsed) -> Result<Scenario, ArgError> {
 fn runtime_config(p: &Parsed) -> Result<RuntimeConfig, ArgError> {
     Ok(RuntimeConfig::new()
         .with_batch_max(p.u64_or("batch", 64)?.max(1) as usize)
-        .with_queue_capacity(p.u64_or("queue", 128)?.max(1) as usize))
+        .with_queue_capacity(p.u64_or("queue", 128)?.max(1) as usize)
+        .with_down_poll_every(p.u64_or("down-poll-every", 32)?.max(1) as u32))
 }
 
 /// Prints the sample/metrics block shared by `run`, `serve`, and `sample`.
@@ -1255,7 +1256,7 @@ mod tests {
 
     #[test]
     fn run_command_all_engines_report_throughput() {
-        for engine in ["lockstep", "threads", "tcp"] {
+        for engine in ["lockstep", "threads", "tcp", "epoll"] {
             let (code, out) = run_cmd(&format!(
                 "run --engine {engine} --n 20000 --k 4 --s 8 --workload zipf_iid:1.2 --batch 8 --queue 8"
             ));
@@ -1269,8 +1270,29 @@ mod tests {
     }
 
     #[test]
+    fn run_accepts_down_poll_every_knob() {
+        // Extremes of the cadence knob both complete with invariants
+        // intact: 1 = poll the down link before every item (freshest
+        // thresholds), huge = effectively never mid-stream (correctness
+        // is delivery-delay-tolerant by design).
+        for cadence in [1u32, 1_000_000] {
+            let (code, out) = run_cmd(&format!(
+                "run --engine epoll --n 20000 --k 4 --s 8 --down-poll-every {cadence} --format json"
+            ));
+            assert_eq!(code, 0, "cadence {cadence}: {out}");
+            assert!(out.contains("\"invariants_ok\":true"), "{out}");
+        }
+        let (code, out) = run_cmd("run --down-poll-every nope --n 10");
+        assert_eq!(code, 2, "{out}");
+        assert!(
+            out.contains("--down-poll-every expects an integer"),
+            "{out}"
+        );
+    }
+
+    #[test]
     fn run_tree_all_engines_report_root_sample() {
-        for engine in ["lockstep", "threads", "tcp"] {
+        for engine in ["lockstep", "threads", "tcp", "epoll"] {
             let (code, out) = run_cmd(&format!(
                 "run --engine {engine} --topology tree --n 20000 --k 4 --groups 2 \
                  --sync-every 1000 --s 8 --workload zipf_iid:1.2 --batch 8 --queue 8"
@@ -1288,7 +1310,7 @@ mod tests {
 
     #[test]
     fn run_query_flag_reports_answers_on_every_engine() {
-        for engine in ["lockstep", "threads", "tcp"] {
+        for engine in ["lockstep", "threads", "tcp", "epoll"] {
             let (code, out) = run_cmd(&format!(
                 "run --engine {engine} --query l1:0.25,0.25 --n 20000 --k 4 --format json"
             ));

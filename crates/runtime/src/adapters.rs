@@ -23,6 +23,12 @@ pub enum EngineKind {
     Threads,
     /// OS threads over loopback TCP with framed wire encoding.
     Tcp,
+    /// Event-driven loopback TCP: the same wire format as [`Tcp`], but
+    /// every connection multiplexed onto a few epoll event loops instead
+    /// of two threads per site ([`crate::epoll`]).
+    ///
+    /// [`Tcp`]: EngineKind::Tcp
+    Epoll,
 }
 
 impl std::str::FromStr for EngineKind {
@@ -32,8 +38,9 @@ impl std::str::FromStr for EngineKind {
             "lockstep" => Ok(EngineKind::Lockstep),
             "threads" => Ok(EngineKind::Threads),
             "tcp" => Ok(EngineKind::Tcp),
+            "epoll" => Ok(EngineKind::Epoll),
             other => Err(format!(
-                "unknown engine '{other}' (expected lockstep | threads | tcp)"
+                "unknown engine '{other}' (expected lockstep | threads | tcp | epoll)"
             )),
         }
     }
@@ -45,6 +52,7 @@ impl std::fmt::Display for EngineKind {
             EngineKind::Lockstep => write!(f, "lockstep"),
             EngineKind::Threads => write!(f, "threads"),
             EngineKind::Tcp => write!(f, "tcp"),
+            EngineKind::Epoll => write!(f, "epoll"),
         }
     }
 }
@@ -89,6 +97,19 @@ where
         }
         EngineKind::Threads => run_threads(sites, coordinator, streams, rcfg),
         EngineKind::Tcp => run_tcp(sites, coordinator, streams, rcfg),
+        EngineKind::Epoll => {
+            // Vec-based entry point: materialize each partition into a
+            // nonblocking feed. The scenario driver streams shard queues
+            // into `run_epoll` directly instead.
+            let feeds: Vec<Box<dyn crate::epoll::ItemFeed>> = streams
+                .into_iter()
+                .map(|items| {
+                    Box::new(crate::epoll::VecFeed::new(items.into_iter().collect()))
+                        as Box<dyn crate::epoll::ItemFeed>
+                })
+                .collect();
+            crate::epoll::run_epoll(sites, coordinator, feeds, rcfg)
+        }
     }
 }
 
@@ -105,12 +126,14 @@ mod tests {
             EngineKind::Threads
         );
         assert_eq!("tcp".parse::<EngineKind>().unwrap(), EngineKind::Tcp);
+        assert_eq!("epoll".parse::<EngineKind>().unwrap(), EngineKind::Epoll);
         assert_eq!(
             "lockstep".parse::<EngineKind>().unwrap(),
             EngineKind::Lockstep
         );
         assert!("async".parse::<EngineKind>().is_err());
         assert_eq!(EngineKind::Tcp.to_string(), "tcp");
+        assert_eq!(EngineKind::Epoll.to_string(), "epoll");
     }
 
     #[allow(deprecated)]

@@ -1,8 +1,8 @@
 //! Runtime tuning knobs.
 
-/// Configuration for the threaded/TCP engines.
+/// Configuration for the threaded/TCP/epoll engines.
 ///
-/// The two knobs trade latency for throughput on the up path:
+/// The knobs trade latency for throughput:
 ///
 /// * `batch_max` — a site buffers upstream messages and ships them as one
 ///   transport frame once this many have accumulated (the tail is always
@@ -14,12 +14,25 @@
 ///   backpressure instead of unbounded buffering. The down path is
 ///   deliberately *unbounded* and eagerly drained, which is what makes the
 ///   blocking up path deadlock-free (see `crate::engine`).
+/// * `down_poll_every` — items a site observes between polls of its down
+///   link. Each poll is an atomic-laden channel drain (or a nonblocking
+///   socket read on the epoll engine), so polling every item costs real
+///   hot-path throughput; polling rarely widens the staleness window in
+///   which a site keeps shipping candidates a fresher threshold would have
+///   filtered. The protocols tolerate arbitrarily stale thresholds by
+///   design (delayed-delivery regime), so this knob trades
+///   threshold-propagation latency — and with it some message-count
+///   inflation — against per-item overhead, never correctness. High-k
+///   epoll runs can raise it to cut syscalls, or lower it toward 1 to
+///   tighten threshold propagation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RuntimeConfig {
     /// Upstream messages per transport frame before a flush is forced.
     pub batch_max: usize,
     /// Site→coordinator queue bound, in batches.
     pub queue_capacity: usize,
+    /// Items a site observes between polls of its down link.
+    pub down_poll_every: u32,
 }
 
 impl Default for RuntimeConfig {
@@ -27,6 +40,7 @@ impl Default for RuntimeConfig {
         Self {
             batch_max: 64,
             queue_capacity: 128,
+            down_poll_every: 32,
         }
     }
 }
@@ -48,6 +62,13 @@ impl RuntimeConfig {
         self.queue_capacity = queue_capacity.max(1);
         self
     }
+
+    /// Sets the down-link poll cadence in items (clamped to ≥ 1; 1 polls
+    /// before every item like the lockstep runner's prompt-delivery mode).
+    pub fn with_down_poll_every(mut self, down_poll_every: u32) -> Self {
+        self.down_poll_every = down_poll_every.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -58,11 +79,14 @@ mod tests {
     fn builders_clamp_to_one() {
         let cfg = RuntimeConfig::new()
             .with_batch_max(0)
-            .with_queue_capacity(0);
+            .with_queue_capacity(0)
+            .with_down_poll_every(0);
         assert_eq!(cfg.batch_max, 1);
         assert_eq!(cfg.queue_capacity, 1);
+        assert_eq!(cfg.down_poll_every, 1);
         let cfg = RuntimeConfig::new().with_batch_max(256);
         assert_eq!(cfg.batch_max, 256);
         assert_eq!(cfg.queue_capacity, RuntimeConfig::default().queue_capacity);
+        assert_eq!(cfg.down_poll_every, 32);
     }
 }

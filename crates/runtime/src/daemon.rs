@@ -64,7 +64,7 @@ use dwrs_telemetry::{
 };
 
 use crate::config::RuntimeConfig;
-use crate::engine::{flush, DOWN_POLL_EVERY};
+use crate::engine::flush;
 use crate::query::Query;
 use crate::tcp::{down_reader, tcp_batch_sender, tcp_down_sender, TAG_BATCH, TAG_EOF};
 use crate::transport::{BatchSender, UpFrame};
@@ -608,7 +608,13 @@ impl std::fmt::Debug for Daemon {
 
 impl Daemon {
     /// Binds `addr` and starts accepting control connections.
+    ///
+    /// Raises `RLIMIT_NOFILE` soft → hard first (best effort): a daemon
+    /// hosting thousands of attached sites holds one fd per data-plane
+    /// connection, and the conservative default soft limit (often 1024)
+    /// would otherwise cap the fleet long before memory does.
     pub fn bind(addr: impl ToSocketAddrs, cfg: DaemonConfig) -> io::Result<Daemon> {
+        let _ = crate::reactor::raise_nofile_limit();
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -701,7 +707,22 @@ fn listener_loop(listener: TcpListener, shared: Arc<Shared>, addr: SocketAddr) {
         if !shared.accepting.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = conn else { continue };
+        let stream = match conn {
+            Ok(stream) => stream,
+            Err(e) => {
+                // Accept-side fd exhaustion (EMFILE/ENFILE) is transient:
+                // clients finishing or detaching free fds. Panicking here
+                // would kill every stream; spinning would starve the
+                // threads that could free capacity. Record it and back
+                // off briefly, then keep serving.
+                if crate::reactor::is_fd_exhausted(&e) {
+                    let limit = crate::reactor::current_nofile_limit();
+                    global().trace.record(TraceKind::FdExhausted, limit, 0);
+                    thread::sleep(Duration::from_millis(50));
+                }
+                continue;
+            }
+        };
         let shared = Arc::clone(&shared);
         thread::spawn(move || handle_connection(shared, addr, stream));
     }
@@ -1244,7 +1265,7 @@ impl RetryPolicy {
 /// Wraps any [`SiteNode`] whose messages are wire-codable and drives it
 /// with the engine's own discipline — upstream batching with
 /// [`RuntimeConfig::batch_max`], downstream broadcasts polled every
-/// `DOWN_POLL_EVERY` items, flush → `Eof` → drain on
+/// [`RuntimeConfig::down_poll_every`] items, flush → `Eof` → drain on
 /// [`AttachClient::finish`]. [`AttachClient::detach`] leaves the slot
 /// resumable instead, so a later attach continues the same stream
 /// (validity is preserved: the daemon replays threshold state on
@@ -1256,6 +1277,7 @@ pub struct AttachClient<S: SiteNode> {
     batch: Vec<S::Up>,
     items_pending: u64,
     until_poll: u32,
+    down_poll_every: u32,
     batch_max: usize,
     metrics: Metrics,
     resumed: bool,
@@ -1382,6 +1404,7 @@ where
             batch: Vec::with_capacity(cfg.batch_max),
             items_pending: 0,
             until_poll: 0,
+            down_poll_every: cfg.down_poll_every.max(1),
             batch_max: cfg.batch_max,
             metrics: Metrics::new(),
             resumed: link.resumed,
@@ -1405,7 +1428,7 @@ where
     pub fn feed(&mut self, items: impl IntoIterator<Item = Item>) -> Result<(), RuntimeError> {
         for item in items {
             if self.until_poll == 0 {
-                self.until_poll = DOWN_POLL_EVERY;
+                self.until_poll = self.down_poll_every;
                 while let Ok(msg) = self.down.try_recv() {
                     self.site.receive(&msg);
                 }

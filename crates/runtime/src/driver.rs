@@ -53,6 +53,7 @@ use dwrs_workloads::source::{
 use crate::adapters::EngineKind;
 use crate::config::RuntimeConfig;
 use crate::engine::{run_threads, RunOutput, RuntimeError};
+use crate::epoll::{run_epoll, run_tree_epoll, Feed, ItemFeed};
 use crate::query::{run_query_flat, run_query_tree, FlatOutcome, TreeOutcome};
 use crate::tcp::run_tcp;
 use crate::tree::{
@@ -559,6 +560,28 @@ impl Iterator for ShardSource {
     }
 }
 
+/// The nonblocking view of the same shard queue, for the event-driven
+/// engine: a site task must never park its event loop on the dispatcher
+/// (the feeder may be waiting on queue slots that only drain when the
+/// loop keeps servicing its *other* connections), so `poll` uses
+/// `try_recv` and reports `Pending` instead of blocking.
+impl ItemFeed for ShardSource {
+    fn poll(&mut self) -> Feed {
+        if self.cur.len() > 0 {
+            return Feed::Frame(self.cur.by_ref().collect());
+        }
+        match self.rx.try_recv() {
+            Ok(frame) => {
+                let now = self.in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
+                self.depth_gauge.set(now as i64);
+                Feed::Frame(frame)
+            }
+            Err(mpsc::TryRecvError::Empty) => Feed::Pending,
+            Err(mpsc::TryRecvError::Disconnected) => Feed::Done,
+        }
+    }
+}
+
 /// Feeding half of the dispatch pipeline: owns the source-side frame
 /// buffers and the bounded senders.
 struct Dispatcher {
@@ -1019,6 +1042,21 @@ where
             let out = result?;
             Ok((dstats.items, dstats.weight, out, Some(dstats)))
         }
+        EngineKind::Epoll => {
+            // Same bounded dispatcher, but the shard queues feed the event
+            // loops through their nonblocking [`ItemFeed`] face.
+            let (dispatcher, shards) = Dispatcher::new(sc.k);
+            let partitioner = sc.partitioner();
+            let feeder = thread::spawn(move || dispatcher.run(source, partitioner));
+            let feeds: Vec<Box<dyn ItemFeed>> = shards
+                .into_iter()
+                .map(|shard| Box::new(shard) as Box<dyn ItemFeed>)
+                .collect();
+            let result = run_epoll(sites, coordinator, feeds, &sc.runtime);
+            let dstats = join_feeder(feeder)?;
+            let out = result?;
+            Ok((dstats.items, dstats.weight, out, Some(dstats)))
+        }
     }
 }
 
@@ -1100,6 +1138,26 @@ where
                 grouped,
                 &sc.runtime,
             );
+            let dstats = join_feeder(feeder)?;
+            let out = result?;
+            Ok((dstats.items, dstats.weight, out, Some(dstats)))
+        }
+        EngineKind::Epoll => {
+            let (dispatcher, shards) = Dispatcher::new(sc.k);
+            let partitioner = sc.partitioner();
+            let feeder = thread::spawn(move || dispatcher.run(source, partitioner));
+            // Group-major regroup as above, shard queues as nonblocking
+            // feeds into the shared tree reactor.
+            let mut it = shards.into_iter();
+            let grouped: Vec<Vec<Box<dyn ItemFeed>>> = (0..groups)
+                .map(|_| {
+                    it.by_ref()
+                        .take(k_per_group)
+                        .map(|shard| Box::new(shard) as Box<dyn ItemFeed>)
+                        .collect()
+                })
+                .collect();
+            let result = run_tree_epoll(s_eff, &topo, mk_site, mk_aggregator, grouped, &sc.runtime);
             let dstats = join_feeder(feeder)?;
             let out = result?;
             Ok((dstats.items, dstats.weight, out, Some(dstats)))

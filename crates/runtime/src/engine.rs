@@ -61,6 +61,17 @@ pub enum RuntimeError {
     /// A [`crate::driver::Scenario`] failed validation (bad shape
     /// parameters, unresolvable workload source).
     InvalidScenario(String),
+    /// The process (`EMFILE`) or system (`ENFILE`) file-descriptor table
+    /// ran out while wiring or accepting connections. The engines raise
+    /// the soft `RLIMIT_NOFILE` to the hard limit at start
+    /// ([`crate::reactor::raise_nofile_limit`]); hitting this anyway
+    /// means the hard limit itself is too low for the deployment's `k`.
+    FdExhausted {
+        /// What the engine was doing when the table ran out.
+        what: String,
+        /// The `RLIMIT_NOFILE` soft limit in effect at the failure.
+        limit: u64,
+    },
     /// Every attempt of a bounded
     /// [`crate::daemon::AttachClient::attach_with_retry`] failed; the
     /// slot could not be (re)claimed.
@@ -83,6 +94,12 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::RootPanicked => write!(f, "root merger thread panicked"),
             RuntimeError::Transport(e) => write!(f, "transport failure: {e}"),
             RuntimeError::InvalidScenario(e) => write!(f, "invalid scenario: {e}"),
+            RuntimeError::FdExhausted { what, limit } => {
+                write!(
+                    f,
+                    "file descriptors exhausted while {what} (RLIMIT_NOFILE soft limit = {limit})"
+                )
+            }
             RuntimeError::ReattachExhausted { attempts, last } => {
                 write!(f, "reattach exhausted after {attempts} attempts: {last}")
             }
@@ -109,18 +126,10 @@ pub struct RunOutput<S, C> {
     pub metrics: Metrics,
 }
 
-/// How many items a site observes between polls of its down link. Draining
-/// broadcasts is an atomic-laden channel operation; polling once per item
-/// costs real throughput on the hot path, while the protocols tolerate
-/// arbitrarily stale thresholds by design (delayed-delivery regime — the
-/// extra staleness window of a few items only nudges message counts, never
-/// correctness).
-pub(crate) const DOWN_POLL_EVERY: u32 = 32;
-
 /// Drives one site over its endpoint: returns the final site state and the
 /// thread-local upstream metrics.
 ///
-/// Downstream messages are applied in windows of [`DOWN_POLL_EVERY`] items
+/// Downstream messages are applied in windows of `down_poll_every` items
 /// ahead of `observe`, mirroring the lockstep runner's delayed-delivery
 /// mode: the protocols tolerate stale thresholds by design (correctness is
 /// unaffected; only message counts may inflate).
@@ -129,6 +138,7 @@ pub(crate) fn site_loop<S, I>(
     endpoint: SiteEndpoint<S::Up, S::Down>,
     items: I,
     batch_max: usize,
+    down_poll_every: u32,
 ) -> Result<Metrics, RuntimeError>
 where
     S: SiteNode,
@@ -136,6 +146,7 @@ where
 {
     let SiteEndpoint { mut up, down, .. } = endpoint;
     up.reserve_hint(batch_max);
+    let down_poll_every = down_poll_every.max(1);
     let mut metrics = Metrics::new();
     // Telemetry is flush-granular: zero work per item, a few relaxed
     // atomics plus two local-sketch pushes per flush (see crate::obs).
@@ -145,7 +156,7 @@ where
     let mut until_poll = 0u32;
     for item in items {
         if until_poll == 0 {
-            until_poll = DOWN_POLL_EVERY;
+            until_poll = down_poll_every;
             while let Ok(msg) = down.try_recv() {
                 site.receive(&msg);
             }
@@ -350,9 +361,10 @@ where
 
     let (coord_res, site_res) = thread::scope(|scope| {
         let mut site_handles = Vec::with_capacity(k);
+        let down_poll_every = cfg.down_poll_every.max(1);
         for ((mut site, ep), items) in sites.into_iter().zip(site_eps).zip(streams) {
             site_handles.push(scope.spawn(move || {
-                let metrics = site_loop(&mut site, ep, items, batch_max)?;
+                let metrics = site_loop(&mut site, ep, items, batch_max, down_poll_every)?;
                 Ok::<_, RuntimeError>((site, metrics))
             }));
         }

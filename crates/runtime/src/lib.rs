@@ -85,8 +85,10 @@ pub mod config;
 pub mod daemon;
 pub mod driver;
 pub mod engine;
+pub mod epoll;
 pub(crate) mod obs;
 pub mod query;
+pub mod reactor;
 pub mod tcp;
 pub mod transport;
 pub mod tree;
@@ -100,7 +102,9 @@ pub use driver::{
 #[allow(deprecated)]
 pub use engine::split_stream;
 pub use engine::{run_threads, RunOutput, RuntimeError};
+pub use epoll::{run_epoll, run_tree_epoll, Feed, ItemFeed, VecFeed};
 pub use query::{Query, QueryAnswer};
+pub use reactor::raise_nofile_limit;
 pub use transport::{
     channel_wiring, BatchSender, CoordEndpoint, DownSender, SiteEndpoint, TransportError, UpFrame,
     Wiring,

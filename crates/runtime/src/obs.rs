@@ -20,8 +20,9 @@ use dwrs_stats::QuantileSketch;
 use dwrs_telemetry::{
     global, Counter, Gauge, Histogram, METRIC_BROADCAST_EVENTS_TOTAL, METRIC_DISPATCH_FRAMES_TOTAL,
     METRIC_DISPATCH_QUEUE_DEPTH, METRIC_DOWN_MESSAGES_TOTAL, METRIC_FLUSH_INTERVAL_NS,
-    METRIC_FRAME_ITEMS, METRIC_ITEMS_TOTAL, METRIC_SITE_FLUSHES_TOTAL, METRIC_TREE_SYNCS_TOTAL,
-    METRIC_UP_MESSAGES_TOTAL, METRIC_WIRE_BYTES_TOTAL,
+    METRIC_FRAME_ITEMS, METRIC_ITEMS_TOTAL, METRIC_REACTOR_EVENTS_TOTAL,
+    METRIC_REACTOR_REGISTERED_FDS, METRIC_REACTOR_SERVICE_NS, METRIC_SITE_FLUSHES_TOTAL,
+    METRIC_TREE_SYNCS_TOTAL, METRIC_UP_MESSAGES_TOTAL, METRIC_WIRE_BYTES_TOTAL,
 };
 
 /// How many flushes a site loop batches locally before folding its
@@ -133,6 +134,68 @@ pub(crate) fn dispatch_handles() -> (Arc<Counter>, Arc<Gauge>) {
         r.counter(METRIC_DISPATCH_FRAMES_TOTAL),
         r.gauge(METRIC_DISPATCH_QUEUE_DEPTH),
     )
+}
+
+/// Per-reactor-loop instrumentation, same discipline as [`FlushMeter`]:
+/// counter/gauge updates are relaxed atomics at event granularity, the
+/// service-latency distribution stays in a thread-local sketch folded
+/// every [`FOLD_EVERY`] wakes and at loop exit. One meter lives on each
+/// event-loop thread's stack (site workers, coordinator reactor, daemon
+/// data plane); the fd gauge is shared, so concurrent loops compose.
+pub(crate) struct ReactorMeter {
+    fds: Arc<Gauge>,
+    events: Arc<Counter>,
+    service_hist: Arc<Histogram>,
+    service_local: QuantileSketch,
+    registered: i64,
+    unfolded: u32,
+}
+
+impl ReactorMeter {
+    /// A meter recording into the process-wide registry.
+    pub(crate) fn new() -> Self {
+        let r = &global().registry;
+        Self {
+            fds: r.gauge(METRIC_REACTOR_REGISTERED_FDS),
+            events: r.counter(METRIC_REACTOR_EVENTS_TOTAL),
+            service_hist: r.histogram(METRIC_REACTOR_SERVICE_NS),
+            service_local: Histogram::local_sketch(),
+            registered: 0,
+            unfolded: 0,
+        }
+    }
+
+    /// A connection was registered with (+1) or removed from (-1) this
+    /// loop's poller.
+    pub(crate) fn on_registered(&mut self, delta: i64) {
+        self.registered += delta;
+        self.fds.add(delta);
+    }
+
+    /// One service pass: `events` readiness notifications handled in
+    /// `ns` nanoseconds before the loop blocks again.
+    pub(crate) fn on_service(&mut self, events: usize, ns: u64) {
+        if events > 0 {
+            self.events.add(events as u64);
+        }
+        self.service_local.observe(ns as f64);
+        self.unfolded += 1;
+        if self.unfolded >= FOLD_EVERY {
+            self.service_hist.merge_local(&mut self.service_local);
+            self.unfolded = 0;
+        }
+    }
+
+    /// Folds remaining observations and releases this loop's share of the
+    /// fd gauge; call at loop exit.
+    pub(crate) fn finish(&mut self) {
+        self.service_hist.merge_local(&mut self.service_local);
+        self.unfolded = 0;
+        if self.registered != 0 {
+            self.fds.add(-self.registered);
+            self.registered = 0;
+        }
+    }
 }
 
 #[cfg(test)]

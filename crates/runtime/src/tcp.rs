@@ -47,7 +47,7 @@ use crate::transport::{
     BatchSender, CoordEndpoint, DownSender, SiteEndpoint, TransportError, UpFrame,
 };
 
-const TAG_HELLO: u8 = 0x10;
+pub(crate) const TAG_HELLO: u8 = 0x10;
 pub(crate) const TAG_BATCH: u8 = 0x11;
 pub(crate) const TAG_EOF: u8 = 0x12;
 pub(crate) const TAG_FAULT: u8 = 0x13;
@@ -204,7 +204,13 @@ where
     I: IntoIterator<Item = Item>,
 {
     let endpoint = connect_site(addr, site_id).map_err(TransportError::Io)?;
-    let metrics = site_loop(&mut site, endpoint, items, cfg.batch_max.max(1))?;
+    let metrics = site_loop(
+        &mut site,
+        endpoint,
+        items,
+        cfg.batch_max.max(1),
+        cfg.down_poll_every,
+    )?;
     Ok((site, metrics))
 }
 
@@ -345,8 +351,10 @@ where
     Ok(CoordEndpoint::new(up_rx, downs))
 }
 
-/// Reads and validates the `HELLO` frame that opens every site connection.
-fn read_hello(stream: &TcpStream) -> Result<usize, RuntimeError> {
+/// Reads and validates the `HELLO` frame that opens every site connection
+/// (shared with the epoll engine's accept loop, which handshakes while
+/// the socket is still in blocking mode).
+pub(crate) fn read_hello(stream: &TcpStream) -> Result<usize, RuntimeError> {
     let mut len_bytes = [0u8; 4];
     let mut take = stream;
     take.read_exact(&mut len_bytes)

@@ -403,6 +403,7 @@ where
 {
     let (g, k) = (topo.groups, topo.k_per_group);
     let batch_max = cfg.batch_max.max(1);
+    let down_poll_every = cfg.down_poll_every.max(1);
     let (root_links, root_ep) = root_wiring;
     assert_eq!(group_wirings.len(), g, "one wiring per group");
     assert_eq!(root_links.len(), g, "one root link per group");
@@ -424,7 +425,10 @@ where
             assert_eq!(group_streams.len(), k, "one stream partition per site");
             for ((i, ep), items) in site_eps.into_iter().enumerate().zip(group_streams) {
                 let mut site = mk_site(gi, i);
-                site_handles.push(scope.spawn(move || site_loop(&mut site, ep, items, batch_max)));
+                site_handles
+                    .push(scope.spawn(move || {
+                        site_loop(&mut site, ep, items, batch_max, down_poll_every)
+                    }));
             }
             let mut aggregator = mk_aggregator(gi);
             let sync_every = topo.sync_every;
@@ -655,7 +659,7 @@ where
             });
             Ok(finish_lockstep_tree(tree))
         }
-        EngineKind::Threads | EngineKind::Tcp => {
+        EngineKind::Threads | EngineKind::Tcp | EngineKind::Epoll => {
             let group_seed = |gi: usize| tree_group_seed(seed, gi);
             run_tree_nodes(
                 engine,
@@ -719,6 +723,26 @@ where
             )
         }
         EngineKind::Tcp => run_tree_tcp(s, topo, mk_site, mk_aggregator, streams, cfg),
+        EngineKind::Epoll => {
+            // This vec-based entry point materializes each partition into
+            // a [`crate::epoll::VecFeed`]; streaming deployments (the
+            // scenario driver) hand their bounded shard queues to
+            // [`crate::epoll::run_tree_epoll`] directly as nonblocking
+            // feeds, at O(batch × queue) memory.
+            let feeds: Vec<Vec<Box<dyn crate::epoll::ItemFeed>>> = streams
+                .into_iter()
+                .map(|group| {
+                    group
+                        .into_iter()
+                        .map(|items| {
+                            Box::new(crate::epoll::VecFeed::new(items.into_iter().collect()))
+                                as Box<dyn crate::epoll::ItemFeed>
+                        })
+                        .collect()
+                })
+                .collect();
+            crate::epoll::run_tree_epoll(s, topo, mk_site, mk_aggregator, feeds, cfg)
+        }
     }
 }
 

@@ -121,7 +121,7 @@ fn tcp_and_threads_agree_on_heavy_hitter_inclusion() {
             items.iter().copied().enumerate().map(|(i, it)| (i % k, it)),
         )
     };
-    for engine in [EngineKind::Threads, EngineKind::Tcp] {
+    for engine in [EngineKind::Threads, EngineKind::Tcp, EngineKind::Epoll] {
         let out = run_swor(
             engine,
             SworConfig::new(8, k),

@@ -44,3 +44,12 @@ pub const METRIC_FLUSH_INTERVAL_NS: &str = "dwrs_flush_interval_ns";
 /// Distribution of live-query service latency in nanoseconds, measured
 /// from dequeue to answer inside the stream processor.
 pub const METRIC_QUERY_LATENCY_NS: &str = "dwrs_query_latency_ns";
+/// Connections currently registered across all reactor event loops
+/// (`epoll` engine site/coordinator loops and the daemon data plane).
+pub const METRIC_REACTOR_REGISTERED_FDS: &str = "dwrs_reactor_registered_fds";
+/// Readiness events delivered by `epoll_wait` across all reactor loops.
+pub const METRIC_REACTOR_EVENTS_TOTAL: &str = "dwrs_reactor_events_total";
+/// Distribution of nanoseconds a reactor loop spends servicing one wake
+/// (reads, frame decode, protocol dispatch, write flushes) before it
+/// blocks in `epoll_wait` again.
+pub const METRIC_REACTOR_SERVICE_NS: &str = "dwrs_reactor_service_ns";

@@ -42,6 +42,9 @@ pub enum TraceKind {
     Connection,
     /// The daemon began shutdown (`a` = streams still live).
     Shutdown,
+    /// An accept failed on `EMFILE`/`ENFILE` (`a` = the current
+    /// `RLIMIT_NOFILE` soft limit).
+    FdExhausted,
 }
 
 impl TraceKind {
@@ -60,6 +63,7 @@ impl TraceKind {
             TraceKind::CtrlError => 10,
             TraceKind::Connection => 11,
             TraceKind::Shutdown => 12,
+            TraceKind::FdExhausted => 13,
         }
     }
 
@@ -83,11 +87,12 @@ impl TraceKind {
             TraceKind::CtrlError => "ctrl-error",
             TraceKind::Connection => "connection",
             TraceKind::Shutdown => "shutdown",
+            TraceKind::FdExhausted => "fd-exhausted",
         }
     }
 
     /// All kinds, in wire-code order.
-    pub fn all() -> [TraceKind; 12] {
+    pub fn all() -> [TraceKind; 13] {
         [
             TraceKind::Create,
             TraceKind::Attach,
@@ -101,6 +106,7 @@ impl TraceKind {
             TraceKind::CtrlError,
             TraceKind::Connection,
             TraceKind::Shutdown,
+            TraceKind::FdExhausted,
         ]
     }
 }

@@ -135,6 +135,34 @@ fn every_trace_event_is_documented() {
 }
 
 #[test]
+fn every_engine_is_documented() {
+    // Each engine the CLI parses must appear in the usage banner and the
+    // architecture guide — adding an engine without documenting it fails
+    // here (the runtime's FromStr error message enumerates the full set).
+    let usage = repo_file("crates/cli/src/args.rs");
+    let arch = repo_file("docs/ARCHITECTURE.md");
+    let err = "quantum".parse::<dwrs::runtime::EngineKind>().unwrap_err();
+    for engine in ["lockstep", "threads", "tcp", "epoll"] {
+        assert!(
+            err.contains(engine),
+            "EngineKind's parse error does not enumerate '{engine}': {err}"
+        );
+        assert!(
+            usage.contains(engine),
+            "CLI usage banner does not mention the '{engine}' engine"
+        );
+        assert!(
+            arch.contains(engine),
+            "docs/ARCHITECTURE.md does not mention the '{engine}' engine"
+        );
+    }
+    assert!(
+        arch.contains("Event-driven engine"),
+        "docs/ARCHITECTURE.md is missing the event-driven engine section"
+    );
+}
+
+#[test]
 fn metrics_frame_is_cross_referenced() {
     let guide = repo_file("docs/DAEMON.md");
     for needle in [

@@ -131,6 +131,86 @@ fn threaded_top_key_distribution_matches_lockstep_ks() {
 }
 
 #[test]
+fn epoll_inclusion_matches_lockstep_chi2() {
+    // The event-driven engine reorders deliveries differently from the
+    // thread-per-site engines (readiness order instead of scheduler
+    // order), but the delayed-delivery argument is the same: inclusion
+    // frequencies must be distributionally indistinguishable from
+    // lockstep. Fewer trials than the threads test — each trial sets up
+    // real sockets — but plenty for the chi² power we assert.
+    let s = 3;
+    let trials = 1_200u64;
+    let mut lockstep_counts = vec![0u64; WEIGHTS.len()];
+    let mut epoll_counts = vec![0u64; WEIGHTS.len()];
+    for t in 0..trials {
+        for id in sample_ids(EngineKind::Lockstep, s, 20_000 + t) {
+            lockstep_counts[id as usize] += 1;
+        }
+        for id in sample_ids(EngineKind::Epoll, s, 80_000 + t) {
+            epoll_counts[id as usize] += 1;
+        }
+    }
+    let r = chi2_two_sample(&lockstep_counts, &epoll_counts);
+    assert!(
+        r.p_value > 1e-4,
+        "distributions differ: chi2 = {:.2}, p = {:.2e}\nlockstep {lockstep_counts:?}\nepoll {epoll_counts:?}",
+        r.statistic,
+        r.p_value
+    );
+}
+
+#[test]
+fn epoll_inclusion_matches_exact_oracle() {
+    // Item-by-item agreement with the closed-form inclusion
+    // probabilities, within binomial error.
+    let s = 3;
+    let trials = 1_200u64;
+    let exact = inclusion_probabilities(&WEIGHTS, s);
+    let mut counts = vec![0u64; WEIGHTS.len()];
+    for t in 0..trials {
+        for id in sample_ids(EngineKind::Epoll, s, 400_000 + t) {
+            counts[id as usize] += 1;
+        }
+    }
+    for (i, &c) in counts.iter().enumerate() {
+        let p = exact[i];
+        let emp = c as f64 / trials as f64;
+        let se = (p * (1.0 - p) / trials as f64).sqrt().max(1e-6);
+        assert!(
+            (emp - p).abs() < 5.5 * se,
+            "item {i}: empirical {emp:.4} vs exact {p:.4} (se {se:.4})"
+        );
+    }
+}
+
+#[test]
+fn epoll_top_key_distribution_matches_lockstep_ks() {
+    let s = 2;
+    let trials = 800u64;
+    let top_key = |engine: EngineKind, seed: u64| {
+        let report = run_scenario(&scenario(engine, s, seed)).expect("run");
+        report
+            .sample
+            .iter()
+            .map(|kd| kd.key)
+            .fold(f64::MIN, f64::max)
+    };
+    let mut lockstep_keys = Vec::with_capacity(trials as usize);
+    let mut epoll_keys = Vec::with_capacity(trials as usize);
+    for t in 0..trials {
+        lockstep_keys.push(top_key(EngineKind::Lockstep, 1_700_000 + t));
+        epoll_keys.push(top_key(EngineKind::Epoll, 1_900_000 + t));
+    }
+    let r = ks_two_sample(&lockstep_keys, &epoll_keys);
+    assert!(
+        r.p_value > 1e-4,
+        "top-key distributions differ: D = {:.4}, p = {:.2e}",
+        r.statistic,
+        r.p_value
+    );
+}
+
+#[test]
 fn engines_agree_on_large_skewed_stream_invariants() {
     // One large skewed streaming run per engine through the driver:
     // identical final sample size, exact byte accounting on both sides
@@ -138,7 +218,12 @@ fn engines_agree_on_large_skewed_stream_invariants() {
     let k = 4;
     let s = 16;
     let n = 100_000u64;
-    for engine in [EngineKind::Lockstep, EngineKind::Threads, EngineKind::Tcp] {
+    for engine in [
+        EngineKind::Lockstep,
+        EngineKind::Threads,
+        EngineKind::Tcp,
+        EngineKind::Epoll,
+    ] {
         let sc = Scenario::new(engine, k, s)
             .with_n(n)
             .with_seed(77)

@@ -138,6 +138,56 @@ fn tree_top_key_distribution_matches_lockstep_ks() {
 }
 
 #[test]
+fn epoll_tree_inclusion_matches_lockstep_chi2() {
+    // The event-driven tree multiplexes every group's sites onto one
+    // shared reactor, so delivery interleavings differ from both the
+    // lockstep tree and the thread-per-site tree — but the root sampling
+    // distribution must not. Fewer trials than the threads test (each
+    // trial builds real sockets), still ample chi² power.
+    let s = 3;
+    let trials = 600u64;
+    let mut lockstep_counts = vec![0u64; WEIGHTS.len()];
+    let mut epoll_counts = vec![0u64; WEIGHTS.len()];
+    for t in 0..trials {
+        for id in root_ids(EngineKind::Lockstep, s, 40_000 + t) {
+            lockstep_counts[id as usize] += 1;
+        }
+        for id in root_ids(EngineKind::Epoll, s, 140_000 + t) {
+            epoll_counts[id as usize] += 1;
+        }
+    }
+    let r = chi2_two_sample(&lockstep_counts, &epoll_counts);
+    assert!(
+        r.p_value > 1e-4,
+        "distributions differ: chi2 = {:.2}, p = {:.2e}\nlockstep {lockstep_counts:?}\nepoll {epoll_counts:?}",
+        r.statistic,
+        r.p_value
+    );
+}
+
+#[test]
+fn epoll_tree_inclusion_matches_exact_oracle() {
+    let s = 3;
+    let trials = 600u64;
+    let exact = inclusion_probabilities(&WEIGHTS, s);
+    let mut counts = vec![0u64; WEIGHTS.len()];
+    for t in 0..trials {
+        for id in root_ids(EngineKind::Epoll, s, 600_000 + t) {
+            counts[id as usize] += 1;
+        }
+    }
+    for (i, &c) in counts.iter().enumerate() {
+        let p = exact[i];
+        let emp = c as f64 / trials as f64;
+        let se = (p * (1.0 - p) / trials as f64).sqrt().max(1e-6);
+        assert!(
+            (emp - p).abs() < 5.5 * se,
+            "item {i}: empirical {emp:.4} vs exact {p:.4} (se {se:.4})"
+        );
+    }
+}
+
+#[test]
 fn tree_engines_agree_on_large_skewed_stream_invariants() {
     // One large skewed streaming run per engine: full sample at the root,
     // per-tier byte accounting exact, bounded staleness respected, final
@@ -149,7 +199,12 @@ fn tree_engines_agree_on_large_skewed_stream_invariants() {
     };
     let s = 16;
     let n = 200_000u64;
-    for engine in [EngineKind::Lockstep, EngineKind::Threads, EngineKind::Tcp] {
+    for engine in [
+        EngineKind::Lockstep,
+        EngineKind::Threads,
+        EngineKind::Tcp,
+        EngineKind::Epoll,
+    ] {
         let sc = Scenario::new(engine, 8, s)
             .with_n(n)
             .with_seed(77)
