@@ -54,6 +54,7 @@
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -624,6 +625,10 @@ where
                 // Short timeout, not indefinite: item feeds are queue-fed
                 // (no fd), so a stalled feed must be re-polled promptly.
                 if p.wait(&mut events, 1).is_err() {
+                    // No readiness facts this round: optimistically re-arm
+                    // so the next pass retries I/O instead of wedging on
+                    // stale hints.
+                    rearm_all(&mut tasks);
                     thread::sleep(Duration::from_micros(500));
                 }
                 for ev in &events {
@@ -645,8 +650,14 @@ where
                 events_since_wait += events.len();
             }
             // No epoll instance (creation failed): degrade to a timed
-            // spin — correct, just less efficient.
-            None => thread::sleep(Duration::from_micros(500)),
+            // spin. The hints are normally re-armed only by poll events,
+            // so without a poller they must be forced back on each round —
+            // otherwise the first WouldBlock would clear them forever and
+            // the task would wedge with a full send buffer.
+            None => {
+                rearm_all(&mut tasks);
+                thread::sleep(Duration::from_micros(500));
+            }
         }
     }
     meter.finish();
@@ -661,6 +672,19 @@ where
             (t.global, res)
         })
         .collect()
+}
+
+/// Forces every live task's readiness hints back on. Used when no poll
+/// facts are available this round (no poller at all, or a failed wait):
+/// the hints are otherwise re-armed only by poll events, so without this
+/// the timed spin would never retry I/O after a `WouldBlock`.
+fn rearm_all<S: SiteNode>(tasks: &mut [SiteTask<S>]) {
+    for t in tasks.iter_mut() {
+        if t.phase != Phase::Done {
+            t.read_ready = true;
+            t.write_ready = true;
+        }
+    }
 }
 
 /// Reconciles a task's poller registration with its desired interest set.
@@ -709,10 +733,47 @@ struct DownState {
     closing: bool,
 }
 
-/// The coordinator-side handle pair: buffer plus reactor waker.
+/// The coordinator-side handle pair: buffer plus reactor waker, with
+/// lock-free mirrors of the buffer state so the reactor's per-iteration
+/// pass over thousands of connections skips the mutex for idle ones.
 struct ConnTx {
     state: Mutex<DownState>,
     waker: Arc<Waker>,
+    /// Bytes pending in `state.send`, published under the lock by every
+    /// mutator ([`ConnTx::publish`]).
+    pending_hint: AtomicUsize,
+    /// `state.closing`, published the same way — the reactor must visit a
+    /// closing connection even with an empty buffer (to half-close it).
+    closing_hint: AtomicBool,
+}
+
+impl ConnTx {
+    fn new(waker: Arc<Waker>) -> Arc<ConnTx> {
+        Arc::new(ConnTx {
+            state: Mutex::new(DownState {
+                send: SendBuf::with_cap(DOWN_BUF_CAP),
+                closing: false,
+            }),
+            waker,
+            pending_hint: AtomicUsize::new(0),
+            closing_hint: AtomicBool::new(false),
+        })
+    }
+
+    /// Mirrors the lock-held state into the atomic hints. Must be called
+    /// with the `state` guard still held by every code path that mutates
+    /// `DownState`, so the hints never lag a released lock.
+    fn publish(&self, st: &DownState) {
+        self.pending_hint
+            .store(st.send.pending(), Ordering::Release);
+        self.closing_hint.store(st.closing, Ordering::Release);
+    }
+
+    /// True when the reactor's down pass has work here: buffered bytes to
+    /// flush, or a requested close to complete. Lock-free.
+    fn down_work(&self) -> bool {
+        self.pending_hint.load(Ordering::Acquire) > 0 || self.closing_hint.load(Ordering::Acquire)
+    }
 }
 
 /// [`DownSender`] feeding the reactor: never blocks, never fails while
@@ -735,6 +796,7 @@ impl<D: FrameCodec + Send> DownSender<D> for EpollDownSender<D> {
                 msg.encode(b);
             })
             .map_err(TransportError::Io)?;
+        self.tx.publish(&st);
         drop(st);
         self.tx.waker.wake();
         Ok(())
@@ -743,6 +805,7 @@ impl<D: FrameCodec + Send> DownSender<D> for EpollDownSender<D> {
     fn close(&mut self) {
         let mut st = self.tx.state.lock().expect("down state poisoned");
         st.closing = true;
+        self.tx.publish(&st);
         drop(st);
         self.tx.waker.wake();
     }
@@ -762,6 +825,7 @@ impl<D> Drop for EpollDownSender<D> {
             Err(poisoned) => poisoned.into_inner(),
         };
         st.closing = true;
+        self.tx.publish(&st);
         drop(st);
         self.tx.waker.wake();
     }
@@ -829,6 +893,7 @@ fn deliver<U>(c: &mut CoordConn, ups: &[UpQueue<U>], frame: UpFrame<U>) {
         let mut st = c.tx.state.lock().expect("down state poisoned");
         st.send.clear();
         st.closing = true;
+        c.tx.publish(&st);
         drop(st);
         let _ = c.stream.shutdown(Shutdown::Both);
         c.write_shut = true;
@@ -880,16 +945,19 @@ fn flush_conn_downs(c: &mut CoordConn) {
     let mut st = c.tx.state.lock().expect("down state poisoned");
     if c.write_shut {
         st.send.clear();
+        c.tx.publish(&st);
         return;
     }
     if !st.send.is_empty() && st.send.flush_to(&mut (&c.stream)).is_err() {
         st.send.clear();
         st.closing = true;
+        c.tx.publish(&st);
         drop(st);
         let _ = c.stream.shutdown(Shutdown::Both);
         c.write_shut = true;
         return;
     }
+    c.tx.publish(&st);
     if st.closing && st.send.is_empty() {
         drop(st);
         let _ = c.stream.shutdown(Shutdown::Write);
@@ -927,8 +995,12 @@ fn coord_reactor<U: FrameCodec>(
     let mut events: Vec<PollEvent> = Vec::new();
     while live > 0 {
         events.clear();
+        // Bounded wait, not -1: the waker's drain ordering makes lost
+        // wakeups impossible (see `WakeRx::drain`), but a periodic pass
+        // over the connections is cheap insurance that queued down
+        // sends/closes are picked up even if a wakeup ever went missing.
         let n = poller
-            .wait(&mut events, -1)
+            .wait(&mut events, 250)
             .map_err(|e| io_runtime_err("coordinator epoll_wait", &e))?;
         let t0 = Instant::now();
         let mut woke = false;
@@ -952,6 +1024,7 @@ fn coord_reactor<U: FrameCodec>(
                 let mut st = c.tx.state.lock().expect("down state poisoned");
                 st.send.clear();
                 st.closing = true;
+                c.tx.publish(&st);
                 drop(st);
                 let _ = c.stream.shutdown(Shutdown::Both);
                 c.write_shut = true;
@@ -964,7 +1037,13 @@ fn coord_reactor<U: FrameCodec>(
             if c.dead {
                 continue;
             }
-            flush_conn_downs(c);
+            // Idle fast path: no buffered bytes and no close requested
+            // (per the lock-free hints the senders publish), so skip the
+            // mutex entirely — at k in the thousands this pass would
+            // otherwise take O(k) lock acquisitions per wakeup.
+            if !c.write_shut && c.tx.down_work() {
+                flush_conn_downs(c);
+            }
             if c.up_done && c.write_shut {
                 if c.registered && poller.deregister(c.stream.as_raw_fd()).is_ok() {
                     meter.on_registered(-1);
@@ -975,14 +1054,7 @@ fn coord_reactor<U: FrameCodec>(
                 continue;
             }
             let want_r = !c.up_done;
-            let want_w = !c.write_shut
-                && !c
-                    .tx
-                    .state
-                    .lock()
-                    .expect("down state poisoned")
-                    .send
-                    .is_empty();
+            let want_w = !c.write_shut && c.tx.pending_hint.load(Ordering::Acquire) > 0;
             if c.registered && (want_r, want_w) == (c.reg_read, c.reg_write) {
                 continue;
             }
@@ -1144,13 +1216,7 @@ where
     let mut conns = Vec::with_capacity(k);
     let mut downs: Vec<Box<dyn DownSender<S::Down>>> = Vec::with_capacity(k);
     for (site, stream) in coord_streams.into_iter().enumerate() {
-        let tx = Arc::new(ConnTx {
-            state: Mutex::new(DownState {
-                send: SendBuf::with_cap(DOWN_BUF_CAP),
-                closing: false,
-            }),
-            waker: Arc::clone(&waker),
-        });
+        let tx = ConnTx::new(Arc::clone(&waker));
         downs.push(Box::new(EpollDownSender::<S::Down> {
             tx: Arc::clone(&tx),
             _marker: std::marker::PhantomData,
@@ -1288,13 +1354,7 @@ where
         (0..g).map(|_| Vec::with_capacity(k)).collect();
     for (global, stream) in coord_streams.into_iter().enumerate() {
         let (gi, i) = (global / k, global % k);
-        let tx = Arc::new(ConnTx {
-            state: Mutex::new(DownState {
-                send: SendBuf::with_cap(DOWN_BUF_CAP),
-                closing: false,
-            }),
-            waker: Arc::clone(&waker),
-        });
+        let tx = ConnTx::new(Arc::clone(&waker));
         group_downs[gi].push(Box::new(EpollDownSender::<S::Down> {
             tx: Arc::clone(&tx),
             _marker: std::marker::PhantomData,

@@ -42,14 +42,23 @@ use dwrs_core::framed::MAX_FRAME_LEN;
 /// Constants and layouts are the Linux userspace ABI (stable by contract).
 mod sys {
     /// `epoll_event.data` is a union in C; we only ever store the `u64`
-    /// token. x86-64 declares the struct packed, and the layout is part of
-    /// the kernel ABI, so mirror it exactly.
-    #[repr(C, packed)]
+    /// token. The kernel ABI packs the struct on x86-64 only (12 bytes);
+    /// every other Linux arch uses natural alignment (16 bytes, 4 bytes of
+    /// padding after `events`). Mirror that per-arch, and assert the size
+    /// so a future arch with a third layout fails at compile time instead
+    /// of letting `epoll_wait` scribble past the event array.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
     #[derive(Clone, Copy)]
     pub struct EpollEvent {
         pub events: u32,
         pub token: u64,
     }
+
+    const _: () = assert!(
+        std::mem::size_of::<EpollEvent>() == if cfg!(target_arch = "x86_64") { 12 } else { 16 },
+        "EpollEvent layout does not match the kernel's struct epoll_event on this target"
+    );
 
     #[repr(C)]
     pub struct Rlimit {
@@ -262,10 +271,19 @@ impl WakeRx {
     }
 
     /// Consumes all queued wake bytes and re-arms the coalescing flag.
+    ///
+    /// Ordering matters: the pipe is emptied *before* `pending` clears.
+    /// A `wake()` racing this call either lands its byte before the read
+    /// loop finishes — and its flag is cleared with the byte consumed, so
+    /// the next wake re-fires — or lands after, leaving a byte in the
+    /// pipe with `pending` false, which costs one spurious poll wakeup.
+    /// Clearing `pending` first instead would let the read loop consume a
+    /// racing wake's byte while its flag stayed set, permanently disarming
+    /// the waker (every later `wake()` no-ops against an empty pipe).
     pub fn drain(&mut self) {
-        self.waker.pending.store(false, Ordering::Release);
         let mut buf = [0u8; 64];
         while matches!(self.rx.read(&mut buf), Ok(n) if n > 0) {}
+        self.waker.pending.store(false, Ordering::Release);
     }
 }
 
@@ -655,6 +673,48 @@ mod tests {
         waker.wake();
         poller.wait(&mut events, 1000).unwrap();
         assert!(events.iter().any(|e| e.token == WAKE_TOKEN));
+    }
+
+    #[test]
+    fn waker_survives_concurrent_wake_drain_races() {
+        // Regression: drain() once cleared `pending` before emptying the
+        // pipe, so a wake racing the read loop could have its byte consumed
+        // while the flag stayed set — permanently disarming the waker. A
+        // hammered wake/drain interleaving must always leave the waker able
+        // to fire again.
+        let poller = Poller::new().unwrap();
+        let (waker, mut wake_rx) = wake_pair().unwrap();
+        poller
+            .register(wake_rx.raw_fd(), WAKE_TOKEN, true, false)
+            .unwrap();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    waker.wake();
+                    std::hint::spin_loop();
+                }
+            });
+            let mut events = Vec::new();
+            for _ in 0..50_000 {
+                events.clear();
+                let _ = poller.wait(&mut events, 0);
+                wake_rx.drain();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        // Quiesce: no concurrent wakers left, so one drain empties the pipe
+        // and re-arms the flag.
+        wake_rx.drain();
+        let mut events = Vec::new();
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0, "fully drained");
+        // The waker must still be armed: a fresh wake unblocks the poller.
+        waker.wake();
+        poller.wait(&mut events, 1000).unwrap();
+        assert!(
+            events.iter().any(|e| e.token == WAKE_TOKEN && e.readable),
+            "wake after racing drains must still fire"
+        );
     }
 
     #[test]
