@@ -576,16 +576,25 @@ fn install_signal_shutdown(daemon: std::sync::Arc<Daemon>) {
     use std::sync::atomic::{AtomicBool, Ordering};
     static SIGNALLED: AtomicBool = AtomicBool::new(false);
     extern "C" fn on_signal(_sig: i32) {
+        // ordering: SeqCst — set from async-signal context where the cost
+        // is irrelevant; pairs with the SeqCst poll below and leaves no
+        // doubt the flag is visible to the watcher on any architecture.
         SIGNALLED.store(true, Ordering::SeqCst);
     }
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
+    // SAFETY: `on_signal` is an `extern "C" fn(i32)` matching libc's
+    // sighandler_t and is async-signal-safe (a single atomic store, no
+    // allocation or locking); 15/SIGTERM and 2/SIGINT are valid signal
+    // numbers on every unix this builds for.
     unsafe {
         signal(15, on_signal); // SIGTERM
         signal(2, on_signal); // SIGINT
     }
     std::thread::spawn(move || loop {
+        // ordering: SeqCst — matches the handler's store; this 20 Hz poll
+        // is nowhere near hot enough for the fence cost to matter.
         if SIGNALLED.load(Ordering::SeqCst) {
             daemon.shutdown();
             return;

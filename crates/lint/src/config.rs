@@ -1,0 +1,518 @@
+//! `lint.toml` — the repo-specific invariant declarations.
+//!
+//! The environment is registry-less, so this module includes a small
+//! hand-rolled parser for the TOML subset the config uses: `[table]` and
+//! `[[array-of-table]]` headers, `key = value` with string / integer /
+//! boolean / (possibly nested, possibly multi-line) array values, and `#`
+//! comments. Unknown keys are ignored so the config can grow.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+// ------------------------------------------------------------ raw values
+
+/// A parsed TOML value (subset).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    Array(Vec<Value>),
+}
+
+impl Value {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_str_array(&self) -> Option<Vec<String>> {
+        match self {
+            Value::Array(items) => items
+                .iter()
+                .map(|v| v.as_str().map(str::to_string))
+                .collect(),
+            _ => None,
+        }
+    }
+}
+
+/// One table: its dotted header path and key/value pairs.
+#[derive(Debug, Default)]
+struct Table {
+    path: String,
+    keys: BTreeMap<String, Value>,
+}
+
+/// A configuration error with enough context to fix the file.
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn parse_tables(text: &str) -> Result<Vec<Table>, ConfigError> {
+    let mut tables: Vec<Table> = vec![Table::default()];
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((n, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let path = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| ConfigError(format!("line {}: malformed [[header]]", n + 1)))?;
+            tables.push(Table {
+                path: path.trim().to_string(),
+                keys: BTreeMap::new(),
+            });
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let path = rest
+                .strip_suffix(']')
+                .ok_or_else(|| ConfigError(format!("line {}: malformed [header]", n + 1)))?;
+            tables.push(Table {
+                path: path.trim().to_string(),
+                keys: BTreeMap::new(),
+            });
+        } else if let Some((key, mut rhs)) = split_key_value(&line) {
+            // Multi-line arrays: keep consuming lines until brackets balance.
+            while bracket_balance(&rhs) > 0 {
+                let Some((_, next)) = lines.next() else {
+                    return Err(ConfigError(format!(
+                        "line {}: unterminated array for key {key:?}",
+                        n + 1
+                    )));
+                };
+                rhs.push(' ');
+                rhs.push_str(strip_comment(next).trim());
+            }
+            let value = parse_value(rhs.trim())
+                .map_err(|e| ConfigError(format!("line {}: key {key:?}: {e}", n + 1)))?;
+            tables
+                .last_mut()
+                .expect("tables never empty")
+                .keys
+                .insert(key, value);
+        } else {
+            return Err(ConfigError(format!(
+                "line {}: cannot parse {line:?}",
+                n + 1
+            )));
+        }
+    }
+    Ok(tables)
+}
+
+/// Strips a `#` comment, respecting `"`-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn split_key_value(line: &str) -> Option<(String, String)> {
+    let eq = line.find('=')?;
+    let key = line[..eq].trim();
+    if key.is_empty() || key.contains(' ') {
+        return None;
+    }
+    Some((key.to_string(), line[eq + 1..].trim().to_string()))
+}
+
+/// Net count of unclosed `[` outside strings.
+fn bracket_balance(s: &str) -> i32 {
+    let mut depth = 0;
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for c in s.chars() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    depth
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix('"') {
+        let mut out = String::new();
+        let mut chars = rest.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some(other) => out.push(other),
+                    None => return Err("dangling escape".into()),
+                },
+                '"' => return Ok(Value::Str(out)),
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    } else if s == "true" {
+        Ok(Value::Bool(true))
+    } else if s == "false" {
+        Ok(Value::Bool(false))
+    } else if s.starts_with('[') {
+        let inner = s
+            .strip_prefix('[')
+            .and_then(|x| x.strip_suffix(']'))
+            .ok_or("malformed array")?;
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_value(part)?);
+        }
+        Ok(Value::Array(items))
+    } else {
+        s.parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| format!("cannot parse value {s:?}"))
+    }
+}
+
+/// Splits on top-level commas (outside nested brackets and strings).
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0;
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for c in s.chars() {
+        match c {
+            '"' if !prev_backslash => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '[' if !in_str => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' if !in_str => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if !in_str && depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+// ---------------------------------------------------------- typed config
+
+/// A hot-path function declaration: the file (suffix match, `/` separators)
+/// and the function name, written `path::fn_name` in the config.
+#[derive(Clone, Debug)]
+pub struct HotFn {
+    pub file: String,
+    pub func: String,
+}
+
+/// A wire-tag namespace: the files whose `TAG_*` constants form one tag
+/// space (values must be unique within it), and the document that must
+/// mention each tag name and byte.
+#[derive(Clone, Debug)]
+pub struct TagNamespace {
+    pub name: String,
+    pub files: Vec<String>,
+    pub doc: String,
+}
+
+/// Trace-event catalog declaration for L005.
+#[derive(Clone, Debug)]
+pub struct TraceCatalog {
+    pub file: String,
+    pub enum_name: String,
+    pub doc: String,
+}
+
+/// A configured suppression. `file` is a suffix match; at least one of
+/// `line`/`contains` narrows it; `reason` is mandatory and non-empty.
+#[derive(Clone, Debug)]
+pub struct AllowRule {
+    pub code: String,
+    pub file: String,
+    pub line: Option<u32>,
+    pub contains: Option<String>,
+    pub reason: String,
+}
+
+/// The fully-typed lint configuration.
+#[derive(Debug)]
+pub struct Config {
+    /// Directories (relative to the root) to scan for `.rs` files.
+    pub include: Vec<String>,
+    /// Path substrings that exclude a file.
+    pub exclude: Vec<String>,
+    /// Declared lock set (every name that counts as a lock for L003).
+    pub lock_names: Vec<String>,
+    /// Declared acquisition chains: within a chain, an earlier lock may be
+    /// held while acquiring a later one, never the reverse.
+    pub lock_chains: Vec<Vec<String>>,
+    /// Functions whose steady state must not allocate (L004).
+    pub hot_functions: Vec<HotFn>,
+    /// Allocation-shaped calls L004 flags (methods, `Path::fn`s, macros).
+    pub alloc_catalog: Vec<String>,
+    /// Wire-tag namespaces (L005).
+    pub tag_namespaces: Vec<TagNamespace>,
+    /// Trace-event catalog (L005).
+    pub trace: Option<TraceCatalog>,
+    /// Configured suppressions.
+    pub allows: Vec<AllowRule>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            include: vec![
+                "src".into(),
+                "crates".into(),
+                "tests".into(),
+                "examples".into(),
+            ],
+            exclude: vec!["vendor/".into(), "/target/".into()],
+            lock_names: Vec::new(),
+            lock_chains: Vec::new(),
+            hot_functions: Vec::new(),
+            alloc_catalog: default_alloc_catalog(),
+            tag_namespaces: Vec::new(),
+            trace: None,
+            allows: Vec::new(),
+        }
+    }
+}
+
+/// The default allocation-shaped call catalog for L004.
+pub fn default_alloc_catalog() -> Vec<String> {
+    [
+        "Vec::new",
+        "Vec::with_capacity",
+        "String::new",
+        "String::from",
+        "String::with_capacity",
+        "Box::new",
+        "vec!",
+        "format!",
+        ".clone",
+        ".to_vec",
+        ".to_string",
+        ".to_owned",
+        ".collect",
+    ]
+    .into_iter()
+    .map(str::to_string)
+    .collect()
+}
+
+impl Config {
+    /// Parses a config from TOML text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        for table in parse_tables(text)? {
+            match table.path.as_str() {
+                "" => {}
+                "scan" => {
+                    if let Some(v) = table.keys.get("include").and_then(Value::as_str_array) {
+                        cfg.include = v;
+                    }
+                    if let Some(v) = table.keys.get("exclude").and_then(Value::as_str_array) {
+                        cfg.exclude = v;
+                    }
+                }
+                "locks" => {
+                    if let Some(v) = table.keys.get("names").and_then(Value::as_str_array) {
+                        cfg.lock_names = v;
+                    }
+                    if let Some(Value::Array(chains)) = table.keys.get("chains") {
+                        for chain in chains {
+                            let links = chain.as_str_array().ok_or_else(|| {
+                                ConfigError("locks.chains must be arrays of strings".into())
+                            })?;
+                            cfg.lock_chains.push(links);
+                        }
+                    }
+                }
+                "hotpath" => {
+                    if let Some(v) = table.keys.get("functions").and_then(Value::as_str_array) {
+                        for entry in v {
+                            let (file, func) = entry.rsplit_once("::").ok_or_else(|| {
+                                ConfigError(format!(
+                                    "hotpath function {entry:?} must be written path::fn_name"
+                                ))
+                            })?;
+                            cfg.hot_functions.push(HotFn {
+                                file: file.to_string(),
+                                func: func.to_string(),
+                            });
+                        }
+                    }
+                    if let Some(v) = table.keys.get("alloc_calls").and_then(Value::as_str_array) {
+                        cfg.alloc_catalog = v;
+                    }
+                }
+                "tags.trace" => {
+                    cfg.trace = Some(TraceCatalog {
+                        file: required_str(&table, "file")?,
+                        enum_name: table
+                            .keys
+                            .get("enum")
+                            .and_then(Value::as_str)
+                            .unwrap_or("TraceKind")
+                            .to_string(),
+                        doc: required_str(&table, "doc")?,
+                    });
+                }
+                "tags.namespace" => {
+                    cfg.tag_namespaces.push(TagNamespace {
+                        name: required_str(&table, "name")?,
+                        files: table
+                            .keys
+                            .get("files")
+                            .and_then(Value::as_str_array)
+                            .ok_or_else(|| {
+                                ConfigError("tags.namespace needs a files array".into())
+                            })?,
+                        doc: required_str(&table, "doc")?,
+                    });
+                }
+                "allow" => {
+                    let rule = AllowRule {
+                        code: required_str(&table, "code")?,
+                        file: required_str(&table, "file")?,
+                        line: table.keys.get("line").and_then(|v| match v {
+                            Value::Int(n) => u32::try_from(*n).ok(),
+                            _ => None,
+                        }),
+                        contains: table
+                            .keys
+                            .get("contains")
+                            .and_then(Value::as_str)
+                            .map(str::to_string),
+                        reason: required_str(&table, "reason")?,
+                    };
+                    if rule.reason.trim().is_empty() {
+                        return Err(ConfigError(format!(
+                            "allow rule for {} in {} has an empty reason — every \
+                             suppression must say why",
+                            rule.code, rule.file
+                        )));
+                    }
+                    cfg.allows.push(rule);
+                }
+                other => {
+                    return Err(ConfigError(format!("unknown table [{other}]")));
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Loads and parses `path`.
+    pub fn load(path: &Path) -> Result<Config, ConfigError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ConfigError(format!("cannot read {}: {e}", path.display())))?;
+        Config::parse(&text)
+    }
+}
+
+fn required_str(table: &Table, key: &str) -> Result<String, ConfigError> {
+    table
+        .keys
+        .get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ConfigError(format!("[{}] needs a string key {key:?}", table.path)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let cfg = Config::parse(
+            r#"
+[scan]
+include = ["src", "crates"]  # trailing comment
+exclude = ["vendor/"]
+
+[locks]
+names = ["streams", "drained"]
+chains = [
+    ["streams", "drained"],
+]
+
+[hotpath]
+functions = ["crates/runtime/src/epoll.rs::site_worker"]
+
+[tags.trace]
+file = "crates/telemetry/src/trace.rs"
+doc = "docs/DAEMON.md"
+
+[[tags.namespace]]
+name = "ctrl"
+files = ["crates/core/src/ctrl.rs"]
+doc = "docs/DAEMON.md"
+
+[[allow]]
+code = "L004"
+file = "crates/runtime/src/epoll.rs"
+line = 10
+reason = "startup allocation, not steady state"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.include, vec!["src", "crates"]);
+        assert_eq!(cfg.lock_chains, vec![vec!["streams", "drained"]]);
+        assert_eq!(cfg.hot_functions[0].func, "site_worker");
+        assert_eq!(cfg.hot_functions[0].file, "crates/runtime/src/epoll.rs");
+        assert_eq!(cfg.tag_namespaces[0].name, "ctrl");
+        assert_eq!(cfg.allows[0].line, Some(10));
+        assert!(cfg.trace.is_some());
+    }
+
+    #[test]
+    fn empty_allow_reason_is_rejected() {
+        let err = Config::parse("[[allow]]\ncode = \"L001\"\nfile = \"x.rs\"\nreason = \"  \"\n")
+            .unwrap_err();
+        assert!(err.0.contains("empty reason"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse("[scan]\ninclude = [\"a#b\"]\n").unwrap();
+        assert_eq!(cfg.include, vec!["a#b"]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Findings and report rendering (human text and JSON).
+
+/// One diagnostic: a stable rule code, a `file:line` anchor, and a
+/// human-readable message.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    pub code: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(code: &'static str, file: &str, line: u32, message: impl Into<String>) -> Self {
+        Finding {
+            code,
+            file: file.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// The result of one lint pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived the allowlist, sorted by file then line.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by an inline or configured allow.
+    pub allowed: usize,
+    /// Files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    /// `path:line: [CODE] message` lines plus a one-line summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.file, f.line, f.code, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "dwrs-lint: {} finding(s), {} allowed, {} file(s) scanned\n",
+            self.findings.len(),
+            self.allowed,
+            self.files
+        ));
+        out
+    }
+
+    /// A machine-readable findings artifact for CI.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"code\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                f.code,
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"allowed\": {},\n  \"files\": {}\n}}\n",
+            self.allowed, self.files
+        ));
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut r = Report {
+            findings: vec![Finding::new(
+                "L001",
+                "a/b.rs",
+                3,
+                "needs \"SAFETY\"\ncomment",
+            )],
+            allowed: 1,
+            files: 2,
+        };
+        let j = r.render_json();
+        assert!(j.contains("\\\"SAFETY\\\""));
+        assert!(j.contains("\\n"));
+        r.findings.clear();
+        let empty = r.render_json();
+        assert!(empty.contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,450 @@
+//! A hand-rolled token-level lexer for Rust source.
+//!
+//! The build environment is registry-less (no `syn`), so the lint works at
+//! the token level: enough structure to find identifiers, literals, and
+//! punctuation with accurate line numbers, while correctly *skipping* the
+//! places naive greps go wrong — string literals (`"unsafe"`), raw strings
+//! (`r#"Mutex"#` at any hash depth), byte/char literals, lifetimes, and
+//! nested block comments. Comments are not discarded: they are collected
+//! per line so rules can look for justification markers (`SAFETY:`,
+//! `ordering:`, `lint:allow(...)`) next to a flagged token.
+
+use std::collections::{HashMap, HashSet};
+
+/// What kind of token a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `Ordering`, ...).
+    Ident,
+    /// Numeric literal (`3`, `0x41`, `1.5e3`). Text preserved verbatim.
+    Num,
+    /// String literal of any flavor (`"x"`, `r#"x"#`, `b"x"`). The token
+    /// text is the *inner* content, escapes unprocessed.
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`) — kept distinct so it is never confused for a char.
+    Lifetime,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes() == [c as u8]
+    }
+}
+
+/// A lexed source file: the token stream plus per-line comment and code
+/// maps used by the justification-marker lookups.
+#[derive(Debug, Default)]
+pub struct Source {
+    pub toks: Vec<Tok>,
+    /// Concatenated comment text per line (line → text). A block comment
+    /// spanning lines contributes to every line it covers.
+    pub comments: HashMap<u32, String>,
+    /// Lines carrying at least one token.
+    pub code_lines: HashSet<u32>,
+    /// Last non-whitespace code character on each code line (used to spot
+    /// statement boundaries when walking upward for a marker).
+    pub line_end: HashMap<u32, char>,
+    /// Total number of lines.
+    pub lines: u32,
+}
+
+impl Source {
+    /// Comment text attached to `line`, if any.
+    pub fn comment_on(&self, line: u32) -> Option<&str> {
+        self.comments.get(&line).map(|s| s.as_str())
+    }
+
+    /// True when `line` carries code tokens.
+    pub fn is_code_line(&self, line: u32) -> bool {
+        self.code_lines.contains(&line)
+    }
+}
+
+/// How many lines above a token [`comments_near`] will walk looking for a
+/// justification marker before giving up.
+const MARKER_WALK_LIMIT: u32 = 16;
+
+/// Collects the comment text "attached" to `line`: the trailing comment on
+/// the line itself, plus the contiguous comment block directly above it.
+/// The upward walk tolerates intervening attribute lines and statement
+/// continuations, and stops at the end of the previous statement (a line
+/// whose code ends in `;`, `{` or `}`) or at a blank line.
+pub fn comments_near(src: &Source, line: u32) -> Vec<&str> {
+    let mut out = Vec::new();
+    if let Some(c) = src.comment_on(line) {
+        out.push(c);
+    }
+    let mut l = line;
+    let mut walked = 0;
+    while l > 1 && walked < MARKER_WALK_LIMIT {
+        l -= 1;
+        walked += 1;
+        let has_comment = src.comment_on(l).is_some();
+        let has_code = src.is_code_line(l);
+        if let Some(c) = src.comment_on(l) {
+            out.push(c);
+        }
+        if has_code {
+            // The previous statement (or an opened block) ends the walk;
+            // a continuation line of the same statement does not.
+            if matches!(src.line_end.get(&l), Some(';' | '{' | '}')) {
+                break;
+            }
+        } else if !has_comment {
+            break; // blank line
+        }
+    }
+    out
+}
+
+/// True when any comment attached to `line` contains `marker`.
+pub fn marker_near(src: &Source, line: u32, marker: &str) -> bool {
+    comments_near(src, line).iter().any(|c| c.contains(marker))
+}
+
+/// Lexes `text` into a [`Source`].
+pub fn lex(text: &str) -> Source {
+    let mut src = Source::default();
+    let b = text.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let push = |src: &mut Source, kind: TokKind, text: String, line: u32| {
+        if let Some(last) = text.chars().last() {
+            src.line_end.insert(line, last);
+        }
+        src.code_lines.insert(line);
+        src.toks.push(Tok { kind, text, line });
+    };
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                append_comment(&mut src, line, &text[start..i]);
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comment; contributes per covered line.
+                let mut depth = 1;
+                i += 2;
+                let mut seg_start = i;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else if b[i] == b'\n' {
+                        append_comment(&mut src, line, &text[seg_start..i]);
+                        line += 1;
+                        i += 1;
+                        seg_start = i;
+                    } else {
+                        i += 1;
+                    }
+                }
+                append_comment(&mut src, line, text[seg_start..i].trim_end_matches("*/"));
+            }
+            b'"' => {
+                let (inner, ni, nl) = lex_string(text, i, line);
+                push(&mut src, TokKind::Str, inner, line);
+                i = ni;
+                line = nl;
+            }
+            b'r' | b'b' if raw_or_byte_literal_at(b, i) => {
+                let (kind, inner, ni, nl) = lex_prefixed_literal(text, i, line);
+                push(&mut src, kind, inner, line);
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                // Char literal vs lifetime.
+                if is_char_literal_at(text, i) {
+                    let (inner, ni, nl) = lex_char(text, i, line);
+                    push(&mut src, TokKind::Char, inner, line);
+                    i = ni;
+                    line = nl;
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    push(
+                        &mut src,
+                        TokKind::Lifetime,
+                        text[start..i].to_string(),
+                        line,
+                    );
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                push(&mut src, TokKind::Ident, text[start..i].to_string(), line);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    let in_float = d == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit();
+                    if d == b'_' || d.is_ascii_alphanumeric() || in_float {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push(&mut src, TokKind::Num, text[start..i].to_string(), line);
+            }
+            _ => {
+                // Multibyte UTF-8 outside literals only occurs in idents we
+                // don't care about; emit byte-by-byte punctuation for ASCII
+                // and skip continuation bytes.
+                if c.is_ascii() {
+                    push(&mut src, TokKind::Punct, (c as char).to_string(), line);
+                }
+                i += 1;
+            }
+        }
+    }
+    src.lines = line;
+    src
+}
+
+fn append_comment(src: &mut Source, line: u32, text: &str) {
+    let entry = src.comments.entry(line).or_default();
+    if !entry.is_empty() {
+        entry.push(' ');
+    }
+    entry.push_str(text);
+}
+
+/// Is `b[i..]` the start of a raw string, byte string, raw byte string, or
+/// byte char (as opposed to a plain identifier starting with `r`/`b`)?
+fn raw_or_byte_literal_at(b: &[u8], i: usize) -> bool {
+    let rest = &b[i..];
+    match rest.first() {
+        Some(b'r') => matches!(rest.get(1), Some(b'"') | Some(b'#')) && raw_has_quote(rest, 1),
+        Some(b'b') => match rest.get(1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(rest.get(2), Some(b'"') | Some(b'#')) && raw_has_quote(rest, 2),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// After an `r` at offset `at`, checks that `#`s (if any) lead to a quote —
+/// distinguishes `r#"..."#` and `r#ident` (raw identifiers).
+fn raw_has_quote(rest: &[u8], at: usize) -> bool {
+    let mut j = at;
+    while rest.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    rest.get(j) == Some(&b'"')
+}
+
+/// Lexes a plain `"..."` string starting at `i`. Returns (inner text, next
+/// index, next line).
+fn lex_string(text: &str, i: usize, mut line: u32) -> (String, usize, u32) {
+    let b = text.as_bytes();
+    let mut j = i + 1;
+    let start = j;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => break,
+            b'\n' => {
+                line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    let inner = text[start..j.min(b.len())].to_string();
+    (inner, (j + 1).min(b.len()), line)
+}
+
+/// Lexes `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, or `b'x'` starting
+/// at `i`. Returns (kind, inner text, next index, next line).
+fn lex_prefixed_literal(text: &str, i: usize, line: u32) -> (TokKind, String, usize, u32) {
+    let b = text.as_bytes();
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j < b.len() && b[j] == b'\'' {
+            let (inner, ni, nl) = lex_char(text, j, line);
+            return (TokKind::Char, inner, ni, nl);
+        }
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        let mut hashes = 0;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        // b[j] == b'"' guaranteed by raw_or_byte_literal_at.
+        j += 1;
+        let start = j;
+        let mut l = line;
+        let closer: Vec<u8> = std::iter::once(b'"')
+            .chain(std::iter::repeat_n(b'#', hashes))
+            .collect();
+        while j < b.len() {
+            if b[j] == b'"' && b[j..].starts_with(&closer) {
+                let inner = text[start..j].to_string();
+                return (TokKind::Str, inner, j + closer.len(), l);
+            }
+            if b[j] == b'\n' {
+                l += 1;
+            }
+            j += 1;
+        }
+        return (TokKind::Str, text[start..j].to_string(), j, l);
+    }
+    // b"..."
+    let (inner, ni, nl) = lex_string(text, j, line);
+    (TokKind::Str, inner, ni, nl)
+}
+
+/// Lexes a char literal starting at the `'` at index `i`.
+fn lex_char(text: &str, i: usize, line: u32) -> (String, usize, u32) {
+    let b = text.as_bytes();
+    let mut j = i + 1;
+    let start = j;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => break,
+            _ => j += 1,
+        }
+    }
+    (
+        text[start..j.min(b.len())].to_string(),
+        (j + 1).min(b.len()),
+        line,
+    )
+}
+
+/// Is the `'` at byte `i` a char literal (vs a lifetime)? `'\...'` always
+/// is; `'x'` is when the third char closes the quote.
+fn is_char_literal_at(text: &str, i: usize) -> bool {
+    let rest = &text[i + 1..];
+    let mut chars = rest.chars();
+    match chars.next() {
+        Some('\\') => true,
+        Some(_) => chars.next() == Some('\''),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &Source) -> Vec<&str> {
+        src.toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_keywords() {
+        let src = lex(r#"let s = "unsafe { Mutex }"; let t = 'u';"#);
+        assert!(!idents(&src).contains(&"unsafe"));
+        assert!(!idents(&src).contains(&"Mutex"));
+    }
+
+    #[test]
+    fn raw_strings_at_any_hash_depth() {
+        let src = lex("let s = r##\"contains \"# unsafe Mutex\"##; unsafe {}");
+        let ids = idents(&src);
+        assert_eq!(ids.iter().filter(|i| **i == "unsafe").count(), 1);
+        assert!(!ids.contains(&"Mutex"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = lex("fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; x }");
+        let lifetimes = src
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+        let chars = src.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn nested_block_comments_are_comments() {
+        let src = lex("/* outer /* unsafe */ still comment */ fn f() {}");
+        assert!(!idents(&src).contains(&"unsafe"));
+        assert!(idents(&src).contains(&"fn"));
+        assert!(src.comment_on(1).unwrap().contains("unsafe"));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_literals() {
+        let src = lex("let a = \"line\n1\";\nlet b = 2;");
+        let b_tok = src.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn comments_near_walks_over_attributes_and_continuations() {
+        let text = "// SAFETY: fine\n#[allow(dead_code)]\nlet rc =\n    unsafe { f() };\n";
+        let src = lex(text);
+        let u = src.toks.iter().find(|t| t.is_ident("unsafe")).unwrap();
+        assert!(marker_near(&src, u.line, "SAFETY:"));
+    }
+
+    #[test]
+    fn marker_walk_stops_at_previous_statement() {
+        let text = "// SAFETY: belongs to g\nlet a = g();\nlet b = unsafe { f() };\n";
+        let src = lex(text);
+        let u = src.toks.iter().find(|t| t.is_ident("unsafe")).unwrap();
+        assert!(!marker_near(&src, u.line, "SAFETY:"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = lex(r##"let a = b"unsafe"; let c = b'x'; let r = br#"Mutex"#;"##);
+        assert!(!idents(&src).contains(&"unsafe"));
+        assert!(!idents(&src).contains(&"Mutex"));
+    }
+}

@@ -1,0 +1,166 @@
+//! `dwrs-lint` — a workspace static-analysis pass for concurrency,
+//! unsafe, and wire-protocol invariants.
+//!
+//! The repo grew its own lint because the invariants it cares about are
+//! repo-specific and none of the stock tooling checks them: which lock
+//! may be held while acquiring which other, which functions are on the
+//! per-event hot path, which `u8` constants are wire-stable protocol
+//! tags. The pass is token-level (hand-rolled lexer, no `syn` — the
+//! build environment is registry-less) and runs as
+//! `cargo run -p dwrs-lint -- --deny` locally and in CI.
+//!
+//! See `docs/CONCURRENCY.md` for the rule catalog and the declared lock
+//! order, and `lint.toml` at the repo root for the configuration.
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+use std::path::{Path, PathBuf};
+
+use config::Config;
+use diag::{Finding, Report};
+use lexer::{comments_near, lex, Source};
+use scope::{fn_spans, FileCtx};
+
+pub use config::ConfigError;
+pub use rules::l005::{wire_tags_in, WireTag};
+
+/// Collects the `.rs` files under the configured include roots, sorted
+/// for deterministic output. Paths are repo-relative with `/` separators.
+pub fn collect_files(root: &Path, cfg: &Config) -> Vec<(String, PathBuf)> {
+    let mut out = Vec::new();
+    for inc in &cfg.include {
+        let dir = root.join(inc);
+        if dir.is_dir() {
+            walk(&dir, &mut out);
+        }
+    }
+    let mut rel: Vec<(String, PathBuf)> = out
+        .into_iter()
+        .filter_map(|p| {
+            let r = p
+                .strip_prefix(root)
+                .ok()?
+                .to_string_lossy()
+                .replace('\\', "/");
+            if cfg.exclude.iter().any(|e| r.contains(e.as_str())) {
+                return None;
+            }
+            Some((r, p))
+        })
+        .collect();
+    rel.sort();
+    rel
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Runs every rule over the workspace rooted at `root` and returns the
+/// report, with inline and configured suppressions already applied.
+pub fn run(root: &Path, cfg: &Config) -> Report {
+    let files = collect_files(root, cfg);
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .filter_map(|(rel, path)| std::fs::read_to_string(path).ok().map(|s| (rel.clone(), s)))
+        .collect();
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut lexed: Vec<(String, Source)> = Vec::new();
+    let lock_names: std::collections::BTreeSet<String> = cfg.lock_names.iter().cloned().collect();
+    let mut edges = Vec::new();
+
+    for (rel, text) in &sources {
+        let src = lex(text);
+        let fns = fn_spans(&src.toks);
+        let ctx = FileCtx {
+            path: rel,
+            src: &src,
+            fns: &fns,
+        };
+        rules::l001::check(&ctx, &mut raw);
+        rules::l002::check(&ctx, &mut raw);
+        edges.extend(rules::l003::scan_file(&ctx, &lock_names, &mut raw));
+        rules::l004::check(&ctx, cfg, &mut raw);
+        rules::l006::check(&ctx, &mut raw);
+        lexed.push((rel.clone(), src));
+    }
+    rules::l003::check_workspace(cfg, &edges, &mut raw);
+    rules::l005::check_workspace(
+        cfg,
+        &sources,
+        &|doc| std::fs::read_to_string(root.join(doc)).ok(),
+        &mut raw,
+    );
+
+    // Apply suppressions.
+    let mut report = Report {
+        files: sources.len(),
+        ..Report::default()
+    };
+    for f in raw {
+        let inline = lexed
+            .iter()
+            .find(|(rel, _)| *rel == f.file)
+            .is_some_and(|(_, src)| inline_allowed(src, &f));
+        let configured = cfg.allows.iter().any(|a| {
+            a.code == f.code
+                && f.file.ends_with(a.file.as_str())
+                && a.line.is_none_or(|l| l == f.line)
+                && a.contains.as_deref().is_none_or(|c| f.message.contains(c))
+        });
+        if inline || configured {
+            report.allowed += 1;
+        } else {
+            report.findings.push(f);
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.code).cmp(&(&b.file, b.line, b.code)));
+    report
+}
+
+/// Inline escape hatch: a comment near the finding containing
+/// `lint:allow(CODE) -- reason`. The reason is mandatory — a bare
+/// `lint:allow(L001)` does not suppress anything.
+fn inline_allowed(src: &Source, f: &Finding) -> bool {
+    let marker = format!("lint:allow({})", f.code);
+    comments_near(src, f.line).iter().any(|c| {
+        c.find(&marker).is_some_and(|at| {
+            let after = &c[at + marker.len()..];
+            let reason = after.trim_start().strip_prefix("--").unwrap_or("");
+            !reason.trim().is_empty()
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_allow_requires_a_reason() {
+        let f = Finding::new("L001", "x.rs", 2, "msg");
+        let with = lex("// lint:allow(L001) -- FFI contract documented in mod docs\nlet a =\nunsafe { f() };\n");
+        assert!(inline_allowed(&with, &f));
+        let without = lex("// lint:allow(L001)\nlet a =\nunsafe { f() };\n");
+        assert!(!inline_allowed(&without, &f));
+        let wrong_code = lex("// lint:allow(L002) -- reason\nlet a =\nunsafe { f() };\n");
+        assert!(!inline_allowed(&wrong_code, &f));
+    }
+}

@@ -1,0 +1,83 @@
+//! CLI entry point: `cargo run -p dwrs-lint -- [--deny] [--format json]`.
+//!
+//! Exit status: 0 when clean (or when findings exist but `--deny` was not
+//! given — advisory mode), 1 when `--deny` and findings remain, 2 on
+//! usage or configuration errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dwrs_lint::config::Config;
+
+const USAGE: &str = "usage: dwrs-lint [--root DIR] [--config FILE] [--deny] [--format text|json]";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut json = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root needs a value"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config = Some(PathBuf::from(v)),
+                None => return usage_error("--config needs a value"),
+            },
+            "--deny" => deny = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                _ => return usage_error("--format must be text or json"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    // An explicitly named config must exist; only the implicit
+    // `<root>/lint.toml` default may silently fall back to Config::default.
+    let explicit = config.is_some();
+    let config_path = config.unwrap_or_else(|| root.join("lint.toml"));
+    let cfg = if config_path.is_file() {
+        match Config::load(&config_path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("dwrs-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if explicit {
+        eprintln!(
+            "dwrs-lint: config file not found: {}",
+            config_path.display()
+        );
+        return ExitCode::from(2);
+    } else {
+        Config::default()
+    };
+
+    let report = dwrs_lint::run(&root, &cfg);
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if deny && !report.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("dwrs-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

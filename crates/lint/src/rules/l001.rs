@@ -1,0 +1,42 @@
+//! L001 — every `unsafe` block, function, impl, or trait must carry a
+//! `// SAFETY:` comment stating the invariant it relies on.
+//!
+//! The comment may trail the line or sit in the contiguous comment block
+//! directly above the statement (attribute lines and statement
+//! continuations are walked over; the previous statement ends the search).
+//! This is the same contract `clippy::undocumented_unsafe_blocks` checks
+//! for blocks — CI runs that lint as an independent cross-check — but L001
+//! also covers `unsafe fn` / `unsafe impl` / `unsafe trait`, and fails
+//! closed in this repo's own toolchain-independent pass.
+
+use crate::diag::Finding;
+use crate::lexer::marker_near;
+use crate::scope::FileCtx;
+
+pub const CODE: &str = "L001";
+const MARKER: &str = "SAFETY:";
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.src.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let what = match toks.get(i + 1) {
+            Some(n) if n.is_punct('{') => "unsafe block",
+            Some(n) if n.is_ident("fn") => "unsafe fn",
+            Some(n) if n.is_ident("impl") => "unsafe impl",
+            Some(n) if n.is_ident("trait") => "unsafe trait",
+            Some(n) if n.is_ident("extern") => "unsafe extern block",
+            _ => "unsafe",
+        };
+        if !marker_near(ctx.src, t.line, MARKER) {
+            out.push(Finding::new(
+                CODE,
+                ctx.path,
+                t.line,
+                format!("{what} without a `// SAFETY:` comment stating the invariant it relies on"),
+            ));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! L002 — cross-thread atomic flags used with `Ordering::SeqCst` or
+//! `Ordering::Relaxed` must justify the choice with an `// ordering:`
+//! comment.
+//!
+//! Rationale (the PR 9 waker-flag bug class): `Relaxed` on a flag that
+//! coordinates two threads is where lost-wakeup races hide, and `SeqCst`
+//! is often a red flag that nobody worked out the real requirement.
+//! `Acquire`/`Release`/`AcqRel` are the presumed-correct defaults for
+//! message-passing flags and are not flagged.
+//!
+//! Scope: an atomic receiver (the field/static name before `.load(..)` /
+//! `.store(..)` / `.swap(..)` / `fetch_*` / `compare_exchange*`) counts as
+//! a *cross-thread flag* when its operations span more than one function
+//! in the file and at least one of them is a store. Single-function
+//! atomics (e.g. a test's local stop flag) are exempt.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::Finding;
+use crate::lexer::{marker_near, TokKind};
+use crate::scope::{enclosing_fn, FileCtx};
+
+pub const CODE: &str = "L002";
+const MARKER: &str = "ordering:";
+
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+struct AtomicOp {
+    recv: String,
+    /// Enclosing fn index, or `usize::MAX` for item-level code.
+    func: usize,
+    line: u32,
+    is_store: bool,
+    /// Orderings named in the call (`SeqCst`, `Relaxed`, ...).
+    orderings: Vec<String>,
+}
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.src.toks;
+    let mut ops: Vec<AtomicOp> = Vec::new();
+    let mut i = 0;
+    while i + 3 < toks.len() {
+        // Pattern: Ident '.' method '(' ... 'Ordering' '::' X ... ')'
+        let ok = toks[i].kind == TokKind::Ident
+            && toks[i + 1].is_punct('.')
+            && toks[i + 2].kind == TokKind::Ident
+            && ATOMIC_METHODS.contains(&toks[i + 2].text.as_str())
+            && toks[i + 3].is_punct('(');
+        if !ok {
+            i += 1;
+            continue;
+        }
+        // Scan the argument list for Ordering::X mentions.
+        let mut depth = 0i32;
+        let mut j = i + 3;
+        let mut orderings = Vec::new();
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_ident("Ordering")
+                && toks.get(j + 1).is_some_and(|c| c.is_punct(':'))
+                && toks.get(j + 2).is_some_and(|c| c.is_punct(':'))
+                && toks.get(j + 3).is_some_and(|o| o.kind == TokKind::Ident)
+            {
+                orderings.push(toks[j + 3].text.clone());
+                j += 3;
+            }
+            j += 1;
+        }
+        if !orderings.is_empty() {
+            // A real atomic op always names an Ordering; `Vec::swap(a, b)`
+            // and friends never do, which is what filters them out.
+            ops.push(AtomicOp {
+                recv: toks[i].text.clone(),
+                func: enclosing_fn(ctx.fns, i).unwrap_or(usize::MAX),
+                line: toks[i].line,
+                is_store: toks[i + 2].text != "load",
+                orderings,
+            });
+            i = j;
+        }
+        i += 1;
+    }
+
+    // Group by receiver name; find cross-function flags with stores.
+    let mut by_recv: BTreeMap<&str, Vec<&AtomicOp>> = BTreeMap::new();
+    for op in &ops {
+        by_recv.entry(op.recv.as_str()).or_default().push(op);
+    }
+    for (recv, sites) in by_recv {
+        let funcs: BTreeSet<usize> = sites.iter().map(|s| s.func).collect();
+        let has_store = sites.iter().any(|s| s.is_store);
+        if funcs.len() < 2 || !has_store {
+            continue;
+        }
+        for site in sites {
+            let loose: Vec<&str> = site
+                .orderings
+                .iter()
+                .filter(|o| *o == "SeqCst" || *o == "Relaxed")
+                .map(String::as_str)
+                .collect();
+            if loose.is_empty() {
+                continue;
+            }
+            if !marker_near(ctx.src, site.line, MARKER) {
+                out.push(Finding::new(
+                    CODE,
+                    ctx.path,
+                    site.line,
+                    format!(
+                        "atomic `{recv}` is a cross-function flag; Ordering::{} here \
+                         needs an `// ordering:` justification comment",
+                        loose.join("/")
+                    ),
+                ));
+            }
+        }
+    }
+}

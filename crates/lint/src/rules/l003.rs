@@ -1,0 +1,378 @@
+//! L003 — nested `Mutex`/`RwLock` guard scopes must respect the lock
+//! partial order declared in `lint.toml`, and the combined lock graph
+//! (declared chains plus every observed nesting) must be acyclic.
+//!
+//! The extraction is token-level: within each function, an acquisition is
+//! `NAME.lock(` / `NAME.read(` / `NAME.write(` where `NAME` is in the
+//! declared lock set. How long the guard is considered held depends on how
+//! the acquisition is bound:
+//!
+//! * `let g = name.lock().unwrap();` — held until the enclosing block
+//!   closes or `drop(g)` runs;
+//! * `for x in name.lock()...` / `if let`/`while let`/`match` headers —
+//!   held while the following block is open (Rust keeps the temporary
+//!   alive for the whole body);
+//! * a chained temporary (`name.lock().unwrap().len()`) — released at the
+//!   end of the statement.
+//!
+//! When lock B is acquired while A is held, the edge A→B must be implied
+//! by the declared chains. Acquiring against the declared order, acquiring
+//! the same lock twice (self-deadlock with `std::sync::Mutex`), nesting a
+//! pair the config never declared, and any cycle in the combined graph are
+//! all findings.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::scope::FileCtx;
+
+pub const CODE: &str = "L003";
+
+/// One observed "A held while acquiring B".
+#[derive(Clone, Debug)]
+pub struct Edge {
+    pub held: String,
+    pub acquired: String,
+    pub file: String,
+    pub line: u32,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Bind {
+    /// `let`-bound guard: held until its block closes (release_depth).
+    Scoped,
+    /// Control-header temporary (`for`/`if`/`while`/`match`): armed until
+    /// the body block opens, then held while it is open.
+    ControlPending,
+    Control,
+    /// Plain statement temporary: released at the next `;`.
+    Temp,
+}
+
+struct Held {
+    lock: String,
+    bind: Bind,
+    /// Release when brace depth drops below this.
+    release_depth: i32,
+    binding: Option<String>,
+}
+
+/// Scans one file, returning observed nesting edges. Same-lock recursive
+/// acquisition is reported immediately as a finding.
+pub fn scan_file(ctx: &FileCtx<'_>, locks: &BTreeSet<String>, out: &mut Vec<Finding>) -> Vec<Edge> {
+    let mut edges = Vec::new();
+    for span in ctx.fns {
+        // Bodies of fns nested inside this one are walked by their own
+        // span; skip them here so a guard held in the outer fn is not
+        // charged against acquisitions in an inner fn *definition*.
+        let nested: Vec<(usize, usize)> = ctx
+            .fns
+            .iter()
+            .filter(|s| s.body.0 > span.body.0 && s.body.1 < span.body.1)
+            .map(|s| s.body)
+            .collect();
+        scan_body(ctx, span.body, &nested, locks, &mut edges, out);
+    }
+    edges
+}
+
+fn scan_body(
+    ctx: &FileCtx<'_>,
+    (open, close): (usize, usize),
+    nested: &[(usize, usize)],
+    locks: &BTreeSet<String>,
+    edges: &mut Vec<Edge>,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &ctx.src.toks;
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i32;
+    // Statement context, reset at `;` / `{` / `}`.
+    let mut stmt_let: Option<String> = None;
+    let mut stmt_control = false;
+    let mut i = open;
+    while i <= close && i < toks.len() {
+        if let Some(&(_, nend)) = nested.iter().find(|(ns, _)| *ns == i) {
+            i = nend + 1;
+            continue;
+        }
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            for h in held.iter_mut() {
+                if h.bind == Bind::ControlPending {
+                    h.bind = Bind::Control;
+                    h.release_depth = depth;
+                }
+            }
+            stmt_let = None;
+            stmt_control = false;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            held.retain(|h| h.release_depth <= depth);
+            stmt_let = None;
+            stmt_control = false;
+        } else if t.is_punct(';') {
+            // A temp guard dies at the end of its statement: any `;` at or
+            // above its acquisition depth (a deeper `;` is inside a nested
+            // closure/block within the same statement).
+            held.retain(|h| h.bind != Bind::Temp || depth > h.release_depth);
+            stmt_let = None;
+            stmt_control = false;
+        } else if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "let" => {
+                    if let Some(n) = toks.get(i + 1) {
+                        if n.kind == TokKind::Ident {
+                            // `let mut g` / `let g`
+                            let name = if n.text == "mut" {
+                                toks.get(i + 2).map(|m| m.text.clone())
+                            } else {
+                                Some(n.text.clone())
+                            };
+                            stmt_let = name;
+                        }
+                    }
+                }
+                "for" | "while" | "if" | "match" => stmt_control = true,
+                // `drop(g)` releases the named guard early.
+                "drop"
+                    if toks.get(i + 1).is_some_and(|p| p.is_punct('('))
+                        && toks.get(i + 3).is_some_and(|p| p.is_punct(')')) =>
+                {
+                    if let Some(arg) = toks.get(i + 2) {
+                        held.retain(|h| h.binding.as_deref() != Some(arg.text.as_str()));
+                    }
+                }
+                name if locks.contains(name) && is_acquisition(toks, i) => {
+                    let line = t.line;
+                    for h in &held {
+                        if h.lock == *name {
+                            out.push(Finding::new(
+                                CODE,
+                                ctx.path,
+                                line,
+                                format!(
+                                    "lock `{name}` acquired while already held \
+                                     (self-deadlock with std::sync primitives)"
+                                ),
+                            ));
+                        } else {
+                            edges.push(Edge {
+                                held: h.lock.clone(),
+                                acquired: name.to_string(),
+                                file: ctx.path.to_string(),
+                                line,
+                            });
+                        }
+                    }
+                    let (bind, after) = classify(toks, i, stmt_let.is_some(), stmt_control);
+                    held.push(Held {
+                        lock: name.to_string(),
+                        bind,
+                        release_depth: depth,
+                        binding: stmt_let.clone(),
+                    });
+                    i = after;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Is `toks[i]` the receiver of `.lock(` / `.read(` / `.write(`?
+fn is_acquisition(toks: &[crate::lexer::Tok], i: usize) -> bool {
+    toks.get(i + 1).is_some_and(|d| d.is_punct('.'))
+        && toks.get(i + 2).is_some_and(|m| {
+            m.kind == TokKind::Ident && matches!(m.text.as_str(), "lock" | "read" | "write")
+        })
+        && toks.get(i + 3).is_some_and(|p| p.is_punct('('))
+}
+
+/// Decides how the fresh guard is bound and returns the token index after
+/// the acquisition chain (`.lock().unwrap()` / `.expect(..)` skipped).
+fn classify(
+    toks: &[crate::lexer::Tok],
+    i: usize,
+    has_let: bool,
+    in_control: bool,
+) -> (Bind, usize) {
+    // Skip past `.lock(...)` and any chained `.unwrap()` / `.expect(...)`.
+    let mut j = i + 3; // at '('
+    j = skip_parens(toks, j);
+    loop {
+        if toks.get(j).is_some_and(|d| d.is_punct('.'))
+            && toks
+                .get(j + 1)
+                .is_some_and(|m| m.is_ident("unwrap") || m.is_ident("expect"))
+            && toks.get(j + 2).is_some_and(|p| p.is_punct('('))
+        {
+            j = skip_parens(toks, j + 2);
+        } else {
+            break;
+        }
+    }
+    // A further chained method extracts a value — the guard is a
+    // temporary no matter how the statement binds the result. Control
+    // headers are the exception: `for x in guard.iter()` keeps the
+    // temporary alive for the whole body, chained or not.
+    let chained = toks.get(j).is_some_and(|d| d.is_punct('.'));
+    let bind = if in_control {
+        Bind::ControlPending
+    } else if chained {
+        Bind::Temp
+    } else if has_let {
+        Bind::Scoped
+    } else {
+        Bind::Temp
+    };
+    (bind, j)
+}
+
+/// Returns the index just past the `)` matching the `(` at `j`.
+fn skip_parens(toks: &[crate::lexer::Tok], j: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = j;
+    while k < toks.len() {
+        if toks[k].is_punct('(') {
+            depth += 1;
+        } else if toks[k].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Workspace pass: validates observed edges against the declared chains
+/// and checks the combined graph for cycles.
+pub fn check_workspace(cfg: &Config, edges: &[Edge], out: &mut Vec<Finding>) {
+    // Declared edges: consecutive links of every chain.
+    let mut declared: BTreeSet<(String, String)> = BTreeSet::new();
+    for chain in &cfg.lock_chains {
+        for pair in chain.windows(2) {
+            declared.insert((pair[0].clone(), pair[1].clone()));
+        }
+    }
+    let reach = |from: &str, to: &str| -> bool {
+        // BFS over declared edges.
+        let mut seen = BTreeSet::new();
+        let mut queue = vec![from.to_string()];
+        while let Some(n) = queue.pop() {
+            for (a, b) in &declared {
+                if *a == n && seen.insert(b.clone()) {
+                    if b == to {
+                        return true;
+                    }
+                    queue.push(b.clone());
+                }
+            }
+        }
+        false
+    };
+
+    let mut combined: BTreeSet<(String, String)> = declared.clone();
+    for e in edges {
+        combined.insert((e.held.clone(), e.acquired.clone()));
+        if reach(&e.held, &e.acquired) {
+            continue;
+        }
+        if reach(&e.acquired, &e.held) {
+            out.push(Finding::new(
+                CODE,
+                &e.file,
+                e.line,
+                format!(
+                    "lock order violation: `{}` acquired while holding `{}`, but the \
+                     declared order is `{}` before `{}`",
+                    e.acquired, e.held, e.acquired, e.held
+                ),
+            ));
+        } else {
+            out.push(Finding::new(
+                CODE,
+                &e.file,
+                e.line,
+                format!(
+                    "undeclared lock nesting: `{}` acquired while holding `{}` — add the \
+                     pair to a [locks] chain in lint.toml or restructure",
+                    e.acquired, e.held
+                ),
+            ));
+        }
+    }
+
+    // Cycle detection over the combined graph (declared + observed).
+    if let Some(cycle) = find_cycle(&combined) {
+        out.push(Finding::new(
+            CODE,
+            "lint.toml",
+            0,
+            format!("lock graph contains a cycle: {}", cycle.join(" -> ")),
+        ));
+    }
+}
+
+/// Finds one cycle in the directed graph, if any, as a node path.
+fn find_cycle(edges: &BTreeSet<(String, String)>) -> Option<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges {
+        adj.entry(a.as_str()).or_default().push(b.as_str());
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks: BTreeMap<&str, Mark> = BTreeMap::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+
+    fn visit<'a>(
+        n: &'a str,
+        adj: &BTreeMap<&'a str, Vec<&'a str>>,
+        marks: &mut BTreeMap<&'a str, Mark>,
+        stack: &mut Vec<&'a str>,
+    ) -> Option<Vec<String>> {
+        marks.insert(n, Mark::Grey);
+        stack.push(n);
+        for next in adj.get(n).into_iter().flatten() {
+            match marks.get(next).copied().unwrap_or(Mark::White) {
+                Mark::Grey => {
+                    let at = stack.iter().position(|s| s == next).unwrap_or(0);
+                    let mut cycle: Vec<String> =
+                        stack[at..].iter().map(|s| s.to_string()).collect();
+                    cycle.push(next.to_string());
+                    return Some(cycle);
+                }
+                Mark::White => {
+                    if let Some(c) = visit(next, adj, marks, stack) {
+                        return Some(c);
+                    }
+                }
+                Mark::Black => {}
+            }
+        }
+        stack.pop();
+        marks.insert(n, Mark::Black);
+        None
+    }
+
+    for n in nodes {
+        if marks.get(n).copied().unwrap_or(Mark::White) == Mark::White {
+            let mut stack = Vec::new();
+            if let Some(c) = visit(n, &adj, &mut marks, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,127 @@
+//! L004 — declared hot-path functions must not allocate in steady state.
+//!
+//! `lint.toml` names the functions (`[hotpath] functions`, written
+//! `path::fn_name`). Inside those, allocation-shaped calls from the
+//! catalog (`Vec::new`, `format!`, `.to_vec()`, `.collect()`, `.clone()`,
+//! ...) are flagged:
+//!
+//! * anywhere inside a `loop`/`while`/`for` body — the per-event region of
+//!   a reactor-style function; setup allocations before the loop are fine;
+//! * anywhere at all in a loop-free function — a per-item `observe` has no
+//!   setup region, every call it makes is on the hot path.
+
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::lexer::{Tok, TokKind};
+use crate::scope::FileCtx;
+
+pub const CODE: &str = "L004";
+
+pub fn check(ctx: &FileCtx<'_>, cfg: &Config, out: &mut Vec<Finding>) {
+    for hot in &cfg.hot_functions {
+        if !ctx.path.ends_with(hot.file.as_str()) {
+            continue;
+        }
+        for span in ctx.fns.iter().filter(|s| s.name == hot.func) {
+            check_body(ctx, span.body, &cfg.alloc_catalog, &hot.func, out);
+        }
+    }
+}
+
+fn check_body(
+    ctx: &FileCtx<'_>,
+    (open, close): (usize, usize),
+    catalog: &[String],
+    func: &str,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &ctx.src.toks;
+    let has_loop = toks[open..=close.min(toks.len() - 1)]
+        .iter()
+        .any(|t| matches!(t.text.as_str(), "loop" | "while" | "for") && t.kind == TokKind::Ident);
+
+    let mut depth = 0i32;
+    // Brace depths at which a loop body opened (the region is hot while
+    // any is on the stack).
+    let mut loop_bodies: Vec<i32> = Vec::new();
+    let mut pending_loop = false;
+    let mut paren = 0i32;
+    let mut i = open;
+    while i <= close && i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('{') {
+            depth += 1;
+            if pending_loop && paren == 0 {
+                loop_bodies.push(depth);
+                pending_loop = false;
+            }
+        } else if t.is_punct('}') {
+            if loop_bodies.last() == Some(&depth) {
+                loop_bodies.pop();
+            }
+            depth -= 1;
+        } else if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "loop" | "while" | "for")
+            && paren == 0
+        {
+            pending_loop = true;
+        }
+
+        let hot_here = !loop_bodies.is_empty() || !has_loop;
+        if hot_here {
+            if let Some(call) = alloc_call_at(toks, i, catalog) {
+                let region = if has_loop {
+                    "inside its steady-state loop"
+                } else {
+                    "in its per-item body"
+                };
+                out.push(Finding::new(
+                    CODE,
+                    ctx.path,
+                    t.line,
+                    format!("hot-path fn `{func}` calls `{call}` {region}"),
+                ));
+            }
+        }
+        i += 1;
+    }
+}
+
+/// If the token at `i` starts an allocation-shaped call from the catalog,
+/// returns its display name. Catalog entry forms: `.method` (method
+/// call), `name!` (macro), `Path::fn` (associated call).
+fn alloc_call_at(toks: &[Tok], i: usize, catalog: &[String]) -> Option<String> {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    for entry in catalog {
+        if let Some(m) = entry.strip_prefix('.') {
+            // `.clone` — previous token is `.`, next is `(`.
+            if t.text == m
+                && i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|p| p.is_punct('('))
+            {
+                return Some(format!(".{m}()"));
+            }
+        } else if let Some(m) = entry.strip_suffix('!') {
+            if t.text == m && toks.get(i + 1).is_some_and(|p| p.is_punct('!')) {
+                return Some(format!("{m}!"));
+            }
+        } else if let Some((path, func)) = entry.split_once("::") {
+            if t.text == path
+                && toks.get(i + 1).is_some_and(|p| p.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|p| p.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|f| f.is_ident(func))
+            {
+                return Some(entry.clone());
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,140 @@
+//! L006 — `repr(C, packed)` must be arch-gated and size-asserted.
+//!
+//! Packed layout is almost always mirroring a kernel or wire ABI, and
+//! those ABIs differ per architecture (`struct epoll_event` is packed on
+//! x86-64 only). A bare `#[repr(C, packed)]` silently compiles to the
+//! wrong layout on the other arches, so this rule requires *both*:
+//!
+//! * the packed repr is applied through `#[cfg_attr(target_..., ...)]`
+//!   so each architecture states its layout explicitly, and
+//! * the file carries a compile-time size assertion
+//!   (`assert!(size_of::<T>() == ...)`) so a new target with a third
+//!   layout fails the build instead of corrupting memory at runtime.
+//!
+//! Deliberately strict: a struct that really is packed everywhere still
+//! needs the size assert, and can suppress the gate half with a
+//! justified `[[allow]]` in lint.toml.
+
+use crate::diag::Finding;
+use crate::lexer::{Tok, TokKind};
+use crate::scope::FileCtx;
+
+pub const CODE: &str = "L006";
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.src.toks;
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if !(toks[i].is_punct('#') && toks[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let close = matching_bracket(toks, i + 1);
+        let attr = &toks[i + 1..close.min(toks.len())];
+        let is_packed_repr = contains_ident(attr, "repr") && contains_ident(attr, "packed");
+        if is_packed_repr {
+            let line = toks[i].line;
+            let gated = contains_ident(attr, "cfg_attr")
+                && attr
+                    .iter()
+                    .any(|t| t.kind == TokKind::Ident && t.text.starts_with("target_"));
+            let name = item_name_after(toks, close);
+            if !gated {
+                out.push(Finding::new(
+                    CODE,
+                    ctx.path,
+                    line,
+                    format!(
+                        "packed repr on `{}` is not cfg-gated per architecture — write it \
+                         as #[cfg_attr(target_..., repr(C, packed))] with an explicit \
+                         layout for the other arches",
+                        name.as_deref().unwrap_or("<item>")
+                    ),
+                ));
+            }
+            let asserted = name.as_deref().is_some_and(|n| has_size_assert(toks, n));
+            if !asserted {
+                out.push(Finding::new(
+                    CODE,
+                    ctx.path,
+                    line,
+                    format!(
+                        "packed repr on `{}` has no compile-time size assertion — add a \
+                         `const _: () = assert!(size_of::<{}>() == ...)` in this file",
+                        name.as_deref().unwrap_or("<item>"),
+                        name.as_deref().unwrap_or("T")
+                    ),
+                ));
+            }
+        }
+        i = close + 1;
+    }
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn matching_bracket(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < toks.len() {
+        if toks[k].is_punct('[') {
+            depth += 1;
+        } else if toks[k].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    k
+}
+
+fn contains_ident(toks: &[Tok], name: &str) -> bool {
+    toks.iter().any(|t| t.is_ident(name))
+}
+
+/// The struct/enum/union name following the attribute at `close`,
+/// skipping further attributes, visibility, and derives.
+fn item_name_after(toks: &[Tok], close: usize) -> Option<String> {
+    let mut k = close + 1;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct('#') && toks.get(k + 1).is_some_and(|b| b.is_punct('[')) {
+            k = matching_bracket(toks, k + 1) + 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident && matches!(t.text.as_str(), "struct" | "enum" | "union") {
+            return toks.get(k + 1).map(|n| n.text.clone());
+        }
+        // pub / pub(crate) / etc.
+        if t.kind == TokKind::Ident || t.is_punct('(') || t.is_punct(')') {
+            k += 1;
+            continue;
+        }
+        return None;
+    }
+    None
+}
+
+/// Does the file assert on `size_of::<name>()` anywhere?
+fn has_size_assert(toks: &[Tok], name: &str) -> bool {
+    let mut saw_assert = false;
+    let mut saw_size_of = false;
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text.starts_with("assert") {
+            saw_assert = true;
+        }
+        if t.text == "size_of"
+            && toks.get(k + 1).is_some_and(|c| c.is_punct(':'))
+            && toks.get(k + 2).is_some_and(|c| c.is_punct(':'))
+            && toks.get(k + 3).is_some_and(|c| c.is_punct('<'))
+            && toks.get(k + 4).is_some_and(|n| n.is_ident(name))
+        {
+            saw_size_of = true;
+        }
+    }
+    saw_assert && saw_size_of
+}

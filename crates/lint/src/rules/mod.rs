@@ -1,0 +1,18 @@
+//! The rule catalog. Each rule has a stable code used in diagnostics and
+//! in `lint:allow(...)` / `[[allow]]` suppressions:
+//!
+//! | code | invariant |
+//! |---|---|
+//! | L001 | `unsafe` needs a `// SAFETY:` comment |
+//! | L002 | SeqCst/Relaxed on cross-function atomic flags needs `// ordering:` |
+//! | L003 | nested lock guards follow the declared partial order, no cycles |
+//! | L004 | declared hot-path functions do not allocate in steady state |
+//! | L005 | wire tags and trace codes unique and documented |
+//! | L006 | packed reprs are arch-gated and size-asserted |
+
+pub mod l001;
+pub mod l002;
+pub mod l003;
+pub mod l004;
+pub mod l005;
+pub mod l006;

@@ -1,0 +1,125 @@
+//! Function-span extraction over the token stream.
+//!
+//! Several rules need to know which `fn` a token belongs to (L002 groups
+//! atomic operations by enclosing function; L003/L004 analyze one function
+//! body at a time). A span is located by finding `fn <name>`, skipping the
+//! signature (tracking parenthesis depth so closures and tuples in the
+//! return type don't confuse it), and brace-matching the body.
+
+use crate::lexer::{Source, Tok};
+
+/// One `fn` item: its name and the token/line extent of its body.
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    pub name: String,
+    /// Token indices of the body's `{` and matching `}` (inclusive).
+    pub body: (usize, usize),
+    /// First and last line of the body.
+    pub lines: (u32, u32),
+}
+
+impl FnSpan {
+    /// True when token index `i` falls inside the body.
+    pub fn contains(&self, i: usize) -> bool {
+        i >= self.body.0 && i <= self.body.1
+    }
+}
+
+/// Extracts every `fn` with a body, including nested ones.
+pub fn fn_spans(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("fn") && toks[i + 1].kind == crate::lexer::TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            let mut j = i + 2;
+            let mut paren = 0i32;
+            let mut body_open = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('(') {
+                    paren += 1;
+                } else if t.is_punct(')') {
+                    paren -= 1;
+                } else if paren == 0 && t.is_punct('{') {
+                    body_open = Some(j);
+                    break;
+                } else if paren == 0 && t.is_punct(';') {
+                    break; // trait method / extern decl without a body
+                }
+                j += 1;
+            }
+            if let Some(open) = body_open {
+                let mut depth = 0i32;
+                let mut close = open;
+                for (k, t) in toks.iter().enumerate().skip(open) {
+                    if t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = k;
+                            break;
+                        }
+                    }
+                }
+                out.push(FnSpan {
+                    name,
+                    body: (open, close),
+                    lines: (toks[open].line, toks[close].line),
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The innermost function whose body contains token index `i` (functions
+/// nest; the innermost is the one with the smallest containing span).
+pub fn enclosing_fn(spans: &[FnSpan], i: usize) -> Option<usize> {
+    spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.contains(i))
+        .min_by_key(|(_, s)| s.body.1 - s.body.0)
+        .map(|(idx, _)| idx)
+}
+
+/// Shared per-file context handed to the rules.
+pub struct FileCtx<'a> {
+    /// Repo-relative path with `/` separators.
+    pub path: &'a str,
+    pub src: &'a Source,
+    pub fns: &'a [FnSpan],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finds_functions_and_nesting() {
+        let src = lex(
+            "fn outer(a: (u8, u8)) -> Result<(), ()> {\n  fn inner() { x(); }\n  inner();\n}\nfn sigonly();\n",
+        );
+        let spans = fn_spans(&src.toks);
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        // The x() call token is inside `inner` (innermost).
+        let xi = src.toks.iter().position(|t| t.is_ident("x")).unwrap();
+        let e = enclosing_fn(&spans, xi).unwrap();
+        assert_eq!(spans[e].name, "inner");
+    }
+
+    #[test]
+    fn where_clauses_and_generics_do_not_confuse_body_start() {
+        let src =
+            lex("fn f<T: Iterator<Item = u8>>(t: T) -> impl Fn() -> u8 where T: Send { g() }");
+        let spans = fn_spans(&src.toks);
+        assert_eq!(spans.len(), 1);
+        let gi = src.toks.iter().position(|t| t.is_ident("g")).unwrap();
+        assert!(spans[0].contains(gi));
+    }
+}

@@ -1,0 +1,591 @@
+//! Fixture tests: every rule exercised on a firing and a clean fixture,
+//! including the lexer edge cases that break naive grep-based checks.
+
+use std::collections::BTreeSet;
+
+use dwrs_lint::config::Config;
+use dwrs_lint::diag::Finding;
+use dwrs_lint::lexer::lex;
+use dwrs_lint::rules;
+use dwrs_lint::scope::{fn_spans, FileCtx};
+
+/// Runs one per-file rule over a source fixture.
+fn findings_of(source: &str, rule: impl Fn(&FileCtx<'_>, &mut Vec<Finding>)) -> Vec<Finding> {
+    let src = lex(source);
+    let fns = fn_spans(&src.toks);
+    let ctx = FileCtx {
+        path: "fixture.rs",
+        src: &src,
+        fns: &fns,
+    };
+    let mut out = Vec::new();
+    rule(&ctx, &mut out);
+    out
+}
+
+// ------------------------------------------------------------------ L001
+
+#[test]
+fn l001_fires_on_bare_unsafe_block() {
+    let out = findings_of(
+        "fn f() {\n    let x = unsafe { g() };\n}\n",
+        rules::l001::check,
+    );
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].code, "L001");
+    assert_eq!(out[0].line, 2);
+}
+
+#[test]
+fn l001_accepts_safety_comment_above_and_trailing() {
+    let above = "fn f() {\n    // SAFETY: g has no preconditions\n    let x = unsafe { g() };\n}\n";
+    assert!(findings_of(above, rules::l001::check).is_empty());
+    let trailing = "fn f() {\n    let x = unsafe { g() }; // SAFETY: fine\n}\n";
+    assert!(findings_of(trailing, rules::l001::check).is_empty());
+}
+
+#[test]
+fn l001_covers_unsafe_fn_and_impl() {
+    let out = findings_of(
+        "unsafe fn f() {}\nunsafe impl Send for T {}\n",
+        rules::l001::check,
+    );
+    assert_eq!(out.len(), 2);
+    assert!(out[0].message.contains("unsafe fn"));
+    assert!(out[1].message.contains("unsafe impl"));
+}
+
+#[test]
+fn l001_ignores_unsafe_inside_string_literals() {
+    let out = findings_of(
+        "fn f() { let s = \"unsafe { not code }\"; let r = r#\"unsafe\"#; }\n",
+        rules::l001::check,
+    );
+    assert!(out.is_empty());
+}
+
+// ------------------------------------------------------------------ L002
+
+const L002_FIRING: &str = r#"
+fn producer(flag: &AtomicBool) {
+    flag.store(true, Ordering::Relaxed);
+}
+fn consumer(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed)
+}
+"#;
+
+#[test]
+fn l002_fires_on_cross_function_relaxed_flag() {
+    let out = findings_of(L002_FIRING, rules::l002::check);
+    assert_eq!(out.len(), 2);
+    assert!(out.iter().all(|f| f.code == "L002"));
+}
+
+#[test]
+fn l002_accepts_ordering_justification() {
+    let src = r#"
+fn producer(flag: &AtomicBool) {
+    // ordering: Relaxed — results travel through join, not this flag.
+    flag.store(true, Ordering::Relaxed);
+}
+fn consumer(flag: &AtomicBool) -> bool {
+    // ordering: Relaxed — quiescence poll only.
+    flag.load(Ordering::Relaxed)
+}
+"#;
+    assert!(findings_of(src, rules::l002::check).is_empty());
+}
+
+#[test]
+fn l002_exempts_single_function_atomics() {
+    // A test-local stop flag: all ops in one fn, no cross-thread contract.
+    let src = r#"
+fn test_stop() {
+    let stop = AtomicBool::new(false);
+    stop.store(true, Ordering::Relaxed);
+    assert!(stop.load(Ordering::Relaxed));
+}
+"#;
+    assert!(findings_of(src, rules::l002::check).is_empty());
+}
+
+#[test]
+fn l002_exempts_acquire_release() {
+    let src = r#"
+fn producer(flag: &AtomicBool) {
+    flag.store(true, Ordering::Release);
+}
+fn consumer(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}
+"#;
+    assert!(findings_of(src, rules::l002::check).is_empty());
+}
+
+#[test]
+fn l002_ignores_non_atomic_swap() {
+    // `Vec::swap` has no Ordering argument and must not count as a store.
+    let src = r#"
+fn shuffle(v: &mut Vec<u32>) {
+    v.swap(0, 1);
+}
+fn read(v: &AtomicU64) -> u64 {
+    v.load(Ordering::Relaxed)
+}
+"#;
+    assert!(findings_of(src, rules::l002::check).is_empty());
+}
+
+// ------------------------------------------------------------------ L003
+
+fn l003_run(source: &str, cfg_toml: &str) -> Vec<Finding> {
+    let cfg = Config::parse(cfg_toml).unwrap();
+    let locks: BTreeSet<String> = cfg.lock_names.iter().cloned().collect();
+    let src = lex(source);
+    let fns = fn_spans(&src.toks);
+    let ctx = FileCtx {
+        path: "fixture.rs",
+        src: &src,
+        fns: &fns,
+    };
+    let mut out = Vec::new();
+    let edges = rules::l003::scan_file(&ctx, &locks, &mut out);
+    rules::l003::check_workspace(&cfg, &edges, &mut out);
+    out
+}
+
+const L003_CFG: &str = r#"
+[locks]
+names = ["streams", "drained"]
+chains = [["streams", "drained"]]
+"#;
+
+#[test]
+fn l003_accepts_declared_order() {
+    let src = r#"
+fn drain(shared: &Shared) {
+    let mut streams = shared.streams.lock().unwrap();
+    shared.drained.lock().unwrap().push(1);
+    drop(streams);
+}
+"#;
+    assert!(l003_run(src, L003_CFG).is_empty());
+}
+
+#[test]
+fn l003_fires_on_order_violation() {
+    let src = r#"
+fn backwards(shared: &Shared) {
+    let mut d = shared.drained.lock().unwrap();
+    let s = shared.streams.lock().unwrap();
+}
+"#;
+    let out = l003_run(src, L003_CFG);
+    assert!(out
+        .iter()
+        .any(|f| f.message.contains("lock order violation")));
+}
+
+#[test]
+fn l003_fires_on_undeclared_nesting() {
+    let cfg = "[locks]\nnames = [\"streams\", \"drained\"]\n";
+    let src = r#"
+fn nested(shared: &Shared) {
+    let s = shared.streams.lock().unwrap();
+    let d = shared.drained.lock().unwrap();
+}
+"#;
+    let out = l003_run(src, cfg);
+    assert!(out
+        .iter()
+        .any(|f| f.message.contains("undeclared lock nesting")));
+}
+
+#[test]
+fn l003_fires_on_same_lock_reacquisition() {
+    let src = r#"
+fn twice(shared: &Shared) {
+    let a = shared.streams.lock().unwrap();
+    let b = shared.streams.lock().unwrap();
+}
+"#;
+    let out = l003_run(src, L003_CFG);
+    assert!(out.iter().any(|f| f.message.contains("self-deadlock")));
+}
+
+#[test]
+fn l003_detects_declared_cycle() {
+    let cfg = r#"
+[locks]
+names = ["a", "b"]
+chains = [["a", "b"], ["b", "a"]]
+"#;
+    let out = l003_run("fn f() {}", cfg);
+    assert!(out.iter().any(|f| f.message.contains("cycle")));
+}
+
+#[test]
+fn l003_statement_temporary_releases_at_semicolon() {
+    // Two sequential statement temporaries never overlap.
+    let src = r#"
+fn seq(shared: &Shared) {
+    shared.streams.lock().unwrap().remove(name);
+    shared.drained.lock().unwrap().clear();
+    let n = shared.drained.lock().unwrap().len();
+    shared.streams.lock().unwrap().insert(name);
+}
+"#;
+    // The last line acquires `streams` with nothing held — even though
+    // `drained` (which must follow streams) was locked in earlier
+    // statements, those guards are gone.
+    assert!(l003_run(src, L003_CFG).is_empty());
+}
+
+#[test]
+fn l003_for_header_guard_released_after_loop() {
+    // Regression: a `for` header guard chained through `.iter()` is held
+    // for the body but released at the loop's close, so back-to-back
+    // loops over differently-ordered locks do not nest.
+    let src = r#"
+fn snapshot(shared: &Shared) {
+    for x in shared.drained.lock().unwrap().iter() {
+        use_it(x);
+    }
+    for y in shared.streams.lock().unwrap().iter() {
+        use_it(y);
+    }
+}
+"#;
+    assert!(l003_run(src, L003_CFG).is_empty());
+}
+
+#[test]
+fn l003_for_header_guard_is_held_inside_body() {
+    let src = r#"
+fn snapshot(shared: &Shared) {
+    for x in shared.drained.lock().unwrap().iter() {
+        let s = shared.streams.lock().unwrap();
+    }
+}
+"#;
+    let out = l003_run(src, L003_CFG);
+    assert!(out
+        .iter()
+        .any(|f| f.message.contains("lock order violation")));
+}
+
+#[test]
+fn l003_drop_releases_early() {
+    let src = r#"
+fn careful(shared: &Shared) {
+    let d = shared.drained.lock().unwrap();
+    drop(d);
+    let s = shared.streams.lock().unwrap();
+}
+"#;
+    assert!(l003_run(src, L003_CFG).is_empty());
+}
+
+#[test]
+fn l003_raw_string_mutex_is_not_code() {
+    let cfg = "[locks]\nnames = [\"streams\"]\n";
+    let src = r###"
+fn doc() -> &'static str {
+    r#"call streams.lock() twice: streams.lock()"#
+}
+"###;
+    assert!(l003_run(src, cfg).is_empty());
+}
+
+// ------------------------------------------------------------------ L004
+
+fn l004_run(source: &str) -> Vec<Finding> {
+    let cfg = Config::parse(
+        "[hotpath]\nfunctions = [\"fixture.rs::site_worker\", \"fixture.rs::observe\"]\n",
+    )
+    .unwrap();
+    let src = lex(source);
+    let fns = fn_spans(&src.toks);
+    let ctx = FileCtx {
+        path: "fixture.rs",
+        src: &src,
+        fns: &fns,
+    };
+    let mut out = Vec::new();
+    rules::l004::check(&ctx, &cfg, &mut out);
+    out
+}
+
+#[test]
+fn l004_fires_on_alloc_in_hot_loop() {
+    let src = r#"
+fn site_worker() {
+    let mut buf = Vec::new();
+    loop {
+        let msg = format!("ev {}", 1);
+        let copy = buf.clone();
+    }
+}
+"#;
+    let out = l004_run(src);
+    assert_eq!(out.len(), 2);
+    assert!(out[0].message.contains("format!"));
+    assert!(out[1].message.contains(".clone()"));
+}
+
+#[test]
+fn l004_accepts_setup_allocations_before_the_loop() {
+    let src = r#"
+fn site_worker() {
+    let mut buf = Vec::with_capacity(64);
+    let name = String::from("worker");
+    loop {
+        buf.push(1);
+    }
+}
+"#;
+    assert!(l004_run(src).is_empty());
+}
+
+#[test]
+fn l004_loop_free_hot_fn_is_hot_everywhere() {
+    let src = r#"
+fn observe(&mut self, item: Item) {
+    let label = item.name.to_string();
+    self.push(item);
+}
+"#;
+    let out = l004_run(src);
+    assert_eq!(out.len(), 1);
+    assert!(out[0].message.contains(".to_string()"));
+}
+
+#[test]
+fn l004_ignores_functions_not_declared_hot() {
+    let src = r#"
+fn cold_path() {
+    loop {
+        let msg = format!("{}", 1);
+    }
+}
+"#;
+    assert!(l004_run(src).is_empty());
+}
+
+// ------------------------------------------------------------------ L005
+
+#[test]
+fn l005_wire_tags_in_parses_constants() {
+    let tags = dwrs_lint::wire_tags_in(
+        "pub const TAG_A: u8 = 0x10;\nconst TAG_B: u8 = 33;\nconst OTHER: u8 = 1;\nconst TAG_S: u16 = 2;\n",
+    );
+    let names: Vec<&str> = tags.iter().map(|t| t.name.as_str()).collect();
+    assert_eq!(names, vec!["TAG_A", "TAG_B"]);
+    assert_eq!(tags[0].value, 0x10);
+    assert_eq!(tags[1].value, 33);
+}
+
+fn l005_run(files: &[(&str, &str)], doc: &str, cfg_toml: &str) -> Vec<Finding> {
+    let cfg = Config::parse(cfg_toml).unwrap();
+    let files: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    let doc = doc.to_string();
+    let mut out = Vec::new();
+    rules::l005::check_workspace(&cfg, &files, &|_| Some(doc.clone()), &mut out);
+    out
+}
+
+const L005_CFG: &str = r#"
+[[tags.namespace]]
+name = "a"
+files = ["a.rs"]
+doc = "DOC.md"
+"#;
+
+#[test]
+fn l005_fires_on_value_collision_within_namespace() {
+    let out = l005_run(
+        &[("a.rs", "const TAG_X: u8 = 0x10;\nconst TAG_Y: u8 = 0x10;\n")],
+        "`TAG_X` = `0x10` `TAG_Y` = `0x10`",
+        L005_CFG,
+    );
+    assert!(out.iter().any(|f| f.message.contains("collides")));
+}
+
+#[test]
+fn l005_fires_on_undocumented_tag() {
+    let out = l005_run(
+        &[("a.rs", "const TAG_X: u8 = 0x10;\n")],
+        "no tags here",
+        L005_CFG,
+    );
+    assert!(out.iter().any(|f| f.message.contains("not documented")));
+}
+
+#[test]
+fn l005_allows_cross_namespace_value_reuse_but_not_name_reuse() {
+    let cfg = r#"
+[[tags.namespace]]
+name = "a"
+files = ["a.rs"]
+doc = "DOC.md"
+
+[[tags.namespace]]
+name = "b"
+files = ["b.rs"]
+doc = "DOC.md"
+"#;
+    // Same value 0x10 in two namespaces: fine. Same name: finding.
+    let out = l005_run(
+        &[
+            ("a.rs", "const TAG_X: u8 = 0x10;\n"),
+            ("b.rs", "const TAG_Y: u8 = 0x10;\n"),
+        ],
+        "`TAG_X` = `0x10`, `TAG_Y` = `0x10`",
+        cfg,
+    );
+    assert!(out.is_empty());
+    let out = l005_run(
+        &[
+            ("a.rs", "const TAG_X: u8 = 0x10;\n"),
+            ("b.rs", "const TAG_X: u8 = 0x11;\n"),
+        ],
+        "`TAG_X` = `0x10` and `0x11`",
+        cfg,
+    );
+    assert!(out.iter().any(|f| f.message.contains("globally unique")));
+}
+
+const L005_TRACE_CFG: &str = r#"
+[tags.trace]
+file = "trace.rs"
+enum = "TraceKind"
+doc = "DOC.md"
+"#;
+
+const L005_TRACE_SRC: &str = r#"
+impl TraceKind {
+    pub fn as_u8(self) -> u8 {
+        match self {
+            TraceKind::Create => 1,
+            TraceKind::Attach => 2,
+        }
+    }
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Create => "create",
+            TraceKind::Attach => "attach",
+        }
+    }
+}
+"#;
+
+#[test]
+fn l005_trace_catalog_round_trips() {
+    let out = l005_run(
+        &[("trace.rs", L005_TRACE_SRC)],
+        "| 1 | `create` | x |\n| 2 | `attach` | y |\n",
+        L005_TRACE_CFG,
+    );
+    assert!(out.is_empty());
+}
+
+#[test]
+fn l005_trace_fires_on_missing_doc_row_and_dup_code() {
+    let out = l005_run(
+        &[("trace.rs", L005_TRACE_SRC)],
+        "| 1 | `create` | x |\n",
+        L005_TRACE_CFG,
+    );
+    assert!(out.iter().any(|f| f.message.contains("no catalog row")));
+
+    let dup = r#"
+impl TraceKind {
+    pub fn as_u8(self) -> u8 {
+        match self {
+            TraceKind::Create => 1,
+            TraceKind::Attach => 1,
+        }
+    }
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Create => "create",
+            TraceKind::Attach => "attach",
+        }
+    }
+}
+"#;
+    let out = l005_run(
+        &[("trace.rs", dup)],
+        "| 1 | `create` | x |\n| 1 | `attach` | y |\n",
+        L005_TRACE_CFG,
+    );
+    assert!(out.iter().any(|f| f.message.contains("collides")));
+}
+
+// ------------------------------------------------------------------ L006
+
+#[test]
+fn l006_fires_on_bare_packed_repr() {
+    let out = findings_of(
+        "#[repr(C, packed)]\nstruct Ev { a: u32, b: u64 }\n",
+        rules::l006::check,
+    );
+    assert_eq!(out.len(), 2);
+    assert!(out[0].message.contains("not cfg-gated"));
+    assert!(out[1].message.contains("size assertion"));
+}
+
+#[test]
+fn l006_accepts_gated_and_asserted_packed_repr() {
+    let src = r#"
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct Ev { a: u32, b: u64 }
+const _: () = assert!(std::mem::size_of::<Ev>() == 12);
+"#;
+    assert!(findings_of(src, rules::l006::check).is_empty());
+}
+
+#[test]
+fn l006_gated_but_unasserted_still_fires() {
+    let src = r#"
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+struct Ev { a: u32, b: u64 }
+"#;
+    let out = findings_of(src, rules::l006::check);
+    assert_eq!(out.len(), 1);
+    assert!(out[0].message.contains("size assertion"));
+}
+
+#[test]
+fn l006_plain_repr_c_is_fine() {
+    assert!(findings_of("#[repr(C)]\nstruct Ok { a: u32 }\n", rules::l006::check).is_empty());
+}
+
+// ------------------------------------------------- end-to-end run() + allows
+
+#[test]
+fn run_applies_configured_and_inline_allows() {
+    let dir = std::env::temp_dir().join(format!("dwrs-lint-test-{}", std::process::id()));
+    let src_dir = dir.join("src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(
+        src_dir.join("a.rs"),
+        "fn f() {\n    let x = unsafe { g() };\n    // lint:allow(L001) -- fixture exercises the inline escape hatch\n    let y = unsafe { h() };\n}\n",
+    )
+    .unwrap();
+    let cfg = Config::parse(
+        "[scan]\ninclude = [\"src\"]\n\n[[allow]]\ncode = \"L001\"\nfile = \"src/a.rs\"\nline = 2\nreason = \"fixture\"\n",
+    )
+    .unwrap();
+    let report = dwrs_lint::run(&dir, &cfg);
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(report.files, 1);
+    assert_eq!(report.findings.len(), 0, "{:?}", report.findings);
+    assert_eq!(report.allowed, 2);
+}

@@ -335,6 +335,9 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, RuntimeError> {
         }
     }
     events.sort_by_key(|e| (e.site, e.at_items));
+    // ordering: Relaxed — pure quiescence signal: the query workers only
+    // ever exit their loop on it, and their results are collected through
+    // `join`, which provides the real happens-before edge.
     stop.store(true, Ordering::Relaxed);
     let mut queries = 0u64;
     let mut query_errors = 0u64;
@@ -667,6 +670,9 @@ fn query_worker(addr: &str, stream: &str, worker: usize, stop: &AtomicBool) -> Q
     ];
     let mut last_items = 0u64;
     let mut round = worker;
+    // ordering: Relaxed — quiescence poll; seeing the stop flag one
+    // iteration late only runs one more harmless query, and the worker's
+    // outcome is handed back via `join`, not through this flag.
     while !stop.load(Ordering::Relaxed) {
         let t0 = Instant::now();
         // Every 8th request is a telemetry scrape instead of a query, so

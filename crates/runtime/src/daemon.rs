@@ -176,9 +176,14 @@ struct CmdSender {
 
 impl CmdSender {
     fn send(&self, cmd: StreamCmd) -> Result<(), mpsc::SendError<StreamCmd>> {
+        // ordering: Relaxed — `depth` is a statistics-only occupancy gauge;
+        // nothing is published through it (the channel itself synchronizes
+        // the command), and a momentarily stale reading is fine.
         self.depth.fetch_add(1, Ordering::Relaxed);
         let res = self.tx.send(cmd);
         if res.is_err() {
+            // ordering: Relaxed — undo of the optimistic add above; the
+            // command never entered the queue.
             self.depth.fetch_sub(1, Ordering::Relaxed);
         }
         res
@@ -378,6 +383,8 @@ fn stream_processor(mut st: StreamState, rx: mpsc::Receiver<StreamCmd>) {
         let Ok(cmd) = rx.recv() else {
             break;
         };
+        // ordering: Relaxed — metrics-only occupancy gauge; the `recv`
+        // above already synchronized with the matching send.
         st.depth.fetch_sub(1, Ordering::Relaxed);
         match cmd {
             StreamCmd::Reserve { site, reply } => {
@@ -501,6 +508,8 @@ fn stream_processor(mut st: StreamState, rx: mpsc::Receiver<StreamCmd>) {
                     items: st.slot_items.iter().sum(),
                     sites_attached: count_state(&st.slots, SlotState::Attached),
                     sites_eof: count_state(&st.slots, SlotState::Finished),
+                    // ordering: Relaxed — instantaneous gauge snapshot for
+                    // a metrics report; no ordering relationship is needed.
                     queue_depth: st.depth.load(Ordering::Relaxed) as u32,
                     queue_capacity: st.queue_capacity,
                     queries: st.queries,
@@ -675,7 +684,12 @@ impl Daemon {
 /// [`CtrlMsg::Shutdown`] handler (which runs on a connection thread and
 /// has no `Daemon` handle).
 fn shutdown_impl(shared: &Shared, addr: SocketAddr) -> Vec<(String, LiveSnapshot)> {
-    let was_accepting = shared.accepting.swap(false, Ordering::SeqCst);
+    // ordering: AcqRel — the swap makes exactly one shutdown caller see
+    // `true` and run the drain; Release publishes everything before the
+    // shutdown decision to the admission-path Acquire loads, and Acquire
+    // pairs with any prior swap. SeqCst would buy nothing: admission
+    // correctness rests on the `streams` mutex, not this flag.
+    let was_accepting = shared.accepting.swap(false, Ordering::AcqRel);
     if was_accepting {
         let streams_left = shared.streams.lock().unwrap().len() as u64;
         global().trace.record(TraceKind::Shutdown, streams_left, 0);
@@ -704,7 +718,9 @@ fn shutdown_impl(shared: &Shared, addr: SocketAddr) -> Vec<(String, LiveSnapshot
 
 fn listener_loop(listener: TcpListener, shared: Arc<Shared>, addr: SocketAddr) {
     for conn in listener.incoming() {
-        if !shared.accepting.load(Ordering::SeqCst) {
+        // ordering: Acquire — pairs with the AcqRel swap in shutdown_impl;
+        // seeing `false` here must also see the drained stream map.
+        if !shared.accepting.load(Ordering::Acquire) {
             break;
         }
         let stream = match conn {
@@ -738,7 +754,10 @@ fn create_stream(
 ) -> Result<&'static str, String> {
     let query = Query::parse(spec)?;
     query.validate()?;
-    if !shared.accepting.load(Ordering::SeqCst) {
+    // ordering: Acquire — pairs with the AcqRel swap in shutdown_impl. The
+    // check is advisory (the race against a concurrent shutdown is closed
+    // by the `streams` mutex both paths take), so Acquire is enough.
+    if !shared.accepting.load(Ordering::Acquire) {
         return Err("daemon is shutting down".to_string());
     }
     let mut streams = shared.streams.lock().unwrap();
@@ -770,6 +789,8 @@ fn create_stream(
     trace.record(TraceKind::Create, k.into(), s_eff as u64);
     let ctrs = StreamCtrs::new();
     ctrs.streams_active.add(1);
+    // ordering: Relaxed — lifetime counter read only by metrics reports;
+    // fetch_add atomicity alone keeps the count exact.
     shared.streams_created.fetch_add(1, Ordering::Relaxed);
     let st = StreamState {
         name: name.to_string(),
@@ -863,6 +884,8 @@ fn scrape(shared: &Shared, events: u32) -> MetricsReport {
     MetricsReport {
         now_nanos: t.now_nanos(),
         uptime_nanos: shared.started.elapsed().as_nanos() as u64,
+        // ordering: Relaxed — statistics snapshot; a report racing a
+        // concurrent create may miss it, which is inherent to scraping.
         streams_created: shared.streams_created.load(Ordering::Relaxed),
         samples: t.registry.snapshot(),
         events: t.trace.snapshot(events as usize),

@@ -550,6 +550,8 @@ impl Iterator for ShardSource {
             }
             match self.rx.recv() {
                 Ok(frame) => {
+                    // ordering: Relaxed — occupancy statistic; the channel
+                    // recv already synchronized the frame handoff.
                     let now = self.in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
                     self.depth_gauge.set(now as i64);
                     self.cur = frame.into_iter();
@@ -572,6 +574,8 @@ impl ItemFeed for ShardSource {
         }
         match self.rx.try_recv() {
             Ok(frame) => {
+                // ordering: Relaxed — as in `next`: the queue synchronizes
+                // the data, the counter is a metrics-only depth estimate.
                 let now = self.in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
                 self.depth_gauge.set(now as i64);
                 Feed::Frame(frame)
@@ -639,6 +643,8 @@ impl Dispatcher {
         // after delivery, so the counter never underflows, and it
         // overcounts by at most the one frame this (single) feeder has in
         // flight — the slack `in_flight_bound` accounts for.
+        // ordering: Relaxed — the bounded channel provides the handoff
+        // ordering; this counter only feeds the depth gauge and peak stat.
         let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
         if now > self.stats.peak_in_flight_frames {
             self.stats.peak_in_flight_frames = now;
@@ -647,6 +653,8 @@ impl Dispatcher {
         // A send blocks when the shard queue is full — that bounded-queue
         // backpressure is exactly what caps resident memory.
         if tx.send(frame).is_err() {
+            // ordering: Relaxed — undo of the optimistic count above; the
+            // frame never entered the queue, no one observed it.
             self.in_flight.fetch_sub(1, Ordering::Relaxed);
             self.stats.receiver_gone = true;
             return;

@@ -120,11 +120,16 @@ pub(crate) struct Poller {
 impl Poller {
     /// Creates an epoll instance (close-on-exec).
     pub fn new() -> io::Result<Poller> {
+        // SAFETY: epoll_create1 takes no pointers; the flags value is one
+        // of the kernel-defined constants.
         let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
         }
         Ok(Poller {
+            // SAFETY: the syscall just returned `fd` (>= 0 checked above),
+            // so it is a freshly opened descriptor this process owns and
+            // nothing else will close; OwnedFd takes over that ownership.
             epfd: unsafe { OwnedFd::from_raw_fd(fd) },
         })
     }
@@ -141,6 +146,8 @@ impl Poller {
             events: interest_mask(readable, writable),
             token,
         };
+        // SAFETY: `ev` is a live, properly initialized EpollEvent for the
+        // duration of the call; the kernel only reads it during epoll_ctl.
         let rc = unsafe { sys::epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) };
         if rc < 0 {
             return Err(io::Error::last_os_error());
@@ -170,6 +177,8 @@ impl Poller {
             events: 0,
             token: 0,
         };
+        // SAFETY: as in `ctl` — `ev` outlives the call. Pre-2.6.9 kernels
+        // required a non-null event pointer even for DEL, so one is passed.
         let rc = unsafe { sys::epoll_ctl(self.epfd.as_raw_fd(), sys::EPOLL_CTL_DEL, fd, &mut ev) };
         if rc < 0 {
             return Err(io::Error::last_os_error());
@@ -186,6 +195,9 @@ impl Poller {
             events: 0,
             token: 0,
         }; MAX_EVENTS];
+        // SAFETY: `raw` holds MAX_EVENTS initialized EpollEvents and
+        // maxevents passes exactly that capacity, so the kernel writes
+        // only within the array; the buffer outlives the call.
         let n = unsafe {
             sys::epoll_wait(
                 self.epfd.as_raw_fd(),
@@ -486,6 +498,8 @@ impl SendBuf {
 /// 1024). Idempotent; a failed raise still returns the current limit.
 pub fn raise_nofile_limit() -> io::Result<u64> {
     let mut lim = sys::Rlimit { cur: 0, max: 0 };
+    // SAFETY: `lim` is a live repr(C) Rlimit matching the kernel's struct
+    // rlimit; getrlimit writes both fields and reads nothing else.
     let rc = unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) };
     if rc < 0 {
         return Err(io::Error::last_os_error());
@@ -495,6 +509,7 @@ pub fn raise_nofile_limit() -> io::Result<u64> {
             cur: lim.max,
             max: lim.max,
         };
+        // SAFETY: `want` is fully initialized and only read by the kernel.
         if unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &want) } == 0 {
             lim.cur = lim.max;
         }
@@ -506,6 +521,8 @@ pub fn raise_nofile_limit() -> io::Result<u64> {
 /// query fails).
 pub(crate) fn current_nofile_limit() -> u64 {
     let mut lim = sys::Rlimit { cur: 0, max: 0 };
+    // SAFETY: same contract as in `raise_nofile_limit` — `lim` is a live,
+    // correctly laid out out-parameter for the syscall.
     if unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) } < 0 {
         return 0;
     }

@@ -28,6 +28,9 @@ pub struct Counter {
 impl Counter {
     /// Adds `n`.
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — counters are statistics: increments from hot
+        // paths must cost one uncontended RMW and nothing more. Exactness
+        // comes from fetch_add atomicity, not from ordering.
         self.v.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -38,6 +41,9 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — scrape-time read; a reading that misses a
+        // concurrent increment is indistinguishable from scraping a
+        // moment earlier.
         self.v.load(Ordering::Relaxed)
     }
 }
@@ -51,16 +57,20 @@ pub struct Gauge {
 impl Gauge {
     /// Sets the level.
     pub fn set(&self, v: i64) {
+        // ordering: Relaxed — gauges carry no payload besides the value
+        // itself; readers never infer other memory state from a level.
         self.v.store(v, Ordering::Relaxed);
     }
 
     /// Moves the level by `d` (may be negative).
     pub fn add(&self, d: i64) {
+        // ordering: Relaxed — same statistics-only contract as `set`.
         self.v.fetch_add(d, Ordering::Relaxed);
     }
 
     /// Current level.
     pub fn get(&self) -> i64 {
+        // ordering: Relaxed — instantaneous scrape of a freestanding level.
         self.v.load(Ordering::Relaxed)
     }
 }

@@ -1,8 +1,9 @@
 //! Doc-sync: `docs/DAEMON.md`'s wire reference must document every
 //! control frame the codec actually implements — the acceptance gate for
-//! the operator guide. The test extracts the `TAG_*` constants from
-//! `crates/core/src/ctrl.rs` and asserts each name and tag byte appears
-//! in the guide, so adding a frame without documenting it fails CI.
+//! the operator guide. Tag extraction goes through `dwrs_lint`'s L005
+//! parser (`wire_tags_in`), the same token-level parse `dwrs-lint --deny`
+//! enforces in CI, so this test and the lint can never disagree about
+//! what counts as a wire tag.
 
 use dwrs::core::ctrl::{LiveQueryKind, SNAPSHOT_ENTRY_BYTES};
 
@@ -11,27 +12,13 @@ fn repo_file(rel: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
 }
 
-/// `(name, "0xNN")` for every `pub const TAG_...: u8 = 0xNN;` in the
-/// control codec source.
+/// `(name, "0xNN")` for every `const TAG_...: u8 = 0xNN;` in the control
+/// codec source — a thin wrapper over the lint's L005 tag parser.
 fn wire_tags() -> Vec<(String, String)> {
-    let src = repo_file("crates/core/src/ctrl.rs");
-    let mut tags = Vec::new();
-    for line in src.lines() {
-        let line = line.trim();
-        let Some(rest) = line.strip_prefix("pub const TAG_") else {
-            continue;
-        };
-        let Some((name, rhs)) = rest.split_once(": u8 = ") else {
-            continue;
-        };
-        let hex = rhs.trim_end_matches(';');
-        assert!(
-            hex.starts_with("0x") && hex.len() == 4,
-            "unexpected tag constant form: {line}"
-        );
-        tags.push((format!("TAG_{name}"), hex.to_string()));
-    }
-    tags
+    dwrs_lint::wire_tags_in(&repo_file("crates/core/src/ctrl.rs"))
+        .into_iter()
+        .map(|t| (t.name, t.text))
+        .collect()
 }
 
 #[test]

@@ -1,0 +1,52 @@
+//! The workspace must stay clean under its own static-analysis pass.
+//!
+//! This is the enforcement point for the invariants `lint.toml` declares:
+//! deleting a `// SAFETY:` comment, dropping the `EpollEvent` packed-repr
+//! cfg-gate, introducing an undocumented wire tag, or nesting locks
+//! against the declared order all fail this test (and `dwrs-lint --deny`
+//! in CI) with a `file:line` diagnostic.
+
+use std::path::Path;
+
+use dwrs_lint::config::Config;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cfg = Config::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let report = dwrs_lint::run(root, &cfg);
+    assert!(
+        report.files > 100,
+        "suspiciously few files scanned ({}) — include roots wrong?",
+        report.files
+    );
+    assert!(
+        report.findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn lint_config_declares_the_core_invariants() {
+    // The config itself is part of the contract: the lock chains and hot
+    // paths documented in docs/CONCURRENCY.md must actually be declared,
+    // otherwise L003/L004 silently check nothing.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cfg = Config::load(&root.join("lint.toml")).expect("lint.toml parses");
+    assert!(
+        cfg.lock_chains
+            .iter()
+            .any(|c| c.windows(2).any(|w| w[0] == "streams" && w[1] == "drained")),
+        "daemon lock order streams -> drained must stay declared"
+    );
+    let hot: Vec<&str> = cfg.hot_functions.iter().map(|h| h.func.as_str()).collect();
+    for f in ["site_worker", "coord_reactor", "site_loop", "observe"] {
+        assert!(hot.contains(&f), "hot path {f} missing from lint.toml");
+    }
+    assert!(
+        cfg.tag_namespaces.len() >= 4,
+        "all four wire-tag namespaces must stay declared"
+    );
+    assert!(cfg.trace.is_some(), "trace catalog must stay declared");
+}
